@@ -1,0 +1,49 @@
+#include "accuracy_bench.h"
+
+#include <iostream>
+
+namespace tipsy::bench {
+
+int RunAccuracyBench(int argc, char** argv, AccuracySubset subset,
+                     const std::string& name,
+                     const std::string& paper_ref) {
+  const auto options = BenchOptions::Parse(argc, argv);
+  PrintHeader(name, paper_ref);
+
+  scenario::Scenario world(FullScenario(options));
+  auto experiment = scenario::RunExperiment(world, scenario::PaperWindows());
+
+  const core::EvalSet* eval = nullptr;
+  switch (subset) {
+    case AccuracySubset::kOverall: eval = &experiment.overall; break;
+    case AccuracySubset::kOutageAll: eval = &experiment.outage_all; break;
+    case AccuracySubset::kOutageSeen: eval = &experiment.outage_seen; break;
+    case AccuracySubset::kOutageUnseen:
+      eval = &experiment.outage_unseen;
+      break;
+  }
+  std::cout << "scenario: " << world.wan().link_count() << " peering links, "
+            << world.workload().flows().size() << " flow aggregates; "
+            << "train outages inferred: " << experiment.train_outages.size()
+            << ", test outages inferred: " << experiment.test_outages.size()
+            << "\n";
+  if (subset != AccuracySubset::kOverall) {
+    const double total = experiment.seen_outage_bytes +
+                         experiment.unseen_outage_bytes;
+    if (total > 0.0) {
+      std::cout << "outage-affected bytes: "
+                << util::TextTable::Percent(
+                       experiment.unseen_outage_bytes / total)
+                << "% from unseen outages (paper: ~57%)\n";
+    }
+  }
+  if (eval->empty()) {
+    std::cout << "(no evaluation cases in this subset - try another seed)\n";
+    return 0;
+  }
+  PrintAccuracyTable(name,
+                     scenario::EvaluateSuite(*experiment.tipsy, *eval));
+  return 0;
+}
+
+}  // namespace tipsy::bench

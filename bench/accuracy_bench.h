@@ -1,0 +1,21 @@
+// Shared driver for the four accuracy tables (4, 5, 6, 7): one experiment
+// (3 weeks train / 1 week test on the default scenario), different
+// evaluation subsets.
+#pragma once
+
+#include "bench_common.h"
+
+namespace tipsy::bench {
+
+enum class AccuracySubset {
+  kOverall,       // Table 4
+  kOutageAll,     // Table 5
+  kOutageSeen,    // Table 6
+  kOutageUnseen,  // Table 7
+};
+
+int RunAccuracyBench(int argc, char** argv, AccuracySubset subset,
+                     const std::string& name,
+                     const std::string& paper_ref);
+
+}  // namespace tipsy::bench

@@ -1,0 +1,85 @@
+#include "bench_common.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+namespace tipsy::bench {
+
+BenchOptions BenchOptions::Parse(int argc, char** argv) {
+  BenchOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--small") == 0) {
+      opt.small = true;
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      opt.seed = std::strtoull(argv[++i], nullptr, 10);
+    }
+  }
+  // The test driver can also force small mode through the environment.
+  if (std::getenv("TIPSY_BENCH_SMALL") != nullptr) opt.small = true;
+  return opt;
+}
+
+scenario::ScenarioConfig FullScenario(const BenchOptions& opt) {
+  auto cfg = opt.small ? scenario::TinyScenarioConfig()
+                       : scenario::DefaultScenarioConfig();
+  if (opt.small) {
+    cfg.traffic.flow_target = 2500;
+    cfg.horizon = util::HourRange{0, 28 * util::kHoursPerDay};
+  }
+  if (opt.seed != 0) {
+    cfg.seed = cfg.topology.seed = opt.seed;
+    cfg.traffic.seed = opt.seed + 1;
+    cfg.outages.seed = opt.seed + 2;
+    cfg.ipfix.seed = opt.seed + 3;
+  }
+  return cfg;
+}
+
+scenario::ScenarioConfig SweepScenario(const BenchOptions& opt) {
+  auto cfg = FullScenario(opt);
+  if (!opt.small) {
+    cfg.traffic.flow_target = 6000;
+    cfg.topology.access_isp_count = 90;
+    cfg.topology.enterprise_count = 150;
+  }
+  return cfg;
+}
+
+void PrintHeader(const std::string& name, const std::string& paper_ref) {
+  std::cout << "\n=== " << name << " (paper " << paper_ref << ") ===\n";
+}
+
+void WriteCsv(const std::string& name,
+              const std::vector<std::vector<std::string>>& rows) {
+  std::error_code ec;
+  std::filesystem::create_directories("results", ec);
+  std::ofstream out("results/" + name + ".csv");
+  if (!out) {
+    std::cerr << "warning: cannot write results/" << name << ".csv\n";
+    return;
+  }
+  util::CsvWriter csv(out);
+  for (const auto& row : rows) csv.Row(row);
+}
+
+void PrintAccuracyTable(const std::string& name,
+                        const std::vector<scenario::ModelAccuracy>& rows) {
+  util::TextTable table({"Model", "Top 1 %", "Top 2 %", "Top 3 %"});
+  std::vector<std::vector<std::string>> csv{
+      {"model", "top1_pct", "top2_pct", "top3_pct"}};
+  for (const auto& row : rows) {
+    const auto r = std::vector<std::string>{
+        row.model, util::TextTable::Percent(row.accuracy.top1()),
+        util::TextTable::Percent(row.accuracy.top2()),
+        util::TextTable::Percent(row.accuracy.top3())};
+    table.AddRow(r);
+    csv.push_back(r);
+  }
+  table.Print(std::cout);
+  WriteCsv(name, csv);
+}
+
+}  // namespace tipsy::bench

@@ -1,0 +1,44 @@
+// Shared scaffolding for the table/figure reproduction benches.
+//
+// Every bench binary accepts:
+//   --small       run on a reduced scenario (CI-friendly, same shapes)
+//   --seed N      override the scenario seed
+// and prints its table to stdout while also writing a CSV under
+// ./results/. Absolute numbers differ from the paper (our substrate is a
+// simulator); the shapes are what each bench reproduces.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "scenario/experiment.h"
+#include "scenario/scenario.h"
+#include "util/table.h"
+
+namespace tipsy::bench {
+
+struct BenchOptions {
+  bool small = false;
+  std::uint64_t seed = 0;  // 0 = scenario default
+  static BenchOptions Parse(int argc, char** argv);
+};
+
+// Scenario sized for the full reproduction run.
+[[nodiscard]] scenario::ScenarioConfig FullScenario(const BenchOptions& opt);
+// Scenario sized for sweep-style benches that run many experiments
+// (Figures 9-11); smaller workload, same structure.
+[[nodiscard]] scenario::ScenarioConfig SweepScenario(const BenchOptions& opt);
+
+// Prints "=== <name> (paper <ref>) ===" and remembers `name` for the CSV.
+void PrintHeader(const std::string& name, const std::string& paper_ref);
+
+// Writes rows (first row = header) to results/<name>.csv.
+void WriteCsv(const std::string& name,
+              const std::vector<std::vector<std::string>>& rows);
+
+// Renders the standard accuracy table (model, top-1/2/3 %) and writes the
+// matching CSV.
+void PrintAccuracyTable(const std::string& name,
+                        const std::vector<scenario::ModelAccuracy>& rows);
+
+}  // namespace tipsy::bench

@@ -1,0 +1,71 @@
+// Figure 7: looking back from the day after the year ends, how many days
+// ago was each peering link last seen down. The paper sees a roughly even
+// spread, with about a third of links having failed within the previous 50
+// days.
+#include <iostream>
+#include <map>
+
+#include "bench_common.h"
+#include "pipeline/link_hour.h"
+
+using namespace tipsy;
+
+int main(int argc, char** argv) {
+  const auto options = bench::BenchOptions::Parse(argc, argv);
+  bench::PrintHeader("fig7_outage_last",
+                     "Figure 7 - days since a peering link was last down");
+
+  auto cfg = bench::FullScenario(options);
+  cfg.traffic.flow_target = options.small ? 1200 : 4000;
+  cfg.horizon = util::HourRange{0, 365 * util::kHoursPerDay};
+  scenario::Scenario world(cfg);
+
+  pipeline::LinkHourTable table(world.wan().link_count());
+  world.SimulateHours(
+      cfg.horizon,
+      [&](util::HourIndex hour, std::span<const pipeline::AggRow> rows) {
+        for (const auto& row : rows) {
+          table.AddBytes(row.link, hour, static_cast<double>(row.bytes));
+        }
+      });
+  const auto outages = pipeline::InferOutages(table, cfg.horizon);
+
+  std::map<std::uint32_t, util::HourIndex> last_down;
+  for (const auto& outage : outages) {
+    auto [it, inserted] =
+        last_down.try_emplace(outage.link.value(), outage.hours.end);
+    if (!inserted) it->second = std::max(it->second, outage.hours.end);
+  }
+
+  // Histogram of "days ago" measured from the first day after the period.
+  std::map<util::HourIndex, std::size_t> by_days_ago;
+  for (const auto& [link, hour] : last_down) {
+    by_days_ago[util::DayIndex(cfg.horizon.end - 1) -
+                util::DayIndex(hour)]++;
+  }
+  const double total = static_cast<double>(last_down.size());
+
+  util::TextTable out(
+      {"Days since last outage <=", "Links", "Cumulative %"});
+  std::vector<std::vector<std::string>> csv{
+      {"days_ago", "links", "cumulative_pct"}};
+  std::size_t cumulative = 0;
+  util::HourIndex next_tick = 10;
+  for (const auto& [days_ago, count] : by_days_ago) {
+    cumulative += count;
+    csv.push_back({std::to_string(days_ago), std::to_string(count),
+                   util::TextTable::Percent(
+                       static_cast<double>(cumulative) / total)});
+    if (days_ago >= next_tick) {
+      out.AddRow({std::to_string(days_ago), std::to_string(cumulative),
+                  util::TextTable::Percent(
+                      static_cast<double>(cumulative) / total)});
+      next_tick += 50;
+    }
+  }
+  out.Print(std::cout);
+  bench::WriteCsv("fig7_outage_last", csv);
+  std::cout << "(paper: roughly even spread; ~1/3 of links failed within "
+               "the previous 50 days)\n";
+  return 0;
+}

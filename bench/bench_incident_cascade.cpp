@@ -1,0 +1,195 @@
+// The §2 incident: a peering link is overwhelmed by ingress traffic; the
+// pre-TIPSY CMS withdraws a prefix blindly, the traffic lands on the next
+// link and congests it, and so on - a cascade of withdrawal rounds. With
+// TIPSY, CMS checks every withdrawal's predicted landing spots against
+// spare capacity first and avoids unleashing new congestion.
+//
+// We script the incident (inflate the flows of one busy link until it
+// crosses the trigger), then replay the exact same hours twice: legacy CMS
+// vs TIPSY-guided CMS, and compare congestion-events, withdrawal rounds
+// and peak overload.
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.h"
+#include "cms/cms.h"
+
+using namespace tipsy;
+
+namespace {
+
+struct RunStats {
+  std::size_t congestion_events = 0;
+  std::size_t cascade_events = 0;  // congestion on links other than I1
+  std::size_t withdrawals = 0;
+  std::size_t unsafe_skipped = 0;
+  std::size_t distinct_links_congested = 0;
+  std::size_t overloaded_link_hours = 0;  // any link > 85%
+  double peak_utilization = 0.0;
+};
+
+RunStats RunCms(scenario::Scenario& world, const core::TipsyService* tipsy,
+                bool use_tipsy, util::HourRange incident_hours,
+                std::uint32_t victim,
+                const std::vector<std::size_t>& surge_flows, double surge) {
+  world.ResetAdvertisements();
+  cms::CmsConfig cms_cfg;
+  cms_cfg.use_tipsy = use_tipsy;
+  cms::CongestionMitigationSystem cms(&world, tipsy, cms_cfg);
+
+  RunStats stats;
+  std::vector<pipeline::AggRow> hour_rows;
+  const auto row_sink = [&](util::HourIndex,
+                            std::span<const pipeline::AggRow> rows) {
+    hour_rows.assign(rows.begin(), rows.end());
+  };
+  const auto load_sink = [&](util::HourIndex hour,
+                             std::span<const double> loads) {
+    for (std::uint32_t l = 0; l < loads.size(); ++l) {
+      const double cap =
+          world.wan().link(util::LinkId{l}).CapacityBytesPerHour();
+      if (cap <= 0.0) continue;
+      const double u = loads[l] / cap;
+      stats.peak_utilization = std::max(stats.peak_utilization, u);
+      if (u > 0.85) ++stats.overloaded_link_hours;
+    }
+    cms.ObserveHour(hour, loads, hour_rows);
+  };
+  // The surge lasts 5 hours (the enterprise transfer completes), then the
+  // flows fall back to their normal volume and CMS re-announces.
+  const util::HourIndex surge_end = incident_hours.begin + 5;
+  for (std::size_t fi : surge_flows) {
+    world.mutable_workload().ScaleFlow(fi, surge);
+  }
+  world.SimulateHours(util::HourRange{incident_hours.begin, surge_end},
+                      row_sink, load_sink);
+  for (std::size_t fi : surge_flows) {
+    world.mutable_workload().ScaleFlow(fi, 1.0 / surge);
+  }
+  world.SimulateHours(util::HourRange{surge_end, incident_hours.end},
+                      row_sink, load_sink);
+  stats.congestion_events = cms.events().size();
+  stats.withdrawals = cms.withdrawals_issued();
+  stats.unsafe_skipped = cms.unsafe_withdrawals_skipped();
+  std::vector<std::uint32_t> congested;
+  for (const auto& event : cms.events()) {
+    congested.push_back(event.link.value());
+    if (event.link.value() != victim) ++stats.cascade_events;
+  }
+  std::sort(congested.begin(), congested.end());
+  congested.erase(std::unique(congested.begin(), congested.end()),
+                  congested.end());
+  stats.distinct_links_congested = congested.size();
+  return stats;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto options = bench::BenchOptions::Parse(argc, argv);
+  bench::PrintHeader("incident_cascade",
+                     "§2 - cascading ingress congestion incident");
+
+  auto cfg = bench::FullScenario(options);
+  // A WAN running hotter than usual: spillover headroom is scarce, which
+  // is what made the 04 January 2022 incident cascade.
+  cfg.target_p99_utilization = 0.72;
+  scenario::Scenario world(cfg);
+
+  // Train TIPSY on the three weeks before the incident.
+  const auto windows = scenario::PaperWindows();
+  auto experiment = scenario::RunExperiment(world, windows);
+
+  // Find the busiest link at the first post-training hour and inflate its
+  // flows until it would exceed the trigger (the "enterprise onboarding"
+  // surge of §1).
+  const util::HourIndex incident_start = windows.test.begin;
+  std::vector<double> loads(world.wan().link_count(), 0.0);
+  world.SimulateHours(
+      util::HourRange{incident_start, incident_start + 1}, nullptr,
+      [&](util::HourIndex, std::span<const double> l) {
+        loads.assign(l.begin(), l.end());
+      });
+  // Victim: the busiest link that is not yet congested (the surge, not
+  // the baseline, should be what tips it over).
+  std::uint32_t victim = 0;
+  double victim_util = 0.0;
+  for (std::uint32_t l = 0; l < loads.size(); ++l) {
+    const double cap =
+        world.wan().link(util::LinkId{l}).CapacityBytesPerHour();
+    if (cap <= 0.0) continue;
+    const double u = loads[l] / cap;
+    if (u > victim_util && u < 0.78) {
+      victim_util = u;
+      victim = l;
+    }
+  }
+  const auto& victim_link = world.wan().link(util::LinkId{victim});
+  std::cout << "victim link " << victim << " @" << victim_link.router
+            << " (peer AS " << victim_link.peer_asn.value() << ", "
+            << victim_link.capacity_gbps << "G), pre-surge utilization "
+            << util::TextTable::Percent(victim_util) << "%\n";
+
+  // Flows that will surge: those mostly ingressing the victim.
+  const double surge = 1.25 / std::max(victim_util, 0.05);
+  std::vector<std::size_t> surge_flows;
+  for (std::size_t fi = 0; fi < world.workload().flows().size(); ++fi) {
+    const auto shares = world.ResolveFlow(fi, incident_start);
+    for (const auto& share : shares) {
+      if (share.link.value() == victim && share.fraction > 0.2) {
+        surge_flows.push_back(fi);
+        break;
+      }
+    }
+  }
+  std::cout << "surging " << surge_flows.size()
+            << " flow aggregates by x" << util::TextTable::Fixed(surge, 1)
+            << " for 5 hours\n\n";
+
+  const util::HourRange incident_hours{incident_start, incident_start + 12};
+  const auto legacy =
+      RunCms(world, experiment.tipsy.get(), /*use_tipsy=*/false,
+             incident_hours, victim, surge_flows, surge);
+  const auto guided =
+      RunCms(world, experiment.tipsy.get(), /*use_tipsy=*/true,
+             incident_hours, victim, surge_flows, surge);
+
+  util::TextTable table({"Metric", "Legacy CMS (pre-TIPSY)",
+                         "TIPSY-guided CMS"});
+  auto row = [&](const char* metric, auto legacy_value, auto guided_value) {
+    table.AddRow({metric, std::to_string(legacy_value),
+                  std::to_string(guided_value)});
+  };
+  row("congestion events", legacy.congestion_events,
+      guided.congestion_events);
+  row("cascade events (other links)", legacy.cascade_events,
+      guided.cascade_events);
+  row("distinct links congested", legacy.distinct_links_congested,
+      guided.distinct_links_congested);
+  row("withdrawal messages", legacy.withdrawals, guided.withdrawals);
+  row("unsafe withdrawals skipped", legacy.unsafe_skipped,
+      guided.unsafe_skipped);
+  row("overloaded link-hours (>85%)", legacy.overloaded_link_hours,
+      guided.overloaded_link_hours);
+  table.AddRow({"peak utilization",
+                util::TextTable::Percent(legacy.peak_utilization) + "%",
+                util::TextTable::Percent(guided.peak_utilization) + "%"});
+  table.Print(std::cout);
+  bench::WriteCsv(
+      "incident_cascade",
+      {{"metric", "legacy", "tipsy"},
+       {"congestion_events", std::to_string(legacy.congestion_events),
+        std::to_string(guided.congestion_events)},
+       {"distinct_links_congested",
+        std::to_string(legacy.distinct_links_congested),
+        std::to_string(guided.distinct_links_congested)},
+       {"withdrawals", std::to_string(legacy.withdrawals),
+        std::to_string(guided.withdrawals)},
+       {"overloaded_link_hours",
+        std::to_string(legacy.overloaded_link_hours),
+        std::to_string(guided.overloaded_link_hours)}});
+  std::cout << "(paper: blind withdrawals cascade congestion across "
+               "several links; TIPSY-guided withdrawals avoid unleashing "
+               "new congestion)\n";
+  return 0;
+}

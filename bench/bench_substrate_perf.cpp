@@ -1,0 +1,107 @@
+// Substrate performance: how fast the BGP engine recomputes routing after
+// an advertisement change and resolves flows, and how fast a full
+// simulated hour runs. Not a paper table - this is the "can a downstream
+// user afford to run it" benchmark for the open-source release.
+#include <benchmark/benchmark.h>
+
+#include "bgp/routing.h"
+#include "scenario/scenario.h"
+#include "topo/generator.h"
+
+using namespace tipsy;
+
+namespace {
+
+topo::GeneratedTopology& SharedTopology() {
+  static topo::GeneratedTopology topology = [] {
+    topo::GeneratorConfig cfg;
+    cfg.seed = 7;
+    return topo::GenerateTopology(cfg);
+  }();
+  return topology;
+}
+
+// Full per-prefix route recomputation (what a withdrawal triggers).
+void BM_RouteComputation(benchmark::State& state) {
+  auto& topology = SharedTopology();
+  bgp::RoutingEngine engine(&topology.graph, &topology.metros,
+                            &topology.peering_links, 48);
+  bgp::AdvertisementState adverts(topology.peering_links.size(), 48);
+  std::uint32_t flip = 0;
+  for (auto _ : state) {
+    // Alternate a withdrawal to force a cache miss each iteration.
+    if (flip++ % 2 == 0) {
+      adverts.Withdraw(util::PrefixId{0}, util::LinkId{0});
+    } else {
+      adverts.Announce(util::PrefixId{0}, util::LinkId{0});
+    }
+    benchmark::DoNotOptimize(
+        engine.Routing(util::PrefixId{0}, adverts).per_node.size());
+  }
+  state.counters["nodes"] =
+      static_cast<double>(topology.graph.node_count());
+  state.counters["links"] =
+      static_cast<double>(topology.peering_links.size());
+}
+
+// Per-flow ingress resolution against warm routing caches.
+void BM_ResolveIngress(benchmark::State& state) {
+  auto& topology = SharedTopology();
+  bgp::RoutingEngine engine(&topology.graph, &topology.metros,
+                            &topology.peering_links, 48);
+  bgp::AdvertisementState adverts(topology.peering_links.size(), 48);
+  // Sources: all enterprise nodes.
+  std::vector<topo::NodeId> sources;
+  for (const auto& node : topology.graph.nodes()) {
+    if (node.type == topo::AsType::kEnterprise && !node.presence.empty()) {
+      sources.push_back(node.id);
+    }
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& node = topology.graph.node(sources[i % sources.size()]);
+    const auto shares = engine.ResolveIngress(
+        node.id, node.presence.front(),
+        util::PrefixId{static_cast<std::uint32_t>(i % 48)},
+        /*flow_hash=*/i * 2654435761u, /*day=*/static_cast<int>(i % 28),
+        adverts);
+    benchmark::DoNotOptimize(shares.data());
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+// One fully simulated hour (resolution + sampling + aggregation) at a
+// given workload size.
+void BM_SimulatedHour(benchmark::State& state) {
+  auto cfg = scenario::TinyScenarioConfig();
+  cfg.traffic.flow_target = static_cast<std::size_t>(state.range(0));
+  cfg.horizon = util::HourRange{0, 4000};
+  scenario::Scenario world(cfg);
+  util::HourIndex hour = 0;
+  std::size_t rows_seen = 0;
+  for (auto _ : state) {
+    world.SimulateHours(
+        {hour, hour + 1},
+        [&](util::HourIndex, std::span<const pipeline::AggRow> rows) {
+          rows_seen += rows.size();
+        });
+    ++hour;
+  }
+  benchmark::DoNotOptimize(rows_seen);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+  state.counters["rows/hour"] =
+      static_cast<double>(rows_seen) /
+      std::max<double>(1.0, static_cast<double>(state.iterations()));
+}
+
+}  // namespace
+
+BENCHMARK(BM_RouteComputation)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ResolveIngress);
+BENCHMARK(BM_SimulatedHour)
+    ->Arg(1000)->Arg(4000)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,7 @@
+#include "accuracy_bench.h"
+
+int main(int argc, char** argv) {
+  return tipsy::bench::RunAccuracyBench(
+      argc, argv, tipsy::bench::AccuracySubset::kOverall, "table4_overall",
+      "Table 4 - overall prediction accuracy");
+}

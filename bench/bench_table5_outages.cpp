@@ -1,0 +1,7 @@
+#include "accuracy_bench.h"
+
+int main(int argc, char** argv) {
+  return tipsy::bench::RunAccuracyBench(
+      argc, argv, tipsy::bench::AccuracySubset::kOutageAll, "table5_outages",
+      "Table 5 - accuracy for all link outages");
+}

@@ -1,0 +1,7 @@
+#include "accuracy_bench.h"
+
+int main(int argc, char** argv) {
+  return tipsy::bench::RunAccuracyBench(
+      argc, argv, tipsy::bench::AccuracySubset::kOutageSeen, "table6_seen",
+      "Table 6 - accuracy for seen outages");
+}

@@ -1,0 +1,7 @@
+#include "accuracy_bench.h"
+
+int main(int argc, char** argv) {
+  return tipsy::bench::RunAccuracyBench(
+      argc, argv, tipsy::bench::AccuracySubset::kOutageUnseen, "table7_unseen",
+      "Table 7 - accuracy for unseen outages");
+}

@@ -1,0 +1,130 @@
+// The paper's §2 story as a runnable narrative: a peering link gets
+// overwhelmed by a surge of enterprise traffic, and the congestion
+// mitigation system has to shift flows away with BGP withdrawals. Run once
+// with the pre-TIPSY blind policy and once guided by TIPSY predictions,
+// printing the hour-by-hour timeline of both.
+//
+//   ./examples/congestion_mitigation [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "cms/cms.h"
+#include "scenario/experiment.h"
+#include "util/table.h"
+
+using namespace tipsy;
+
+namespace {
+
+void RunTimeline(scenario::Scenario& world, const core::TipsyService* tipsy,
+                 bool use_tipsy, util::HourRange hours,
+                 std::uint32_t victim) {
+  world.ResetAdvertisements();
+  cms::CmsConfig config;
+  config.use_tipsy = use_tipsy;
+  cms::CongestionMitigationSystem cms(&world, tipsy, config);
+
+  std::cout << "\n--- " << (use_tipsy ? "TIPSY-guided CMS" : "legacy CMS")
+            << " ---\n";
+  std::vector<pipeline::AggRow> hour_rows;
+  std::size_t printed_actions = 0;
+  world.SimulateHours(
+      hours,
+      [&](util::HourIndex, std::span<const pipeline::AggRow> rows) {
+        hour_rows.assign(rows.begin(), rows.end());
+      },
+      [&](util::HourIndex hour, std::span<const double> loads) {
+        const double cap = world.wan()
+                               .link(util::LinkId{victim})
+                               .CapacityBytesPerHour();
+        std::cout << util::FormatHour(hour) << "  victim at "
+                  << util::TextTable::Percent(loads[victim] / cap)
+                  << "% utilization";
+        // Any other link above the trigger?
+        for (std::uint32_t l = 0; l < loads.size(); ++l) {
+          if (l == victim) continue;
+          const double c =
+              world.wan().link(util::LinkId{l}).CapacityBytesPerHour();
+          if (c > 0.0 && loads[l] / c > 0.85) {
+            std::cout << "; link " << l << " ("
+                      << world.wan().link(util::LinkId{l}).router
+                      << ") congested at "
+                      << util::TextTable::Percent(loads[l] / c) << "%";
+          }
+        }
+        std::cout << "\n";
+        cms.ObserveHour(hour, loads, hour_rows);
+        for (; printed_actions < cms.actions().size(); ++printed_actions) {
+          const auto& action = cms.actions()[printed_actions];
+          std::cout << "      -> "
+                    << (action.reannounce ? "re-announce" : "withdraw")
+                    << " prefix " << action.prefix.value() << " at link "
+                    << action.link.value() << " ("
+                    << world.wan().link(action.link).router << ")\n";
+        }
+      });
+  std::cout << "summary: " << cms.events().size() << " congestion events, "
+            << cms.withdrawals_issued() << " withdrawals, "
+            << cms.unsafe_withdrawals_skipped()
+            << " unsafe withdrawals avoided\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto cfg = scenario::TinyScenarioConfig();
+  if (argc > 1) {
+    cfg.seed = cfg.topology.seed = std::strtoull(argv[1], nullptr, 10);
+    cfg.traffic.seed = cfg.seed + 1;
+    cfg.outages.seed = cfg.seed + 2;
+  }
+  cfg.traffic.flow_target = 2000;
+  cfg.horizon = util::HourRange{0, 28 * util::kHoursPerDay};
+  cfg.target_p99_utilization = 0.7;
+  scenario::Scenario world(cfg);
+
+  std::cout << "Training TIPSY on three weeks of telemetry...\n";
+  const auto windows = scenario::PaperWindows();
+  auto experiment = scenario::RunExperiment(world, windows);
+
+  // Stage the incident: find the busiest not-yet-congested link and surge
+  // the flows that ingress it.
+  const auto start = windows.test.begin;
+  std::vector<double> loads(world.wan().link_count(), 0.0);
+  world.SimulateHours({start, start + 1}, nullptr,
+                      [&](util::HourIndex, std::span<const double> l) {
+                        loads.assign(l.begin(), l.end());
+                      });
+  std::uint32_t victim = 0;
+  double victim_util = 0.0;
+  for (std::uint32_t l = 0; l < loads.size(); ++l) {
+    const double cap =
+        world.wan().link(util::LinkId{l}).CapacityBytesPerHour();
+    if (cap <= 0.0) continue;
+    const double u = loads[l] / cap;
+    if (u > victim_util && u < 0.8) {
+      victim_util = u;
+      victim = l;
+    }
+  }
+  const auto& link = world.wan().link(util::LinkId{victim});
+  std::cout << "Incident: surge towards link " << victim << " @"
+            << link.router << " (peer AS " << link.peer_asn.value() << ", "
+            << link.capacity_gbps << "G)\n";
+  const double surge = 1.3 / std::max(victim_util, 0.05);
+  for (std::size_t f = 0; f < world.workload().flows().size(); ++f) {
+    for (const auto& share : world.ResolveFlow(f, start)) {
+      if (share.link.value() == victim && share.fraction > 0.2) {
+        world.mutable_workload().ScaleFlow(f, surge);
+        break;
+      }
+    }
+  }
+
+  const util::HourRange incident{start, start + 8};
+  RunTimeline(world, experiment.tipsy.get(), /*use_tipsy=*/false, incident,
+              victim);
+  RunTimeline(world, experiment.tipsy.get(), /*use_tipsy=*/true, incident,
+              victim);
+  return 0;
+}

@@ -1,0 +1,106 @@
+// TIPSY as an online service (§4): ingest the telemetry stream, retrain
+// daily on a rolling 21-day window, and track how the freshly-retrained
+// model's next-day accuracy compares to a stale model trained once -
+// the operational payoff of Appendix B's analysis.
+//
+//   ./examples/online_service [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/evaluator.h"
+#include "core/online.h"
+#include "scenario/scenario.h"
+#include "util/table.h"
+
+using namespace tipsy;
+
+int main(int argc, char** argv) {
+  auto cfg = scenario::TinyScenarioConfig();
+  if (argc > 1) {
+    cfg.seed = cfg.topology.seed = std::strtoull(argv[1], nullptr, 10);
+    cfg.traffic.seed = cfg.seed + 1;
+    cfg.outages.seed = cfg.seed + 2;
+  }
+  cfg.traffic.flow_target = 2000;
+  const int warmup_days = 14;
+  const int live_days = 10;
+  cfg.horizon = util::HourRange{
+      0, (warmup_days + live_days) * util::kHoursPerDay};
+  scenario::Scenario world(cfg);
+
+  core::DailyRetrainer retrainer(&world.wan(), &world.metros(),
+                                 /*window_days=*/14);
+  std::unique_ptr<core::TipsyService> stale;  // trained once after warmup
+
+  std::cout << "Warming up the online service on " << warmup_days
+            << " days of telemetry...\n";
+  world.SimulateHours(
+      {0, warmup_days * util::kHoursPerDay},
+      [&](util::HourIndex hour, std::span<const pipeline::AggRow> rows) {
+        retrainer.Ingest(hour, rows);
+      });
+  retrainer.Retrain();
+  // Freeze a copy-equivalent stale model from the same warmup data: the
+  // retrainer's current service at this moment.
+  std::cout << "retrains so far: " << retrainer.retrain_count() << "\n\n";
+
+  util::TextTable table({"Day", "Fresh model top-1 %", "Stale model top-1 %",
+                         "Fresh retrains"});
+  for (int day = 0; day < live_days; ++day) {
+    const util::HourIndex start =
+        (warmup_days + day) * util::kHoursPerDay;
+    if (stale == nullptr) {
+      // The stale model is whatever the service knew after warmup; keep
+      // using it for comparison without feeding it new data.
+      stale = std::make_unique<core::TipsyService>(&world.wan(),
+                                                   &world.metros());
+      // Rebuild from the retrainer's buffered window (same data).
+      // Simplest faithful approach: train on the warmup simulation again.
+      scenario::Scenario warmup_world(cfg);
+      warmup_world.SimulateHours(
+          {0, warmup_days * util::kHoursPerDay},
+          [&](util::HourIndex, std::span<const pipeline::AggRow> rows) {
+            stale->Train(rows);
+          });
+      stale->FinalizeTraining();
+    }
+
+    // Buffer the day's rows, evaluate the service as it stood at day
+    // start, THEN ingest (ingesting the first hour of a new day triggers
+    // a retrain and replaces the current service).
+    core::EvalSet eval;
+    std::vector<std::pair<util::HourIndex, std::vector<pipeline::AggRow>>>
+        day_rows;
+    world.SimulateHours(
+        {start, start + util::kHoursPerDay},
+        [&](util::HourIndex hour, std::span<const pipeline::AggRow> rows) {
+          for (const auto& row : rows) {
+            eval.AddObservation(
+                core::FlowFeatures{row.src_asn, row.src_prefix24,
+                                   row.src_metro, row.dest_region,
+                                   row.dest_service},
+                row.link, static_cast<double>(row.bytes));
+          }
+          day_rows.emplace_back(
+              hour, std::vector<pipeline::AggRow>(rows.begin(), rows.end()));
+        });
+    eval.Finalize();
+    const core::TipsyService* fresh = retrainer.current();
+    const auto fresh_accuracy =
+        core::EvaluateModel(*fresh->Find("Hist_AP/AL/A"), eval);
+    const auto stale_accuracy =
+        core::EvaluateModel(*stale->Find("Hist_AP/AL/A"), eval);
+    for (const auto& [hour, rows] : day_rows) {
+      retrainer.Ingest(hour, rows);
+    }
+    table.AddRow({std::to_string(warmup_days + day),
+                  util::TextTable::Percent(fresh_accuracy.top1()),
+                  util::TextTable::Percent(stale_accuracy.top1()),
+                  std::to_string(retrainer.retrain_count())});
+  }
+  table.Print(std::cout);
+  std::cout << "The stale model ages (Appendix B.2); daily retraining "
+               "holds accuracy steady, which is why TIPSY retrains every "
+               "day in production.\n";
+  return 0;
+}

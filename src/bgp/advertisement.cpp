@@ -1,0 +1,102 @@
+#include "bgp/advertisement.h"
+
+#include <atomic>
+#include <cassert>
+
+#include "util/hash.h"
+
+namespace tipsy::bgp {
+namespace {
+
+std::uint64_t NextInstanceId() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+AdvertisementState::AdvertisementState(std::size_t link_count,
+                                       std::size_t prefix_count)
+    : link_count_(link_count),
+      prefix_count_(prefix_count),
+      withdrawn_(link_count * prefix_count, false),
+      link_up_(link_count, true),
+      prefix_version_(prefix_count, 0),
+      instance_id_(NextInstanceId()) {}
+
+AdvertisementState::AdvertisementState(const AdvertisementState& other)
+    : link_count_(other.link_count_),
+      prefix_count_(other.prefix_count_),
+      withdrawn_(other.withdrawn_),
+      link_up_(other.link_up_),
+      prefix_version_(other.prefix_version_),
+      link_topology_version_(other.link_topology_version_),
+      instance_id_(NextInstanceId()) {}
+
+AdvertisementState& AdvertisementState::operator=(
+    const AdvertisementState& other) {
+  if (this == &other) return *this;
+  link_count_ = other.link_count_;
+  prefix_count_ = other.prefix_count_;
+  withdrawn_ = other.withdrawn_;
+  link_up_ = other.link_up_;
+  prefix_version_ = other.prefix_version_;
+  link_topology_version_ = other.link_topology_version_;
+  instance_id_ = NextInstanceId();
+  return *this;
+}
+
+bool AdvertisementState::IsAdvertised(LinkId link, PrefixId prefix) const {
+  return link_up_[link.value()] && !withdrawn_[Index(link, prefix)];
+}
+
+bool AdvertisementState::IsLinkUp(LinkId link) const {
+  return link_up_[link.value()];
+}
+
+bool AdvertisementState::IsWithdrawn(LinkId link, PrefixId prefix) const {
+  return withdrawn_[Index(link, prefix)];
+}
+
+void AdvertisementState::Withdraw(PrefixId prefix, LinkId link) {
+  auto ref = withdrawn_[Index(link, prefix)];
+  if (!ref) {
+    withdrawn_[Index(link, prefix)] = true;
+    ++prefix_version_[prefix.value()];
+  }
+}
+
+void AdvertisementState::Announce(PrefixId prefix, LinkId link) {
+  if (withdrawn_[Index(link, prefix)]) {
+    withdrawn_[Index(link, prefix)] = false;
+    ++prefix_version_[prefix.value()];
+  }
+}
+
+void AdvertisementState::SetLinkUp(LinkId link, bool up) {
+  if (link_up_[link.value()] != up) {
+    link_up_[link.value()] = up;
+    ++link_topology_version_;
+  }
+}
+
+std::uint64_t AdvertisementState::PrefixVersion(PrefixId prefix) const {
+  // Mix the instance identity in so versions never alias across states.
+  return util::HashCombine(
+      util::HashCombine(instance_id_, link_topology_version_),
+      prefix_version_[prefix.value()]);
+}
+
+std::size_t AdvertisementState::down_link_count() const {
+  std::size_t n = 0;
+  for (bool up : link_up_) n += up ? 0 : 1;
+  return n;
+}
+
+std::size_t AdvertisementState::withdrawn_pair_count() const {
+  std::size_t n = 0;
+  for (bool w : withdrawn_) n += w ? 1 : 0;
+  return n;
+}
+
+}  // namespace tipsy::bgp

@@ -1,0 +1,70 @@
+// Advertisement state of the WAN's anycast prefixes on its peering links.
+//
+// The WAN advertises every prefix on every peering link by default (BGP
+// anycast, §2). Two things perturb that: selective per-link prefix
+// withdrawals injected by the congestion mitigation system, and peering
+// link outages, which behave like a withdrawal of *all* prefixes on the
+// link (§1, §5.1.1). Versions let the routing engine cache per-prefix
+// computations and invalidate them precisely.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/ids.h"
+
+namespace tipsy::bgp {
+
+using util::LinkId;
+using util::PrefixId;
+
+class AdvertisementState {
+ public:
+  AdvertisementState(std::size_t link_count, std::size_t prefix_count);
+
+  // Copies get a fresh identity: the routing engine keys its cache on
+  // (identity, version), and a copied state can diverge from the original.
+  AdvertisementState(const AdvertisementState& other);
+  AdvertisementState& operator=(const AdvertisementState& other);
+  AdvertisementState(AdvertisementState&&) = default;
+  AdvertisementState& operator=(AdvertisementState&&) = default;
+
+  [[nodiscard]] std::size_t link_count() const { return link_count_; }
+  [[nodiscard]] std::size_t prefix_count() const { return prefix_count_; }
+
+  // True when the link is up AND the prefix is currently announced on it.
+  [[nodiscard]] bool IsAdvertised(LinkId link, PrefixId prefix) const;
+  [[nodiscard]] bool IsLinkUp(LinkId link) const;
+  [[nodiscard]] bool IsWithdrawn(LinkId link, PrefixId prefix) const;
+
+  // CMS-style selective withdrawal / re-announcement.
+  void Withdraw(PrefixId prefix, LinkId link);
+  void Announce(PrefixId prefix, LinkId link);
+
+  // Outage handling: a down link advertises nothing.
+  void SetLinkUp(LinkId link, bool up);
+
+  // Version of everything affecting routing for `prefix`, globally unique
+  // across state instances (safe as a cache key).
+  [[nodiscard]] std::uint64_t PrefixVersion(PrefixId prefix) const;
+
+  // Number of links currently down / withdrawn pairs (for reporting).
+  [[nodiscard]] std::size_t down_link_count() const;
+  [[nodiscard]] std::size_t withdrawn_pair_count() const;
+
+ private:
+  [[nodiscard]] std::size_t Index(LinkId link, PrefixId prefix) const {
+    return static_cast<std::size_t>(link.value()) * prefix_count_ +
+           prefix.value();
+  }
+
+  std::size_t link_count_;
+  std::size_t prefix_count_;
+  std::vector<bool> withdrawn_;
+  std::vector<bool> link_up_;
+  std::vector<std::uint64_t> prefix_version_;
+  std::uint64_t link_topology_version_ = 0;
+  std::uint64_t instance_id_ = 0;
+};
+
+}  // namespace tipsy::bgp

@@ -1,0 +1,219 @@
+#include "cms/cms.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/hash.h"
+#include "util/rng.h"
+
+namespace tipsy::cms {
+
+CongestionMitigationSystem::CongestionMitigationSystem(
+    scenario::Scenario* scenario, const core::TipsyService* tipsy,
+    CmsConfig config)
+    : scenario_(scenario), tipsy_(tipsy), config_(config) {
+  assert(scenario_ != nullptr);
+  assert(!config_.use_tipsy || tipsy_ != nullptr);
+}
+
+int CongestionMitigationSystem::SustainedMinutesAbove(
+    LinkId link, HourIndex hour, double hourly_utilization) const {
+  // Deterministic minute series: lognormal bursts around the hourly mean.
+  int longest = 0;
+  int run = 0;
+  for (int m = 0; m < 60; ++m) {
+    const std::uint64_t key =
+        util::HashAll(config_.seed, link.value(),
+                      static_cast<std::uint64_t>(hour), m);
+    util::Rng rng(key);
+    const double factor =
+        rng.NextLogNormal(-0.5 * config_.minute_noise_sigma *
+                              config_.minute_noise_sigma,
+                          config_.minute_noise_sigma);
+    const double minute_util = hourly_utilization * factor;
+    if (minute_util >= config_.trigger_utilization) {
+      ++run;
+      longest = std::max(longest, run);
+    } else {
+      run = 0;
+    }
+  }
+  return longest;
+}
+
+void CongestionMitigationSystem::ObserveHour(
+    HourIndex hour, std::span<const double> link_loads,
+    std::span<const pipeline::AggRow> rows) {
+  const auto& wan = scenario_->wan();
+  assert(link_loads.size() == wan.link_count());
+  MaybeReannounce(hour, link_loads);
+  for (std::uint32_t l = 0; l < wan.link_count(); ++l) {
+    const LinkId link{l};
+    const double cap = wan.link(link).CapacityBytesPerHour();
+    if (cap <= 0.0) continue;
+    const double utilization = link_loads[l] / cap;
+    if (utilization < config_.trigger_utilization * 0.8) continue;
+    const int sustained = SustainedMinutesAbove(link, hour, utilization);
+    if (sustained < config_.trigger_minutes) continue;
+    events_.push_back(CongestionEvent{hour, link, utilization, sustained});
+    HandleCongestion(hour, link, link_loads, rows);
+  }
+}
+
+void CongestionMitigationSystem::HandleCongestion(
+    HourIndex hour, LinkId link, std::span<const double> link_loads,
+    std::span<const pipeline::AggRow> rows) {
+  const auto& wan = scenario_->wan();
+  auto& state = scenario_->advertisement();
+  const double cap = wan.link(link).CapacityBytesPerHour();
+  const double current = link_loads[link.value()];
+  double to_shed = current - config_.target_utilization * cap;
+  if (to_shed <= 0.0) return;
+
+  // Bytes and flows per destination prefix on the congested link.
+  struct PrefixLoad {
+    double bytes = 0.0;
+    std::vector<core::TipsyService::ShiftQueryFlow> flows;
+  };
+  std::unordered_map<std::uint32_t, PrefixLoad> by_prefix;
+  for (const auto& row : rows) {
+    if (row.link != link) continue;
+    if (!state.IsAdvertised(link, row.dest_prefix)) continue;
+    auto& load = by_prefix[row.dest_prefix.value()];
+    load.bytes += static_cast<double>(row.bytes);
+    load.flows.push_back(core::TipsyService::ShiftQueryFlow{
+        core::FlowFeatures{row.src_asn, row.src_prefix24, row.src_metro,
+                           row.dest_region, row.dest_service},
+        static_cast<double>(row.bytes)});
+  }
+  // Fewest prefixes first: biggest movers in front (§4.4).
+  std::vector<std::pair<std::uint32_t, const PrefixLoad*>> candidates;
+  candidates.reserve(by_prefix.size());
+  for (const auto& [prefix, load] : by_prefix) {
+    candidates.emplace_back(prefix, &load);
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second->bytes != b.second->bytes) {
+                return a.second->bytes > b.second->bytes;
+              }
+              return a.first < b.first;
+            });
+
+  // Projected extra load on other links from withdrawals made in this
+  // decision round.
+  std::vector<double> projected(link_loads.begin(), link_loads.end());
+
+  bool issued_any = false;
+  std::size_t issued_count = 0;
+  for (const auto& [prefix_value, load] : candidates) {
+    if (to_shed <= 0.0) break;
+    if (issued_count >= config_.max_withdrawals_per_event) break;
+    const PrefixId prefix{prefix_value};
+    double predicted_shift = 0.0;
+    std::vector<LinkId> withdraw_at{link};
+    if (config_.use_tipsy) {
+      // Excluded choices: this link, links already withdrawn for this
+      // prefix, and links currently down. When a predicted destination
+      // would overload, add it to the simultaneous-withdrawal set and
+      // re-predict - the §2 lesson: withdraw at I1..I4 at once instead of
+      // chasing the cascade.
+      core::ExclusionMask excluded(wan.link_count(), false);
+      excluded[link.value()] = true;
+      for (std::uint32_t l2 = 0; l2 < wan.link_count(); ++l2) {
+        if (!state.IsAdvertised(LinkId{l2}, prefix)) excluded[l2] = true;
+      }
+      bool safe = false;
+      for (int depth = 0; depth < 4 && !safe; ++depth) {
+        // Conservative check: each flow lands entirely on its most likely
+        // link (top-3 probabilities under-state concentration).
+        const auto worst_case =
+            tipsy_->PredictShift(load->flows, excluded, 1);
+        safe = true;
+        for (const auto& [dest, bytes] : worst_case.shifted) {
+          const double dest_cap = wan.link(dest).CapacityBytesPerHour();
+          if (dest_cap <= 0.0) continue;
+          if ((projected[dest.value()] + bytes) / dest_cap >
+              config_.safety_headroom) {
+            safe = false;
+            excluded[dest.value()] = true;
+            withdraw_at.push_back(dest);
+          }
+        }
+      }
+      if (!safe) {
+        ++unsafe_skipped_;
+        continue;  // try an alternative prefix instead
+      }
+      const auto shift = tipsy_->PredictShift(load->flows, excluded,
+                                              config_.prediction_k);
+      for (const auto& [dest, bytes] : shift.shifted) {
+        projected[dest.value()] += bytes;
+        predicted_shift += bytes;
+      }
+    }
+    for (LinkId at : withdraw_at) {
+      state.Withdraw(prefix, at);
+      scenario_->mutable_bmp().Record(telemetry::BmpMessage{
+          hour, at, prefix, telemetry::BmpEventType::kWithdraw});
+      actions_.push_back(WithdrawalAction{
+          hour, prefix, at, at == link ? predicted_shift : 0.0, false});
+      active_.push_back(ActiveWithdrawal{prefix, at, 0});
+    }
+    to_shed -= load->bytes;
+    issued_any = true;
+    ++issued_count;
+  }
+
+  // If every candidate was deemed unsafe, the link would melt while we
+  // stand by. Revert to the pre-TIPSY behaviour for the biggest prefix
+  // (§6: "CMS has no choice but to revert back to its original
+  // behavior").
+  if (!issued_any && !candidates.empty() && config_.use_tipsy) {
+    const PrefixId prefix{candidates.front().first};
+    state.Withdraw(prefix, link);
+    scenario_->mutable_bmp().Record(telemetry::BmpMessage{
+        hour, link, prefix, telemetry::BmpEventType::kWithdraw});
+    actions_.push_back(WithdrawalAction{hour, prefix, link, 0.0, false});
+    active_.push_back(ActiveWithdrawal{prefix, link, 0});
+  }
+}
+
+void CongestionMitigationSystem::MaybeReannounce(
+    HourIndex hour, std::span<const double> link_loads) {
+  const auto& wan = scenario_->wan();
+  auto& state = scenario_->advertisement();
+  for (auto it = active_.begin(); it != active_.end();) {
+    const double cap = wan.link(it->link).CapacityBytesPerHour();
+    const double utilization =
+        cap > 0.0 ? link_loads[it->link.value()] / cap : 0.0;
+    if (utilization < config_.reannounce_utilization &&
+        state.IsLinkUp(it->link)) {
+      ++it->quiet_hours;
+    } else {
+      it->quiet_hours = 0;
+    }
+    if (it->quiet_hours >= config_.reannounce_quiet_hours) {
+      state.Announce(it->prefix, it->link);
+      scenario_->mutable_bmp().Record(telemetry::BmpMessage{
+          hour, it->link, it->prefix, telemetry::BmpEventType::kAnnounce});
+      actions_.push_back(
+          WithdrawalAction{hour, it->prefix, it->link, 0.0, true});
+      it = active_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::size_t CongestionMitigationSystem::withdrawals_issued() const {
+  std::size_t n = 0;
+  for (const auto& action : actions_) {
+    if (!action.reannounce) ++n;
+  }
+  return n;
+}
+
+}  // namespace tipsy::cms

@@ -1,0 +1,115 @@
+// Congestion Mitigation System (§4.4).
+//
+// CMS watches ingress utilization on every peering link. When a link
+// sustains more than 85% utilization for at least 4 minutes, it picks the
+// fewest top destination prefixes whose withdrawal would bring the link
+// back to an acceptable level, asks TIPSY where each prefix's traffic would
+// land, and only injects the BGP withdrawal when every predicted
+// destination link stays under a safety headroom. Once the link has cooled
+// down, the prefixes are re-announced. A legacy mode reproduces the
+// pre-TIPSY behaviour - withdraw blindly and chase the resulting cascade -
+// which is what the §2 incident bench compares against.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/tipsy_service.h"
+#include "pipeline/aggregate.h"
+#include "scenario/scenario.h"
+#include "util/sim_time.h"
+
+namespace tipsy::cms {
+
+using util::HourIndex;
+using util::LinkId;
+using util::PrefixId;
+
+struct CmsConfig {
+  double trigger_utilization = 0.85;  // fraction of capacity
+  int trigger_minutes = 4;            // sustained minutes above trigger
+  double target_utilization = 0.70;   // shed load until projected below
+  // Projected destination links must stay under this. Deliberately below
+  // the trigger: predictions are approximate and destination links carry
+  // their own diurnal growth, so shifting onto anything close to the
+  // trigger would just move the congestion (§2's cascade).
+  double safety_headroom = 0.80;
+  double reannounce_utilization = 0.50;
+  int reannounce_quiet_hours = 2;
+  std::size_t prediction_k = 3;
+  // Cap on prefixes withdrawn per congestion event (bounds BGP churn and
+  // neighbors' table-update load, §4.4's convergence trade-off).
+  std::size_t max_withdrawals_per_event = 6;
+  // Minute-level burstiness around the hourly mean (lognormal sigma).
+  double minute_noise_sigma = 0.15;
+  // false = legacy mode: no TIPSY safety check, withdraw blindly.
+  bool use_tipsy = true;
+  std::uint64_t seed = 0xc35;
+};
+
+struct CongestionEvent {
+  HourIndex hour;
+  LinkId link;
+  double utilization;       // hourly average at detection
+  int sustained_minutes;    // longest run above the trigger
+};
+
+struct WithdrawalAction {
+  HourIndex hour;
+  PrefixId prefix;
+  LinkId link;
+  double predicted_shift_bytes = 0.0;  // bytes TIPSY expected to move
+  bool reannounce = false;             // true when this is the re-announce
+};
+
+class CongestionMitigationSystem {
+ public:
+  // `scenario` is mutated: withdrawals are injected into its advertisement
+  // state. `tipsy` may be null only in legacy mode.
+  CongestionMitigationSystem(scenario::Scenario* scenario,
+                             const core::TipsyService* tipsy,
+                             CmsConfig config);
+
+  // Feed one simulated hour: ground-truth link loads (bytes) plus the
+  // hour's aggregated flow rows. Call in hour order.
+  void ObserveHour(HourIndex hour, std::span<const double> link_loads,
+                   std::span<const pipeline::AggRow> rows);
+
+  [[nodiscard]] const std::vector<CongestionEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] const std::vector<WithdrawalAction>& actions() const {
+    return actions_;
+  }
+  [[nodiscard]] std::size_t withdrawals_issued() const;
+  [[nodiscard]] std::size_t unsafe_withdrawals_skipped() const {
+    return unsafe_skipped_;
+  }
+
+  // Longest run of minutes above the trigger for the given hourly
+  // utilization (exposed for tests of the 4-minute rule).
+  [[nodiscard]] int SustainedMinutesAbove(LinkId link, HourIndex hour,
+                                          double hourly_utilization) const;
+
+ private:
+  void HandleCongestion(HourIndex hour, LinkId link,
+                        std::span<const double> link_loads,
+                        std::span<const pipeline::AggRow> rows);
+  void MaybeReannounce(HourIndex hour, std::span<const double> link_loads);
+
+  scenario::Scenario* scenario_;
+  const core::TipsyService* tipsy_;
+  CmsConfig config_;
+  std::vector<CongestionEvent> events_;
+  std::vector<WithdrawalAction> actions_;
+  std::size_t unsafe_skipped_ = 0;
+
+  struct ActiveWithdrawal {
+    PrefixId prefix;
+    LinkId link;
+    int quiet_hours = 0;
+  };
+  std::vector<ActiveWithdrawal> active_;
+};
+
+}  // namespace tipsy::cms

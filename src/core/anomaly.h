@@ -1,0 +1,67 @@
+// Suspicious ingress detection (§8).
+//
+// "We have started to use TIPSY to identify suspicious ingress traffic,
+// where it is exceedingly unlikely that a flow would arrive on a peering
+// link. For example, we have identified traffic supposedly from US
+// national labs on peering links in countries far away from the US.
+// Operators could send such spoofed traffic through DoS scrubbers."
+//
+// The detector asks the model for a deep ranking of plausible ingress
+// links for the flow's tuple and flags observations whose link carries
+// (nearly) zero historical probability. Flows the model has never seen are
+// not flagged - there is no basis for suspicion.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/model.h"
+
+namespace tipsy::core {
+
+struct AnomalyConfig {
+  // Depth of the plausibility ranking to consult.
+  std::size_t ranking_depth = 16;
+  // An observed link with modelled probability below this is suspicious.
+  double min_probability = 0.002;
+  // Ignore observations below this volume (stray sampled packets).
+  double min_bytes = 0.0;
+};
+
+struct SuspicionVerdict {
+  bool suspicious = false;
+  // Modelled probability of the observed link for this flow (0 when the
+  // link is not in the ranking at all).
+  double plausibility = 0.0;
+  // False when the model has no ranking for the flow (no verdict).
+  bool known_flow = false;
+};
+
+struct FlaggedObservation {
+  FlowFeatures flow;
+  LinkId link;
+  double bytes = 0.0;
+  double plausibility = 0.0;
+};
+
+class SuspiciousIngressDetector {
+ public:
+  // `model` is borrowed and must outlive the detector.
+  SuspiciousIngressDetector(const Model* model, AnomalyConfig config = {});
+
+  [[nodiscard]] SuspicionVerdict Check(const FlowFeatures& flow,
+                                       LinkId link) const;
+
+  // Scans a batch of aggregated observations and returns the flagged
+  // ones, largest byte volumes first.
+  [[nodiscard]] std::vector<FlaggedObservation> Scan(
+      std::span<const pipeline::AggRow> rows) const;
+
+  [[nodiscard]] const AnomalyConfig& config() const { return config_; }
+
+ private:
+  const Model* model_;
+  AnomalyConfig config_;
+};
+
+}  // namespace tipsy::core

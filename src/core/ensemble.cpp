@@ -1,0 +1,36 @@
+#include "core/ensemble.h"
+
+#include <cassert>
+
+namespace tipsy::core {
+
+SequentialEnsemble::SequentialEnsemble(std::vector<const Model*> stages,
+                                       std::string label)
+    : stages_(std::move(stages)), label_(std::move(label)) {
+  assert(!stages_.empty());
+}
+
+std::vector<Prediction> SequentialEnsemble::Predict(
+    const FlowFeatures& flow, std::size_t k,
+    const ExclusionMask* excluded) const {
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    auto predictions = stages_[i]->Predict(flow, k, excluded);
+    if (!predictions.empty()) {
+      last_stage_ = static_cast<int>(i);
+      return predictions;
+    }
+  }
+  last_stage_ = -1;
+  return {};
+}
+
+std::size_t SequentialEnsemble::MemoryFootprintBytes() const {
+  // The ensemble's cost is the sum of its components (§4.3).
+  std::size_t bytes = 0;
+  for (const Model* stage : stages_) {
+    bytes += stage->MemoryFootprintBytes();
+  }
+  return bytes;
+}
+
+}  // namespace tipsy::core

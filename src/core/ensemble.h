@@ -1,0 +1,39 @@
+// Sequential model ensembles (§3.3.1).
+//
+// A/B means: answer with model A unless it has no prediction for the flow,
+// then fall through to B. The paper composes Hist_AP / Hist_AL / Hist_A so
+// the most specific (most accurate) model answers first and the less
+// specific ones contribute transfer learning for unseen tuples. Sequential
+// composition, not voting, is deliberate (§3.3.1).
+#pragma once
+
+#include <vector>
+
+#include "core/model.h"
+
+namespace tipsy::core {
+
+class SequentialEnsemble : public Model {
+ public:
+  // `stages` are borrowed; they must outlive the ensemble. `label` names
+  // the composition, e.g. "Hist_AP/AL/A".
+  SequentialEnsemble(std::vector<const Model*> stages, std::string label);
+
+  [[nodiscard]] std::vector<Prediction> Predict(
+      const FlowFeatures& flow, std::size_t k,
+      const ExclusionMask* excluded) const override;
+
+  [[nodiscard]] std::string name() const override { return label_; }
+  [[nodiscard]] std::size_t MemoryFootprintBytes() const override;
+
+  // Which stage answered the last query (-1 if none); cheap diagnostics
+  // for the fall-through statistics in tests.
+  [[nodiscard]] int last_stage() const { return last_stage_; }
+
+ private:
+  std::vector<const Model*> stages_;
+  std::string label_;
+  mutable int last_stage_ = -1;
+};
+
+}  // namespace tipsy::core

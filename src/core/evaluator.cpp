@@ -1,0 +1,149 @@
+#include "core/evaluator.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tipsy::core {
+namespace {
+
+std::uint64_t MaskContentHash(const ExclusionMask& mask) {
+  std::uint64_t h = 0x6d61736bULL;
+  for (std::size_t i = 0; i < mask.size(); ++i) {
+    if (mask[i]) h = util::HashCombine(h, i);
+  }
+  return util::HashCombine(h, mask.size());
+}
+
+// Synthesizes a training row from an evaluation observation, so the oracle
+// can reuse the historical model machinery.
+pipeline::AggRow RowFromCase(const FlowFeatures& flow, LinkId link,
+                             double bytes) {
+  pipeline::AggRow row;
+  row.hour = 0;
+  row.link = link;
+  row.src_asn = flow.src_asn;
+  row.src_prefix24 = flow.src_prefix24;
+  row.src_metro = flow.src_metro;
+  row.dest_region = flow.dest_region;
+  row.dest_service = flow.dest_service;
+  row.bytes = static_cast<std::uint64_t>(bytes);
+  return row;
+}
+
+}  // namespace
+
+EvalSet::EvalSet() {
+  masks_.emplace_back();  // id 0: no exclusions
+}
+
+std::uint32_t EvalSet::InternMask(const ExclusionMask& mask) {
+  const bool any = std::any_of(mask.begin(), mask.end(),
+                               [](bool b) { return b; });
+  if (!any) return 0;
+  const std::uint64_t h = MaskContentHash(mask);
+  const auto it = mask_index_.find(h);
+  if (it != mask_index_.end()) {
+    // Hash collision between distinct masks is possible in principle;
+    // verify content.
+    if (masks_[it->second] == mask) return it->second;
+  }
+  masks_.push_back(mask);
+  const auto id = static_cast<std::uint32_t>(masks_.size() - 1);
+  mask_index_[h] = id;
+  return id;
+}
+
+void EvalSet::AddObservation(const FlowFeatures& flow, LinkId link,
+                             double bytes, std::uint32_t mask_id) {
+  assert(!finalized_);
+  assert(mask_id < masks_.size());
+  if (bytes <= 0.0) return;
+  const CaseKey key{flow, mask_id};
+  auto [it, inserted] = index_.try_emplace(key, cases_.size());
+  if (inserted) {
+    cases_.push_back(EvalCase{flow, {}, 0.0, mask_id});
+  }
+  EvalCase& ec = cases_[it->second];
+  ec.total_bytes += bytes;
+  total_bytes_ += bytes;
+  for (auto& [l, b] : ec.actual) {
+    if (l == link) {
+      b += bytes;
+      return;
+    }
+  }
+  ec.actual.emplace_back(link, bytes);
+}
+
+void EvalSet::Finalize() {
+  for (auto& ec : cases_) {
+    std::sort(ec.actual.begin(), ec.actual.end(),
+              [](const auto& a, const auto& b) {
+                if (a.second != b.second) return a.second > b.second;
+                return a.first < b.first;
+              });
+  }
+  finalized_ = true;
+}
+
+const ExclusionMask* EvalSet::mask(std::uint32_t id) const {
+  assert(id < masks_.size());
+  return id == 0 ? nullptr : &masks_[id];
+}
+
+namespace {
+
+double EvaluateModelAtK(const Model& model, const EvalSet& eval,
+                        std::size_t k) {
+  if (eval.total_bytes() <= 0.0) return 0.0;
+  double credited = 0.0;
+  for (const auto& ec : eval.cases()) {
+    const auto predictions = model.Predict(ec.flow, k, eval.mask(ec.mask_id));
+    for (const auto& p : predictions) {
+      for (const auto& [link, bytes] : ec.actual) {
+        if (link == p.link) {
+          credited += bytes;
+          break;
+        }
+      }
+    }
+  }
+  return credited / eval.total_bytes();
+}
+
+}  // namespace
+
+AccuracyResult EvaluateModel(const Model& model, const EvalSet& eval) {
+  AccuracyResult result;
+  for (std::size_t k = 1; k <= AccuracyResult::kMaxK; ++k) {
+    result.top[k - 1] = EvaluateModelAtK(model, eval, k);
+  }
+  return result;
+}
+
+HistoricalModel BuildOracle(FeatureSet feature_set, const EvalSet& eval) {
+  // The oracle may need to rank far more links per tuple than operational
+  // models retain, so keep a deep ranking.
+  HistoricalModel oracle(feature_set, /*max_links_per_tuple=*/4096);
+  for (const auto& ec : eval.cases()) {
+    for (const auto& [link, bytes] : ec.actual) {
+      oracle.Add(RowFromCase(ec.flow, link, bytes));
+    }
+  }
+  oracle.Finalize();
+  return oracle;
+}
+
+std::vector<double> OracleAccuracyByK(FeatureSet feature_set,
+                                      const EvalSet& eval,
+                                      std::size_t max_k) {
+  const HistoricalModel oracle = BuildOracle(feature_set, eval);
+  std::vector<double> out;
+  out.reserve(max_k);
+  for (std::size_t k = 1; k <= max_k; ++k) {
+    out.push_back(EvaluateModelAtK(oracle, eval, k));
+  }
+  return out;
+}
+
+}  // namespace tipsy::core

@@ -1,0 +1,91 @@
+// Byte-weighted top-k accuracy evaluation (§5.1.2).
+//
+// A flow's ground truth over an evaluation window is the distribution of
+// its bytes over the peering links it actually used. A model gets credit
+// for the bytes that arrived on the (at most k) links it predicted;
+// accuracy is credited bytes over all bytes. The oracle - a model trained
+// on the test data itself and limited to k answers - upper-bounds what any
+// predictor can achieve (Figure 5).
+#pragma once
+
+#include <array>
+#include <unordered_map>
+#include <vector>
+
+#include "core/historical.h"
+#include "core/model.h"
+
+namespace tipsy::core {
+
+struct EvalCase {
+  FlowFeatures flow;
+  // Bytes per link, unordered; filled by accumulation, then finalized.
+  std::vector<std::pair<LinkId, double>> actual;
+  double total_bytes = 0.0;
+  // Index into EvalSet::masks(); 0 means "no exclusions".
+  std::uint32_t mask_id = 0;
+};
+
+class EvalSet {
+ public:
+  EvalSet();
+
+  // Interns an exclusion mask; equal masks share an id. The empty mask is
+  // id 0.
+  std::uint32_t InternMask(const ExclusionMask& mask);
+
+  // Accumulates `bytes` of a flow observed on `link` under `mask_id`.
+  void AddObservation(const FlowFeatures& flow, LinkId link, double bytes,
+                      std::uint32_t mask_id = 0);
+
+  void Finalize();
+
+  [[nodiscard]] const std::vector<EvalCase>& cases() const { return cases_; }
+  [[nodiscard]] const ExclusionMask* mask(std::uint32_t id) const;
+  [[nodiscard]] double total_bytes() const { return total_bytes_; }
+  [[nodiscard]] bool empty() const { return cases_.empty(); }
+
+ private:
+  struct CaseKey {
+    FlowFeatures flow;
+    std::uint32_t mask_id;
+    bool operator==(const CaseKey&) const = default;
+  };
+  struct CaseKeyHash {
+    std::size_t operator()(const CaseKey& k) const {
+      return util::HashCombine(FlowFeaturesHash{}(k.flow), k.mask_id);
+    }
+  };
+
+  std::vector<EvalCase> cases_;
+  std::unordered_map<CaseKey, std::size_t, CaseKeyHash> index_;
+  std::vector<ExclusionMask> masks_;
+  std::unordered_map<std::uint64_t, std::uint32_t> mask_index_;
+  double total_bytes_ = 0.0;
+  bool finalized_ = false;
+};
+
+// Accuracy at k = 1..kMaxK as byte fractions in [0, 1].
+struct AccuracyResult {
+  static constexpr std::size_t kMaxK = 3;
+  std::array<double, kMaxK> top{};  // top[0] == top-1 accuracy
+
+  [[nodiscard]] double top1() const { return top[0]; }
+  [[nodiscard]] double top2() const { return top[1]; }
+  [[nodiscard]] double top3() const { return top[2]; }
+};
+
+[[nodiscard]] AccuracyResult EvaluateModel(const Model& model,
+                                           const EvalSet& eval);
+
+// Oracle with perfect knowledge of the evaluation data, reduced to the
+// given feature set and limited to k predictions per flow.
+[[nodiscard]] HistoricalModel BuildOracle(FeatureSet feature_set,
+                                          const EvalSet& eval);
+
+// Oracle accuracy as a function of k (Figure 5's curve), for k = 1..max_k.
+[[nodiscard]] std::vector<double> OracleAccuracyByK(FeatureSet feature_set,
+                                                    const EvalSet& eval,
+                                                    std::size_t max_k);
+
+}  // namespace tipsy::core

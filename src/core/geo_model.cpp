@@ -1,0 +1,50 @@
+#include "core/geo_model.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tipsy::core {
+
+GeoAugmentedModel::GeoAugmentedModel(const Model* base, const wan::Wan* wan,
+                                     const geo::MetroCatalogue* metros)
+    : base_(base), wan_(wan), metros_(metros) {
+  assert(base_ != nullptr && wan_ != nullptr && metros_ != nullptr);
+}
+
+std::vector<Prediction> GeoAugmentedModel::Predict(
+    const FlowFeatures& flow, std::size_t k,
+    const ExclusionMask* excluded) const {
+  auto predictions = base_->Predict(flow, k, excluded);
+  if (predictions.size() >= k) return predictions;
+
+  // Anchor on the best match ignoring exclusions: that is where the flow
+  // historically entered, and geography is measured from there.
+  const auto anchor = base_->Predict(flow, 1, nullptr);
+  if (anchor.empty()) return predictions;
+  const wan::PeeringLink& anchor_link = wan_->link(anchor.front().link);
+
+  const auto ranked = wan_->LinksOfAsnByDistance(
+      anchor_link.peer_asn, anchor_link.metro, *metros_, anchor_link.id);
+
+  // Residual probability mass to hand to the geographic guesses: whatever
+  // the base predictions left uncovered, split geometrically (closest
+  // alternative gets the most).
+  double covered = 0.0;
+  for (const auto& p : predictions) covered += p.probability;
+  double residual = std::max(0.05, 1.0 - covered);
+
+  auto already_predicted = [&](LinkId link) {
+    return std::any_of(
+        predictions.begin(), predictions.end(),
+        [&](const Prediction& p) { return p.link == link; });
+  };
+  for (LinkId link : ranked) {
+    if (predictions.size() >= k) break;
+    if (IsExcluded(excluded, link) || already_predicted(link)) continue;
+    residual *= 0.5;
+    predictions.push_back(Prediction{link, residual});
+  }
+  return predictions;
+}
+
+}  // namespace tipsy::core

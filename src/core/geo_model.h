@@ -1,0 +1,41 @@
+// Geographic-distance augmentation, Hist_{AL+G} (§3.3.1).
+//
+// When the base model knows fewer than k alternative ingress links for a
+// flow - common under unseen withdrawals - take the peer AS and ingress
+// metro of the base model's best match and append that AS'es other peering
+// interfaces ranked by geographic distance from it. This encodes hot-potato
+// routing: under an outage the traffic tends to show up at the peer's next
+// nearest interconnection, and the WAN knows the exact location of every
+// one of its peering links.
+#pragma once
+
+#include "core/model.h"
+#include "geo/geo.h"
+#include "wan/wan.h"
+
+namespace tipsy::core {
+
+class GeoAugmentedModel : public Model {
+ public:
+  // `base`, `wan`, and `metros` are borrowed and must outlive the model.
+  GeoAugmentedModel(const Model* base, const wan::Wan* wan,
+                    const geo::MetroCatalogue* metros);
+
+  [[nodiscard]] std::vector<Prediction> Predict(
+      const FlowFeatures& flow, std::size_t k,
+      const ExclusionMask* excluded) const override;
+
+  [[nodiscard]] std::string name() const override {
+    return base_->name() + "+G";
+  }
+  [[nodiscard]] std::size_t MemoryFootprintBytes() const override {
+    return base_->MemoryFootprintBytes();
+  }
+
+ private:
+  const Model* base_;
+  const wan::Wan* wan_;
+  const geo::MetroCatalogue* metros_;
+};
+
+}  // namespace tipsy::core

@@ -1,0 +1,137 @@
+#include "core/historical.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tipsy::core {
+
+HistoricalModel::HistoricalModel(FeatureSet feature_set,
+                                 std::size_t max_links_per_tuple,
+                                 bool weight_by_bytes)
+    : feature_set_(feature_set),
+      max_links_per_tuple_(max_links_per_tuple),
+      weight_by_bytes_(weight_by_bytes) {
+  assert(max_links_per_tuple_ >= 1);
+}
+
+void HistoricalModel::Add(const pipeline::AggRow& row) {
+  assert(!finalized_);
+  const FlowFeatures flow{row.src_asn, row.src_prefix24, row.src_metro,
+                          row.dest_region, row.dest_service};
+  if (!HasFeatures(feature_set_, flow)) return;
+  const double weight =
+      weight_by_bytes_ ? static_cast<double>(row.bytes) : 1.0;
+  Entry& entry = table_[MakeTupleKey(feature_set_, flow)];
+  entry.total_bytes += weight;
+  // Linear scan: the number of links per tuple is small in practice
+  // ("relatively very small", §4.3).
+  for (auto& lb : entry.ranked) {
+    if (lb.link == row.link) {
+      lb.bytes += weight;
+      return;
+    }
+  }
+  entry.ranked.push_back(LinkBytes{row.link, weight});
+}
+
+void HistoricalModel::Finalize() {
+  for (auto& [key, entry] : table_) {
+    std::sort(entry.ranked.begin(), entry.ranked.end(),
+              [](const LinkBytes& a, const LinkBytes& b) {
+                if (a.bytes != b.bytes) return a.bytes > b.bytes;
+                return a.link < b.link;
+              });
+    if (entry.ranked.size() > max_links_per_tuple_) {
+      entry.ranked.resize(max_links_per_tuple_);
+      entry.ranked.shrink_to_fit();
+    }
+  }
+  finalized_ = true;
+}
+
+std::vector<Prediction> HistoricalModel::Predict(
+    const FlowFeatures& flow, std::size_t k,
+    const ExclusionMask* excluded) const {
+  assert(finalized_);
+  std::vector<Prediction> out;
+  if (k == 0 || !HasFeatures(feature_set_, flow)) return out;
+  const auto it = table_.find(MakeTupleKey(feature_set_, flow));
+  if (it == table_.end()) return out;
+  const Entry& entry = it->second;
+  // Without exclusions, p(l|f) = B(f,l)/B(f). With exclusions the traffic
+  // must land somewhere else, so renormalize over the remaining choices.
+  double denominator = entry.total_bytes;
+  if (excluded != nullptr) {
+    denominator = 0.0;
+    for (const auto& lb : entry.ranked) {
+      if (!IsExcluded(excluded, lb.link)) denominator += lb.bytes;
+    }
+  }
+  if (denominator <= 0.0) return out;
+  for (const auto& lb : entry.ranked) {
+    if (IsExcluded(excluded, lb.link)) continue;
+    out.push_back(Prediction{lb.link, lb.bytes / denominator});
+    if (out.size() == k) break;
+  }
+  return out;
+}
+
+std::string HistoricalModel::name() const {
+  return std::string("Hist_") + ToString(feature_set_);
+}
+
+std::size_t HistoricalModel::MemoryFootprintBytes() const {
+  std::size_t bytes = table_.size() * (sizeof(TupleKey) + sizeof(Entry));
+  for (const auto& [key, entry] : table_) {
+    bytes += entry.ranked.capacity() * sizeof(LinkBytes);
+  }
+  return bytes;
+}
+
+bool HistoricalModel::Knows(const FlowFeatures& flow) const {
+  return HasFeatures(feature_set_, flow) &&
+         table_.contains(MakeTupleKey(feature_set_, flow));
+}
+
+std::vector<HistoricalModel::TupleExport> HistoricalModel::ExportTable()
+    const {
+  assert(finalized_);
+  std::vector<TupleExport> out;
+  out.reserve(table_.size());
+  for (const auto& [key, entry] : table_) {
+    TupleExport exported;
+    exported.key = key;
+    exported.total_bytes = entry.total_bytes;
+    exported.ranked.reserve(entry.ranked.size());
+    for (const auto& lb : entry.ranked) {
+      exported.ranked.emplace_back(lb.link, lb.bytes);
+    }
+    out.push_back(std::move(exported));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TupleExport& a, const TupleExport& b) {
+              if (a.key.hi != b.key.hi) return a.key.hi < b.key.hi;
+              return a.key.lo < b.key.lo;
+            });
+  return out;
+}
+
+HistoricalModel HistoricalModel::FromExport(
+    FeatureSet feature_set, std::size_t max_links_per_tuple,
+    bool weight_by_bytes, const std::vector<TupleExport>& table) {
+  HistoricalModel model(feature_set, max_links_per_tuple, weight_by_bytes);
+  for (const auto& exported : table) {
+    Entry entry;
+    entry.total_bytes = exported.total_bytes;
+    entry.ranked.reserve(exported.ranked.size());
+    for (const auto& [link, bytes] : exported.ranked) {
+      entry.ranked.push_back(LinkBytes{link, bytes});
+    }
+    model.table_.emplace(exported.key, std::move(entry));
+  }
+  // Exported tables were already ranked and truncated.
+  model.finalized_ = true;
+  return model;
+}
+
+}  // namespace tipsy::core

@@ -1,0 +1,84 @@
+// The Historical model (§3.3.1).
+//
+// Training is a single byte-weighted pass: group ingress bytes by (tuple,
+// link), then rank links per tuple. Prediction is a table lookup:
+// p(l|f) = B(f, l) / B(f), with the top-k links by probability returned.
+// Its known limitation - no transfer learning across tuples, no prediction
+// at all for unseen tuples - is what the ensembles and the geographic
+// augmentation compensate for.
+#pragma once
+
+#include <unordered_map>
+
+#include "core/model.h"
+
+namespace tipsy::core {
+
+class HistoricalModel : public Model {
+ public:
+  // `max_links_per_tuple` bounds the ranking kept after finalization; the
+  // paper keeps only the top-k links per tuple for scalability (§4.3).
+  // `weight_by_bytes=false` is the ablation of §3.3's sample weighting:
+  // every observation counts 1 instead of its byte volume.
+  explicit HistoricalModel(FeatureSet feature_set,
+                           std::size_t max_links_per_tuple = 16,
+                           bool weight_by_bytes = true);
+
+  // Streaming, byte-weighted training. Call Finalize() before predicting.
+  void Add(const pipeline::AggRow& row);
+  void Finalize();
+
+  [[nodiscard]] std::vector<Prediction> Predict(
+      const FlowFeatures& flow, std::size_t k,
+      const ExclusionMask* excluded) const override;
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::size_t MemoryFootprintBytes() const override;
+
+  [[nodiscard]] FeatureSet feature_set() const { return feature_set_; }
+  [[nodiscard]] std::size_t tuple_count() const { return table_.size(); }
+  [[nodiscard]] bool finalized() const { return finalized_; }
+
+  // Whether the model has any ranking for the flow's tuple (used by tests
+  // and by the fall-through logic diagnostics).
+  [[nodiscard]] bool Knows(const FlowFeatures& flow) const;
+
+  [[nodiscard]] std::size_t max_links_per_tuple() const {
+    return max_links_per_tuple_;
+  }
+  [[nodiscard]] bool weight_by_bytes() const { return weight_by_bytes_; }
+
+  // --- Persistence support: a plain-data view of the trained table.
+  struct TupleExport {
+    TupleKey key;
+    double total_bytes = 0.0;
+    std::vector<std::pair<LinkId, double>> ranked;
+  };
+  // Finalized models only; deterministic order (sorted by key).
+  [[nodiscard]] std::vector<TupleExport> ExportTable() const;
+  // Rebuilds a finalized model from an exported table.
+  static HistoricalModel FromExport(FeatureSet feature_set,
+                                    std::size_t max_links_per_tuple,
+                                    bool weight_by_bytes,
+                                    const std::vector<TupleExport>& table);
+
+ private:
+  struct LinkBytes {
+    LinkId link;
+    double bytes = 0.0;
+  };
+  // Per tuple: links ranked by training bytes (after Finalize), plus the
+  // tuple's total bytes for probability computation.
+  struct Entry {
+    std::vector<LinkBytes> ranked;
+    double total_bytes = 0.0;
+  };
+
+  FeatureSet feature_set_;
+  std::size_t max_links_per_tuple_;
+  bool weight_by_bytes_;
+  bool finalized_ = false;
+  std::unordered_map<TupleKey, Entry, TupleKeyHash> table_;
+};
+
+}  // namespace tipsy::core

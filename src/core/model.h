@@ -1,0 +1,54 @@
+// Model interface shared by historical, Naive Bayes, ensemble, geographic,
+// and oracle predictors.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/features.h"
+#include "pipeline/aggregate.h"
+#include "util/ids.h"
+
+namespace tipsy::core {
+
+using util::LinkId;
+
+// One predicted ingress link and the fraction of the flow's bytes expected
+// to arrive on it (§3.1: the probability value predicts what fraction of
+// the flow's bytes will arrive on that link).
+struct Prediction {
+  LinkId link;
+  double probability = 0.0;
+};
+
+// Optional per-query prior: links the model must not predict because they
+// are known to be unavailable (down, or the prefix was withdrawn there).
+// Indexed by LinkId value; nullptr means no exclusions.
+using ExclusionMask = std::vector<bool>;
+
+class Model {
+ public:
+  virtual ~Model() = default;
+
+  // Up to k predictions, most likely first, probabilities renormalized
+  // over the non-excluded choices. Empty when the model has no prediction
+  // for this flow (ensembles fall through on that).
+  [[nodiscard]] virtual std::vector<Prediction> Predict(
+      const FlowFeatures& flow, std::size_t k,
+      const ExclusionMask* excluded) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  // Approximate resident size, for the Table 3 / Table 11 cost analysis.
+  [[nodiscard]] virtual std::size_t MemoryFootprintBytes() const = 0;
+};
+
+// Convenience used by implementations.
+[[nodiscard]] inline bool IsExcluded(const ExclusionMask* excluded,
+                                     LinkId link) {
+  return excluded != nullptr && link.value() < excluded->size() &&
+         (*excluded)[link.value()];
+}
+
+}  // namespace tipsy::core

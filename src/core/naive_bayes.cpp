@@ -1,0 +1,112 @@
+#include "core/naive_bayes.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace tipsy::core {
+
+NaiveBayesModel::NaiveBayesModel(FeatureSet feature_set, double smoothing)
+    : feature_set_(feature_set), smoothing_(smoothing) {
+  assert(feature_set != FeatureSet::kAP &&
+         "NB_AP is not supported (Appendix A: model size exceeds limits)");
+  assert(smoothing_ > 0.0);
+}
+
+std::uint64_t NaiveBayesModel::DimValue(std::size_t d,
+                                        const FlowFeatures& flow) {
+  switch (d) {
+    case 0: return flow.src_asn.value();
+    case 1: return flow.dest_region.value();
+    case 2: return static_cast<std::uint64_t>(flow.dest_service);
+    case 3: return flow.src_metro.value();
+    default: return 0;
+  }
+}
+
+void NaiveBayesModel::Add(const pipeline::AggRow& row) {
+  assert(!finalized_);
+  const FlowFeatures flow{row.src_asn, row.src_prefix24, row.src_metro,
+                          row.dest_region, row.dest_service};
+  if (!HasFeatures(feature_set_, flow)) return;
+  const auto bytes = static_cast<double>(row.bytes);
+  total_bytes_ += bytes;
+  class_bytes_[row.link.value()] += bytes;
+  for (std::size_t d = 0; d < DimCount(); ++d) {
+    const std::uint64_t value = DimValue(d, flow);
+    cond_bytes_[CondKey{value, row.link.value(),
+                        static_cast<std::uint8_t>(d)}] += bytes;
+    seen_values_[d][value] = true;
+  }
+}
+
+void NaiveBayesModel::Finalize() { finalized_ = true; }
+
+std::vector<Prediction> NaiveBayesModel::Predict(
+    const FlowFeatures& flow, std::size_t k,
+    const ExclusionMask* excluded) const {
+  assert(finalized_);
+  std::vector<Prediction> out;
+  if (k == 0 || !HasFeatures(feature_set_, flow) || total_bytes_ <= 0.0) {
+    return out;
+  }
+  // NB can only reason about flows whose every feature value appeared in
+  // training (Appendix A).
+  for (std::size_t d = 0; d < DimCount(); ++d) {
+    if (!seen_values_[d].contains(DimValue(d, flow))) return out;
+  }
+
+  // Score every candidate class in log space.
+  std::vector<std::pair<double, std::uint32_t>> scores;
+  scores.reserve(class_bytes_.size());
+  for (const auto& [link_value, link_bytes] : class_bytes_) {
+    if (IsExcluded(excluded, LinkId{link_value})) continue;
+    double log_score = std::log(link_bytes / total_bytes_);
+    for (std::size_t d = 0; d < DimCount(); ++d) {
+      const auto it = cond_bytes_.find(CondKey{
+          DimValue(d, flow), link_value, static_cast<std::uint8_t>(d)});
+      const double numer =
+          (it != cond_bytes_.end() ? it->second : 0.0) + smoothing_;
+      const double denom =
+          link_bytes +
+          smoothing_ * static_cast<double>(seen_values_[d].size());
+      log_score += std::log(numer / denom);
+    }
+    scores.emplace_back(log_score, link_value);
+  }
+  if (scores.empty()) return out;
+  std::sort(scores.begin(), scores.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  if (scores.size() > k) scores.resize(k);
+
+  // Convert the top-k log scores to normalized probabilities.
+  const double max_log = scores.front().first;
+  double total = 0.0;
+  for (const auto& [log_score, link] : scores) {
+    total += std::exp(log_score - max_log);
+  }
+  out.reserve(scores.size());
+  for (const auto& [log_score, link] : scores) {
+    out.push_back(
+        Prediction{LinkId{link}, std::exp(log_score - max_log) / total});
+  }
+  return out;
+}
+
+std::string NaiveBayesModel::name() const {
+  return std::string("NB_") + ToString(feature_set_);
+}
+
+std::size_t NaiveBayesModel::MemoryFootprintBytes() const {
+  std::size_t bytes =
+      class_bytes_.size() * (sizeof(std::uint32_t) + sizeof(double));
+  bytes += cond_bytes_.size() * (sizeof(CondKey) + sizeof(double));
+  for (const auto& dim : seen_values_) {
+    bytes += dim.size() * (sizeof(std::uint64_t) + sizeof(bool));
+  }
+  return bytes;
+}
+
+}  // namespace tipsy::core

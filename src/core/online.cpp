@@ -1,0 +1,45 @@
+#include "core/online.h"
+
+#include <cassert>
+
+namespace tipsy::core {
+
+DailyRetrainer::DailyRetrainer(const wan::Wan* wan,
+                               const geo::MetroCatalogue* metros,
+                               int window_days, TipsyConfig config)
+    : wan_(wan), metros_(metros), window_days_(window_days),
+      config_(config) {
+  assert(window_days_ >= 1);
+}
+
+void DailyRetrainer::Ingest(util::HourIndex hour,
+                            std::span<const pipeline::AggRow> rows) {
+  const util::HourIndex day = util::DayIndex(hour);
+  assert(day >= last_day_ ||
+         last_day_ == std::numeric_limits<util::HourIndex>::min());
+  if (days_.empty() || days_.back().day != day) {
+    // A new day began: retrain on everything buffered so far (the just
+    // completed days), then open the new buffer.
+    if (!days_.empty() && day != last_day_) Retrain();
+    days_.push_back(DayBuffer{day, {}});
+    while (days_.size() > static_cast<std::size_t>(window_days_)) {
+      days_.pop_front();
+    }
+  }
+  last_day_ = day;
+  auto& buffer = days_.back().rows;
+  buffer.insert(buffer.end(), rows.begin(), rows.end());
+}
+
+const TipsyService* DailyRetrainer::Retrain() {
+  auto fresh = std::make_unique<TipsyService>(wan_, metros_, config_);
+  for (const auto& day : days_) {
+    fresh->Train(day.rows);
+  }
+  fresh->FinalizeTraining();
+  current_ = std::move(fresh);
+  ++retrain_count_;
+  return current_.get();
+}
+
+}  // namespace tipsy::core

@@ -1,0 +1,58 @@
+// Online operation: daily retraining over a rolling window (§4).
+//
+// "We designed TIPSY to run online as a prediction service and to retrain
+// its models daily" - with a 21-day training window (Appendix B.1) and a
+// 7-day validity horizon (Appendix B.2). DailyRetrainer buffers the
+// aggregated rows of recent days and rebuilds the model suite whenever a
+// simulated day completes, dropping days that have aged out.
+#pragma once
+
+#include <deque>
+#include <limits>
+#include <memory>
+#include <span>
+
+#include "core/tipsy_service.h"
+#include "util/sim_time.h"
+
+namespace tipsy::core {
+
+class DailyRetrainer {
+ public:
+  DailyRetrainer(const wan::Wan* wan, const geo::MetroCatalogue* metros,
+                 int window_days = 21, TipsyConfig config = {});
+
+  // Feed the hour's aggregated rows, in hour order. When a new day
+  // begins, the service is retrained on the trailing window
+  // automatically.
+  void Ingest(util::HourIndex hour, std::span<const pipeline::AggRow> rows);
+
+  // The latest trained service; nullptr until the first full day has been
+  // ingested. Stable between retrains.
+  [[nodiscard]] const TipsyService* current() const {
+    return current_.get();
+  }
+  // Force a retrain on whatever is buffered (e.g. at end of stream).
+  const TipsyService* Retrain();
+
+  [[nodiscard]] int window_days() const { return window_days_; }
+  [[nodiscard]] std::size_t buffered_days() const { return days_.size(); }
+  [[nodiscard]] std::size_t retrain_count() const { return retrain_count_; }
+
+ private:
+  struct DayBuffer {
+    util::HourIndex day = 0;
+    std::vector<pipeline::AggRow> rows;
+  };
+
+  const wan::Wan* wan_;
+  const geo::MetroCatalogue* metros_;
+  int window_days_;
+  TipsyConfig config_;
+  std::deque<DayBuffer> days_;
+  util::HourIndex last_day_ = std::numeric_limits<util::HourIndex>::min();
+  std::unique_ptr<TipsyService> current_;
+  std::size_t retrain_count_ = 0;
+};
+
+}  // namespace tipsy::core

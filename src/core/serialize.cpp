@@ -1,0 +1,114 @@
+#include "core/serialize.h"
+
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+namespace tipsy::core {
+namespace {
+
+constexpr char kModelMagic[8] = {'T', 'I', 'P', 'S', 'Y', 'H', 'M', '1'};
+constexpr char kBundleMagic[8] = {'T', 'I', 'P', 'S', 'Y', 'S', 'V', '1'};
+
+template <typename T>
+void Put(std::ostream& out, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+template <typename T>
+bool Get(std::istream& in, T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  in.read(reinterpret_cast<char*>(&value), sizeof(value));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+void SaveModel(const HistoricalModel& model, std::ostream& out) {
+  out.write(kModelMagic, sizeof(kModelMagic));
+  Put(out, static_cast<std::uint8_t>(model.feature_set()));
+  Put(out, static_cast<std::uint8_t>(model.weight_by_bytes() ? 1 : 0));
+  Put(out, static_cast<std::uint32_t>(model.max_links_per_tuple()));
+  const auto table = model.ExportTable();
+  Put(out, static_cast<std::uint64_t>(table.size()));
+  for (const auto& tuple : table) {
+    Put(out, tuple.key.hi);
+    Put(out, tuple.key.lo);
+    Put(out, tuple.total_bytes);
+    Put(out, static_cast<std::uint16_t>(tuple.ranked.size()));
+    for (const auto& [link, bytes] : tuple.ranked) {
+      Put(out, link.value());
+      Put(out, bytes);
+    }
+  }
+}
+
+std::optional<HistoricalModel> LoadModel(std::istream& in) {
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kModelMagic, sizeof(magic)) != 0) {
+    return std::nullopt;
+  }
+  std::uint8_t feature_set_raw = 0;
+  std::uint8_t weighted = 0;
+  std::uint32_t max_links = 0;
+  std::uint64_t tuple_count = 0;
+  if (!Get(in, feature_set_raw) || feature_set_raw > 2 ||
+      !Get(in, weighted) || !Get(in, max_links) || max_links == 0 ||
+      !Get(in, tuple_count)) {
+    return std::nullopt;
+  }
+  std::vector<HistoricalModel::TupleExport> table;
+  table.reserve(tuple_count);
+  for (std::uint64_t t = 0; t < tuple_count; ++t) {
+    HistoricalModel::TupleExport tuple;
+    std::uint16_t ranked_count = 0;
+    if (!Get(in, tuple.key.hi) || !Get(in, tuple.key.lo) ||
+        !Get(in, tuple.total_bytes) || !Get(in, ranked_count)) {
+      return std::nullopt;
+    }
+    tuple.ranked.reserve(ranked_count);
+    for (std::uint16_t r = 0; r < ranked_count; ++r) {
+      std::uint32_t link = 0;
+      double bytes = 0.0;
+      if (!Get(in, link) || !Get(in, bytes)) return std::nullopt;
+      tuple.ranked.emplace_back(util::LinkId{link}, bytes);
+    }
+    table.push_back(std::move(tuple));
+  }
+  return HistoricalModel::FromExport(
+      static_cast<FeatureSet>(feature_set_raw), max_links, weighted != 0,
+      table);
+}
+
+void SaveService(const TipsyService& service, std::ostream& out) {
+  out.write(kBundleMagic, sizeof(kBundleMagic));
+  for (auto fs : {FeatureSet::kA, FeatureSet::kAP, FeatureSet::kAL}) {
+    SaveModel(service.hist(fs), out);
+  }
+}
+
+std::unique_ptr<TipsyService> LoadService(std::istream& in,
+                                          const wan::Wan* wan,
+                                          const geo::MetroCatalogue* metros,
+                                          TipsyConfig config) {
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kBundleMagic, sizeof(magic)) != 0) {
+    return nullptr;
+  }
+  auto a = LoadModel(in);
+  auto ap = LoadModel(in);
+  auto al = LoadModel(in);
+  if (!a || !ap || !al || a->feature_set() != FeatureSet::kA ||
+      ap->feature_set() != FeatureSet::kAP ||
+      al->feature_set() != FeatureSet::kAL) {
+    return nullptr;
+  }
+  return TipsyService::FromTrainedModels(wan, metros, config,
+                                         std::move(*a), std::move(*ap),
+                                         std::move(*al));
+}
+
+}  // namespace tipsy::core

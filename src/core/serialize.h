@@ -1,0 +1,32 @@
+// Model persistence.
+//
+// TIPSY runs as a service that retrains daily (§4); operationally the
+// trained tables need to move between the training job and the serving
+// path, survive restarts, and be archived for post-incident analysis
+// (§2/§6 replay incidents against models "trained on data ending the day
+// before"). This is a compact, versioned binary format for the historical
+// models and the whole service bundle.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <optional>
+
+#include "core/historical.h"
+#include "core/tipsy_service.h"
+
+namespace tipsy::core {
+
+// --- Single historical model.
+void SaveModel(const HistoricalModel& model, std::ostream& out);
+// nullopt on format/version mismatch or truncated input.
+[[nodiscard]] std::optional<HistoricalModel> LoadModel(std::istream& in);
+
+// --- Whole service bundle (the three historical models; ensembles and
+// the geographic augmentation are reconstructed structurally).
+void SaveService(const TipsyService& service, std::ostream& out);
+[[nodiscard]] std::unique_ptr<TipsyService> LoadService(
+    std::istream& in, const wan::Wan* wan,
+    const geo::MetroCatalogue* metros, TipsyConfig config = {});
+
+}  // namespace tipsy::core

@@ -1,0 +1,145 @@
+#include "core/tipsy_service.h"
+
+#include <cassert>
+
+namespace tipsy::core {
+
+TipsyService::TipsyService(const wan::Wan* wan,
+                           const geo::MetroCatalogue* metros,
+                           TipsyConfig config)
+    : wan_(wan), metros_(metros), config_(config) {
+  hist_a_ = std::make_unique<HistoricalModel>(FeatureSet::kA,
+                                              config_.max_links_per_tuple);
+  hist_ap_ = std::make_unique<HistoricalModel>(FeatureSet::kAP,
+                                               config_.max_links_per_tuple);
+  hist_al_ = std::make_unique<HistoricalModel>(FeatureSet::kAL,
+                                               config_.max_links_per_tuple);
+  if (config_.train_naive_bayes) {
+    nb_a_ = std::make_unique<NaiveBayesModel>(FeatureSet::kA);
+    nb_al_ = std::make_unique<NaiveBayesModel>(FeatureSet::kAL);
+  }
+}
+
+void TipsyService::Train(std::span<const pipeline::AggRow> rows) {
+  assert(!finalized_);
+  for (const auto& row : rows) {
+    hist_a_->Add(row);
+    hist_ap_->Add(row);
+    hist_al_->Add(row);
+    if (nb_a_) nb_a_->Add(row);
+    if (nb_al_) nb_al_->Add(row);
+  }
+}
+
+void TipsyService::FinalizeTraining() {
+  assert(!finalized_);
+  hist_a_->Finalize();
+  hist_ap_->Finalize();
+  hist_al_->Finalize();
+  if (nb_a_) nb_a_->Finalize();
+  if (nb_al_) nb_al_->Finalize();
+  hist_al_g_ =
+      std::make_unique<GeoAugmentedModel>(hist_al_.get(), wan_, metros_);
+  hist_ap_al_a_ = std::make_unique<SequentialEnsemble>(
+      std::vector<const Model*>{hist_ap_.get(), hist_al_.get(),
+                                hist_a_.get()},
+      "Hist_AP/AL/A");
+  hist_al_ap_a_ = std::make_unique<SequentialEnsemble>(
+      std::vector<const Model*>{hist_al_.get(), hist_ap_.get(),
+                                hist_a_.get()},
+      "Hist_AL/AP/A");
+  if (nb_al_) {
+    hist_al_nb_al_ = std::make_unique<SequentialEnsemble>(
+        std::vector<const Model*>{hist_al_.get(), nb_al_.get()},
+        "Hist_AL/NB_AL");
+  }
+  finalized_ = true;
+}
+
+std::unique_ptr<TipsyService> TipsyService::FromTrainedModels(
+    const wan::Wan* wan, const geo::MetroCatalogue* metros,
+    TipsyConfig config, HistoricalModel a, HistoricalModel ap,
+    HistoricalModel al) {
+  assert(a.finalized() && ap.finalized() && al.finalized());
+  // No NB in a restored bundle: NB tables are cheap to retrain and are an
+  // evaluation baseline, not a production model.
+  config.train_naive_bayes = false;
+  auto service =
+      std::unique_ptr<TipsyService>(new TipsyService(wan, metros, config));
+  *service->hist_a_ = std::move(a);
+  *service->hist_ap_ = std::move(ap);
+  *service->hist_al_ = std::move(al);
+  service->hist_al_g_ = std::make_unique<GeoAugmentedModel>(
+      service->hist_al_.get(), wan, metros);
+  service->hist_ap_al_a_ = std::make_unique<SequentialEnsemble>(
+      std::vector<const Model*>{service->hist_ap_.get(),
+                                service->hist_al_.get(),
+                                service->hist_a_.get()},
+      "Hist_AP/AL/A");
+  service->hist_al_ap_a_ = std::make_unique<SequentialEnsemble>(
+      std::vector<const Model*>{service->hist_al_.get(),
+                                service->hist_ap_.get(),
+                                service->hist_a_.get()},
+      "Hist_AL/AP/A");
+  service->finalized_ = true;
+  return service;
+}
+
+const HistoricalModel& TipsyService::hist(FeatureSet fs) const {
+  switch (fs) {
+    case FeatureSet::kA: return *hist_a_;
+    case FeatureSet::kAP: return *hist_ap_;
+    case FeatureSet::kAL: return *hist_al_;
+  }
+  return *hist_a_;
+}
+
+const Model* TipsyService::Find(std::string_view name) const {
+  for (const Model* model : AllModels()) {
+    if (model->name() == name) return model;
+  }
+  return nullptr;
+}
+
+std::vector<const Model*> TipsyService::AllModels() const {
+  assert(finalized_);
+  std::vector<const Model*> out{hist_a_.get(),       hist_ap_.get(),
+                                hist_al_.get(),      hist_al_g_.get(),
+                                hist_ap_al_a_.get(), hist_al_ap_a_.get()};
+  if (nb_a_) out.push_back(nb_a_.get());
+  if (nb_al_) out.push_back(nb_al_.get());
+  if (hist_al_nb_al_) out.push_back(hist_al_nb_al_.get());
+  return out;
+}
+
+const Model& TipsyService::Best() const {
+  assert(finalized_);
+  return *hist_al_g_;
+}
+
+TipsyService::ShiftPrediction TipsyService::PredictShift(
+    std::span<const ShiftQueryFlow> flows, const ExclusionMask& excluded,
+    std::size_t k) const {
+  assert(finalized_);
+  ShiftPrediction out;
+  for (const auto& query : flows) {
+    const auto predictions = Best().Predict(query.flow, k, &excluded);
+    if (predictions.empty()) {
+      out.unpredicted_bytes += query.bytes;
+      continue;
+    }
+    double total_probability = 0.0;
+    for (const auto& p : predictions) total_probability += p.probability;
+    if (total_probability <= 0.0) {
+      out.unpredicted_bytes += query.bytes;
+      continue;
+    }
+    for (const auto& p : predictions) {
+      out.shifted[p.link] +=
+          query.bytes * (p.probability / total_probability);
+    }
+  }
+  return out;
+}
+
+}  // namespace tipsy::core

@@ -1,0 +1,92 @@
+// TIPSY as a service (§4): owns the trained model suite, exposes the model
+// registry used by the evaluation harness, and answers the congestion
+// mitigation system's "what-if" queries: if these flows are withdrawn from
+// these links, where do their bytes go?
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/ensemble.h"
+#include "core/geo_model.h"
+#include "core/historical.h"
+#include "core/naive_bayes.h"
+
+namespace tipsy::core {
+
+struct TipsyConfig {
+  std::size_t max_links_per_tuple = 16;
+  // Naive Bayes is an order of magnitude more expensive to query
+  // (Appendix A); train it only when an experiment needs it.
+  bool train_naive_bayes = false;
+};
+
+class TipsyService {
+ public:
+  TipsyService(const wan::Wan* wan, const geo::MetroCatalogue* metros,
+               TipsyConfig config = {});
+
+  // Single-pass, byte-weighted, streaming training. Feed any number of row
+  // batches, then finalize once.
+  void Train(std::span<const pipeline::AggRow> rows);
+  void FinalizeTraining();
+
+  // Assembles a service around already-trained (finalized) historical
+  // models - the deserialization path.
+  static std::unique_ptr<TipsyService> FromTrainedModels(
+      const wan::Wan* wan, const geo::MetroCatalogue* metros,
+      TipsyConfig config, HistoricalModel a, HistoricalModel ap,
+      HistoricalModel al);
+
+  // The three historical models (finalized service only); used by the
+  // persistence layer.
+  [[nodiscard]] const HistoricalModel& hist(FeatureSet fs) const;
+  [[nodiscard]] bool trained() const { return finalized_; }
+
+  // Registry: "Hist_A", "Hist_AP", "Hist_AL", "Hist_AL+G",
+  // "Hist_AP/AL/A", "Hist_AL/AP/A", plus "NB_A", "NB_AL", "Hist_AL/NB_AL"
+  // when Naive Bayes training is enabled. nullptr when unknown.
+  [[nodiscard]] const Model* Find(std::string_view name) const;
+  [[nodiscard]] std::vector<const Model*> AllModels() const;
+
+  // The production pick for withdrawal what-ifs: Hist_AL+G (§5.3.2).
+  [[nodiscard]] const Model& Best() const;
+
+  struct ShiftQueryFlow {
+    FlowFeatures flow;
+    double bytes = 0.0;
+  };
+  struct ShiftPrediction {
+    // Predicted additional bytes per destination link.
+    std::unordered_map<LinkId, double> shifted;
+    // Bytes of flows TIPSY had no prediction for.
+    double unpredicted_bytes = 0.0;
+  };
+  // Where the given flows will go once the links in `excluded` stop being
+  // valid ingress choices for them (§4.4). Uses Best() with top-k spread.
+  [[nodiscard]] ShiftPrediction PredictShift(
+      std::span<const ShiftQueryFlow> flows, const ExclusionMask& excluded,
+      std::size_t k = 3) const;
+
+ private:
+  const wan::Wan* wan_;
+  const geo::MetroCatalogue* metros_;
+  TipsyConfig config_;
+  bool finalized_ = false;
+
+  std::unique_ptr<HistoricalModel> hist_a_;
+  std::unique_ptr<HistoricalModel> hist_ap_;
+  std::unique_ptr<HistoricalModel> hist_al_;
+  std::unique_ptr<GeoAugmentedModel> hist_al_g_;
+  std::unique_ptr<SequentialEnsemble> hist_ap_al_a_;
+  std::unique_ptr<SequentialEnsemble> hist_al_ap_a_;
+  std::unique_ptr<NaiveBayesModel> nb_a_;
+  std::unique_ptr<NaiveBayesModel> nb_al_;
+  std::unique_ptr<SequentialEnsemble> hist_al_nb_al_;
+};
+
+}  // namespace tipsy::core

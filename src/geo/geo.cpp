@@ -1,0 +1,200 @@
+#include "geo/geo.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace tipsy::geo {
+namespace {
+
+constexpr double kEarthRadiusKm = 6371.0;
+
+double Deg2Rad(double deg) { return deg * std::numbers::pi / 180.0; }
+
+struct MetroSeed {
+  const char* name;
+  double lat;
+  double lon;
+  Continent continent;
+  double weight;
+};
+
+// Approximate coordinates and relative weights for a world metro set. The
+// weights are coarse (population x connectivity) and only need to induce a
+// plausible skew in where traffic and peering concentrate.
+constexpr MetroSeed kWorldMetros[] = {
+    {"NewYork", 40.71, -74.01, Continent::kNorthAmerica, 10.0},
+    {"Ashburn", 39.04, -77.49, Continent::kNorthAmerica, 9.5},
+    {"Chicago", 41.88, -87.63, Continent::kNorthAmerica, 7.5},
+    {"Dallas", 32.78, -96.80, Continent::kNorthAmerica, 7.0},
+    {"SanJose", 37.34, -121.89, Continent::kNorthAmerica, 9.0},
+    {"LosAngeles", 34.05, -118.24, Continent::kNorthAmerica, 8.0},
+    {"Seattle", 47.61, -122.33, Continent::kNorthAmerica, 6.5},
+    {"Atlanta", 33.75, -84.39, Continent::kNorthAmerica, 5.5},
+    {"Miami", 25.76, -80.19, Continent::kNorthAmerica, 5.0},
+    {"Toronto", 43.65, -79.38, Continent::kNorthAmerica, 4.5},
+    {"Denver", 39.74, -104.99, Continent::kNorthAmerica, 3.5},
+    {"Phoenix", 33.45, -112.07, Continent::kNorthAmerica, 3.0},
+    {"Boston", 42.36, -71.06, Continent::kNorthAmerica, 3.5},
+    {"Montreal", 45.50, -73.57, Continent::kNorthAmerica, 2.5},
+    {"MexicoCity", 19.43, -99.13, Continent::kNorthAmerica, 3.5},
+    {"SaoPaulo", -23.55, -46.63, Continent::kSouthAmerica, 5.0},
+    {"RioDeJaneiro", -22.91, -43.17, Continent::kSouthAmerica, 2.5},
+    {"BuenosAires", -34.60, -58.38, Continent::kSouthAmerica, 2.5},
+    {"Santiago", -33.45, -70.67, Continent::kSouthAmerica, 2.0},
+    {"Bogota", 4.71, -74.07, Continent::kSouthAmerica, 1.5},
+    {"Lima", -12.05, -77.04, Continent::kSouthAmerica, 1.2},
+    {"London", 51.51, -0.13, Continent::kEurope, 10.0},
+    {"Amsterdam", 52.37, 4.90, Continent::kEurope, 9.0},
+    {"Frankfurt", 50.11, 8.68, Continent::kEurope, 9.5},
+    {"Paris", 48.86, 2.35, Continent::kEurope, 7.5},
+    {"Madrid", 40.42, -3.70, Continent::kEurope, 4.5},
+    {"Milan", 45.46, 9.19, Continent::kEurope, 4.0},
+    {"Stockholm", 59.33, 18.07, Continent::kEurope, 3.5},
+    {"Warsaw", 52.23, 21.01, Continent::kEurope, 3.0},
+    {"Dublin", 53.35, -6.26, Continent::kEurope, 4.0},
+    {"Zurich", 47.38, 8.54, Continent::kEurope, 3.0},
+    {"Vienna", 48.21, 16.37, Continent::kEurope, 2.5},
+    {"Brussels", 50.85, 4.35, Continent::kEurope, 2.5},
+    {"Copenhagen", 55.68, 12.57, Continent::kEurope, 2.5},
+    {"Oslo", 59.91, 10.75, Continent::kEurope, 2.0},
+    {"Helsinki", 60.17, 24.94, Continent::kEurope, 2.0},
+    {"Lisbon", 38.72, -9.14, Continent::kEurope, 1.8},
+    {"Prague", 50.08, 14.44, Continent::kEurope, 2.0},
+    {"Bucharest", 44.43, 26.10, Continent::kEurope, 1.8},
+    {"Athens", 37.98, 23.73, Continent::kEurope, 1.5},
+    {"Istanbul", 41.01, 28.98, Continent::kEurope, 3.0},
+    {"Moscow", 55.76, 37.62, Continent::kEurope, 3.0},
+    {"Kyiv", 50.45, 30.52, Continent::kEurope, 1.5},
+    {"Johannesburg", -26.20, 28.05, Continent::kAfrica, 2.5},
+    {"CapeTown", -33.92, 18.42, Continent::kAfrica, 1.8},
+    {"Lagos", 6.52, 3.38, Continent::kAfrica, 2.0},
+    {"Nairobi", -1.29, 36.82, Continent::kAfrica, 1.5},
+    {"Cairo", 30.04, 31.24, Continent::kAfrica, 2.0},
+    {"Casablanca", 33.57, -7.59, Continent::kAfrica, 1.2},
+    {"Tokyo", 35.68, 139.69, Continent::kAsia, 9.0},
+    {"Osaka", 34.69, 135.50, Continent::kAsia, 5.0},
+    {"Seoul", 37.57, 126.98, Continent::kAsia, 6.0},
+    {"HongKong", 22.32, 114.17, Continent::kAsia, 7.0},
+    {"Singapore", 1.35, 103.82, Continent::kAsia, 8.0},
+    {"Taipei", 25.03, 121.57, Continent::kAsia, 4.0},
+    {"Mumbai", 19.08, 72.88, Continent::kAsia, 5.5},
+    {"Delhi", 28.70, 77.10, Continent::kAsia, 4.5},
+    {"Chennai", 13.08, 80.27, Continent::kAsia, 3.5},
+    {"Bangalore", 12.97, 77.59, Continent::kAsia, 3.0},
+    {"Jakarta", -6.21, 106.85, Continent::kAsia, 3.0},
+    {"KualaLumpur", 3.14, 101.69, Continent::kAsia, 2.5},
+    {"Bangkok", 13.76, 100.50, Continent::kAsia, 2.5},
+    {"Manila", 14.60, 120.98, Continent::kAsia, 2.2},
+    {"Shanghai", 31.23, 121.47, Continent::kAsia, 4.0},
+    {"Beijing", 39.90, 116.41, Continent::kAsia, 3.5},
+    {"Shenzhen", 22.54, 114.06, Continent::kAsia, 3.0},
+    {"Dubai", 25.20, 55.27, Continent::kAsia, 3.5},
+    {"TelAviv", 32.09, 34.78, Continent::kAsia, 2.5},
+    {"Riyadh", 24.71, 46.68, Continent::kAsia, 2.0},
+    {"Doha", 25.29, 51.53, Continent::kAsia, 1.5},
+    {"Karachi", 24.86, 67.00, Continent::kAsia, 1.5},
+    {"HoChiMinh", 10.82, 106.63, Continent::kAsia, 1.8},
+    {"Sydney", -33.87, 151.21, Continent::kOceania, 4.5},
+    {"Melbourne", -37.81, 144.96, Continent::kOceania, 3.5},
+    {"Auckland", -36.85, 174.76, Continent::kOceania, 1.5},
+    {"Perth", -31.95, 115.86, Continent::kOceania, 1.2},
+    {"Brisbane", -27.47, 153.03, Continent::kOceania, 1.5},
+};
+
+}  // namespace
+
+double DistanceKm(const GeoPoint& a, const GeoPoint& b) {
+  const double lat1 = Deg2Rad(a.lat_deg);
+  const double lat2 = Deg2Rad(b.lat_deg);
+  const double dlat = lat2 - lat1;
+  const double dlon = Deg2Rad(b.lon_deg - a.lon_deg);
+  const double s = std::sin(dlat / 2.0);
+  const double t = std::sin(dlon / 2.0);
+  const double h = s * s + std::cos(lat1) * std::cos(lat2) * t * t;
+  return 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+const char* ToString(Continent c) {
+  switch (c) {
+    case Continent::kNorthAmerica: return "NorthAmerica";
+    case Continent::kSouthAmerica: return "SouthAmerica";
+    case Continent::kEurope: return "Europe";
+    case Continent::kAfrica: return "Africa";
+    case Continent::kAsia: return "Asia";
+    case Continent::kOceania: return "Oceania";
+  }
+  return "Unknown";
+}
+
+MetroCatalogue MetroCatalogue::World() {
+  MetroCatalogue cat;
+  for (const auto& seed : kWorldMetros) {
+    cat.Add(seed.name, GeoPoint{seed.lat, seed.lon}, seed.continent,
+            seed.weight);
+  }
+  return cat;
+}
+
+MetroCatalogue MetroCatalogue::WorldSubset(std::size_t n) {
+  assert(n >= 2);
+  // Pick the n highest-weight metros, preserving catalogue order so ids are
+  // stable across runs.
+  std::vector<std::size_t> order(std::size(kWorldMetros));
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [](std::size_t a,
+                                                  std::size_t b) {
+    return kWorldMetros[a].weight > kWorldMetros[b].weight;
+  });
+  order.resize(std::min(n, order.size()));
+  std::sort(order.begin(), order.end());
+  MetroCatalogue cat;
+  for (std::size_t i : order) {
+    const auto& seed = kWorldMetros[i];
+    cat.Add(seed.name, GeoPoint{seed.lat, seed.lon}, seed.continent,
+            seed.weight);
+  }
+  return cat;
+}
+
+const Metro& MetroCatalogue::Get(MetroId id) const {
+  assert(id.valid() && id.value() < metros_.size());
+  return metros_[id.value()];
+}
+
+double MetroCatalogue::DistanceKmBetween(MetroId a, MetroId b) const {
+  return DistanceKm(Get(a).location, Get(b).location);
+}
+
+std::vector<MetroId> MetroCatalogue::InContinent(Continent c) const {
+  std::vector<MetroId> out;
+  for (const auto& metro : metros_) {
+    if (metro.continent == c) out.push_back(metro.id);
+  }
+  return out;
+}
+
+std::vector<MetroId> MetroCatalogue::ByDistanceFrom(MetroId from) const {
+  std::vector<MetroId> out;
+  out.reserve(metros_.size() - 1);
+  for (const auto& metro : metros_) {
+    if (metro.id != from) out.push_back(metro.id);
+  }
+  std::sort(out.begin(), out.end(), [&](MetroId a, MetroId b) {
+    const double da = DistanceKmBetween(from, a);
+    const double db = DistanceKmBetween(from, b);
+    if (da != db) return da < db;
+    return a < b;  // deterministic tie-break
+  });
+  return out;
+}
+
+MetroId MetroCatalogue::Add(std::string name, GeoPoint location,
+                            Continent continent, double weight) {
+  const MetroId id{static_cast<std::uint32_t>(metros_.size())};
+  metros_.push_back(Metro{id, std::move(name), location, continent, weight});
+  return id;
+}
+
+}  // namespace tipsy::geo

@@ -1,0 +1,81 @@
+// Geography primitives: coordinates, great-circle distance, and a world
+// metro catalogue.
+//
+// The paper relies on metro-level geolocation (§5.3.1: "metro-level
+// precision is sufficient"), both as a model feature (source location) and
+// for the Hist_{AL+G} geographic fallback. We model geography at exactly
+// that granularity.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/ids.h"
+
+namespace tipsy::geo {
+
+using util::MetroId;
+
+struct GeoPoint {
+  double lat_deg = 0.0;
+  double lon_deg = 0.0;
+};
+
+// Great-circle distance in kilometres (haversine, mean Earth radius).
+[[nodiscard]] double DistanceKm(const GeoPoint& a, const GeoPoint& b);
+
+// Continent grouping used when synthesising topologies (ASes cluster
+// regionally; trans-continental links are rarer and longer).
+enum class Continent : std::uint8_t {
+  kNorthAmerica,
+  kSouthAmerica,
+  kEurope,
+  kAfrica,
+  kAsia,
+  kOceania,
+};
+
+[[nodiscard]] const char* ToString(Continent c);
+
+struct Metro {
+  MetroId id;
+  std::string name;
+  GeoPoint location;
+  Continent continent;
+  // Relative population/economic weight; drives how much traffic originates
+  // here and how likely networks are to have presence.
+  double weight = 1.0;
+};
+
+// Immutable catalogue of metros. The built-in world set has ~80 real-world
+// metros with plausible coordinates and weights; synthetic extras can be
+// appended for large-scale stress tests.
+class MetroCatalogue {
+ public:
+  // The default world catalogue.
+  static MetroCatalogue World();
+  // A reduced catalogue with the n highest-weight metros (n >= 2).
+  static MetroCatalogue WorldSubset(std::size_t n);
+
+  [[nodiscard]] const Metro& Get(MetroId id) const;
+  [[nodiscard]] const std::vector<Metro>& metros() const { return metros_; }
+  [[nodiscard]] std::size_t size() const { return metros_.size(); }
+
+  [[nodiscard]] double DistanceKmBetween(MetroId a, MetroId b) const;
+
+  // Metros on the given continent.
+  [[nodiscard]] std::vector<MetroId> InContinent(Continent c) const;
+  // All metro ids sorted by distance from `from` (closest first, excluding
+  // `from` itself).
+  [[nodiscard]] std::vector<MetroId> ByDistanceFrom(MetroId from) const;
+
+  // Append a synthetic metro; returns its id.
+  MetroId Add(std::string name, GeoPoint location, Continent continent,
+              double weight);
+
+ private:
+  std::vector<Metro> metros_;
+};
+
+}  // namespace tipsy::geo

@@ -1,0 +1,42 @@
+#include "geo/geoip.h"
+
+#include <cassert>
+
+namespace tipsy::geo {
+
+void GeoIpDb::Assign(util::Ipv4Prefix slash24, MetroId metro) {
+  assert(slash24.length() == 24);
+  map_[slash24] = metro;
+}
+
+std::optional<MetroId> GeoIpDb::Lookup(util::Ipv4Addr addr) const {
+  return Lookup(util::Slash24Of(addr));
+}
+
+std::optional<MetroId> GeoIpDb::Lookup(util::Ipv4Prefix slash24) const {
+  const auto it = map_.find(slash24);
+  if (it == map_.end()) return std::nullopt;
+  return it->second;
+}
+
+GeoIpDb GeoIpDb::WithNoise(const MetroCatalogue& metros, double error_rate,
+                           util::Rng rng) const {
+  assert(error_rate >= 0.0 && error_rate <= 1.0);
+  GeoIpDb noisy;
+  for (const auto& [prefix, metro] : map_) {
+    MetroId assigned = metro;
+    if (metros.size() > 1 && rng.NextBool(error_rate)) {
+      // Pick a different metro uniformly at random.
+      auto pick = MetroId{static_cast<std::uint32_t>(
+          rng.NextBelow(metros.size() - 1))};
+      if (pick.value() >= metro.value()) {
+        pick = MetroId{pick.value() + 1};
+      }
+      assigned = pick;
+    }
+    noisy.map_[prefix] = assigned;
+  }
+  return noisy;
+}
+
+}  // namespace tipsy::geo

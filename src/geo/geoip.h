@@ -1,0 +1,44 @@
+// Synthetic Geo-IP database.
+//
+// The paper uses a proprietary Microsoft geolocation service to map source
+// /24 prefixes to metropolitan areas (§4.1). We substitute a database built
+// from the simulator's ground truth of where each /24 was allocated, with
+// optional misattribution noise to model real-world Geo-IP imprecision
+// (Poese et al. [31]); §5.3.1 notes metro-level precision suffices.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+
+#include "geo/geo.h"
+#include "util/ip.h"
+#include "util/rng.h"
+
+namespace tipsy::geo {
+
+class GeoIpDb {
+ public:
+  GeoIpDb() = default;
+
+  // Register the metro for a /24 (last writer wins, as in real databases
+  // that get updated over time).
+  void Assign(util::Ipv4Prefix slash24, MetroId metro);
+
+  // Metro for the /24 containing the address, if known.
+  [[nodiscard]] std::optional<MetroId> Lookup(util::Ipv4Addr addr) const;
+  [[nodiscard]] std::optional<MetroId> Lookup(
+      util::Ipv4Prefix slash24) const;
+
+  [[nodiscard]] std::size_t size() const { return map_.size(); }
+
+  // Return a copy where each entry is independently reassigned, with
+  // probability `error_rate`, to a uniformly random other metro from the
+  // catalogue — the misattribution ablation knob.
+  [[nodiscard]] GeoIpDb WithNoise(const MetroCatalogue& metros,
+                                  double error_rate, util::Rng rng) const;
+
+ private:
+  std::unordered_map<util::Ipv4Prefix, MetroId> map_;
+};
+
+}  // namespace tipsy::geo

@@ -1,0 +1,45 @@
+// Ordinal dictionary encoding (§4.2): "We compress the features in this
+// data by using a simple dictionary (i.e., ordinal encoding)."
+//
+// Dictionary<T> assigns dense uint32 ordinals in first-seen order, which
+// the models use to build compact composite tuple keys.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace tipsy::pipeline {
+
+template <typename T>
+class Dictionary {
+ public:
+  // Ordinal for the value, inserting it if new.
+  std::uint32_t Encode(const T& value) {
+    auto [it, inserted] =
+        map_.try_emplace(value, static_cast<std::uint32_t>(values_.size()));
+    if (inserted) values_.push_back(value);
+    return it->second;
+  }
+
+  // Ordinal if the value has been seen, else nullopt (read-only lookup for
+  // query time, when new values must not grow the model vocabulary).
+  [[nodiscard]] std::optional<std::uint32_t> Find(const T& value) const {
+    const auto it = map_.find(value);
+    if (it == map_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  [[nodiscard]] const T& Decode(std::uint32_t ordinal) const {
+    return values_[ordinal];
+  }
+
+  [[nodiscard]] std::size_t size() const { return values_.size(); }
+
+ private:
+  std::unordered_map<T, std::uint32_t> map_;
+  std::vector<T> values_;
+};
+
+}  // namespace tipsy::pipeline

@@ -1,0 +1,78 @@
+#include "pipeline/link_hour.h"
+
+#include <cassert>
+
+namespace tipsy::pipeline {
+
+void LinkHourTable::AddBytes(LinkId link, HourIndex hour, double bytes) {
+  assert(link.value() < link_count_);
+  auto [it, inserted] = by_hour_.try_emplace(hour);
+  if (inserted) it->second.assign(link_count_, 0.0);
+  it->second[link.value()] += bytes;
+}
+
+double LinkHourTable::Bytes(LinkId link, HourIndex hour) const {
+  assert(link.value() < link_count_);
+  const auto it = by_hour_.find(hour);
+  if (it == by_hour_.end()) return 0.0;
+  return it->second[link.value()];
+}
+
+std::vector<HourIndex> LinkHourTable::Hours() const {
+  std::vector<HourIndex> hours;
+  hours.reserve(by_hour_.size());
+  for (const auto& [hour, bytes] : by_hour_) hours.push_back(hour);
+  return hours;
+}
+
+std::vector<OutageInterval> InferOutages(const LinkHourTable& table,
+                                         HourRange window,
+                                         const OutageInferenceConfig& cfg) {
+  std::vector<OutageInterval> out;
+  for (std::uint32_t l = 0; l < table.link_count(); ++l) {
+    const LinkId link{l};
+    if (cfg.require_activity) {
+      bool active = false;
+      for (HourIndex h = window.begin; h < window.end; ++h) {
+        if (table.Bytes(link, h) > 0.0) {
+          active = true;
+          break;
+        }
+      }
+      if (!active) continue;
+    }
+    HourIndex run_start = window.begin;
+    bool in_run = false;
+    auto close_run = [&](HourIndex run_end) {
+      const HourIndex len = run_end - run_start;
+      if (len >= cfg.min_duration_hours && len <= cfg.max_duration_hours) {
+        out.push_back(OutageInterval{link, HourRange{run_start, run_end}});
+      }
+    };
+    for (HourIndex h = window.begin; h < window.end; ++h) {
+      const bool zero = table.Bytes(link, h) <= 0.0;
+      if (zero && !in_run) {
+        in_run = true;
+        run_start = h;
+      } else if (!zero && in_run) {
+        in_run = false;
+        close_run(h);
+      }
+    }
+    if (in_run) close_run(window.end);
+  }
+  return out;
+}
+
+std::vector<bool> LinksWithOutage(const std::vector<OutageInterval>& outages,
+                                  std::size_t link_count, HourRange window) {
+  std::vector<bool> flags(link_count, false);
+  for (const auto& outage : outages) {
+    if (outage.hours.Overlaps(window)) {
+      flags[outage.link.value()] = true;
+    }
+  }
+  return flags;
+}
+
+}  // namespace tipsy::pipeline

@@ -1,0 +1,69 @@
+// Per-(link, hour) ingress byte table and IPFIX-based outage inference.
+//
+// The paper infers peering link outages from IPFIX rather than SNMP: a link
+// that received no bytes during a one-hour window is considered down for
+// that hour (§5.1.1). Outages lasting 1-24 contiguous hours are usable for
+// evaluation; longer ones are exceptional (decommissioning, disasters) and
+// excluded.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "util/ids.h"
+#include "util/sim_time.h"
+
+namespace tipsy::pipeline {
+
+using util::HourIndex;
+using util::HourRange;
+using util::LinkId;
+
+class LinkHourTable {
+ public:
+  explicit LinkHourTable(std::size_t link_count)
+      : link_count_(link_count) {}
+
+  void AddBytes(LinkId link, HourIndex hour, double bytes);
+
+  [[nodiscard]] double Bytes(LinkId link, HourIndex hour) const;
+  [[nodiscard]] std::size_t link_count() const { return link_count_; }
+
+  // Hours with any recorded data, sorted.
+  [[nodiscard]] std::vector<HourIndex> Hours() const;
+
+ private:
+  std::size_t link_count_;
+  std::map<HourIndex, std::vector<double>> by_hour_;
+};
+
+struct OutageInterval {
+  LinkId link;
+  HourRange hours;
+};
+
+struct OutageInferenceConfig {
+  // Contiguous zero-byte runs within [min, max] hours count as outages.
+  HourIndex min_duration_hours = 1;
+  HourIndex max_duration_hours = 24;
+  // A link must have carried bytes at some point in the window to be
+  // considered active (links that never carried traffic are not "down").
+  bool require_activity = true;
+};
+
+// Infers outage intervals for every link over `window` from zero-byte
+// hours. Runs touching the window edges are kept only if they satisfy the
+// duration bounds within the window.
+[[nodiscard]] std::vector<OutageInterval> InferOutages(
+    const LinkHourTable& table, HourRange window,
+    const OutageInferenceConfig& cfg = {});
+
+// Convenience: per-link flag of whether any inferred outage overlaps the
+// window (used to split "seen" vs "unseen" outages between training and
+// testing periods).
+[[nodiscard]] std::vector<bool> LinksWithOutage(
+    const std::vector<OutageInterval>& outages, std::size_t link_count,
+    HourRange window);
+
+}  // namespace tipsy::pipeline

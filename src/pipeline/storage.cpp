@@ -1,0 +1,140 @@
+#include "pipeline/storage.h"
+
+#include <algorithm>
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+namespace tipsy::pipeline {
+namespace {
+
+constexpr char kMagic[8] = {'T', 'I', 'P', 'S', 'Y', 'R', 'F', '1'};
+
+// Zigzag for occasionally-negative values (hours).
+std::uint64_t Zigzag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+std::int64_t Unzigzag(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^
+         -static_cast<std::int64_t>(v & 1);
+}
+
+bool RowLess(const AggRow& a, const AggRow& b) {
+  if (a.link != b.link) return a.link < b.link;
+  if (a.src_asn != b.src_asn) return a.src_asn < b.src_asn;
+  if (a.src_prefix24 != b.src_prefix24) return a.src_prefix24 < b.src_prefix24;
+  if (a.dest_region != b.dest_region) return a.dest_region < b.dest_region;
+  return a.dest_service < b.dest_service;
+}
+
+}  // namespace
+
+void PutVarint(std::ostream& out, std::uint64_t value) {
+  while (value >= 0x80) {
+    const auto byte = static_cast<unsigned char>((value & 0x7f) | 0x80);
+    out.put(static_cast<char>(byte));
+    value >>= 7;
+  }
+  out.put(static_cast<char>(value));
+}
+
+std::optional<std::uint64_t> GetVarint(std::istream& in) {
+  std::uint64_t value = 0;
+  int shift = 0;
+  while (true) {
+    const int byte = in.get();
+    if (byte == std::char_traits<char>::eof() || shift > 63) {
+      return std::nullopt;
+    }
+    value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+  }
+  return value;
+}
+
+RowFileWriter::RowFileWriter(std::ostream& out) : out_(out) {
+  out_.write(kMagic, sizeof(kMagic));
+}
+
+void RowFileWriter::WriteHour(util::HourIndex hour,
+                              std::span<const AggRow> rows) {
+  std::vector<AggRow> sorted(rows.begin(), rows.end());
+  std::sort(sorted.begin(), sorted.end(), RowLess);
+
+  PutVarint(out_, Zigzag(hour));
+  PutVarint(out_, sorted.size());
+  std::uint32_t prev_link = 0;
+  for (const auto& row : sorted) {
+    // Links arrive sorted: delta-encode them; everything else plain
+    // varint. Invalid metro is stored as 0 (valid ids shifted by one).
+    PutVarint(out_, row.link.value() - prev_link);
+    prev_link = row.link.value();
+    PutVarint(out_, row.src_asn.value());
+    PutVarint(out_, row.src_prefix24.address().bits() >> 8);
+    PutVarint(out_, row.src_metro.valid() ? row.src_metro.value() + 1 : 0);
+    PutVarint(out_, row.dest_region.value());
+    PutVarint(out_, static_cast<std::uint64_t>(row.dest_service));
+    PutVarint(out_, row.dest_prefix.valid() ? row.dest_prefix.value() + 1
+                                            : 0);
+    PutVarint(out_, row.bytes);
+  }
+  rows_written_ += sorted.size();
+}
+
+RowFileReader::RowFileReader(std::istream& in) : in_(in) {
+  char magic[8];
+  in_.read(magic, sizeof(magic));
+  ok_ = static_cast<bool>(in_) &&
+        std::memcmp(magic, kMagic, sizeof(magic)) == 0;
+}
+
+std::optional<RowFileReader::HourBlock> RowFileReader::ReadHour() {
+  if (!ok_) return std::nullopt;
+  // Peek for clean EOF.
+  if (in_.peek() == std::char_traits<char>::eof()) return std::nullopt;
+  const auto hour_raw = GetVarint(in_);
+  const auto count = GetVarint(in_);
+  if (!hour_raw || !count) {
+    ok_ = false;
+    return std::nullopt;
+  }
+  HourBlock block;
+  block.hour = Unzigzag(*hour_raw);
+  block.rows.reserve(*count);
+  std::uint32_t prev_link = 0;
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    std::optional<std::uint64_t> fields[8];
+    for (auto& field : fields) {
+      field = GetVarint(in_);
+      if (!field) {
+        ok_ = false;
+        return std::nullopt;
+      }
+    }
+    AggRow row;
+    row.hour = block.hour;
+    prev_link += static_cast<std::uint32_t>(*fields[0]);
+    row.link = util::LinkId{prev_link};
+    row.src_asn = util::AsId{static_cast<std::uint32_t>(*fields[1])};
+    row.src_prefix24 = util::Ipv4Prefix(
+        util::Ipv4Addr(static_cast<std::uint32_t>(*fields[2] << 8)), 24);
+    row.src_metro = *fields[3] == 0
+                        ? util::MetroId{}
+                        : util::MetroId{static_cast<std::uint32_t>(
+                              *fields[3] - 1)};
+    row.dest_region =
+        util::RegionId{static_cast<std::uint32_t>(*fields[4])};
+    row.dest_service = static_cast<wan::ServiceType>(*fields[5]);
+    row.dest_prefix = *fields[6] == 0
+                          ? util::PrefixId{}
+                          : util::PrefixId{static_cast<std::uint32_t>(
+                                *fields[6] - 1)};
+    row.bytes = *fields[7];
+    block.rows.push_back(row);
+  }
+  return block;
+}
+
+}  // namespace tipsy::pipeline

@@ -1,0 +1,60 @@
+// Data-lake persistence for aggregated rows.
+//
+// The paper stores aggregated telemetry in a data lake and cites the
+// aggregation + ordinal-encoding step cutting IPFIX to ~2% of raw size
+// (§4.2). This is a compact, versioned binary container for AggRow
+// batches: hour-blocked, varint-encoded, with rows delta-friendly sorted.
+// An offline job can train from a file instead of a live simulation.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "pipeline/aggregate.h"
+
+namespace tipsy::pipeline {
+
+// --- Low-level varint helpers (LEB128), exposed for tests.
+void PutVarint(std::ostream& out, std::uint64_t value);
+[[nodiscard]] std::optional<std::uint64_t> GetVarint(std::istream& in);
+
+class RowFileWriter {
+ public:
+  // Writes the header immediately.
+  explicit RowFileWriter(std::ostream& out);
+
+  // Appends one hour block. Rows may be in any order; they are written
+  // sorted for determinism.
+  void WriteHour(util::HourIndex hour, std::span<const AggRow> rows);
+
+  [[nodiscard]] std::size_t rows_written() const { return rows_written_; }
+
+ private:
+  std::ostream& out_;
+  std::size_t rows_written_ = 0;
+};
+
+class RowFileReader {
+ public:
+  // Validates the header; check ok() before reading.
+  explicit RowFileReader(std::istream& in);
+
+  [[nodiscard]] bool ok() const { return ok_; }
+
+  // Reads the next hour block; nullopt at clean end-of-file. Sets ok() to
+  // false on corruption.
+  struct HourBlock {
+    util::HourIndex hour = 0;
+    std::vector<AggRow> rows;
+  };
+  [[nodiscard]] std::optional<HourBlock> ReadHour();
+
+ private:
+  std::istream& in_;
+  bool ok_ = false;
+};
+
+}  // namespace tipsy::pipeline

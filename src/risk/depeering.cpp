@@ -1,0 +1,65 @@
+#include "risk/depeering.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tipsy::risk {
+
+DepeeringAnalyzer::DepeeringAnalyzer(const wan::Wan* wan,
+                                     const core::TipsyService* tipsy)
+    : wan_(wan), tipsy_(tipsy) {
+  assert(wan_ != nullptr && tipsy_ != nullptr);
+}
+
+void DepeeringAnalyzer::Observe(std::span<const pipeline::AggRow> rows) {
+  for (const auto& row : rows) {
+    const auto& link = wan_->link(row.link);
+    auto& peer = per_asn_[link.peer_asn.value()];
+    const auto bytes = static_cast<double>(row.bytes);
+    peer.bytes += bytes;
+    total_bytes_ += bytes;
+    peer.flows.push_back(core::TipsyService::ShiftQueryFlow{
+        core::FlowFeatures{row.src_asn, row.src_prefix24, row.src_metro,
+                           row.dest_region, row.dest_service},
+        bytes});
+  }
+}
+
+std::vector<PeerValue> DepeeringAnalyzer::Rank() const {
+  std::vector<PeerValue> out;
+  out.reserve(per_asn_.size());
+  for (const auto& [asn_value, traffic] : per_asn_) {
+    PeerValue value;
+    value.asn = util::AsId{asn_value};
+    value.ingress_bytes = traffic.bytes;
+    // Exclude every link of this peer; see what TIPSY re-homes.
+    core::ExclusionMask excluded(wan_->link_count(), false);
+    for (const auto& link : wan_->links()) {
+      if (link.peer_asn == value.asn) {
+        excluded[link.id.value()] = true;
+        ++value.link_count;
+        value.peer_type = link.peer_type;
+      }
+    }
+    const auto shift = tipsy_->PredictShift(traffic.flows, excluded);
+    value.stranded_bytes = shift.unpredicted_bytes;
+    value.predicted_retention =
+        traffic.bytes > 0.0
+            ? 1.0 - shift.unpredicted_bytes / traffic.bytes
+            : 0.0;
+    out.push_back(value);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const PeerValue& a, const PeerValue& b) {
+              if (a.stranded_bytes != b.stranded_bytes) {
+                return a.stranded_bytes < b.stranded_bytes;
+              }
+              if (a.ingress_bytes != b.ingress_bytes) {
+                return a.ingress_bytes < b.ingress_bytes;
+              }
+              return a.asn < b.asn;
+            });
+  return out;
+}
+
+}  // namespace tipsy::risk

@@ -1,0 +1,62 @@
+// De-peering analysis (§8).
+//
+// "We could also use TIPSY for de-peering. In the course of maintaining a
+// large WAN, it is natural to consider de-peering to reduce cost and
+// operational overhead with peers that add low value."
+//
+// For every peer ASN we measure how many ingress bytes arrive over its
+// links and ask TIPSY where that traffic would go if every one of its
+// links were withdrawn. A peer whose traffic is small and almost fully
+// absorbable elsewhere is a de-peering candidate; a peer whose traffic
+// TIPSY cannot re-home is load-bearing regardless of volume.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/tipsy_service.h"
+#include "pipeline/aggregate.h"
+#include "wan/wan.h"
+
+namespace tipsy::risk {
+
+struct PeerValue {
+  util::AsId asn;
+  topo::AsType peer_type = topo::AsType::kAccessIsp;
+  std::size_t link_count = 0;
+  double ingress_bytes = 0.0;
+  // Fraction of the peer's ingress bytes TIPSY predicts would still find
+  // a way in if all its links were withdrawn (1.0 == fully redundant).
+  double predicted_retention = 0.0;
+  // Bytes with no predicted alternative - the peer is load-bearing for
+  // these.
+  double stranded_bytes = 0.0;
+};
+
+class DepeeringAnalyzer {
+ public:
+  DepeeringAnalyzer(const wan::Wan* wan, const core::TipsyService* tipsy);
+
+  // Accumulate observed traffic (call per hour or with a whole window).
+  void Observe(std::span<const pipeline::AggRow> rows);
+
+  // Per-peer values, de-peering candidates first: ranked by ascending
+  // (stranded bytes, ingress bytes). Peers below `min_bytes` of total
+  // observed ingress are always listed before heavier ones.
+  [[nodiscard]] std::vector<PeerValue> Rank() const;
+
+  [[nodiscard]] double total_bytes() const { return total_bytes_; }
+
+ private:
+  const wan::Wan* wan_;
+  const core::TipsyService* tipsy_;
+  // Observations grouped per peer ASN.
+  struct PeerTraffic {
+    double bytes = 0.0;
+    std::vector<core::TipsyService::ShiftQueryFlow> flows;
+  };
+  std::unordered_map<std::uint32_t, PeerTraffic> per_asn_;
+  double total_bytes_ = 0.0;
+};
+
+}  // namespace tipsy::risk

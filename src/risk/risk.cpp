@@ -1,0 +1,135 @@
+#include "risk/risk.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/hash.h"
+
+namespace tipsy::risk {
+
+const char* ToString(OutageGranularity g) {
+  switch (g) {
+    case OutageGranularity::kLink: return "link";
+    case OutageGranularity::kRouter: return "router";
+    case OutageGranularity::kSite: return "site";
+  }
+  return "?";
+}
+
+RiskAnalyzer::RiskAnalyzer(const wan::Wan* wan,
+                           const core::TipsyService* tipsy,
+                           RiskConfig config)
+    : wan_(wan), tipsy_(tipsy), config_(config) {
+  assert(wan_ != nullptr && tipsy_ != nullptr);
+  // Precompute the failure groups once: which links fail together, and a
+  // human-readable label per group.
+  std::unordered_map<std::string, std::size_t> by_label;
+  for (const auto& link : wan_->links()) {
+    std::string label;
+    switch (config_.granularity) {
+      case OutageGranularity::kLink:
+        label = link.router + "#" + std::to_string(link.id.value());
+        break;
+      case OutageGranularity::kRouter:
+        label = link.router;
+        break;
+      case OutageGranularity::kSite:
+        label = "site:" + std::to_string(link.metro.value());
+        break;
+    }
+    auto [it, inserted] = by_label.try_emplace(label, groups_.size());
+    if (inserted) {
+      groups_.push_back(Group{label, {}});
+    }
+    groups_[it->second].links.push_back(link.id);
+    group_of_link_.push_back(static_cast<std::uint32_t>(it->second));
+  }
+}
+
+void RiskAnalyzer::ObserveHour(HourIndex hour,
+                               std::span<const double> link_loads,
+                               std::span<const pipeline::AggRow> rows) {
+  (void)hour;
+  assert(link_loads.size() == wan_->link_count());
+  ++hours_observed_;
+
+  // Group the hour's flows by the failure group of their ingress link.
+  std::unordered_map<std::uint32_t,
+                     std::vector<core::TipsyService::ShiftQueryFlow>>
+      flows_by_group;
+  for (const auto& row : rows) {
+    flows_by_group[group_of_link_[row.link.value()]].push_back(
+        core::TipsyService::ShiftQueryFlow{
+            core::FlowFeatures{row.src_asn, row.src_prefix24, row.src_metro,
+                               row.dest_region, row.dest_service},
+            static_cast<double>(row.bytes)});
+  }
+
+  auto utilization_of = [&](std::uint32_t l, double extra) {
+    const double cap = wan_->link(LinkId{l}).CapacityBytesPerHour();
+    return cap > 0.0 ? (link_loads[l] + extra) / cap : 0.0;
+  };
+  // Actual hot hours.
+  for (std::uint32_t l = 0; l < wan_->link_count(); ++l) {
+    if (utilization_of(l, 0.0) >= config_.threshold_utilization) {
+      ++typical_hot_hours_[l];
+    }
+  }
+
+  // What-if per candidate failure group.
+  for (const auto& [group_id, flows] : flows_by_group) {
+    const Group& group = groups_[group_id];
+    double group_load = 0.0;
+    double group_capacity = 0.0;
+    for (LinkId link : group.links) {
+      group_load += link_loads[link.value()];
+      group_capacity += wan_->link(link).CapacityBytesPerHour();
+    }
+    if (group_capacity <= 0.0 ||
+        group_load / group_capacity < config_.min_candidate_utilization) {
+      continue;
+    }
+    core::ExclusionMask excluded(wan_->link_count(), false);
+    for (LinkId link : group.links) excluded[link.value()] = true;
+    const auto shift =
+        tipsy_->PredictShift(flows, excluded, config_.prediction_k);
+    for (const auto& [b, extra_bytes] : shift.shifted) {
+      const std::uint32_t bv = b.value();
+      if (excluded[bv]) continue;
+      const double before = utilization_of(bv, 0.0);
+      const double after = utilization_of(bv, extra_bytes);
+      if (before < config_.threshold_utilization &&
+          after >= config_.threshold_utilization) {
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(bv) << 32) | group_id;
+        ++induced_hot_hours_[key];
+      }
+    }
+  }
+}
+
+std::vector<AtRiskLink> RiskAnalyzer::Findings(std::size_t max_rows) const {
+  std::vector<AtRiskLink> findings;
+  findings.reserve(induced_hot_hours_.size());
+  for (const auto& [key, hours] : induced_hot_hours_) {
+    const auto victim = static_cast<std::uint32_t>(key >> 32);
+    const auto group_id = static_cast<std::uint32_t>(key & 0xffffffffULL);
+    const Group& group = groups_[group_id];
+    const auto it = typical_hot_hours_.find(victim);
+    findings.push_back(AtRiskLink{
+        LinkId{victim}, group.links.front(), group.label,
+        it == typical_hot_hours_.end() ? 0 : it->second, hours});
+  }
+  std::sort(findings.begin(), findings.end(),
+            [](const AtRiskLink& x, const AtRiskLink& y) {
+              if (x.predicted_hours != y.predicted_hours) {
+                return x.predicted_hours > y.predicted_hours;
+              }
+              if (x.link != y.link) return x.link < y.link;
+              return x.affecting < y.affecting;
+            });
+  if (findings.size() > max_rows) findings.resize(max_rows);
+  return findings;
+}
+
+}  // namespace tipsy::risk

@@ -1,0 +1,94 @@
+// At-risk peering link identification (Appendix C, Algorithm 1).
+//
+// For every hour of an analysis window and every peering link A carrying
+// traffic, predict where A's flows would land if A had an outage, add the
+// shifted bytes to the other links, and flag links whose projected average
+// utilization crosses 70% in hours where it actually stayed below. The
+// output ranks links by how many extra >=70% hours a single other-link
+// outage would cause - directly Table 12 / Table 15.
+#pragma once
+
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/tipsy_service.h"
+#include "pipeline/aggregate.h"
+#include "util/sim_time.h"
+#include "wan/wan.h"
+
+namespace tipsy::risk {
+
+using util::HourIndex;
+using util::LinkId;
+
+// What fails together in a what-if outage: one eBGP session, one edge
+// router (all its sessions), or one metro site (Appendix C: "single
+// peering link outage or single router or single site outages").
+enum class OutageGranularity : std::uint8_t {
+  kLink,
+  kRouter,
+  kSite,
+};
+
+[[nodiscard]] const char* ToString(OutageGranularity g);
+
+struct RiskConfig {
+  double threshold_utilization = 0.70;
+  std::size_t prediction_k = 3;
+  // Skip candidate outage links carrying less than this fraction of their
+  // own capacity (their failure cannot push anyone over the threshold).
+  double min_candidate_utilization = 0.02;
+  OutageGranularity granularity = OutageGranularity::kLink;
+};
+
+struct AtRiskLink {
+  LinkId link;                  // the link at risk of overload
+  LinkId affecting;             // representative link of the failing group
+  std::string affecting_label;  // link router / router name / site metro
+  std::size_t typical_hours;    // hours actually >= threshold
+  std::size_t predicted_hours;  // extra >= threshold hours under outage
+};
+
+class RiskAnalyzer {
+ public:
+  RiskAnalyzer(const wan::Wan* wan, const core::TipsyService* tipsy,
+               RiskConfig config = {});
+
+  // Feed one hour of the analysis window: ground-truth link loads plus the
+  // hour's flow rows.
+  void ObserveHour(HourIndex hour, std::span<const double> link_loads,
+                   std::span<const pipeline::AggRow> rows);
+
+  // Ranked findings: links with the most predicted extra >= 70% hours
+  // first. Each (link, affecting) pair appears at most once.
+  [[nodiscard]] std::vector<AtRiskLink> Findings(
+      std::size_t max_rows = 20) const;
+
+  [[nodiscard]] std::size_t hours_observed() const {
+    return hours_observed_;
+  }
+
+  [[nodiscard]] std::size_t group_count() const { return groups_.size(); }
+
+ private:
+  struct Group {
+    std::string label;
+    std::vector<LinkId> links;
+  };
+
+  const wan::Wan* wan_;
+  const core::TipsyService* tipsy_;
+  RiskConfig config_;
+  std::size_t hours_observed_ = 0;
+  // Failure groups by granularity; group_of_link_ indexed by LinkId.
+  std::vector<Group> groups_;
+  std::vector<std::uint32_t> group_of_link_;
+  // Hours a link actually spent at/above the threshold.
+  std::unordered_map<std::uint32_t, std::size_t> typical_hot_hours_;
+  // (victim link << 32 | failure group) -> count of extra hot hours.
+  std::unordered_map<std::uint64_t, std::size_t> induced_hot_hours_;
+};
+
+}  // namespace tipsy::risk

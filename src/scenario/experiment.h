@@ -1,0 +1,65 @@
+// Train/test experiment driver (§5.1 methodology).
+//
+// Streams the training window into a TipsyService (plus a link-hour table
+// for outage inference), then streams the test window into evaluation sets:
+//
+//  * overall        - every flow, no exclusions (Table 4 / 9 / 13),
+//  * outage_all     - flows whose top-1 training link was down, during the
+//                     down hours only, with the down links excluded from
+//                     the models' choices (Table 5 / 10 / 14),
+//  * outage_seen    - the subset whose down link also had an outage during
+//                     training (Table 6),
+//  * outage_unseen  - the complement (Table 7).
+//
+// The top-1 training link of a flow is taken from the finest-granularity
+// historical ranking (Hist_AP; equivalent to the full tuple because a /24
+// has exactly one location, Table 1).
+#pragma once
+
+#include <memory>
+
+#include "core/evaluator.h"
+#include "core/tipsy_service.h"
+#include "scenario/scenario.h"
+
+namespace tipsy::scenario {
+
+struct ExperimentConfig {
+  util::HourRange train;
+  util::HourRange test;
+  core::TipsyConfig tipsy;
+  pipeline::OutageInferenceConfig outage_inference;
+};
+
+// Standard paper windows: 3 weeks training then 1 week testing.
+[[nodiscard]] ExperimentConfig PaperWindows(util::HourIndex start_hour = 0);
+
+struct ExperimentResult {
+  std::unique_ptr<core::TipsyService> tipsy;
+  core::EvalSet overall;
+  core::EvalSet outage_all;
+  core::EvalSet outage_seen;
+  core::EvalSet outage_unseen;
+  // Bytes affected by outages whose link also failed in training vs not.
+  double seen_outage_bytes = 0.0;
+  double unseen_outage_bytes = 0.0;
+  // Inferred outage intervals (from sampled telemetry) in each window.
+  std::vector<pipeline::OutageInterval> train_outages;
+  std::vector<pipeline::OutageInterval> test_outages;
+};
+
+[[nodiscard]] ExperimentResult RunExperiment(RowSource& source,
+                                             const ExperimentConfig& config);
+
+// One table row per model: the model plus its accuracy on an EvalSet.
+struct ModelAccuracy {
+  std::string model;
+  core::AccuracyResult accuracy;
+};
+
+// Evaluates every model in the service plus the three oracles against the
+// eval set, in the paper's table order (oracle before the matching model).
+[[nodiscard]] std::vector<ModelAccuracy> EvaluateSuite(
+    const core::TipsyService& tipsy, const core::EvalSet& eval);
+
+}  // namespace tipsy::scenario

@@ -1,0 +1,77 @@
+#include "scenario/outage.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace tipsy::scenario {
+
+OutageSchedule OutageSchedule::Generate(std::size_t link_count,
+                                        HourRange window,
+                                        const OutageScheduleConfig& cfg) {
+  OutageSchedule schedule(link_count);
+  util::Rng rng(cfg.seed);
+  constexpr double kHoursPerYear = 365.0 * 24.0;
+  for (std::uint32_t l = 0; l < link_count; ++l) {
+    const bool flappy = rng.NextBool(cfg.flappy_fraction);
+    const double base_rate =
+        flappy ? cfg.flappy_rate_per_year : cfg.rate_per_link_per_year;
+    const double rate_factor = rng.NextLogNormal(0.0, cfg.rate_sigma);
+    const double hourly_rate = base_rate * rate_factor / kHoursPerYear;
+    if (hourly_rate <= 0.0) continue;
+    auto& intervals = schedule.by_link_[l];
+    double t = static_cast<double>(window.begin) +
+               rng.NextExponential(hourly_rate);
+    while (t < static_cast<double>(window.end)) {
+      const auto start = static_cast<HourIndex>(t);
+      double duration =
+          rng.NextLogNormal(cfg.duration_mu, cfg.duration_sigma);
+      duration = std::clamp(duration, 1.0,
+                            static_cast<double>(cfg.max_duration_hours));
+      HourIndex end = start + static_cast<HourIndex>(std::ceil(duration));
+      end = std::min(end, window.end);
+      if (end > start &&
+          (intervals.empty() || intervals.back().end < start)) {
+        intervals.push_back(HourRange{start, end});
+        schedule.events_.push_back(
+            OutageEvent{LinkId{l}, HourRange{start, end}});
+      }
+      t = static_cast<double>(end) + rng.NextExponential(hourly_rate);
+    }
+  }
+  return schedule;
+}
+
+OutageSchedule OutageSchedule::None(std::size_t link_count) {
+  return OutageSchedule(link_count);
+}
+
+bool OutageSchedule::IsDown(LinkId link, HourIndex hour) const {
+  assert(link.value() < link_count_);
+  const auto& intervals = by_link_[link.value()];
+  // Binary search for the first interval with end > hour.
+  auto it = std::upper_bound(
+      intervals.begin(), intervals.end(), hour,
+      [](HourIndex h, const HourRange& r) { return h < r.end; });
+  return it != intervals.end() && it->Contains(hour);
+}
+
+std::vector<bool> OutageSchedule::DownMask(HourIndex hour) const {
+  std::vector<bool> mask(link_count_, false);
+  for (std::uint32_t l = 0; l < link_count_; ++l) {
+    if (IsDown(LinkId{l}, hour)) mask[l] = true;
+  }
+  return mask;
+}
+
+void OutageSchedule::ApplyTo(bgp::AdvertisementState& state,
+                             HourIndex hour) const {
+  assert(state.link_count() == link_count_);
+  for (std::uint32_t l = 0; l < link_count_; ++l) {
+    state.SetLinkUp(LinkId{l}, !IsDown(LinkId{l}, hour));
+  }
+}
+
+}  // namespace tipsy::scenario

@@ -1,0 +1,77 @@
+// Ground-truth peering link outage schedule.
+//
+// The paper measures (Figures 6, 7) that ~80% of links see at least one
+// outage per year, spread roughly evenly in time, with durations from
+// under an hour to days. The generator reproduces that process: per-link
+// Poisson arrivals with heterogeneous rates (some links are flappy) and
+// lognormal durations clipped to [1, 36] hours, so the 1-24h evaluation
+// filter has both includable and excludable events.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bgp/advertisement.h"
+#include "util/ids.h"
+#include "util/sim_time.h"
+
+namespace tipsy::scenario {
+
+using util::HourIndex;
+using util::HourRange;
+using util::LinkId;
+
+struct OutageEvent {
+  LinkId link;
+  HourRange hours;
+};
+
+struct OutageScheduleConfig {
+  std::uint64_t seed = 99;
+  // Mean outages per link per year for ordinary links.
+  double rate_per_link_per_year = 1.5;
+  // Outages are strongly autocorrelated per link in practice: a small
+  // flappy subset fails over and over. This is what makes a meaningful
+  // share of test-window outages "seen" during training (the paper
+  // observes ~43% of outage-affected bytes had a seen outage).
+  double flappy_fraction = 0.15;
+  double flappy_rate_per_year = 14.0;
+  // Lognormal duration parameters (hours), clipped to [1, max_duration].
+  double duration_mu = 0.8;     // median ~ 2.2 h
+  double duration_sigma = 1.1;
+  HourIndex max_duration_hours = 36;
+  // Residual per-link rate heterogeneity: rate x lognormal(0, sigma).
+  double rate_sigma = 0.5;
+};
+
+class OutageSchedule {
+ public:
+  static OutageSchedule Generate(std::size_t link_count, HourRange window,
+                                 const OutageScheduleConfig& cfg);
+  // A schedule with no events (quiet baseline periods).
+  static OutageSchedule None(std::size_t link_count);
+
+  [[nodiscard]] const std::vector<OutageEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] bool IsDown(LinkId link, HourIndex hour) const;
+
+  // Links down during `hour`, as a dense mask.
+  [[nodiscard]] std::vector<bool> DownMask(HourIndex hour) const;
+
+  // Syncs the link up/down flags in `state` to this schedule at `hour`.
+  void ApplyTo(bgp::AdvertisementState& state, HourIndex hour) const;
+
+  [[nodiscard]] std::size_t link_count() const { return link_count_; }
+
+ private:
+  explicit OutageSchedule(std::size_t link_count)
+      : link_count_(link_count), by_link_(link_count) {}
+
+  std::size_t link_count_;
+  std::vector<OutageEvent> events_;
+  // Per link, sorted non-overlapping intervals for fast lookup.
+  std::vector<std::vector<HourRange>> by_link_;
+};
+
+}  // namespace tipsy::scenario

@@ -1,0 +1,22 @@
+#include "scenario/row_cache.h"
+
+namespace tipsy::scenario {
+
+RowCache::RowCache(Scenario& live, util::HourRange span)
+    : live_(&live), span_(span) {
+  live.SimulateHours(span, [&](util::HourIndex hour,
+                               std::span<const pipeline::AggRow> rows) {
+    auto& stored = by_hour_[hour];
+    stored.assign(rows.begin(), rows.end());
+    total_rows_ += stored.size();
+  });
+}
+
+void RowCache::StreamHours(util::HourRange range, const RowSink& sink) {
+  for (auto it = by_hour_.lower_bound(range.begin);
+       it != by_hour_.end() && it->first < range.end; ++it) {
+    sink(it->first, it->second);
+  }
+}
+
+}  // namespace tipsy::scenario

@@ -1,0 +1,42 @@
+// In-memory replay of a pre-simulated span of hours.
+//
+// The training-window and model-aging sweeps (Figures 9-11) train dozens of
+// models over overlapping windows of the same simulated world. Simulating
+// each window from scratch would repeat identical work; RowCache simulates
+// the full span once and replays any sub-range.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "scenario/scenario.h"
+
+namespace tipsy::scenario {
+
+class RowCache : public RowSource {
+ public:
+  // Simulates `span` on `live` (mutating its advertisement state as usual)
+  // and stores every hour's rows. `live` must outlive the cache.
+  RowCache(Scenario& live, util::HourRange span);
+
+  void StreamHours(util::HourRange range, const RowSink& sink) override;
+
+  [[nodiscard]] const wan::Wan& wan() const override { return live_->wan(); }
+  [[nodiscard]] const geo::MetroCatalogue& metros() const override {
+    return live_->metros();
+  }
+  [[nodiscard]] const OutageSchedule& outages() const override {
+    return live_->outages();
+  }
+
+  [[nodiscard]] util::HourRange span() const { return span_; }
+  [[nodiscard]] std::size_t total_rows() const { return total_rows_; }
+
+ private:
+  Scenario* live_;
+  util::HourRange span_;
+  std::map<util::HourIndex, std::vector<pipeline::AggRow>> by_hour_;
+  std::size_t total_rows_ = 0;
+};
+
+}  // namespace tipsy::scenario

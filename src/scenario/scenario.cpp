@@ -1,0 +1,212 @@
+#include "scenario/scenario.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/hash.h"
+
+namespace tipsy::scenario {
+
+ScenarioConfig TinyScenarioConfig() {
+  ScenarioConfig cfg;
+  cfg.seed = 42;
+  cfg.topology.seed = 42;
+  cfg.topology.metro_count = 12;
+  cfg.topology.tier1_count = 3;
+  cfg.topology.regionals_per_continent = 2;
+  cfg.topology.access_isp_count = 10;
+  cfg.topology.cdn_count = 2;
+  cfg.topology.enterprise_count = 15;
+  cfg.topology.exchange_count = 2;
+  cfg.topology.wan_metro_count = 8;
+  cfg.topology.wan_transit_provider_count = 1;
+  cfg.traffic.seed = 42;
+  cfg.traffic.flow_target = 600;
+  cfg.prefix_count = 8;
+  cfg.outages.seed = 42;
+  cfg.horizon = util::HourRange{0, 5 * util::kHoursPerDay};
+  return cfg;
+}
+
+ScenarioConfig DefaultScenarioConfig() {
+  ScenarioConfig cfg;
+  cfg.seed = 20211110;  // the paper's main window starts 10 Nov 2021
+  cfg.topology.seed = cfg.seed;
+  cfg.traffic.seed = cfg.seed + 1;
+  cfg.outages.seed = cfg.seed + 2;
+  cfg.ipfix.seed = cfg.seed + 3;
+  cfg.horizon = util::HourRange{0, 28 * util::kHoursPerDay};
+  return cfg;
+}
+
+Scenario::Scenario(const ScenarioConfig& config)
+    : config_(config),
+      topology_(topo::GenerateTopology(config.topology)),
+      outages_(OutageSchedule::None(0)),
+      state_(1, 1),  // placeholder; rebuilt below once links are known
+      sampler_(config.ipfix) {
+  // The WAN's regions are its presence metros.
+  wan_ = std::make_unique<wan::Wan>(
+      topology_.peering_links,
+      topology_.graph.node(topology_.wan).presence, config_.prefix_count,
+      config_.seed ^ 0xabcdef);
+  workload_ = std::make_unique<traffic::Workload>(traffic::Workload::Generate(
+      topology_, *wan_, config_.traffic, &geoip_));
+  if (config_.geoip_error_rate > 0.0) {
+    geoip_ = geoip_.WithNoise(topology_.metros, config_.geoip_error_rate,
+                              util::Rng(config_.seed ^ 0x9e0));
+  }
+  engine_ = std::make_unique<bgp::RoutingEngine>(
+      &topology_.graph, &topology_.metros, &topology_.peering_links,
+      config_.prefix_count, config_.resolve);
+  outages_ = OutageSchedule::Generate(topology_.peering_links.size(),
+                                      config_.horizon, config_.outages);
+  state_ = bgp::AdvertisementState(topology_.peering_links.size(),
+                                   config_.prefix_count);
+  aggregator_ =
+      std::make_unique<pipeline::HourlyAggregator>(wan_.get(), &geoip_);
+  resolve_cache_.assign(workload_->flows().size(), ResolveCache{});
+  last_down_mask_.assign(topology_.peering_links.size(), false);
+  Calibrate();
+}
+
+core::FlowFeatures Scenario::FlowFeaturesOf(std::size_t flow_idx) const {
+  const auto& flow = workload_->flows()[flow_idx];
+  const auto& endpoint = workload_->endpoints()[flow.endpoint];
+  const auto& destination = wan_->destination(flow.destination);
+  core::FlowFeatures features;
+  features.src_asn = topology_.graph.node(endpoint.node).asn;
+  features.src_prefix24 = endpoint.prefix24;
+  features.src_metro =
+      geoip_.Lookup(endpoint.prefix24).value_or(util::MetroId{});
+  features.dest_region = destination.region;
+  features.dest_service = destination.service;
+  return features;
+}
+
+std::vector<bgp::LinkShare> Scenario::ResolveFlow(std::size_t flow_idx,
+                                                  util::HourIndex hour) {
+  const auto& flow = workload_->flows()[flow_idx];
+  const auto& endpoint = workload_->endpoints()[flow.endpoint];
+  const auto prefix = wan_->destination(flow.destination).prefix;
+  const int day = static_cast<int>(util::DayIndex(hour));
+  const std::uint64_t version = state_.PrefixVersion(prefix);
+  ResolveCache& cache = resolve_cache_[flow_idx];
+  if (cache.day != day || cache.version != version) {
+    cache.shares = engine_->ResolveIngress(endpoint.node, endpoint.metro,
+                                           prefix, flow.hash, day, state_);
+    cache.day = day;
+    cache.version = version;
+  }
+  return cache.shares;
+}
+
+void Scenario::SimulateHours(util::HourRange range, const RowSink& rows,
+                             const LoadSink& loads) {
+  std::vector<telemetry::IpfixRecord> records;
+  std::vector<double> true_loads(wan_->link_count(), 0.0);
+  for (util::HourIndex h = range.begin; h < range.end; ++h) {
+    outages_.ApplyTo(state_, h);
+    // BMP session events on outage transitions.
+    for (std::uint32_t l = 0; l < wan_->link_count(); ++l) {
+      const bool down = outages_.IsDown(util::LinkId{l}, h);
+      if (down != last_down_mask_[l]) {
+        bmp_.Record(telemetry::BmpMessage{
+            h, util::LinkId{l}, util::PrefixId{},
+            down ? telemetry::BmpEventType::kSessionDown
+                 : telemetry::BmpEventType::kSessionUp});
+        last_down_mask_[l] = down;
+      }
+    }
+
+    records.clear();
+    std::fill(true_loads.begin(), true_loads.end(), 0.0);
+    const auto& flows = workload_->flows();
+    for (std::size_t fi = 0; fi < flows.size(); ++fi) {
+      const double bytes = workload_->BytesAt(fi, h);
+      if (bytes <= 0.0) continue;
+      const auto shares = ResolveFlow(fi, h);
+      if (shares.empty()) continue;
+      const auto& endpoint = workload_->endpoints()[flows[fi].endpoint];
+      for (const auto& share : shares) {
+        const double link_bytes = bytes * share.fraction;
+        true_loads[share.link.value()] += link_bytes;
+        const std::uint64_t record_key =
+            util::HashAll(flows[fi].hash, static_cast<std::uint64_t>(h),
+                          share.link.value());
+        const auto sampled = sampler_.SampleBytes(link_bytes, record_key);
+        if (!sampled.has_value()) continue;
+        if (config_.collector_loss_rate > 0.0) {
+          const double u =
+              static_cast<double>(util::Mix64(record_key ^ 0x10cc) >> 11) *
+              0x1.0p-53;
+          if (u < config_.collector_loss_rate) continue;  // record lost
+        }
+        telemetry::IpfixRecord record;
+        record.hour = h;
+        record.link = share.link;
+        record.src_prefix24 = endpoint.prefix24;
+        record.src_asn = topology_.graph.node(endpoint.node).asn;
+        record.dest_addr =
+            wan_->destination(flows[fi].destination).address;
+        record.scaled_bytes = *sampled;
+        records.push_back(record);
+      }
+    }
+    if (rows) {
+      const auto aggregated = aggregator_->Aggregate(records);
+      rows(h, aggregated);
+    }
+    if (loads) loads(h, true_loads);
+  }
+}
+
+void Scenario::ResetAdvertisements() {
+  for (std::uint32_t l = 0; l < wan_->link_count(); ++l) {
+    for (std::uint32_t p = 0; p < config_.prefix_count; ++p) {
+      state_.Announce(util::PrefixId{p}, util::LinkId{l});
+    }
+  }
+}
+
+void Scenario::Calibrate() {
+  // Resolve all flows under full advertisement and measure utilization at
+  // a few representative hours of day 0, then scale volumes so the p99
+  // busiest link sits at the target.
+  const bgp::AdvertisementState full(wan_->link_count(),
+                                     config_.prefix_count);
+  std::vector<double> loads(wan_->link_count(), 0.0);
+  const util::HourIndex probe_hours[] = {4, 10, 14, 20};
+  const auto& flows = workload_->flows();
+  for (std::size_t fi = 0; fi < flows.size(); ++fi) {
+    const auto& endpoint = workload_->endpoints()[flows[fi].endpoint];
+    const auto prefix = wan_->destination(flows[fi].destination).prefix;
+    const auto shares = engine_->ResolveIngress(
+        endpoint.node, endpoint.metro, prefix, flows[fi].hash, /*day=*/0,
+        full);
+    if (shares.empty()) continue;
+    double peak_bytes = 0.0;
+    for (util::HourIndex h : probe_hours) {
+      peak_bytes = std::max(peak_bytes, workload_->BytesAt(fi, h));
+    }
+    for (const auto& share : shares) {
+      loads[share.link.value()] += peak_bytes * share.fraction;
+    }
+  }
+  std::vector<double> utilization;
+  utilization.reserve(loads.size());
+  for (std::uint32_t l = 0; l < loads.size(); ++l) {
+    const double cap = wan_->link(util::LinkId{l}).CapacityBytesPerHour();
+    if (cap > 0.0 && loads[l] > 0.0) utilization.push_back(loads[l] / cap);
+  }
+  if (utilization.empty()) return;
+  std::sort(utilization.begin(), utilization.end());
+  const double p99 = utilization[static_cast<std::size_t>(
+      0.99 * static_cast<double>(utilization.size() - 1))];
+  if (p99 > 0.0) {
+    workload_->ScaleVolumes(config_.target_p99_utilization / p99);
+  }
+}
+
+}  // namespace tipsy::scenario

@@ -1,0 +1,156 @@
+// End-to-end simulation scenario: topology + WAN + workload + routing +
+// outages + telemetry + aggregation, driven hour by hour.
+//
+// A Scenario owns every substrate and exposes a streaming interface: each
+// simulated hour resolves ground-truth ingress for every flow under the
+// current advertisement state (outage schedule applied, plus any CMS
+// withdrawals the caller injected), runs the flows through the IPFIX
+// sampler, aggregates + joins the records, and hands the hour's rows to a
+// sink. Memory stays bounded no matter how many weeks are simulated.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+
+#include "bgp/routing.h"
+#include "core/features.h"
+#include "geo/geoip.h"
+#include "pipeline/aggregate.h"
+#include "pipeline/link_hour.h"
+#include "scenario/outage.h"
+#include "telemetry/bmp.h"
+#include "telemetry/ipfix.h"
+#include "topo/generator.h"
+#include "traffic/workload.h"
+#include "wan/wan.h"
+
+namespace tipsy::scenario {
+
+struct ScenarioConfig {
+  std::uint64_t seed = 1;
+  topo::GeneratorConfig topology;
+  traffic::TrafficConfig traffic;
+  telemetry::IpfixConfig ipfix;
+  bgp::ResolveConfig resolve;
+  OutageScheduleConfig outages;
+  std::size_t prefix_count = 48;
+  // The whole simulated timeline; the outage schedule covers it.
+  util::HourRange horizon{0, 28 * util::kHoursPerDay};
+  // Calibration: scale workload volumes so the 99th-percentile link
+  // utilization at a busy hour lands here.
+  double target_p99_utilization = 0.55;
+  // Geo-IP imprecision knob (fraction of /24s mapped to a wrong metro).
+  double geoip_error_rate = 0.0;
+  // Failure injection: fraction of IPFIX records lost between exporter
+  // and data lake (collector crashes, export drops). The paper's
+  // collectors "use automatic mechanisms to recover from failures"; this
+  // knob measures how much residual loss the models tolerate.
+  double collector_loss_rate = 0.0;
+};
+
+// A scenario sized for unit tests: tiny topology, few flows, fast.
+[[nodiscard]] ScenarioConfig TinyScenarioConfig();
+// The default evaluation scenario ("the Azure-like world").
+[[nodiscard]] ScenarioConfig DefaultScenarioConfig();
+
+// Anything that can stream hourly aggregated rows to an experiment: a live
+// Scenario, or a RowCache replaying a pre-simulated span (used by the
+// sweep benches that train dozens of models over overlapping windows).
+class RowSource {
+ public:
+  using RowSink =
+      std::function<void(util::HourIndex, std::span<const pipeline::AggRow>)>;
+
+  virtual ~RowSource() = default;
+  virtual void StreamHours(util::HourRange range, const RowSink& sink) = 0;
+  [[nodiscard]] virtual const wan::Wan& wan() const = 0;
+  [[nodiscard]] virtual const geo::MetroCatalogue& metros() const = 0;
+  [[nodiscard]] virtual const OutageSchedule& outages() const = 0;
+};
+
+class Scenario : public RowSource {
+ public:
+  explicit Scenario(const ScenarioConfig& config);
+
+  // --- Substrate access.
+  [[nodiscard]] const ScenarioConfig& config() const { return config_; }
+  [[nodiscard]] const topo::GeneratedTopology& topology() const {
+    return topology_;
+  }
+  [[nodiscard]] const geo::MetroCatalogue& metros() const override {
+    return topology_.metros;
+  }
+  [[nodiscard]] const wan::Wan& wan() const override { return *wan_; }
+  [[nodiscard]] const traffic::Workload& workload() const {
+    return *workload_;
+  }
+  // For scripted incident experiments (inflating specific flows).
+  [[nodiscard]] traffic::Workload& mutable_workload() { return *workload_; }
+  [[nodiscard]] const geo::GeoIpDb& geoip() const { return geoip_; }
+  [[nodiscard]] bgp::RoutingEngine& engine() { return *engine_; }
+  [[nodiscard]] const OutageSchedule& outages() const override {
+    return outages_;
+  }
+  [[nodiscard]] bgp::AdvertisementState& advertisement() { return state_; }
+  [[nodiscard]] const telemetry::BmpFeed& bmp() const { return bmp_; }
+  // The CMS records its withdrawal/announce messages here too.
+  [[nodiscard]] telemetry::BmpFeed& mutable_bmp() { return bmp_; }
+  [[nodiscard]] pipeline::AggregateStats aggregate_stats() const {
+    return aggregator_->stats();
+  }
+
+  // --- Simulation.
+  // Ground-truth (unsampled) ingress bytes per link for the hour, indexed
+  // by LinkId; used by the CMS, which watches real interface counters.
+  using LoadSink =
+      std::function<void(util::HourIndex, std::span<const double>)>;
+
+  // Simulates [range.begin, range.end): applies the outage schedule to the
+  // advertisement state at each hour (preserving caller withdrawals),
+  // resolves, samples, aggregates. Either sink may be null.
+  void SimulateHours(util::HourRange range, const RowSink& rows,
+                     const LoadSink& loads = nullptr);
+
+  void StreamHours(util::HourRange range, const RowSink& sink) override {
+    SimulateHours(range, sink);
+  }
+
+  // Re-announces every withdrawn (prefix, link) pair, restoring the
+  // default full-anycast advertisement (link outage state untouched).
+  // Used to replay the same hours under different CMS policies.
+  void ResetAdvertisements();
+
+  // The features of a flow as TIPSY sees them (post Geo-IP join).
+  [[nodiscard]] core::FlowFeatures FlowFeaturesOf(std::size_t flow_idx) const;
+  // Ground-truth ingress distribution of a flow at `hour` under the
+  // current advertisement state.
+  [[nodiscard]] std::vector<bgp::LinkShare> ResolveFlow(
+      std::size_t flow_idx, util::HourIndex hour);
+
+ private:
+  void Calibrate();
+
+  ScenarioConfig config_;
+  topo::GeneratedTopology topology_;
+  std::unique_ptr<wan::Wan> wan_;
+  geo::GeoIpDb geoip_;
+  std::unique_ptr<traffic::Workload> workload_;
+  std::unique_ptr<bgp::RoutingEngine> engine_;
+  OutageSchedule outages_;
+  bgp::AdvertisementState state_;
+  telemetry::IpfixSampler sampler_;
+  telemetry::BmpFeed bmp_;
+  std::unique_ptr<pipeline::HourlyAggregator> aggregator_;
+
+  // Per-flow resolution cache: valid while (day, prefix version) match.
+  struct ResolveCache {
+    int day = -1;
+    std::uint64_t version = ~0ULL;
+    std::vector<bgp::LinkShare> shares;
+  };
+  std::vector<ResolveCache> resolve_cache_;
+  std::vector<bool> last_down_mask_;  // for BMP session events
+};
+
+}  // namespace tipsy::scenario

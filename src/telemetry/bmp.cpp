@@ -1,0 +1,21 @@
+#include "telemetry/bmp.h"
+
+namespace tipsy::telemetry {
+
+std::vector<BmpMessage> BmpFeed::InRange(util::HourRange range) const {
+  std::vector<BmpMessage> out;
+  for (const auto& message : messages_) {
+    if (range.Contains(message.hour)) out.push_back(message);
+  }
+  return out;
+}
+
+std::size_t BmpFeed::CountOf(BmpEventType type) const {
+  std::size_t n = 0;
+  for (const auto& message : messages_) {
+    if (message.type == type) ++n;
+  }
+  return n;
+}
+
+}  // namespace tipsy::telemetry

@@ -1,0 +1,51 @@
+// BGP Monitoring Protocol (BMP) feed simulation.
+//
+// BMP exports every announcement and withdrawal a WAN edge router receives
+// or, in our use, emits (§4.1). As in the paper, this feed is NOT used to
+// train models; it backs debugging and the topology analyses of Figures 2
+// and 3. We record the WAN-side advertisement changes plus link up/down
+// session events.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/ids.h"
+#include "util/sim_time.h"
+
+namespace tipsy::telemetry {
+
+enum class BmpEventType : std::uint8_t {
+  kAnnounce,
+  kWithdraw,
+  kSessionUp,
+  kSessionDown,
+};
+
+struct BmpMessage {
+  util::HourIndex hour = 0;
+  util::LinkId link;
+  util::PrefixId prefix;  // invalid for session events
+  BmpEventType type = BmpEventType::kAnnounce;
+};
+
+class BmpFeed {
+ public:
+  void Record(BmpMessage message) { messages_.push_back(message); }
+
+  [[nodiscard]] const std::vector<BmpMessage>& messages() const {
+    return messages_;
+  }
+  [[nodiscard]] std::size_t size() const { return messages_.size(); }
+
+  // Messages within [range.begin, range.end).
+  [[nodiscard]] std::vector<BmpMessage> InRange(util::HourRange range) const;
+
+  // Count of events of a type (quick sanity statistics).
+  [[nodiscard]] std::size_t CountOf(BmpEventType type) const;
+
+ private:
+  std::vector<BmpMessage> messages_;
+};
+
+}  // namespace tipsy::telemetry

@@ -1,0 +1,26 @@
+#include "telemetry/ipfix.h"
+
+#include <cassert>
+
+#include "util/hash.h"
+#include "util/rng.h"
+
+namespace tipsy::telemetry {
+
+std::optional<std::uint64_t> IpfixSampler::SampleBytes(
+    double true_bytes, std::uint64_t flow_key) const {
+  assert(true_bytes >= 0.0);
+  if (true_bytes <= 0.0) return std::nullopt;
+  const double true_packets = true_bytes / cfg_.mean_packet_bytes;
+  const double mean_sampled =
+      true_packets / static_cast<double>(cfg_.sampling_rate);
+  util::Rng rng(util::HashCombine(cfg_.seed, flow_key));
+  const std::uint64_t sampled = rng.NextPoisson(mean_sampled);
+  if (sampled == 0) return std::nullopt;
+  const double estimate = static_cast<double>(sampled) *
+                          static_cast<double>(cfg_.sampling_rate) *
+                          cfg_.mean_packet_bytes;
+  return static_cast<std::uint64_t>(estimate);
+}
+
+}  // namespace tipsy::telemetry

@@ -1,0 +1,154 @@
+#include "topo/as_graph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+namespace tipsy::topo {
+
+const char* ToString(Relationship r) {
+  switch (r) {
+    case Relationship::kProvider: return "provider";
+    case Relationship::kCustomer: return "customer";
+    case Relationship::kPeer: return "peer";
+  }
+  return "?";
+}
+
+Relationship Reverse(Relationship r) {
+  switch (r) {
+    case Relationship::kProvider: return Relationship::kCustomer;
+    case Relationship::kCustomer: return Relationship::kProvider;
+    case Relationship::kPeer: return Relationship::kPeer;
+  }
+  return Relationship::kPeer;
+}
+
+const char* ToString(AsType t) {
+  switch (t) {
+    case AsType::kCloudWan: return "CloudWAN";
+    case AsType::kTier1: return "Tier1";
+    case AsType::kRegionalTransit: return "RegionalTransit";
+    case AsType::kAccessIsp: return "AccessISP";
+    case AsType::kCdnPocket: return "CDN";
+    case AsType::kEnterprise: return "Enterprise";
+    case AsType::kExchange: return "Exchange";
+  }
+  return "?";
+}
+
+NodeId AsGraph::AddNode(AsId asn, AsType type, std::string name,
+                        std::vector<MetroId> presence) {
+  const NodeId id{static_cast<std::uint32_t>(nodes_.size())};
+  nodes_.push_back(
+      AsNode{id, asn, type, std::move(name), std::move(presence), {}});
+  return id;
+}
+
+void AsGraph::AddAdjacency(NodeId a, NodeId b, Relationship rel,
+                           std::vector<InterconnectPoint> points_from_a) {
+  assert(a != b);
+  assert(a.value() < nodes_.size() && b.value() < nodes_.size());
+  nodes_[a.value()].adjacencies.push_back(Adjacency{b, rel, points_from_a});
+  nodes_[b.value()].adjacencies.push_back(
+      Adjacency{a, Reverse(rel), std::move(points_from_a)});
+}
+
+const AsNode& AsGraph::node(NodeId id) const {
+  assert(id.valid() && id.value() < nodes_.size());
+  return nodes_[id.value()];
+}
+
+AsNode& AsGraph::mutable_node(NodeId id) {
+  assert(id.valid() && id.value() < nodes_.size());
+  return nodes_[id.value()];
+}
+
+NodeId AsGraph::wan_node() const {
+  NodeId found;
+  for (const auto& n : nodes_) {
+    if (n.type == AsType::kCloudWan) {
+      assert(!found.valid() && "multiple kCloudWan nodes");
+      found = n.id;
+    }
+  }
+  assert(found.valid() && "no kCloudWan node");
+  return found;
+}
+
+std::vector<NodeId> AsGraph::NodesOfAsn(AsId asn) const {
+  std::vector<NodeId> out;
+  for (const auto& n : nodes_) {
+    if (n.asn == asn) out.push_back(n.id);
+  }
+  return out;
+}
+
+std::string AsGraph::Validate() const {
+  // Symmetry, self-loops, and presence of interconnect metros.
+  for (const auto& n : nodes_) {
+    std::unordered_set<MetroId> presence(n.presence.begin(),
+                                         n.presence.end());
+    for (const auto& adj : n.adjacencies) {
+      if (adj.neighbor == n.id) {
+        return "self-loop at node " + n.name;
+      }
+      if (adj.points.empty()) {
+        return "adjacency without interconnect points at " + n.name;
+      }
+      for (const auto& point : adj.points) {
+        if (!presence.contains(point.metro)) {
+          return "interconnect metro not in presence of " + n.name;
+        }
+      }
+      // Find the mirror adjacency.
+      const auto& nb = node(adj.neighbor);
+      const bool mirrored = std::any_of(
+          nb.adjacencies.begin(), nb.adjacencies.end(),
+          [&](const Adjacency& back) {
+            return back.neighbor == n.id && back.rel == Reverse(adj.rel);
+          });
+      if (!mirrored) {
+        return "asymmetric adjacency between " + n.name + " and " + nb.name;
+      }
+    }
+  }
+  // Customer-provider acyclicity via iterative DFS over provider edges.
+  enum class Mark : std::uint8_t { kWhite, kGray, kBlack };
+  std::vector<Mark> mark(nodes_.size(), Mark::kWhite);
+  for (const auto& start : nodes_) {
+    if (mark[start.id.value()] != Mark::kWhite) continue;
+    // (node, next adjacency index) stack.
+    std::vector<std::pair<NodeId, std::size_t>> stack{{start.id, 0}};
+    mark[start.id.value()] = Mark::kGray;
+    while (!stack.empty()) {
+      const NodeId cur = stack.back().first;
+      std::size_t idx = stack.back().second;
+      const auto& adjs = node(cur).adjacencies;
+      bool advanced = false;
+      while (idx < adjs.size()) {
+        const auto& adj = adjs[idx++];
+        if (adj.rel != Relationship::kProvider) continue;  // follow "up" only
+        const auto m = mark[adj.neighbor.value()];
+        if (m == Mark::kGray) {
+          return "customer-provider cycle involving " +
+                 node(adj.neighbor).name;
+        }
+        if (m == Mark::kWhite) {
+          stack.back().second = idx;
+          mark[adj.neighbor.value()] = Mark::kGray;
+          stack.emplace_back(adj.neighbor, 0);
+          advanced = true;
+          break;
+        }
+      }
+      if (!advanced) {
+        mark[cur.value()] = Mark::kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace tipsy::topo

@@ -1,0 +1,121 @@
+// AS-level Internet topology.
+//
+// The graph models routing domains, not just ASNs: a CDN without a global
+// backbone (the paper's explanation for why 1-hop ASes spray traffic over
+// hundreds of links, §2) is represented as several disconnected "pocket"
+// nodes sharing one ASN. Each adjacency carries the Gao-Rexford business
+// relationship and the metro(s) where the two networks interconnect; the
+// adjacency towards the cloud WAN is additionally broken out per peering
+// link (eBGP session), because BGP withdrawals and outages act at link
+// granularity.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geo/geo.h"
+#include "util/ids.h"
+
+namespace tipsy::topo {
+
+using util::AsId;
+using util::LinkId;
+using util::MetroId;
+
+struct NodeTag {};
+using NodeId = util::StrongId<NodeTag>;
+
+// Business relationship of an adjacency, from the owning node's viewpoint.
+enum class Relationship : std::uint8_t {
+  kProvider,  // neighbor is my provider (I am its customer)
+  kCustomer,  // neighbor is my customer (I am its provider)
+  kPeer,      // settlement-free peer
+};
+
+[[nodiscard]] const char* ToString(Relationship r);
+// The same adjacency seen from the other side.
+[[nodiscard]] Relationship Reverse(Relationship r);
+
+// What kind of network a node is; used by the generator and by analyses
+// that group results by peer type (Tables 12/15 label CN/CP/ISP/EXCH).
+enum class AsType : std::uint8_t {
+  kCloudWan,        // the WAN whose ingress we predict
+  kTier1,           // global transit
+  kRegionalTransit, // continental transit / large ISP
+  kAccessIsp,       // eyeball network
+  kCdnPocket,       // content network pocket without a global backbone
+  kEnterprise,      // stub enterprise (the flow sources we care most about)
+  kExchange,        // internet exchange route server (modelled as an AS)
+};
+
+[[nodiscard]] const char* ToString(AsType t);
+
+// One interconnection point of an adjacency: the metro where the two
+// networks meet, and - when the neighbor is the cloud WAN - the individual
+// peering links (eBGP sessions) at that metro.
+struct InterconnectPoint {
+  MetroId metro;
+  std::vector<LinkId> wan_links;  // empty unless the neighbor is the WAN
+};
+
+struct Adjacency {
+  NodeId neighbor;
+  Relationship rel;
+  std::vector<InterconnectPoint> points;
+};
+
+struct AsNode {
+  NodeId id;
+  AsId asn;        // displayed AS number; pockets of one CDN share it
+  AsType type;
+  std::string name;
+  // Metros where this network has presence (routers / POPs). A node can
+  // only originate traffic from, and hot-potato through, these metros.
+  std::vector<MetroId> presence;
+  std::vector<Adjacency> adjacencies;
+};
+
+class AsGraph {
+ public:
+  NodeId AddNode(AsId asn, AsType type, std::string name,
+                 std::vector<MetroId> presence);
+
+  // Adds the adjacency on both sides. `rel` is the relationship of `a`
+  // towards `b` (e.g. kCustomer means b is a's customer).
+  void AddAdjacency(NodeId a, NodeId b, Relationship rel,
+                    std::vector<InterconnectPoint> points_from_a);
+
+  [[nodiscard]] const AsNode& node(NodeId id) const;
+  [[nodiscard]] AsNode& mutable_node(NodeId id);
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] const std::vector<AsNode>& nodes() const { return nodes_; }
+
+  // The single kCloudWan node. Asserts that exactly one exists.
+  [[nodiscard]] NodeId wan_node() const;
+
+  // All nodes sharing the given ASN (CDN pockets).
+  [[nodiscard]] std::vector<NodeId> NodesOfAsn(AsId asn) const;
+
+  // Validation: relationships symmetric, no self-loops, customer-provider
+  // graph acyclic, every interconnect metro present on both endpoints.
+  // Returns an empty string when valid, else a description of the problem.
+  [[nodiscard]] std::string Validate() const;
+
+ private:
+  std::vector<AsNode> nodes_;
+};
+
+// Mirror of InterconnectPoint for WAN adjacencies, flattened so the wan
+// library can build its registry without depending on graph internals.
+struct PeeringLinkSpec {
+  LinkId id;
+  NodeId peer_node;
+  AsId peer_asn;
+  AsType peer_type;
+  MetroId metro;
+  double capacity_gbps = 100.0;
+  std::string router;  // e.g. "L7-a": metro short-code + router letter
+};
+
+}  // namespace tipsy::topo

@@ -1,0 +1,454 @@
+#include "topo/generator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace tipsy::topo {
+namespace {
+
+using geo::Continent;
+using geo::MetroCatalogue;
+using util::Rng;
+
+// Weighted sample of `count` distinct metros from `candidates`.
+std::vector<MetroId> SampleMetros(const MetroCatalogue& metros,
+                                  std::vector<MetroId> candidates,
+                                  std::size_t count, Rng& rng) {
+  std::vector<MetroId> chosen;
+  count = std::min(count, candidates.size());
+  chosen.reserve(count);
+  while (chosen.size() < count) {
+    std::vector<double> weights;
+    weights.reserve(candidates.size());
+    for (MetroId m : candidates) weights.push_back(metros.Get(m).weight);
+    const std::size_t pick = util::WeightedPick(weights, rng);
+    if (pick >= candidates.size()) break;
+    chosen.push_back(candidates[pick]);
+    candidates.erase(candidates.begin() +
+                     static_cast<std::ptrdiff_t>(pick));
+  }
+  std::sort(chosen.begin(), chosen.end());
+  return chosen;
+}
+
+std::vector<MetroId> AllMetroIds(const MetroCatalogue& metros) {
+  std::vector<MetroId> ids;
+  ids.reserve(metros.size());
+  for (const auto& m : metros.metros()) ids.push_back(m.id);
+  return ids;
+}
+
+std::vector<MetroId> Intersect(const std::vector<MetroId>& a,
+                               const std::vector<MetroId>& b) {
+  std::unordered_set<MetroId> bs(b.begin(), b.end());
+  std::vector<MetroId> out;
+  for (MetroId m : a) {
+    if (bs.contains(m)) out.push_back(m);
+  }
+  return out;
+}
+
+// Builder holding all generation state.
+class TopologyBuilder {
+ public:
+  explicit TopologyBuilder(const GeneratorConfig& cfg)
+      : cfg_(cfg),
+        rng_(cfg.seed),
+        metros_(MetroCatalogue::WorldSubset(cfg.metro_count)) {}
+
+  GeneratedTopology Build() {
+    CreateWan();
+    CreateTier1s();
+    CreateRegionals();
+    CreateCdns();
+    CreateAccessIsps();
+    CreateEnterprises();
+    CreateExchanges();
+    GeneratedTopology out{std::move(metros_), std::move(graph_), wan_,
+                          std::move(links_)};
+    return out;
+  }
+
+ private:
+  AsId NextAsn() { return AsId{next_asn_++}; }
+
+  // Make sure a and b share at least one metro; if not, extend a's presence
+  // with the metro of b closest to a's first presence metro (networks
+  // backhaul to the nearest interconnection point).
+  std::vector<MetroId> EnsureCommonMetros(NodeId a, NodeId b,
+                                          std::size_t max_points) {
+    auto& na = graph_.mutable_node(a);
+    const auto& nb = graph_.node(b);
+    auto common = Intersect(na.presence, nb.presence);
+    if (common.empty()) {
+      assert(!na.presence.empty() && !nb.presence.empty());
+      const MetroId anchor = na.presence.front();
+      MetroId best = nb.presence.front();
+      double best_d = metros_.DistanceKmBetween(anchor, best);
+      for (MetroId m : nb.presence) {
+        const double d = metros_.DistanceKmBetween(anchor, m);
+        if (d < best_d) {
+          best_d = d;
+          best = m;
+        }
+      }
+      na.presence.push_back(best);
+      std::sort(na.presence.begin(), na.presence.end());
+      common.push_back(best);
+    }
+    if (common.size() > max_points) {
+      // Keep the highest-weight metros (where interconnection is dense).
+      std::sort(common.begin(), common.end(), [&](MetroId x, MetroId y) {
+        const double wx = metros_.Get(x).weight;
+        const double wy = metros_.Get(y).weight;
+        if (wx != wy) return wx > wy;
+        return x < y;
+      });
+      common.resize(max_points);
+      std::sort(common.begin(), common.end());
+    }
+    return common;
+  }
+
+  // Plain (non-WAN) adjacency: a's relationship to b is `rel_of_a`.
+  void Connect(NodeId a, NodeId b, Relationship rel_of_a,
+               std::size_t max_points) {
+    for (const auto& adj : graph_.node(a).adjacencies) {
+      if (adj.neighbor == b) return;  // already connected
+    }
+    const auto common = EnsureCommonMetros(a, b, max_points);
+    std::vector<InterconnectPoint> points;
+    points.reserve(common.size());
+    for (MetroId m : common) points.push_back(InterconnectPoint{m, {}});
+    graph_.AddAdjacency(a, b, rel_of_a, std::move(points));
+  }
+
+  double SampleCapacityGbps(AsType peer_type) {
+    auto pick = [&](std::initializer_list<double> options) {
+      const auto idx = rng_.NextBelow(options.size());
+      return *(options.begin() + static_cast<std::ptrdiff_t>(idx));
+    };
+    switch (peer_type) {
+      case AsType::kTier1: return pick({100, 200, 400});
+      case AsType::kRegionalTransit: return pick({40, 100, 200});
+      case AsType::kCdnPocket: return pick({100, 200, 400});
+      case AsType::kAccessIsp: return pick({10, 20, 40, 100});
+      case AsType::kEnterprise: return pick({10, 20});
+      case AsType::kExchange: return pick({100, 200});
+      default: return 100;
+    }
+  }
+
+  // Connect `peer` to the WAN with `rel_of_wan` being the WAN's view
+  // (kPeer, or kProvider when the peer sells the WAN transit), creating
+  // individual peering links at up to `max_points` shared metros.
+  void PeerWithWan(NodeId peer, Relationship rel_of_wan,
+                   std::size_t max_points, std::size_t max_parallel) {
+    const auto common = EnsureCommonMetros(peer, wan_, max_points);
+    const auto& peer_node = graph_.node(peer);
+    std::vector<InterconnectPoint> points;
+    points.reserve(common.size());
+    for (MetroId m : common) {
+      // Most (peer, metro) pairs run a single eBGP session; parallel
+      // sessions are the exception (biased-low geometric-ish draw).
+      std::size_t parallel = 1;
+      while (parallel < max_parallel && rng_.NextBool(0.45)) ++parallel;
+      InterconnectPoint point{m, {}};
+      for (std::size_t i = 0; i < parallel; ++i) {
+        const LinkId id{static_cast<std::uint32_t>(links_.size())};
+        const int router_index = router_counter_[m]++;
+        std::string router = metros_.Get(m).name + "-";
+        router += static_cast<char>('a' + router_index % 8);
+        links_.push_back(PeeringLinkSpec{
+            id, peer, peer_node.asn, peer_node.type, m,
+            SampleCapacityGbps(peer_node.type), std::move(router)});
+        point.wan_links.push_back(id);
+      }
+      points.push_back(std::move(point));
+    }
+    // From the peer's viewpoint the relationship is the reverse of the
+    // WAN's view, so pass the peer as `a`.
+    graph_.AddAdjacency(peer, wan_, Reverse(rel_of_wan), std::move(points));
+  }
+
+  void CreateWan() {
+    const auto presence =
+        SampleMetros(metros_, AllMetroIds(metros_),
+                     std::max<std::size_t>(cfg_.wan_metro_count, 2), rng_);
+    wan_ = graph_.AddNode(AsId{8075}, AsType::kCloudWan, "CloudWAN",
+                          presence);
+  }
+
+  void CreateTier1s() {
+    for (std::size_t i = 0; i < cfg_.tier1_count; ++i) {
+      const std::size_t presence_count =
+          metros_.size() / 2 + rng_.NextBelow(metros_.size() / 4 + 1);
+      auto presence =
+          SampleMetros(metros_, AllMetroIds(metros_), presence_count, rng_);
+      const NodeId id = graph_.AddNode(NextAsn(), AsType::kTier1,
+                                       "Tier1-" + std::to_string(i + 1),
+                                       std::move(presence));
+      tier1s_.push_back(id);
+    }
+    // Full mesh of peering among tier-1s.
+    for (std::size_t i = 0; i < tier1s_.size(); ++i) {
+      for (std::size_t j = i + 1; j < tier1s_.size(); ++j) {
+        Connect(tier1s_[i], tier1s_[j], Relationship::kPeer, 3);
+      }
+    }
+    // WAN connectivity: buys transit from the first few, peers with the
+    // rest. Every tier-1 interconnects at many metros with several
+    // parallel sessions - this is where most potential ingress diversity
+    // comes from.
+    for (std::size_t i = 0; i < tier1s_.size(); ++i) {
+      const bool is_transit = i < cfg_.wan_transit_provider_count;
+      PeerWithWan(tier1s_[i],
+                  is_transit ? Relationship::kProvider : Relationship::kPeer,
+                  /*max_points=*/6, cfg_.max_parallel_links_tier1);
+    }
+  }
+
+  void CreateRegionals() {
+    for (int c = 0; c < 6; ++c) {
+      const auto continent = static_cast<Continent>(c);
+      const auto continent_metros = metros_.InContinent(continent);
+      if (continent_metros.size() < 2) continue;
+      std::vector<NodeId> locals;
+      for (std::size_t i = 0; i < cfg_.regionals_per_continent; ++i) {
+        auto presence =
+            SampleMetros(metros_, continent_metros,
+                         2 + rng_.NextBelow(5), rng_);
+        if (presence.empty()) continue;
+        const NodeId id = graph_.AddNode(
+            NextAsn(), AsType::kRegionalTransit,
+            std::string("ISP-") + geo::ToString(continent) + "-" +
+                std::to_string(i + 1),
+            std::move(presence));
+        locals.push_back(id);
+        // Buy transit from two tier-1s.
+        const std::size_t p1 = rng_.NextBelow(tier1s_.size());
+        std::size_t p2 = rng_.NextBelow(tier1s_.size());
+        if (p2 == p1) p2 = (p2 + 1) % tier1s_.size();
+        Connect(id, tier1s_[p1], Relationship::kProvider, 2);
+        Connect(id, tier1s_[p2], Relationship::kProvider, 2);
+        if (rng_.NextBool(cfg_.regional_peers_with_wan)) {
+          PeerWithWan(id, Relationship::kPeer, 3, cfg_.max_parallel_links);
+        }
+      }
+      // Some settlement-free peering among regionals of a continent.
+      for (std::size_t i = 0; i < locals.size(); ++i) {
+        for (std::size_t j = i + 1; j < locals.size(); ++j) {
+          if (rng_.NextBool(0.3)) {
+            Connect(locals[i], locals[j], Relationship::kPeer, 2);
+          }
+        }
+      }
+      regionals_by_continent_[c] = std::move(locals);
+    }
+  }
+
+  void CreateCdns() {
+    for (std::size_t i = 0; i < cfg_.cdn_count; ++i) {
+      const AsId asn = NextAsn();
+      // Pockets live on distinct continents: no private backbone between
+      // them, so each pocket reaches the WAN independently (§2).
+      const std::size_t want_pockets =
+          cfg_.cdn_min_pockets +
+          rng_.NextBelow(cfg_.cdn_max_pockets - cfg_.cdn_min_pockets + 1);
+      std::vector<int> continents{0, 1, 2, 3, 4, 5};
+      // Shuffle continents deterministically.
+      for (std::size_t k = continents.size(); k > 1; --k) {
+        std::swap(continents[k - 1], continents[rng_.NextBelow(k)]);
+      }
+      std::size_t made = 0;
+      for (int c : continents) {
+        if (made >= want_pockets) break;
+        const auto continent = static_cast<Continent>(c);
+        const auto continent_metros = metros_.InContinent(continent);
+        if (continent_metros.size() < 2) continue;
+        auto presence = SampleMetros(metros_, continent_metros,
+                                     2 + rng_.NextBelow(4), rng_);
+        if (presence.empty()) continue;
+        const NodeId id = graph_.AddNode(
+            asn, AsType::kCdnPocket,
+            "CDN-" + std::to_string(i + 1) + "-" + geo::ToString(continent),
+            std::move(presence));
+        ++made;
+        // Pocket transit: a regional if available, else a tier-1.
+        const auto& regionals = regionals_by_continent_[c];
+        if (!regionals.empty()) {
+          Connect(id, regionals[rng_.NextBelow(regionals.size())],
+                  Relationship::kProvider, 2);
+        }
+        Connect(id, tier1s_[rng_.NextBelow(tier1s_.size())],
+                Relationship::kProvider, 2);
+        if (rng_.NextBool(cfg_.cdn_pocket_peers_with_wan)) {
+          PeerWithWan(id, Relationship::kPeer, 2, cfg_.max_parallel_links);
+        }
+      }
+    }
+  }
+
+  void CreateAccessIsps() {
+    const auto continent_of = [&](MetroId m) {
+      return static_cast<int>(metros_.Get(m).continent);
+    };
+    for (std::size_t i = 0; i < cfg_.access_isp_count; ++i) {
+      // Pick a home metro weighted by metro weight; the ISP stays in that
+      // continent.
+      const auto all = AllMetroIds(metros_);
+      const auto home = SampleMetros(metros_, all, 1, rng_).front();
+      const int c = continent_of(home);
+      const auto continent_metros =
+          metros_.InContinent(static_cast<Continent>(c));
+      auto presence = SampleMetros(metros_, continent_metros,
+                                   1 + rng_.NextBelow(3), rng_);
+      if (presence.empty()) presence.push_back(home);
+      const NodeId id =
+          graph_.AddNode(NextAsn(), AsType::kAccessIsp,
+                         "Access-" + std::to_string(i + 1),
+                         std::move(presence));
+      access_isps_.push_back(id);
+      const auto& regionals = regionals_by_continent_[c];
+      if (!regionals.empty()) {
+        Connect(id, regionals[rng_.NextBelow(regionals.size())],
+                Relationship::kProvider, 2);
+        if (regionals.size() > 1 && rng_.NextBool(0.5)) {
+          Connect(id, regionals[rng_.NextBelow(regionals.size())],
+                  Relationship::kProvider, 2);
+        }
+      } else {
+        Connect(id, tier1s_[rng_.NextBelow(tier1s_.size())],
+                Relationship::kProvider, 2);
+      }
+      if (rng_.NextBool(0.15)) {
+        Connect(id, tier1s_[rng_.NextBelow(tier1s_.size())],
+                Relationship::kProvider, 2);
+      }
+      if (rng_.NextBool(cfg_.access_peers_with_wan)) {
+        PeerWithWan(id, Relationship::kPeer, 2, 2);
+      }
+    }
+  }
+
+  void CreateEnterprises() {
+    const auto continent_of = [&](MetroId m) {
+      return static_cast<int>(metros_.Get(m).continent);
+    };
+    for (std::size_t i = 0; i < cfg_.enterprise_count; ++i) {
+      const auto all = AllMetroIds(metros_);
+      const auto home = SampleMetros(metros_, all, 1, rng_).front();
+      const int c = continent_of(home);
+      const auto continent_metros =
+          metros_.InContinent(static_cast<Continent>(c));
+      auto presence = SampleMetros(metros_, continent_metros,
+                                   1 + rng_.NextBelow(2), rng_);
+      if (presence.empty()) presence.push_back(home);
+      const NodeId id =
+          graph_.AddNode(NextAsn(), AsType::kEnterprise,
+                         "Ent-" + std::to_string(i + 1),
+                         std::move(presence));
+      // Upstreams: prefer in-continent access ISPs; fall back to regionals
+      // or tier-1s.
+      std::vector<NodeId> local_access;
+      for (NodeId a : access_isps_) {
+        if (!graph_.node(a).presence.empty() &&
+            continent_of(graph_.node(a).presence.front()) == c) {
+          local_access.push_back(a);
+        }
+      }
+      const std::size_t upstreams = 1 + rng_.NextBelow(2);
+      for (std::size_t u = 0; u < upstreams; ++u) {
+        if (!local_access.empty() && rng_.NextBool(0.8)) {
+          Connect(id, local_access[rng_.NextBelow(local_access.size())],
+                  Relationship::kProvider, 1);
+        } else if (!regionals_by_continent_[c].empty()) {
+          const auto& regs = regionals_by_continent_[c];
+          Connect(id, regs[rng_.NextBelow(regs.size())],
+                  Relationship::kProvider, 1);
+        } else {
+          Connect(id, tier1s_[rng_.NextBelow(tier1s_.size())],
+                  Relationship::kProvider, 1);
+        }
+      }
+      if (rng_.NextBool(cfg_.enterprise_peers_with_wan)) {
+        PeerWithWan(id, Relationship::kPeer, 1, 1);
+      }
+    }
+  }
+
+  void CreateExchanges() {
+    // Exchange-style aggregation ASes: one big metro each, a peering link
+    // bundle with the WAN, and a handful of small member networks reached
+    // through them.
+    auto all = AllMetroIds(metros_);
+    std::sort(all.begin(), all.end(), [&](MetroId a, MetroId b) {
+      const double wa = metros_.Get(a).weight;
+      const double wb = metros_.Get(b).weight;
+      if (wa != wb) return wa > wb;
+      return a < b;
+    });
+    for (std::size_t i = 0; i < cfg_.exchange_count && i < all.size();
+         ++i) {
+      const MetroId m = all[i];
+      const NodeId id = graph_.AddNode(
+          NextAsn(), AsType::kExchange,
+          "EXCH-" + metros_.Get(m).name, std::vector<MetroId>{m});
+      PeerWithWan(id, Relationship::kPeer, 1, 2);
+      // Exchanges also reach the rest of the Internet through a tier-1 so
+      // their members are globally routable.
+      Connect(id, tier1s_[rng_.NextBelow(tier1s_.size())],
+              Relationship::kProvider, 1);
+      // A few member networks single-home behind the exchange fabric.
+      const std::size_t members = 2 + rng_.NextBelow(4);
+      for (std::size_t k = 0; k < members; ++k) {
+        if (access_isps_.empty()) break;
+        const NodeId member =
+            access_isps_[rng_.NextBelow(access_isps_.size())];
+        if (member != id) {
+          Connect(member, id, Relationship::kProvider, 1);
+        }
+      }
+    }
+  }
+
+  const GeneratorConfig& cfg_;
+  Rng rng_;
+  MetroCatalogue metros_;
+  AsGraph graph_;
+  NodeId wan_;
+  std::vector<PeeringLinkSpec> links_;
+  std::vector<NodeId> tier1s_;
+  std::vector<NodeId> access_isps_;
+  std::unordered_map<int, std::vector<NodeId>> regionals_by_continent_;
+  std::unordered_map<MetroId, int> router_counter_;
+  std::uint32_t next_asn_ = 100;
+};
+
+}  // namespace
+
+GeneratedTopology GenerateTopology(const GeneratorConfig& cfg) {
+  TopologyBuilder builder(cfg);
+  auto out = builder.Build();
+  assert(out.graph.Validate().empty());
+  return out;
+}
+
+GeneratedTopology GenerateTinyTopology() {
+  GeneratorConfig cfg;
+  cfg.seed = 42;
+  cfg.metro_count = 12;
+  cfg.tier1_count = 3;
+  cfg.regionals_per_continent = 2;
+  cfg.access_isp_count = 10;
+  cfg.cdn_count = 2;
+  cfg.enterprise_count = 15;
+  cfg.exchange_count = 2;
+  cfg.wan_metro_count = 8;
+  cfg.wan_transit_provider_count = 1;
+  return GenerateTopology(cfg);
+}
+
+}  // namespace tipsy::topo

@@ -1,0 +1,67 @@
+// Synthetic Internet generator.
+//
+// Builds a Gao-Rexford AS graph around a cloud WAN: global tier-1 transits
+// (some of which sell the WAN transit - the "hundreds of transit peering
+// connections" of §2), continental regional transits, eyeball access ISPs,
+// enterprise stubs (the dominant ingress-byte sources per §2), CDNs split
+// into backbone-less pockets, and exchange-style aggregation ASes. Every
+// adjacency is pinned to interconnection metros so hot-potato routing has
+// geography to act on, and adjacencies towards the WAN are expanded into
+// individual peering links (eBGP sessions) with capacities.
+#pragma once
+
+#include <cstdint>
+
+#include "geo/geo.h"
+#include "topo/as_graph.h"
+#include "util/rng.h"
+
+namespace tipsy::topo {
+
+struct GeneratorConfig {
+  std::uint64_t seed = 1;
+
+  // World shape.
+  std::size_t metro_count = 60;
+
+  // Population of each AS class.
+  std::size_t tier1_count = 10;
+  std::size_t regionals_per_continent = 6;
+  std::size_t access_isp_count = 150;
+  std::size_t cdn_count = 8;
+  std::size_t enterprise_count = 240;
+  std::size_t exchange_count = 6;
+
+  // WAN shape.
+  std::size_t wan_metro_count = 28;
+  std::size_t wan_transit_provider_count = 3;  // tier1s the WAN buys from
+
+  // Peering probabilities with the WAN, by AS class.
+  double regional_peers_with_wan = 0.85;
+  double cdn_pocket_peers_with_wan = 0.9;
+  double access_peers_with_wan = 0.35;
+  double enterprise_peers_with_wan = 0.04;
+
+  // Parallel eBGP sessions per (peer, metro) pair: 1..max, biased low.
+  std::size_t max_parallel_links = 3;
+  std::size_t max_parallel_links_tier1 = 4;
+
+  // CDN pockets per CDN (sampled uniformly in [min, max]).
+  std::size_t cdn_min_pockets = 2;
+  std::size_t cdn_max_pockets = 5;
+};
+
+struct GeneratedTopology {
+  geo::MetroCatalogue metros;
+  AsGraph graph;
+  NodeId wan;
+  std::vector<PeeringLinkSpec> peering_links;
+};
+
+[[nodiscard]] GeneratedTopology GenerateTopology(const GeneratorConfig& cfg);
+
+// A deliberately tiny deterministic topology (a handful of nodes, <= 20
+// links) for unit tests that need hand-checkable routing outcomes.
+[[nodiscard]] GeneratedTopology GenerateTinyTopology();
+
+}  // namespace tipsy::topo

@@ -1,0 +1,197 @@
+#include "traffic/workload.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+#include "util/hash.h"
+#include "util/rng.h"
+
+namespace tipsy::traffic {
+namespace {
+
+using topo::AsType;
+using wan::ServiceType;
+
+// How many source endpoints a node contributes per presence metro.
+std::size_t EndpointsPerMetro(AsType type, util::Rng& rng) {
+  switch (type) {
+    case AsType::kEnterprise: return 2 + rng.NextBelow(3);
+    case AsType::kAccessIsp: return 4 + rng.NextBelow(6);
+    case AsType::kCdnPocket: return 2 + rng.NextBelow(4);
+    case AsType::kRegionalTransit: return 1 + rng.NextBelow(3);
+    default: return 0;  // tier1 / exchange / WAN source no enterprise flows
+  }
+}
+
+double VolumeFactor(AsType type, const TrafficConfig& cfg) {
+  switch (type) {
+    case AsType::kEnterprise: return cfg.enterprise_volume_factor;
+    case AsType::kCdnPocket: return cfg.cdn_volume_factor;
+    case AsType::kRegionalTransit: return 1.5;
+    default: return 1.0;
+  }
+}
+
+// Service affinity by source type: relative weights over ServiceType.
+std::vector<double> ServiceAffinity(AsType type) {
+  // Order matches the ServiceType enum:
+  // storage web email videoconf vpn ai-ml database cdn-fill
+  switch (type) {
+    case AsType::kEnterprise:
+      return {5.0, 1.0, 2.5, 4.0, 5.0, 3.5, 2.0, 0.2};
+    case AsType::kAccessIsp:
+      return {1.5, 4.0, 1.5, 3.0, 0.5, 0.3, 0.5, 2.0};
+    case AsType::kCdnPocket:
+      return {3.0, 0.5, 0.1, 0.2, 0.1, 0.5, 0.5, 6.0};
+    default:
+      return {1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0};
+  }
+}
+
+}  // namespace
+
+Workload Workload::Generate(const topo::GeneratedTopology& topology,
+                            const wan::Wan& wan, const TrafficConfig& cfg,
+                            geo::GeoIpDb* geoip) {
+  Workload out(&topology.metros, cfg);
+  util::Rng rng(cfg.seed);
+
+  // --- Source endpoints: allocate a distinct /24 per endpoint out of a
+  // per-node address block, and register ground-truth geolocation.
+  std::uint32_t next_block = 1;  // /24 blocks carved from 1.0.0.0 upward
+  for (const auto& node : topology.graph.nodes()) {
+    const std::size_t base_count = EndpointsPerMetro(node.type, rng);
+    if (base_count == 0) continue;
+    for (util::MetroId metro : node.presence) {
+      const std::size_t count = std::max<std::size_t>(
+          1, base_count + (rng.NextBelow(3)) - 1);
+      for (std::size_t i = 0; i < count; ++i) {
+        const util::Ipv4Prefix p24(
+            util::Ipv4Addr(next_block++ << 8), 24);
+        out.endpoints_.push_back(SourceEndpoint{node.id, metro, p24});
+        if (geoip != nullptr) geoip->Assign(p24, metro);
+      }
+    }
+  }
+  assert(!out.endpoints_.empty());
+
+  // --- Flows: spread cfg.flow_target flows over the endpoints; each
+  // endpoint gets at least one so every /24 appears in the data.
+  const auto& destinations = wan.destinations();
+  assert(!destinations.empty());
+  // Destination popularity is heavily skewed (a few storage/conferencing
+  // endpoints attract most enterprises), which makes flows from different
+  // endpoints of one AS share destination tuples - the source of the
+  // paper's large gap between A- and AP-granularity predictability.
+  std::vector<double> popularity(destinations.size());
+  for (auto& p : popularity) p = rng.NextLogNormal(0.0, 2.0);
+  const std::size_t flow_target =
+      std::max(cfg.flow_target, out.endpoints_.size());
+  out.flows_.reserve(flow_target);
+
+  auto add_flow = [&](std::uint32_t endpoint_idx) {
+    const SourceEndpoint& ep = out.endpoints_[endpoint_idx];
+    const AsType src_type = topology.graph.node(ep.node).type;
+    const auto affinity = ServiceAffinity(src_type);
+    // Pick a destination: weight = service affinity x region proximity.
+    std::vector<double> weights(destinations.size());
+    for (std::size_t d = 0; d < destinations.size(); ++d) {
+      const double aff =
+          affinity[static_cast<std::size_t>(destinations[d].service)];
+      const double dist = topology.metros.DistanceKmBetween(
+          ep.metro, destinations[d].region_metro);
+      weights[d] = aff * popularity[d] / (1.0 + dist / 2500.0);
+    }
+    const std::size_t dest = util::WeightedPick(weights, rng);
+    assert(dest < destinations.size());
+    const double base =
+        rng.NextBoundedPareto(cfg.min_bytes_per_hour,
+                              cfg.max_bytes_per_hour, cfg.pareto_alpha) *
+        VolumeFactor(src_type, cfg);
+    const std::uint64_t hash =
+        util::HashAll(std::size_t{endpoint_idx}, dest, out.flows_.size(),
+                      cfg.seed);
+    out.flows_.push_back(FlowSpec{endpoint_idx,
+                                  static_cast<std::uint32_t>(dest), base,
+                                  hash,
+                                  rng.NextBool(cfg.persistent_fraction)});
+  };
+
+  for (std::uint32_t e = 0; e < out.endpoints_.size(); ++e) add_flow(e);
+  while (out.flows_.size() < flow_target) {
+    add_flow(static_cast<std::uint32_t>(
+        rng.NextBelow(out.endpoints_.size())));
+  }
+  return out;
+}
+
+double Workload::BytesAt(std::size_t flow_idx, HourIndex h) const {
+  assert(flow_idx < flows_.size());
+  const FlowSpec& flow = flows_[flow_idx];
+  const SourceEndpoint& ep = endpoints_[flow.endpoint];
+
+  // Intermittent flows skip whole days.
+  if (!flow.persistent) {
+    const std::uint64_t day_key = util::HashAll(
+        flow.hash, static_cast<std::uint64_t>(util::DayIndex(h)),
+        std::uint64_t{0xac71f17e});
+    const double u =
+        static_cast<double>(util::Mix64(day_key) >> 11) * 0x1.0p-53;
+    if (u >= cfg_.daily_active_probability) return 0.0;
+  }
+
+  // Diurnal modulation in the source's local solar time.
+  const double lon = metros_->Get(ep.metro).location.lon_deg;
+  const double local_hour =
+      std::fmod(static_cast<double>(util::HourOfDay(h)) + lon / 15.0 + 48.0,
+                24.0);
+  const double phase =
+      std::cos((local_hour - 14.0) / 24.0 * 2.0 * std::numbers::pi);
+  const double diurnal =
+      cfg_.diurnal_trough +
+      (1.0 - cfg_.diurnal_trough) * 0.5 * (1.0 + phase);
+
+  // Enterprise traffic dips on weekends; consumer traffic rises a little.
+  const auto dow = util::DayOfWeek(h);
+  const bool weekend = dow == 5 || dow == 6;
+  double weekly = 1.0;
+  if (weekend) {
+    weekly = (flow.hash % 3 == 0) ? 1.1 : 0.65;
+  }
+
+  // Per-hour lognormal noise, deterministic in (flow, hour).
+  const std::uint64_t key =
+      util::HashAll(flow.hash, static_cast<std::uint64_t>(h));
+  const double u1 =
+      (static_cast<double>(util::Mix64(key) >> 11) + 0.5) * 0x1.0p-53;
+  const double u2 =
+      (static_cast<double>(util::Mix64(key ^ 0xabcdULL) >> 11) + 0.5) *
+      0x1.0p-53;
+  const double gaussian = std::sqrt(-2.0 * std::log(u1)) *
+                          std::cos(2.0 * std::numbers::pi * u2);
+  const double noise = std::exp(cfg_.hourly_noise_sigma * gaussian -
+                                0.5 * cfg_.hourly_noise_sigma *
+                                    cfg_.hourly_noise_sigma);
+
+  return flow.base_bytes_per_hour * diurnal * weekly * noise;
+}
+
+void Workload::ScaleVolumes(double factor) {
+  assert(factor > 0.0);
+  for (auto& flow : flows_) flow.base_bytes_per_hour *= factor;
+}
+
+void Workload::ScaleFlow(std::size_t flow_idx, double factor) {
+  assert(flow_idx < flows_.size() && factor > 0.0);
+  flows_[flow_idx].base_bytes_per_hour *= factor;
+}
+
+double Workload::TotalBaseBytesPerHour() const {
+  double total = 0.0;
+  for (const auto& flow : flows_) total += flow.base_bytes_per_hour;
+  return total;
+}
+
+}  // namespace tipsy::traffic

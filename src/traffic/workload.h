@@ -1,0 +1,99 @@
+// Synthetic ingress workload.
+//
+// Source endpoints are (routing domain, metro, /24 prefix) triples:
+// enterprises dominate ingress bytes (long-lived IPSec/VPN tunnels, storage
+// and AI+ML uploads - the workloads §1/§2 motivate), access ISPs contribute
+// many smaller consumer flows, CDN pockets push cache-fill style traffic.
+// Every flow aggregate targets one WAN destination (region, service,
+// anycast prefix) and carries heavy-tailed volume modulated by diurnal and
+// weekly patterns local to the source's longitude, plus per-hour noise.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/geoip.h"
+#include "topo/generator.h"
+#include "util/ip.h"
+#include "util/sim_time.h"
+#include "wan/wan.h"
+
+namespace tipsy::traffic {
+
+using util::HourIndex;
+
+struct TrafficConfig {
+  std::uint64_t seed = 7;
+  // Approximate number of flow aggregates to generate.
+  std::size_t flow_target = 20000;
+  // Heavy tail of base volumes: bounded Pareto [min, max] bytes/hour.
+  double pareto_alpha = 1.15;
+  double min_bytes_per_hour = 2e8;   // ~0.4 Mbps
+  double max_bytes_per_hour = 6e11;  // ~1.3 Gbps single aggregate
+  // Per-source-type volume multipliers.
+  double enterprise_volume_factor = 4.0;
+  double cdn_volume_factor = 4.0;
+  // Diurnal swing: traffic at the nightly trough as a fraction of peak.
+  double diurnal_trough = 0.35;
+  // Lognormal sigma of per-hour noise.
+  double hourly_noise_sigma = 0.20;
+  // Flow intermittency: persistent flows (long-lived tunnels, steady
+  // pipelines) send every day; the rest are active only on a random
+  // subset of days. This is why longer training windows help (Figure 9)
+  // and why model accuracy decays with age (Figure 10).
+  double persistent_fraction = 0.45;
+  double daily_active_probability = 0.40;
+};
+
+struct SourceEndpoint {
+  topo::NodeId node;
+  util::MetroId metro;
+  util::Ipv4Prefix prefix24;  // the TIPSY source-prefix feature
+};
+
+struct FlowSpec {
+  std::uint32_t endpoint = 0;     // index into Workload::endpoints()
+  std::uint32_t destination = 0;  // index into Wan::destinations()
+  double base_bytes_per_hour = 0.0;
+  std::uint64_t hash = 0;  // stable identity for jitter / ECMP
+  bool persistent = true;  // sends every day vs intermittent
+};
+
+class Workload {
+ public:
+  // Generates endpoints and flows, and registers every source /24 in the
+  // Geo-IP database (ground-truth geolocation; noise is applied later if
+  // an experiment wants an imprecise database).
+  static Workload Generate(const topo::GeneratedTopology& topology,
+                           const wan::Wan& wan, const TrafficConfig& cfg,
+                           geo::GeoIpDb* geoip);
+
+  [[nodiscard]] const std::vector<SourceEndpoint>& endpoints() const {
+    return endpoints_;
+  }
+  [[nodiscard]] const std::vector<FlowSpec>& flows() const { return flows_; }
+
+  // Ground-truth bytes of flow `flow_idx` during hour `h` (deterministic).
+  [[nodiscard]] double BytesAt(std::size_t flow_idx, HourIndex h) const;
+
+  // Uniformly scales all base volumes (used to calibrate peak link
+  // utilization for a scenario).
+  void ScaleVolumes(double factor);
+  // Scales one flow's base volume (used to script congestion incidents).
+  void ScaleFlow(std::size_t flow_idx, double factor);
+
+  // Total base volume per hour before modulation, for calibration.
+  [[nodiscard]] double TotalBaseBytesPerHour() const;
+
+ private:
+  Workload(const geo::MetroCatalogue* metros, TrafficConfig cfg)
+      : metros_(metros), cfg_(cfg) {}
+
+  const geo::MetroCatalogue* metros_;
+  TrafficConfig cfg_;
+  std::vector<SourceEndpoint> endpoints_;
+  std::vector<FlowSpec> flows_;
+  // Source-type factor folded into base volume at generation time.
+};
+
+}  // namespace tipsy::traffic

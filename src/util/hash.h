@@ -1,0 +1,33 @@
+// Hashing helpers: 64-bit mixing and combination for composite keys.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace tipsy::util {
+
+// Finalizer from SplitMix64; a strong 64-bit mixer.
+[[nodiscard]] constexpr std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Order-dependent combination of two hashes.
+[[nodiscard]] constexpr std::uint64_t HashCombine(std::uint64_t seed,
+                                                  std::uint64_t value) {
+  return Mix64(seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) +
+                       (seed >> 2)));
+}
+
+// Variadic convenience: HashAll(a, b, c) hashes each argument with std::hash
+// and folds them with HashCombine.
+template <typename... Ts>
+[[nodiscard]] std::uint64_t HashAll(const Ts&... values) {
+  std::uint64_t seed = 0x51ed270b35ae2d01ULL;
+  ((seed = HashCombine(seed, std::hash<Ts>{}(values))), ...);
+  return seed;
+}
+
+}  // namespace tipsy::util

@@ -1,0 +1,72 @@
+// Strong identifier types shared across the TIPSY libraries.
+//
+// Raw integers for AS numbers, peering links, metros, prefixes etc. are easy
+// to mix up in a codebase where almost every function takes several of them.
+// StrongId wraps an integral value in a tag-parameterised type so the
+// compiler rejects accidental cross-assignment, while staying trivially
+// copyable and hashable.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace tipsy::util {
+
+// A transparent, tag-distinguished integral id.
+//
+// Invalid ids are represented by the maximum raw value; default construction
+// yields an invalid id so uninitialised ids are detectable.
+template <typename Tag, typename Raw = std::uint32_t>
+class StrongId {
+ public:
+  using raw_type = Raw;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(Raw value) : value_(value) {}
+
+  [[nodiscard]] constexpr Raw value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ != kInvalid; }
+
+  constexpr auto operator<=>(const StrongId&) const = default;
+
+  static constexpr Raw kInvalid = static_cast<Raw>(-1);
+
+ private:
+  Raw value_ = kInvalid;
+};
+
+struct AsTag {};
+struct LinkTag {};
+struct MetroTag {};
+struct RouterTag {};
+struct PrefixTag {};
+struct ServiceTag {};
+struct RegionTag {};
+
+// AS number (we allow 32-bit ASNs).
+using AsId = StrongId<AsTag>;
+// One peering link == one eBGP session (the paper's prediction class).
+using LinkId = StrongId<LinkTag>;
+// Metro-level geographic location.
+using MetroId = StrongId<MetroTag>;
+// WAN edge router.
+using RouterId = StrongId<RouterTag>;
+// Index of an announced (anycast) destination prefix.
+using PrefixId = StrongId<PrefixTag>;
+// Destination service type (storage, web, ...).
+using ServiceId = StrongId<ServiceTag>;
+// Destination region inside the WAN.
+using RegionId = StrongId<RegionTag>;
+
+}  // namespace tipsy::util
+
+namespace std {
+template <typename Tag, typename Raw>
+struct hash<tipsy::util::StrongId<Tag, Raw>> {
+  size_t operator()(const tipsy::util::StrongId<Tag, Raw>& id) const noexcept {
+    return std::hash<Raw>{}(id.value());
+  }
+};
+}  // namespace std

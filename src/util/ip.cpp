@@ -1,0 +1,18 @@
+#include "util/ip.h"
+
+#include <cstdio>
+
+namespace tipsy::util {
+
+std::string Ipv4Addr::ToString() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (bits_ >> 24) & 0xff,
+                (bits_ >> 16) & 0xff, (bits_ >> 8) & 0xff, bits_ & 0xff);
+  return buf;
+}
+
+std::string Ipv4Prefix::ToString() const {
+  return addr_.ToString() + "/" + std::to_string(length_);
+}
+
+}  // namespace tipsy::util

@@ -1,0 +1,96 @@
+// IPv4 address and prefix value types.
+//
+// These live in util (not bgp) because flows, telemetry, geolocation, and
+// routing all speak prefixes. TIPSY's source-prefix feature is fixed at /24
+// (§3.2), so there is a dedicated helper for that truncation.
+#pragma once
+
+#include <cassert>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace tipsy::util {
+
+class Ipv4Addr {
+ public:
+  constexpr Ipv4Addr() = default;
+  constexpr explicit Ipv4Addr(std::uint32_t host_order) : bits_(host_order) {}
+  constexpr Ipv4Addr(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                     std::uint8_t d)
+      : bits_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+              (std::uint32_t{c} << 8) | d) {}
+
+  [[nodiscard]] constexpr std::uint32_t bits() const { return bits_; }
+  constexpr auto operator<=>(const Ipv4Addr&) const = default;
+
+  [[nodiscard]] std::string ToString() const;
+
+ private:
+  std::uint32_t bits_ = 0;
+};
+
+class Ipv4Prefix {
+ public:
+  constexpr Ipv4Prefix() = default;
+  constexpr Ipv4Prefix(Ipv4Addr addr, std::uint8_t length)
+      : addr_(Ipv4Addr(length == 0 ? 0 : (addr.bits() & Mask(length)))),
+        length_(length) {
+    assert(length <= 32);
+  }
+
+  [[nodiscard]] constexpr Ipv4Addr address() const { return addr_; }
+  [[nodiscard]] constexpr std::uint8_t length() const { return length_; }
+
+  [[nodiscard]] constexpr bool Contains(Ipv4Addr a) const {
+    return length_ == 0 || (a.bits() & Mask(length_)) == addr_.bits();
+  }
+  [[nodiscard]] constexpr bool Contains(const Ipv4Prefix& other) const {
+    return other.length_ >= length_ && Contains(other.addr_);
+  }
+
+  // Number of addresses covered.
+  [[nodiscard]] constexpr std::uint64_t size() const {
+    return 1ULL << (32 - length_);
+  }
+
+  constexpr auto operator<=>(const Ipv4Prefix&) const = default;
+
+  [[nodiscard]] std::string ToString() const;
+
+  static constexpr std::uint32_t Mask(std::uint8_t length) {
+    return length == 0 ? 0 : ~std::uint32_t{0} << (32 - length);
+  }
+
+ private:
+  Ipv4Addr addr_;
+  std::uint8_t length_ = 0;
+};
+
+// The /24 containing the address — TIPSY's source-prefix feature (§3.2).
+[[nodiscard]] constexpr Ipv4Prefix Slash24Of(Ipv4Addr a) {
+  return Ipv4Prefix(a, 24);
+}
+[[nodiscard]] constexpr Ipv4Prefix Slash24Of(const Ipv4Prefix& p) {
+  assert(p.length() >= 24);
+  return Ipv4Prefix(p.address(), 24);
+}
+
+}  // namespace tipsy::util
+
+namespace std {
+template <>
+struct hash<tipsy::util::Ipv4Addr> {
+  size_t operator()(const tipsy::util::Ipv4Addr& a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.bits());
+  }
+};
+template <>
+struct hash<tipsy::util::Ipv4Prefix> {
+  size_t operator()(const tipsy::util::Ipv4Prefix& p) const noexcept {
+    return std::hash<std::uint64_t>{}(
+        (static_cast<std::uint64_t>(p.address().bits()) << 8) | p.length());
+  }
+};
+}  // namespace std

@@ -1,0 +1,141 @@
+// Binary prefix trie with longest-prefix-match lookup.
+//
+// The WAN announces variable-length anycast blocks (§2's incident
+// withdraws a /10), destinations live at addresses inside those blocks,
+// and the pipeline has to map a flow's destination address back to the
+// announced prefix the CMS could withdraw. That mapping is longest-prefix
+// match, the same operation a FIB performs.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "util/ip.h"
+
+namespace tipsy::util {
+
+template <typename T>
+class PrefixTrie {
+ public:
+  PrefixTrie() : root_(std::make_unique<Node>()) {}
+
+  // Inserts or replaces the value at `prefix`. Returns true when a new
+  // entry was created, false when an existing one was replaced.
+  bool Insert(Ipv4Prefix prefix, T value) {
+    Node* node = Descend(prefix, /*create=*/true);
+    const bool inserted = !node->value.has_value();
+    node->value = std::move(value);
+    if (inserted) ++size_;
+    return inserted;
+  }
+
+  // Removes the entry at exactly `prefix` (not covered ones).
+  bool Remove(Ipv4Prefix prefix) {
+    Node* node = Descend(prefix, /*create=*/false);
+    if (node == nullptr || !node->value.has_value()) return false;
+    node->value.reset();
+    --size_;
+    return true;
+  }
+
+  // Longest-prefix match for an address; nullptr when nothing covers it.
+  [[nodiscard]] const T* Lookup(Ipv4Addr addr) const {
+    const T* best = nullptr;
+    const Node* node = root_.get();
+    std::uint32_t bits = addr.bits();
+    for (int depth = 0; node != nullptr; ++depth) {
+      if (node->value.has_value()) best = &*node->value;
+      if (depth == 32) break;
+      const bool bit = (bits >> 31) & 1;
+      bits <<= 1;
+      node = node->child[bit ? 1 : 0].get();
+    }
+    return best;
+  }
+
+  // Exact-match lookup at a specific prefix.
+  [[nodiscard]] const T* Find(Ipv4Prefix prefix) const {
+    const Node* node =
+        const_cast<PrefixTrie*>(this)->Descend(prefix, /*create=*/false);
+    if (node == nullptr || !node->value.has_value()) return nullptr;
+    return &*node->value;
+  }
+
+  // The most specific prefix covering `addr` that holds a value.
+  [[nodiscard]] std::optional<Ipv4Prefix> LongestMatchPrefix(
+      Ipv4Addr addr) const {
+    std::optional<Ipv4Prefix> best;
+    const Node* node = root_.get();
+    std::uint32_t bits = addr.bits();
+    std::uint32_t taken = 0;
+    for (int depth = 0; node != nullptr; ++depth) {
+      if (node->value.has_value()) {
+        best = Ipv4Prefix(Ipv4Addr(taken),
+                          static_cast<std::uint8_t>(depth));
+      }
+      if (depth == 32) break;
+      const bool bit = (bits >> 31) & 1;
+      bits <<= 1;
+      taken |= static_cast<std::uint32_t>(bit)
+               << (31 - static_cast<unsigned>(depth));
+      node = node->child[bit ? 1 : 0].get();
+    }
+    return best;
+  }
+
+  // All (prefix, value) entries in lexicographic prefix order.
+  [[nodiscard]] std::vector<std::pair<Ipv4Prefix, T>> Entries() const {
+    std::vector<std::pair<Ipv4Prefix, T>> out;
+    out.reserve(size_);
+    Collect(root_.get(), 0, 0, out);
+    return out;
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+ private:
+  struct Node {
+    std::optional<T> value;
+    std::unique_ptr<Node> child[2];
+  };
+
+  Node* Descend(Ipv4Prefix prefix, bool create) {
+    Node* node = root_.get();
+    std::uint32_t bits = prefix.address().bits();
+    for (std::uint8_t depth = 0; depth < prefix.length(); ++depth) {
+      const bool bit = (bits >> 31) & 1;
+      bits <<= 1;
+      auto& next = node->child[bit ? 1 : 0];
+      if (next == nullptr) {
+        if (!create) return nullptr;
+        next = std::make_unique<Node>();
+      }
+      node = next.get();
+    }
+    return node;
+  }
+
+  static void Collect(const Node* node, std::uint32_t taken, int depth,
+                      std::vector<std::pair<Ipv4Prefix, T>>& out) {
+    if (node == nullptr) return;
+    if (node->value.has_value()) {
+      out.emplace_back(
+          Ipv4Prefix(Ipv4Addr(taken), static_cast<std::uint8_t>(depth)),
+          *node->value);
+    }
+    if (depth == 32) return;
+    Collect(node->child[0].get(), taken, depth + 1, out);
+    Collect(node->child[1].get(),
+            taken | (1u << (31 - static_cast<unsigned>(depth))),
+            depth + 1, out);
+  }
+
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace tipsy::util

@@ -1,0 +1,15 @@
+#include "util/sim_time.h"
+
+#include <cstdio>
+
+namespace tipsy::util {
+
+std::string FormatHour(HourIndex h) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "day %lld %02lld:00",
+                static_cast<long long>(DayIndex(h)),
+                static_cast<long long>(HourOfDay(h)));
+  return buf;
+}
+
+}  // namespace tipsy::util

@@ -1,0 +1,49 @@
+// Simulation time model.
+//
+// TIPSY aggregates telemetry into hour-long chunks (§4.2), so the simulator
+// works at hour granularity: HourIndex 0 is hour zero of the scenario, and
+// days/weeks are derived views. Minute-level detail only matters inside the
+// CMS trigger (>85% for >= 4 minutes), which models sub-hour utilization
+// separately.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace tipsy::util {
+
+using HourIndex = std::int64_t;
+
+constexpr HourIndex kHoursPerDay = 24;
+constexpr HourIndex kHoursPerWeek = 7 * kHoursPerDay;
+
+[[nodiscard]] constexpr HourIndex HourOfDay(HourIndex h) {
+  return ((h % kHoursPerDay) + kHoursPerDay) % kHoursPerDay;
+}
+
+[[nodiscard]] constexpr HourIndex DayIndex(HourIndex h) {
+  return h >= 0 ? h / kHoursPerDay : (h - kHoursPerDay + 1) / kHoursPerDay;
+}
+
+[[nodiscard]] constexpr HourIndex DayOfWeek(HourIndex h) {
+  return ((DayIndex(h) % 7) + 7) % 7;
+}
+
+// Half-open hour interval [begin, end).
+struct HourRange {
+  HourIndex begin = 0;
+  HourIndex end = 0;
+
+  [[nodiscard]] constexpr HourIndex length() const { return end - begin; }
+  [[nodiscard]] constexpr bool Contains(HourIndex h) const {
+    return h >= begin && h < end;
+  }
+  [[nodiscard]] constexpr bool Overlaps(const HourRange& o) const {
+    return begin < o.end && o.begin < end;
+  }
+};
+
+// "day 12, 07:00" style label for logs and tables.
+std::string FormatHour(HourIndex h);
+
+}  // namespace tipsy::util

@@ -1,0 +1,145 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace tipsy::util {
+
+void OnlineStats::Add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+double PercentileSorted(const std::vector<double>& sorted, double q) {
+  assert(!sorted.empty());
+  assert(q >= 0.0 && q <= 1.0);
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto idx = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(idx);
+  if (idx + 1 >= sorted.size()) return sorted.back();
+  return sorted[idx] * (1.0 - frac) + sorted[idx + 1] * frac;
+}
+
+double Percentile(std::vector<double> values, double q) {
+  std::sort(values.begin(), values.end());
+  return PercentileSorted(values, q);
+}
+
+TukeyBox MakeTukeyBox(std::vector<double> values) {
+  assert(!values.empty());
+  std::sort(values.begin(), values.end());
+  TukeyBox box;
+  box.q1 = PercentileSorted(values, 0.25);
+  box.median = PercentileSorted(values, 0.50);
+  box.q3 = PercentileSorted(values, 0.75);
+  const double iqr = box.q3 - box.q1;
+  const double lo_fence = box.q1 - 1.5 * iqr;
+  const double hi_fence = box.q3 + 1.5 * iqr;
+  box.whisker_low = box.q3;
+  box.whisker_high = box.q1;
+  for (double v : values) {
+    if (v < lo_fence || v > hi_fence) {
+      box.outliers.push_back(v);
+    } else {
+      box.whisker_low = std::min(box.whisker_low, v);
+      box.whisker_high = std::max(box.whisker_high, v);
+    }
+  }
+  return box;
+}
+
+void WeightedCdf::Add(double x, double weight) {
+  assert(weight >= 0.0);
+  points_.emplace_back(x, weight);
+  total_ += weight;
+  finalized_ = false;
+}
+
+void WeightedCdf::Finalize() {
+  if (finalized_) return;
+  std::sort(points_.begin(), points_.end());
+  double cum = 0.0;
+  for (auto& [x, w] : points_) {
+    cum += w;
+    w = cum;  // convert weight to cumulative weight in place
+  }
+  finalized_ = true;
+}
+
+double WeightedCdf::Evaluate(double x) const {
+  assert(finalized_);
+  if (points_.empty() || total_ <= 0.0) return 0.0;
+  // Find the last point with x_i <= x.
+  auto it = std::upper_bound(
+      points_.begin(), points_.end(), x,
+      [](double value, const auto& p) { return value < p.first; });
+  if (it == points_.begin()) return 0.0;
+  return std::prev(it)->second / total_;
+}
+
+double WeightedCdf::Quantile(double q) const {
+  assert(finalized_);
+  assert(!points_.empty());
+  const double target = q * total_;
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), target,
+      [](const auto& p, double value) { return p.second < value; });
+  if (it == points_.end()) return points_.back().first;
+  return it->first;
+}
+
+std::vector<std::pair<double, double>> WeightedCdf::Curve(
+    std::size_t n) const {
+  assert(finalized_);
+  std::vector<std::pair<double, double>> curve;
+  if (points_.empty() || n == 0) return curve;
+  curve.reserve(n);
+  const double lo = points_.front().first;
+  const double hi = points_.back().first;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x =
+        n == 1 ? hi : lo + (hi - lo) * static_cast<double>(i) /
+                          static_cast<double>(n - 1);
+    curve.emplace_back(x, Evaluate(x));
+  }
+  return curve;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), bins_(bins, 0.0) {
+  assert(hi > lo && bins > 0);
+}
+
+void Histogram::Add(double x, double weight) {
+  const double span = hi_ - lo_;
+  auto idx = static_cast<std::ptrdiff_t>((x - lo_) / span *
+                                         static_cast<double>(bins_.size()));
+  idx = std::clamp<std::ptrdiff_t>(idx, 0,
+                                   static_cast<std::ptrdiff_t>(bins_.size()) -
+                                       1);
+  bins_[static_cast<std::size_t>(idx)] += weight;
+  total_ += weight;
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                   static_cast<double>(bins_.size());
+}
+
+}  // namespace tipsy::util

@@ -1,0 +1,94 @@
+// Small statistics toolkit used by the evaluation harness: online moments,
+// empirical CDFs, percentiles, and Tukey box-plot summaries (Figure 11 uses
+// Tukey whiskers).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tipsy::util {
+
+// Streaming mean/variance/min/max (Welford).
+class OnlineStats {
+ public:
+  void Add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Percentile of a sample by linear interpolation; q in [0, 1].
+// The input vector is copied; use PercentileSorted on pre-sorted data.
+double Percentile(std::vector<double> values, double q);
+double PercentileSorted(const std::vector<double>& sorted, double q);
+
+// Five-number Tukey summary: whiskers extend to the most extreme data point
+// within 1.5 * IQR of the quartiles (the definition Figure 11 cites).
+struct TukeyBox {
+  double whisker_low = 0.0;
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+  double whisker_high = 0.0;
+  std::vector<double> outliers;
+};
+TukeyBox MakeTukeyBox(std::vector<double> values);
+
+// Weighted empirical CDF: points are (x, weight); Evaluate() gives the
+// cumulative weight fraction at or below x. Used for the byte-weighted CDFs
+// of Figures 2, 3, 6, 7.
+class WeightedCdf {
+ public:
+  void Add(double x, double weight);
+  // Finalize before evaluation; idempotent.
+  void Finalize();
+
+  [[nodiscard]] double Evaluate(double x) const;
+  // x value at which the CDF first reaches fraction q (q in [0, 1]).
+  [[nodiscard]] double Quantile(double q) const;
+  [[nodiscard]] double total_weight() const { return total_; }
+  [[nodiscard]] bool empty() const { return points_.empty(); }
+
+  // Evenly spread sample points for plotting: n (x, F(x)) pairs.
+  [[nodiscard]] std::vector<std::pair<double, double>> Curve(
+      std::size_t n) const;
+
+ private:
+  std::vector<std::pair<double, double>> points_;  // (x, cumulative weight)
+  double total_ = 0.0;
+  bool finalized_ = false;
+};
+
+// Simple fixed-bin histogram over [lo, hi); values outside clamp to the
+// first/last bin.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void Add(double x, double weight = 1.0);
+  [[nodiscard]] double bin_weight(std::size_t i) const { return bins_[i]; }
+  [[nodiscard]] std::size_t bin_count() const { return bins_.size(); }
+  [[nodiscard]] double bin_lo(std::size_t i) const;
+  [[nodiscard]] double total() const { return total_; }
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<double> bins_;
+  double total_ = 0.0;
+};
+
+}  // namespace tipsy::util

@@ -1,0 +1,105 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace tipsy::util {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::AddRule() { rows_.emplace_back(); }
+
+void TextTable::Print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto rule = [&] {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      os << '+' << std::string(widths[c] + 2, '-');
+    }
+    os << "+\n";
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      os << "| " << cell << std::string(widths[c] - cell.size() + 1, ' ');
+    }
+    os << "|\n";
+  };
+  rule();
+  line(header_);
+  rule();
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      rule();
+    } else {
+      line(row);
+    }
+  }
+  rule();
+}
+
+std::string TextTable::ToString() const {
+  std::ostringstream oss;
+  Print(oss);
+  return oss.str();
+}
+
+std::string TextTable::Fixed(double value, int decimals) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(decimals) << value;
+  return oss.str();
+}
+
+std::string TextTable::Percent(double fraction, int decimals) {
+  return Fixed(fraction * 100.0, decimals);
+}
+
+std::string TextTable::Gbps(double bits_per_second, int decimals) {
+  return Fixed(bits_per_second / 1e9, decimals) + "G";
+}
+
+std::string TextTable::HumanBytes(double bytes) {
+  static constexpr const char* kUnits[] = {"B", "KB", "MB", "GB", "TB", "PB"};
+  int unit = 0;
+  while (bytes >= 1024.0 && unit < 5) {
+    bytes /= 1024.0;
+    ++unit;
+  }
+  return Fixed(bytes, bytes < 10 ? 2 : 1) + kUnits[unit];
+}
+
+void CsvWriter::Row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) os_ << ',';
+    const std::string& cell = cells[i];
+    const bool needs_quotes =
+        cell.find_first_of(",\"\n") != std::string::npos;
+    if (!needs_quotes) {
+      os_ << cell;
+      continue;
+    }
+    os_ << '"';
+    for (char ch : cell) {
+      if (ch == '"') os_ << '"';
+      os_ << ch;
+    }
+    os_ << '"';
+  }
+  os_ << '\n';
+}
+
+}  // namespace tipsy::util

@@ -1,0 +1,47 @@
+// Plain-text table renderer used by the benchmark harness to print rows in
+// the same layout as the paper's tables, plus a small CSV writer for the
+// figure series.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tipsy::util {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+  // Insert a horizontal rule before the next row (used to separate model
+  // groups the way the paper's tables do).
+  void AddRule();
+
+  void Print(std::ostream& os) const;
+  [[nodiscard]] std::string ToString() const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+  // Formatting helpers.
+  static std::string Fixed(double value, int decimals = 2);
+  static std::string Percent(double fraction, int decimals = 2);
+  static std::string Gbps(double bits_per_second, int decimals = 1);
+  static std::string HumanBytes(double bytes);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;   // empty row == rule
+};
+
+// Minimal CSV emitter: quotes only when needed, one row per call.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& os) : os_(os) {}
+  void Row(const std::vector<std::string>& cells);
+
+ private:
+  std::ostream& os_;
+};
+
+}  // namespace tipsy::util

@@ -1,0 +1,130 @@
+#include "wan/wan.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/rng.h"
+
+namespace tipsy::wan {
+
+const char* ToString(ServiceType s) {
+  switch (s) {
+    case ServiceType::kStorage: return "storage";
+    case ServiceType::kWeb: return "web";
+    case ServiceType::kEmail: return "email";
+    case ServiceType::kVideoConferencing: return "videoconf";
+    case ServiceType::kVpnGateway: return "vpn";
+    case ServiceType::kAiMlPipeline: return "ai-ml";
+    case ServiceType::kDatabase: return "database";
+    case ServiceType::kCdnFill: return "cdn-fill";
+  }
+  return "?";
+}
+
+Wan::Wan(std::vector<PeeringLinkSpec> link_specs,
+         std::vector<MetroId> region_metros, std::size_t prefix_count,
+         std::uint64_t seed)
+    : region_metros_(std::move(region_metros)),
+      prefix_count_(prefix_count),
+      destinations_by_prefix_(prefix_count) {
+  assert(prefix_count > 0);
+  links_.reserve(link_specs.size());
+  for (auto& spec : link_specs) {
+    assert(spec.id.value() == links_.size() &&
+           "link specs must be dense and ordered");
+    links_.push_back(PeeringLink{spec.id, spec.peer_node, spec.peer_asn,
+                                 spec.peer_type, spec.metro,
+                                 spec.capacity_gbps,
+                                 std::move(spec.router)});
+  }
+  // Announced anycast blocks: variable-length, carved contiguously (with
+  // alignment) out of 20.0.0.0/6-style WAN address space. The §2 incident
+  // withdraws a /10, so lengths span /10../14.
+  util::Rng rng(seed);
+  announced_.reserve(prefix_count);
+  std::uint32_t cursor = 0x14000000u;  // 20.0.0.0
+  for (std::size_t p = 0; p < prefix_count; ++p) {
+    const auto length =
+        static_cast<std::uint8_t>(10 + rng.NextBelow(5));  // /10../14
+    const std::uint32_t block = 1u << (32 - length);
+    cursor = (cursor + block - 1) & ~(block - 1);  // align up
+    const util::Ipv4Prefix prefix(util::Ipv4Addr(cursor), length);
+    announced_.push_back(prefix);
+    prefix_trie_.Insert(prefix, static_cast<std::uint32_t>(p));
+    cursor += block;
+  }
+
+  // One destination per (region, service); each gets a VIP inside one of
+  // the announced blocks. Blocks end up serving many (region, service)
+  // pairs, so withdrawing a prefix shifts a whole bundle of flows -
+  // matching how CMS operates on the advertised granularity (§4.4).
+  destinations_.reserve(region_metros_.size() * kServiceTypeCount);
+  for (std::size_t r = 0; r < region_metros_.size(); ++r) {
+    for (std::size_t s = 0; s < kServiceTypeCount; ++s) {
+      const PrefixId prefix{
+          static_cast<std::uint32_t>(rng.NextBelow(prefix_count))};
+      // Distinct VIP inside the block: one /24-step per destination.
+      const util::Ipv4Addr vip(
+          announced_[prefix.value()].address().bits() +
+          (static_cast<std::uint32_t>(
+               destinations_by_prefix_[prefix.value()].size() + 1)
+           << 8) +
+          10);
+      assert(announced_[prefix.value()].Contains(vip));
+      destinations_.push_back(Destination{
+          RegionId{static_cast<std::uint32_t>(r)}, region_metros_[r],
+          static_cast<ServiceType>(s), prefix, vip});
+      destinations_by_prefix_[prefix.value()].push_back(
+          destinations_.size() - 1);
+      destination_by_address_[vip] = destinations_.size() - 1;
+    }
+  }
+}
+
+util::Ipv4Prefix Wan::AnnouncedPrefix(PrefixId prefix) const {
+  assert(prefix.valid() && prefix.value() < announced_.size());
+  return announced_[prefix.value()];
+}
+
+PrefixId Wan::PrefixOfAddress(util::Ipv4Addr address) const {
+  const std::uint32_t* match = prefix_trie_.Lookup(address);
+  return match == nullptr ? PrefixId{} : PrefixId{*match};
+}
+
+std::optional<std::size_t> Wan::DestinationOfAddress(
+    util::Ipv4Addr address) const {
+  const auto it = destination_by_address_.find(address);
+  if (it == destination_by_address_.end()) return std::nullopt;
+  return it->second;
+}
+
+const PeeringLink& Wan::link(LinkId id) const {
+  assert(id.valid() && id.value() < links_.size());
+  return links_[id.value()];
+}
+
+const std::vector<std::size_t>& Wan::DestinationsOfPrefix(
+    PrefixId prefix) const {
+  assert(prefix.valid() && prefix.value() < prefix_count_);
+  return destinations_by_prefix_[prefix.value()];
+}
+
+std::vector<LinkId> Wan::LinksOfAsnByDistance(
+    util::AsId asn, MetroId metro, const geo::MetroCatalogue& metros,
+    LinkId exclude) const {
+  std::vector<LinkId> out;
+  for (const auto& link : links_) {
+    if (link.peer_asn == asn && link.id != exclude) {
+      out.push_back(link.id);
+    }
+  }
+  std::sort(out.begin(), out.end(), [&](LinkId a, LinkId b) {
+    const double da = metros.DistanceKmBetween(metro, links_[a.value()].metro);
+    const double db = metros.DistanceKmBetween(metro, links_[b.value()].metro);
+    if (da != db) return da < db;
+    return a < b;
+  });
+  return out;
+}
+
+}  // namespace tipsy::wan

@@ -1,0 +1,165 @@
+// The cloud WAN under study: its peering links, internal destinations, and
+// anycast prefix plan.
+//
+// A peering link is one eBGP session (§3.1) with a peer AS at a metro, with
+// a capacity in Gbps. Destinations are (region, service-type) endpoints
+// inside the WAN; each maps to one of the anycast destination prefixes that
+// the WAN advertises everywhere and that the CMS withdraws selectively.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "geo/geo.h"
+#include "topo/as_graph.h"
+#include "util/ids.h"
+#include "util/ip.h"
+#include "util/prefix_trie.h"
+
+namespace tipsy::wan {
+
+using topo::PeeringLinkSpec;
+using util::LinkId;
+using util::MetroId;
+using util::PrefixId;
+using util::RegionId;
+using util::ServiceId;
+
+// Cloud service classes hosted behind WAN destinations. The paper's
+// intuition (§3.2): application-layer load balancing behaviour differs by
+// service, so destination type is always a model feature.
+enum class ServiceType : std::uint8_t {
+  kStorage,
+  kWeb,
+  kEmail,
+  kVideoConferencing,
+  kVpnGateway,
+  kAiMlPipeline,
+  kDatabase,
+  kCdnFill,
+};
+constexpr std::size_t kServiceTypeCount = 8;
+
+[[nodiscard]] const char* ToString(ServiceType s);
+
+struct PeeringLink {
+  LinkId id;
+  topo::NodeId peer_node;
+  util::AsId peer_asn;
+  topo::AsType peer_type;
+  MetroId metro;
+  double capacity_gbps = 0.0;
+  std::string router;
+
+  // Bytes the link can carry in one hour at 100% utilization.
+  [[nodiscard]] double CapacityBytesPerHour() const {
+    return capacity_gbps * 1e9 / 8.0 * 3600.0;
+  }
+};
+
+// An internal endpoint: a (region, service) pair served at a concrete
+// address inside one of the WAN's announced anycast blocks.
+struct Destination {
+  RegionId region;       // dense index over the WAN's region metros
+  MetroId region_metro;  // geographic location of the region
+  ServiceType service;
+  PrefixId prefix;          // announced block containing `address`
+  util::Ipv4Addr address;   // VIP the flows actually target
+};
+
+class Wan {
+ public:
+  // Builds the link registry and the destination/prefix plan.
+  // `region_metros` are the WAN presence metros (each one hosts a region);
+  // `prefix_count` anycast prefixes are spread over destinations.
+  Wan(std::vector<PeeringLinkSpec> links,
+      std::vector<MetroId> region_metros, std::size_t prefix_count,
+      std::uint64_t seed);
+
+  [[nodiscard]] const PeeringLink& link(LinkId id) const;
+  [[nodiscard]] const std::vector<PeeringLink>& links() const {
+    return links_;
+  }
+  [[nodiscard]] std::size_t link_count() const { return links_.size(); }
+
+  [[nodiscard]] const std::vector<Destination>& destinations() const {
+    return destinations_;
+  }
+  [[nodiscard]] const Destination& destination(std::size_t i) const {
+    return destinations_[i];
+  }
+  [[nodiscard]] std::size_t destination_count() const {
+    return destinations_.size();
+  }
+
+  [[nodiscard]] std::size_t prefix_count() const { return prefix_count_; }
+  [[nodiscard]] std::size_t region_count() const {
+    return region_metros_.size();
+  }
+  [[nodiscard]] MetroId region_metro(RegionId region) const {
+    return region_metros_[region.value()];
+  }
+
+  // Destination indices served by a prefix (what shifts on withdrawal).
+  [[nodiscard]] const std::vector<std::size_t>& DestinationsOfPrefix(
+      PrefixId prefix) const;
+
+  // The announced block behind a prefix id (variable length, /10../14 -
+  // the §2 incident withdraws a /10).
+  [[nodiscard]] util::Ipv4Prefix AnnouncedPrefix(PrefixId prefix) const;
+  // Longest-prefix match of a destination address to its announced block;
+  // invalid PrefixId when the address is not in WAN space.
+  [[nodiscard]] PrefixId PrefixOfAddress(util::Ipv4Addr address) const;
+  // Destination index serving the address (exact VIP match).
+  [[nodiscard]] std::optional<std::size_t> DestinationOfAddress(
+      util::Ipv4Addr address) const;
+
+  // Links sorted for "other interfaces of peer AS by distance" queries:
+  // all links of `asn` except `exclude`, closest to `metro` first. This is
+  // exactly the ranking Hist_{AL+G} uses (§3.3.1), computed against the
+  // WAN's precisely known link locations.
+  [[nodiscard]] std::vector<LinkId> LinksOfAsnByDistance(
+      util::AsId asn, MetroId metro, const geo::MetroCatalogue& metros,
+      LinkId exclude) const;
+
+ private:
+  std::vector<PeeringLink> links_;
+  std::vector<MetroId> region_metros_;
+  std::size_t prefix_count_;
+  std::vector<Destination> destinations_;
+  std::vector<std::vector<std::size_t>> destinations_by_prefix_;
+  std::vector<util::Ipv4Prefix> announced_;  // by PrefixId
+  util::PrefixTrie<std::uint32_t> prefix_trie_;  // LPM addr -> PrefixId
+  std::unordered_map<util::Ipv4Addr, std::size_t> destination_by_address_;
+};
+
+// Tracks per-link ingress bytes within one hour window.
+class UtilizationTracker {
+ public:
+  explicit UtilizationTracker(std::size_t link_count)
+      : bytes_(link_count, 0.0) {}
+
+  void AddBytes(LinkId link, double bytes) {
+    bytes_[link.value()] += bytes;
+  }
+  void Reset() { std::fill(bytes_.begin(), bytes_.end(), 0.0); }
+
+  [[nodiscard]] double bytes(LinkId link) const {
+    return bytes_[link.value()];
+  }
+  // Average utilization over the hour as a fraction of capacity.
+  [[nodiscard]] double Utilization(LinkId link, const Wan& wan) const {
+    const double cap = wan.link(link).CapacityBytesPerHour();
+    return cap > 0.0 ? bytes_[link.value()] / cap : 0.0;
+  }
+
+  [[nodiscard]] std::size_t link_count() const { return bytes_.size(); }
+
+ private:
+  std::vector<double> bytes_;
+};
+
+}  // namespace tipsy::wan

@@ -1,0 +1,176 @@
+// Corner cases of the Gao-Rexford propagation on a deeper hand-built
+// topology: preference inversions, peer-route export restrictions, and
+// multi-tier provider chains.
+#include <gtest/gtest.h>
+
+#include "bgp/routing.h"
+#include "topo/as_graph.h"
+
+namespace tipsy::bgp {
+namespace {
+
+using topo::AsGraph;
+using topo::AsType;
+using topo::InterconnectPoint;
+using topo::NodeId;
+using topo::Relationship;
+using util::AsId;
+using util::LinkId;
+using util::MetroId;
+using util::PrefixId;
+
+// Chain world:
+//
+//   WAN at M0.
+//   T1 sells the WAN transit (customer route), link L0 @ M0.
+//   P1 peers with the WAN, link L1 @ M0.
+//   MID is T1's customer and P1's customer.
+//   LEAF is MID's customer.
+//   LONE peers with MID (and has no other connectivity).
+class ChainFixture : public ::testing::Test {
+ protected:
+  ChainFixture() {
+    m0_ = metros_.Add("M0", {0.0, 0.0}, geo::Continent::kEurope, 1.0);
+    wan_ = graph_.AddNode(AsId{8075}, AsType::kCloudWan, "wan", {m0_});
+    t1_ = graph_.AddNode(AsId{1}, AsType::kTier1, "t1", {m0_});
+    p1_ = graph_.AddNode(AsId{2}, AsType::kRegionalTransit, "p1", {m0_});
+    mid_ = graph_.AddNode(AsId{3}, AsType::kAccessIsp, "mid", {m0_});
+    leaf_ = graph_.AddNode(AsId{4}, AsType::kEnterprise, "leaf", {m0_});
+    lone_ = graph_.AddNode(AsId{5}, AsType::kAccessIsp, "lone", {m0_});
+
+    links_ = {
+        topo::PeeringLinkSpec{LinkId{0}, t1_, AsId{1}, AsType::kTier1, m0_,
+                              100.0, "M0-a"},
+        topo::PeeringLinkSpec{LinkId{1}, p1_, AsId{2},
+                              AsType::kRegionalTransit, m0_, 100.0,
+                              "M0-b"},
+    };
+    graph_.AddAdjacency(t1_, wan_, Relationship::kCustomer,
+                        {InterconnectPoint{m0_, {LinkId{0}}}});
+    graph_.AddAdjacency(p1_, wan_, Relationship::kPeer,
+                        {InterconnectPoint{m0_, {LinkId{1}}}});
+    graph_.AddAdjacency(mid_, t1_, Relationship::kProvider,
+                        {InterconnectPoint{m0_, {}}});
+    graph_.AddAdjacency(mid_, p1_, Relationship::kProvider,
+                        {InterconnectPoint{m0_, {}}});
+    graph_.AddAdjacency(leaf_, mid_, Relationship::kProvider,
+                        {InterconnectPoint{m0_, {}}});
+    graph_.AddAdjacency(lone_, mid_, Relationship::kPeer,
+                        {InterconnectPoint{m0_, {}}});
+    EXPECT_EQ(graph_.Validate(), "");
+  }
+
+  ResolveConfig CleanConfig() const {
+    ResolveConfig cfg;
+    cfg.flow_jitter = 0.0;
+    cfg.static_bias_km = 0.0;
+    cfg.slow_bias_km = 0.0;
+    cfg.daily_bias_km = 0.0;
+    cfg.session_filter_rate = 0.0;
+    return cfg;
+  }
+
+  geo::MetroCatalogue metros_;
+  AsGraph graph_;
+  NodeId wan_, t1_, p1_, mid_, leaf_, lone_;
+  MetroId m0_;
+  std::vector<topo::PeeringLinkSpec> links_;
+};
+
+TEST_F(ChainFixture, ProviderChainDistances) {
+  RoutingEngine engine(&graph_, &metros_, &links_, 1, CleanConfig());
+  AdvertisementState state(2, 1);
+  const auto& routing = engine.Routing(PrefixId{0}, state);
+  // MID: two provider routes at distance 2 (via T1 and via P1).
+  EXPECT_EQ(routing.per_node[mid_.value()].cls, RouteClass::kProvider);
+  EXPECT_EQ(routing.per_node[mid_.value()].as_path_len, 2);
+  EXPECT_EQ(routing.per_node[mid_.value()].candidates.size(), 2u);
+  // LEAF: one more provider hop.
+  EXPECT_EQ(routing.per_node[leaf_.value()].cls, RouteClass::kProvider);
+  EXPECT_EQ(routing.per_node[leaf_.value()].as_path_len, 3);
+}
+
+TEST_F(ChainFixture, PeerDoesNotExportProviderRoutes) {
+  // LONE peers with MID, whose best route is a provider route. Gao-Rexford
+  // forbids exporting provider routes to peers, so LONE is unreachable.
+  RoutingEngine engine(&graph_, &metros_, &links_, 1, CleanConfig());
+  AdvertisementState state(2, 1);
+  const auto& routing = engine.Routing(PrefixId{0}, state);
+  EXPECT_FALSE(routing.per_node[lone_.value()].reachable());
+  EXPECT_TRUE(
+      engine.ResolveIngress(lone_, m0_, PrefixId{0}, 1, 0, state).empty());
+}
+
+TEST_F(ChainFixture, PeerRoutePreferredOverShorterProviderRoute) {
+  // Give LEAF a direct peer adjacency to T1. T1's best route is a
+  // customer route (distance 1), which it exports to peers, giving LEAF a
+  // peer route at distance 2 - preferred over the provider route at
+  // distance 3, AND over a provider route even if that one were shorter.
+  graph_.AddAdjacency(leaf_, t1_, Relationship::kPeer,
+                      {InterconnectPoint{m0_, {}}});
+  RoutingEngine engine(&graph_, &metros_, &links_, 1, CleanConfig());
+  AdvertisementState state(2, 1);
+  const auto& routing = engine.Routing(PrefixId{0}, state);
+  EXPECT_EQ(routing.per_node[leaf_.value()].cls, RouteClass::kPeer);
+  EXPECT_EQ(routing.per_node[leaf_.value()].as_path_len, 2);
+  // And LONE now reaches nothing still (unchanged).
+  EXPECT_FALSE(routing.per_node[lone_.value()].reachable());
+}
+
+TEST_F(ChainFixture, WithdrawalCascadesThroughChain) {
+  RoutingEngine engine(&graph_, &metros_, &links_, 1, CleanConfig());
+  AdvertisementState state(2, 1);
+  // Withdraw at T1's link: everything must converge on P1's link L1.
+  state.Withdraw(PrefixId{0}, LinkId{0});
+  for (NodeId node : {mid_, leaf_}) {
+    const auto shares =
+        engine.ResolveIngress(node, m0_, PrefixId{0}, 1, 0, state);
+    ASSERT_FALSE(shares.empty());
+    EXPECT_EQ(shares.front().link, LinkId{1});
+  }
+  // Withdraw at both: the world goes dark.
+  state.Withdraw(PrefixId{0}, LinkId{1});
+  for (NodeId node : {t1_, p1_, mid_, leaf_}) {
+    EXPECT_TRUE(
+        engine.ResolveIngress(node, m0_, PrefixId{0}, 1, 0, state).empty());
+  }
+  // Re-announce restores everything.
+  state.Announce(PrefixId{0}, LinkId{0});
+  EXPECT_FALSE(
+      engine.ResolveIngress(leaf_, m0_, PrefixId{0}, 1, 0, state).empty());
+}
+
+TEST_F(ChainFixture, TracedPathFollowsChain) {
+  RoutingEngine engine(&graph_, &metros_, &links_, 1, CleanConfig());
+  AdvertisementState state(2, 1);
+  const auto traced =
+      engine.ResolveIngressTraced(leaf_, m0_, PrefixId{0}, 1, 0, state);
+  ASSERT_FALSE(traced.empty());
+  for (const auto& share : traced) {
+    ASSERT_EQ(share.as_path.size(), 3u);
+    EXPECT_EQ(share.as_path[0], leaf_);
+    EXPECT_EQ(share.as_path[1], mid_);
+    EXPECT_TRUE(share.as_path[2] == t1_ || share.as_path[2] == p1_);
+  }
+}
+
+TEST_F(ChainFixture, CustomerRoutePreferredAtTier1) {
+  // Add a peer adjacency T1 <-> P1: T1 must keep its customer route (via
+  // the WAN) rather than anything learned from its peer.
+  graph_.AddAdjacency(t1_, p1_, Relationship::kPeer,
+                      {InterconnectPoint{m0_, {}}});
+  RoutingEngine engine(&graph_, &metros_, &links_, 1, CleanConfig());
+  AdvertisementState state(2, 1);
+  const auto& routing = engine.Routing(PrefixId{0}, state);
+  EXPECT_EQ(routing.per_node[t1_.value()].cls, RouteClass::kCustomer);
+  EXPECT_EQ(routing.per_node[t1_.value()].as_path_len, 1);
+  // Even after losing its own link, T1 prefers the peer route via P1 to
+  // nothing (P1's best is a peer route, which P1 does NOT export to its
+  // peer T1 - so T1 actually goes dark).
+  state.Withdraw(PrefixId{0}, LinkId{0});
+  const auto& after = engine.Routing(PrefixId{0}, state);
+  EXPECT_FALSE(after.per_node[t1_.value()].reachable());
+}
+
+}  // namespace
+}  // namespace tipsy::bgp

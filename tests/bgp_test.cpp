@@ -1,0 +1,340 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bgp/advertisement.h"
+#include "bgp/routing.h"
+#include "topo/as_graph.h"
+
+namespace tipsy::bgp {
+namespace {
+
+using topo::AsGraph;
+using topo::AsType;
+using topo::InterconnectPoint;
+using topo::NodeId;
+using topo::Relationship;
+using util::AsId;
+using util::LinkId;
+using util::MetroId;
+using util::PrefixId;
+
+// ------------------------------------------------- advertisement state
+
+TEST(AdvertisementState, DefaultsToFullyAdvertised) {
+  AdvertisementState state(3, 2);
+  for (std::uint32_t l = 0; l < 3; ++l) {
+    for (std::uint32_t p = 0; p < 2; ++p) {
+      EXPECT_TRUE(state.IsAdvertised(LinkId{l}, PrefixId{p}));
+    }
+  }
+  EXPECT_EQ(state.down_link_count(), 0u);
+  EXPECT_EQ(state.withdrawn_pair_count(), 0u);
+}
+
+TEST(AdvertisementState, WithdrawAndReannounce) {
+  AdvertisementState state(2, 2);
+  const auto v0 = state.PrefixVersion(PrefixId{0});
+  state.Withdraw(PrefixId{0}, LinkId{1});
+  EXPECT_FALSE(state.IsAdvertised(LinkId{1}, PrefixId{0}));
+  EXPECT_TRUE(state.IsAdvertised(LinkId{0}, PrefixId{0}));
+  EXPECT_TRUE(state.IsAdvertised(LinkId{1}, PrefixId{1}));
+  EXPECT_NE(state.PrefixVersion(PrefixId{0}), v0);
+  state.Announce(PrefixId{0}, LinkId{1});
+  EXPECT_TRUE(state.IsAdvertised(LinkId{1}, PrefixId{0}));
+}
+
+TEST(AdvertisementState, IdempotentOperationsDoNotBumpVersion) {
+  AdvertisementState state(2, 1);
+  state.Withdraw(PrefixId{0}, LinkId{0});
+  const auto v = state.PrefixVersion(PrefixId{0});
+  state.Withdraw(PrefixId{0}, LinkId{0});  // already withdrawn
+  EXPECT_EQ(state.PrefixVersion(PrefixId{0}), v);
+  state.Announce(PrefixId{0}, LinkId{1});  // was never withdrawn
+  EXPECT_EQ(state.PrefixVersion(PrefixId{0}), v);
+}
+
+TEST(AdvertisementState, LinkDownSuppressesAllPrefixes) {
+  AdvertisementState state(2, 2);
+  state.SetLinkUp(LinkId{0}, false);
+  EXPECT_FALSE(state.IsAdvertised(LinkId{0}, PrefixId{0}));
+  EXPECT_FALSE(state.IsAdvertised(LinkId{0}, PrefixId{1}));
+  EXPECT_FALSE(state.IsLinkUp(LinkId{0}));
+  EXPECT_EQ(state.down_link_count(), 1u);
+  state.SetLinkUp(LinkId{0}, true);
+  EXPECT_TRUE(state.IsAdvertised(LinkId{0}, PrefixId{0}));
+}
+
+TEST(AdvertisementState, CopiesHaveDistinctVersions) {
+  // Regression: two states with identical edit counts must never share a
+  // cache key, or the routing engine would serve stale routes.
+  AdvertisementState a(2, 1);
+  AdvertisementState b(a);
+  a.Withdraw(PrefixId{0}, LinkId{0});
+  b.Withdraw(PrefixId{0}, LinkId{1});
+  EXPECT_NE(a.PrefixVersion(PrefixId{0}), b.PrefixVersion(PrefixId{0}));
+}
+
+// --------------------------------------------------------- fixture
+
+// Hand-built world:
+//
+//   metros: M0 (0E), M1 (20E), M2 (40E), M3 (60E), all on the equator.
+//
+//   WAN presence {M0, M1, M2}
+//   T1  tier1, presence {M0, M1, M3}; WAN buys transit from it.
+//       links: L0 @ M0, L1 @ M1
+//   P1  peer of the WAN, presence {M2, M3}; link L2 @ M2.
+//   C1  enterprise, presence {M3}; customer of T1 and of P1.
+class RoutingFixture : public ::testing::Test {
+ protected:
+  RoutingFixture() {
+    m0_ = metros_.Add("M0", {0.0, 0.0}, geo::Continent::kEurope, 1.0);
+    m1_ = metros_.Add("M1", {0.0, 20.0}, geo::Continent::kEurope, 1.0);
+    m2_ = metros_.Add("M2", {0.0, 40.0}, geo::Continent::kEurope, 1.0);
+    m3_ = metros_.Add("M3", {0.0, 60.0}, geo::Continent::kEurope, 1.0);
+
+    wan_ = graph_.AddNode(AsId{8075}, AsType::kCloudWan, "wan",
+                          {m0_, m1_, m2_});
+    t1_ = graph_.AddNode(AsId{100}, AsType::kTier1, "t1", {m0_, m1_, m3_});
+    p1_ = graph_.AddNode(AsId{200}, AsType::kRegionalTransit, "p1",
+                         {m2_, m3_});
+    c1_ = graph_.AddNode(AsId{300}, AsType::kEnterprise, "c1", {m3_});
+
+    links_ = {
+        topo::PeeringLinkSpec{LinkId{0}, t1_, AsId{100}, AsType::kTier1,
+                              m0_, 100.0, "M0-a"},
+        topo::PeeringLinkSpec{LinkId{1}, t1_, AsId{100}, AsType::kTier1,
+                              m1_, 100.0, "M1-a"},
+        topo::PeeringLinkSpec{LinkId{2}, p1_, AsId{200},
+                              AsType::kRegionalTransit, m2_, 100.0,
+                              "M2-a"},
+    };
+    // T1 <-> WAN: WAN is T1's customer (T1 sells the WAN transit).
+    graph_.AddAdjacency(t1_, wan_, Relationship::kCustomer,
+                        {InterconnectPoint{m0_, {LinkId{0}}},
+                         InterconnectPoint{m1_, {LinkId{1}}}});
+    // P1 <-> WAN: settlement-free peering.
+    graph_.AddAdjacency(p1_, wan_, Relationship::kPeer,
+                        {InterconnectPoint{m2_, {LinkId{2}}}});
+    // C1 buys transit from both T1 and P1 (interconnect at M3).
+    graph_.AddAdjacency(c1_, t1_, Relationship::kProvider,
+                        {InterconnectPoint{m3_, {}}});
+    graph_.AddAdjacency(c1_, p1_, Relationship::kProvider,
+                        {InterconnectPoint{m3_, {}}});
+    EXPECT_EQ(graph_.Validate(), "");
+  }
+
+  // Noise-free resolution so outcomes are exactly predictable.
+  ResolveConfig CleanConfig() const {
+    ResolveConfig cfg;
+    cfg.flow_jitter = 0.0;
+    cfg.static_bias_km = 0.0;
+    cfg.slow_bias_km = 0.0;
+    cfg.daily_bias_km = 0.0;
+    cfg.session_filter_rate = 0.0;
+    cfg.tau_km = 1.0;  // near-hard hot-potato choice
+    return cfg;
+  }
+
+  RoutingEngine MakeEngine() {
+    return RoutingEngine(&graph_, &metros_, &links_, /*prefix_count=*/2,
+                         CleanConfig());
+  }
+
+  geo::MetroCatalogue metros_;
+  AsGraph graph_;
+  NodeId wan_, t1_, p1_, c1_;
+  MetroId m0_, m1_, m2_, m3_;
+  std::vector<topo::PeeringLinkSpec> links_;
+};
+
+TEST_F(RoutingFixture, ClassesAndDistances) {
+  auto engine = MakeEngine();
+  AdvertisementState state(3, 2);
+  const auto& routing = engine.Routing(PrefixId{0}, state);
+
+  // T1 sees the WAN as its customer: customer route, 1 hop.
+  EXPECT_EQ(routing.per_node[t1_.value()].cls, RouteClass::kCustomer);
+  EXPECT_EQ(routing.per_node[t1_.value()].as_path_len, 1);
+  // P1 peers: peer route, 1 hop.
+  EXPECT_EQ(routing.per_node[p1_.value()].cls, RouteClass::kPeer);
+  EXPECT_EQ(routing.per_node[p1_.value()].as_path_len, 1);
+  // C1 reaches via a provider, 2 hops. Note: P1's best route is a peer
+  // route, which it still exports to its customer C1, so C1 has two
+  // provider candidates.
+  EXPECT_EQ(routing.per_node[c1_.value()].cls, RouteClass::kProvider);
+  EXPECT_EQ(routing.per_node[c1_.value()].as_path_len, 2);
+  EXPECT_EQ(routing.per_node[c1_.value()].candidates.size(), 2u);
+}
+
+TEST_F(RoutingFixture, AsDistance) {
+  auto engine = MakeEngine();
+  EXPECT_EQ(engine.AsDistance(t1_).value(), 1);
+  EXPECT_EQ(engine.AsDistance(p1_).value(), 1);
+  EXPECT_EQ(engine.AsDistance(c1_).value(), 2);
+  EXPECT_EQ(engine.AsDistance(wan_).value(), 0);
+}
+
+TEST_F(RoutingFixture, SharesSumToOne) {
+  auto engine = MakeEngine();
+  AdvertisementState state(3, 2);
+  const auto shares =
+      engine.ResolveIngress(c1_, m3_, PrefixId{0}, 123, 0, state);
+  ASSERT_FALSE(shares.empty());
+  double total = 0.0;
+  for (const auto& share : shares) total += share.fraction;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST_F(RoutingFixture, HotPotatoPicksNearestExit) {
+  auto engine = MakeEngine();
+  AdvertisementState state(3, 2);
+  // A flow sourced inside T1 at M0 exits at M0's link; at M1, at M1's.
+  const auto at_m0 =
+      engine.ResolveIngress(t1_, m0_, PrefixId{0}, 1, 0, state);
+  ASSERT_FALSE(at_m0.empty());
+  EXPECT_EQ(at_m0.front().link, LinkId{0});
+  EXPECT_GT(at_m0.front().fraction, 0.95);
+  const auto at_m1 =
+      engine.ResolveIngress(t1_, m1_, PrefixId{0}, 1, 0, state);
+  EXPECT_EQ(at_m1.front().link, LinkId{1});
+}
+
+TEST_F(RoutingFixture, WithdrawalMovesTrafficToSiblingLink) {
+  auto engine = MakeEngine();
+  AdvertisementState state(3, 2);
+  state.Withdraw(PrefixId{0}, LinkId{0});
+  const auto shares =
+      engine.ResolveIngress(t1_, m0_, PrefixId{0}, 1, 0, state);
+  ASSERT_FALSE(shares.empty());
+  EXPECT_EQ(shares.front().link, LinkId{1});
+  // The other prefix is unaffected.
+  const auto other =
+      engine.ResolveIngress(t1_, m0_, PrefixId{1}, 1, 0, state);
+  EXPECT_EQ(other.front().link, LinkId{0});
+}
+
+TEST_F(RoutingFixture, FullWithdrawalRemovesNeighborRoute) {
+  auto engine = MakeEngine();
+  AdvertisementState state(3, 2);
+  state.Withdraw(PrefixId{0}, LinkId{0});
+  state.Withdraw(PrefixId{0}, LinkId{1});
+  const auto& routing = engine.Routing(PrefixId{0}, state);
+  // T1 lost its direct advertisement. Its only remaining route would be
+  // via its customer C1 -> P1, but C1 has no customer route to export, so
+  // T1 is unreachable... unless it learns from a peer/customer. In this
+  // topology T1 ends up with no route.
+  EXPECT_FALSE(routing.per_node[t1_.value()].reachable());
+  // C1 still reaches via P1.
+  EXPECT_TRUE(routing.per_node[c1_.value()].reachable());
+  const auto shares =
+      engine.ResolveIngress(c1_, m3_, PrefixId{0}, 1, 0, state);
+  ASSERT_FALSE(shares.empty());
+  EXPECT_EQ(shares.front().link, LinkId{2});
+}
+
+TEST_F(RoutingFixture, OutageBehavesLikeFullWithdrawal) {
+  auto engine = MakeEngine();
+  AdvertisementState state(3, 2);
+  state.SetLinkUp(LinkId{0}, false);
+  state.SetLinkUp(LinkId{1}, false);
+  const auto& routing = engine.Routing(PrefixId{1}, state);
+  EXPECT_FALSE(routing.per_node[t1_.value()].reachable());
+  EXPECT_TRUE(routing.per_node[c1_.value()].reachable());
+}
+
+TEST_F(RoutingFixture, CacheInvalidatesAcrossStates) {
+  auto engine = MakeEngine();
+  AdvertisementState full(3, 2);
+  AdvertisementState withdrawn(3, 2);
+  withdrawn.Withdraw(PrefixId{0}, LinkId{0});
+  // Interleave queries against both states; each must see its own world.
+  EXPECT_EQ(engine.ResolveIngress(t1_, m0_, PrefixId{0}, 1, 0, full)
+                .front()
+                .link,
+            LinkId{0});
+  EXPECT_EQ(engine.ResolveIngress(t1_, m0_, PrefixId{0}, 1, 0, withdrawn)
+                .front()
+                .link,
+            LinkId{1});
+  EXPECT_EQ(engine.ResolveIngress(t1_, m0_, PrefixId{0}, 1, 0, full)
+                .front()
+                .link,
+            LinkId{0});
+}
+
+TEST_F(RoutingFixture, DeterministicResolution) {
+  auto engine = MakeEngine();
+  AdvertisementState state(3, 2);
+  const auto a = engine.ResolveIngress(c1_, m3_, PrefixId{0}, 99, 3, state);
+  const auto b = engine.ResolveIngress(c1_, m3_, PrefixId{0}, 99, 3, state);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].link, b[i].link);
+    EXPECT_DOUBLE_EQ(a[i].fraction, b[i].fraction);
+  }
+}
+
+TEST_F(RoutingFixture, SharesSortedDescending) {
+  ResolveConfig cfg = CleanConfig();
+  cfg.tau_km = 5000.0;  // soft choice: multiple exits share traffic
+  RoutingEngine engine(&graph_, &metros_, &links_, 2, cfg);
+  AdvertisementState state(3, 2);
+  const auto shares =
+      engine.ResolveIngress(t1_, m0_, PrefixId{0}, 1, 0, state);
+  ASSERT_GE(shares.size(), 2u);
+  for (std::size_t i = 1; i < shares.size(); ++i) {
+    EXPECT_GE(shares[i - 1].fraction, shares[i].fraction);
+  }
+}
+
+TEST_F(RoutingFixture, SessionFilterIsDeterministicAndRateBounded) {
+  ResolveConfig cfg = CleanConfig();
+  cfg.session_filter_rate = 0.3;
+  RoutingEngine engine(&graph_, &metros_, &links_, 2, cfg);
+  RoutingEngine engine2(&graph_, &metros_, &links_, 2, cfg);
+  int filtered = 0;
+  int total = 0;
+  for (std::uint32_t l = 0; l < 3; ++l) {
+    for (std::uint32_t p = 0; p < 2; ++p) {
+      ++total;
+      EXPECT_EQ(engine.SessionAccepts(LinkId{l}, PrefixId{p}),
+                engine2.SessionAccepts(LinkId{l}, PrefixId{p}));
+      if (!engine.SessionAccepts(LinkId{l}, PrefixId{p})) ++filtered;
+    }
+  }
+  EXPECT_LT(filtered, total);  // not everything filtered
+}
+
+TEST_F(RoutingFixture, UnreachableSourceGivesEmptyShares) {
+  // An isolated node with no adjacencies cannot deliver traffic.
+  const auto island = graph_.AddNode(AsId{400}, AsType::kEnterprise,
+                                     "island", {m3_});
+  auto engine = MakeEngine();
+  AdvertisementState state(3, 2);
+  EXPECT_TRUE(
+      engine.ResolveIngress(island, m3_, PrefixId{0}, 1, 0, state).empty());
+}
+
+TEST_F(RoutingFixture, PolicyDriftChangesChoicesAcrossDays) {
+  ResolveConfig cfg = CleanConfig();
+  cfg.daily_bias_km = 4000.0;  // exaggerate daily drift
+  RoutingEngine engine(&graph_, &metros_, &links_, 2, cfg);
+  AdvertisementState state(3, 2);
+  // Over many days the chosen link must flip at least once.
+  bool flipped = false;
+  const auto first =
+      engine.ResolveIngress(t1_, m0_, PrefixId{0}, 1, 0, state);
+  for (int day = 1; day < 30 && !flipped; ++day) {
+    const auto shares =
+        engine.ResolveIngress(t1_, m0_, PrefixId{0}, 1, day, state);
+    if (!shares.empty() && shares.front().link != first.front().link) {
+      flipped = true;
+    }
+  }
+  EXPECT_TRUE(flipped);
+}
+
+}  // namespace
+}  // namespace tipsy::bgp

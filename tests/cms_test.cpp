@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "cms/cms.h"
+#include "scenario/experiment.h"
+
+namespace tipsy::cms {
+namespace {
+
+class CmsTest : public ::testing::Test {
+ protected:
+  CmsTest() {
+    auto cfg = scenario::TinyScenarioConfig();
+    cfg.traffic.flow_target = 600;
+    cfg.horizon = util::HourRange{0, 26 * util::kHoursPerDay};
+    world_ = std::make_unique<scenario::Scenario>(cfg);
+    auto windows = scenario::PaperWindows();
+    windows.train = util::HourRange{0, 14 * util::kHoursPerDay};
+    windows.test = util::HourRange{windows.train.end,
+                                   windows.train.end + 24};
+    experiment_ = std::make_unique<scenario::ExperimentResult>(
+        scenario::RunExperiment(*world_, windows));
+  }
+
+  std::unique_ptr<scenario::Scenario> world_;
+  std::unique_ptr<scenario::ExperimentResult> experiment_;
+};
+
+TEST_F(CmsTest, SustainedMinutesReflectUtilization) {
+  CongestionMitigationSystem cms(world_.get(), experiment_->tipsy.get(),
+                                 CmsConfig{});
+  // Far below the trigger: never sustained. Far above: the whole hour.
+  EXPECT_EQ(cms.SustainedMinutesAbove(util::LinkId{0}, 10, 0.10), 0);
+  EXPECT_EQ(cms.SustainedMinutesAbove(util::LinkId{0}, 10, 2.00), 60);
+  // Near the trigger: somewhere in between, and deterministic.
+  const int near = cms.SustainedMinutesAbove(util::LinkId{0}, 10, 0.86);
+  EXPECT_EQ(near, cms.SustainedMinutesAbove(util::LinkId{0}, 10, 0.86));
+  EXPECT_GE(near, 0);
+  EXPECT_LE(near, 60);
+}
+
+TEST_F(CmsTest, QuietHoursTriggerNothing) {
+  CongestionMitigationSystem cms(world_.get(), experiment_->tipsy.get(),
+                                 CmsConfig{});
+  const std::vector<double> idle(world_->wan().link_count(), 0.0);
+  cms.ObserveHour(0, idle, {});
+  EXPECT_TRUE(cms.events().empty());
+  EXPECT_TRUE(cms.actions().empty());
+}
+
+TEST_F(CmsTest, OverloadTriggersWithdrawalOfTopPrefix) {
+  CongestionMitigationSystem cms(world_.get(), experiment_->tipsy.get(),
+                                 CmsConfig{});
+  const util::LinkId hot{0};
+  std::vector<double> loads(world_->wan().link_count(), 0.0);
+  loads[hot.value()] =
+      world_->wan().link(hot).CapacityBytesPerHour() * 1.2;
+
+  // One big flow on the hot link for prefix of destination 0.
+  pipeline::AggRow row;
+  row.hour = 0;
+  row.link = hot;
+  row.src_asn = util::AsId{100};
+  row.src_prefix24 = util::Ipv4Prefix(util::Ipv4Addr(1, 1, 1, 0), 24);
+  row.src_metro = util::MetroId{0};
+  const auto& destination = world_->wan().destination(0);
+  row.dest_region = destination.region;
+  row.dest_service = destination.service;
+  row.dest_prefix = destination.prefix;
+  row.bytes = static_cast<std::uint64_t>(loads[hot.value()]);
+
+  cms.ObserveHour(0, loads, std::vector<pipeline::AggRow>{row});
+  ASSERT_FALSE(cms.events().empty());
+  EXPECT_EQ(cms.events().front().link, hot);
+  EXPECT_GE(cms.events().front().sustained_minutes, 4);
+  ASSERT_GE(cms.withdrawals_issued(), 1u);
+  // The prefix is actually withdrawn in the scenario's state.
+  EXPECT_FALSE(world_->advertisement().IsAdvertised(hot,
+                                                    destination.prefix));
+  world_->ResetAdvertisements();
+}
+
+TEST_F(CmsTest, ReannouncesAfterQuietHours) {
+  CmsConfig config;
+  config.reannounce_quiet_hours = 2;
+  CongestionMitigationSystem cms(world_.get(), experiment_->tipsy.get(),
+                                 config);
+  const util::LinkId hot{0};
+  std::vector<double> loads(world_->wan().link_count(), 0.0);
+  loads[hot.value()] =
+      world_->wan().link(hot).CapacityBytesPerHour() * 1.2;
+  pipeline::AggRow row;
+  row.link = hot;
+  row.src_asn = util::AsId{100};
+  row.src_prefix24 = util::Ipv4Prefix(util::Ipv4Addr(1, 1, 1, 0), 24);
+  row.src_metro = util::MetroId{0};
+  const auto& destination = world_->wan().destination(0);
+  row.dest_region = destination.region;
+  row.dest_service = destination.service;
+  row.dest_prefix = destination.prefix;
+  row.bytes = static_cast<std::uint64_t>(loads[hot.value()]);
+  cms.ObserveHour(0, loads, std::vector<pipeline::AggRow>{row});
+  ASSERT_FALSE(world_->advertisement().IsAdvertised(hot,
+                                                    destination.prefix));
+  // Two quiet hours later the prefix comes back.
+  const std::vector<double> calm(world_->wan().link_count(), 0.0);
+  cms.ObserveHour(1, calm, {});
+  EXPECT_FALSE(world_->advertisement().IsAdvertised(hot,
+                                                    destination.prefix));
+  cms.ObserveHour(2, calm, {});
+  EXPECT_TRUE(world_->advertisement().IsAdvertised(hot,
+                                                   destination.prefix));
+  // The re-announce is recorded as an action.
+  bool reannounce_seen = false;
+  for (const auto& action : cms.actions()) {
+    if (action.reannounce) reannounce_seen = true;
+  }
+  EXPECT_TRUE(reannounce_seen);
+  world_->ResetAdvertisements();
+}
+
+TEST_F(CmsTest, LegacyModeNeedsNoTipsy) {
+  CmsConfig config;
+  config.use_tipsy = false;
+  CongestionMitigationSystem cms(world_.get(), nullptr, config);
+  const std::vector<double> idle(world_->wan().link_count(), 0.0);
+  cms.ObserveHour(0, idle, {});
+  EXPECT_TRUE(cms.events().empty());
+}
+
+TEST_F(CmsTest, WithdrawalCapRespected) {
+  CmsConfig config;
+  config.max_withdrawals_per_event = 2;
+  config.use_tipsy = false;
+  CongestionMitigationSystem cms(world_.get(), nullptr, config);
+  const util::LinkId hot{0};
+  std::vector<double> loads(world_->wan().link_count(), 0.0);
+  loads[hot.value()] =
+      world_->wan().link(hot).CapacityBytesPerHour() * 3.0;
+  // Many small prefixes on the link; the cap limits withdrawals even
+  // though shedding is incomplete.
+  std::vector<pipeline::AggRow> rows;
+  for (std::uint32_t d = 0; d < 8; ++d) {
+    pipeline::AggRow row;
+    row.link = hot;
+    row.src_asn = util::AsId{100};
+    row.src_prefix24 = util::Ipv4Prefix(util::Ipv4Addr(1, 1, d, 0), 24);
+    row.src_metro = util::MetroId{0};
+    const auto& destination = world_->wan().destination(d);
+    row.dest_region = destination.region;
+    row.dest_service = destination.service;
+    row.dest_prefix = destination.prefix;
+    row.bytes = static_cast<std::uint64_t>(loads[hot.value()] / 20.0);
+    rows.push_back(row);
+  }
+  cms.ObserveHour(0, loads, rows);
+  EXPECT_LE(cms.withdrawals_issued(), 2u);
+  world_->ResetAdvertisements();
+}
+
+}  // namespace
+}  // namespace tipsy::cms

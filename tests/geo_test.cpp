@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "geo/geo.h"
+#include "geo/geoip.h"
+#include "util/rng.h"
+
+namespace tipsy::geo {
+namespace {
+
+TEST(Distance, KnownCityPairs) {
+  const GeoPoint london{51.51, -0.13};
+  const GeoPoint new_york{40.71, -74.01};
+  const GeoPoint sydney{-33.87, 151.21};
+  // Great-circle distances with generous tolerance.
+  EXPECT_NEAR(DistanceKm(london, new_york), 5570.0, 60.0);
+  EXPECT_NEAR(DistanceKm(london, sydney), 16990.0, 120.0);
+}
+
+TEST(Distance, ZeroForIdenticalPoints) {
+  const GeoPoint p{10.0, 20.0};
+  EXPECT_DOUBLE_EQ(DistanceKm(p, p), 0.0);
+}
+
+TEST(Distance, Symmetric) {
+  util::Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    const GeoPoint a{rng.NextDouble() * 180 - 90, rng.NextDouble() * 360 - 180};
+    const GeoPoint b{rng.NextDouble() * 180 - 90, rng.NextDouble() * 360 - 180};
+    EXPECT_NEAR(DistanceKm(a, b), DistanceKm(b, a), 1e-9);
+  }
+}
+
+TEST(Distance, TriangleInequality) {
+  util::Rng rng(2);
+  for (int i = 0; i < 50; ++i) {
+    const GeoPoint a{rng.NextDouble() * 180 - 90, rng.NextDouble() * 360 - 180};
+    const GeoPoint b{rng.NextDouble() * 180 - 90, rng.NextDouble() * 360 - 180};
+    const GeoPoint c{rng.NextDouble() * 180 - 90, rng.NextDouble() * 360 - 180};
+    EXPECT_LE(DistanceKm(a, c), DistanceKm(a, b) + DistanceKm(b, c) + 1e-6);
+  }
+}
+
+TEST(MetroCatalogue, WorldHasAllContinents) {
+  const auto world = MetroCatalogue::World();
+  EXPECT_GE(world.size(), 70u);
+  for (int c = 0; c < 6; ++c) {
+    EXPECT_FALSE(world.InContinent(static_cast<Continent>(c)).empty())
+        << "continent " << c;
+  }
+}
+
+TEST(MetroCatalogue, IdsAreDenseIndices) {
+  const auto world = MetroCatalogue::World();
+  for (std::size_t i = 0; i < world.size(); ++i) {
+    EXPECT_EQ(world.metros()[i].id.value(), i);
+    EXPECT_EQ(&world.Get(MetroId{static_cast<std::uint32_t>(i)}),
+              &world.metros()[i]);
+  }
+}
+
+TEST(MetroCatalogue, SubsetKeepsHighestWeights) {
+  const auto world = MetroCatalogue::World();
+  const auto subset = MetroCatalogue::WorldSubset(10);
+  ASSERT_EQ(subset.size(), 10u);
+  // Every subset metro's weight is at least the 10th highest world weight.
+  std::vector<double> weights;
+  for (const auto& m : world.metros()) weights.push_back(m.weight);
+  std::sort(weights.rbegin(), weights.rend());
+  for (const auto& m : subset.metros()) {
+    EXPECT_GE(m.weight, weights[9]);
+  }
+}
+
+TEST(MetroCatalogue, ByDistanceFromSortedAndExcludesSelf) {
+  const auto world = MetroCatalogue::WorldSubset(20);
+  const MetroId from{0};
+  const auto order = world.ByDistanceFrom(from);
+  ASSERT_EQ(order.size(), world.size() - 1);
+  double prev = 0.0;
+  for (MetroId m : order) {
+    EXPECT_NE(m, from);
+    const double d = world.DistanceKmBetween(from, m);
+    EXPECT_GE(d, prev - 1e-9);
+    prev = d;
+  }
+}
+
+TEST(MetroCatalogue, AddSyntheticMetro) {
+  auto world = MetroCatalogue::WorldSubset(5);
+  const auto id = world.Add("TestCity", GeoPoint{1.0, 2.0},
+                            Continent::kAfrica, 0.5);
+  EXPECT_EQ(world.Get(id).name, "TestCity");
+  EXPECT_EQ(world.size(), 6u);
+}
+
+TEST(GeoIpDb, AssignAndLookup) {
+  GeoIpDb db;
+  const util::Ipv4Prefix p(util::Ipv4Addr(1, 2, 3, 0), 24);
+  EXPECT_FALSE(db.Lookup(p).has_value());
+  db.Assign(p, MetroId{7});
+  EXPECT_EQ(db.Lookup(p).value(), MetroId{7});
+  EXPECT_EQ(db.Lookup(util::Ipv4Addr(1, 2, 3, 99)).value(), MetroId{7});
+  EXPECT_FALSE(db.Lookup(util::Ipv4Addr(1, 2, 4, 99)).has_value());
+}
+
+TEST(GeoIpDb, LastWriterWins) {
+  GeoIpDb db;
+  const util::Ipv4Prefix p(util::Ipv4Addr(9, 9, 9, 0), 24);
+  db.Assign(p, MetroId{1});
+  db.Assign(p, MetroId{2});
+  EXPECT_EQ(db.Lookup(p).value(), MetroId{2});
+  EXPECT_EQ(db.size(), 1u);
+}
+
+class GeoIpNoiseTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(GeoIpNoiseTest, ErrorRateApproximatelyHonored) {
+  const double rate = GetParam();
+  const auto metros = MetroCatalogue::WorldSubset(20);
+  GeoIpDb db;
+  for (std::uint32_t i = 0; i < 4000; ++i) {
+    db.Assign(util::Ipv4Prefix(util::Ipv4Addr(i << 8), 24),
+              MetroId{i % 20});
+  }
+  const auto noisy = db.WithNoise(metros, rate, util::Rng(5));
+  std::size_t changed = 0;
+  for (std::uint32_t i = 0; i < 4000; ++i) {
+    const util::Ipv4Prefix p(util::Ipv4Addr(i << 8), 24);
+    ASSERT_TRUE(noisy.Lookup(p).has_value());
+    if (noisy.Lookup(p) != db.Lookup(p)) ++changed;
+  }
+  EXPECT_NEAR(static_cast<double>(changed) / 4000.0, rate,
+              0.03 + rate * 0.2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, GeoIpNoiseTest,
+                         ::testing::Values(0.0, 0.05, 0.2, 0.5));
+
+TEST(GeoIpDb, NoiseNeverMapsToSameMetroWhenChanging) {
+  // With rate 1.0 every entry must move somewhere else.
+  const auto metros = MetroCatalogue::WorldSubset(5);
+  GeoIpDb db;
+  for (std::uint32_t i = 0; i < 500; ++i) {
+    db.Assign(util::Ipv4Prefix(util::Ipv4Addr(i << 8), 24), MetroId{i % 5});
+  }
+  const auto noisy = db.WithNoise(metros, 1.0, util::Rng(6));
+  for (std::uint32_t i = 0; i < 500; ++i) {
+    const util::Ipv4Prefix p(util::Ipv4Addr(i << 8), 24);
+    EXPECT_NE(noisy.Lookup(p), db.Lookup(p));
+  }
+}
+
+}  // namespace
+}  // namespace tipsy::geo

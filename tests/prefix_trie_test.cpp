@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "util/prefix_trie.h"
+#include "util/rng.h"
+
+namespace tipsy::util {
+namespace {
+
+TEST(PrefixTrie, EmptyLookupsMissed) {
+  PrefixTrie<int> trie;
+  EXPECT_TRUE(trie.empty());
+  EXPECT_EQ(trie.Lookup(Ipv4Addr(1, 2, 3, 4)), nullptr);
+  EXPECT_FALSE(trie.LongestMatchPrefix(Ipv4Addr(1, 2, 3, 4)).has_value());
+}
+
+TEST(PrefixTrie, InsertAndExactFind) {
+  PrefixTrie<int> trie;
+  const Ipv4Prefix p(Ipv4Addr(10, 0, 0, 0), 8);
+  EXPECT_TRUE(trie.Insert(p, 7));
+  EXPECT_FALSE(trie.Insert(p, 9));  // replace
+  ASSERT_NE(trie.Find(p), nullptr);
+  EXPECT_EQ(*trie.Find(p), 9);
+  EXPECT_EQ(trie.size(), 1u);
+  EXPECT_EQ(trie.Find(Ipv4Prefix(Ipv4Addr(10, 0, 0, 0), 9)), nullptr);
+}
+
+TEST(PrefixTrie, LongestPrefixWins) {
+  PrefixTrie<int> trie;
+  trie.Insert(Ipv4Prefix(Ipv4Addr(10, 0, 0, 0), 8), 1);
+  trie.Insert(Ipv4Prefix(Ipv4Addr(10, 1, 0, 0), 16), 2);
+  trie.Insert(Ipv4Prefix(Ipv4Addr(10, 1, 2, 0), 24), 3);
+  EXPECT_EQ(*trie.Lookup(Ipv4Addr(10, 9, 9, 9)), 1);
+  EXPECT_EQ(*trie.Lookup(Ipv4Addr(10, 1, 9, 9)), 2);
+  EXPECT_EQ(*trie.Lookup(Ipv4Addr(10, 1, 2, 9)), 3);
+  EXPECT_EQ(trie.Lookup(Ipv4Addr(11, 0, 0, 1)), nullptr);
+  EXPECT_EQ(trie.LongestMatchPrefix(Ipv4Addr(10, 1, 2, 9)).value(),
+            Ipv4Prefix(Ipv4Addr(10, 1, 2, 0), 24));
+  EXPECT_EQ(trie.LongestMatchPrefix(Ipv4Addr(10, 9, 0, 1)).value(),
+            Ipv4Prefix(Ipv4Addr(10, 0, 0, 0), 8));
+}
+
+TEST(PrefixTrie, DefaultRouteMatchesEverything) {
+  PrefixTrie<int> trie;
+  trie.Insert(Ipv4Prefix(Ipv4Addr(0u), 0), 42);
+  EXPECT_EQ(*trie.Lookup(Ipv4Addr(255, 255, 255, 255)), 42);
+  EXPECT_EQ(*trie.Lookup(Ipv4Addr(0, 0, 0, 0)), 42);
+}
+
+TEST(PrefixTrie, HostRoutes) {
+  PrefixTrie<int> trie;
+  trie.Insert(Ipv4Prefix(Ipv4Addr(1, 2, 3, 4), 32), 5);
+  EXPECT_EQ(*trie.Lookup(Ipv4Addr(1, 2, 3, 4)), 5);
+  EXPECT_EQ(trie.Lookup(Ipv4Addr(1, 2, 3, 5)), nullptr);
+}
+
+TEST(PrefixTrie, RemoveRestoresShorterMatch) {
+  PrefixTrie<int> trie;
+  trie.Insert(Ipv4Prefix(Ipv4Addr(10, 0, 0, 0), 8), 1);
+  trie.Insert(Ipv4Prefix(Ipv4Addr(10, 1, 0, 0), 16), 2);
+  EXPECT_TRUE(trie.Remove(Ipv4Prefix(Ipv4Addr(10, 1, 0, 0), 16)));
+  EXPECT_FALSE(trie.Remove(Ipv4Prefix(Ipv4Addr(10, 1, 0, 0), 16)));
+  EXPECT_EQ(*trie.Lookup(Ipv4Addr(10, 1, 2, 3)), 1);
+  EXPECT_EQ(trie.size(), 1u);
+}
+
+TEST(PrefixTrie, EntriesInLexicographicOrder) {
+  PrefixTrie<int> trie;
+  trie.Insert(Ipv4Prefix(Ipv4Addr(192, 168, 0, 0), 16), 3);
+  trie.Insert(Ipv4Prefix(Ipv4Addr(10, 0, 0, 0), 8), 1);
+  trie.Insert(Ipv4Prefix(Ipv4Addr(10, 128, 0, 0), 9), 2);
+  const auto entries = trie.Entries();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].second, 1);
+  EXPECT_EQ(entries[1].second, 2);
+  EXPECT_EQ(entries[2].second, 3);
+  EXPECT_EQ(entries[0].first, Ipv4Prefix(Ipv4Addr(10, 0, 0, 0), 8));
+}
+
+// Property: the trie agrees with a brute-force LPM over random inserts.
+class TrieFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TrieFuzzTest, MatchesBruteForce) {
+  Rng rng(GetParam());
+  PrefixTrie<std::size_t> trie;
+  std::vector<Ipv4Prefix> prefixes;
+  for (std::size_t i = 0; i < 300; ++i) {
+    const auto length = static_cast<std::uint8_t>(rng.NextInRange(4, 28));
+    const Ipv4Prefix p(
+        Ipv4Addr(static_cast<std::uint32_t>(rng.Next())), length);
+    // Later inserts of the same prefix overwrite; mimic in the oracle by
+    // skipping duplicates.
+    if (trie.Insert(p, i)) prefixes.push_back(p);
+  }
+  auto brute = [&](Ipv4Addr a) -> const Ipv4Prefix* {
+    const Ipv4Prefix* best = nullptr;
+    for (const auto& p : prefixes) {
+      if (p.Contains(a) && (best == nullptr ||
+                            p.length() > best->length())) {
+        best = &p;
+      }
+    }
+    return best;
+  };
+  for (int trial = 0; trial < 2000; ++trial) {
+    Ipv4Addr addr(static_cast<std::uint32_t>(rng.Next()));
+    if (trial % 3 == 0 && !prefixes.empty()) {
+      // Bias towards addresses inside known prefixes.
+      const auto& p = prefixes[rng.NextBelow(prefixes.size())];
+      addr = Ipv4Addr(p.address().bits() |
+                      (static_cast<std::uint32_t>(rng.Next()) &
+                       ~Ipv4Prefix::Mask(p.length())));
+    }
+    const auto expected = brute(addr);
+    const auto got = trie.LongestMatchPrefix(addr);
+    if (expected == nullptr) {
+      EXPECT_FALSE(got.has_value());
+    } else {
+      ASSERT_TRUE(got.has_value());
+      EXPECT_EQ(*got, *expected) << addr.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrieFuzzTest,
+                         ::testing::Values(3, 17, 2024));
+
+}  // namespace
+}  // namespace tipsy::util

@@ -1,0 +1,182 @@
+// Property tests over the BGP substrate using traced resolution: every
+// path the simulator produces must be a valid Internet path.
+#include <gtest/gtest.h>
+
+#include "bgp/routing.h"
+#include "scenario/scenario.h"
+#include "topo/generator.h"
+
+namespace tipsy::bgp {
+namespace {
+
+// Relationship of `from` towards `to` along an existing adjacency.
+std::optional<topo::Relationship> RelOf(const topo::AsGraph& graph,
+                                        NodeId from, NodeId to) {
+  for (const auto& adj : graph.node(from).adjacencies) {
+    if (adj.neighbor == to) return adj.rel;
+  }
+  return std::nullopt;
+}
+
+class TracedPathTest : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  TracedPathTest() {
+    topo::GeneratorConfig cfg;
+    cfg.seed = GetParam();
+    cfg.metro_count = 30;
+    cfg.tier1_count = 5;
+    cfg.regionals_per_continent = 3;
+    cfg.access_isp_count = 40;
+    cfg.cdn_count = 3;
+    cfg.enterprise_count = 60;
+    cfg.exchange_count = 3;
+    cfg.wan_metro_count = 14;
+    topology_ = topo::GenerateTopology(cfg);
+    engine_ = std::make_unique<RoutingEngine>(
+        &topology_.graph, &topology_.metros, &topology_.peering_links,
+        /*prefix_count=*/4);
+  }
+
+  topo::GeneratedTopology topology_;
+  std::unique_ptr<RoutingEngine> engine_;
+};
+
+TEST_P(TracedPathTest, AllPathsAreValleyFree) {
+  AdvertisementState state(topology_.peering_links.size(), 4);
+  std::size_t paths_checked = 0;
+  for (const auto& node : topology_.graph.nodes()) {
+    if (node.type == topo::AsType::kCloudWan) continue;
+    if (node.presence.empty()) continue;
+    const auto traced = engine_->ResolveIngressTraced(
+        node.id, node.presence.front(), PrefixId{0},
+        /*flow_hash=*/node.id.value() * 77 + 5, /*day=*/0, state);
+    for (const auto& share : traced) {
+      ASSERT_FALSE(share.as_path.empty());
+      EXPECT_EQ(share.as_path.front(), node.id);
+      // Traffic direction labels: sending to provider = "up" (0),
+      // peer = "flat" (1), customer = "down" (2). A valid path is
+      // up* flat? down*, with the final WAN hop being flat or down.
+      int stage = 0;
+      for (std::size_t i = 0; i < share.as_path.size(); ++i) {
+        const NodeId from = share.as_path[i];
+        const NodeId to = i + 1 < share.as_path.size()
+                              ? share.as_path[i + 1]
+                              : topology_.wan;
+        const auto rel = RelOf(topology_.graph, from, to);
+        ASSERT_TRUE(rel.has_value())
+            << "path hop without adjacency: " << from.value() << "->"
+            << to.value();
+        int label = 0;
+        switch (*rel) {
+          case topo::Relationship::kProvider: label = 0; break;
+          case topo::Relationship::kPeer: label = 1; break;
+          case topo::Relationship::kCustomer: label = 2; break;
+        }
+        EXPECT_GE(label, stage)
+            << "valley in path at hop " << i << " (seed " << GetParam()
+            << ")";
+        if (label == 1) {
+          // At most one peer edge: advance past "flat" immediately.
+          EXPECT_LT(stage, 2) << "peer edge after going down";
+          stage = 2;
+        } else {
+          stage = std::max(stage, label);
+        }
+      }
+      ++paths_checked;
+    }
+  }
+  EXPECT_GT(paths_checked, 50u);
+}
+
+TEST_P(TracedPathTest, PathsMatchAdvertisedLinksOnly) {
+  AdvertisementState state(topology_.peering_links.size(), 4);
+  // Withdraw prefix 1 everywhere on the first third of links.
+  for (std::uint32_t l = 0; l < topology_.peering_links.size() / 3; ++l) {
+    state.Withdraw(PrefixId{1}, LinkId{l});
+  }
+  for (const auto& node : topology_.graph.nodes()) {
+    if (node.type != topo::AsType::kEnterprise) continue;
+    const auto traced = engine_->ResolveIngressTraced(
+        node.id, node.presence.front(), PrefixId{1},
+        node.id.value(), 0, state);
+    for (const auto& share : traced) {
+      EXPECT_TRUE(state.IsAdvertised(share.link, PrefixId{1}));
+      EXPECT_TRUE(engine_->SessionAccepts(share.link, PrefixId{1}));
+    }
+  }
+}
+
+TEST_P(TracedPathTest, TracedAndMergedAgree) {
+  AdvertisementState state(topology_.peering_links.size(), 4);
+  for (const auto& node : topology_.graph.nodes()) {
+    if (node.type != topo::AsType::kEnterprise) continue;
+    if (node.id.value() % 7 != 0) continue;  // sample
+    const auto merged = engine_->ResolveIngress(
+        node.id, node.presence.front(), PrefixId{0}, 42, 1, state);
+    const auto traced = engine_->ResolveIngressTraced(
+        node.id, node.presence.front(), PrefixId{0}, 42, 1, state);
+    // Every merged link appears among the traced shares, and the traced
+    // total per link is at least the merged (renormalized) share's basis.
+    double traced_total = 0.0;
+    for (const auto& t : traced) traced_total += t.fraction;
+    if (merged.empty()) {
+      EXPECT_TRUE(traced.empty());
+      continue;
+    }
+    EXPECT_NEAR(traced_total, 1.0, 0.05);
+    for (const auto& m : merged) {
+      double link_total = 0.0;
+      for (const auto& t : traced) {
+        if (t.link == m.link) link_total += t.fraction;
+      }
+      EXPECT_GT(link_total, 0.0);
+    }
+  }
+}
+
+TEST_P(TracedPathTest, PathLengthMatchesRoutingDistance) {
+  AdvertisementState state(topology_.peering_links.size(), 4);
+  const auto& routing = engine_->Routing(PrefixId{0}, state);
+  for (const auto& node : topology_.graph.nodes()) {
+    if (node.type != topo::AsType::kEnterprise) continue;
+    const auto& route = routing.per_node[node.id.value()];
+    if (!route.reachable()) continue;
+    const auto traced = engine_->ResolveIngressTraced(
+        node.id, node.presence.front(), PrefixId{0}, 9, 0, state);
+    for (const auto& share : traced) {
+      // Path includes the source but not the WAN: hops == as_path_len.
+      EXPECT_EQ(share.as_path.size(),
+                static_cast<std::size_t>(route.as_path_len))
+          << "node " << node.name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TracedPathTest,
+                         ::testing::Values(11, 29, 47));
+
+TEST(CollectorLoss, ReducesRowsProportionally) {
+  auto base_cfg = scenario::TinyScenarioConfig();
+  base_cfg.traffic.flow_target = 600;
+  auto lossy_cfg = base_cfg;
+  lossy_cfg.collector_loss_rate = 0.4;
+  scenario::Scenario base(base_cfg);
+  scenario::Scenario lossy(lossy_cfg);
+  std::size_t base_rows = 0, lossy_rows = 0;
+  base.SimulateHours({10, 14}, [&](util::HourIndex,
+                                   std::span<const pipeline::AggRow> r) {
+    base_rows += r.size();
+  });
+  lossy.SimulateHours({10, 14}, [&](util::HourIndex,
+                                    std::span<const pipeline::AggRow> r) {
+    lossy_rows += r.size();
+  });
+  ASSERT_GT(base_rows, 100u);
+  const double kept = static_cast<double>(lossy_rows) /
+                      static_cast<double>(base_rows);
+  EXPECT_NEAR(kept, 0.6, 0.08);
+}
+
+}  // namespace
+}  // namespace tipsy::bgp

@@ -1,0 +1,323 @@
+#include <gtest/gtest.h>
+
+#include "scenario/experiment.h"
+#include "scenario/outage.h"
+#include "scenario/row_cache.h"
+#include "scenario/scenario.h"
+
+namespace tipsy::scenario {
+namespace {
+
+// --------------------------------------------------------------- outages
+
+TEST(OutageSchedule, NoneIsAlwaysUp) {
+  const auto schedule = OutageSchedule::None(5);
+  EXPECT_TRUE(schedule.events().empty());
+  EXPECT_FALSE(schedule.IsDown(util::LinkId{3}, 100));
+}
+
+class OutageScheduleTest : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  OutageScheduleConfig Config() const {
+    OutageScheduleConfig cfg;
+    cfg.seed = GetParam();
+    return cfg;
+  }
+};
+
+TEST_P(OutageScheduleTest, EventsWithinWindowAndBounded) {
+  const util::HourRange window{0, 365 * 24};
+  const auto schedule = OutageSchedule::Generate(200, window, Config());
+  EXPECT_FALSE(schedule.events().empty());
+  for (const auto& event : schedule.events()) {
+    EXPECT_GE(event.hours.begin, window.begin);
+    EXPECT_LE(event.hours.end, window.end);
+    EXPECT_GE(event.hours.length(), 1);
+    EXPECT_LE(event.hours.length(), Config().max_duration_hours);
+  }
+}
+
+TEST_P(OutageScheduleTest, IsDownConsistentWithEvents) {
+  const util::HourRange window{0, 60 * 24};
+  const auto schedule = OutageSchedule::Generate(100, window, Config());
+  for (const auto& event : schedule.events()) {
+    EXPECT_TRUE(schedule.IsDown(event.link, event.hours.begin));
+    EXPECT_TRUE(schedule.IsDown(event.link, event.hours.end - 1));
+    EXPECT_FALSE(schedule.IsDown(event.link, event.hours.end));
+  }
+  // The mask agrees with IsDown everywhere.
+  const auto mask = schedule.DownMask(17);
+  for (std::uint32_t l = 0; l < 100; ++l) {
+    EXPECT_EQ(mask[l], schedule.IsDown(util::LinkId{l}, 17));
+  }
+}
+
+TEST_P(OutageScheduleTest, MostLinksFailWithinAYear) {
+  const util::HourRange window{0, 365 * 24};
+  const auto schedule = OutageSchedule::Generate(300, window, Config());
+  std::vector<bool> failed(300, false);
+  for (const auto& event : schedule.events()) {
+    failed[event.link.value()] = true;
+  }
+  const auto count = std::count(failed.begin(), failed.end(), true);
+  // Figure 6's phenomenon: a substantial majority of links fail at least
+  // once per year.
+  EXPECT_GT(count, 150);
+  EXPECT_LT(count, 300);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OutageScheduleTest,
+                         ::testing::Values(1, 7, 99));
+
+TEST(OutageSchedule, ApplyToSyncsAdvertisementState) {
+  OutageScheduleConfig cfg;
+  cfg.seed = 3;
+  cfg.flappy_fraction = 1.0;  // lots of events
+  cfg.flappy_rate_per_year = 400.0;
+  const auto schedule = OutageSchedule::Generate(20, {0, 500}, cfg);
+  ASSERT_FALSE(schedule.events().empty());
+  bgp::AdvertisementState state(20, 2);
+  const auto& event = schedule.events().front();
+  schedule.ApplyTo(state, event.hours.begin);
+  EXPECT_FALSE(state.IsLinkUp(event.link));
+  schedule.ApplyTo(state, event.hours.end);
+  EXPECT_TRUE(state.IsLinkUp(event.link));
+}
+
+// -------------------------------------------------------------- scenario
+
+class ScenarioTest : public ::testing::Test {
+ protected:
+  static ScenarioConfig Config() {
+    auto cfg = TinyScenarioConfig();
+    cfg.traffic.flow_target = 400;
+    return cfg;
+  }
+};
+
+TEST_F(ScenarioTest, SimulationIsDeterministic) {
+  Scenario a(Config());
+  Scenario b(Config());
+  std::vector<pipeline::AggRow> rows_a, rows_b;
+  a.SimulateHours({10, 12}, [&](util::HourIndex,
+                                std::span<const pipeline::AggRow> rows) {
+    rows_a.insert(rows_a.end(), rows.begin(), rows.end());
+  });
+  b.SimulateHours({10, 12}, [&](util::HourIndex,
+                                std::span<const pipeline::AggRow> rows) {
+    rows_b.insert(rows_b.end(), rows.begin(), rows.end());
+  });
+  ASSERT_EQ(rows_a.size(), rows_b.size());
+  ASSERT_FALSE(rows_a.empty());
+  // Rows within an hour come from one unordered map; compare as multisets
+  // via sorted byte/link projections.
+  auto key = [](const pipeline::AggRow& row) {
+    return std::tuple(row.link.value(), row.src_asn.value(),
+                      row.src_prefix24, row.bytes);
+  };
+  std::vector<decltype(key(rows_a[0]))> ka, kb;
+  for (const auto& row : rows_a) ka.push_back(key(row));
+  for (const auto& row : rows_b) kb.push_back(key(row));
+  std::sort(ka.begin(), ka.end());
+  std::sort(kb.begin(), kb.end());
+  EXPECT_EQ(ka, kb);
+}
+
+TEST_F(ScenarioTest, NoRowsOnDownLinks) {
+  Scenario world(Config());
+  bool checked = false;
+  world.SimulateHours(
+      {0, 48}, [&](util::HourIndex hour,
+                   std::span<const pipeline::AggRow> rows) {
+        for (const auto& row : rows) {
+          EXPECT_FALSE(world.outages().IsDown(row.link, hour));
+          checked = true;
+        }
+      });
+  EXPECT_TRUE(checked);
+}
+
+TEST_F(ScenarioTest, LoadsMatchRowsRoughly) {
+  // Ground-truth loads and sampled rows agree within sampling noise at
+  // the aggregate level.
+  Scenario world(Config());
+  double row_bytes = 0.0;
+  double load_bytes = 0.0;
+  world.SimulateHours(
+      {5, 10},
+      [&](util::HourIndex, std::span<const pipeline::AggRow> rows) {
+        for (const auto& row : rows) {
+          row_bytes += static_cast<double>(row.bytes);
+        }
+      },
+      [&](util::HourIndex, std::span<const double> loads) {
+        for (double b : loads) load_bytes += b;
+      });
+  ASSERT_GT(load_bytes, 0.0);
+  EXPECT_NEAR(row_bytes / load_bytes, 1.0, 0.15);
+}
+
+TEST_F(ScenarioTest, CalibrationHitsTarget) {
+  auto cfg = Config();
+  cfg.target_p99_utilization = 0.5;
+  Scenario world(cfg);
+  // Measure p99 utilization at the probe hour: should be near target.
+  std::vector<double> utilization;
+  world.SimulateHours(
+      {14, 15}, nullptr,
+      [&](util::HourIndex, std::span<const double> loads) {
+        for (std::uint32_t l = 0; l < loads.size(); ++l) {
+          const double cap =
+              world.wan().link(util::LinkId{l}).CapacityBytesPerHour();
+          if (cap > 0.0 && loads[l] > 0.0) {
+            utilization.push_back(loads[l] / cap);
+          }
+        }
+      });
+  ASSERT_FALSE(utilization.empty());
+  std::sort(utilization.begin(), utilization.end());
+  const double p99 = utilization[static_cast<std::size_t>(
+      0.99 * static_cast<double>(utilization.size() - 1))];
+  EXPECT_GT(p99, 0.15);
+  EXPECT_LT(p99, 1.2);
+}
+
+TEST_F(ScenarioTest, WithdrawalMovesTraffic) {
+  Scenario world(Config());
+  // Find the flow's current dominant link, withdraw its prefix there,
+  // and check the flow no longer lands on it.
+  const std::size_t flow_idx = 0;
+  const auto before = world.ResolveFlow(flow_idx, 30);
+  ASSERT_FALSE(before.empty());
+  const auto prefix =
+      world.wan()
+          .destination(world.workload().flows()[flow_idx].destination)
+          .prefix;
+  world.advertisement().Withdraw(prefix, before.front().link);
+  const auto after = world.ResolveFlow(flow_idx, 30);
+  for (const auto& share : after) {
+    EXPECT_NE(share.link, before.front().link);
+  }
+}
+
+TEST_F(ScenarioTest, ResetAdvertisementsRestores) {
+  Scenario world(Config());
+  const auto before = world.ResolveFlow(0, 30);
+  ASSERT_FALSE(before.empty());
+  const auto prefix =
+      world.wan().destination(world.workload().flows()[0].destination)
+          .prefix;
+  world.advertisement().Withdraw(prefix, before.front().link);
+  world.ResetAdvertisements();
+  const auto after = world.ResolveFlow(0, 30);
+  ASSERT_EQ(after.size(), before.size());
+  EXPECT_EQ(after.front().link, before.front().link);
+}
+
+TEST_F(ScenarioTest, FlowFeaturesConsistentWithWorkload) {
+  Scenario world(Config());
+  for (std::size_t f = 0; f < 20; ++f) {
+    const auto features = world.FlowFeaturesOf(f);
+    const auto& flow = world.workload().flows()[f];
+    const auto& endpoint = world.workload().endpoints()[flow.endpoint];
+    EXPECT_EQ(features.src_prefix24, endpoint.prefix24);
+    EXPECT_EQ(features.src_metro, endpoint.metro);  // noise-free geoip
+    const auto& destination = world.wan().destination(flow.destination);
+    EXPECT_EQ(features.dest_region, destination.region);
+    EXPECT_EQ(features.dest_service, destination.service);
+  }
+}
+
+TEST_F(ScenarioTest, BmpRecordsSessionEventsForOutages) {
+  Scenario world(Config());
+  world.SimulateHours({0, 5 * 24}, nullptr);
+  std::size_t downs = 0;
+  for (const auto& event : world.outages().events()) {
+    if (event.hours.begin < 5 * 24) ++downs;
+  }
+  EXPECT_EQ(world.bmp().CountOf(telemetry::BmpEventType::kSessionDown),
+            downs);
+}
+
+// -------------------------------------------------------------- row cache
+
+TEST_F(ScenarioTest, RowCacheReplaysExactly) {
+  Scenario live(Config());
+  Scenario cached_world(Config());
+  RowCache cache(cached_world, {0, 24});
+
+  std::size_t live_rows = 0;
+  double live_bytes = 0.0;
+  live.SimulateHours({6, 10}, [&](util::HourIndex,
+                                  std::span<const pipeline::AggRow> rows) {
+    live_rows += rows.size();
+    for (const auto& row : rows) {
+      live_bytes += static_cast<double>(row.bytes);
+    }
+  });
+  std::size_t cached_rows = 0;
+  double cached_bytes = 0.0;
+  cache.StreamHours({6, 10}, [&](util::HourIndex,
+                                 std::span<const pipeline::AggRow> rows) {
+    cached_rows += rows.size();
+    for (const auto& row : rows) {
+      cached_bytes += static_cast<double>(row.bytes);
+    }
+  });
+  EXPECT_EQ(live_rows, cached_rows);
+  EXPECT_DOUBLE_EQ(live_bytes, cached_bytes);
+  EXPECT_GT(cache.total_rows(), 0u);
+}
+
+// ------------------------------------------------------------ experiment
+
+TEST(Experiment, PaperWindowsAre21Plus7Days) {
+  const auto cfg = PaperWindows(48);
+  EXPECT_EQ(cfg.train.begin, 48);
+  EXPECT_EQ(cfg.train.length(), 21 * 24);
+  EXPECT_EQ(cfg.test.begin, cfg.train.end);
+  EXPECT_EQ(cfg.test.length(), 7 * 24);
+}
+
+TEST(Experiment, ProducesPopulatedEvalSets) {
+  auto cfg = TinyScenarioConfig();
+  cfg.traffic.flow_target = 800;
+  cfg.horizon = util::HourRange{0, 28 * util::kHoursPerDay};
+  Scenario world(cfg);
+  const auto result = RunExperiment(world, PaperWindows());
+  EXPECT_TRUE(result.tipsy->trained());
+  EXPECT_FALSE(result.overall.empty());
+  EXPECT_GT(result.overall.total_bytes(), 0.0);
+  // Outage sets partition the outage-affected bytes.
+  EXPECT_NEAR(result.outage_all.total_bytes(),
+              result.outage_seen.total_bytes() +
+                  result.outage_unseen.total_bytes(),
+              1.0);
+  EXPECT_NEAR(result.seen_outage_bytes, result.outage_seen.total_bytes(),
+              1.0);
+}
+
+TEST(Experiment, SuiteOrderingInvariants) {
+  auto cfg = TinyScenarioConfig();
+  cfg.traffic.flow_target = 800;
+  cfg.horizon = util::HourRange{0, 28 * util::kHoursPerDay};
+  Scenario world(cfg);
+  const auto result = RunExperiment(world, PaperWindows());
+  const auto rows = EvaluateSuite(*result.tipsy, result.overall);
+  ASSERT_FALSE(rows.empty());
+  double oracle_ap_top3 = 0.0, hist_ap_top3 = 0.0;
+  for (const auto& row : rows) {
+    // top-k accuracy is monotone in k for every model.
+    EXPECT_LE(row.accuracy.top1(), row.accuracy.top2() + 1e-12) << row.model;
+    EXPECT_LE(row.accuracy.top2(), row.accuracy.top3() + 1e-12) << row.model;
+    EXPECT_GE(row.accuracy.top1(), 0.0);
+    EXPECT_LE(row.accuracy.top3(), 1.0 + 1e-12);
+    if (row.model == "Oracle_AP") oracle_ap_top3 = row.accuracy.top3();
+    if (row.model == "Hist_AP") hist_ap_top3 = row.accuracy.top3();
+  }
+  // No model beats its oracle.
+  EXPECT_GE(oracle_ap_top3, hist_ap_top3 - 1e-9);
+}
+
+}  // namespace
+}  // namespace tipsy::scenario

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "telemetry/bmp.h"
+#include "telemetry/ipfix.h"
+#include "util/stats.h"
+
+namespace tipsy::telemetry {
+namespace {
+
+TEST(IpfixSampler, ZeroBytesNeverSampled) {
+  IpfixSampler sampler({});
+  EXPECT_FALSE(sampler.SampleBytes(0.0, 1).has_value());
+}
+
+TEST(IpfixSampler, Deterministic) {
+  IpfixSampler sampler({});
+  for (std::uint64_t key = 0; key < 50; ++key) {
+    EXPECT_EQ(sampler.SampleBytes(5e6, key), sampler.SampleBytes(5e6, key));
+  }
+}
+
+TEST(IpfixSampler, LargeFlowsAlwaysDetected) {
+  IpfixSampler sampler({});
+  // 1e12 bytes -> ~244k expected samples; detection is certain.
+  for (std::uint64_t key = 0; key < 100; ++key) {
+    EXPECT_TRUE(sampler.SampleBytes(1e12, key).has_value());
+  }
+}
+
+TEST(IpfixSampler, TinyFlowsUsuallyMissed) {
+  IpfixSampler sampler({});
+  // 100KB at 1/4096 with 1000B packets: mean sampled ~ 0.024.
+  int detected = 0;
+  for (std::uint64_t key = 0; key < 1000; ++key) {
+    if (sampler.SampleBytes(1e5, key).has_value()) ++detected;
+  }
+  EXPECT_LT(detected, 100);
+}
+
+class SamplerUnbiasednessTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(SamplerUnbiasednessTest, ScaledEstimateIsUnbiased) {
+  const double true_bytes = GetParam();
+  IpfixSampler sampler({});
+  // Average the estimate over many flow keys INCLUDING the zero
+  // estimates of undetected flows - the estimator is unbiased overall.
+  double total = 0.0;
+  const int trials = 30000;
+  for (int key = 0; key < trials; ++key) {
+    total += static_cast<double>(
+        sampler.SampleBytes(true_bytes, static_cast<std::uint64_t>(key))
+            .value_or(0));
+  }
+  EXPECT_NEAR(total / trials / true_bytes, 1.0, 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SamplerUnbiasednessTest,
+                         ::testing::Values(1e7, 1e8, 1e9, 1e10));
+
+TEST(IpfixSampler, HigherRateMissesMore) {
+  IpfixConfig coarse;
+  coarse.sampling_rate = 1 << 20;
+  IpfixConfig fine;
+  fine.sampling_rate = 256;
+  const IpfixSampler coarse_sampler(coarse);
+  const IpfixSampler fine_sampler(fine);
+  int coarse_hits = 0, fine_hits = 0;
+  for (std::uint64_t key = 0; key < 2000; ++key) {
+    if (coarse_sampler.SampleBytes(5e7, key)) ++coarse_hits;
+    if (fine_sampler.SampleBytes(5e7, key)) ++fine_hits;
+  }
+  EXPECT_LT(coarse_hits, fine_hits);
+  EXPECT_EQ(fine_hits, 2000);
+}
+
+TEST(IpfixSampler, EstimateGranularityIsRateTimesPacket) {
+  IpfixSampler sampler({});
+  const auto estimate = sampler.SampleBytes(1e9, 7);
+  ASSERT_TRUE(estimate.has_value());
+  const auto granularity = static_cast<std::uint64_t>(4096 * 1000);
+  EXPECT_EQ(*estimate % granularity, 0u);
+}
+
+TEST(BmpFeed, RecordAndQuery) {
+  BmpFeed feed;
+  feed.Record({1, util::LinkId{0}, util::PrefixId{3},
+               BmpEventType::kWithdraw});
+  feed.Record({5, util::LinkId{1}, util::PrefixId{},
+               BmpEventType::kSessionDown});
+  feed.Record({9, util::LinkId{1}, util::PrefixId{},
+               BmpEventType::kSessionUp});
+  EXPECT_EQ(feed.size(), 3u);
+  EXPECT_EQ(feed.CountOf(BmpEventType::kWithdraw), 1u);
+  EXPECT_EQ(feed.CountOf(BmpEventType::kSessionDown), 1u);
+  EXPECT_EQ(feed.CountOf(BmpEventType::kAnnounce), 0u);
+  const auto in_range = feed.InRange(util::HourRange{0, 6});
+  ASSERT_EQ(in_range.size(), 2u);
+  EXPECT_EQ(in_range[1].hour, 5);
+}
+
+}  // namespace
+}  // namespace tipsy::telemetry

@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "topo/as_graph.h"
+#include "topo/generator.h"
+
+namespace tipsy::topo {
+namespace {
+
+TEST(Relationship, ReverseIsInvolution) {
+  for (auto r : {Relationship::kProvider, Relationship::kCustomer,
+                 Relationship::kPeer}) {
+    EXPECT_EQ(Reverse(Reverse(r)), r);
+  }
+  EXPECT_EQ(Reverse(Relationship::kProvider), Relationship::kCustomer);
+  EXPECT_EQ(Reverse(Relationship::kPeer), Relationship::kPeer);
+}
+
+TEST(AsGraph, AdjacencyAddedOnBothSides) {
+  AsGraph graph;
+  const auto a = graph.AddNode(AsId{1}, AsType::kEnterprise, "a",
+                               {MetroId{0}});
+  const auto b = graph.AddNode(AsId{2}, AsType::kTier1, "b", {MetroId{0}});
+  graph.AddAdjacency(a, b, Relationship::kProvider,
+                     {InterconnectPoint{MetroId{0}, {}}});
+  ASSERT_EQ(graph.node(a).adjacencies.size(), 1u);
+  ASSERT_EQ(graph.node(b).adjacencies.size(), 1u);
+  EXPECT_EQ(graph.node(a).adjacencies[0].rel, Relationship::kProvider);
+  EXPECT_EQ(graph.node(b).adjacencies[0].rel, Relationship::kCustomer);
+  EXPECT_TRUE(graph.Validate().empty()) << graph.Validate();
+}
+
+TEST(AsGraph, ValidateCatchesMissingPresence) {
+  AsGraph graph;
+  const auto a = graph.AddNode(AsId{1}, AsType::kEnterprise, "a",
+                               {MetroId{0}});
+  const auto b = graph.AddNode(AsId{2}, AsType::kTier1, "b", {MetroId{1}});
+  // Interconnect at metro 0, which b does not have.
+  graph.AddAdjacency(a, b, Relationship::kProvider,
+                     {InterconnectPoint{MetroId{0}, {}}});
+  EXPECT_FALSE(graph.Validate().empty());
+}
+
+TEST(AsGraph, ValidateCatchesCustomerProviderCycle) {
+  AsGraph graph;
+  const auto a = graph.AddNode(AsId{1}, AsType::kAccessIsp, "a",
+                               {MetroId{0}});
+  const auto b = graph.AddNode(AsId{2}, AsType::kAccessIsp, "b",
+                               {MetroId{0}});
+  const auto c = graph.AddNode(AsId{3}, AsType::kAccessIsp, "c",
+                               {MetroId{0}});
+  // a buys from b, b buys from c, c buys from a: a cycle in the economy.
+  graph.AddAdjacency(a, b, Relationship::kProvider,
+                     {InterconnectPoint{MetroId{0}, {}}});
+  graph.AddAdjacency(b, c, Relationship::kProvider,
+                     {InterconnectPoint{MetroId{0}, {}}});
+  graph.AddAdjacency(c, a, Relationship::kProvider,
+                     {InterconnectPoint{MetroId{0}, {}}});
+  EXPECT_NE(graph.Validate().find("cycle"), std::string::npos);
+}
+
+TEST(AsGraph, WanNodeFound) {
+  AsGraph graph;
+  graph.AddNode(AsId{1}, AsType::kTier1, "t", {MetroId{0}});
+  const auto wan = graph.AddNode(AsId{8075}, AsType::kCloudWan, "wan",
+                                 {MetroId{0}});
+  EXPECT_EQ(graph.wan_node(), wan);
+}
+
+TEST(AsGraph, NodesOfAsnFindsPockets) {
+  AsGraph graph;
+  const auto p1 = graph.AddNode(AsId{100}, AsType::kCdnPocket, "cdn-eu",
+                                {MetroId{0}});
+  const auto p2 = graph.AddNode(AsId{100}, AsType::kCdnPocket, "cdn-us",
+                                {MetroId{1}});
+  graph.AddNode(AsId{101}, AsType::kTier1, "t", {MetroId{0}});
+  const auto pockets = graph.NodesOfAsn(AsId{100});
+  EXPECT_EQ(pockets.size(), 2u);
+  EXPECT_EQ(pockets[0], p1);
+  EXPECT_EQ(pockets[1], p2);
+}
+
+// ------------------------------------------------------------ generator
+
+class GeneratorSeedTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GeneratorSeedTest, GeneratedGraphIsValid) {
+  GeneratorConfig cfg;
+  cfg.seed = GetParam();
+  cfg.metro_count = 24;
+  cfg.tier1_count = 4;
+  cfg.regionals_per_continent = 2;
+  cfg.access_isp_count = 25;
+  cfg.cdn_count = 3;
+  cfg.enterprise_count = 40;
+  cfg.exchange_count = 2;
+  cfg.wan_metro_count = 12;
+  const auto topology = GenerateTopology(cfg);
+  EXPECT_TRUE(topology.graph.Validate().empty())
+      << topology.graph.Validate();
+  EXPECT_FALSE(topology.peering_links.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorSeedTest,
+                         ::testing::Values(1, 2, 3, 42, 999, 123456));
+
+TEST(Generator, DeterministicForSeed) {
+  const auto a = GenerateTinyTopology();
+  const auto b = GenerateTinyTopology();
+  ASSERT_EQ(a.graph.node_count(), b.graph.node_count());
+  ASSERT_EQ(a.peering_links.size(), b.peering_links.size());
+  for (std::size_t i = 0; i < a.peering_links.size(); ++i) {
+    EXPECT_EQ(a.peering_links[i].metro, b.peering_links[i].metro);
+    EXPECT_EQ(a.peering_links[i].peer_node, b.peering_links[i].peer_node);
+    EXPECT_EQ(a.peering_links[i].capacity_gbps,
+              b.peering_links[i].capacity_gbps);
+  }
+}
+
+TEST(Generator, LinkIdsAreDenseAndOrdered) {
+  const auto topology = GenerateTinyTopology();
+  for (std::size_t i = 0; i < topology.peering_links.size(); ++i) {
+    EXPECT_EQ(topology.peering_links[i].id.value(), i);
+    EXPECT_GT(topology.peering_links[i].capacity_gbps, 0.0);
+    EXPECT_FALSE(topology.peering_links[i].router.empty());
+  }
+}
+
+TEST(Generator, WanLinksMatchGraphAdjacencies) {
+  const auto topology = GenerateTinyTopology();
+  // Every peering link id must appear exactly once in some adjacency
+  // towards the WAN, at the right metro and right peer node.
+  std::unordered_set<std::uint32_t> seen;
+  for (const auto& node : topology.graph.nodes()) {
+    for (const auto& adj : node.adjacencies) {
+      if (adj.neighbor != topology.wan) continue;
+      for (const auto& point : adj.points) {
+        for (auto link : point.wan_links) {
+          EXPECT_TRUE(seen.insert(link.value()).second)
+              << "link appears twice";
+          const auto& spec = topology.peering_links[link.value()];
+          EXPECT_EQ(spec.peer_node, node.id);
+          EXPECT_EQ(spec.metro, point.metro);
+        }
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), topology.peering_links.size());
+}
+
+TEST(Generator, CdnPocketsShareAsnAcrossContinents) {
+  GeneratorConfig cfg;
+  cfg.seed = 5;
+  cfg.metro_count = 40;
+  cfg.cdn_count = 4;
+  cfg.cdn_min_pockets = 3;
+  cfg.cdn_max_pockets = 3;
+  const auto topology = GenerateTopology(cfg);
+  std::size_t multi_pocket_asns = 0;
+  std::set<AsId> cdn_asns;
+  for (const auto& node : topology.graph.nodes()) {
+    if (node.type == AsType::kCdnPocket) cdn_asns.insert(node.asn);
+  }
+  for (AsId asn : cdn_asns) {
+    const auto pockets = topology.graph.NodesOfAsn(asn);
+    if (pockets.size() < 2) continue;
+    ++multi_pocket_asns;
+    // Pockets never share a presence metro (they live on different
+    // continents by construction).
+    std::set<MetroId> metros;
+    std::size_t total = 0;
+    for (auto id : pockets) {
+      const auto& presence = topology.graph.node(id).presence;
+      metros.insert(presence.begin(), presence.end());
+      total += presence.size();
+    }
+    EXPECT_EQ(metros.size(), total) << "pockets overlap in presence";
+    // And there is no direct adjacency between pockets (no backbone).
+    for (auto id : pockets) {
+      for (const auto& adj : topology.graph.node(id).adjacencies) {
+        EXPECT_EQ(std::count(pockets.begin(), pockets.end(), adj.neighbor),
+                  0);
+      }
+    }
+  }
+  EXPECT_GT(multi_pocket_asns, 0u);
+}
+
+TEST(Generator, WanBuysTransitFromConfiguredCount) {
+  const auto topology = GenerateTinyTopology();
+  std::size_t transit_providers = 0;
+  for (const auto& adj : topology.graph.node(topology.wan).adjacencies) {
+    if (adj.rel == Relationship::kProvider) ++transit_providers;
+  }
+  EXPECT_EQ(transit_providers, 1u);  // tiny config uses 1
+}
+
+TEST(Generator, PeerTypesRepresented) {
+  GeneratorConfig cfg;  // defaults
+  cfg.seed = 7;
+  const auto topology = GenerateTopology(cfg);
+  std::set<AsType> types;
+  for (const auto& link : topology.peering_links) {
+    types.insert(link.peer_type);
+  }
+  EXPECT_TRUE(types.contains(AsType::kTier1));
+  EXPECT_TRUE(types.contains(AsType::kRegionalTransit));
+  EXPECT_TRUE(types.contains(AsType::kCdnPocket));
+  EXPECT_TRUE(types.contains(AsType::kExchange));
+}
+
+}  // namespace
+}  // namespace tipsy::topo

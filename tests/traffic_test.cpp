@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "geo/geoip.h"
+#include "topo/generator.h"
+#include "traffic/workload.h"
+#include "wan/wan.h"
+
+namespace tipsy::traffic {
+namespace {
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  WorkloadTest() : topology_(topo::GenerateTinyTopology()) {
+    wan_ = std::make_unique<wan::Wan>(
+        topology_.peering_links,
+        topology_.graph.node(topology_.wan).presence, 8, 1);
+    cfg_.seed = 11;
+    cfg_.flow_target = 800;
+    workload_ = std::make_unique<Workload>(
+        Workload::Generate(topology_, *wan_, cfg_, &geoip_));
+  }
+  topo::GeneratedTopology topology_;
+  std::unique_ptr<wan::Wan> wan_;
+  geo::GeoIpDb geoip_;
+  TrafficConfig cfg_;
+  std::unique_ptr<Workload> workload_;
+};
+
+TEST_F(WorkloadTest, ReachesFlowTarget) {
+  EXPECT_GE(workload_->flows().size(), cfg_.flow_target);
+}
+
+TEST_F(WorkloadTest, EveryEndpointHasAFlow) {
+  std::set<std::uint32_t> used;
+  for (const auto& flow : workload_->flows()) used.insert(flow.endpoint);
+  EXPECT_EQ(used.size(), workload_->endpoints().size());
+}
+
+TEST_F(WorkloadTest, EndpointPrefixesAreUniqueSlash24s) {
+  std::set<util::Ipv4Prefix> prefixes;
+  for (const auto& endpoint : workload_->endpoints()) {
+    EXPECT_EQ(endpoint.prefix24.length(), 24);
+    EXPECT_TRUE(prefixes.insert(endpoint.prefix24).second);
+  }
+}
+
+TEST_F(WorkloadTest, GeoIpRegisteredWithGroundTruth) {
+  for (const auto& endpoint : workload_->endpoints()) {
+    const auto metro = geoip_.Lookup(endpoint.prefix24);
+    ASSERT_TRUE(metro.has_value());
+    EXPECT_EQ(*metro, endpoint.metro);
+  }
+}
+
+TEST_F(WorkloadTest, EndpointMetroWithinNodePresence) {
+  for (const auto& endpoint : workload_->endpoints()) {
+    const auto& presence = topology_.graph.node(endpoint.node).presence;
+    EXPECT_NE(std::find(presence.begin(), presence.end(), endpoint.metro),
+              presence.end());
+  }
+}
+
+TEST_F(WorkloadTest, NoFlowsFromPureTransitNodes) {
+  for (const auto& endpoint : workload_->endpoints()) {
+    const auto type = topology_.graph.node(endpoint.node).type;
+    EXPECT_NE(type, topo::AsType::kTier1);
+    EXPECT_NE(type, topo::AsType::kExchange);
+    EXPECT_NE(type, topo::AsType::kCloudWan);
+  }
+}
+
+TEST_F(WorkloadTest, BytesAtIsDeterministic) {
+  for (std::size_t f = 0; f < 10; ++f) {
+    EXPECT_DOUBLE_EQ(workload_->BytesAt(f, 100), workload_->BytesAt(f, 100));
+  }
+}
+
+TEST_F(WorkloadTest, DiurnalPatternPeaksInLocalAfternoon) {
+  // Averaged over persistent flows, bytes at local 14:00 exceed local
+  // 02:00 clearly.
+  double peak = 0.0, trough = 0.0;
+  int counted = 0;
+  for (std::size_t f = 0; f < workload_->flows().size() && counted < 200;
+       ++f) {
+    if (!workload_->flows()[f].persistent) continue;
+    const auto& ep = workload_->endpoints()[workload_->flows()[f].endpoint];
+    const double lon =
+        topology_.metros.Get(ep.metro).location.lon_deg;
+    // Hour h whose local solar time is 14:00 / 02:00 on day 2 (a weekday).
+    const auto local_to_utc = [&](double local) {
+      int h = static_cast<int>(std::fmod(local - lon / 15.0 + 48.0, 24.0));
+      return 2 * 24 + h;
+    };
+    // Average over hours to integrate out noise.
+    peak += workload_->BytesAt(f, local_to_utc(14));
+    trough += workload_->BytesAt(f, local_to_utc(2));
+    ++counted;
+  }
+  ASSERT_GT(counted, 50);
+  EXPECT_GT(peak, trough * 1.5);
+}
+
+TEST_F(WorkloadTest, PersistentFlowsAlwaysActive) {
+  for (std::size_t f = 0; f < workload_->flows().size(); ++f) {
+    if (!workload_->flows()[f].persistent) continue;
+    for (util::HourIndex h = 0; h < 14 * 24; h += 24) {
+      EXPECT_GT(workload_->BytesAt(f, h + 12), 0.0);
+    }
+  }
+}
+
+TEST_F(WorkloadTest, IntermittentFlowsSkipDaysAtConfiguredRate) {
+  std::size_t active_days = 0;
+  std::size_t total_days = 0;
+  for (std::size_t f = 0; f < workload_->flows().size(); ++f) {
+    if (workload_->flows()[f].persistent) continue;
+    for (int d = 0; d < 30; ++d) {
+      ++total_days;
+      if (workload_->BytesAt(f, d * 24 + 12) > 0.0) ++active_days;
+    }
+  }
+  ASSERT_GT(total_days, 1000u);
+  const double rate =
+      static_cast<double>(active_days) / static_cast<double>(total_days);
+  EXPECT_NEAR(rate, cfg_.daily_active_probability, 0.05);
+}
+
+TEST_F(WorkloadTest, PersistentFractionApproximatelyHonored) {
+  std::size_t persistent = 0;
+  for (const auto& flow : workload_->flows()) {
+    if (flow.persistent) ++persistent;
+  }
+  const double fraction = static_cast<double>(persistent) /
+                          static_cast<double>(workload_->flows().size());
+  EXPECT_NEAR(fraction, cfg_.persistent_fraction, 0.06);
+}
+
+TEST_F(WorkloadTest, ScaleVolumesIsLinear) {
+  const double before = workload_->BytesAt(0, 50);
+  workload_->ScaleVolumes(2.0);
+  EXPECT_DOUBLE_EQ(workload_->BytesAt(0, 50), before * 2.0);
+}
+
+TEST_F(WorkloadTest, ScaleFlowAffectsOnlyThatFlow) {
+  const double f0 = workload_->BytesAt(0, 50);
+  const double f1 = workload_->BytesAt(1, 50);
+  workload_->ScaleFlow(0, 3.0);
+  EXPECT_DOUBLE_EQ(workload_->BytesAt(0, 50), f0 * 3.0);
+  EXPECT_DOUBLE_EQ(workload_->BytesAt(1, 50), f1);
+}
+
+TEST_F(WorkloadTest, BaseVolumesWithinConfiguredEnvelope) {
+  const double max_factor =
+      std::max({cfg_.enterprise_volume_factor, cfg_.cdn_volume_factor, 1.5});
+  for (const auto& flow : workload_->flows()) {
+    EXPECT_GE(flow.base_bytes_per_hour, cfg_.min_bytes_per_hour * 0.99);
+    EXPECT_LE(flow.base_bytes_per_hour,
+              cfg_.max_bytes_per_hour * max_factor * 1.01);
+  }
+}
+
+TEST_F(WorkloadTest, GenerationDeterministicForSeed) {
+  geo::GeoIpDb other_geoip;
+  const auto again =
+      Workload::Generate(topology_, *wan_, cfg_, &other_geoip);
+  ASSERT_EQ(again.flows().size(), workload_->flows().size());
+  for (std::size_t f = 0; f < again.flows().size(); ++f) {
+    EXPECT_EQ(again.flows()[f].endpoint, workload_->flows()[f].endpoint);
+    EXPECT_EQ(again.flows()[f].destination,
+              workload_->flows()[f].destination);
+    EXPECT_EQ(again.flows()[f].hash, workload_->flows()[f].hash);
+  }
+}
+
+TEST_F(WorkloadTest, WeekendChangesEnterpriseVolume) {
+  // Day 5 (Saturday) vs day 4 (Friday) at identical local hour: most
+  // flows move by the weekend factor.
+  std::size_t changed = 0;
+  std::size_t tested = 0;
+  for (std::size_t f = 0; f < workload_->flows().size() && tested < 300;
+       ++f) {
+    if (!workload_->flows()[f].persistent) continue;
+    ++tested;
+    const double friday = workload_->BytesAt(f, 4 * 24 + 12);
+    const double saturday = workload_->BytesAt(f, 5 * 24 + 12);
+    // Noise is ~20%; the weekend factor is 0.65 or 1.1.
+    if (std::abs(saturday / friday - 1.0) > 0.15) ++changed;
+  }
+  EXPECT_GT(changed, tested / 2);
+}
+
+}  // namespace
+}  // namespace tipsy::traffic

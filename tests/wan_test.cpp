@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "geo/geo.h"
+#include "topo/generator.h"
+#include "wan/wan.h"
+
+namespace tipsy::wan {
+namespace {
+
+class WanTest : public ::testing::Test {
+ protected:
+  WanTest() : topology_(topo::GenerateTinyTopology()) {
+    wan_ = std::make_unique<Wan>(
+        topology_.peering_links,
+        topology_.graph.node(topology_.wan).presence,
+        /*prefix_count=*/8, /*seed=*/1);
+  }
+  topo::GeneratedTopology topology_;
+  std::unique_ptr<Wan> wan_;
+};
+
+TEST_F(WanTest, LinksMatchSpecs) {
+  ASSERT_EQ(wan_->link_count(), topology_.peering_links.size());
+  for (std::size_t i = 0; i < wan_->link_count(); ++i) {
+    const auto& link = wan_->link(util::LinkId{
+        static_cast<std::uint32_t>(i)});
+    EXPECT_EQ(link.id.value(), i);
+    EXPECT_EQ(link.metro, topology_.peering_links[i].metro);
+    EXPECT_GT(link.capacity_gbps, 0.0);
+  }
+}
+
+TEST_F(WanTest, CapacityConversion) {
+  const auto& link = wan_->link(util::LinkId{0});
+  // capacity_gbps Gbit/s * 3600 s / 8 bits-per-byte.
+  EXPECT_DOUBLE_EQ(link.CapacityBytesPerHour(),
+                   link.capacity_gbps * 1e9 / 8.0 * 3600.0);
+}
+
+TEST_F(WanTest, DestinationsCoverEveryRegionServicePair) {
+  EXPECT_EQ(wan_->destination_count(),
+            wan_->region_count() * kServiceTypeCount);
+  std::set<std::pair<std::uint32_t, int>> seen;
+  for (const auto& dest : wan_->destinations()) {
+    EXPECT_TRUE(
+        seen.emplace(dest.region.value(), static_cast<int>(dest.service))
+            .second);
+    EXPECT_LT(dest.prefix.value(), wan_->prefix_count());
+    EXPECT_EQ(dest.region_metro, wan_->region_metro(dest.region));
+  }
+}
+
+TEST_F(WanTest, DestinationsOfPrefixIsInverseMapping) {
+  std::size_t total = 0;
+  for (std::uint32_t p = 0; p < wan_->prefix_count(); ++p) {
+    for (std::size_t d : wan_->DestinationsOfPrefix(util::PrefixId{p})) {
+      EXPECT_EQ(wan_->destination(d).prefix.value(), p);
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, wan_->destination_count());
+}
+
+TEST_F(WanTest, LinksOfAsnByDistanceSortedAndExcluding) {
+  // Find an ASN with at least 3 links.
+  util::AsId asn;
+  for (const auto& link : wan_->links()) {
+    std::size_t count = 0;
+    for (const auto& other : wan_->links()) {
+      if (other.peer_asn == link.peer_asn) ++count;
+    }
+    if (count >= 3) {
+      asn = link.peer_asn;
+      break;
+    }
+  }
+  ASSERT_TRUE(asn.valid()) << "tiny topology has no multi-link peer";
+  // Anchor at the first link of that ASN.
+  const PeeringLink* anchor = nullptr;
+  for (const auto& link : wan_->links()) {
+    if (link.peer_asn == asn) {
+      anchor = &link;
+      break;
+    }
+  }
+  const auto ranked = wan_->LinksOfAsnByDistance(asn, anchor->metro,
+                                                 topology_.metros,
+                                                 anchor->id);
+  ASSERT_GE(ranked.size(), 2u);
+  double prev = -1.0;
+  for (auto id : ranked) {
+    EXPECT_NE(id, anchor->id);
+    EXPECT_EQ(wan_->link(id).peer_asn, asn);
+    const double d = topology_.metros.DistanceKmBetween(
+        anchor->metro, wan_->link(id).metro);
+    EXPECT_GE(d, prev - 1e-9);
+    prev = d;
+  }
+}
+
+TEST_F(WanTest, UtilizationTracker) {
+  UtilizationTracker tracker(wan_->link_count());
+  const util::LinkId link{0};
+  const double cap = wan_->link(link).CapacityBytesPerHour();
+  tracker.AddBytes(link, cap / 2.0);
+  EXPECT_DOUBLE_EQ(tracker.Utilization(link, *wan_), 0.5);
+  tracker.AddBytes(link, cap / 4.0);
+  EXPECT_DOUBLE_EQ(tracker.Utilization(link, *wan_), 0.75);
+  tracker.Reset();
+  EXPECT_DOUBLE_EQ(tracker.Utilization(link, *wan_), 0.0);
+}
+
+TEST_F(WanTest, AnnouncedPrefixesDisjointAndVariableLength) {
+  std::set<std::uint8_t> lengths;
+  for (std::uint32_t p = 0; p < wan_->prefix_count(); ++p) {
+    const auto a = wan_->AnnouncedPrefix(util::PrefixId{p});
+    lengths.insert(a.length());
+    EXPECT_GE(a.length(), 10);
+    EXPECT_LE(a.length(), 14);
+    for (std::uint32_t q = 0; q < p; ++q) {
+      const auto b = wan_->AnnouncedPrefix(util::PrefixId{q});
+      EXPECT_FALSE(a.Contains(b) || b.Contains(a))
+          << a.ToString() << " overlaps " << b.ToString();
+    }
+  }
+  EXPECT_GE(lengths.size(), 2u);  // genuinely variable-length
+}
+
+TEST_F(WanTest, DestinationAddressesResolveToTheirPrefix) {
+  for (std::size_t d = 0; d < wan_->destination_count(); ++d) {
+    const auto& dest = wan_->destination(d);
+    EXPECT_TRUE(wan_->AnnouncedPrefix(dest.prefix).Contains(dest.address));
+    EXPECT_EQ(wan_->PrefixOfAddress(dest.address), dest.prefix);
+    EXPECT_EQ(wan_->DestinationOfAddress(dest.address).value(), d);
+  }
+  // An address outside WAN space resolves to nothing.
+  EXPECT_FALSE(wan_->PrefixOfAddress(util::Ipv4Addr(8, 8, 8, 8)).valid());
+  EXPECT_FALSE(
+      wan_->DestinationOfAddress(util::Ipv4Addr(8, 8, 8, 8)).has_value());
+}
+
+TEST(ServiceType, NamesAreDistinct) {
+  std::set<std::string> names;
+  for (std::size_t s = 0; s < kServiceTypeCount; ++s) {
+    names.insert(ToString(static_cast<ServiceType>(s)));
+  }
+  EXPECT_EQ(names.size(), kServiceTypeCount);
+}
+
+TEST(Wan, DeterministicPrefixPlanForSeed) {
+  const auto topology = topo::GenerateTinyTopology();
+  const auto presence = topology.graph.node(topology.wan).presence;
+  const Wan a(topology.peering_links, presence, 8, 99);
+  const Wan b(topology.peering_links, presence, 8, 99);
+  const Wan c(topology.peering_links, presence, 8, 100);
+  ASSERT_EQ(a.destination_count(), b.destination_count());
+  bool any_differs_from_c = false;
+  for (std::size_t i = 0; i < a.destination_count(); ++i) {
+    EXPECT_EQ(a.destination(i).prefix, b.destination(i).prefix);
+    if (a.destination(i).prefix != c.destination(i).prefix) {
+      any_differs_from_c = true;
+    }
+  }
+  EXPECT_TRUE(any_differs_from_c);
+}
+
+}  // namespace
+}  // namespace tipsy::wan

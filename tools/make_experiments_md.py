@@ -1,0 +1,183 @@
+#!/usr/bin/env python3
+"""Builds EXPERIMENTS.md from bench_output.txt.
+
+Each bench section from the captured run is embedded verbatim under a
+heading that cites the paper's corresponding numbers and states the shape
+criteria being reproduced.
+"""
+import re
+import sys
+
+BENCH_OUT = "bench_output.txt"
+TARGET = "EXPERIMENTS.md"
+
+HEADER = """# EXPERIMENTS — paper vs. measured
+
+Every table and figure in the paper's evaluation has a bench binary under
+`bench/`; this file records the paper's numbers next to ours. **Absolute
+values are not expected to match**: the paper measures the Azure WAN and
+the live Internet, we measure a synthetic substrate (see DESIGN.md for the
+substitutions). What must match — and does — is the *shape*: who wins,
+roughly by how much, and where the crossovers fall.
+
+All measured output below is embedded verbatim from one deterministic run
+of `for b in build/bench/*; do $b; done` (seeds fixed in
+`DefaultScenarioConfig`), captured in `bench_output.txt`. Per-figure CSVs
+land in `results/`. Default scenario: ~60 metros, ~460 routing domains,
+~370 peering links, 20 000 flow aggregates, IPFIX sampled 1/4096, 3 weeks
+training + 1 week testing (§5.1 methodology).
+
+"""
+
+# (bench name, title, commentary with the paper's numbers / shape claims)
+SECTIONS = [
+    ("bench_fig2_as_distance", "Figure 2 — bytes by source-AS distance", """
+Paper: ~60% of ingress bytes come from ASes that peer directly (distance
+1) and 98.2% from within 3 AS hops — the flattened Internet. Shape to
+reproduce: byte mass concentrated at small distances, virtually everything
+within 3 hops. Known deviation: our workload is enterprise-heavy by
+construction (the §1 motivation), and enterprises mostly reach the WAN
+through an access ISP, so our byte mass peaks at distance 2 rather than 1;
+the ≤3-hops concentration matches the paper almost exactly."""),
+    ("bench_fig3_link_spread", "Figure 3 — link spread by AS distance", """
+Paper's counter-intuitive finding: the *closest* ASes spray traffic over
+the most peering links (50% of 1-hop bytes spread over up to 182 links),
+because backbone-less CDNs and hot-potato policies fan nearby traffic
+out. Shape: the distance-1 group has a much larger median/max link count
+than distance-2/3 groups."""),
+    ("bench_fig5_oracle_k", "Figure 5 — oracle accuracy vs k", """
+Paper: at k=1 oracles reach only 65–85% (flows genuinely arrive on more
+than one link); at k=3 Oracle_AP/Oracle_AL hit ~97%, motivating the top-3
+metric; unrestricted k → 100%. Shape: same knee at k=2..3, A below AP/AL,
+monotone to 100%."""),
+    ("bench_table4_overall", "Table 4 — overall prediction accuracy", """
+Paper (top-1/2/3 %): Oracle_A 61.7/84.0/90.6, Hist_A 59.4/82.1/89.0;
+Oracle_AP 80.7/98.1/99.5, Hist_AP 75.6/95.3/97.1; Oracle_AL
+72.3/93.8/97.3, Hist_AL 69.6/91.9/95.7; Hist_AL+G 69.6/91.9/95.9;
+Hist_AP/AL/A 76.0/96.0/97.9 (best model). Shapes: every model close to its
+oracle; AP > AL > A; the ensemble led by AP is the best operational model;
++G is a no-op on normal traffic. Our absolute level sits closer to the
+paper's January-2021 appendix window (Table 13: Hist_AP 78.9/95.8/98.0),
+which the authors call out as the same system on a calmer period."""),
+    ("bench_table5_outages", "Table 5 — accuracy for all link outages", """
+Paper (top-1/2/3 %): Hist_A 55.7/62.9/67.5, Hist_AP 58.9/62.9/64.1,
+Hist_AL 60.7/67.5/70.7, Hist_AL+G 62.7/71.1/76.4 (best), ensembles in
+between; oracles stay high (92–99% @3). Shapes: a large drop from Table 4
+for every model; the model↔oracle gap blows open; geographic fallback
+wins; AL ≥ AP (location transfers, exact prefixes don't)."""),
+    ("bench_table6_seen", "Table 6 — seen outages", """
+Paper: when the failed link also failed during training, the models nearly
+match their oracles again (Hist_AP 88.0/91.1/92.5 vs Oracle_AP
+95.6/99.0/99.9) and AP is the best plain model — past failover behaviour
+is simply replayed. Shape: high accuracy, AP ≥ AL, small oracle gap."""),
+    ("bench_table7_unseen", "Table 7 — unseen outages", """
+Paper: the hard case (withdrawal never observed in training): Hist models
+fall to 42–54% @3 while oracles stay ≥92%; Hist_AL+G is the best at
+46.3/57.3/64.6 — geography predicts failover the data cannot. Shapes:
+steep drop for all Hist models; AL > AP (location generalizes); +G adds a
+clear margin; ensembles beat their components."""),
+    ("bench_fig6_outage_first", "Figure 6 — first outage in a year", """
+Paper: the fraction of links that have experienced at least one outage
+grows almost linearly over the year and reaches ~80%. Shape: near-linear
+growth to a majority of active links."""),
+    ("bench_fig7_outage_last", "Figure 7 — days since last outage", """
+Paper: looking back from the end of the year, outage recency is spread
+roughly evenly, with about a third of links down within the previous 50
+days. Shape: no sharp concentration; a sizable share of recent failures
+(flappy links pull recency forward)."""),
+    ("bench_fig9_train_window", "Figure 9 — training window length", """
+Paper: accuracy rises with the training window and flattens by ~21 days
+(their pick), with shrinking run-to-run variability. Shape: short windows
+lose a few points at top-1/2 and have wider min–max bands; the curve
+saturates in the 14–21 day range."""),
+    ("bench_fig10_model_aging", "Figure 10 — model aging", """
+Paper: testing on single days progressively farther past training shows
+roughly linear degradation; 7 days is still acceptable (their testing
+window). Shape: slow, roughly monotone decay over two weeks, wider bands
+farther out."""),
+    ("bench_fig11_sensitivity", "Figure 11 — 28 daily models by outage class", """
+Paper: across 28 one-day test windows, overall accuracy is tight and
+high; outage subsets are lower with much wider spread, unseen outages the
+widest (Tukey whiskers). Shape: same ordering and spread pattern."""),
+    ("bench_table9_10_nb", "Tables 9/10 — Naive Bayes baselines", """
+Paper (older period, top-3 %): overall NB_A 87.5 < Hist_A 90.0 and NB_AL
+93.3 < Hist_AL 94.4; under outages NB is weaker still, but the
+Hist_AL/NB_AL ensemble (74.7 @3) slightly beats Hist_AL (73.8) by filling
+unseen tuples. Shapes reproduced: NB below Hist on normal traffic, and
+the NB-backed ensemble strictly above plain Hist_AL under outages. Known
+deviation: in our substrate NB outperforms plain Hist on the outage
+subset outright — our synthetic feature marginals are more informative
+under failover than the real Internet's (where the paper found NB weak
+everywhere) — but the paper's operational conclusion is unchanged: the
+historical models win overall while costing orders of magnitude less per
+query (see model costs below)."""),
+    ("bench_model_costs", "Tables 3/11 — model costs", """
+Paper: Hist trains in one O(n) pass, predicts in O(1) per query, and its
+size is linear in unique tuples; NB prediction is O(l log l) over all
+classes, orders of magnitude slower. Shape: flat Hist predict latency in
+the hundreds of nanoseconds; NB predict latency scaling ~linearly with
+the class count (microseconds to near-millisecond); single-pass training
+throughput in the millions of rows/second."""),
+    ("bench_table12_risk", "Tables 12/15 — links at risk", """
+Paper: Algorithm 1 surfaces a handful of links that would spend tens of
+extra hours above 70% utilization if one specific other link failed —
+including non-obvious cross-peer, cross-metro pairs. Shape: a short ranked
+list with tens of predicted hot hours, same-peer and cross-peer rows."""),
+    ("bench_table13_14_january", "Tables 13/14 — January best case", """
+Paper: in the January 2021 window every test outage had been seen in
+training; models land almost on top of their oracles (e.g. Hist_AP
+81.8/89.2/97.2 vs Oracle_AP 82.5/92.7/97.3 under outages). Shape: with an
+outage process dominated by repeat offenders, the seen-share approaches
+100% and model ≈ oracle in both tables."""),
+    ("bench_incident_cascade", "§2 — cascading congestion incident", """
+Paper: blind withdrawals at I1 pushed the traffic onto I2, then I3/I4 —
+three rounds of chasing congestion; with TIPSY, CMS could have withdrawn
+at all four links at once and avoided the cascade. Shape: legacy mode
+congests more links over more link-hours; the TIPSY-guided run skips
+unsafe withdrawals / withdraws at the predicted spill targets
+simultaneously and ends with fewer cascade events."""),
+    ("bench_substrate_perf", "Substrate performance (not a paper table)", """
+Cost of the simulation substrate itself: a per-prefix Gao-Rexford route
+recomputation (what one withdrawal triggers) in tens of microseconds, a
+per-flow ingress resolution near a microsecond, and a fully simulated
+hour (resolution + IPFIX sampling + aggregation + metadata join) in
+milliseconds - which is why a 4-week experiment runs in well under a
+minute."""),
+    ("bench_ablations", "Ablations — design choices", """
+Not a paper table; these are the design knobs the paper argues for,
+measured: byte-weighting beats unweighted training (§3.3's reasons 1–4);
+/24 source prefixes beat /16 (§3.2's resolution trade-off); the +G edge
+rides on the substrate actually doing hot-potato routing; accuracy is
+insensitive to the IPFIX sampling rate until flows drop below the
+detection threshold (§4.1), to metro-level Geo-IP noise (§5.3.1), and to
+uniform collector record loss."""),
+]
+
+
+def main() -> int:
+    text = open(BENCH_OUT).read()
+    # Split on '##### <name>' headers.
+    chunks = {}
+    for match in re.finditer(r"^##### (\S+)\n(.*?)(?=^##### |\Z)", text,
+                             re.S | re.M):
+        chunks[match.group(1)] = match.group(2).strip()
+
+    out = [HEADER]
+    missing = []
+    for name, title, commentary in SECTIONS:
+        out.append(f"## {title}\n")
+        out.append(f"*Bench:* `{name}`\n")
+        out.append(commentary.strip() + "\n")
+        body = chunks.get(name)
+        if body is None:
+            missing.append(name)
+            out.append("*(bench output missing from this run)*\n")
+        else:
+            out.append("Measured:\n\n```\n" + body + "\n```\n")
+    open(TARGET, "w").write("\n".join(out))
+    print(f"wrote {TARGET}; missing: {missing}")
+    return 0 if not missing else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
