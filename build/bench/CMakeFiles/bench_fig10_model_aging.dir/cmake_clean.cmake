@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_model_aging.dir/bench_fig10_model_aging.cpp.o"
+  "CMakeFiles/bench_fig10_model_aging.dir/bench_fig10_model_aging.cpp.o.d"
+  "bench_fig10_model_aging"
+  "bench_fig10_model_aging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_model_aging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

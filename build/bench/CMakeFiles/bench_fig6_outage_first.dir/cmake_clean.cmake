@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_outage_first.dir/bench_fig6_outage_first.cpp.o"
+  "CMakeFiles/bench_fig6_outage_first.dir/bench_fig6_outage_first.cpp.o.d"
+  "bench_fig6_outage_first"
+  "bench_fig6_outage_first.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_outage_first.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

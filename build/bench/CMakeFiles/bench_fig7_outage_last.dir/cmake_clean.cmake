@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_outage_last.dir/bench_fig7_outage_last.cpp.o"
+  "CMakeFiles/bench_fig7_outage_last.dir/bench_fig7_outage_last.cpp.o.d"
+  "bench_fig7_outage_last"
+  "bench_fig7_outage_last.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_outage_last.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_incident_cascade.dir/bench_incident_cascade.cpp.o"
+  "CMakeFiles/bench_incident_cascade.dir/bench_incident_cascade.cpp.o.d"
+  "bench_incident_cascade"
+  "bench_incident_cascade.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_incident_cascade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

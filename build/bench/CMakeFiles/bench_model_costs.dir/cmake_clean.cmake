@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_model_costs.dir/bench_model_costs.cpp.o"
+  "CMakeFiles/bench_model_costs.dir/bench_model_costs.cpp.o.d"
+  "bench_model_costs"
+  "bench_model_costs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_model_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

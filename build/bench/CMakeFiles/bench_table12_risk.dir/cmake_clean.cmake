@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table12_risk.dir/bench_table12_risk.cpp.o"
+  "CMakeFiles/bench_table12_risk.dir/bench_table12_risk.cpp.o.d"
+  "bench_table12_risk"
+  "bench_table12_risk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table12_risk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

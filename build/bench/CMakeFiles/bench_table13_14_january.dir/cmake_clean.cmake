@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table13_14_january.dir/bench_table13_14_january.cpp.o"
+  "CMakeFiles/bench_table13_14_january.dir/bench_table13_14_january.cpp.o.d"
+  "bench_table13_14_january"
+  "bench_table13_14_january.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table13_14_january.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_outages.dir/bench_table5_outages.cpp.o"
+  "CMakeFiles/bench_table5_outages.dir/bench_table5_outages.cpp.o.d"
+  "bench_table5_outages"
+  "bench_table5_outages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_outages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_seen.dir/bench_table6_seen.cpp.o"
+  "CMakeFiles/bench_table6_seen.dir/bench_table6_seen.cpp.o.d"
+  "bench_table6_seen"
+  "bench_table6_seen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_seen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

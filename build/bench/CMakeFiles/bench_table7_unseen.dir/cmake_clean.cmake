@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_unseen.dir/bench_table7_unseen.cpp.o"
+  "CMakeFiles/bench_table7_unseen.dir/bench_table7_unseen.cpp.o.d"
+  "bench_table7_unseen"
+  "bench_table7_unseen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_unseen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

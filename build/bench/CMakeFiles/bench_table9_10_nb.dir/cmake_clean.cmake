@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table9_10_nb.dir/bench_table9_10_nb.cpp.o"
+  "CMakeFiles/bench_table9_10_nb.dir/bench_table9_10_nb.cpp.o.d"
+  "bench_table9_10_nb"
+  "bench_table9_10_nb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table9_10_nb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

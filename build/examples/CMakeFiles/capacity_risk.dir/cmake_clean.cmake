@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capacity_risk.dir/capacity_risk.cpp.o"
+  "CMakeFiles/capacity_risk.dir/capacity_risk.cpp.o.d"
+  "capacity_risk"
+  "capacity_risk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capacity_risk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

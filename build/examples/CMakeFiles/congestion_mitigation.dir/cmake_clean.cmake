@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/congestion_mitigation.dir/congestion_mitigation.cpp.o"
+  "CMakeFiles/congestion_mitigation.dir/congestion_mitigation.cpp.o.d"
+  "congestion_mitigation"
+  "congestion_mitigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/congestion_mitigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

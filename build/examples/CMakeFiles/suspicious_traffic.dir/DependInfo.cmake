@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/suspicious_traffic.cpp" "examples/CMakeFiles/suspicious_traffic.dir/suspicious_traffic.cpp.o" "gcc" "examples/CMakeFiles/suspicious_traffic.dir/suspicious_traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scenario/CMakeFiles/tipsy_scenario.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tipsy_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/tipsy_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/tipsy_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/tipsy_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/tipsy_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/wan/CMakeFiles/tipsy_wan.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/tipsy_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/tipsy_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tipsy_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

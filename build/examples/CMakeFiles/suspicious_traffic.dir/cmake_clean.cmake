@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suspicious_traffic.dir/suspicious_traffic.cpp.o"
+  "CMakeFiles/suspicious_traffic.dir/suspicious_traffic.cpp.o.d"
+  "suspicious_traffic"
+  "suspicious_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suspicious_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("geo")
+subdirs("topo")
+subdirs("bgp")
+subdirs("wan")
+subdirs("traffic")
+subdirs("telemetry")
+subdirs("pipeline")
+subdirs("core")
+subdirs("cms")
+subdirs("risk")
+subdirs("scenario")

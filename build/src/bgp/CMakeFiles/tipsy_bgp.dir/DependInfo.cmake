@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bgp/advertisement.cpp" "src/bgp/CMakeFiles/tipsy_bgp.dir/advertisement.cpp.o" "gcc" "src/bgp/CMakeFiles/tipsy_bgp.dir/advertisement.cpp.o.d"
+  "/root/repo/src/bgp/routing.cpp" "src/bgp/CMakeFiles/tipsy_bgp.dir/routing.cpp.o" "gcc" "src/bgp/CMakeFiles/tipsy_bgp.dir/routing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topo/CMakeFiles/tipsy_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/tipsy_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tipsy_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tipsy_bgp.dir/advertisement.cpp.o"
+  "CMakeFiles/tipsy_bgp.dir/advertisement.cpp.o.d"
+  "CMakeFiles/tipsy_bgp.dir/routing.cpp.o"
+  "CMakeFiles/tipsy_bgp.dir/routing.cpp.o.d"
+  "libtipsy_bgp.a"
+  "libtipsy_bgp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tipsy_bgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

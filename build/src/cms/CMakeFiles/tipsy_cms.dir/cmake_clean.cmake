@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tipsy_cms.dir/cms.cpp.o"
+  "CMakeFiles/tipsy_cms.dir/cms.cpp.o.d"
+  "libtipsy_cms.a"
+  "libtipsy_cms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tipsy_cms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/anomaly.cpp" "src/core/CMakeFiles/tipsy_core.dir/anomaly.cpp.o" "gcc" "src/core/CMakeFiles/tipsy_core.dir/anomaly.cpp.o.d"
+  "/root/repo/src/core/ensemble.cpp" "src/core/CMakeFiles/tipsy_core.dir/ensemble.cpp.o" "gcc" "src/core/CMakeFiles/tipsy_core.dir/ensemble.cpp.o.d"
+  "/root/repo/src/core/evaluator.cpp" "src/core/CMakeFiles/tipsy_core.dir/evaluator.cpp.o" "gcc" "src/core/CMakeFiles/tipsy_core.dir/evaluator.cpp.o.d"
+  "/root/repo/src/core/geo_model.cpp" "src/core/CMakeFiles/tipsy_core.dir/geo_model.cpp.o" "gcc" "src/core/CMakeFiles/tipsy_core.dir/geo_model.cpp.o.d"
+  "/root/repo/src/core/historical.cpp" "src/core/CMakeFiles/tipsy_core.dir/historical.cpp.o" "gcc" "src/core/CMakeFiles/tipsy_core.dir/historical.cpp.o.d"
+  "/root/repo/src/core/naive_bayes.cpp" "src/core/CMakeFiles/tipsy_core.dir/naive_bayes.cpp.o" "gcc" "src/core/CMakeFiles/tipsy_core.dir/naive_bayes.cpp.o.d"
+  "/root/repo/src/core/online.cpp" "src/core/CMakeFiles/tipsy_core.dir/online.cpp.o" "gcc" "src/core/CMakeFiles/tipsy_core.dir/online.cpp.o.d"
+  "/root/repo/src/core/serialize.cpp" "src/core/CMakeFiles/tipsy_core.dir/serialize.cpp.o" "gcc" "src/core/CMakeFiles/tipsy_core.dir/serialize.cpp.o.d"
+  "/root/repo/src/core/tipsy_service.cpp" "src/core/CMakeFiles/tipsy_core.dir/tipsy_service.cpp.o" "gcc" "src/core/CMakeFiles/tipsy_core.dir/tipsy_service.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pipeline/CMakeFiles/tipsy_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/wan/CMakeFiles/tipsy_wan.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/tipsy_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tipsy_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/tipsy_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/tipsy_telemetry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tipsy_core.dir/anomaly.cpp.o"
+  "CMakeFiles/tipsy_core.dir/anomaly.cpp.o.d"
+  "CMakeFiles/tipsy_core.dir/ensemble.cpp.o"
+  "CMakeFiles/tipsy_core.dir/ensemble.cpp.o.d"
+  "CMakeFiles/tipsy_core.dir/evaluator.cpp.o"
+  "CMakeFiles/tipsy_core.dir/evaluator.cpp.o.d"
+  "CMakeFiles/tipsy_core.dir/geo_model.cpp.o"
+  "CMakeFiles/tipsy_core.dir/geo_model.cpp.o.d"
+  "CMakeFiles/tipsy_core.dir/historical.cpp.o"
+  "CMakeFiles/tipsy_core.dir/historical.cpp.o.d"
+  "CMakeFiles/tipsy_core.dir/naive_bayes.cpp.o"
+  "CMakeFiles/tipsy_core.dir/naive_bayes.cpp.o.d"
+  "CMakeFiles/tipsy_core.dir/online.cpp.o"
+  "CMakeFiles/tipsy_core.dir/online.cpp.o.d"
+  "CMakeFiles/tipsy_core.dir/serialize.cpp.o"
+  "CMakeFiles/tipsy_core.dir/serialize.cpp.o.d"
+  "CMakeFiles/tipsy_core.dir/tipsy_service.cpp.o"
+  "CMakeFiles/tipsy_core.dir/tipsy_service.cpp.o.d"
+  "libtipsy_core.a"
+  "libtipsy_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tipsy_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

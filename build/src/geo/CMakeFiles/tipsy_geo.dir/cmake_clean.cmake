@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tipsy_geo.dir/geo.cpp.o"
+  "CMakeFiles/tipsy_geo.dir/geo.cpp.o.d"
+  "CMakeFiles/tipsy_geo.dir/geoip.cpp.o"
+  "CMakeFiles/tipsy_geo.dir/geoip.cpp.o.d"
+  "libtipsy_geo.a"
+  "libtipsy_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tipsy_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pipeline/aggregate.cpp" "src/pipeline/CMakeFiles/tipsy_pipeline.dir/aggregate.cpp.o" "gcc" "src/pipeline/CMakeFiles/tipsy_pipeline.dir/aggregate.cpp.o.d"
+  "/root/repo/src/pipeline/link_hour.cpp" "src/pipeline/CMakeFiles/tipsy_pipeline.dir/link_hour.cpp.o" "gcc" "src/pipeline/CMakeFiles/tipsy_pipeline.dir/link_hour.cpp.o.d"
+  "/root/repo/src/pipeline/storage.cpp" "src/pipeline/CMakeFiles/tipsy_pipeline.dir/storage.cpp.o" "gcc" "src/pipeline/CMakeFiles/tipsy_pipeline.dir/storage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/telemetry/CMakeFiles/tipsy_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/wan/CMakeFiles/tipsy_wan.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/tipsy_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tipsy_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/tipsy_topo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

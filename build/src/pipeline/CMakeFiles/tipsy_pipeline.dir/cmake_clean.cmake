@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tipsy_pipeline.dir/aggregate.cpp.o"
+  "CMakeFiles/tipsy_pipeline.dir/aggregate.cpp.o.d"
+  "CMakeFiles/tipsy_pipeline.dir/link_hour.cpp.o"
+  "CMakeFiles/tipsy_pipeline.dir/link_hour.cpp.o.d"
+  "CMakeFiles/tipsy_pipeline.dir/storage.cpp.o"
+  "CMakeFiles/tipsy_pipeline.dir/storage.cpp.o.d"
+  "libtipsy_pipeline.a"
+  "libtipsy_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tipsy_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

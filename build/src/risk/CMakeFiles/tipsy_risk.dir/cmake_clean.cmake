@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tipsy_risk.dir/depeering.cpp.o"
+  "CMakeFiles/tipsy_risk.dir/depeering.cpp.o.d"
+  "CMakeFiles/tipsy_risk.dir/risk.cpp.o"
+  "CMakeFiles/tipsy_risk.dir/risk.cpp.o.d"
+  "libtipsy_risk.a"
+  "libtipsy_risk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tipsy_risk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tipsy_scenario.dir/experiment.cpp.o"
+  "CMakeFiles/tipsy_scenario.dir/experiment.cpp.o.d"
+  "CMakeFiles/tipsy_scenario.dir/outage.cpp.o"
+  "CMakeFiles/tipsy_scenario.dir/outage.cpp.o.d"
+  "CMakeFiles/tipsy_scenario.dir/row_cache.cpp.o"
+  "CMakeFiles/tipsy_scenario.dir/row_cache.cpp.o.d"
+  "CMakeFiles/tipsy_scenario.dir/scenario.cpp.o"
+  "CMakeFiles/tipsy_scenario.dir/scenario.cpp.o.d"
+  "libtipsy_scenario.a"
+  "libtipsy_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tipsy_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tipsy_telemetry.dir/bmp.cpp.o"
+  "CMakeFiles/tipsy_telemetry.dir/bmp.cpp.o.d"
+  "CMakeFiles/tipsy_telemetry.dir/ipfix.cpp.o"
+  "CMakeFiles/tipsy_telemetry.dir/ipfix.cpp.o.d"
+  "libtipsy_telemetry.a"
+  "libtipsy_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tipsy_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tipsy_topo.dir/as_graph.cpp.o"
+  "CMakeFiles/tipsy_topo.dir/as_graph.cpp.o.d"
+  "CMakeFiles/tipsy_topo.dir/generator.cpp.o"
+  "CMakeFiles/tipsy_topo.dir/generator.cpp.o.d"
+  "libtipsy_topo.a"
+  "libtipsy_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tipsy_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tipsy_traffic.dir/workload.cpp.o"
+  "CMakeFiles/tipsy_traffic.dir/workload.cpp.o.d"
+  "libtipsy_traffic.a"
+  "libtipsy_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tipsy_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tipsy_util.dir/ip.cpp.o"
+  "CMakeFiles/tipsy_util.dir/ip.cpp.o.d"
+  "CMakeFiles/tipsy_util.dir/rng.cpp.o"
+  "CMakeFiles/tipsy_util.dir/rng.cpp.o.d"
+  "CMakeFiles/tipsy_util.dir/sim_time.cpp.o"
+  "CMakeFiles/tipsy_util.dir/sim_time.cpp.o.d"
+  "CMakeFiles/tipsy_util.dir/stats.cpp.o"
+  "CMakeFiles/tipsy_util.dir/stats.cpp.o.d"
+  "CMakeFiles/tipsy_util.dir/table.cpp.o"
+  "CMakeFiles/tipsy_util.dir/table.cpp.o.d"
+  "libtipsy_util.a"
+  "libtipsy_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tipsy_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

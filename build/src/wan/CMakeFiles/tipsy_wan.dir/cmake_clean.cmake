@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tipsy_wan.dir/wan.cpp.o"
+  "CMakeFiles/tipsy_wan.dir/wan.cpp.o.d"
+  "libtipsy_wan.a"
+  "libtipsy_wan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tipsy_wan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

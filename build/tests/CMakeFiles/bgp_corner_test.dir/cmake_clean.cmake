@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgp_corner_test.dir/bgp_corner_test.cpp.o"
+  "CMakeFiles/bgp_corner_test.dir/bgp_corner_test.cpp.o.d"
+  "bgp_corner_test"
+  "bgp_corner_test.pdb"
+  "bgp_corner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgp_corner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/risk_test.dir/risk_test.cpp.o"
+  "CMakeFiles/risk_test.dir/risk_test.cpp.o.d"
+  "risk_test"
+  "risk_test.pdb"
+  "risk_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/risk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/routing_properties_test.dir/routing_properties_test.cpp.o"
+  "CMakeFiles/routing_properties_test.dir/routing_properties_test.cpp.o.d"
+  "routing_properties_test"
+  "routing_properties_test.pdb"
+  "routing_properties_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/routing_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

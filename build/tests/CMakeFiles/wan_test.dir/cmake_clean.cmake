@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wan_test.dir/wan_test.cpp.o"
+  "CMakeFiles/wan_test.dir/wan_test.cpp.o.d"
+  "wan_test"
+  "wan_test.pdb"
+  "wan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
