@@ -2,10 +2,12 @@
 // function of the training window length, averaged over 4 non-overlapping
 // test periods. The paper picks 21 days: long enough for high accuracy,
 // before staleness costs anything.
+#include <array>
 #include <iostream>
 
 #include "bench_common.h"
 #include "scenario/row_cache.h"
+#include "util/parallel.h"
 #include "util/stats.h"
 
 using namespace tipsy;
@@ -25,26 +27,49 @@ int main(int argc, char** argv) {
             << " days\n";
 
   const int train_lengths[] = {1, 3, 7, 14, 21, 28};
+  constexpr int kPeriods = 4;
   util::TextTable table({"Train days", "Top1 avg% (min-max)",
                          "Top2 avg% (min-max)", "Top3 avg% (min-max)"});
   std::vector<std::vector<std::string>> csv{
       {"train_days", "k", "avg_pct", "min_pct", "max_pct"}};
+
+  // Every (window length, test period) experiment replays the same cached
+  // rows and is independent of the others: run them all on the thread
+  // pool, then fold the accuracies in job order for deterministic stats.
+  struct Job {
+    int train_days;
+    int period;
+  };
+  std::vector<Job> jobs;
+  for (const int train_days : train_lengths) {
+    for (int period = 0; period < kPeriods; ++period) {
+      jobs.push_back(Job{train_days, period});
+    }
+  }
+  const auto accuracies =
+      util::ParallelMap(jobs.size(), [&](std::size_t j) {
+        // Test periods start a week apart; training reaches back from
+        // each test start, so every length fits inside the cached span.
+        const util::HourIndex test_start =
+            (28 + jobs[j].period * 7) * util::kHoursPerDay;
+        scenario::ExperimentConfig exp;
+        exp.train = util::HourRange{
+            test_start - jobs[j].train_days * util::kHoursPerDay,
+            test_start};
+        exp.test = util::HourRange{test_start,
+                                   test_start + 7 * util::kHoursPerDay};
+        const auto result = scenario::RunExperiment(cache, exp);
+        const auto* model = result.tipsy->Find("Hist_AL/AP/A");
+        const auto accuracy = core::EvaluateModel(*model, result.overall);
+        return std::array<double, 3>{accuracy.top[0], accuracy.top[1],
+                                     accuracy.top[2]};
+      });
+
+  std::size_t job = 0;
   for (const int train_days : train_lengths) {
     util::OnlineStats stats[3];
-    for (int period = 0; period < 4; ++period) {
-      // Test periods start a week apart; training reaches back from each
-      // test start, so every length fits inside the cached span.
-      const util::HourIndex test_start =
-          (28 + period * 7) * util::kHoursPerDay;
-      scenario::ExperimentConfig exp;
-      exp.train = util::HourRange{
-          test_start - train_days * util::kHoursPerDay, test_start};
-      exp.test = util::HourRange{test_start,
-                                 test_start + 7 * util::kHoursPerDay};
-      const auto result = scenario::RunExperiment(cache, exp);
-      const auto* model = result.tipsy->Find("Hist_AL/AP/A");
-      const auto accuracy = core::EvaluateModel(*model, result.overall);
-      for (int k = 0; k < 3; ++k) stats[k].Add(accuracy.top[k]);
+    for (int period = 0; period < kPeriods; ++period, ++job) {
+      for (int k = 0; k < 3; ++k) stats[k].Add(accuracies[job][k]);
     }
     table.AddRow(
         {std::to_string(train_days),

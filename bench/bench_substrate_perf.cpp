@@ -1,16 +1,229 @@
-// Substrate performance: how fast the BGP engine recomputes routing after
-// an advertisement change and resolves flows, and how fast a full
-// simulated hour runs. Not a paper table - this is the "can a downstream
-// user afford to run it" benchmark for the open-source release.
+// Substrate performance. Two parts:
+//
+//  1. The parallel-substrate sweep (runs by default): serial-vs-parallel
+//     training and evaluation throughput at 1/2/4/hardware threads on the
+//     full scenario, verifying along the way that every thread count
+//     produces a bit-identical ExportTable() and accuracy table. Writes
+//     results/bench_substrate_perf.csv and a BENCH_parallel.json summary
+//     in the working directory (the repo root when invoked as
+//     ./build/bench/bench_substrate_perf), seeding the perf trajectory.
+//
+//  2. The original micro-benchmarks (BGP recomputation, ingress
+//     resolution, simulated hours) behind --micro, via Google Benchmark.
+//
+// Not a paper table - this is the "can a downstream user afford to run
+// it" benchmark for the open-source release.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
 #include "bgp/routing.h"
+#include "core/evaluator.h"
+#include "core/tipsy_service.h"
 #include "scenario/scenario.h"
 #include "topo/generator.h"
+#include "util/parallel.h"
 
 using namespace tipsy;
 
 namespace {
+
+// ----------------------------------------------------------------------
+// Parallel substrate sweep.
+
+struct SweepInput {
+  scenario::ScenarioConfig cfg;
+  std::vector<std::vector<pipeline::AggRow>> train_batches;
+  std::size_t train_rows = 0;
+  core::EvalSet eval;
+  std::unique_ptr<scenario::Scenario> world;
+};
+
+SweepInput BuildSweepInput(const bench::BenchOptions& options) {
+  SweepInput input;
+  input.cfg = bench::FullScenario(options);
+  const util::HourIndex train_days = options.small ? 3 : 7;
+  const util::HourIndex test_days = options.small ? 1 : 2;
+  input.cfg.horizon =
+      util::HourRange{0, (train_days + test_days) * util::kHoursPerDay};
+  input.world = std::make_unique<scenario::Scenario>(input.cfg);
+
+  const util::HourRange train{0, train_days * util::kHoursPerDay};
+  const util::HourRange test{train.end, input.cfg.horizon.end};
+  input.world->SimulateHours(
+      train, [&](util::HourIndex, std::span<const pipeline::AggRow> rows) {
+        input.train_batches.emplace_back(rows.begin(), rows.end());
+        input.train_rows += rows.size();
+      });
+  input.world->SimulateHours(
+      test, [&](util::HourIndex, std::span<const pipeline::AggRow> rows) {
+        for (const auto& row : rows) {
+          const core::FlowFeatures flow{row.src_asn, row.src_prefix24,
+                                        row.src_metro, row.dest_region,
+                                        row.dest_service};
+          input.eval.AddObservation(flow, row.link,
+                                    static_cast<double>(row.bytes), 0);
+        }
+      });
+  input.eval.Finalize();
+  return input;
+}
+
+struct SweepPoint {
+  std::size_t threads = 0;
+  double train_seconds = 0.0;
+  double eval_seconds = 0.0;
+  std::size_t eval_reps = 0;
+  bool export_identical = true;
+  bool accuracy_identical = true;
+  std::vector<core::HistoricalModel::TupleExport> export_ap;
+  core::AccuracyResult accuracy;
+};
+
+bool ExportEqual(const std::vector<core::HistoricalModel::TupleExport>& a,
+                 const std::vector<core::HistoricalModel::TupleExport>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i].key == b[i].key) || a[i].total_bytes != b[i].total_bytes ||
+        a[i].ranked != b[i].ranked) {
+      return false;
+    }
+  }
+  return true;
+}
+
+SweepPoint RunSweepPoint(const SweepInput& input, std::size_t threads) {
+  using Clock = std::chrono::steady_clock;
+  util::ScopedPool pool(threads);
+  SweepPoint point;
+  point.threads = threads;
+
+  const auto train_start = Clock::now();
+  core::TipsyService service(&input.world->wan(), &input.world->metros());
+  for (const auto& batch : input.train_batches) service.Train(batch);
+  service.FinalizeTraining();
+  point.train_seconds =
+      std::chrono::duration<double>(Clock::now() - train_start).count();
+
+  const core::Model* model = service.Find("Hist_AL/AP/A");
+  // Repeat evaluation until it has run for a meaningful wall-time slice.
+  const auto eval_start = Clock::now();
+  do {
+    point.accuracy = core::EvaluateModel(*model, input.eval);
+    ++point.eval_reps;
+    point.eval_seconds =
+        std::chrono::duration<double>(Clock::now() - eval_start).count();
+  } while (point.eval_seconds < 0.5);
+
+  point.export_ap = service.hist(core::FeatureSet::kAP).ExportTable();
+  return point;
+}
+
+void RunParallelSweep(const bench::BenchOptions& options) {
+  bench::PrintHeader("substrate_perf",
+                     "parallel substrate: train/evaluate throughput by "
+                     "thread count");
+  SweepInput input = BuildSweepInput(options);
+  const std::size_t hw = util::ParallelConfig{}.Resolve();
+  std::vector<std::size_t> thread_counts{1, 2, 4};
+  if (hw > 4) thread_counts.push_back(hw);
+  std::cout << "scenario: " << input.train_rows << " training rows, "
+            << input.eval.cases().size() << " eval cases, hardware threads "
+            << hw << "\n";
+
+  std::vector<SweepPoint> points;
+  for (const std::size_t threads : thread_counts) {
+    points.push_back(RunSweepPoint(input, threads));
+    SweepPoint& point = points.back();
+    if (points.size() > 1) {
+      point.export_identical =
+          ExportEqual(point.export_ap, points.front().export_ap);
+      for (std::size_t k = 0; k < core::AccuracyResult::kMaxK; ++k) {
+        if (point.accuracy.top[k] != points.front().accuracy.top[k]) {
+          point.accuracy_identical = false;
+        }
+      }
+    }
+  }
+
+  const double base_train_rate =
+      static_cast<double>(input.train_rows) / points.front().train_seconds;
+  const double base_eval_rate =
+      static_cast<double>(input.eval.cases().size() *
+                          points.front().eval_reps) /
+      points.front().eval_seconds;
+
+  util::TextTable table({"Threads", "Train rows/s", "Eval cases/s",
+                         "Train speedup", "Eval speedup", "Identical"});
+  std::vector<std::vector<std::string>> csv{
+      {"threads", "train_rows_per_s", "eval_cases_per_s", "train_speedup",
+       "eval_speedup", "export_identical", "accuracy_identical"}};
+  for (const SweepPoint& point : points) {
+    const double train_rate =
+        static_cast<double>(input.train_rows) / point.train_seconds;
+    const double eval_rate =
+        static_cast<double>(input.eval.cases().size() * point.eval_reps) /
+        point.eval_seconds;
+    const bool identical =
+        point.export_identical && point.accuracy_identical;
+    char train_rate_s[32], eval_rate_s[32], train_sp[16], eval_sp[16];
+    std::snprintf(train_rate_s, sizeof train_rate_s, "%.0f", train_rate);
+    std::snprintf(eval_rate_s, sizeof eval_rate_s, "%.0f", eval_rate);
+    std::snprintf(train_sp, sizeof train_sp, "%.2fx",
+                  train_rate / base_train_rate);
+    std::snprintf(eval_sp, sizeof eval_sp, "%.2fx",
+                  eval_rate / base_eval_rate);
+    table.AddRow({std::to_string(point.threads), train_rate_s, eval_rate_s,
+                  train_sp, eval_sp, identical ? "yes" : "NO"});
+    csv.push_back({std::to_string(point.threads), train_rate_s,
+                   eval_rate_s, train_sp, eval_sp,
+                   point.export_identical ? "1" : "0",
+                   point.accuracy_identical ? "1" : "0"});
+  }
+  table.Print(std::cout);
+  bench::WriteCsv("bench_substrate_perf", csv);
+
+  // Machine-readable summary for the perf trajectory across PRs.
+  std::ofstream json("BENCH_parallel.json");
+  if (json) {
+    json << "{\n  \"bench\": \"substrate_parallel\",\n";
+    json << "  \"hardware_concurrency\": " << hw << ",\n";
+    json << "  \"train_rows\": " << input.train_rows << ",\n";
+    json << "  \"eval_cases\": " << input.eval.cases().size() << ",\n";
+    json << "  \"points\": [\n";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const SweepPoint& point = points[i];
+      const double train_rate =
+          static_cast<double>(input.train_rows) / point.train_seconds;
+      const double eval_rate =
+          static_cast<double>(input.eval.cases().size() *
+                              point.eval_reps) /
+          point.eval_seconds;
+      json << "    {\"threads\": " << point.threads
+           << ", \"train_rows_per_s\": " << static_cast<long long>(train_rate)
+           << ", \"eval_cases_per_s\": " << static_cast<long long>(eval_rate)
+           << ", \"train_speedup\": " << train_rate / base_train_rate
+           << ", \"eval_speedup\": " << eval_rate / base_eval_rate
+           << ", \"bit_identical\": "
+           << ((point.export_identical && point.accuracy_identical)
+                   ? "true"
+                   : "false")
+           << "}" << (i + 1 < points.size() ? "," : "") << "\n";
+    }
+    json << "  ]\n}\n";
+    std::cout << "wrote BENCH_parallel.json\n";
+  }
+}
+
+// ----------------------------------------------------------------------
+// Original micro-benchmarks (--micro).
 
 topo::GeneratedTopology& SharedTopology() {
   static topo::GeneratedTopology topology = [] {
@@ -104,4 +317,16 @@ BENCHMARK(BM_SimulatedHour)
     ->Arg(1000)->Arg(4000)
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool micro = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--micro") == 0) micro = true;
+  }
+  const auto options = bench::BenchOptions::Parse(argc, argv);
+  RunParallelSweep(options);
+  if (micro) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  return 0;
+}

@@ -16,11 +16,11 @@ std::vector<Prediction> SequentialEnsemble::Predict(
   for (std::size_t i = 0; i < stages_.size(); ++i) {
     auto predictions = stages_[i]->Predict(flow, k, excluded);
     if (!predictions.empty()) {
-      last_stage_ = static_cast<int>(i);
+      last_stage_.store(static_cast<int>(i), std::memory_order_relaxed);
       return predictions;
     }
   }
-  last_stage_ = -1;
+  last_stage_.store(-1, std::memory_order_relaxed);
   return {};
 }
 

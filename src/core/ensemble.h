@@ -7,6 +7,7 @@
 // composition, not voting, is deliberate (§3.3.1).
 #pragma once
 
+#include <atomic>
 #include <vector>
 
 #include "core/model.h"
@@ -27,13 +28,16 @@ class SequentialEnsemble : public Model {
   [[nodiscard]] std::size_t MemoryFootprintBytes() const override;
 
   // Which stage answered the last query (-1 if none); cheap diagnostics
-  // for the fall-through statistics in tests.
-  [[nodiscard]] int last_stage() const { return last_stage_; }
+  // for the fall-through statistics in tests. Relaxed atomic so the
+  // parallel evaluator may call Predict concurrently.
+  [[nodiscard]] int last_stage() const {
+    return last_stage_.load(std::memory_order_relaxed);
+  }
 
  private:
   std::vector<const Model*> stages_;
   std::string label_;
-  mutable int last_stage_ = -1;
+  mutable std::atomic<int> last_stage_{-1};
 };
 
 }  // namespace tipsy::core

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "util/parallel.h"
+
 namespace tipsy::core {
 namespace {
 
@@ -75,6 +77,11 @@ void EvalSet::AddObservation(const FlowFeatures& flow, LinkId link,
   ec.actual.emplace_back(link, bytes);
 }
 
+void EvalSet::Reserve(std::size_t expected_cases) {
+  cases_.reserve(expected_cases);
+  index_.reserve(expected_cases);
+}
+
 void EvalSet::Finalize() {
   for (auto& ec : cases_) {
     std::sort(ec.actual.begin(), ec.actual.end(),
@@ -93,21 +100,45 @@ const ExclusionMask* EvalSet::mask(std::uint32_t id) const {
 
 namespace {
 
+// Bytes of `ec` arriving on `link`, 0 when the link saw none.
+double ActualBytesOn(const EvalCase& ec, LinkId link) {
+  for (const auto& [l, b] : ec.actual) {
+    if (l == link) return b;
+  }
+  return 0.0;
+}
+
+// Byte credit over cases [begin, end) at a single k, accumulated in case
+// order (the parallel caller reduces the per-chunk sums in chunk order).
+double CreditedBytesAtK(const Model& model, const EvalSet& eval,
+                        std::size_t k, std::size_t begin, std::size_t end) {
+  double credited = 0.0;
+  for (std::size_t i = begin; i < end; ++i) {
+    const auto& ec = eval.cases()[i];
+    const auto predictions = model.Predict(ec.flow, k, eval.mask(ec.mask_id));
+    for (const auto& p : predictions) {
+      credited += ActualBytesOn(ec, p.link);
+    }
+  }
+  return credited;
+}
+
 double EvaluateModelAtK(const Model& model, const EvalSet& eval,
                         std::size_t k) {
   if (eval.total_bytes() <= 0.0) return 0.0;
-  double credited = 0.0;
-  for (const auto& ec : eval.cases()) {
-    const auto predictions = model.Predict(ec.flow, k, eval.mask(ec.mask_id));
-    for (const auto& p : predictions) {
-      for (const auto& [link, bytes] : ec.actual) {
-        if (link == p.link) {
-          credited += bytes;
-          break;
-        }
-      }
-    }
+  const std::size_t n = eval.cases().size();
+  const std::size_t chunks =
+      std::min(n, util::CurrentPool().thread_count());
+  if (chunks <= 1) {
+    return CreditedBytesAtK(model, eval, k, 0, n) / eval.total_bytes();
   }
+  const double credited = util::ParallelMapReduce(
+      chunks,
+      [&](std::size_t c) {
+        return CreditedBytesAtK(model, eval, k, n * c / chunks,
+                                n * (c + 1) / chunks);
+      },
+      [](double& acc, double partial) { acc += partial; });
   return credited / eval.total_bytes();
 }
 
@@ -115,8 +146,46 @@ double EvaluateModelAtK(const Model& model, const EvalSet& eval,
 
 AccuracyResult EvaluateModel(const Model& model, const EvalSet& eval) {
   AccuracyResult result;
-  for (std::size_t k = 1; k <= AccuracyResult::kMaxK; ++k) {
-    result.top[k - 1] = EvaluateModelAtK(model, eval, k);
+  if (eval.total_bytes() <= 0.0) return result;
+  using Credit = std::array<double, AccuracyResult::kMaxK>;
+  const std::size_t n = eval.cases().size();
+  // One Predict at kMaxK answers every smaller k: all models rank
+  // prefix-stably (the top-j of a k-prediction equals the j-prediction),
+  // and crediting only consults predicted links, never probabilities.
+  const auto credit_range = [&](std::size_t begin, std::size_t end) {
+    Credit credited{};
+    for (std::size_t i = begin; i < end; ++i) {
+      const auto& ec = eval.cases()[i];
+      const auto predictions =
+          model.Predict(ec.flow, AccuracyResult::kMaxK,
+                        eval.mask(ec.mask_id));
+      for (std::size_t j = 0; j < predictions.size(); ++j) {
+        const double bytes = ActualBytesOn(ec, predictions[j].link);
+        if (bytes <= 0.0) continue;
+        for (std::size_t k = j; k < AccuracyResult::kMaxK; ++k) {
+          credited[k] += bytes;
+        }
+      }
+    }
+    return credited;
+  };
+  const std::size_t chunks =
+      std::min(n, util::CurrentPool().thread_count());
+  Credit credited{};
+  if (chunks <= 1) {
+    credited = credit_range(0, n);
+  } else {
+    credited = util::ParallelMapReduce(
+        chunks,
+        [&](std::size_t c) {
+          return credit_range(n * c / chunks, n * (c + 1) / chunks);
+        },
+        [](Credit& acc, Credit&& partial) {
+          for (std::size_t k = 0; k < acc.size(); ++k) acc[k] += partial[k];
+        });
+  }
+  for (std::size_t k = 0; k < AccuracyResult::kMaxK; ++k) {
+    result.top[k] = credited[k] / eval.total_bytes();
   }
   return result;
 }
@@ -125,6 +194,7 @@ HistoricalModel BuildOracle(FeatureSet feature_set, const EvalSet& eval) {
   // The oracle may need to rank far more links per tuple than operational
   // models retain, so keep a deep ranking.
   HistoricalModel oracle(feature_set, /*max_links_per_tuple=*/4096);
+  oracle.ReserveTuples(eval.cases().size());
   for (const auto& ec : eval.cases()) {
     for (const auto& [link, bytes] : ec.actual) {
       oracle.Add(RowFromCase(ec.flow, link, bytes));
@@ -138,12 +208,11 @@ std::vector<double> OracleAccuracyByK(FeatureSet feature_set,
                                       const EvalSet& eval,
                                       std::size_t max_k) {
   const HistoricalModel oracle = BuildOracle(feature_set, eval);
-  std::vector<double> out;
-  out.reserve(max_k);
-  for (std::size_t k = 1; k <= max_k; ++k) {
-    out.push_back(EvaluateModelAtK(oracle, eval, k));
-  }
-  return out;
+  // Each k of the sweep is independent; evaluate them concurrently (inner
+  // chunking then runs inline on the workers).
+  return util::ParallelMap(max_k, [&](std::size_t i) {
+    return EvaluateModelAtK(oracle, eval, i + 1);
+  });
 }
 
 }  // namespace tipsy::core

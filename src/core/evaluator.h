@@ -38,6 +38,10 @@ class EvalSet {
   void AddObservation(const FlowFeatures& flow, LinkId link, double bytes,
                       std::uint32_t mask_id = 0);
 
+  // Capacity hint: expected number of distinct (flow, mask) cases. Avoids
+  // rehash churn while a test window streams in.
+  void Reserve(std::size_t expected_cases);
+
   void Finalize();
 
   [[nodiscard]] const std::vector<EvalCase>& cases() const { return cases_; }
@@ -49,12 +53,20 @@ class EvalSet {
   struct CaseKey {
     FlowFeatures flow;
     std::uint32_t mask_id;
-    bool operator==(const CaseKey&) const = default;
+    // Hash of (flow, mask_id), computed once at construction so probes
+    // and table rehashes never re-hash the feature fields.
+    std::size_t hash;
+
+    CaseKey(const FlowFeatures& f, std::uint32_t m)
+        : flow(f),
+          mask_id(m),
+          hash(util::HashCombine(FlowFeaturesHash{}(f), m)) {}
+    bool operator==(const CaseKey& other) const {
+      return mask_id == other.mask_id && flow == other.flow;
+    }
   };
   struct CaseKeyHash {
-    std::size_t operator()(const CaseKey& k) const {
-      return util::HashCombine(FlowFeaturesHash{}(k.flow), k.mask_id);
-    }
+    std::size_t operator()(const CaseKey& k) const { return k.hash; }
   };
 
   std::vector<EvalCase> cases_;
@@ -75,6 +87,11 @@ struct AccuracyResult {
   [[nodiscard]] double top3() const { return top[2]; }
 };
 
+// Evaluates all of top-1..kMaxK in one pass (every model's ranking is
+// prefix-stable in k, so one Predict at kMaxK answers every k). Cases are
+// split into contiguous chunks over the current thread pool with
+// per-chunk byte accumulators reduced in chunk order — bit-identical
+// results at any TIPSY_THREADS because byte counts are integers.
 [[nodiscard]] AccuracyResult EvaluateModel(const Model& model,
                                            const EvalSet& eval);
 

@@ -14,14 +14,13 @@ HistoricalModel::HistoricalModel(FeatureSet feature_set,
   assert(max_links_per_tuple_ >= 1);
 }
 
-void HistoricalModel::Add(const pipeline::AggRow& row) {
-  assert(!finalized_);
+void HistoricalModel::AddTo(Table& table, const pipeline::AggRow& row) {
   const FlowFeatures flow{row.src_asn, row.src_prefix24, row.src_metro,
                           row.dest_region, row.dest_service};
   if (!HasFeatures(feature_set_, flow)) return;
   const double weight =
       weight_by_bytes_ ? static_cast<double>(row.bytes) : 1.0;
-  Entry& entry = table_[MakeTupleKey(feature_set_, flow)];
+  Entry& entry = table[MakeTupleKey(feature_set_, flow)];
   entry.total_bytes += weight;
   // Linear scan: the number of links per tuple is small in practice
   // ("relatively very small", §4.3).
@@ -34,7 +33,69 @@ void HistoricalModel::Add(const pipeline::AggRow& row) {
   entry.ranked.push_back(LinkBytes{row.link, weight});
 }
 
+void HistoricalModel::Add(const pipeline::AggRow& row) {
+  assert(!finalized_);
+  AddTo(table_, row);
+}
+
+void HistoricalModel::EnsureShards(std::size_t count) {
+  assert(!finalized_);
+  if (shards_.size() >= count) return;
+  const std::size_t old_size = shards_.size();
+  shards_.resize(count);
+  if (reserve_hint_ > 0) {
+    const std::size_t per_shard = reserve_hint_ / count + 1;
+    for (std::size_t i = old_size; i < count; ++i) {
+      shards_[i].reserve(per_shard);
+    }
+  }
+}
+
+void HistoricalModel::AddToShard(std::size_t shard,
+                                 const pipeline::AggRow& row) {
+  assert(!finalized_ && shard < shards_.size());
+  AddTo(shards_[shard], row);
+}
+
+void HistoricalModel::ReserveTuples(std::size_t expected_tuples) {
+  reserve_hint_ = expected_tuples;
+  table_.reserve(expected_tuples);
+}
+
+void HistoricalModel::MergeShards() {
+  if (shards_.empty()) return;
+  std::size_t upper_bound = table_.size();
+  for (const auto& shard : shards_) upper_bound += shard.size();
+  table_.reserve(upper_bound);
+  // Shards merge in index order; per tuple every link's byte total is a
+  // sum of integer-valued doubles, so the grouping does not change the
+  // result and the merged table matches a serial pass bit for bit. The
+  // ranked order after Finalize() is fully determined by (bytes, link)
+  // regardless of the insertion order built here.
+  for (auto& shard : shards_) {
+    for (auto& [key, shard_entry] : shard) {
+      Entry& entry = table_[key];
+      entry.total_bytes += shard_entry.total_bytes;
+      for (const auto& incoming : shard_entry.ranked) {
+        bool found = false;
+        for (auto& lb : entry.ranked) {
+          if (lb.link == incoming.link) {
+            lb.bytes += incoming.bytes;
+            found = true;
+            break;
+          }
+        }
+        if (!found) entry.ranked.push_back(incoming);
+      }
+    }
+    shard.clear();
+  }
+  shards_.clear();
+  shards_.shrink_to_fit();
+}
+
 void HistoricalModel::Finalize() {
+  MergeShards();
   for (auto& [key, entry] : table_) {
     std::sort(entry.ranked.begin(), entry.ranked.end(),
               [](const LinkBytes& a, const LinkBytes& b) {

@@ -28,6 +28,21 @@ class HistoricalModel : public Model {
   void Add(const pipeline::AggRow& row);
   void Finalize();
 
+  // --- Shard-local accumulation for parallel training. Each shard owns a
+  // private partial table; shard s may only be written by one thread at a
+  // time (TipsyService assigns shard s to row chunk s). Finalize() merges
+  // the shards into the main table in shard order. Because byte counts
+  // are integers (exactly representable in doubles far below 2^53) the
+  // merged sums — and therefore ExportTable() and every prediction — are
+  // bit-identical to a serial Add() over the same rows.
+  void EnsureShards(std::size_t count);
+  void AddToShard(std::size_t shard, const pipeline::AggRow& row);
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+
+  // Capacity hint for the tuple tables (satellite of the parallel
+  // substrate PR: avoid rehash churn on the training hot path).
+  void ReserveTuples(std::size_t expected_tuples);
+
   [[nodiscard]] std::vector<Prediction> Predict(
       const FlowFeatures& flow, std::size_t k,
       const ExclusionMask* excluded) const override;
@@ -74,11 +89,20 @@ class HistoricalModel : public Model {
     double total_bytes = 0.0;
   };
 
+  using Table = std::unordered_map<TupleKey, Entry, TupleKeyHash>;
+
+  // Accumulates one row into `table` (shared by Add and AddToShard).
+  void AddTo(Table& table, const pipeline::AggRow& row);
+  // Folds every shard into table_, in shard order, then drops the shards.
+  void MergeShards();
+
   FeatureSet feature_set_;
   std::size_t max_links_per_tuple_;
   bool weight_by_bytes_;
   bool finalized_ = false;
-  std::unordered_map<TupleKey, Entry, TupleKeyHash> table_;
+  std::size_t reserve_hint_ = 0;
+  Table table_;
+  std::vector<Table> shards_;
 };
 
 }  // namespace tipsy::core

@@ -24,52 +24,93 @@ std::uint64_t NaiveBayesModel::DimValue(std::size_t d,
   }
 }
 
-void NaiveBayesModel::Add(const pipeline::AggRow& row) {
-  assert(!finalized_);
+void NaiveBayesModel::AddTo(Counts& counts,
+                            const pipeline::AggRow& row) const {
   const FlowFeatures flow{row.src_asn, row.src_prefix24, row.src_metro,
                           row.dest_region, row.dest_service};
   if (!HasFeatures(feature_set_, flow)) return;
   const auto bytes = static_cast<double>(row.bytes);
-  total_bytes_ += bytes;
-  class_bytes_[row.link.value()] += bytes;
+  counts.total_bytes += bytes;
+  counts.class_bytes[row.link.value()] += bytes;
   for (std::size_t d = 0; d < DimCount(); ++d) {
     const std::uint64_t value = DimValue(d, flow);
-    cond_bytes_[CondKey{value, row.link.value(),
-                        static_cast<std::uint8_t>(d)}] += bytes;
-    seen_values_[d][value] = true;
+    counts.cond_bytes[CondKey{value, row.link.value(),
+                              static_cast<std::uint8_t>(d)}] += bytes;
+    counts.seen_values[d][value] = true;
   }
 }
 
-void NaiveBayesModel::Finalize() { finalized_ = true; }
+void NaiveBayesModel::Add(const pipeline::AggRow& row) {
+  assert(!finalized_);
+  AddTo(totals_, row);
+}
+
+void NaiveBayesModel::EnsureShards(std::size_t count) {
+  assert(!finalized_);
+  if (shards_.size() < count) shards_.resize(count);
+}
+
+void NaiveBayesModel::AddToShard(std::size_t shard,
+                                 const pipeline::AggRow& row) {
+  assert(!finalized_ && shard < shards_.size());
+  AddTo(shards_[shard], row);
+}
+
+void NaiveBayesModel::MergeShards() {
+  // Every count is a sum of integer byte volumes, so folding shard
+  // partials (in shard order) reproduces the serial counts exactly.
+  for (auto& shard : shards_) {
+    totals_.total_bytes += shard.total_bytes;
+    for (const auto& [link, bytes] : shard.class_bytes) {
+      totals_.class_bytes[link] += bytes;
+    }
+    for (const auto& [key, bytes] : shard.cond_bytes) {
+      totals_.cond_bytes[key] += bytes;
+    }
+    for (std::size_t d = 0; d < kMaxDims; ++d) {
+      for (const auto& [value, seen] : shard.seen_values[d]) {
+        if (seen) totals_.seen_values[d][value] = true;
+      }
+    }
+  }
+  shards_.clear();
+  shards_.shrink_to_fit();
+}
+
+void NaiveBayesModel::Finalize() {
+  MergeShards();
+  finalized_ = true;
+}
 
 std::vector<Prediction> NaiveBayesModel::Predict(
     const FlowFeatures& flow, std::size_t k,
     const ExclusionMask* excluded) const {
   assert(finalized_);
   std::vector<Prediction> out;
-  if (k == 0 || !HasFeatures(feature_set_, flow) || total_bytes_ <= 0.0) {
+  if (k == 0 || !HasFeatures(feature_set_, flow) ||
+      totals_.total_bytes <= 0.0) {
     return out;
   }
   // NB can only reason about flows whose every feature value appeared in
   // training (Appendix A).
   for (std::size_t d = 0; d < DimCount(); ++d) {
-    if (!seen_values_[d].contains(DimValue(d, flow))) return out;
+    if (!totals_.seen_values[d].contains(DimValue(d, flow))) return out;
   }
 
   // Score every candidate class in log space.
   std::vector<std::pair<double, std::uint32_t>> scores;
-  scores.reserve(class_bytes_.size());
-  for (const auto& [link_value, link_bytes] : class_bytes_) {
+  scores.reserve(totals_.class_bytes.size());
+  for (const auto& [link_value, link_bytes] : totals_.class_bytes) {
     if (IsExcluded(excluded, LinkId{link_value})) continue;
-    double log_score = std::log(link_bytes / total_bytes_);
+    double log_score = std::log(link_bytes / totals_.total_bytes);
     for (std::size_t d = 0; d < DimCount(); ++d) {
-      const auto it = cond_bytes_.find(CondKey{
+      const auto it = totals_.cond_bytes.find(CondKey{
           DimValue(d, flow), link_value, static_cast<std::uint8_t>(d)});
       const double numer =
-          (it != cond_bytes_.end() ? it->second : 0.0) + smoothing_;
+          (it != totals_.cond_bytes.end() ? it->second : 0.0) + smoothing_;
       const double denom =
           link_bytes +
-          smoothing_ * static_cast<double>(seen_values_[d].size());
+          smoothing_ * static_cast<double>(totals_.seen_values[d].size());
       log_score += std::log(numer / denom);
     }
     scores.emplace_back(log_score, link_value);
@@ -101,9 +142,9 @@ std::string NaiveBayesModel::name() const {
 
 std::size_t NaiveBayesModel::MemoryFootprintBytes() const {
   std::size_t bytes =
-      class_bytes_.size() * (sizeof(std::uint32_t) + sizeof(double));
-  bytes += cond_bytes_.size() * (sizeof(CondKey) + sizeof(double));
-  for (const auto& dim : seen_values_) {
+      totals_.class_bytes.size() * (sizeof(std::uint32_t) + sizeof(double));
+  bytes += totals_.cond_bytes.size() * (sizeof(CondKey) + sizeof(double));
+  for (const auto& dim : totals_.seen_values) {
     bytes += dim.size() * (sizeof(std::uint64_t) + sizeof(bool));
   }
   return bytes;

@@ -23,6 +23,14 @@ class NaiveBayesModel : public Model {
   void Add(const pipeline::AggRow& row);
   void Finalize();
 
+  // Shard-local accumulation for parallel training, mirroring
+  // HistoricalModel: shard s is written by one thread at a time and
+  // Finalize() folds the shards into the main counts in shard order
+  // (bit-identical to serial because byte counts are integers).
+  void EnsureShards(std::size_t count);
+  void AddToShard(std::size_t shard, const pipeline::AggRow& row);
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+
   [[nodiscard]] std::vector<Prediction> Predict(
       const FlowFeatures& flow, std::size_t k,
       const ExclusionMask* excluded) const override;
@@ -30,7 +38,9 @@ class NaiveBayesModel : public Model {
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] std::size_t MemoryFootprintBytes() const override;
 
-  [[nodiscard]] std::size_t class_count() const { return class_bytes_.size(); }
+  [[nodiscard]] std::size_t class_count() const {
+    return totals_.class_bytes.size();
+  }
 
  private:
   // Feature dimensions: 0=src AS, 1=dest region, 2=dest service,
@@ -47,9 +57,6 @@ class NaiveBayesModel : public Model {
   double smoothing_;
   bool finalized_ = false;
 
-  // Byte mass per class (link) and total.
-  std::unordered_map<std::uint32_t, double> class_bytes_;
-  double total_bytes_ = 0.0;
   // Byte mass per (dimension, feature value, link).
   struct CondKey {
     std::uint64_t value;
@@ -62,9 +69,23 @@ class NaiveBayesModel : public Model {
       return util::HashAll(k.value, k.link, std::uint32_t{k.dim});
     }
   };
-  std::unordered_map<CondKey, double, CondKeyHash> cond_bytes_;
-  // Distinct values per dimension (for Laplace smoothing denominators).
-  std::array<std::unordered_map<std::uint64_t, bool>, kMaxDims> seen_values_;
+  // One set of training counts: the main model owns one (totals_), and
+  // each parallel training shard owns a private one merged at Finalize().
+  struct Counts {
+    // Byte mass per class (link) and total.
+    std::unordered_map<std::uint32_t, double> class_bytes;
+    double total_bytes = 0.0;
+    std::unordered_map<CondKey, double, CondKeyHash> cond_bytes;
+    // Distinct values per dimension (for Laplace smoothing denominators).
+    std::array<std::unordered_map<std::uint64_t, bool>, kMaxDims>
+        seen_values;
+  };
+
+  void AddTo(Counts& counts, const pipeline::AggRow& row) const;
+  void MergeShards();
+
+  Counts totals_;
+  std::vector<Counts> shards_;
 };
 
 }  // namespace tipsy::core

@@ -2,7 +2,17 @@
 
 #include <cassert>
 
+#include "util/parallel.h"
+
 namespace tipsy::core {
+namespace {
+
+// Below this batch size the fork-join overhead outweighs the sharded
+// accumulation; determinism does not depend on the cutoff (serial and
+// sharded adds merge to bit-identical tables).
+constexpr std::size_t kMinParallelTrainRows = 256;
+
+}  // namespace
 
 TipsyService::TipsyService(const wan::Wan* wan,
                            const geo::MetroCatalogue* metros,
@@ -22,13 +32,48 @@ TipsyService::TipsyService(const wan::Wan* wan,
 
 void TipsyService::Train(std::span<const pipeline::AggRow> rows) {
   assert(!finalized_);
-  for (const auto& row : rows) {
-    hist_a_->Add(row);
-    hist_ap_->Add(row);
-    hist_al_->Add(row);
-    if (nb_a_) nb_a_->Add(row);
-    if (nb_al_) nb_al_->Add(row);
+  util::ThreadPool& pool = util::CurrentPool();
+  const std::size_t shards = pool.thread_count();
+  if (shards <= 1 || rows.size() < kMinParallelTrainRows) {
+    for (const auto& row : rows) {
+      hist_a_->Add(row);
+      hist_ap_->Add(row);
+      hist_al_->Add(row);
+      if (nb_a_) nb_a_->Add(row);
+      if (nb_al_) nb_al_->Add(row);
+    }
+    return;
   }
+  hist_a_->EnsureShards(shards);
+  hist_ap_->EnsureShards(shards);
+  hist_al_->EnsureShards(shards);
+  if (nb_a_) nb_a_->EnsureShards(shards);
+  if (nb_al_) nb_al_->EnsureShards(shards);
+  // Chunk s of the batch feeds shard s of every model, so each shard is
+  // written by exactly one thread per batch.
+  const std::size_t n = rows.size();
+  pool.Run(shards, [&](std::size_t shard) {
+    const std::size_t begin = n * shard / shards;
+    const std::size_t end = n * (shard + 1) / shards;
+    for (std::size_t i = begin; i < end; ++i) {
+      const auto& row = rows[i];
+      hist_a_->AddToShard(shard, row);
+      hist_ap_->AddToShard(shard, row);
+      hist_al_->AddToShard(shard, row);
+      if (nb_a_) nb_a_->AddToShard(shard, row);
+      if (nb_al_) nb_al_->AddToShard(shard, row);
+    }
+  });
+}
+
+void TipsyService::ReserveTuples(std::size_t expected_tuples) {
+  assert(!finalized_);
+  if (expected_tuples == 0) return;
+  // AP is the finest granularity (one tuple per /24 x destination); the
+  // location and AS reductions collapse tuples by roughly these factors.
+  hist_ap_->ReserveTuples(expected_tuples);
+  hist_al_->ReserveTuples(expected_tuples / 4 + 1);
+  hist_a_->ReserveTuples(expected_tuples / 8 + 1);
 }
 
 void TipsyService::FinalizeTraining() {

@@ -31,9 +31,16 @@ class TipsyService {
                TipsyConfig config = {});
 
   // Single-pass, byte-weighted, streaming training. Feed any number of row
-  // batches, then finalize once.
+  // batches, then finalize once. Large batches are sharded over the
+  // current thread pool (util::CurrentPool); the per-thread partials are
+  // merged deterministically at FinalizeTraining(), so trained tables are
+  // bit-identical to a serial run regardless of TIPSY_THREADS.
   void Train(std::span<const pipeline::AggRow> rows);
   void FinalizeTraining();
+
+  // Capacity hint (expected distinct AP-granularity tuples) applied to
+  // the historical models' hash tables before training.
+  void ReserveTuples(std::size_t expected_tuples);
 
   // Assembles a service around already-trained (finalized) historical
   // models - the deserialization path.

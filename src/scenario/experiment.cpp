@@ -20,6 +20,23 @@ ExperimentResult RunExperiment(RowSource& source,
   result.tipsy = std::make_unique<core::TipsyService>(
       &source.wan(), &source.metros(), config.tipsy);
 
+  // Pre-size the model and evaluation hash tables when the source can
+  // estimate its volume (RowCache knows exactly, Scenario from its
+  // aggregation stats). Most flows recur hourly, so the per-hour row
+  // count approximates the distinct-tuple count; 2x covers churn.
+  const auto hours_of = [](util::HourRange r) {
+    return r.end > r.begin ? static_cast<std::size_t>(r.end - r.begin)
+                           : std::size_t{1};
+  };
+  const std::size_t train_rows = source.EstimatedRows(config.train);
+  if (train_rows > 0) {
+    result.tipsy->ReserveTuples(2 * train_rows / hours_of(config.train));
+  }
+  const std::size_t test_rows = source.EstimatedRows(config.test);
+  if (test_rows > 0) {
+    result.overall.Reserve(2 * test_rows / hours_of(config.test));
+  }
+
   // --- Training pass: stream rows into the models and the link-hour
   // table used for outage inference.
   pipeline::LinkHourTable train_table(source.wan().link_count());

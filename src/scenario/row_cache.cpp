@@ -19,4 +19,13 @@ void RowCache::StreamHours(util::HourRange range, const RowSink& sink) {
   }
 }
 
+std::size_t RowCache::EstimatedRows(util::HourRange range) const {
+  std::size_t rows = 0;
+  for (auto it = by_hour_.lower_bound(range.begin);
+       it != by_hour_.end() && it->first < range.end; ++it) {
+    rows += it->second.size();
+  }
+  return rows;
+}
+
 }  // namespace tipsy::scenario

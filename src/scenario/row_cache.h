@@ -19,7 +19,13 @@ class RowCache : public RowSource {
   // and stores every hour's rows. `live` must outlive the cache.
   RowCache(Scenario& live, util::HourRange span);
 
+  // Replays the cached rows; safe to call concurrently from parallel
+  // sweep jobs (pure reads of the immutable cache).
   void StreamHours(util::HourRange range, const RowSink& sink) override;
+
+  // Exact row count of the cached sub-range.
+  [[nodiscard]] std::size_t EstimatedRows(
+      util::HourRange range) const override;
 
   [[nodiscard]] const wan::Wan& wan() const override { return live_->wan(); }
   [[nodiscard]] const geo::MetroCatalogue& metros() const override {

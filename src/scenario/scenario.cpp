@@ -156,10 +156,18 @@ void Scenario::SimulateHours(util::HourRange range, const RowSink& rows,
     }
     if (rows) {
       const auto aggregated = aggregator_->Aggregate(records);
+      ++aggregated_hours_;
       rows(h, aggregated);
     }
     if (loads) loads(h, true_loads);
   }
+}
+
+std::size_t Scenario::EstimatedRows(util::HourRange range) const {
+  if (aggregated_hours_ == 0 || range.end <= range.begin) return 0;
+  const std::size_t per_hour =
+      aggregator_->stats().aggregated_rows / aggregated_hours_;
+  return per_hour * static_cast<std::size_t>(range.end - range.begin);
 }
 
 void Scenario::ResetAdvertisements() {

@@ -67,6 +67,11 @@ class RowSource {
   [[nodiscard]] virtual const wan::Wan& wan() const = 0;
   [[nodiscard]] virtual const geo::MetroCatalogue& metros() const = 0;
   [[nodiscard]] virtual const OutageSchedule& outages() const = 0;
+  // Rough number of aggregated rows `range` will stream (0 = unknown);
+  // used to pre-size training and evaluation hash tables.
+  [[nodiscard]] virtual std::size_t EstimatedRows(util::HourRange) const {
+    return 0;
+  }
 };
 
 class Scenario : public RowSource {
@@ -116,6 +121,11 @@ class Scenario : public RowSource {
     SimulateHours(range, sink);
   }
 
+  // Estimate from the cumulative aggregation statistics (0 until at least
+  // one hour has been simulated with a row sink).
+  [[nodiscard]] std::size_t EstimatedRows(
+      util::HourRange range) const override;
+
   // Re-announces every withdrawn (prefix, link) pair, restoring the
   // default full-anycast advertisement (link outage state untouched).
   // Used to replay the same hours under different CMS policies.
@@ -151,6 +161,7 @@ class Scenario : public RowSource {
   };
   std::vector<ResolveCache> resolve_cache_;
   std::vector<bool> last_down_mask_;  // for BMP session events
+  std::size_t aggregated_hours_ = 0;  // hours simulated with a row sink
 };
 
 }  // namespace tipsy::scenario

@@ -1,0 +1,201 @@
+#include "util/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace tipsy::util {
+namespace {
+
+// Set while a thread (worker or participating caller) is executing batch
+// chunks; nested parallel calls from such a thread run inline.
+thread_local bool tls_in_parallel = false;
+
+// Innermost ScopedPool override for this thread.
+thread_local ThreadPool* tls_pool_override = nullptr;
+
+}  // namespace
+
+ParallelConfig ParallelConfig::FromEnv() {
+  ParallelConfig cfg;
+  if (const char* env = std::getenv("TIPSY_THREADS")) {
+    char* end = nullptr;
+    const unsigned long parsed = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0') cfg.threads = parsed;
+  }
+  return cfg;
+}
+
+std::size_t ParallelConfig::Resolve() const {
+  if (threads != 0) return threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+// One fork-join batch: chunks are claimed by atomic increment (dynamic
+// load balancing), completion is a counter + condition variable, and the
+// first exception wins.
+struct ThreadPool::Batch {
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::size_t chunks = 0;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;  // guarded by mutex
+  std::mutex mutex;
+  std::condition_variable finished;
+};
+
+struct ThreadPool::Impl {
+  std::mutex mutex;
+  std::condition_variable work_available;
+  std::deque<std::shared_ptr<Batch>> queue;
+  std::vector<std::thread> workers;
+  bool started = false;
+  bool stop = false;
+};
+
+ThreadPool::ThreadPool(std::size_t threads)
+    : thread_count_(threads == 0 ? 1 : threads),
+      impl_(std::make_unique<Impl>()) {}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->stop = true;
+  }
+  impl_->work_available.notify_all();
+  for (auto& worker : impl_->workers) worker.join();
+}
+
+bool ThreadPool::started() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->started;
+}
+
+void ThreadPool::EnsureStarted() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  if (impl_->started) return;
+  impl_->started = true;
+  impl_->workers.reserve(thread_count_ - 1);
+  for (std::size_t i = 0; i + 1 < thread_count_; ++i) {
+    impl_->workers.emplace_back([this] {
+      tls_in_parallel = true;
+      for (;;) {
+        std::shared_ptr<Batch> batch;
+        {
+          std::unique_lock<std::mutex> lock(impl_->mutex);
+          impl_->work_available.wait(lock, [this] {
+            return impl_->stop || !impl_->queue.empty();
+          });
+          if (impl_->stop) return;
+          batch = impl_->queue.front();
+        }
+        ExecuteChunks(*batch);
+        // The batch has no unclaimed chunks left; retire it from the
+        // queue if nobody else already did.
+        std::lock_guard<std::mutex> lock(impl_->mutex);
+        if (!impl_->queue.empty() && impl_->queue.front() == batch) {
+          impl_->queue.pop_front();
+        }
+      }
+    });
+  }
+}
+
+void ThreadPool::ExecuteChunks(Batch& batch) {
+  for (;;) {
+    const std::size_t chunk = batch.next.fetch_add(1);
+    if (chunk >= batch.chunks) return;
+    if (!batch.failed.load(std::memory_order_relaxed)) {
+      try {
+        (*batch.fn)(chunk);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(batch.mutex);
+        if (!batch.error) batch.error = std::current_exception();
+        batch.failed.store(true, std::memory_order_relaxed);
+      }
+    }
+    if (batch.done.fetch_add(1) + 1 == batch.chunks) {
+      // Lock pairs with the waiter's predicate check to avoid a missed
+      // wakeup between its check and wait.
+      std::lock_guard<std::mutex> lock(batch.mutex);
+      batch.finished.notify_all();
+    }
+  }
+}
+
+void ThreadPool::Run(std::size_t chunks,
+                     const std::function<void(std::size_t)>& chunk_fn) {
+  if (chunks == 0) return;
+  if (thread_count_ <= 1 || chunks == 1 || tls_in_parallel) {
+    for (std::size_t chunk = 0; chunk < chunks; ++chunk) chunk_fn(chunk);
+    return;
+  }
+  EnsureStarted();
+  auto batch = std::make_shared<Batch>();
+  batch->fn = &chunk_fn;
+  batch->chunks = chunks;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->queue.push_back(batch);
+  }
+  impl_->work_available.notify_all();
+  // The caller works too: with a busy pool the batch still drains.
+  tls_in_parallel = true;
+  ExecuteChunks(*batch);
+  tls_in_parallel = false;
+  {
+    std::unique_lock<std::mutex> lock(batch->mutex);
+    batch->finished.wait(
+        lock, [&] { return batch->done.load() == batch->chunks; });
+  }
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    if (!impl_->queue.empty() && impl_->queue.front() == batch) {
+      impl_->queue.pop_front();
+    }
+  }
+  if (batch->error) std::rethrow_exception(batch->error);
+}
+
+ThreadPool& ThreadPool::Default() {
+  static ThreadPool pool(ParallelConfig::FromEnv().Resolve());
+  return pool;
+}
+
+ThreadPool& CurrentPool() {
+  return tls_pool_override != nullptr ? *tls_pool_override
+                                      : ThreadPool::Default();
+}
+
+ScopedPool::ScopedPool(std::size_t threads)
+    : pool_(std::make_unique<ThreadPool>(threads)),
+      previous_(tls_pool_override) {
+  tls_pool_override = pool_.get();
+}
+
+ScopedPool::~ScopedPool() { tls_pool_override = previous_; }
+
+void ParallelFor(std::size_t n,
+                 const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  ThreadPool& pool = CurrentPool();
+  const std::size_t chunks = std::min(n, pool.thread_count());
+  if (chunks <= 1) {
+    fn(0, n);
+    return;
+  }
+  pool.Run(chunks, [&](std::size_t chunk) {
+    const std::size_t begin = n * chunk / chunks;
+    const std::size_t end = n * (chunk + 1) / chunks;
+    if (begin < end) fn(begin, end);
+  });
+}
+
+}  // namespace tipsy::util

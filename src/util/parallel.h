@@ -1,0 +1,129 @@
+// Parallel execution substrate: a lazily-started thread pool plus
+// deterministic fork-join helpers.
+//
+// The paper trains TIPSY on a Spark cluster over PBs of IPFIX per day
+// (§4.2-4.3); this repository's equivalent is a pool of worker threads
+// that the hot paths (sharded training, chunked evaluation, experiment
+// sweeps) fan out onto. Design rules:
+//
+//  * The pool size comes from ParallelConfig / the TIPSY_THREADS env var
+//    (default: hardware_concurrency). A size of 1 is a fully serial
+//    fallback: no worker thread is ever spawned and every helper runs
+//    inline on the calling thread, reproducing the pre-substrate
+//    behaviour exactly.
+//  * Workers start lazily on the first parallel call, never in static
+//    initialization.
+//  * Helpers are fork-join and deterministic: results are indexed by
+//    chunk, reductions fold in chunk order, so callers can guarantee
+//    bit-identical output regardless of thread count (see the training
+//    shard merge in core/historical.cpp).
+//  * Nested parallel calls from inside a worker run inline (no deadlock,
+//    no oversubscription); the first exception thrown by any chunk is
+//    rethrown to the caller after the batch drains.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace tipsy::util {
+
+struct ParallelConfig {
+  // 0 = auto (hardware_concurrency); 1 = fully serial.
+  std::size_t threads = 0;
+
+  // Reads TIPSY_THREADS (unset, empty or unparsable = auto).
+  [[nodiscard]] static ParallelConfig FromEnv();
+  // The effective thread count (>= 1).
+  [[nodiscard]] std::size_t Resolve() const;
+};
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t thread_count() const { return thread_count_; }
+  // True once worker threads have actually been spawned (lazily).
+  [[nodiscard]] bool started() const;
+
+  // Runs chunk_fn(0) .. chunk_fn(chunks - 1), distributing chunks over
+  // the pool (the calling thread participates). Blocks until every chunk
+  // finished; rethrows the first chunk exception. Runs inline when the
+  // pool is serial, chunks <= 1, or the caller is itself a pool worker.
+  void Run(std::size_t chunks, const std::function<void(std::size_t)>& chunk_fn);
+
+  // The process-wide pool, sized from TIPSY_THREADS on first use.
+  [[nodiscard]] static ThreadPool& Default();
+
+ private:
+  struct Batch;
+  struct Impl;
+  void EnsureStarted();
+  void ExecuteChunks(Batch& batch);
+
+  std::size_t thread_count_;
+  std::unique_ptr<Impl> impl_;
+};
+
+// The pool used by the free helpers below: the innermost ScopedPool on
+// this thread, else ThreadPool::Default().
+[[nodiscard]] ThreadPool& CurrentPool();
+
+// Overrides CurrentPool() on the constructing thread for its lifetime.
+// Used by benches and tests to sweep thread counts regardless of the
+// TIPSY_THREADS environment.
+class ScopedPool {
+ public:
+  explicit ScopedPool(std::size_t threads);
+  ~ScopedPool();
+  ScopedPool(const ScopedPool&) = delete;
+  ScopedPool& operator=(const ScopedPool&) = delete;
+
+  [[nodiscard]] ThreadPool& pool() { return *pool_; }
+
+ private:
+  std::unique_ptr<ThreadPool> pool_;
+  ThreadPool* previous_;
+};
+
+// Splits [0, n) into at most thread_count contiguous chunks and runs
+// fn(begin, end) for each on the current pool.
+void ParallelFor(std::size_t n,
+                 const std::function<void(std::size_t, std::size_t)>& fn);
+
+// map(chunk) for chunk in [0, chunks); results returned in chunk order.
+// The result type must be default-constructible.
+template <typename MapFn>
+[[nodiscard]] auto ParallelMap(std::size_t chunks, MapFn map)
+    -> std::vector<decltype(map(std::size_t{}))> {
+  using Result = decltype(map(std::size_t{}));
+  std::vector<Result> out(chunks);
+  if (chunks == 0) return out;
+  CurrentPool().Run(chunks,
+                    [&](std::size_t chunk) { out[chunk] = map(chunk); });
+  return out;
+}
+
+// Maps every chunk in parallel, then folds the partial results *in chunk
+// order* with reduce(accumulator&, partial&&). The in-order fold is what
+// makes reductions reproducible across thread counts.
+template <typename MapFn, typename ReduceFn>
+[[nodiscard]] auto ParallelMapReduce(std::size_t chunks, MapFn map,
+                                     ReduceFn reduce)
+    -> decltype(map(std::size_t{})) {
+  using Result = decltype(map(std::size_t{}));
+  if (chunks == 0) return Result{};
+  auto partials = ParallelMap(chunks, std::move(map));
+  Result accumulator = std::move(partials.front());
+  for (std::size_t i = 1; i < partials.size(); ++i) {
+    reduce(accumulator, std::move(partials[i]));
+  }
+  return accumulator;
+}
+
+}  // namespace tipsy::util

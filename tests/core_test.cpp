@@ -7,6 +7,7 @@
 #include "core/naive_bayes.h"
 #include "core/tipsy_service.h"
 #include "topo/generator.h"
+#include "util/parallel.h"
 
 namespace tipsy::core {
 namespace {
@@ -566,6 +567,102 @@ TEST_F(TipsyServiceTest, UnknownFlowsCountedAsUnpredicted) {
       tipsy.PredictShift(queries, ExclusionMask(wan_->link_count(), false));
   EXPECT_DOUBLE_EQ(shift.unpredicted_bytes, 500.0);
   EXPECT_TRUE(shift.shifted.empty());
+}
+
+// ------------------------------------------------- parallel determinism
+
+// Rows varied enough to spread over many tuples and links; big enough to
+// cross TipsyService's parallel-training threshold in a single batch.
+std::vector<pipeline::AggRow> DeterminismRows(std::size_t count,
+                                              std::uint32_t link_count) {
+  std::vector<pipeline::AggRow> rows;
+  rows.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto flow =
+        MakeFlow(static_cast<std::uint32_t>(i % 7 + 1),
+                 static_cast<std::uint32_t>(i % 13),
+                 static_cast<std::uint32_t>(i % 5),
+                 static_cast<std::uint32_t>(i % 3));
+    rows.push_back(MakeRow(flow, static_cast<std::uint32_t>(i % link_count),
+                           (i * 97 + 13) % 1000 + 1));
+  }
+  return rows;
+}
+
+void ExpectExportsEqual(const std::vector<HistoricalModel::TupleExport>& a,
+                        const std::vector<HistoricalModel::TupleExport>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].key, b[i].key);
+    EXPECT_EQ(a[i].total_bytes, b[i].total_bytes);  // bit-identical
+    ASSERT_EQ(a[i].ranked.size(), b[i].ranked.size());
+    for (std::size_t j = 0; j < a[i].ranked.size(); ++j) {
+      EXPECT_EQ(a[i].ranked[j].first, b[i].ranked[j].first);
+      EXPECT_EQ(a[i].ranked[j].second, b[i].ranked[j].second);
+    }
+  }
+}
+
+TEST(HistoricalModel, ShardedAddMatchesSerialAddBitIdentically) {
+  const auto rows = DeterminismRows(500, 4);
+  HistoricalModel serial(FeatureSet::kAP);
+  for (const auto& row : rows) serial.Add(row);
+  serial.Finalize();
+
+  HistoricalModel sharded(FeatureSet::kAP);
+  sharded.EnsureShards(4);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    sharded.AddToShard(i % 4, rows[i]);
+  }
+  sharded.Finalize();
+
+  ExpectExportsEqual(serial.ExportTable(), sharded.ExportTable());
+}
+
+TEST_F(TipsyServiceTest, ParallelTrainingBitIdenticalToSerial) {
+  const auto rows = DeterminismRows(
+      1200, static_cast<std::uint32_t>(wan_->link_count()));
+
+  const auto train = [&](std::size_t threads) {
+    util::ScopedPool pool(threads);
+    auto tipsy = std::make_unique<TipsyService>(wan_.get(),
+                                                &topology_.metros);
+    tipsy->Train(rows);
+    tipsy->FinalizeTraining();
+    return tipsy;
+  };
+  const auto serial = train(1);
+  const auto parallel = train(4);
+
+  for (const auto fs : {FeatureSet::kA, FeatureSet::kAP, FeatureSet::kAL}) {
+    ExpectExportsEqual(serial->hist(fs).ExportTable(),
+                       parallel->hist(fs).ExportTable());
+  }
+
+  // Evaluation must also be bit-identical across thread counts: same
+  // model, same eval set, per-chunk accumulators folded in chunk order.
+  EvalSet eval;
+  for (const auto& row : rows) {
+    const FlowFeatures flow{row.src_asn, row.src_prefix24, row.src_metro,
+                            row.dest_region, row.dest_service};
+    eval.AddObservation(flow, row.link, static_cast<double>(row.bytes), 0);
+  }
+  eval.Finalize();
+  const Model* model = serial->Find("Hist_AL/AP/A");
+  ASSERT_NE(model, nullptr);
+  AccuracyResult serial_acc, parallel_acc;
+  {
+    util::ScopedPool pool(1);
+    serial_acc = EvaluateModel(*model, eval);
+  }
+  {
+    util::ScopedPool pool(4);
+    parallel_acc = EvaluateModel(*model, eval);
+  }
+  for (std::size_t k = 0; k < AccuracyResult::kMaxK; ++k) {
+    EXPECT_EQ(serial_acc.top[k], parallel_acc.top[k]);
+  }
+  EXPECT_GT(serial_acc.top3(), 0.0);  // the comparison is not vacuous
 }
 
 }  // namespace

@@ -1,0 +1,168 @@
+// Tests for the parallel execution substrate (util/parallel.h): pool
+// primitives, serial fallback, exception propagation, nesting, and the
+// deterministic fold order that the sharded-training merge relies on.
+#include "util/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace tipsy::util {
+namespace {
+
+TEST(ParallelConfig, ResolveDefaultsToHardwareConcurrency) {
+  const std::size_t hw = std::thread::hardware_concurrency();
+  EXPECT_EQ(ParallelConfig{}.Resolve(), hw == 0 ? 1 : hw);
+  EXPECT_EQ((ParallelConfig{.threads = 3}).Resolve(), 3u);
+  EXPECT_EQ((ParallelConfig{.threads = 1}).Resolve(), 1u);
+}
+
+TEST(ParallelConfig, FromEnvParsesTipsyThreads) {
+  ::setenv("TIPSY_THREADS", "5", 1);
+  EXPECT_EQ(ParallelConfig::FromEnv().Resolve(), 5u);
+  ::setenv("TIPSY_THREADS", "not-a-number", 1);
+  EXPECT_EQ(ParallelConfig::FromEnv().threads, 0u);  // falls back to auto
+  ::unsetenv("TIPSY_THREADS");
+  EXPECT_EQ(ParallelConfig::FromEnv().threads, 0u);
+}
+
+TEST(ThreadPool, SerialPoolNeverStartsWorkers) {
+  ThreadPool pool(1);
+  std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen(4);
+  pool.Run(4, [&](std::size_t chunk) {
+    seen[chunk] = std::this_thread::get_id();
+  });
+  for (const auto& id : seen) EXPECT_EQ(id, caller);
+  EXPECT_FALSE(pool.started());  // serial fallback: no thread ever spawned
+}
+
+TEST(ThreadPool, RunCoversEveryChunkExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kChunks = 64;
+  std::vector<std::atomic<int>> hits(kChunks);
+  pool.Run(kChunks, [&](std::size_t chunk) { hits[chunk].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_TRUE(pool.started());
+}
+
+TEST(ThreadPool, FirstExceptionPropagatesAndPoolSurvives) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.Run(16,
+               [&](std::size_t chunk) {
+                 if (chunk % 2 == 1) {
+                   throw std::runtime_error("chunk failed");
+                 }
+               }),
+      std::runtime_error);
+  // The pool must stay usable after a failed batch.
+  std::atomic<int> total{0};
+  pool.Run(8, [&](std::size_t) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 8);
+}
+
+TEST(ParallelFor, CoversAllIndicesInContiguousChunks) {
+  ScopedPool sp(4);
+  constexpr std::size_t kN = 1003;  // deliberately not a multiple of 4
+  std::vector<std::atomic<int>> hits(kN);
+  ParallelFor(kN, [&](std::size_t begin, std::size_t end) {
+    EXPECT_LE(begin, end);
+    for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, EmptyRangeIsANoOp) {
+  ScopedPool sp(4);
+  bool called = false;
+  ParallelFor(0, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, NestedCallsRunInlineWithoutDeadlock) {
+  ScopedPool sp(4);
+  std::atomic<int> inner_total{0};
+  ParallelFor(8, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      // A nested parallel call from a worker must not deadlock; it runs
+      // inline on the worker.
+      ParallelFor(3, [&](std::size_t b, std::size_t e) {
+        inner_total.fetch_add(static_cast<int>(e - b));
+      });
+    }
+  });
+  EXPECT_EQ(inner_total.load(), 8 * 3);
+}
+
+TEST(ParallelMap, ResultsIndexedByChunk) {
+  ScopedPool sp(4);
+  const auto out =
+      ParallelMap(std::size_t{32}, [](std::size_t chunk) { return chunk * chunk; });
+  ASSERT_EQ(out.size(), 32u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ParallelMapReduce, FoldsInChunkOrder) {
+  ScopedPool sp(4);
+  // String concatenation is order-sensitive: the fold must visit chunks
+  // 0, 1, 2, ... regardless of which thread finished first.
+  const auto joined = ParallelMapReduce(
+      std::size_t{10},
+      [](std::size_t chunk) { return std::to_string(chunk); },
+      [](std::string& acc, std::string&& part) { acc += part; });
+  EXPECT_EQ(joined, "0123456789");
+}
+
+TEST(ParallelMapReduce, ZeroChunksYieldsDefault) {
+  ScopedPool sp(4);
+  const auto sum = ParallelMapReduce(
+      std::size_t{0}, [](std::size_t) { return 7; },
+      [](int& acc, int&& part) { acc += part; });
+  EXPECT_EQ(sum, 0);
+}
+
+TEST(ScopedPool, OverridesCurrentPoolOnThisThreadOnly) {
+  {
+    ScopedPool outer(2);
+    EXPECT_EQ(&CurrentPool(), &outer.pool());
+    {
+      ScopedPool inner(3);
+      EXPECT_EQ(&CurrentPool(), &inner.pool());
+      EXPECT_EQ(CurrentPool().thread_count(), 3u);
+    }
+    EXPECT_EQ(&CurrentPool(), &outer.pool());
+    // Another thread sees the default pool, not this thread's override.
+    ThreadPool* seen = nullptr;
+    std::thread probe([&] { seen = &CurrentPool(); });
+    probe.join();
+    EXPECT_EQ(seen, &ThreadPool::Default());
+  }
+  EXPECT_EQ(&CurrentPool(), &ThreadPool::Default());
+}
+
+TEST(ParallelFor, DistributesWorkAcrossThreadsWhenParallel) {
+  ScopedPool sp(4);
+  std::mutex mu;
+  std::set<std::thread::id> ids;
+  // Many chunks with a small sleep so workers get a chance to claim some;
+  // the caller participates, so at least one id is always present.
+  ParallelFor(64, [&](std::size_t, std::size_t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    std::lock_guard<std::mutex> lock(mu);
+    ids.insert(std::this_thread::get_id());
+  });
+  EXPECT_GE(ids.size(), 1u);
+  EXPECT_LE(ids.size(), 4u);
+}
+
+}  // namespace
+}  // namespace tipsy::util

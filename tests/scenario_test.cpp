@@ -4,6 +4,7 @@
 #include "scenario/outage.h"
 #include "scenario/row_cache.h"
 #include "scenario/scenario.h"
+#include "util/parallel.h"
 
 namespace tipsy::scenario {
 namespace {
@@ -317,6 +318,35 @@ TEST(Experiment, SuiteOrderingInvariants) {
   }
   // No model beats its oracle.
   EXPECT_GE(oracle_ap_top3, hist_ap_top3 - 1e-9);
+}
+
+TEST(Experiment, ParallelRunMatchesSerialRunExactly) {
+  auto cfg = TinyScenarioConfig();
+  cfg.traffic.flow_target = 800;
+  cfg.horizon = util::HourRange{0, 10 * util::kHoursPerDay};
+  Scenario world(cfg);
+  RowCache cache(world, cfg.horizon);
+  ExperimentConfig exp;
+  exp.train = util::HourRange{0, 7 * util::kHoursPerDay};
+  exp.test = util::HourRange{exp.train.end, cfg.horizon.end};
+
+  // The whole experiment - sharded training, chunked evaluation - must
+  // produce exactly the same accuracy table at any thread count.
+  const auto run = [&](std::size_t threads) {
+    util::ScopedPool pool(threads);
+    const auto result = RunExperiment(cache, exp);
+    return EvaluateSuite(*result.tipsy, result.overall);
+  };
+  const auto serial = run(1);
+  const auto parallel = run(4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].model, parallel[i].model);
+    for (std::size_t k = 0; k < core::AccuracyResult::kMaxK; ++k) {
+      EXPECT_EQ(serial[i].accuracy.top[k], parallel[i].accuracy.top[k])
+          << serial[i].model << " k=" << k;
+    }
+  }
 }
 
 }  // namespace
