@@ -4,11 +4,13 @@
 // the operational payoff of Appendix B's analysis.
 //
 //   ./examples/online_service [seed]
+#include <cstdio>
 #include <cstdlib>
 #include <iostream>
 
 #include "core/evaluator.h"
 #include "core/online.h"
+#include "core/serialize.h"
 #include "scenario/scenario.h"
 #include "util/table.h"
 
@@ -102,5 +104,32 @@ int main(int argc, char** argv) {
   std::cout << "The stale model ages (Appendix B.2); daily retraining "
                "holds accuracy steady, which is why TIPSY retrains every "
                "day in production.\n";
+
+  // Operational plumbing: the serving plane reports its health, and the
+  // model bundle persists crash-safely (write temp + fsync + rename, v2
+  // checksummed format) so a serving replica can pick it up.
+  const auto health = retrainer.health_snapshot();
+  std::cout << "\nservice health: " << core::ModelHealthName(health.health)
+            << " (model age " << health.model_age_days << "d, "
+            << health.retrain_count << " retrains, "
+            << health.retrain_failures << " failures, "
+            << health.dropped_hours << " out-of-order hours dropped)\n";
+  const std::string bundle_path = "online_service.tipsy";
+  if (const auto saved =
+          core::SaveServiceToFile(*retrainer.current(), bundle_path);
+      !saved.ok()) {
+    std::cout << "bundle save failed: " << saved.ToString() << "\n";
+    return 1;
+  }
+  const auto reloaded = core::LoadServiceFromFile(bundle_path, &world.wan(),
+                                                  &world.metros());
+  if (!reloaded.ok()) {
+    std::cout << "bundle reload failed: "
+              << reloaded.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "model bundle saved atomically to " << bundle_path
+            << " and reloaded (trained=" << (*reloaded)->trained() << ")\n";
+  std::remove(bundle_path.c_str());
   return 0;
 }

@@ -72,6 +72,16 @@ void CongestionMitigationSystem::HandleCongestion(
   double to_shed = current - config_.target_utilization * cap;
   if (to_shed <= 0.0) return;
 
+  // Health gate: an EXPIRED model must not steer withdrawals. Handle
+  // this event in legacy mode (withdraw blindly) instead - conservative,
+  // and exactly what §6 says the CMS does when TIPSY cannot be trusted.
+  bool tipsy_guided = config_.use_tipsy && tipsy_ != nullptr;
+  if (tipsy_guided && config_.health_provider &&
+      config_.health_provider() == core::ModelHealth::kExpired) {
+    tipsy_guided = false;
+    ++health_fallbacks_;
+  }
+
   // Bytes and flows per destination prefix on the congested link.
   struct PrefixLoad {
     double bytes = 0.0;
@@ -114,7 +124,7 @@ void CongestionMitigationSystem::HandleCongestion(
     const PrefixId prefix{prefix_value};
     double predicted_shift = 0.0;
     std::vector<LinkId> withdraw_at{link};
-    if (config_.use_tipsy) {
+    if (tipsy_guided) {
       // Excluded choices: this link, links already withdrawn for this
       // prefix, and links currently down. When a predicted destination
       // would overload, add it to the simultaneous-withdrawal set and
@@ -171,7 +181,7 @@ void CongestionMitigationSystem::HandleCongestion(
   // stand by. Revert to the pre-TIPSY behaviour for the biggest prefix
   // (§6: "CMS has no choice but to revert back to its original
   // behavior").
-  if (!issued_any && !candidates.empty() && config_.use_tipsy) {
+  if (!issued_any && !candidates.empty() && tipsy_guided) {
     const PrefixId prefix{candidates.front().first};
     state.Withdraw(prefix, link);
     scenario_->mutable_bmp().Record(telemetry::BmpMessage{

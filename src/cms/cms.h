@@ -11,9 +11,11 @@
 // which is what the §2 incident bench compares against.
 #pragma once
 
+#include <functional>
 #include <span>
 #include <vector>
 
+#include "core/online.h"
 #include "core/tipsy_service.h"
 #include "pipeline/aggregate.h"
 #include "scenario/scenario.h"
@@ -44,6 +46,12 @@ struct CmsConfig {
   double minute_noise_sigma = 0.15;
   // false = legacy mode: no TIPSY safety check, withdraw blindly.
   bool use_tipsy = true;
+  // Serving-model health gate (wired to DailyRetrainer::health in online
+  // deployments). When set and reporting EXPIRED at decision time, the
+  // prediction-gated path is refused for that event and the CMS falls
+  // back to legacy behaviour - §2's conservative stance: never let a
+  // model past its validity horizon (Appendix B.2) steer a withdrawal.
+  std::function<core::ModelHealth()> health_provider;
   std::uint64_t seed = 0xc35;
 };
 
@@ -85,6 +93,11 @@ class CongestionMitigationSystem {
   [[nodiscard]] std::size_t unsafe_withdrawals_skipped() const {
     return unsafe_skipped_;
   }
+  // Congestion events handled in legacy mode because the health gate
+  // reported an EXPIRED serving model.
+  [[nodiscard]] std::size_t health_fallbacks() const {
+    return health_fallbacks_;
+  }
 
   // Longest run of minutes above the trigger for the given hourly
   // utilization (exposed for tests of the 4-minute rule).
@@ -103,6 +116,7 @@ class CongestionMitigationSystem {
   std::vector<CongestionEvent> events_;
   std::vector<WithdrawalAction> actions_;
   std::size_t unsafe_skipped_ = 0;
+  std::size_t health_fallbacks_ = 0;
 
   struct ActiveWithdrawal {
     PrefixId prefix;

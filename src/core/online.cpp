@@ -4,42 +4,166 @@
 
 namespace tipsy::core {
 
+namespace {
+constexpr util::HourIndex kNoDay = std::numeric_limits<util::HourIndex>::min();
+}  // namespace
+
 DailyRetrainer::DailyRetrainer(const wan::Wan* wan,
                                const geo::MetroCatalogue* metros,
-                               int window_days, TipsyConfig config)
+                               int window_days, TipsyConfig config,
+                               RetrainPolicy policy)
     : wan_(wan), metros_(metros), window_days_(window_days),
-      config_(config) {
+      config_(config), policy_(policy) {
   assert(window_days_ >= 1);
+  assert(policy_.stale_after_days >= 0);
+  assert(policy_.expire_after_days >= policy_.stale_after_days);
+}
+
+util::HourIndex DailyRetrainer::NewestBufferedDay() const {
+  return days_.empty() ? kNoDay : days_.back().day;
+}
+
+void DailyRetrainer::OpenDay(util::HourIndex day) {
+  days_.push_back(DayBuffer{day, {}, 0, kNoDay});
+}
+
+void DailyRetrainer::OnDayBoundary(util::HourIndex new_day) {
+  // Account for what the completed day(s) looked like. Days the clock
+  // skipped entirely, and the previous day if it never produced a buffer,
+  // are missing; a previous day with too few distinct hours is partial.
+  missing_days_ += static_cast<std::size_t>(new_day - last_day_ - 1);
+  if (!days_.empty() && days_.back().day == last_day_) {
+    if (days_.back().hours_seen < policy_.min_hours_per_day) {
+      ++partial_days_;
+    }
+  } else {
+    ++missing_days_;
+  }
+  // A new day began: retrain on everything buffered so far (the just
+  // completed days). On failure the last-good model keeps serving and a
+  // bounded number of retries is scheduled on the following hours.
+  if (TryRetrain().ok()) {
+    pending_retries_ = 0;
+  } else {
+    pending_retries_ = policy_.max_retrain_retries;
+  }
+  last_day_ = new_day;
+}
+
+void DailyRetrainer::AttemptScheduledRetrain() {
+  --pending_retries_;
+  if (TryRetrain().ok()) pending_retries_ = 0;
+}
+
+void DailyRetrainer::AdvanceTo(util::HourIndex hour) {
+  if (last_day_ == kNoDay) {
+    // First observation: initialize the clock, nothing completed yet.
+    last_day_ = util::DayIndex(hour);
+    last_observed_hour_ = hour;
+    return;
+  }
+  if (hour < last_observed_hour_) return;  // the clock never runs backwards
+  const util::HourIndex day = util::DayIndex(hour);
+  if (day > last_day_) {
+    OnDayBoundary(day);
+  } else if (hour > last_observed_hour_ && pending_retries_ > 0) {
+    AttemptScheduledRetrain();
+  }
+  last_observed_hour_ = hour;
 }
 
 void DailyRetrainer::Ingest(util::HourIndex hour,
                             std::span<const pipeline::AggRow> rows) {
+  if (last_day_ != kNoDay && hour < last_observed_hour_) {
+    // Out-of-order delivery: dropping beats folding late telemetry into
+    // the wrong day buffer (the contract is monotone non-decreasing).
+    ++dropped_hours_;
+    return;
+  }
+  AdvanceTo(hour);
   const util::HourIndex day = util::DayIndex(hour);
-  assert(day >= last_day_ ||
-         last_day_ == std::numeric_limits<util::HourIndex>::min());
-  if (days_.empty() || days_.back().day != day) {
-    // A new day began: retrain on everything buffered so far (the just
-    // completed days), then open the new buffer.
-    if (!days_.empty() && day != last_day_) Retrain();
-    days_.push_back(DayBuffer{day, {}});
-    while (days_.size() > static_cast<std::size_t>(window_days_)) {
+  if (days_.empty() || days_.back().day != day) OpenDay(day);
+  auto& buffer = days_.back();
+  if (hour != buffer.last_hour) {
+    ++buffer.hours_seen;
+    buffer.last_hour = hour;
+  }
+  buffer.rows.insert(buffer.rows.end(), rows.begin(), rows.end());
+}
+
+util::Status DailyRetrainer::TryRetrain() {
+  // Trim the window relative to the newest buffered data so long-gone
+  // days cannot linger in the model through an outage.
+  const util::HourIndex newest = NewestBufferedDay();
+  if (newest != kNoDay) {
+    while (!days_.empty() && days_.front().day + window_days_ <= newest) {
       days_.pop_front();
     }
   }
-  last_day_ = day;
-  auto& buffer = days_.back().rows;
-  buffer.insert(buffer.end(), rows.begin(), rows.end());
+  std::size_t total_rows = 0;
+  for (const auto& day : days_) total_rows += day.rows.size();
+
+  util::Status status;
+  if (total_rows == 0) {
+    status = util::Status::NoData("training window holds no rows");
+  } else if (current_ != nullptr && newest == trained_through_day_) {
+    // Nothing new arrived since the last successful retrain; rebuilding
+    // would reproduce the served model byte for byte.
+    status = util::Status::NoData(
+        "no new data since the model trained through day " +
+        std::to_string(trained_through_day_));
+  } else if (retrain_fault_ &&
+             retrain_fault_(util::DayIndex(last_observed_hour_))) {
+    status = util::Status::Unavailable("injected training fault");
+  } else {
+    auto fresh = std::make_unique<TipsyService>(wan_, metros_, config_);
+    for (const auto& day : days_) {
+      fresh->Train(day.rows);
+    }
+    fresh->FinalizeTraining();
+    current_ = std::move(fresh);
+    trained_through_day_ = newest;
+    ++retrain_count_;
+    consecutive_failures_ = 0;
+    return util::Status::Ok();
+  }
+  ++retrain_failures_;
+  ++consecutive_failures_;
+  return status;
 }
 
 const TipsyService* DailyRetrainer::Retrain() {
-  auto fresh = std::make_unique<TipsyService>(wan_, metros_, config_);
-  for (const auto& day : days_) {
-    fresh->Train(day.rows);
-  }
-  fresh->FinalizeTraining();
-  current_ = std::move(fresh);
-  ++retrain_count_;
+  (void)TryRetrain();
   return current_.get();
+}
+
+ModelHealth DailyRetrainer::health() const {
+  if (current_ == nullptr) return ModelHealth::kNone;
+  const util::HourIndex now_day = util::DayIndex(last_observed_hour_);
+  const util::HourIndex age = now_day - trained_through_day_;
+  if (age <= policy_.stale_after_days) return ModelHealth::kFresh;
+  if (age <= policy_.expire_after_days) return ModelHealth::kStale;
+  return ModelHealth::kExpired;
+}
+
+ServiceHealth DailyRetrainer::health_snapshot() const {
+  ServiceHealth snapshot;
+  snapshot.health = health();
+  snapshot.trained_through_day = trained_through_day_;
+  snapshot.model_age_days =
+      current_ == nullptr
+          ? 0
+          : static_cast<int>(util::DayIndex(last_observed_hour_) -
+                             trained_through_day_);
+  snapshot.last_ingest_hour = last_observed_hour_;
+  snapshot.buffered_days = days_.size();
+  snapshot.retrain_count = retrain_count_;
+  snapshot.retrain_failures = retrain_failures_;
+  snapshot.consecutive_failures = consecutive_failures_;
+  snapshot.dropped_hours = dropped_hours_;
+  snapshot.missing_days = missing_days_;
+  snapshot.partial_days = partial_days_;
+  return snapshot;
 }
 
 }  // namespace tipsy::core

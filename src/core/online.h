@@ -1,39 +1,137 @@
-// Online operation: daily retraining over a rolling window (§4).
+// Online operation: daily retraining over a rolling window (§4), with the
+// fault tolerance a prediction service feeding a CMS needs.
 //
 // "We designed TIPSY to run online as a prediction service and to retrain
 // its models daily" - with a 21-day training window (Appendix B.1) and a
 // 7-day validity horizon (Appendix B.2). DailyRetrainer buffers the
 // aggregated rows of recent days and rebuilds the model suite whenever a
 // simulated day completes, dropping days that have aged out.
+//
+// Operationally the input stream is imperfect: collectors crash (hours or
+// whole days of rows never arrive), deliveries arrive out of order, and a
+// retrain job can fail outright. The retrainer therefore:
+//  * keeps serving the last successfully trained model when a retrain
+//    fails or a day has no data (last-good fallback), retrying a failed
+//    day-boundary retrain a bounded number of times on subsequent hours;
+//  * drops-and-counts hours that arrive behind the ingest clock (the
+//    contract is monotone non-decreasing HourIndex; late deliveries are
+//    telemetry replays we must not fold into the wrong day);
+//  * tracks model health against the paper's validity horizon: FRESH
+//    while retrains keep up, STALE once the model is trained on data
+//    older than `stale_after_days`, EXPIRED past `expire_after_days`
+//    (Appendix B.2's 7 days) - the signal the CMS uses to refuse
+//    prediction-gated mitigation (§2's conservative behaviour).
 #pragma once
 
 #include <deque>
+#include <functional>
 #include <limits>
 #include <memory>
 #include <span>
 
 #include "core/tipsy_service.h"
 #include "util/sim_time.h"
+#include "util/status.h"
 
 namespace tipsy::core {
+
+// Health of the currently served model relative to the ingest clock.
+enum class ModelHealth : std::uint8_t {
+  kNone = 0,   // nothing trained yet
+  kFresh,      // trained on data up to the previous day (normal operation)
+  kStale,      // missed at least one daily retrain; still within horizon
+  kExpired,    // past the validity horizon - do not gate actions on it
+};
+
+[[nodiscard]] constexpr const char* ModelHealthName(ModelHealth health) {
+  switch (health) {
+    case ModelHealth::kNone: return "NONE";
+    case ModelHealth::kFresh: return "FRESH";
+    case ModelHealth::kStale: return "STALE";
+    case ModelHealth::kExpired: return "EXPIRED";
+  }
+  return "UNKNOWN";
+}
+
+struct RetrainPolicy {
+  // Model age (days between the newest trained data day and the current
+  // ingest day) thresholds. Age 1 is steady state.
+  int stale_after_days = 1;   // age > this => STALE
+  int expire_after_days = 7;  // age > this => EXPIRED (Appendix B.2)
+  // A failed day-boundary retrain is retried on subsequent ingest hours
+  // at most this many times before waiting for the next boundary.
+  int max_retrain_retries = 3;
+  // A completed day with fewer distinct ingest hours than this is counted
+  // as partial in ServiceHealth (collector lost part of the day).
+  int min_hours_per_day = 20;
+};
+
+// Snapshot of the serving plane's condition; cheap to copy.
+struct ServiceHealth {
+  ModelHealth health = ModelHealth::kNone;
+  // Day of the newest data in the served model; min() when none.
+  util::HourIndex trained_through_day =
+      std::numeric_limits<util::HourIndex>::min();
+  // Age of the served model in days relative to the ingest clock.
+  int model_age_days = 0;
+  util::HourIndex last_ingest_hour =
+      std::numeric_limits<util::HourIndex>::min();
+  std::size_t buffered_days = 0;
+  std::size_t retrain_count = 0;
+  std::size_t retrain_failures = 0;     // total failed attempts
+  std::size_t consecutive_failures = 0; // since the last success
+  std::size_t dropped_hours = 0;        // out-of-order deliveries dropped
+  std::size_t missing_days = 0;         // day gaps in the ingest stream
+  std::size_t partial_days = 0;         // completed days with missing hours
+};
 
 class DailyRetrainer {
  public:
   DailyRetrainer(const wan::Wan* wan, const geo::MetroCatalogue* metros,
-                 int window_days = 21, TipsyConfig config = {});
+                 int window_days = 21, TipsyConfig config = {},
+                 RetrainPolicy policy = {});
 
-  // Feed the hour's aggregated rows, in hour order. When a new day
-  // begins, the service is retrained on the trailing window
-  // automatically.
+  // Feed the hour's aggregated rows. The contract is monotone
+  // non-decreasing hours: an hour behind the ingest clock is dropped and
+  // counted in ServiceHealth::dropped_hours (late telemetry replays must
+  // not be folded into the wrong day). When a new day begins, the service
+  // is retrained on the trailing window automatically; if that retrain
+  // fails, the last-good model keeps serving and the retrain is retried
+  // on following hours (bounded by RetrainPolicy::max_retrain_retries).
   void Ingest(util::HourIndex hour, std::span<const pipeline::AggRow> rows);
 
-  // The latest trained service; nullptr until the first full day has been
-  // ingested. Stable between retrains.
+  // Advances the ingest clock without data - the serving loop's heartbeat
+  // while collectors are down. Crossing a day boundary still triggers the
+  // retrain attempt (over whatever the window holds), and model health
+  // keeps aging, so an outage degrades FRESH -> STALE -> EXPIRED instead
+  // of freezing time. Called implicitly by Ingest.
+  void AdvanceTo(util::HourIndex hour);
+
+  // The latest successfully trained service; nullptr until the first full
+  // day has been ingested. Stable between retrains; on retrain failure
+  // the previous (last-good) service keeps being returned.
   [[nodiscard]] const TipsyService* current() const {
     return current_.get();
   }
+
   // Force a retrain on whatever is buffered (e.g. at end of stream).
+  // Returns the serving model - the fresh one on success, the last-good
+  // one on failure (see TryRetrain).
   const TipsyService* Retrain();
+  // Same, with the failure reason: kNoData when the window holds no rows,
+  // kUnavailable when a training fault was injected (SetRetrainFault).
+  [[nodiscard]] util::Status TryRetrain();
+
+  // --- Health.
+  [[nodiscard]] ModelHealth health() const;
+  [[nodiscard]] ServiceHealth health_snapshot() const;
+
+  // Fault injection for tests and the degradation harness: when set and
+  // returning true for a day index, the retrain attempt at that boundary
+  // fails with kUnavailable (a crashed training job).
+  void SetRetrainFault(std::function<bool(util::HourIndex day)> fault) {
+    retrain_fault_ = std::move(fault);
+  }
 
   [[nodiscard]] int window_days() const { return window_days_; }
   [[nodiscard]] std::size_t buffered_days() const { return days_.size(); }
@@ -43,16 +141,37 @@ class DailyRetrainer {
   struct DayBuffer {
     util::HourIndex day = 0;
     std::vector<pipeline::AggRow> rows;
+    int hours_seen = 0;
+    util::HourIndex last_hour = std::numeric_limits<util::HourIndex>::min();
   };
+
+  // Newest buffered data day, min() when nothing is buffered.
+  [[nodiscard]] util::HourIndex NewestBufferedDay() const;
+  void OpenDay(util::HourIndex day);
+  // Day-boundary bookkeeping + retrain attempt with retry scheduling.
+  void OnDayBoundary(util::HourIndex new_day);
+  void AttemptScheduledRetrain();
 
   const wan::Wan* wan_;
   const geo::MetroCatalogue* metros_;
   int window_days_;
   TipsyConfig config_;
+  RetrainPolicy policy_;
   std::deque<DayBuffer> days_;
+  util::HourIndex last_observed_hour_ =
+      std::numeric_limits<util::HourIndex>::min();
   util::HourIndex last_day_ = std::numeric_limits<util::HourIndex>::min();
   std::unique_ptr<TipsyService> current_;
+  util::HourIndex trained_through_day_ =
+      std::numeric_limits<util::HourIndex>::min();
   std::size_t retrain_count_ = 0;
+  std::size_t retrain_failures_ = 0;
+  std::size_t consecutive_failures_ = 0;
+  std::size_t dropped_hours_ = 0;
+  std::size_t missing_days_ = 0;
+  std::size_t partial_days_ = 0;
+  int pending_retries_ = 0;  // bounded retry budget after a failed boundary
+  std::function<bool(util::HourIndex)> retrain_fault_;
 };
 
 }  // namespace tipsy::core

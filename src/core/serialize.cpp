@@ -3,12 +3,26 @@
 #include <cstring>
 #include <istream>
 #include <ostream>
+#include <sstream>
+
+#include "util/atomic_file.h"
+#include "util/checksum.h"
 
 namespace tipsy::core {
 namespace {
 
-constexpr char kModelMagic[8] = {'T', 'I', 'P', 'S', 'Y', 'H', 'M', '1'};
-constexpr char kBundleMagic[8] = {'T', 'I', 'P', 'S', 'Y', 'S', 'V', '1'};
+constexpr char kModelMagicV1[8] = {'T', 'I', 'P', 'S', 'Y', 'H', 'M', '1'};
+constexpr char kModelMagicV2[8] = {'T', 'I', 'P', 'S', 'Y', 'H', 'M', '2'};
+constexpr char kBundleMagicV1[8] = {'T', 'I', 'P', 'S', 'Y', 'S', 'V', '1'};
+constexpr char kBundleMagicV2[8] = {'T', 'I', 'P', 'S', 'Y', 'S', 'V', '2'};
+
+// Hostile-length guards: a flipped bit in a count/size field must fail
+// cleanly instead of driving a multi-GB allocation.
+constexpr std::uint64_t kMaxModelPayloadBytes = 1ULL << 31;  // 2 GiB
+constexpr std::uint32_t kMaxLinksPerTuple = 1 << 20;
+// Minimum encoded sizes, used to bound counts against available bytes.
+constexpr std::uint64_t kTupleHeaderBytes = 8 + 8 + 8 + 2;
+constexpr std::uint64_t kRankedEntryBytes = 4 + 8;
 
 template <typename T>
 void Put(std::ostream& out, const T& value) {
@@ -16,17 +30,35 @@ void Put(std::ostream& out, const T& value) {
   out.write(reinterpret_cast<const char*>(&value), sizeof(value));
 }
 
-template <typename T>
-bool Get(std::istream& in, T& value) {
-  static_assert(std::is_trivially_copyable_v<T>);
-  in.read(reinterpret_cast<char*>(&value), sizeof(value));
-  return static_cast<bool>(in);
-}
+// Bounds-checked cursor over an in-memory artifact.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
 
-}  // namespace
+  template <typename T>
+  [[nodiscard]] bool Get(T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (remaining() < sizeof(T)) return false;
+    std::memcpy(&value, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
+  }
 
-void SaveModel(const HistoricalModel& model, std::ostream& out) {
-  out.write(kModelMagic, sizeof(kModelMagic));
+  [[nodiscard]] bool GetBytes(std::string_view& out, std::size_t size) {
+    if (remaining() < size) return false;
+    out = data_.substr(pos_, size);
+    pos_ += size;
+    return true;
+  }
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+void SerializeModelBody(const HistoricalModel& model, std::ostream& out) {
   Put(out, static_cast<std::uint8_t>(model.feature_set()));
   Put(out, static_cast<std::uint8_t>(model.weight_by_bytes() ? 1 : 0));
   Put(out, static_cast<std::uint32_t>(model.max_links_per_tuple()));
@@ -44,35 +76,55 @@ void SaveModel(const HistoricalModel& model, std::ostream& out) {
   }
 }
 
-std::optional<HistoricalModel> LoadModel(std::istream& in) {
-  char magic[8];
-  in.read(magic, sizeof(magic));
-  if (!in || std::memcmp(magic, kModelMagic, sizeof(magic)) != 0) {
-    return std::nullopt;
-  }
+// Shared by v1 (unchecksummed) and v2 (inside a verified frame). Every
+// count is validated against the bytes actually available before any
+// allocation sized from it.
+util::StatusOr<HistoricalModel> ParseModelBody(ByteReader& reader) {
   std::uint8_t feature_set_raw = 0;
   std::uint8_t weighted = 0;
   std::uint32_t max_links = 0;
   std::uint64_t tuple_count = 0;
-  if (!Get(in, feature_set_raw) || feature_set_raw > 2 ||
-      !Get(in, weighted) || !Get(in, max_links) || max_links == 0 ||
-      !Get(in, tuple_count)) {
-    return std::nullopt;
+  if (!reader.Get(feature_set_raw) || !reader.Get(weighted) ||
+      !reader.Get(max_links) || !reader.Get(tuple_count)) {
+    return util::Status::Truncated("model header ends early");
+  }
+  if (feature_set_raw > 2) {
+    return util::Status::Corrupt("unknown feature set id " +
+                                 std::to_string(feature_set_raw));
+  }
+  if (max_links == 0 || max_links > kMaxLinksPerTuple) {
+    return util::Status::Corrupt("implausible max_links_per_tuple " +
+                                 std::to_string(max_links));
+  }
+  if (tuple_count > reader.remaining() / kTupleHeaderBytes) {
+    return util::Status::Corrupt(
+        "tuple count " + std::to_string(tuple_count) +
+        " exceeds remaining payload (" + std::to_string(reader.remaining()) +
+        " bytes)");
   }
   std::vector<HistoricalModel::TupleExport> table;
   table.reserve(tuple_count);
   for (std::uint64_t t = 0; t < tuple_count; ++t) {
     HistoricalModel::TupleExport tuple;
     std::uint16_t ranked_count = 0;
-    if (!Get(in, tuple.key.hi) || !Get(in, tuple.key.lo) ||
-        !Get(in, tuple.total_bytes) || !Get(in, ranked_count)) {
-      return std::nullopt;
+    if (!reader.Get(tuple.key.hi) || !reader.Get(tuple.key.lo) ||
+        !reader.Get(tuple.total_bytes) || !reader.Get(ranked_count)) {
+      return util::Status::Truncated("tuple " + std::to_string(t) +
+                                     " ends early");
+    }
+    if (ranked_count > reader.remaining() / kRankedEntryBytes) {
+      return util::Status::Corrupt(
+          "ranked count " + std::to_string(ranked_count) + " of tuple " +
+          std::to_string(t) + " exceeds remaining payload");
     }
     tuple.ranked.reserve(ranked_count);
     for (std::uint16_t r = 0; r < ranked_count; ++r) {
       std::uint32_t link = 0;
       double bytes = 0.0;
-      if (!Get(in, link) || !Get(in, bytes)) return std::nullopt;
+      if (!reader.Get(link) || !reader.Get(bytes)) {
+        return util::Status::Truncated("ranked entries of tuple " +
+                                       std::to_string(t) + " end early");
+      }
       tuple.ranked.emplace_back(util::LinkId{link}, bytes);
     }
     table.push_back(std::move(tuple));
@@ -82,33 +134,154 @@ std::optional<HistoricalModel> LoadModel(std::istream& in) {
       table);
 }
 
-void SaveService(const TipsyService& service, std::ostream& out) {
-  out.write(kBundleMagic, sizeof(kBundleMagic));
+void WriteModelFrame(const HistoricalModel& model, std::ostream& out,
+                     int format_version) {
+  if (format_version <= 1) {
+    out.write(kModelMagicV1, sizeof(kModelMagicV1));
+    SerializeModelBody(model, out);
+    return;
+  }
+  std::ostringstream body;
+  SerializeModelBody(model, body);
+  const std::string payload = body.str();
+  out.write(kModelMagicV2, sizeof(kModelMagicV2));
+  Put(out, static_cast<std::uint64_t>(payload.size()));
+  Put(out, util::Crc32c::Of(payload));
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+}
+
+// One model from the cursor: v2 length+CRC frame, or a bare v1 body.
+util::StatusOr<HistoricalModel> ReadModelFrame(ByteReader& reader) {
+  char magic[8];
+  if (!reader.Get(magic)) {
+    return util::Status::Truncated("model magic ends early");
+  }
+  if (std::memcmp(magic, kModelMagicV1, sizeof(magic)) == 0) {
+    return ParseModelBody(reader);
+  }
+  if (std::memcmp(magic, kModelMagicV2, sizeof(magic)) != 0) {
+    if (std::memcmp(magic, kModelMagicV1, 7) == 0) {
+      return util::Status::VersionMismatch(
+          "unsupported model format version byte");
+    }
+    return util::Status::Corrupt("bad model magic");
+  }
+  std::uint64_t payload_size = 0;
+  std::uint32_t crc = 0;
+  if (!reader.Get(payload_size) || !reader.Get(crc)) {
+    return util::Status::Truncated("model frame header ends early");
+  }
+  if (payload_size > kMaxModelPayloadBytes) {
+    return util::Status::Corrupt("implausible model payload size " +
+                                 std::to_string(payload_size));
+  }
+  std::string_view payload;
+  if (!reader.GetBytes(payload, payload_size)) {
+    return util::Status::Truncated(
+        "model payload ends early (" + std::to_string(payload_size) +
+        " declared, " + std::to_string(reader.remaining()) + " available)");
+  }
+  if (util::Crc32c::Of(payload) != crc) {
+    return util::Status::Corrupt("model payload checksum mismatch");
+  }
+  ByteReader payload_reader(payload);
+  auto model = ParseModelBody(payload_reader);
+  if (model.ok() && payload_reader.remaining() != 0) {
+    return util::Status::Corrupt(
+        std::to_string(payload_reader.remaining()) +
+        " trailing bytes in model payload");
+  }
+  return model;
+}
+
+std::string DrainStream(std::istream& in) {
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+void SaveModel(const HistoricalModel& model, std::ostream& out,
+               int format_version) {
+  WriteModelFrame(model, out, format_version);
+}
+
+util::StatusOr<HistoricalModel> LoadModel(std::istream& in) {
+  const std::string bytes = DrainStream(in);
+  ByteReader reader(bytes);
+  return ReadModelFrame(reader);
+}
+
+void SaveService(const TipsyService& service, std::ostream& out,
+                 int format_version) {
+  out.write(format_version <= 1 ? kBundleMagicV1 : kBundleMagicV2, 8);
   for (auto fs : {FeatureSet::kA, FeatureSet::kAP, FeatureSet::kAL}) {
-    SaveModel(service.hist(fs), out);
+    WriteModelFrame(service.hist(fs), out, format_version);
   }
 }
 
-std::unique_ptr<TipsyService> LoadService(std::istream& in,
-                                          const wan::Wan* wan,
-                                          const geo::MetroCatalogue* metros,
-                                          TipsyConfig config) {
+util::StatusOr<std::unique_ptr<TipsyService>> LoadService(
+    std::istream& in, const wan::Wan* wan,
+    const geo::MetroCatalogue* metros, TipsyConfig config) {
+  const std::string bytes = DrainStream(in);
+  ByteReader reader(bytes);
   char magic[8];
-  in.read(magic, sizeof(magic));
-  if (!in || std::memcmp(magic, kBundleMagic, sizeof(magic)) != 0) {
-    return nullptr;
+  if (!reader.Get(magic)) {
+    return util::Status::Truncated("bundle magic ends early");
   }
-  auto a = LoadModel(in);
-  auto ap = LoadModel(in);
-  auto al = LoadModel(in);
-  if (!a || !ap || !al || a->feature_set() != FeatureSet::kA ||
-      ap->feature_set() != FeatureSet::kAP ||
-      al->feature_set() != FeatureSet::kAL) {
-    return nullptr;
+  if (std::memcmp(magic, kBundleMagicV1, sizeof(magic)) != 0 &&
+      std::memcmp(magic, kBundleMagicV2, sizeof(magic)) != 0) {
+    if (std::memcmp(magic, kBundleMagicV1, 7) == 0) {
+      return util::Status::VersionMismatch(
+          "unsupported bundle format version byte");
+    }
+    return util::Status::Corrupt("bad bundle magic");
+  }
+  // Each member model carries its own magic (and, in v2, its own frame),
+  // so the bundle version byte only gates which member format is allowed.
+  constexpr FeatureSet kExpected[3] = {FeatureSet::kA, FeatureSet::kAP,
+                                       FeatureSet::kAL};
+  constexpr const char* kSection[3] = {"A", "AP", "AL"};
+  std::vector<HistoricalModel> models;
+  for (int i = 0; i < 3; ++i) {
+    auto model = ReadModelFrame(reader);
+    if (!model.ok()) {
+      return util::Status(model.status().code(),
+                          std::string("bundle section ") + kSection[i] +
+                              ": " + model.status().message());
+    }
+    if (model->feature_set() != kExpected[i]) {
+      return util::Status::Corrupt(std::string("bundle section ") +
+                                   kSection[i] +
+                                   " holds the wrong feature set");
+    }
+    models.push_back(std::move(*model));
+  }
+  if (reader.remaining() != 0) {
+    return util::Status::Corrupt(std::to_string(reader.remaining()) +
+                                 " trailing bytes after bundle");
   }
   return TipsyService::FromTrainedModels(wan, metros, config,
-                                         std::move(*a), std::move(*ap),
-                                         std::move(*al));
+                                         std::move(models[0]),
+                                         std::move(models[1]),
+                                         std::move(models[2]));
+}
+
+util::Status SaveServiceToFile(const TipsyService& service,
+                               const std::string& path) {
+  std::ostringstream buffer;
+  SaveService(service, buffer);
+  return util::WriteFileAtomic(path, buffer.str());
+}
+
+util::StatusOr<std::unique_ptr<TipsyService>> LoadServiceFromFile(
+    const std::string& path, const wan::Wan* wan,
+    const geo::MetroCatalogue* metros, TipsyConfig config) {
+  auto bytes = util::ReadFileToString(path);
+  if (!bytes.ok()) return bytes.status();
+  std::istringstream in(*std::move(bytes));
+  return LoadService(in, wan, metros, config);
 }
 
 }  // namespace tipsy::core

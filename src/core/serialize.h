@@ -6,27 +6,50 @@
 // (§2/§6 replay incidents against models "trained on data ending the day
 // before"). This is a compact, versioned binary format for the historical
 // models and the whole service bundle.
+//
+// Format v2 (current) wraps every model section in a length + CRC-32C
+// frame: a crash mid-save, a truncated copy or a flipped bit fails the
+// load with a typed Status instead of producing a silently-wrong model.
+// v1 artifacts (no checksums) remain readable.
 #pragma once
 
 #include <iosfwd>
 #include <memory>
-#include <optional>
+#include <string>
 
 #include "core/historical.h"
 #include "core/tipsy_service.h"
+#include "util/status.h"
 
 namespace tipsy::core {
 
+// Current on-disk format version; SaveModel/SaveService accept an explicit
+// version for interop with old readers (and backward-compat tests).
+inline constexpr int kModelFormatVersion = 2;
+
 // --- Single historical model.
-void SaveModel(const HistoricalModel& model, std::ostream& out);
-// nullopt on format/version mismatch or truncated input.
-[[nodiscard]] std::optional<HistoricalModel> LoadModel(std::istream& in);
+void SaveModel(const HistoricalModel& model, std::ostream& out,
+               int format_version = kModelFormatVersion);
+// kCorrupt / kVersionMismatch / kTruncated with a message on bad input;
+// never crashes or over-allocates on hostile bytes.
+[[nodiscard]] util::StatusOr<HistoricalModel> LoadModel(std::istream& in);
 
 // --- Whole service bundle (the three historical models; ensembles and
 // the geographic augmentation are reconstructed structurally).
-void SaveService(const TipsyService& service, std::ostream& out);
-[[nodiscard]] std::unique_ptr<TipsyService> LoadService(
+void SaveService(const TipsyService& service, std::ostream& out,
+                 int format_version = kModelFormatVersion);
+[[nodiscard]] util::StatusOr<std::unique_ptr<TipsyService>> LoadService(
     std::istream& in, const wan::Wan* wan,
     const geo::MetroCatalogue* metros, TipsyConfig config = {});
+
+// --- Crash-safe file round-trips: serialize to memory, then
+// write-temp + fsync + rename (util::WriteFileAtomic), so a crash
+// mid-save never leaves a half-written bundle at `path`.
+[[nodiscard]] util::Status SaveServiceToFile(const TipsyService& service,
+                                             const std::string& path);
+[[nodiscard]] util::StatusOr<std::unique_ptr<TipsyService>>
+LoadServiceFromFile(const std::string& path, const wan::Wan* wan,
+                    const geo::MetroCatalogue* metros,
+                    TipsyConfig config = {});
 
 }  // namespace tipsy::core

@@ -4,11 +4,24 @@
 #include <cstring>
 #include <istream>
 #include <ostream>
+#include <sstream>
+#include <string>
+
+#include "util/checksum.h"
 
 namespace tipsy::pipeline {
 namespace {
 
-constexpr char kMagic[8] = {'T', 'I', 'P', 'S', 'Y', 'R', 'F', '1'};
+constexpr char kMagicV1[8] = {'T', 'I', 'P', 'S', 'Y', 'R', 'F', '1'};
+constexpr char kMagicV2[8] = {'T', 'I', 'P', 'S', 'Y', 'R', 'F', '2'};
+
+// Hostile-length guards. A v2 hour payload beyond this is implausible
+// (realistic hours encode to a few MB); a v1 row count is only trusted up
+// to this reserve, rows beyond it grow the vector organically.
+constexpr std::uint64_t kMaxHourPayloadBytes = 1ULL << 28;  // 256 MiB
+constexpr std::uint64_t kRowReserveCap = 1ULL << 16;
+// Every encoded row is at least 8 varint fields of >= 1 byte each.
+constexpr std::uint64_t kMinEncodedRowBytes = 8;
 
 // Zigzag for occasionally-negative values (hours).
 std::uint64_t Zigzag(std::int64_t v) {
@@ -26,6 +39,94 @@ bool RowLess(const AggRow& a, const AggRow& b) {
   if (a.src_prefix24 != b.src_prefix24) return a.src_prefix24 < b.src_prefix24;
   if (a.dest_region != b.dest_region) return a.dest_region < b.dest_region;
   return a.dest_service < b.dest_service;
+}
+
+void EncodeRows(std::ostream& out, std::span<const AggRow> sorted) {
+  std::uint32_t prev_link = 0;
+  for (const auto& row : sorted) {
+    // Links arrive sorted: delta-encode them; everything else plain
+    // varint. Invalid metro is stored as 0 (valid ids shifted by one).
+    PutVarint(out, row.link.value() - prev_link);
+    prev_link = row.link.value();
+    PutVarint(out, row.src_asn.value());
+    PutVarint(out, row.src_prefix24.address().bits() >> 8);
+    PutVarint(out, row.src_metro.valid() ? row.src_metro.value() + 1 : 0);
+    PutVarint(out, row.dest_region.value());
+    PutVarint(out, static_cast<std::uint64_t>(row.dest_service));
+    PutVarint(out, row.dest_prefix.valid() ? row.dest_prefix.value() + 1
+                                           : 0);
+    PutVarint(out, row.bytes);
+  }
+}
+
+// Varint decoding over an in-memory payload (the v2 path; the payload is
+// checksummed before any row is decoded).
+struct MemCursor {
+  const unsigned char* data;
+  std::size_t size;
+  std::size_t pos = 0;
+
+  std::optional<std::uint64_t> GetVarint() {
+    std::uint64_t value = 0;
+    int shift = 0;
+    while (true) {
+      if (pos >= size || shift > 63) return std::nullopt;
+      const unsigned char byte = data[pos++];
+      value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+      if ((byte & 0x80) == 0) break;
+      shift += 7;
+    }
+    return value;
+  }
+};
+
+// Decodes the 8 varint fields of one row; true on success.
+template <typename VarintSource>
+bool DecodeRow(VarintSource& source, util::HourIndex hour,
+               std::uint32_t& prev_link, AggRow& row) {
+  std::uint64_t fields[8];
+  for (auto& field : fields) {
+    const auto value = source.GetVarint();
+    if (!value) return false;
+    field = *value;
+  }
+  row.hour = hour;
+  prev_link += static_cast<std::uint32_t>(fields[0]);
+  row.link = util::LinkId{prev_link};
+  row.src_asn = util::AsId{static_cast<std::uint32_t>(fields[1])};
+  row.src_prefix24 = util::Ipv4Prefix(
+      util::Ipv4Addr(static_cast<std::uint32_t>(fields[2] << 8)), 24);
+  row.src_metro =
+      fields[3] == 0
+          ? util::MetroId{}
+          : util::MetroId{static_cast<std::uint32_t>(fields[3] - 1)};
+  row.dest_region = util::RegionId{static_cast<std::uint32_t>(fields[4])};
+  row.dest_service = static_cast<wan::ServiceType>(fields[5]);
+  row.dest_prefix =
+      fields[6] == 0
+          ? util::PrefixId{}
+          : util::PrefixId{static_cast<std::uint32_t>(fields[6] - 1)};
+  row.bytes = fields[7];
+  return true;
+}
+
+// Adapter so the v1 stream path can share DecodeRow with MemCursor.
+struct StreamCursor {
+  std::istream& in;
+  std::optional<std::uint64_t> GetVarint() {
+    return pipeline::GetVarint(in);
+  }
+};
+
+// v2 block checksum: covers the header values and the encoded rows.
+std::uint32_t HourBlockCrc(util::HourIndex hour, std::uint64_t count,
+                           std::string_view payload) {
+  util::Crc32c crc;
+  const auto hour_bits = static_cast<std::uint64_t>(hour);
+  crc.Update(&hour_bits, sizeof(hour_bits));
+  crc.Update(&count, sizeof(count));
+  crc.Update(payload);
+  return crc.Digest();
 }
 
 }  // namespace
@@ -54,8 +155,9 @@ std::optional<std::uint64_t> GetVarint(std::istream& in) {
   return value;
 }
 
-RowFileWriter::RowFileWriter(std::ostream& out) : out_(out) {
-  out_.write(kMagic, sizeof(kMagic));
+RowFileWriter::RowFileWriter(std::ostream& out, int format_version)
+    : out_(out), format_version_(format_version <= 1 ? 1 : 2) {
+  out_.write(format_version_ == 1 ? kMagicV1 : kMagicV2, 8);
 }
 
 void RowFileWriter::WriteHour(util::HourIndex hour,
@@ -65,20 +167,20 @@ void RowFileWriter::WriteHour(util::HourIndex hour,
 
   PutVarint(out_, Zigzag(hour));
   PutVarint(out_, sorted.size());
-  std::uint32_t prev_link = 0;
-  for (const auto& row : sorted) {
-    // Links arrive sorted: delta-encode them; everything else plain
-    // varint. Invalid metro is stored as 0 (valid ids shifted by one).
-    PutVarint(out_, row.link.value() - prev_link);
-    prev_link = row.link.value();
-    PutVarint(out_, row.src_asn.value());
-    PutVarint(out_, row.src_prefix24.address().bits() >> 8);
-    PutVarint(out_, row.src_metro.valid() ? row.src_metro.value() + 1 : 0);
-    PutVarint(out_, row.dest_region.value());
-    PutVarint(out_, static_cast<std::uint64_t>(row.dest_service));
-    PutVarint(out_, row.dest_prefix.valid() ? row.dest_prefix.value() + 1
-                                            : 0);
-    PutVarint(out_, row.bytes);
+  if (format_version_ == 1) {
+    EncodeRows(out_, sorted);
+  } else {
+    // v2: the encoded rows become a length + CRC framed payload. The CRC
+    // also covers the decoded header values (hour, count), so a flipped
+    // bit in the header varints cannot be silently accepted either.
+    std::ostringstream body;
+    EncodeRows(body, sorted);
+    const std::string payload = body.str();
+    PutVarint(out_, payload.size());
+    const std::uint32_t crc =
+        HourBlockCrc(hour, sorted.size(), payload);
+    out_.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
+    out_.write(payload.data(), static_cast<std::streamsize>(payload.size()));
   }
   rows_written_ += sorted.size();
 }
@@ -86,53 +188,113 @@ void RowFileWriter::WriteHour(util::HourIndex hour,
 RowFileReader::RowFileReader(std::istream& in) : in_(in) {
   char magic[8];
   in_.read(magic, sizeof(magic));
-  ok_ = static_cast<bool>(in_) &&
-        std::memcmp(magic, kMagic, sizeof(magic)) == 0;
+  if (!in_) {
+    status_ = util::Status::Truncated("row file shorter than its magic");
+  } else if (std::memcmp(magic, kMagicV1, sizeof(magic)) == 0) {
+    format_version_ = 1;
+  } else if (std::memcmp(magic, kMagicV2, sizeof(magic)) == 0) {
+    format_version_ = 2;
+  } else if (std::memcmp(magic, kMagicV1, 7) == 0) {
+    status_ = util::Status::VersionMismatch(
+        "unsupported row file format version byte");
+  } else {
+    status_ = util::Status::Corrupt("bad row file magic");
+  }
+}
+
+std::optional<RowFileReader::HourBlock> RowFileReader::Fail(
+    util::Status status) {
+  status_ = std::move(status);
+  return std::nullopt;
 }
 
 std::optional<RowFileReader::HourBlock> RowFileReader::ReadHour() {
-  if (!ok_) return std::nullopt;
+  if (!ok()) return std::nullopt;
   // Peek for clean EOF.
   if (in_.peek() == std::char_traits<char>::eof()) return std::nullopt;
   const auto hour_raw = GetVarint(in_);
   const auto count = GetVarint(in_);
   if (!hour_raw || !count) {
-    ok_ = false;
-    return std::nullopt;
+    return Fail(util::Status::Truncated("hour block header ends early"));
+  }
+  const util::HourIndex hour = Unzigzag(*hour_raw);
+  return format_version_ == 1 ? ReadHourV1(hour, *count)
+                              : ReadHourV2(hour, *count);
+}
+
+std::optional<RowFileReader::HourBlock> RowFileReader::ReadHourV1(
+    util::HourIndex hour, std::uint64_t count) {
+  // v1 has no payload length to validate the count against; trust it only
+  // up to the reserve cap so a flipped byte cannot drive a huge
+  // allocation — rows beyond the cap grow the vector organically.
+  HourBlock block;
+  block.hour = hour;
+  block.rows.reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(count, kRowReserveCap)));
+  StreamCursor cursor{in_};
+  std::uint32_t prev_link = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    AggRow row;
+    if (!DecodeRow(cursor, hour, prev_link, row)) {
+      return Fail(util::Status::Truncated(
+          "hour " + std::to_string(hour) + " ends after " +
+          std::to_string(i) + " of " + std::to_string(count) + " rows"));
+    }
+    block.rows.push_back(row);
+  }
+  return block;
+}
+
+std::optional<RowFileReader::HourBlock> RowFileReader::ReadHourV2(
+    util::HourIndex hour, std::uint64_t count) {
+  const auto payload_size = GetVarint(in_);
+  if (!payload_size) {
+    return Fail(util::Status::Truncated("hour block header ends early"));
+  }
+  if (*payload_size > kMaxHourPayloadBytes) {
+    return Fail(util::Status::Corrupt(
+        "implausible hour payload size " + std::to_string(*payload_size)));
+  }
+  if (count > *payload_size / kMinEncodedRowBytes) {
+    return Fail(util::Status::Corrupt(
+        "row count " + std::to_string(count) + " exceeds what " +
+        std::to_string(*payload_size) + " payload bytes can encode"));
+  }
+  std::uint32_t crc = 0;
+  in_.read(reinterpret_cast<char*>(&crc), sizeof(crc));
+  if (!in_) {
+    return Fail(util::Status::Truncated("hour block checksum ends early"));
+  }
+  std::string payload(static_cast<std::size_t>(*payload_size), '\0');
+  in_.read(payload.data(), static_cast<std::streamsize>(payload.size()));
+  if (static_cast<std::uint64_t>(in_.gcount()) != *payload_size) {
+    return Fail(util::Status::Truncated(
+        "hour payload ends early (" + std::to_string(*payload_size) +
+        " declared, " + std::to_string(in_.gcount()) + " available)"));
+  }
+  if (HourBlockCrc(hour, count, payload) != crc) {
+    return Fail(util::Status::Corrupt("hour " + std::to_string(hour) +
+                                      " block checksum mismatch"));
   }
   HourBlock block;
-  block.hour = Unzigzag(*hour_raw);
-  block.rows.reserve(*count);
+  block.hour = hour;
+  block.rows.reserve(static_cast<std::size_t>(count));
+  MemCursor cursor{reinterpret_cast<const unsigned char*>(payload.data()),
+                   payload.size()};
   std::uint32_t prev_link = 0;
-  for (std::uint64_t i = 0; i < *count; ++i) {
-    std::optional<std::uint64_t> fields[8];
-    for (auto& field : fields) {
-      field = GetVarint(in_);
-      if (!field) {
-        ok_ = false;
-        return std::nullopt;
-      }
-    }
+  for (std::uint64_t i = 0; i < count; ++i) {
     AggRow row;
-    row.hour = block.hour;
-    prev_link += static_cast<std::uint32_t>(*fields[0]);
-    row.link = util::LinkId{prev_link};
-    row.src_asn = util::AsId{static_cast<std::uint32_t>(*fields[1])};
-    row.src_prefix24 = util::Ipv4Prefix(
-        util::Ipv4Addr(static_cast<std::uint32_t>(*fields[2] << 8)), 24);
-    row.src_metro = *fields[3] == 0
-                        ? util::MetroId{}
-                        : util::MetroId{static_cast<std::uint32_t>(
-                              *fields[3] - 1)};
-    row.dest_region =
-        util::RegionId{static_cast<std::uint32_t>(*fields[4])};
-    row.dest_service = static_cast<wan::ServiceType>(*fields[5]);
-    row.dest_prefix = *fields[6] == 0
-                          ? util::PrefixId{}
-                          : util::PrefixId{static_cast<std::uint32_t>(
-                                *fields[6] - 1)};
-    row.bytes = *fields[7];
+    if (!DecodeRow(cursor, hour, prev_link, row)) {
+      return Fail(util::Status::Corrupt(
+          "hour " + std::to_string(hour) +
+          " payload decodes fewer rows than declared"));
+    }
     block.rows.push_back(row);
+  }
+  if (cursor.pos != cursor.size) {
+    return Fail(util::Status::Corrupt(
+        "hour " + std::to_string(hour) + " payload has " +
+        std::to_string(cursor.size - cursor.pos) + " trailing bytes"));
   }
   return block;
 }

@@ -5,6 +5,13 @@
 // (§4.2). This is a compact, versioned binary container for AggRow
 // batches: hour-blocked, varint-encoded, with rows delta-friendly sorted.
 // An offline job can train from a file instead of a live simulation.
+//
+// Format v2 (current) frames every hour block with its encoded byte
+// length and a CRC-32C, so collector crashes (truncation) and bit rot in
+// the archive surface as typed errors instead of silently-wrong training
+// rows; v1 files (no checksums) remain readable. All counts are validated
+// against the bytes actually present before any allocation, so a hostile
+// length can never drive a multi-GB resize.
 #pragma once
 
 #include <cstdint>
@@ -14,8 +21,11 @@
 #include <vector>
 
 #include "pipeline/aggregate.h"
+#include "util/status.h"
 
 namespace tipsy::pipeline {
+
+inline constexpr int kRowFileFormatVersion = 2;
 
 // --- Low-level varint helpers (LEB128), exposed for tests.
 void PutVarint(std::ostream& out, std::uint64_t value);
@@ -23,8 +33,11 @@ void PutVarint(std::ostream& out, std::uint64_t value);
 
 class RowFileWriter {
  public:
-  // Writes the header immediately.
-  explicit RowFileWriter(std::ostream& out);
+  // Writes the header immediately. `format_version` exists for interop
+  // with old readers and the backward-compat tests; new archives should
+  // use the default.
+  explicit RowFileWriter(std::ostream& out,
+                         int format_version = kRowFileFormatVersion);
 
   // Appends one hour block. Rows may be in any order; they are written
   // sorted for determinism.
@@ -34,18 +47,23 @@ class RowFileWriter {
 
  private:
   std::ostream& out_;
+  int format_version_;
   std::size_t rows_written_ = 0;
 };
 
 class RowFileReader {
  public:
-  // Validates the header; check ok() before reading.
+  // Validates the header; check ok()/status() before reading.
   explicit RowFileReader(std::istream& in);
 
-  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] bool ok() const { return status_.ok(); }
+  // Why the reader stopped: kCorrupt (checksum/impossible counts),
+  // kTruncated (stream ended mid-block) or kVersionMismatch.
+  [[nodiscard]] const util::Status& status() const { return status_; }
+  [[nodiscard]] int format_version() const { return format_version_; }
 
-  // Reads the next hour block; nullopt at clean end-of-file. Sets ok() to
-  // false on corruption.
+  // Reads the next hour block; nullopt at clean end-of-file or on error
+  // (then status() is non-OK).
   struct HourBlock {
     util::HourIndex hour = 0;
     std::vector<AggRow> rows;
@@ -53,8 +71,16 @@ class RowFileReader {
   [[nodiscard]] std::optional<HourBlock> ReadHour();
 
  private:
+  std::optional<HourBlock> ReadHourV1(util::HourIndex hour,
+                                      std::uint64_t count);
+  std::optional<HourBlock> ReadHourV2(util::HourIndex hour,
+                                      std::uint64_t count);
+  // Marks the reader failed and returns nullopt.
+  std::optional<HourBlock> Fail(util::Status status);
+
   std::istream& in_;
-  bool ok_ = false;
+  util::Status status_;
+  int format_version_ = 0;
 };
 
 }  // namespace tipsy::pipeline

@@ -1,0 +1,123 @@
+#include "scenario/fault_injection.h"
+
+#include <optional>
+#include <sstream>
+#include <utility>
+
+#include "util/hash.h"
+#include "util/rng.h"
+
+namespace tipsy::scenario {
+namespace {
+
+// Per-fault-class stream labels so one hour's fates are independent.
+enum class FaultStream : std::uint64_t {
+  kRowLoss = 1,
+  kDuplicate = 2,
+  kReorder = 3,
+};
+
+bool Chance(std::uint64_t seed, FaultStream stream, util::HourIndex hour,
+            double probability) {
+  if (probability <= 0.0) return false;
+  util::Rng rng(util::HashAll(seed, static_cast<std::uint64_t>(stream),
+                              static_cast<std::uint64_t>(hour)));
+  return rng.NextBool(probability);
+}
+
+}  // namespace
+
+FaultInjectingRowSource::FaultInjectingRowSource(RowSource& inner,
+                                                 FaultScheduleConfig config)
+    : inner_(&inner), config_(std::move(config)) {}
+
+bool FaultInjectingRowSource::InWindow(
+    const std::vector<util::HourRange>& windows, util::HourIndex hour) const {
+  for (const auto& window : windows) {
+    if (window.Contains(hour)) return true;
+  }
+  return false;
+}
+
+void FaultInjectingRowSource::Deliver(util::HourIndex hour,
+                                      std::span<const pipeline::AggRow> rows,
+                                      const RowSink& sink) {
+  sink(hour, rows);
+  if (Chance(config_.seed, FaultStream::kDuplicate, hour,
+             config_.duplicate_hour_rate)) {
+    ++hours_duplicated_;
+    sink(hour, rows);
+  }
+}
+
+void FaultInjectingRowSource::StreamHours(util::HourRange range,
+                                          const RowSink& sink) {
+  // At most one hour is held back for a pairwise swap; if the stream ends
+  // (or the partner is dropped) it is flushed late - which downstream
+  // consumers see as the out-of-order delivery it is.
+  std::optional<std::pair<util::HourIndex, std::vector<pipeline::AggRow>>>
+      held;
+  inner_->StreamHours(range, [&](util::HourIndex hour,
+                                 std::span<const pipeline::AggRow> rows) {
+    if (InWindow(config_.collector_down, hour)) {
+      ++hours_dropped_;
+      return;
+    }
+    std::vector<pipeline::AggRow> thinned;
+    std::span<const pipeline::AggRow> surviving = rows;
+    if (config_.row_loss_rate > 0.0 && InWindow(config_.degraded, hour)) {
+      util::Rng rng(util::HashAll(
+          config_.seed, static_cast<std::uint64_t>(FaultStream::kRowLoss),
+          static_cast<std::uint64_t>(hour)));
+      thinned.reserve(rows.size());
+      for (const auto& row : rows) {
+        if (!rng.NextBool(config_.row_loss_rate)) thinned.push_back(row);
+      }
+      rows_dropped_ += rows.size() - thinned.size();
+      surviving = thinned;
+    }
+    if (held.has_value()) {
+      // Deliver the partner first, then the held hour: a pairwise swap.
+      ++hours_reordered_;
+      Deliver(hour, surviving, sink);
+      Deliver(held->first, held->second, sink);
+      held.reset();
+      return;
+    }
+    if (Chance(config_.seed, FaultStream::kReorder, hour,
+               config_.reorder_rate)) {
+      held.emplace(hour, std::vector<pipeline::AggRow>(surviving.begin(),
+                                                       surviving.end()));
+      return;
+    }
+    Deliver(hour, surviving, sink);
+  });
+  if (held.has_value()) {
+    ++hours_reordered_;
+    Deliver(held->first, held->second, sink);
+  }
+}
+
+RecoveredRows ReadRowFileBytes(const std::string& bytes) {
+  RecoveredRows recovered;
+  std::istringstream in(bytes);
+  pipeline::RowFileReader reader(in);
+  while (auto block = reader.ReadHour()) {
+    recovered.total_rows += block->rows.size();
+    recovered.blocks.push_back(std::move(*block));
+  }
+  recovered.status = reader.status();
+  return recovered;
+}
+
+std::string FlipBit(std::string bytes, std::size_t byte_index,
+                    int bit_index) {
+  if (byte_index < bytes.size()) {
+    bytes[byte_index] = static_cast<char>(
+        static_cast<unsigned char>(bytes[byte_index]) ^
+        (1u << (bit_index & 7)));
+  }
+  return bytes;
+}
+
+}  // namespace tipsy::scenario

@@ -1,0 +1,106 @@
+// Telemetry fault injection for robustness experiments.
+//
+// The paper's pipeline runs on infrastructure that fails in specific,
+// observed ways: collectors crash and lose hours of IPFIX, archives get
+// truncated mid-hour, deliveries duplicate or arrive out of order, and a
+// training day can be partially captured. This harness reproduces each
+// fault class between a RowSource and its consumer (DailyRetrainer, CMS,
+// experiment driver), deterministically from a seed, so bench_degradation
+// can measure how much accuracy each class costs and the scenario tests
+// can assert the degraded-mode contract (serve last-good, FRESH -> STALE
+// -> FRESH).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pipeline/storage.h"
+#include "scenario/scenario.h"
+#include "util/status.h"
+
+namespace tipsy::scenario {
+
+struct FaultScheduleConfig {
+  std::uint64_t seed = 0xfa17;
+  // Collector crash windows: every hour inside is dropped entirely.
+  std::vector<util::HourRange> collector_down;
+  // Partial capture: inside these windows, each row is independently
+  // dropped with `row_loss_rate` probability (a day whose hours all fall
+  // in a window becomes a partial training day).
+  std::vector<util::HourRange> degraded;
+  double row_loss_rate = 0.0;
+  // Each surviving hour is delivered twice with this probability
+  // (at-least-once collectors re-exporting after a wobble).
+  double duplicate_hour_rate = 0.0;
+  // Adjacent surviving hours are swapped with this probability
+  // (out-of-order delivery through a queued transport).
+  double reorder_rate = 0.0;
+};
+
+// Wraps a RowSource and injects the configured faults into the stream.
+// Deterministic: the fate of hour H depends only on (seed, H).
+class FaultInjectingRowSource : public RowSource {
+ public:
+  FaultInjectingRowSource(RowSource& inner, FaultScheduleConfig config);
+
+  void StreamHours(util::HourRange range, const RowSink& sink) override;
+
+  [[nodiscard]] const wan::Wan& wan() const override {
+    return inner_->wan();
+  }
+  [[nodiscard]] const geo::MetroCatalogue& metros() const override {
+    return inner_->metros();
+  }
+  [[nodiscard]] const OutageSchedule& outages() const override {
+    return inner_->outages();
+  }
+  [[nodiscard]] std::size_t EstimatedRows(
+      util::HourRange range) const override {
+    return inner_->EstimatedRows(range);
+  }
+
+  // --- Injection tallies (cumulative over StreamHours calls).
+  [[nodiscard]] std::size_t hours_dropped() const { return hours_dropped_; }
+  [[nodiscard]] std::size_t rows_dropped() const { return rows_dropped_; }
+  [[nodiscard]] std::size_t hours_duplicated() const {
+    return hours_duplicated_;
+  }
+  [[nodiscard]] std::size_t hours_reordered() const {
+    return hours_reordered_;
+  }
+
+ private:
+  [[nodiscard]] bool InWindow(const std::vector<util::HourRange>& windows,
+                              util::HourIndex hour) const;
+  // Delivers one (possibly thinned) hour, handling duplication.
+  void Deliver(util::HourIndex hour,
+               std::span<const pipeline::AggRow> rows, const RowSink& sink);
+
+  RowSource* inner_;
+  FaultScheduleConfig config_;
+  std::size_t hours_dropped_ = 0;
+  std::size_t rows_dropped_ = 0;
+  std::size_t hours_duplicated_ = 0;
+  std::size_t hours_reordered_ = 0;
+};
+
+// --- Archive corruption helpers (for the truncated / bit-flipped row
+// file fault classes and the byte-flip fuzz tests).
+
+// Reads as many intact hour blocks as possible from (possibly corrupted)
+// row-file bytes. `status` reports why reading stopped - OK at clean EOF,
+// else the typed corruption/truncation reason. This is the recovery
+// behaviour an offline trainer uses on a damaged archive: train on the
+// verified prefix, surface the reason for the rest.
+struct RecoveredRows {
+  std::vector<pipeline::RowFileReader::HourBlock> blocks;
+  std::size_t total_rows = 0;
+  util::Status status;
+};
+[[nodiscard]] RecoveredRows ReadRowFileBytes(const std::string& bytes);
+
+// Returns `bytes` with bit `bit_index` (0-7) of byte `byte_index` flipped.
+[[nodiscard]] std::string FlipBit(std::string bytes, std::size_t byte_index,
+                                  int bit_index);
+
+}  // namespace tipsy::scenario

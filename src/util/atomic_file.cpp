@@ -1,0 +1,87 @@
+#include "util/atomic_file.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#define TIPSY_HAVE_FSYNC 1
+#endif
+
+namespace tipsy::util {
+namespace {
+
+std::string ErrnoMessage(const char* op, const std::string& path) {
+  std::string msg(op);
+  msg += " '";
+  msg += path;
+  msg += "': ";
+  msg += std::strerror(errno);
+  return msg;
+}
+
+// Flushes file contents to stable storage. Without fsync a power loss
+// after rename can still surface an empty file on some filesystems.
+Status SyncPath(const std::string& path) {
+#ifdef TIPSY_HAVE_FSYNC
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::IoError(ErrnoMessage("open-for-fsync", path));
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return Status::IoError(ErrnoMessage("fsync", path));
+#else
+  (void)path;
+#endif
+  return Status::Ok();
+}
+
+std::string DirectoryOf(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+Status WriteFileAtomic(const std::string& path, std::string_view contents) {
+  if (path.empty()) return Status::InvalidArgument("empty path");
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IoError(ErrnoMessage("create", tmp));
+    out.write(contents.data(),
+              static_cast<std::streamsize>(contents.size()));
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      return Status::IoError(ErrnoMessage("write", tmp));
+    }
+  }
+  if (auto status = SyncPath(tmp); !status.ok()) {
+    std::remove(tmp.c_str());
+    return status;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError(ErrnoMessage("rename", path));
+  }
+  // Persist the rename itself (directory entry).
+  (void)SyncPath(DirectoryOf(path));
+  return Status::Ok();
+}
+
+StatusOr<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError(ErrnoMessage("open", path));
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::IoError(ErrnoMessage("read", path));
+  return buffer.str();
+}
+
+}  // namespace tipsy::util

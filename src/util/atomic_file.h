@@ -1,0 +1,28 @@
+// Crash-safe file persistence.
+//
+// The daily training job writes a new model bundle while the serving path
+// still reads the old one; a crash mid-write must never leave a
+// half-written bundle where the serving path (or the next restart) will
+// find it. WriteFileAtomic implements the standard recipe: write a
+// temporary sibling, flush + fsync it, then rename(2) over the target —
+// readers observe either the complete old file or the complete new one,
+// never a prefix.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace tipsy::util {
+
+// Atomically replaces `path` with `contents`. The temporary lives in the
+// same directory (rename is only atomic within a filesystem). On any
+// failure the temporary is removed and `path` is untouched.
+[[nodiscard]] Status WriteFileAtomic(const std::string& path,
+                                     std::string_view contents);
+
+// Whole-file read; kIoError when the file cannot be opened or read.
+[[nodiscard]] StatusOr<std::string> ReadFileToString(const std::string& path);
+
+}  // namespace tipsy::util

@@ -1,0 +1,68 @@
+// CRC-32C (Castagnoli) integrity checksums for persistent artifacts.
+//
+// Model bundles and row files cross process (training job -> serving
+// path) and machine (archive) boundaries; a crash mid-save or a flipped
+// bit in transit must be *detected*, never silently trained on or served
+// (§2's incident is exactly a bad input driving a bad traffic action).
+// Software table-driven CRC-32C: the table is built constexpr, the
+// incremental interface lets writers checksum sections as they stream.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace tipsy::util {
+
+namespace detail {
+
+// Reflected CRC-32C polynomial.
+inline constexpr std::uint32_t kCrc32cPoly = 0x82f63b78u;
+
+constexpr std::array<std::uint32_t, 256> MakeCrc32cTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? kCrc32cPoly : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32cTable =
+    MakeCrc32cTable();
+
+}  // namespace detail
+
+// Incremental CRC-32C accumulator.
+class Crc32c {
+ public:
+  void Update(const void* data, std::size_t size) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    std::uint32_t crc = state_;
+    for (std::size_t i = 0; i < size; ++i) {
+      crc = (crc >> 8) ^ detail::kCrc32cTable[(crc ^ bytes[i]) & 0xffu];
+    }
+    state_ = crc;
+  }
+  void Update(std::string_view bytes) { Update(bytes.data(), bytes.size()); }
+
+  [[nodiscard]] std::uint32_t Digest() const { return ~state_; }
+
+  void Reset() { state_ = ~0u; }
+
+  // One-shot convenience.
+  [[nodiscard]] static std::uint32_t Of(std::string_view bytes) {
+    Crc32c crc;
+    crc.Update(bytes);
+    return crc.Digest();
+  }
+
+ private:
+  std::uint32_t state_ = ~0u;
+};
+
+}  // namespace tipsy::util

@@ -1,0 +1,154 @@
+// Exceptions-free error taxonomy for the operational plane.
+//
+// TIPSY runs online (§4): models move between training jobs and serving
+// paths as files, telemetry archives get truncated by collector crashes,
+// and a retrain can fail outright. A bare nullopt/bool tells the operator
+// nothing; prediction-driven traffic engineering needs to know *why* a
+// load failed before deciding whether to serve the last-good model or
+// page someone. Status/StatusOr carry a typed code plus a human-readable
+// message through every fallible load/save/retrain path.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace tipsy::util {
+
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  // Persistent artifact failures.
+  kCorrupt,          // checksum mismatch, bad magic, impossible lengths
+  kVersionMismatch,  // recognized container, unsupported format version
+  kTruncated,        // stream ended mid-record (crash mid-save, partial copy)
+  kIoError,          // the OS said no (open/write/fsync/rename)
+  // Operational-plane failures.
+  kStaleModel,       // model exists but is past its validity horizon
+  kNoData,           // nothing to train/serve from (empty window, missing day)
+  kInvalidArgument,  // caller error (bad path, bad config)
+  kUnavailable,      // transient: dependency not ready, retry may succeed
+};
+
+[[nodiscard]] constexpr std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kCorrupt: return "CORRUPT";
+    case StatusCode::kVersionMismatch: return "VERSION_MISMATCH";
+    case StatusCode::kTruncated: return "TRUNCATED";
+    case StatusCode::kIoError: return "IO_ERROR";
+    case StatusCode::kStaleModel: return "STALE_MODEL";
+    case StatusCode::kNoData: return "NO_DATA";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+  }
+  return "UNKNOWN";
+}
+
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status Corrupt(std::string msg) {
+    return Status(StatusCode::kCorrupt, std::move(msg));
+  }
+  static Status VersionMismatch(std::string msg) {
+    return Status(StatusCode::kVersionMismatch, std::move(msg));
+  }
+  static Status Truncated(std::string msg) {
+    return Status(StatusCode::kTruncated, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status StaleModel(std::string msg) {
+    return Status(StatusCode::kStaleModel, std::move(msg));
+  }
+  static Status NoData(std::string msg) {
+    return Status(StatusCode::kNoData, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  [[nodiscard]] std::string ToString() const {
+    if (ok()) return "OK";
+    std::string out(StatusCodeName(code_));
+    if (!message_.empty()) {
+      out += ": ";
+      out += message_;
+    }
+    return out;
+  }
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+// Either a value or a non-OK Status. The value is only accessible when
+// ok(); dereferencing an errored StatusOr is a programming error (asserted
+// in debug builds, like std::optional).
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  // Implicit from a value (the common success return).
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+  // Implicit from a non-OK Status (the common error return).
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "StatusOr constructed from OK without a value");
+    if (status_.ok()) {
+      status_ = Status(StatusCode::kInvalidArgument,
+                       "StatusOr constructed from OK status");
+    }
+  }
+
+  [[nodiscard]] bool ok() const { return value_.has_value(); }
+  [[nodiscard]] const Status& status() const { return status_; }
+
+  [[nodiscard]] T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  [[nodiscard]] const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  [[nodiscard]] T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  T* operator->() {
+    assert(ok());
+    return &*value_;
+  }
+  const T* operator->() const {
+    assert(ok());
+    return &*value_;
+  }
+
+ private:
+  Status status_;  // OK iff value_ holds a value
+  std::optional<T> value_;
+};
+
+}  // namespace tipsy::util

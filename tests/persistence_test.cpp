@@ -52,7 +52,7 @@ TEST(ModelSerialization, RoundTripPreservesPredictions) {
   std::stringstream buffer;
   core::SaveModel(model, buffer);
   const auto restored = core::LoadModel(buffer);
-  ASSERT_TRUE(restored.has_value());
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
   EXPECT_EQ(restored->feature_set(), core::FeatureSet::kAP);
   EXPECT_EQ(restored->tuple_count(), model.tuple_count());
   EXPECT_EQ(restored->max_links_per_tuple(), 8u);
@@ -70,7 +70,9 @@ TEST(ModelSerialization, RoundTripPreservesPredictions) {
 
 TEST(ModelSerialization, RejectsGarbageAndTruncation) {
   std::stringstream garbage("not a model at all");
-  EXPECT_FALSE(core::LoadModel(garbage).has_value());
+  const auto garbage_result = core::LoadModel(garbage);
+  EXPECT_FALSE(garbage_result.ok());
+  EXPECT_EQ(garbage_result.status().code(), util::StatusCode::kCorrupt);
 
   core::HistoricalModel model(core::FeatureSet::kA);
   model.Add(MakeRow(MakeFlow(1, 2, 3), 0, 100));
@@ -79,7 +81,9 @@ TEST(ModelSerialization, RejectsGarbageAndTruncation) {
   core::SaveModel(model, buffer);
   const std::string full = buffer.str();
   std::stringstream truncated(full.substr(0, full.size() - 4));
-  EXPECT_FALSE(core::LoadModel(truncated).has_value());
+  const auto truncated_result = core::LoadModel(truncated);
+  EXPECT_FALSE(truncated_result.ok());
+  EXPECT_EQ(truncated_result.status().code(), util::StatusCode::kTruncated);
 }
 
 TEST(ModelSerialization, EmptyModelRoundTrips) {
@@ -88,7 +92,7 @@ TEST(ModelSerialization, EmptyModelRoundTrips) {
   std::stringstream buffer;
   core::SaveModel(model, buffer);
   const auto restored = core::LoadModel(buffer);
-  ASSERT_TRUE(restored.has_value());
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
   EXPECT_EQ(restored->tuple_count(), 0u);
   EXPECT_TRUE(restored->Predict(MakeFlow(1, 2, 3), 3, nullptr).empty());
 }
@@ -111,19 +115,19 @@ TEST(ServiceSerialization, BundleRoundTripsThroughDisk) {
   core::SaveService(service, buffer);
   const auto restored =
       core::LoadService(buffer, &wan, &topology.metros);
-  ASSERT_NE(restored, nullptr);
-  EXPECT_TRUE(restored->trained());
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_TRUE((*restored)->trained());
   // The full registry (minus NB) is reconstructed.
   for (const char* name : {"Hist_A", "Hist_AP", "Hist_AL", "Hist_AL+G",
                            "Hist_AP/AL/A", "Hist_AL/AP/A"}) {
-    EXPECT_NE(restored->Find(name), nullptr) << name;
+    EXPECT_NE((*restored)->Find(name), nullptr) << name;
   }
   // Identical predictions, including through the ensembles.
   for (std::uint32_t f = 0; f < 30; ++f) {
     const auto flow = MakeFlow(f % 5, f, f % 4);
     for (const char* name : {"Hist_AP", "Hist_AL+G", "Hist_AP/AL/A"}) {
       const auto original = service.Find(name)->Predict(flow, 3, nullptr);
-      const auto loaded = restored->Find(name)->Predict(flow, 3, nullptr);
+      const auto loaded = (*restored)->Find(name)->Predict(flow, 3, nullptr);
       ASSERT_EQ(original.size(), loaded.size()) << name;
       for (std::size_t i = 0; i < original.size(); ++i) {
         EXPECT_EQ(original[i].link, loaded[i].link);

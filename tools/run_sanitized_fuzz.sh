@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Byte-flip corruption fuzz under AddressSanitizer.
+#
+# Configures a dedicated build tree with -DTIPSY_SANITIZE=address and runs
+# the persistence format tests plus the robustness suite (which includes
+# the exhaustive single-byte-flip sweeps over the model bundle and row
+# file formats). Every mutation must either load bit-identically or fail
+# with a typed Status - never crash, leak, or over-allocate; ASan turns
+# any violation into a hard failure.
+#
+#   tools/run_sanitized_fuzz.sh [address|undefined|thread]
+set -euo pipefail
+
+SANITIZER="${1:-address}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${ROOT}/build-${SANITIZER}"
+
+cmake -B "${BUILD}" -S "${ROOT}" -DTIPSY_SANITIZE="${SANITIZER}" \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "${BUILD}" -j --target robustness_test persistence_test
+
+echo "=== robustness_test (byte-flip fuzz) under ${SANITIZER} sanitizer ==="
+"${BUILD}/tests/robustness_test"
+echo "=== persistence_test under ${SANITIZER} sanitizer ==="
+"${BUILD}/tests/persistence_test"
+echo "OK: no sanitizer findings"
