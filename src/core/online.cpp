@@ -1,6 +1,9 @@
 #include "core/online.h"
 
 #include <cassert>
+#include <sstream>
+
+#include "core/serialize.h"
 
 namespace tipsy::core {
 
@@ -144,6 +147,66 @@ ModelHealth DailyRetrainer::health() const {
   if (age <= policy_.stale_after_days) return ModelHealth::kFresh;
   if (age <= policy_.expire_after_days) return ModelHealth::kStale;
   return ModelHealth::kExpired;
+}
+
+RetrainerState DailyRetrainer::ExportState() const {
+  RetrainerState state;
+  state.days.reserve(days_.size());
+  for (const auto& day : days_) {
+    state.days.push_back(
+        RetrainerState::Day{day.day, day.hours_seen, day.last_hour, day.rows});
+  }
+  state.last_observed_hour = last_observed_hour_;
+  state.last_day = last_day_;
+  state.trained_through_day = trained_through_day_;
+  state.retrain_count = retrain_count_;
+  state.retrain_failures = retrain_failures_;
+  state.consecutive_failures = consecutive_failures_;
+  state.dropped_hours = dropped_hours_;
+  state.missing_days = missing_days_;
+  state.partial_days = partial_days_;
+  state.pending_retries = pending_retries_;
+  if (current_ != nullptr) {
+    std::ostringstream bundle;
+    SaveService(*current_, bundle);
+    state.model_bundle = bundle.str();
+  }
+  return state;
+}
+
+util::Status DailyRetrainer::RestoreState(const RetrainerState& state) {
+  if (config_.train_naive_bayes) {
+    return util::Status::InvalidArgument(
+        "snapshot/restore supports the production configuration only; "
+        "Naive Bayes tables are not persisted in the bundle");
+  }
+  // Validate the bundle before touching anything, so a damaged snapshot
+  // leaves the retrainer serving whatever it was serving.
+  std::unique_ptr<TipsyService> restored;
+  if (!state.model_bundle.empty()) {
+    std::istringstream in(state.model_bundle);
+    auto loaded = LoadService(in, wan_, metros_, config_);
+    if (!loaded.ok()) return loaded.status();
+    restored = *std::move(loaded);
+  }
+  days_.clear();
+  for (const auto& day : state.days) {
+    days_.push_back(DayBuffer{day.day, day.rows, day.hours_seen,
+                              day.last_hour});
+  }
+  last_observed_hour_ = state.last_observed_hour;
+  last_day_ = state.last_day;
+  trained_through_day_ = state.trained_through_day;
+  retrain_count_ = static_cast<std::size_t>(state.retrain_count);
+  retrain_failures_ = static_cast<std::size_t>(state.retrain_failures);
+  consecutive_failures_ =
+      static_cast<std::size_t>(state.consecutive_failures);
+  dropped_hours_ = static_cast<std::size_t>(state.dropped_hours);
+  missing_days_ = static_cast<std::size_t>(state.missing_days);
+  partial_days_ = static_cast<std::size_t>(state.partial_days);
+  pending_retries_ = state.pending_retries;
+  current_ = std::move(restored);
+  return util::Status::Ok();
 }
 
 ServiceHealth DailyRetrainer::health_snapshot() const {

@@ -83,6 +83,40 @@ struct ServiceHealth {
   std::size_t dropped_hours = 0;        // out-of-order deliveries dropped
   std::size_t missing_days = 0;         // day gaps in the ingest stream
   std::size_t partial_days = 0;         // completed days with missing hours
+
+  friend bool operator==(const ServiceHealth&,
+                         const ServiceHealth&) = default;
+};
+
+// Plain-data mirror of a DailyRetrainer's complete serving state: the
+// ingest clock, the buffered day window (rows verbatim, in arrival
+// order), every health counter, and the last-good model serialized
+// through core::SaveService. The HA layer (src/ha/snapshot) checkpoints
+// this struct so a replica can warm-start and then continue
+// bit-identically to the retrainer that exported it.
+struct RetrainerState {
+  struct Day {
+    util::HourIndex day = 0;
+    int hours_seen = 0;
+    util::HourIndex last_hour = std::numeric_limits<util::HourIndex>::min();
+    std::vector<pipeline::AggRow> rows;
+  };
+  std::vector<Day> days;
+  util::HourIndex last_observed_hour =
+      std::numeric_limits<util::HourIndex>::min();
+  util::HourIndex last_day = std::numeric_limits<util::HourIndex>::min();
+  util::HourIndex trained_through_day =
+      std::numeric_limits<util::HourIndex>::min();
+  std::uint64_t retrain_count = 0;
+  std::uint64_t retrain_failures = 0;
+  std::uint64_t consecutive_failures = 0;
+  std::uint64_t dropped_hours = 0;
+  std::uint64_t missing_days = 0;
+  std::uint64_t partial_days = 0;
+  int pending_retries = 0;
+  // core::SaveService bytes of the last-good model; empty when nothing
+  // has been trained yet.
+  std::string model_bundle;
 };
 
 class DailyRetrainer {
@@ -125,6 +159,20 @@ class DailyRetrainer {
   // --- Health.
   [[nodiscard]] ModelHealth health() const;
   [[nodiscard]] ServiceHealth health_snapshot() const;
+
+  // --- Snapshot/restore (HA warm-start).
+  // Captures the complete serving state; Restore on a freshly constructed
+  // retrainer (same wan/metros/window/config/policy) reproduces it
+  // exactly, after which ingest, retrains and health evolve
+  // bit-identically to the exporter. Only the production configuration is
+  // supported: Naive Bayes tables are not part of the persisted bundle
+  // (they are an evaluation baseline, not a serving model).
+  [[nodiscard]] RetrainerState ExportState() const;
+  // Replaces this retrainer's entire state. The last-good model is
+  // rebuilt from state.model_bundle and validated first (typed
+  // kCorrupt/kTruncated on damage); on any failure the retrainer is left
+  // untouched.
+  [[nodiscard]] util::Status RestoreState(const RetrainerState& state);
 
   // Fault injection for tests and the degradation harness: when set and
   // returning true for a day index, the retrain attempt at that boundary

@@ -1,0 +1,223 @@
+#include "ha/journal.h"
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+#include "util/atomic_file.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#define TIPSY_HA_HAVE_FSYNC 1
+#endif
+
+namespace tipsy::ha {
+namespace {
+
+constexpr char kJournalMagic[8] = {'T', 'I', 'P', 'S', 'Y', 'H', 'J', '1'};
+
+std::string ErrnoMessage(const char* op, const std::string& path) {
+  std::string msg(op);
+  msg += " '";
+  msg += path;
+  msg += "': ";
+  msg += std::strerror(errno);
+  return msg;
+}
+
+util::Status SyncFile(std::FILE* file, const std::string& path) {
+#ifdef TIPSY_HA_HAVE_FSYNC
+  if (::fsync(::fileno(file)) != 0) {
+    return util::Status::IoError(ErrnoMessage("fsync", path));
+  }
+#else
+  (void)file;
+  (void)path;
+#endif
+  return util::Status::Ok();
+}
+
+}  // namespace
+
+std::string EncodeJournalRecord(const JournalRecord& record) {
+  std::ostringstream payload;
+  pipeline::PutVarint(payload, static_cast<std::uint64_t>(record.kind));
+  pipeline::PutVarint(payload, record.seq);
+  pipeline::EncodeRowsVerbatim(payload, record.rows);
+  std::ostringstream frame;
+  pipeline::WriteV2Frame(frame, record.hour, record.rows.size(),
+                         payload.str());
+  return frame.str();
+}
+
+util::StatusOr<JournalRecovery> RecoverJournalBytes(std::string_view bytes) {
+  JournalRecovery recovery;
+  if (bytes.size() < sizeof(kJournalMagic)) {
+    // A crash during the initial create: nothing durable was promised
+    // yet, so the stub is torn and the journal restarts from scratch.
+    recovery.torn_bytes = bytes.size();
+    if (!bytes.empty()) {
+      recovery.tail_status =
+          util::Status::Truncated("journal shorter than its magic");
+    }
+    return recovery;
+  }
+  if (std::memcmp(bytes.data(), kJournalMagic, sizeof(kJournalMagic)) != 0) {
+    if (std::memcmp(bytes.data(), kJournalMagic,
+                    sizeof(kJournalMagic) - 1) == 0) {
+      return util::Status::VersionMismatch(
+          "unsupported journal format version byte");
+    }
+    return util::Status::Corrupt("bad journal magic");
+  }
+  recovery.verified_bytes = sizeof(kJournalMagic);
+  std::istringstream in(std::string(bytes.substr(sizeof(kJournalMagic))));
+  while (in.peek() != std::char_traits<char>::eof()) {
+    auto frame = pipeline::ReadV2Frame(in);
+    if (!frame.ok()) {
+      recovery.tail_status = frame.status();
+      break;
+    }
+    JournalRecord record;
+    record.hour = frame->hour;
+    std::size_t pos = 0;
+    const auto kind = pipeline::GetVarint(frame->payload, pos);
+    const auto seq = pipeline::GetVarint(frame->payload, pos);
+    if (!kind || !seq || *kind > 1) {
+      recovery.tail_status =
+          util::Status::Corrupt("journal record header is malformed");
+      break;
+    }
+    record.kind = static_cast<JournalRecordKind>(*kind);
+    record.seq = *seq;
+    if (record.seq != recovery.records.size()) {
+      // Sequence numbers are contiguous from zero by construction; a gap
+      // means records were lost or spliced — stop at the verified prefix.
+      recovery.tail_status = util::Status::Corrupt(
+          "journal sequence gap: record " +
+          std::to_string(recovery.records.size()) + " carries seq " +
+          std::to_string(record.seq));
+      break;
+    }
+    if (record.kind == JournalRecordKind::kHeartbeat && frame->count != 0) {
+      recovery.tail_status =
+          util::Status::Corrupt("heartbeat record carries rows");
+      break;
+    }
+    if (!pipeline::DecodeRowsVerbatim(frame->payload, pos, frame->count,
+                                      record.rows) ||
+        pos != frame->payload.size()) {
+      recovery.tail_status = util::Status::Corrupt(
+          "journal record " + std::to_string(record.seq) +
+          " payload is malformed");
+      break;
+    }
+    recovery.records.push_back(std::move(record));
+    recovery.verified_bytes =
+        sizeof(kJournalMagic) + static_cast<std::size_t>(in.tellg());
+  }
+  recovery.torn_bytes = bytes.size() - recovery.verified_bytes;
+  return recovery;
+}
+
+util::StatusOr<Journal> Journal::Open(std::string path, bool fsync_appends) {
+  Journal journal;
+  journal.path_ = std::move(path);
+  journal.fsync_appends_ = fsync_appends;
+
+  auto bytes = util::ReadFileToString(journal.path_);
+  if (bytes.ok()) {
+    auto recovery = RecoverJournalBytes(*bytes);
+    if (!recovery.ok()) return recovery.status();
+    journal.recovered_ = *std::move(recovery);
+  }
+  // Missing file (first open) falls through with an empty recovery.
+
+  if (journal.recovered_.verified_bytes < sizeof(kJournalMagic)) {
+    // New journal (or torn initial create): write the magic atomically so
+    // a crash here leaves either nothing or a valid empty journal.
+    if (auto status = util::WriteFileAtomic(
+            journal.path_,
+            std::string_view(kJournalMagic, sizeof(kJournalMagic)));
+        !status.ok()) {
+      return status;
+    }
+    journal.recovered_.verified_bytes = sizeof(kJournalMagic);
+  } else if (journal.recovered_.torn_bytes > 0) {
+    // Truncate the torn tail on disk so appends land on verified bytes.
+#ifdef TIPSY_HA_HAVE_FSYNC
+    if (::truncate(journal.path_.c_str(),
+                   static_cast<off_t>(journal.recovered_.verified_bytes)) !=
+        0) {
+      return util::Status::IoError(
+          ErrnoMessage("truncate torn tail of", journal.path_));
+    }
+#else
+    auto intact = util::ReadFileToString(journal.path_);
+    if (!intact.ok()) return intact.status();
+    intact->resize(journal.recovered_.verified_bytes);
+    if (auto status = util::WriteFileAtomic(journal.path_, *intact);
+        !status.ok()) {
+      return status;
+    }
+#endif
+  }
+
+  journal.file_ = std::fopen(journal.path_.c_str(), "ab");
+  if (journal.file_ == nullptr) {
+    return util::Status::IoError(
+        ErrnoMessage("open-for-append", journal.path_));
+  }
+  journal.next_seq_ = journal.recovered_.records.size();
+  return journal;
+}
+
+Journal::Journal(Journal&& other) noexcept
+    : path_(std::move(other.path_)),
+      fsync_appends_(other.fsync_appends_),
+      file_(other.file_),
+      recovered_(std::move(other.recovered_)),
+      next_seq_(other.next_seq_) {
+  other.file_ = nullptr;
+}
+
+Journal& Journal::operator=(Journal&& other) noexcept {
+  if (this != &other) {
+    if (file_ != nullptr) std::fclose(file_);
+    path_ = std::move(other.path_);
+    fsync_appends_ = other.fsync_appends_;
+    file_ = other.file_;
+    recovered_ = std::move(other.recovered_);
+    next_seq_ = other.next_seq_;
+    other.file_ = nullptr;
+  }
+  return *this;
+}
+
+Journal::~Journal() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+util::StatusOr<std::uint64_t> Journal::Append(
+    JournalRecordKind kind, util::HourIndex hour,
+    std::span<const pipeline::AggRow> rows) {
+  if (file_ == nullptr) {
+    return util::Status::InvalidArgument("journal is not open");
+  }
+  JournalRecord record;
+  record.seq = next_seq_;
+  record.kind = kind;
+  record.hour = hour;
+  record.rows.assign(rows.begin(), rows.end());
+  const std::string frame = EncodeJournalRecord(record);
+  if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size() ||
+      std::fflush(file_) != 0) {
+    return util::Status::IoError(ErrnoMessage("append to", path_));
+  }
+  if (fsync_appends_) {
+    if (auto status = SyncFile(file_, path_); !status.ok()) return status;
+  }
+  return next_seq_++;
+}
+
+}  // namespace tipsy::ha

@@ -1,0 +1,112 @@
+// Append-only hour journal: the durability substrate of the HA serving
+// plane.
+//
+// A serving replica journals every DailyRetrainer ingest (and every
+// heartbeat) before applying it, so the exact ingest stream — including
+// the out-of-order deliveries the retrainer drops-and-counts — can be
+// replayed bit-identically after a crash. Records reuse the v2 hour-block
+// framing from pipeline/storage (varint header + CRC-32C + payload); the
+// payload carries a record kind, a contiguous sequence number and the
+// rows encoded verbatim (arrival order and per-row hours preserved).
+//
+// On-disk layout:   "TIPSYHJ1" | frame | frame | ...
+//   frame payload:  varint kind (0=ingest, 1=heartbeat) | varint seq |
+//                   rows verbatim (frame.count of them; 0 for heartbeats)
+//
+// Recovery semantics mirror the PR 2 archive formats: the journal is read
+// record by record until the first damaged frame; everything before it is
+// the *verified prefix* (bit-honest, usable), everything after is the
+// torn tail a crash mid-append leaves behind, truncated away on open so
+// the next append lands on verified bytes. A short file (shorter than the
+// magic) is a torn initial create and is rewritten; a *wrong* magic is a
+// typed kCorrupt — the file is something else and must not be clobbered.
+#pragma once
+
+#include <cstdio>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "pipeline/storage.h"
+#include "util/status.h"
+
+namespace tipsy::ha {
+
+inline constexpr int kJournalFormatVersion = 1;  // magic "TIPSYHJ1"
+
+enum class JournalRecordKind : std::uint8_t {
+  kIngest = 0,     // an Ingest(hour, rows) call
+  kHeartbeat = 1,  // an AdvanceTo(hour) clock tick (no rows)
+};
+
+struct JournalRecord {
+  std::uint64_t seq = 0;
+  JournalRecordKind kind = JournalRecordKind::kIngest;
+  util::HourIndex hour = 0;
+  std::vector<pipeline::AggRow> rows;  // empty for heartbeats
+};
+
+// One record encoded as a framed journal entry (exposed for the chaos
+// harness and tests, which build damaged journals byte by byte).
+[[nodiscard]] std::string EncodeJournalRecord(const JournalRecord& record);
+
+struct JournalRecovery {
+  std::vector<JournalRecord> records;
+  // Bytes (including the magic) that passed every checksum; the file is
+  // truncated to this length on open when a tail was torn.
+  std::size_t verified_bytes = 0;
+  std::size_t torn_bytes = 0;  // bytes discarded past the verified prefix
+  // OK when the journal ended cleanly; otherwise why recovery stopped
+  // (kTruncated for a torn tail, kCorrupt for bit rot / a sequence gap).
+  util::Status tail_status;
+};
+
+// Parses journal bytes up to the first damaged record. Returns a non-OK
+// status only when the magic itself is wrong (kCorrupt) or names an
+// unsupported version (kVersionMismatch) — then nothing in the file can
+// be trusted. An empty or shorter-than-magic buffer recovers to zero
+// records with the stub counted as torn.
+[[nodiscard]] util::StatusOr<JournalRecovery> RecoverJournalBytes(
+    std::string_view bytes);
+
+class Journal {
+ public:
+  // Opens (creating if missing) the journal at `path`. An existing file
+  // is recovered record by record and a torn tail is truncated away on
+  // disk. `fsync_appends` trades append latency for the guarantee that an
+  // acknowledged record survives power loss.
+  [[nodiscard]] static util::StatusOr<Journal> Open(
+      std::string path, bool fsync_appends = true);
+
+  Journal(Journal&& other) noexcept;
+  Journal& operator=(Journal&& other) noexcept;
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+  ~Journal();
+
+  // Appends one record; the returned seq is contiguous from the recovered
+  // prefix. The record is flushed (and fsynced when configured) before
+  // returning — a non-OK status means it must not be treated as durable.
+  [[nodiscard]] util::StatusOr<std::uint64_t> Append(
+      JournalRecordKind kind, util::HourIndex hour,
+      std::span<const pipeline::AggRow> rows);
+
+  // What Open() recovered (the records are kept for warm-start replay).
+  [[nodiscard]] const JournalRecovery& recovered() const {
+    return recovered_;
+  }
+  [[nodiscard]] std::uint64_t next_seq() const { return next_seq_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  Journal() = default;
+
+  std::string path_;
+  bool fsync_appends_ = true;
+  std::FILE* file_ = nullptr;
+  JournalRecovery recovered_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace tipsy::ha

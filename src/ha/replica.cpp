@@ -1,0 +1,149 @@
+#include "ha/replica.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace tipsy::ha {
+
+namespace {
+constexpr util::HourIndex kNoDay =
+    std::numeric_limits<util::HourIndex>::min();
+}  // namespace
+
+util::StatusOr<Replica> Replica::Open(const wan::Wan* wan,
+                                      const geo::MetroCatalogue* metros,
+                                      int window_days,
+                                      core::TipsyConfig config,
+                                      core::RetrainPolicy policy,
+                                      ReplicaConfig replica_config) {
+  auto journal = Journal::Open(replica_config.journal_path,
+                               replica_config.fsync_appends);
+  if (!journal.ok()) return journal.status();
+
+  Replica replica(
+      core::DailyRetrainer(wan, metros, window_days, config, policy),
+      *std::move(journal), std::move(replica_config));
+  replica.recovery_.journal_tail_status =
+      replica.journal_.recovered().tail_status;
+
+  bool used_snapshot = false;
+  auto snapshot = LoadSnapshot(replica.config_.snapshot_path);
+  if (!snapshot.ok()) {
+    replica.recovery_.snapshot_status = snapshot.status();
+  } else if (snapshot->applied_seq > replica.journal_.next_seq()) {
+    // The snapshot claims records the journal does not hold: the journal
+    // lost durable bytes (or the files were mixed up). Trust the journal
+    // — it is the write-ahead source of truth — and rebuild from genesis.
+    replica.recovery_.snapshot_status = util::Status::Corrupt(
+        "snapshot applied_seq " + std::to_string(snapshot->applied_seq) +
+        " is ahead of the journal's " +
+        std::to_string(replica.journal_.next_seq()) + " records");
+  } else if (auto status =
+                 replica.retrainer_.RestoreState(snapshot->retrainer);
+             !status.ok()) {
+    replica.recovery_.snapshot_status = status;
+  } else {
+    replica.applied_seq_ = snapshot->applied_seq;
+    replica.last_applied_day_ = snapshot->retrainer.last_day;
+    used_snapshot = true;
+  }
+
+  const auto& records = replica.journal_.recovered().records;
+  for (const auto& record : records) {
+    if (record.seq < replica.applied_seq_) {
+      ++replica.recovery_.skipped_records;
+      continue;
+    }
+    replica.Apply(record);
+    ++replica.recovery_.replayed_records;
+  }
+
+  if (used_snapshot) {
+    replica.recovery_.source = RestoreSource::kSnapshotAndJournal;
+  } else if (records.empty()) {
+    replica.recovery_.source = RestoreSource::kColdStart;
+  } else {
+    replica.recovery_.source = RestoreSource::kJournalOnly;
+  }
+  return replica;
+}
+
+void Replica::Apply(const JournalRecord& record) {
+  if (record.kind == JournalRecordKind::kHeartbeat) {
+    retrainer_.AdvanceTo(record.hour);
+  } else {
+    retrainer_.Ingest(record.hour, record.rows);
+  }
+  applied_seq_ = record.seq + 1;
+  last_applied_day_ =
+      std::max(last_applied_day_, util::DayIndex(record.hour));
+}
+
+util::Status Replica::Ingest(util::HourIndex hour,
+                             std::span<const pipeline::AggRow> rows) {
+  auto seq = journal_.Append(JournalRecordKind::kIngest, hour, rows);
+  if (!seq.ok()) return seq.status();
+  JournalRecord record;
+  record.seq = *seq;
+  record.kind = JournalRecordKind::kIngest;
+  record.hour = hour;
+  record.rows.assign(rows.begin(), rows.end());
+  const bool crossed_day = last_applied_day_ != kNoDay &&
+                           util::DayIndex(hour) > last_applied_day_;
+  Apply(record);
+  if (crossed_day && config_.snapshot_on_day_boundary) {
+    return SnapshotNow();
+  }
+  return util::Status::Ok();
+}
+
+util::Status Replica::Heartbeat(util::HourIndex hour) {
+  auto seq = journal_.Append(JournalRecordKind::kHeartbeat, hour, {});
+  if (!seq.ok()) return seq.status();
+  JournalRecord record;
+  record.seq = *seq;
+  record.kind = JournalRecordKind::kHeartbeat;
+  record.hour = hour;
+  const bool crossed_day = last_applied_day_ != kNoDay &&
+                           util::DayIndex(hour) > last_applied_day_;
+  Apply(record);
+  if (crossed_day && config_.snapshot_on_day_boundary) {
+    return SnapshotNow();
+  }
+  return util::Status::Ok();
+}
+
+util::Status Replica::SnapshotNow() {
+  SnapshotState state;
+  state.retrainer = retrainer_.ExportState();
+  state.applied_seq = applied_seq_;
+  auto status = SaveSnapshot(config_.snapshot_path, state);
+  if (status.ok()) ++snapshots_taken_;
+  return status;
+}
+
+util::Status Replica::Replay(std::span<const JournalRecord> records) {
+  std::vector<const JournalRecord*> ordered;
+  ordered.reserve(records.size());
+  for (const auto& record : records) ordered.push_back(&record);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const JournalRecord* a, const JournalRecord* b) {
+                     return a->seq < b->seq;
+                   });
+  for (const JournalRecord* record : ordered) {
+    if (record->seq < applied_seq_) {
+      ++duplicate_records_skipped_;
+      continue;
+    }
+    if (record->seq > applied_seq_) {
+      return util::Status::Corrupt(
+          "replay sequence gap: expected seq " +
+          std::to_string(applied_seq_) + ", got " +
+          std::to_string(record->seq));
+    }
+    Apply(*record);
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace tipsy::ha

@@ -1,0 +1,138 @@
+// A serving replica: DailyRetrainer + journal + snapshot glued into one
+// crash-recoverable unit.
+//
+// Write path (journal-first): every Ingest/Heartbeat is appended to the
+// hour journal — and acknowledged durable — before it mutates the
+// retrainer, so the on-disk journal is always at or ahead of the applied
+// state and a crash between the two replays the record on restart
+// instead of losing it.
+//
+// Warm start (Open): recover the journal's verified prefix, load the
+// newest snapshot, restore it, then replay only the journal records with
+// seq >= the snapshot's applied_seq. Replay is seq-gated and therefore
+// idempotent: records already folded into the snapshot are
+// skipped-and-counted, duplicated or reordered deliveries collapse to
+// one application each, and a true sequence gap is a typed kCorrupt. A
+// damaged or missing snapshot degrades to a full replay from the
+// journal's genesis — slower, bit-identical all the same.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/online.h"
+#include "ha/journal.h"
+#include "ha/snapshot.h"
+#include "util/status.h"
+
+namespace tipsy::ha {
+
+struct ReplicaConfig {
+  std::string journal_path;
+  std::string snapshot_path;
+  // fsync every journal append (durability) — tests that hammer the
+  // journal turn this off; production keeps it on.
+  bool fsync_appends = true;
+  // Checkpoint automatically whenever ingest crosses a day boundary, so
+  // recovery replays at most one day of records.
+  bool snapshot_on_day_boundary = true;
+};
+
+// Where Open() got its state from, for operators and the failover bench.
+enum class RestoreSource : std::uint8_t {
+  kColdStart = 0,         // no snapshot, empty journal
+  kJournalOnly,           // snapshot absent/unusable: replayed from genesis
+  kSnapshotAndJournal,    // the fast path
+};
+
+[[nodiscard]] constexpr const char* RestoreSourceName(RestoreSource source) {
+  switch (source) {
+    case RestoreSource::kColdStart: return "COLD_START";
+    case RestoreSource::kJournalOnly: return "JOURNAL_ONLY";
+    case RestoreSource::kSnapshotAndJournal: return "SNAPSHOT_AND_JOURNAL";
+  }
+  return "UNKNOWN";
+}
+
+// What warm start did, for assertions and the bench's recovery report.
+struct ReplicaRecovery {
+  RestoreSource source = RestoreSource::kColdStart;
+  std::uint64_t replayed_records = 0;  // journal records applied on open
+  std::uint64_t skipped_records = 0;   // already inside the snapshot
+  // Why the snapshot was not used (OK when it was, or on a cold start).
+  util::Status snapshot_status;
+  // The journal's tail condition (kTruncated for a torn tail, etc).
+  util::Status journal_tail_status;
+};
+
+class Replica {
+ public:
+  // Opens (recovering or creating) the replica's on-disk state. The model
+  // parameters must match whatever wrote the snapshot/journal — they are
+  // the replica's identity, not part of its persisted state.
+  [[nodiscard]] static util::StatusOr<Replica> Open(
+      const wan::Wan* wan, const geo::MetroCatalogue* metros,
+      int window_days, core::TipsyConfig config, core::RetrainPolicy policy,
+      ReplicaConfig replica_config);
+
+  Replica(Replica&&) noexcept = default;
+  Replica& operator=(Replica&&) noexcept = default;
+
+  // Journal the hour, then apply it. A non-OK status means the record is
+  // not durable and was NOT applied (journal-first).
+  [[nodiscard]] util::Status Ingest(util::HourIndex hour,
+                                    std::span<const pipeline::AggRow> rows);
+  // Clock tick without data (journaled too: AdvanceTo mutates health).
+  [[nodiscard]] util::Status Heartbeat(util::HourIndex hour);
+
+  // Checkpoint the current state + applied_seq atomically.
+  [[nodiscard]] util::Status SnapshotNow();
+
+  // Idempotently applies externally sourced records (e.g. a primary's
+  // journal shipped to a standby). Records are applied in seq order;
+  // those below applied_seq() are skipped-and-counted; duplicates within
+  // the batch collapse; a seq gap is kCorrupt and nothing past the gap is
+  // applied. Records are NOT re-journaled (they are durable at the
+  // source) — use Ingest for live traffic.
+  [[nodiscard]] util::Status Replay(std::span<const JournalRecord> records);
+
+  [[nodiscard]] const core::DailyRetrainer& retrainer() const {
+    return retrainer_;
+  }
+  [[nodiscard]] const core::TipsyService* service() const {
+    return retrainer_.current();
+  }
+  [[nodiscard]] core::ModelHealth health() const {
+    return retrainer_.health();
+  }
+  [[nodiscard]] const ReplicaRecovery& recovery() const { return recovery_; }
+  [[nodiscard]] std::uint64_t applied_seq() const { return applied_seq_; }
+  [[nodiscard]] std::uint64_t duplicate_records_skipped() const {
+    return duplicate_records_skipped_;
+  }
+  [[nodiscard]] std::uint64_t snapshots_taken() const {
+    return snapshots_taken_;
+  }
+  [[nodiscard]] const Journal& journal() const { return journal_; }
+
+ private:
+  Replica(core::DailyRetrainer retrainer, Journal journal,
+          ReplicaConfig config)
+      : retrainer_(std::move(retrainer)), journal_(std::move(journal)),
+        config_(std::move(config)) {}
+
+  void Apply(const JournalRecord& record);
+
+  core::DailyRetrainer retrainer_;
+  Journal journal_;
+  ReplicaConfig config_;
+  ReplicaRecovery recovery_;
+  std::uint64_t applied_seq_ = 0;  // seqs below this are in retrainer_
+  std::uint64_t duplicate_records_skipped_ = 0;
+  std::uint64_t snapshots_taken_ = 0;
+  // Day of the last applied record, for day-boundary checkpoints.
+  util::HourIndex last_applied_day_ =
+      std::numeric_limits<util::HourIndex>::min();
+};
+
+}  // namespace tipsy::ha

@@ -1,0 +1,185 @@
+#include "ha/snapshot.h"
+
+#include <cstring>
+#include <sstream>
+
+#include "pipeline/storage.h"
+#include "util/atomic_file.h"
+#include "util/checksum.h"
+
+namespace tipsy::ha {
+namespace {
+
+constexpr char kSnapshotMagic[8] = {'T', 'I', 'P', 'S', 'Y', 'S', 'S', '1'};
+// A snapshot holds at most window_days of aggregated rows plus one model
+// bundle; anything past this is a hostile or garbage length, not data.
+constexpr std::uint64_t kMaxSnapshotPayloadBytes = 1ull << 30;
+// Matches the verbatim row codec: every encoded row spends at least one
+// byte on each of its 9 fields.
+constexpr std::uint64_t kMinEncodedRowBytes = 9;
+
+void PutZigzag(std::ostream& out, std::int64_t value) {
+  pipeline::PutVarint(out, pipeline::ZigzagEncode(value));
+}
+
+// Reads one varint, failing the shared `ok` flag on buffer end.
+std::uint64_t TakeVarint(std::string_view payload, std::size_t& pos,
+                         bool& ok) {
+  auto value = pipeline::GetVarint(payload, pos);
+  if (!value) {
+    ok = false;
+    return 0;
+  }
+  return *value;
+}
+
+std::int64_t TakeZigzag(std::string_view payload, std::size_t& pos,
+                        bool& ok) {
+  return pipeline::ZigzagDecode(TakeVarint(payload, pos, ok));
+}
+
+}  // namespace
+
+std::string EncodeSnapshot(const SnapshotState& state) {
+  const auto& r = state.retrainer;
+  std::ostringstream payload;
+  pipeline::PutVarint(payload, state.applied_seq);
+  PutZigzag(payload, r.last_observed_hour);
+  PutZigzag(payload, r.last_day);
+  PutZigzag(payload, r.trained_through_day);
+  pipeline::PutVarint(payload, r.retrain_count);
+  pipeline::PutVarint(payload, r.retrain_failures);
+  pipeline::PutVarint(payload, r.consecutive_failures);
+  pipeline::PutVarint(payload, r.dropped_hours);
+  pipeline::PutVarint(payload, r.missing_days);
+  pipeline::PutVarint(payload, r.partial_days);
+  PutZigzag(payload, r.pending_retries);
+  pipeline::PutVarint(payload, r.days.size());
+  for (const auto& day : r.days) {
+    PutZigzag(payload, day.day);
+    pipeline::PutVarint(payload, static_cast<std::uint64_t>(day.hours_seen));
+    PutZigzag(payload, day.last_hour);
+    pipeline::PutVarint(payload, day.rows.size());
+    pipeline::EncodeRowsVerbatim(payload, day.rows);
+  }
+  pipeline::PutVarint(payload, r.model_bundle.size());
+  payload.write(r.model_bundle.data(),
+                static_cast<std::streamsize>(r.model_bundle.size()));
+
+  const std::string body = payload.str();
+  std::ostringstream out;
+  out.write(kSnapshotMagic, sizeof(kSnapshotMagic));
+  pipeline::PutVarint(out, body.size());
+  const std::uint32_t crc = util::Crc32c::Of(body);
+  out.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  out.write(body.data(), static_cast<std::streamsize>(body.size()));
+  return out.str();
+}
+
+util::StatusOr<SnapshotState> DecodeSnapshot(std::string_view bytes) {
+  if (bytes.size() < sizeof(kSnapshotMagic)) {
+    return util::Status::Truncated("snapshot shorter than its magic");
+  }
+  if (std::memcmp(bytes.data(), kSnapshotMagic, sizeof(kSnapshotMagic)) !=
+      0) {
+    if (std::memcmp(bytes.data(), kSnapshotMagic,
+                    sizeof(kSnapshotMagic) - 1) == 0) {
+      return util::Status::VersionMismatch(
+          "unsupported snapshot format version byte");
+    }
+    return util::Status::Corrupt("bad snapshot magic");
+  }
+  std::size_t pos = sizeof(kSnapshotMagic);
+  auto payload_size = pipeline::GetVarint(bytes, pos);
+  if (!payload_size) {
+    return util::Status::Truncated("snapshot header ends early");
+  }
+  if (*payload_size > kMaxSnapshotPayloadBytes) {
+    return util::Status::Corrupt("snapshot declares an implausible " +
+                                 std::to_string(*payload_size) +
+                                 "-byte payload");
+  }
+  if (bytes.size() - pos < sizeof(std::uint32_t)) {
+    return util::Status::Truncated("snapshot checksum ends early");
+  }
+  std::uint32_t crc = 0;
+  std::memcpy(&crc, bytes.data() + pos, sizeof(crc));
+  pos += sizeof(crc);
+  if (bytes.size() - pos < *payload_size) {
+    return util::Status::Truncated(
+        "snapshot payload ends early (" + std::to_string(*payload_size) +
+        " declared, " + std::to_string(bytes.size() - pos) + " available)");
+  }
+  const std::string_view payload = bytes.substr(pos, *payload_size);
+  if (bytes.size() - pos > *payload_size) {
+    return util::Status::Corrupt("snapshot carries trailing bytes");
+  }
+  if (util::Crc32c::Of(payload) != crc) {
+    return util::Status::Corrupt("snapshot checksum mismatch");
+  }
+
+  SnapshotState state;
+  auto& r = state.retrainer;
+  std::size_t p = 0;
+  bool ok = true;
+  state.applied_seq = TakeVarint(payload, p, ok);
+  r.last_observed_hour = TakeZigzag(payload, p, ok);
+  r.last_day = TakeZigzag(payload, p, ok);
+  r.trained_through_day = TakeZigzag(payload, p, ok);
+  r.retrain_count = TakeVarint(payload, p, ok);
+  r.retrain_failures = TakeVarint(payload, p, ok);
+  r.consecutive_failures = TakeVarint(payload, p, ok);
+  r.dropped_hours = TakeVarint(payload, p, ok);
+  r.missing_days = TakeVarint(payload, p, ok);
+  r.partial_days = TakeVarint(payload, p, ok);
+  r.pending_retries = static_cast<int>(TakeZigzag(payload, p, ok));
+  const std::uint64_t day_count = TakeVarint(payload, p, ok);
+  if (!ok) {
+    return util::Status::Corrupt("snapshot payload header is malformed");
+  }
+  // Each day costs at least 5 bytes of framing even when empty.
+  if (day_count > payload.size() / 5) {
+    return util::Status::Corrupt("snapshot declares " +
+                                 std::to_string(day_count) +
+                                 " days, more than the payload can hold");
+  }
+  r.days.reserve(static_cast<std::size_t>(day_count));
+  for (std::uint64_t i = 0; i < day_count; ++i) {
+    core::RetrainerState::Day day;
+    day.day = TakeZigzag(payload, p, ok);
+    day.hours_seen = static_cast<int>(TakeVarint(payload, p, ok));
+    day.last_hour = TakeZigzag(payload, p, ok);
+    const std::uint64_t row_count = TakeVarint(payload, p, ok);
+    if (!ok || row_count > (payload.size() - p) / kMinEncodedRowBytes) {
+      return util::Status::Corrupt("snapshot day " + std::to_string(i) +
+                                   " header is malformed");
+    }
+    if (!pipeline::DecodeRowsVerbatim(payload, p, row_count, day.rows)) {
+      return util::Status::Corrupt("snapshot day " + std::to_string(i) +
+                                   " rows end early");
+    }
+    r.days.push_back(std::move(day));
+  }
+  const std::uint64_t bundle_size = TakeVarint(payload, p, ok);
+  if (!ok || bundle_size != payload.size() - p) {
+    // The bundle must consume exactly the remaining payload — anything
+    // else means a length was tampered with inside a (then wrong) CRC, or
+    // the CRC collided; either way the snapshot cannot be trusted.
+    return util::Status::Corrupt("snapshot model bundle length mismatch");
+  }
+  r.model_bundle.assign(payload.substr(p));
+  return state;
+}
+
+util::Status SaveSnapshot(const std::string& path,
+                          const SnapshotState& state) {
+  return util::WriteFileAtomic(path, EncodeSnapshot(state));
+}
+
+util::StatusOr<SnapshotState> LoadSnapshot(const std::string& path) {
+  auto bytes = util::ReadFileToString(path);
+  if (!bytes.ok()) return bytes.status();
+  return DecodeSnapshot(*bytes);
+}
+
+}  // namespace tipsy::ha

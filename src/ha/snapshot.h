@@ -1,0 +1,48 @@
+// Checkpointing for the HA serving plane: the full DailyRetrainer state
+// (day-buffer window, ingest clock, health counters, last-good model
+// bundle) plus the journal position it covers, in one checksummed blob.
+//
+// A snapshot plus the journal suffix past `applied_seq` reconstructs the
+// serving replica bit-identically: restore the snapshot, then replay only
+// records with seq >= applied_seq (replay is idempotent under the seq
+// gate, so an overlap is skipped-and-counted, never double-ingested).
+//
+// On-disk layout:  "TIPSYSS1" | varint payload_size | crc32c | payload
+// The CRC-32C covers the whole payload; every embedded length is
+// validated against the bytes actually present before any allocation
+// (same hostile-length discipline as pipeline/storage). Snapshots are
+// written via util::WriteFileAtomic, so a crash mid-save leaves the
+// previous snapshot intact — recovery then simply replays more journal.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "core/online.h"
+#include "util/status.h"
+
+namespace tipsy::ha {
+
+inline constexpr int kSnapshotFormatVersion = 1;  // magic "TIPSYSS1"
+
+struct SnapshotState {
+  core::RetrainerState retrainer;
+  // Journal records with seq < applied_seq are already folded into
+  // `retrainer`; recovery replays from this seq onward.
+  std::uint64_t applied_seq = 0;
+};
+
+[[nodiscard]] std::string EncodeSnapshot(const SnapshotState& state);
+// Typed failures: kCorrupt (bad magic, checksum mismatch, impossible
+// lengths), kVersionMismatch (recognized container, newer version),
+// kTruncated (bytes end mid-payload).
+[[nodiscard]] util::StatusOr<SnapshotState> DecodeSnapshot(
+    std::string_view bytes);
+
+// Encode + WriteFileAtomic / ReadFileToString + Decode.
+[[nodiscard]] util::Status SaveSnapshot(const std::string& path,
+                                        const SnapshotState& state);
+[[nodiscard]] util::StatusOr<SnapshotState> LoadSnapshot(
+    const std::string& path);
+
+}  // namespace tipsy::ha

@@ -1,0 +1,141 @@
+#include "ha/supervisor.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tipsy::ha {
+
+namespace {
+constexpr util::HourIndex kNever =
+    std::numeric_limits<util::HourIndex>::min();
+}  // namespace
+
+Supervisor::Supervisor(Replica* primary, Replica* standby,
+                       SupervisorConfig config)
+    : config_(config), rng_(config.seed) {
+  primary_.replica = primary;
+  standby_.replica = standby;
+}
+
+bool Supervisor::AliveLocked(const Tracked& t) const {
+  return t.replica != nullptr && t.last_heartbeat != kNever &&
+         now_ - t.last_heartbeat <= config_.heartbeat_timeout_hours;
+}
+
+int Supervisor::RankLocked(const Tracked& t, bool is_primary) const {
+  if (!AliveLocked(t)) return -1;
+  switch (t.replica->health()) {
+    case core::ModelHealth::kFresh: return is_primary ? 0 : 1;
+    case core::ModelHealth::kStale: return is_primary ? 2 : 3;
+    default: return -1;  // nothing trained, or past the validity horizon
+  }
+}
+
+void Supervisor::ObserveHeartbeat(ReplicaRole role, util::HourIndex hour) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.heartbeats_observed;
+  Tracked& t = role == ReplicaRole::kPrimary ? primary_ : standby_;
+  t.last_heartbeat = std::max(t.last_heartbeat, hour);
+  // New liveness information refills the promotion retry budget.
+  promote_attempt_ = 0;
+  next_promote_hour_ = kNever;
+}
+
+void Supervisor::ReRouteLocked() {
+  const int rank_primary = RankLocked(primary_, /*is_primary=*/true);
+  const int rank_standby = RankLocked(standby_, /*is_primary=*/false);
+  ServingSource desired = ServingSource::kNone;
+  if (rank_primary >= 0 &&
+      (rank_standby < 0 || rank_primary < rank_standby)) {
+    desired = ServingSource::kPrimary;
+  } else if (rank_standby >= 0) {
+    desired = ServingSource::kStandby;
+  }
+
+  if (desired == ServingSource::kNone) {
+    serving_ = ServingSource::kNone;
+    // A bounded, backed-off promotion attempt while the plane is dark.
+    // Success never needs this gate: a replica can only become servable
+    // again via a heartbeat, which refills the budget.
+    if (promote_attempt_ < config_.max_promote_attempts &&
+        (next_promote_hour_ == kNever || now_ >= next_promote_hour_)) {
+      ++stats_.promote_attempts;
+      ++stats_.promote_failures;
+      const double backoff =
+          static_cast<double>(config_.backoff_base_hours) *
+          static_cast<double>(std::uint64_t{1} << promote_attempt_) *
+          (1.0 + config_.backoff_jitter * rng_.NextDouble());
+      next_promote_hour_ =
+          now_ + static_cast<util::HourIndex>(std::ceil(backoff));
+      ++promote_attempt_;
+    }
+    return;
+  }
+
+  if (desired != serving_) {
+    ++stats_.promote_attempts;
+    if (desired == ServingSource::kStandby) {
+      ++stats_.failovers;
+    } else if (serving_ == ServingSource::kStandby) {
+      ++stats_.failbacks;
+    }
+    serving_ = desired;
+  }
+  promote_attempt_ = 0;
+  next_promote_hour_ = kNever;
+}
+
+void Supervisor::Tick(util::HourIndex hour) {
+  std::lock_guard<std::mutex> lock(mu_);
+  now_ = std::max(now_, hour);
+  ReRouteLocked();
+  if (serving_ == ServingSource::kNone) {
+    ++stats_.unavailable_hours;
+  } else {
+    const Tracked& t =
+        serving_ == ServingSource::kPrimary ? primary_ : standby_;
+    if (t.replica->health() == core::ModelHealth::kStale) {
+      ++stats_.stale_served_hours;
+    }
+  }
+}
+
+ServingSource Supervisor::serving() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return serving_;
+}
+
+const core::TipsyService* Supervisor::service() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (serving_) {
+    case ServingSource::kPrimary: return primary_.replica->service();
+    case ServingSource::kStandby: return standby_.replica->service();
+    case ServingSource::kNone: return nullptr;
+  }
+  return nullptr;
+}
+
+core::ModelHealth Supervisor::ServingHealth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Replica* routed = nullptr;
+  if (serving_ == ServingSource::kPrimary) routed = primary_.replica;
+  if (serving_ == ServingSource::kStandby) routed = standby_.replica;
+  if (routed == nullptr || routed->service() == nullptr) {
+    // Nothing servable: report past-the-horizon so the CMS health gate
+    // (cms.cpp) refuses prediction-gated mitigation and serves legacy.
+    return core::ModelHealth::kExpired;
+  }
+  return routed->health();
+}
+
+bool Supervisor::IsAlive(ReplicaRole role) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return AliveLocked(role == ReplicaRole::kPrimary ? primary_ : standby_);
+}
+
+SupervisorStats Supervisor::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace tipsy::ha

@@ -1,0 +1,136 @@
+// Primary/standby failover supervision for the HA serving plane.
+//
+// Two warm replicas ingest the same hour stream; the supervisor watches
+// their heartbeats and routes queries to whichever is servable, degrading
+// in the order the paper's conservative-serving posture implies:
+//
+//             heartbeats fresh              heartbeats missed
+//   PRIMARY ------------------> PRIMARY --------------------.
+//      ^  FRESH                   STALE                     v
+//      |  (failback when the                         STANDBY (FRESH,
+//      |   primary is alive+FRESH again)              then STALE)
+//      |                                                    |
+//      '----------------------------------------------- NONE
+//                 (ServingHealth() == kExpired: the CMS's health gate
+//                  falls back to the legacy non-predictive config)
+//
+// Preference order each tick: FRESH primary > FRESH standby > STALE
+// primary > STALE standby > none. A replica is *alive* while its last
+// heartbeat is within `heartbeat_timeout_hours` of the supervisor clock.
+// When nothing is servable, promotion is retried a bounded number of
+// times with exponential backoff + deterministic jitter; a new heartbeat
+// resets the retry budget (new information arrived).
+//
+// The supervisor is internally synchronized (heartbeats arrive from
+// replica threads while the query path reads routing), which is what the
+// TSan pass in tools/run_sanitized_fuzz.sh exercises.
+#pragma once
+
+#include <mutex>
+
+#include "core/online.h"
+#include "ha/replica.h"
+#include "util/rng.h"
+
+namespace tipsy::ha {
+
+enum class ReplicaRole : std::uint8_t { kPrimary = 0, kStandby = 1 };
+
+[[nodiscard]] constexpr const char* ReplicaRoleName(ReplicaRole role) {
+  return role == ReplicaRole::kPrimary ? "PRIMARY" : "STANDBY";
+}
+
+// Which replica the query path is routed to.
+enum class ServingSource : std::uint8_t { kPrimary = 0, kStandby, kNone };
+
+[[nodiscard]] constexpr const char* ServingSourceName(ServingSource s) {
+  switch (s) {
+    case ServingSource::kPrimary: return "PRIMARY";
+    case ServingSource::kStandby: return "STANDBY";
+    case ServingSource::kNone: return "NONE";
+  }
+  return "UNKNOWN";
+}
+
+struct SupervisorConfig {
+  // A replica whose last heartbeat is older than this is presumed dead.
+  int heartbeat_timeout_hours = 2;
+  // Bounded promotion retries while nothing is servable; the budget
+  // refills when any heartbeat arrives.
+  int max_promote_attempts = 4;
+  // Backoff before retry attempt k is base * 2^k hours, stretched by up
+  // to `jitter` (uniform, deterministic from `seed`) to avoid synchronized
+  // retry storms across supervisors.
+  int backoff_base_hours = 1;
+  double backoff_jitter = 0.5;
+  std::uint64_t seed = 1;
+};
+
+struct SupervisorStats {
+  std::uint64_t heartbeats_observed = 0;
+  std::uint64_t failovers = 0;   // routing moved off the primary
+  std::uint64_t failbacks = 0;   // routing returned to the primary
+  std::uint64_t promote_attempts = 0;
+  std::uint64_t promote_failures = 0;  // attempts with no servable replica
+  std::uint64_t unavailable_hours = 0;   // ticks spent serving nothing
+  std::uint64_t stale_served_hours = 0;  // ticks served by a STALE model
+
+  friend bool operator==(const SupervisorStats&,
+                         const SupervisorStats&) = default;
+};
+
+class Supervisor {
+ public:
+  // Non-owning; both replicas must outlive the supervisor. `standby` may
+  // be nullptr for a single-replica deployment (failover degrades
+  // straight to NONE).
+  Supervisor(Replica* primary, Replica* standby,
+             SupervisorConfig config = {});
+
+  Supervisor(const Supervisor&) = delete;
+  Supervisor& operator=(const Supervisor&) = delete;
+
+  // A replica's liveness signal made it through (the chaos harness drops
+  // or delays these to simulate partitions). Refills the retry budget.
+  void ObserveHeartbeat(ReplicaRole role, util::HourIndex hour);
+
+  // Advance the supervisor clock one observation and re-evaluate routing.
+  void Tick(util::HourIndex hour);
+
+  [[nodiscard]] ServingSource serving() const;
+  // The routed replica's model; nullptr when nothing is servable.
+  [[nodiscard]] const core::TipsyService* service() const;
+  // The routed replica's model health — kExpired when nothing is
+  // servable, which is exactly what the CMS health gate treats as "fall
+  // back to the legacy config".
+  [[nodiscard]] core::ModelHealth ServingHealth() const;
+  [[nodiscard]] bool IsAlive(ReplicaRole role) const;
+  [[nodiscard]] SupervisorStats stats() const;
+
+ private:
+  struct Tracked {
+    Replica* replica = nullptr;
+    util::HourIndex last_heartbeat =
+        std::numeric_limits<util::HourIndex>::min();
+  };
+
+  [[nodiscard]] bool AliveLocked(const Tracked& t) const;
+  // Servability rank for the preference order; lower is better, -1 when
+  // not servable.
+  [[nodiscard]] int RankLocked(const Tracked& t, bool is_primary) const;
+  void ReRouteLocked();
+
+  mutable std::mutex mu_;
+  SupervisorConfig config_;
+  Tracked primary_;
+  Tracked standby_;
+  util::HourIndex now_ = std::numeric_limits<util::HourIndex>::min();
+  ServingSource serving_ = ServingSource::kNone;
+  SupervisorStats stats_;
+  int promote_attempt_ = 0;  // consecutive failed attempts
+  util::HourIndex next_promote_hour_ =
+      std::numeric_limits<util::HourIndex>::min();
+  util::Rng rng_;
+};
+
+}  // namespace tipsy::ha

@@ -23,16 +23,6 @@ constexpr std::uint64_t kRowReserveCap = 1ULL << 16;
 // Every encoded row is at least 8 varint fields of >= 1 byte each.
 constexpr std::uint64_t kMinEncodedRowBytes = 8;
 
-// Zigzag for occasionally-negative values (hours).
-std::uint64_t Zigzag(std::int64_t v) {
-  return (static_cast<std::uint64_t>(v) << 1) ^
-         static_cast<std::uint64_t>(v >> 63);
-}
-std::int64_t Unzigzag(std::uint64_t v) {
-  return static_cast<std::int64_t>(v >> 1) ^
-         -static_cast<std::int64_t>(v & 1);
-}
-
 bool RowLess(const AggRow& a, const AggRow& b) {
   if (a.link != b.link) return a.link < b.link;
   if (a.src_asn != b.src_asn) return a.src_asn < b.src_asn;
@@ -165,22 +155,14 @@ void RowFileWriter::WriteHour(util::HourIndex hour,
   std::vector<AggRow> sorted(rows.begin(), rows.end());
   std::sort(sorted.begin(), sorted.end(), RowLess);
 
-  PutVarint(out_, Zigzag(hour));
-  PutVarint(out_, sorted.size());
   if (format_version_ == 1) {
+    PutVarint(out_, ZigzagEncode(hour));
+    PutVarint(out_, sorted.size());
     EncodeRows(out_, sorted);
   } else {
-    // v2: the encoded rows become a length + CRC framed payload. The CRC
-    // also covers the decoded header values (hour, count), so a flipped
-    // bit in the header varints cannot be silently accepted either.
     std::ostringstream body;
     EncodeRows(body, sorted);
-    const std::string payload = body.str();
-    PutVarint(out_, payload.size());
-    const std::uint32_t crc =
-        HourBlockCrc(hour, sorted.size(), payload);
-    out_.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
-    out_.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    WriteV2Frame(out_, hour, sorted.size(), body.str());
   }
   rows_written_ += sorted.size();
 }
@@ -212,14 +194,17 @@ std::optional<RowFileReader::HourBlock> RowFileReader::ReadHour() {
   if (!ok()) return std::nullopt;
   // Peek for clean EOF.
   if (in_.peek() == std::char_traits<char>::eof()) return std::nullopt;
-  const auto hour_raw = GetVarint(in_);
-  const auto count = GetVarint(in_);
-  if (!hour_raw || !count) {
-    return Fail(util::Status::Truncated("hour block header ends early"));
+  if (format_version_ == 1) {
+    const auto hour_raw = GetVarint(in_);
+    const auto count = GetVarint(in_);
+    if (!hour_raw || !count) {
+      return Fail(util::Status::Truncated("hour block header ends early"));
+    }
+    return ReadHourV1(ZigzagDecode(*hour_raw), *count);
   }
-  const util::HourIndex hour = Unzigzag(*hour_raw);
-  return format_version_ == 1 ? ReadHourV1(hour, *count)
-                              : ReadHourV2(hour, *count);
+  auto frame = ReadV2Frame(in_);
+  if (!frame.ok()) return Fail(frame.status());
+  return ReadHourV2(*std::move(frame));
 }
 
 std::optional<RowFileReader::HourBlock> RowFileReader::ReadHourV1(
@@ -246,57 +231,125 @@ std::optional<RowFileReader::HourBlock> RowFileReader::ReadHourV1(
 }
 
 std::optional<RowFileReader::HourBlock> RowFileReader::ReadHourV2(
-    util::HourIndex hour, std::uint64_t count) {
-  const auto payload_size = GetVarint(in_);
-  if (!payload_size) {
-    return Fail(util::Status::Truncated("hour block header ends early"));
-  }
-  if (*payload_size > kMaxHourPayloadBytes) {
-    return Fail(util::Status::Corrupt(
-        "implausible hour payload size " + std::to_string(*payload_size)));
-  }
-  if (count > *payload_size / kMinEncodedRowBytes) {
-    return Fail(util::Status::Corrupt(
-        "row count " + std::to_string(count) + " exceeds what " +
-        std::to_string(*payload_size) + " payload bytes can encode"));
-  }
-  std::uint32_t crc = 0;
-  in_.read(reinterpret_cast<char*>(&crc), sizeof(crc));
-  if (!in_) {
-    return Fail(util::Status::Truncated("hour block checksum ends early"));
-  }
-  std::string payload(static_cast<std::size_t>(*payload_size), '\0');
-  in_.read(payload.data(), static_cast<std::streamsize>(payload.size()));
-  if (static_cast<std::uint64_t>(in_.gcount()) != *payload_size) {
-    return Fail(util::Status::Truncated(
-        "hour payload ends early (" + std::to_string(*payload_size) +
-        " declared, " + std::to_string(in_.gcount()) + " available)"));
-  }
-  if (HourBlockCrc(hour, count, payload) != crc) {
-    return Fail(util::Status::Corrupt("hour " + std::to_string(hour) +
-                                      " block checksum mismatch"));
-  }
+    V2Frame frame) {
   HourBlock block;
-  block.hour = hour;
-  block.rows.reserve(static_cast<std::size_t>(count));
-  MemCursor cursor{reinterpret_cast<const unsigned char*>(payload.data()),
-                   payload.size()};
+  block.hour = frame.hour;
+  block.rows.reserve(static_cast<std::size_t>(frame.count));
+  MemCursor cursor{
+      reinterpret_cast<const unsigned char*>(frame.payload.data()),
+      frame.payload.size()};
   std::uint32_t prev_link = 0;
-  for (std::uint64_t i = 0; i < count; ++i) {
+  for (std::uint64_t i = 0; i < frame.count; ++i) {
     AggRow row;
-    if (!DecodeRow(cursor, hour, prev_link, row)) {
+    if (!DecodeRow(cursor, frame.hour, prev_link, row)) {
       return Fail(util::Status::Corrupt(
-          "hour " + std::to_string(hour) +
+          "hour " + std::to_string(frame.hour) +
           " payload decodes fewer rows than declared"));
     }
     block.rows.push_back(row);
   }
   if (cursor.pos != cursor.size) {
     return Fail(util::Status::Corrupt(
-        "hour " + std::to_string(hour) + " payload has " +
+        "hour " + std::to_string(frame.hour) + " payload has " +
         std::to_string(cursor.size - cursor.pos) + " trailing bytes"));
   }
   return block;
+}
+
+std::optional<std::uint64_t> GetVarint(std::string_view bytes,
+                                       std::size_t& pos) {
+  MemCursor cursor{reinterpret_cast<const unsigned char*>(bytes.data()),
+                   bytes.size(), pos};
+  const auto value = cursor.GetVarint();
+  if (value) pos = cursor.pos;
+  return value;
+}
+
+void WriteV2Frame(std::ostream& out, util::HourIndex hour,
+                  std::uint64_t count, std::string_view payload) {
+  PutVarint(out, ZigzagEncode(hour));
+  PutVarint(out, count);
+  PutVarint(out, payload.size());
+  const std::uint32_t crc = HourBlockCrc(hour, count, payload);
+  out.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+}
+
+util::StatusOr<V2Frame> ReadV2Frame(std::istream& in) {
+  const auto hour_raw = GetVarint(in);
+  const auto count = GetVarint(in);
+  const auto payload_size = GetVarint(in);
+  if (!hour_raw || !count || !payload_size) {
+    return util::Status::Truncated("hour block header ends early");
+  }
+  if (*payload_size > kMaxHourPayloadBytes) {
+    return util::Status::Corrupt("implausible hour payload size " +
+                                 std::to_string(*payload_size));
+  }
+  if (*count > *payload_size / kMinEncodedRowBytes) {
+    return util::Status::Corrupt(
+        "row count " + std::to_string(*count) + " exceeds what " +
+        std::to_string(*payload_size) + " payload bytes can encode");
+  }
+  std::uint32_t crc = 0;
+  in.read(reinterpret_cast<char*>(&crc), sizeof(crc));
+  if (!in) {
+    return util::Status::Truncated("hour block checksum ends early");
+  }
+  V2Frame frame;
+  frame.hour = ZigzagDecode(*hour_raw);
+  frame.count = *count;
+  frame.payload.resize(static_cast<std::size_t>(*payload_size));
+  in.read(frame.payload.data(),
+          static_cast<std::streamsize>(frame.payload.size()));
+  if (static_cast<std::uint64_t>(in.gcount()) != *payload_size) {
+    return util::Status::Truncated(
+        "hour payload ends early (" + std::to_string(*payload_size) +
+        " declared, " + std::to_string(in.gcount()) + " available)");
+  }
+  if (HourBlockCrc(frame.hour, frame.count, frame.payload) != crc) {
+    return util::Status::Corrupt("hour " + std::to_string(frame.hour) +
+                                 " block checksum mismatch");
+  }
+  return frame;
+}
+
+void EncodeRowsVerbatim(std::ostream& out, std::span<const AggRow> rows) {
+  std::uint32_t prev_link = 0;
+  for (const auto& row : rows) {
+    // Same fields as the archive codec plus the row's own hour; the link
+    // delta wraps modulo 2^32 for unsorted rows (decode adds it back).
+    PutVarint(out, ZigzagEncode(row.hour));
+    PutVarint(out, row.link.value() - prev_link);
+    prev_link = row.link.value();
+    PutVarint(out, row.src_asn.value());
+    PutVarint(out, row.src_prefix24.address().bits() >> 8);
+    PutVarint(out, row.src_metro.valid() ? row.src_metro.value() + 1 : 0);
+    PutVarint(out, row.dest_region.value());
+    PutVarint(out, static_cast<std::uint64_t>(row.dest_service));
+    PutVarint(out, row.dest_prefix.valid() ? row.dest_prefix.value() + 1
+                                           : 0);
+    PutVarint(out, row.bytes);
+  }
+}
+
+bool DecodeRowsVerbatim(std::string_view payload, std::size_t& pos,
+                        std::uint64_t count, std::vector<AggRow>& rows) {
+  MemCursor cursor{reinterpret_cast<const unsigned char*>(payload.data()),
+                   payload.size(), pos};
+  rows.reserve(rows.size() + static_cast<std::size_t>(count));
+  std::uint32_t prev_link = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto hour_raw = cursor.GetVarint();
+    if (!hour_raw) return false;
+    AggRow row;
+    if (!DecodeRow(cursor, ZigzagDecode(*hour_raw), prev_link, row)) {
+      return false;
+    }
+    rows.push_back(row);
+  }
+  pos = cursor.pos;
+  return true;
 }
 
 }  // namespace tipsy::pipeline

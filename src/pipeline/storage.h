@@ -30,6 +30,50 @@ inline constexpr int kRowFileFormatVersion = 2;
 // --- Low-level varint helpers (LEB128), exposed for tests.
 void PutVarint(std::ostream& out, std::uint64_t value);
 [[nodiscard]] std::optional<std::uint64_t> GetVarint(std::istream& in);
+// In-memory variant: reads one varint from `bytes` starting at `pos`,
+// advancing it. nullopt when the buffer ends mid-varint or it overflows.
+[[nodiscard]] std::optional<std::uint64_t> GetVarint(std::string_view bytes,
+                                                     std::size_t& pos);
+
+// Zigzag for occasionally-negative values (hours).
+[[nodiscard]] constexpr std::uint64_t ZigzagEncode(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+[[nodiscard]] constexpr std::int64_t ZigzagDecode(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^
+         -static_cast<std::int64_t>(v & 1);
+}
+
+// --- The v2 hour-block frame, shared between the archive format and the
+// HA journal (src/ha/journal): zigzag hour + row count + payload length
+// as varints, a CRC-32C covering (hour, count, payload), then the payload
+// bytes. Everything inside the payload is checksum-verified before any
+// row is decoded, and lengths are validated before any allocation.
+struct V2Frame {
+  util::HourIndex hour = 0;
+  std::uint64_t count = 0;
+  std::string payload;
+};
+void WriteV2Frame(std::ostream& out, util::HourIndex hour,
+                  std::uint64_t count, std::string_view payload);
+// kTruncated when the stream ends mid-frame, kCorrupt on a checksum
+// mismatch or an implausible length. Clean end-of-stream must be detected
+// by the caller (peek) before calling.
+[[nodiscard]] util::StatusOr<V2Frame> ReadV2Frame(std::istream& in);
+
+// --- Verbatim row codec: preserves row order and each row's own hour
+// field, so a replayed stream is bit-identical to the live one. Used by
+// the HA journal and snapshot; the archive format instead sorts rows for
+// delta-friendliness and stamps them with the block hour.
+void EncodeRowsVerbatim(std::ostream& out, std::span<const AggRow> rows);
+// Decodes exactly `count` rows from `payload` starting at `pos`
+// (advanced past them). false when the payload ends early; never
+// allocates more than `count` rows, which the caller must have validated
+// against the payload size (>= 9 bytes per encoded row).
+[[nodiscard]] bool DecodeRowsVerbatim(std::string_view payload,
+                                      std::size_t& pos, std::uint64_t count,
+                                      std::vector<AggRow>& rows);
 
 class RowFileWriter {
  public:
@@ -73,8 +117,7 @@ class RowFileReader {
  private:
   std::optional<HourBlock> ReadHourV1(util::HourIndex hour,
                                       std::uint64_t count);
-  std::optional<HourBlock> ReadHourV2(util::HourIndex hour,
-                                      std::uint64_t count);
+  std::optional<HourBlock> ReadHourV2(V2Frame frame);
   // Marks the reader failed and returns nullopt.
   std::optional<HourBlock> Fail(util::Status status);
 

@@ -15,6 +15,8 @@ enum class FaultStream : std::uint64_t {
   kRowLoss = 1,
   kDuplicate = 2,
   kReorder = 3,
+  kHeartbeatDrop = 4,
+  kHeartbeatDelay = 5,
 };
 
 bool Chance(std::uint64_t seed, FaultStream stream, util::HourIndex hour,
@@ -23,6 +25,24 @@ bool Chance(std::uint64_t seed, FaultStream stream, util::HourIndex hour,
   util::Rng rng(util::HashAll(seed, static_cast<std::uint64_t>(stream),
                               static_cast<std::uint64_t>(hour)));
   return rng.NextBool(probability);
+}
+
+// Per-role variant for the heartbeat channel (primary and standby fates
+// must be independent).
+bool RoleChance(std::uint64_t seed, FaultStream stream, std::uint64_t role,
+                util::HourIndex hour, double probability) {
+  if (probability <= 0.0) return false;
+  util::Rng rng(util::HashAll(seed, static_cast<std::uint64_t>(stream),
+                              role, static_cast<std::uint64_t>(hour)));
+  return rng.NextBool(probability);
+}
+
+bool InAnyWindow(const std::vector<util::HourRange>& windows,
+                 util::HourIndex hour) {
+  for (const auto& window : windows) {
+    if (window.Contains(hour)) return true;
+  }
+  return false;
 }
 
 }  // namespace
@@ -98,6 +118,28 @@ void FaultInjectingRowSource::StreamHours(util::HourRange range,
   }
 }
 
+std::size_t FaultInjectingRowSource::EstimatedRows(
+    util::HourRange range) const {
+  const std::size_t base = inner_->EstimatedRows(range);
+  if (base == 0 || range.length() <= 0) return base;
+  // Expected surviving fraction, hour by hour: collector-down hours
+  // deliver nothing; degraded hours are thinned; duplicated hours are
+  // delivered again. Reordering moves rows, it does not change counts.
+  double expected_hours = 0.0;
+  for (util::HourIndex hour = range.begin; hour < range.end; ++hour) {
+    if (InWindow(config_.collector_down, hour)) continue;
+    double weight = 1.0;
+    if (config_.row_loss_rate > 0.0 && InWindow(config_.degraded, hour)) {
+      weight *= 1.0 - config_.row_loss_rate;
+    }
+    weight *= 1.0 + config_.duplicate_hour_rate;
+    expected_hours += weight;
+  }
+  return static_cast<std::size_t>(
+      static_cast<double>(base) * expected_hours /
+      static_cast<double>(range.length()));
+}
+
 RecoveredRows ReadRowFileBytes(const std::string& bytes) {
   RecoveredRows recovered;
   std::istringstream in(bytes);
@@ -118,6 +160,53 @@ std::string FlipBit(std::string bytes, std::size_t byte_index,
         (1u << (bit_index & 7)));
   }
   return bytes;
+}
+
+std::string TruncateTail(std::string bytes, std::size_t drop_bytes) {
+  bytes.resize(bytes.size() - std::min(bytes.size(), drop_bytes));
+  return bytes;
+}
+
+FaultyHeartbeatChannel::FaultyHeartbeatChannel(ha::Supervisor& supervisor,
+                                               HeartbeatFaultConfig config)
+    : supervisor_(&supervisor), config_(std::move(config)) {}
+
+void FaultyHeartbeatChannel::Send(ha::ReplicaRole role,
+                                  util::HourIndex hour) {
+  DeliverDueBy(hour);
+  const auto role_bits = static_cast<std::uint64_t>(role);
+  if (InAnyWindow(config_.partitioned, hour) ||
+      RoleChance(config_.seed, FaultStream::kHeartbeatDrop, role_bits, hour,
+                 config_.drop_rate)) {
+    ++dropped_;
+    return;
+  }
+  if (config_.max_delay_hours > 0 &&
+      RoleChance(config_.seed, FaultStream::kHeartbeatDelay, role_bits, hour,
+                 config_.delay_rate)) {
+    util::Rng rng(util::HashAll(
+        config_.seed, static_cast<std::uint64_t>(FaultStream::kHeartbeatDelay),
+        role_bits, static_cast<std::uint64_t>(hour), std::uint64_t{1}));
+    const auto delay = rng.NextInRange(1, config_.max_delay_hours);
+    ++delayed_;
+    pending_.push_back(Pending{hour + delay, role, hour});
+    return;
+  }
+  ++delivered_;
+  supervisor_->ObserveHeartbeat(role, hour);
+}
+
+void FaultyHeartbeatChannel::DeliverDueBy(util::HourIndex hour) {
+  for (std::size_t i = 0; i < pending_.size();) {
+    if (pending_[i].due <= hour) {
+      ++delivered_;
+      supervisor_->ObserveHeartbeat(pending_[i].role, pending_[i].hour);
+      pending_[i] = pending_.back();
+      pending_.pop_back();
+    } else {
+      ++i;
+    }
+  }
 }
 
 }  // namespace tipsy::scenario

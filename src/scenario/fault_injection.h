@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "ha/supervisor.h"
 #include "pipeline/storage.h"
 #include "scenario/scenario.h"
 #include "util/status.h"
@@ -54,10 +55,14 @@ class FaultInjectingRowSource : public RowSource {
   [[nodiscard]] const OutageSchedule& outages() const override {
     return inner_->outages();
   }
+  // The inner estimate scaled by the scheduled fault classes: hours in a
+  // collector-down window contribute nothing, degraded hours are thinned
+  // by the row loss rate, and duplication re-delivers surviving hours.
+  // Without this, capacity planned against the estimate (row_cache
+  // reservations, progress accounting) is systematically high during
+  // outage scenarios.
   [[nodiscard]] std::size_t EstimatedRows(
-      util::HourRange range) const override {
-    return inner_->EstimatedRows(range);
-  }
+      util::HourRange range) const override;
 
   // --- Injection tallies (cumulative over StreamHours calls).
   [[nodiscard]] std::size_t hours_dropped() const { return hours_dropped_; }
@@ -102,5 +107,65 @@ struct RecoveredRows {
 // Returns `bytes` with bit `bit_index` (0-7) of byte `byte_index` flipped.
 [[nodiscard]] std::string FlipBit(std::string bytes, std::size_t byte_index,
                                   int bit_index);
+
+// Returns `bytes` with the trailing `drop_bytes` removed - the torn tail
+// a process crash between write(2) and fsync(2) leaves behind in an
+// append-only file (journal recovery must truncate back to the verified
+// prefix). Dropping more than the file holds yields an empty file.
+[[nodiscard]] std::string TruncateTail(std::string bytes,
+                                       std::size_t drop_bytes);
+
+// --- Process-level faults for the HA plane (src/ha).
+//
+// The supervisor's failure detector runs on heartbeats; the faults that
+// matter operationally are the channel's, not the replica's: a partition
+// drops liveness signals (a healthy replica looks dead - spurious
+// failover), congestion delays them (flapping). The channel is
+// deterministic from (seed, role, hour) so every chaos run reproduces.
+
+struct HeartbeatFaultConfig {
+  std::uint64_t seed = 0xbea7;
+  // Each heartbeat is independently dropped with this probability.
+  double drop_rate = 0.0;
+  // Surviving heartbeats are delayed with this probability, by a uniform
+  // 1..max_delay_hours hours (delivered by a later DeliverDueBy).
+  double delay_rate = 0.0;
+  int max_delay_hours = 3;
+  // Partition windows: every heartbeat emitted inside is dropped.
+  std::vector<util::HourRange> partitioned;
+};
+
+// Sits between the replicas' liveness signals and a ha::Supervisor,
+// dropping and delaying per the config.
+class FaultyHeartbeatChannel {
+ public:
+  FaultyHeartbeatChannel(ha::Supervisor& supervisor,
+                         HeartbeatFaultConfig config);
+
+  // A replica emitted a heartbeat at `hour`: deliver, delay or drop it.
+  // Delayed heartbeats already due by `hour` are flushed first.
+  void Send(ha::ReplicaRole role, util::HourIndex hour);
+  // Flush delayed heartbeats due at or before `hour` (call once per
+  // supervisor tick even when nothing was sent).
+  void DeliverDueBy(util::HourIndex hour);
+
+  [[nodiscard]] std::size_t delivered() const { return delivered_; }
+  [[nodiscard]] std::size_t dropped() const { return dropped_; }
+  [[nodiscard]] std::size_t delayed() const { return delayed_; }
+
+ private:
+  struct Pending {
+    util::HourIndex due = 0;
+    ha::ReplicaRole role = ha::ReplicaRole::kPrimary;
+    util::HourIndex hour = 0;
+  };
+
+  ha::Supervisor* supervisor_;
+  HeartbeatFaultConfig config_;
+  std::vector<Pending> pending_;
+  std::size_t delivered_ = 0;
+  std::size_t dropped_ = 0;
+  std::size_t delayed_ = 0;
+};
 
 }  // namespace tipsy::scenario

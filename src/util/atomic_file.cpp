@@ -39,6 +39,28 @@ Status SyncPath(const std::string& path) {
   return Status::Ok();
 }
 
+// Directory variant: fsync the directory fd so the rename's new entry is
+// durable. Some filesystems refuse to fsync a directory handle
+// (EINVAL/ENOTSUP) while still ordering metadata correctly - that is
+// best-effort, not an error; every other failure is a real durability
+// hole and must reach the caller.
+Status SyncDirectory(const std::string& path) {
+#ifdef TIPSY_HAVE_FSYNC
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::IoError(ErrnoMessage("open-for-fsync", path));
+  const int rc = ::fsync(fd);
+  const int saved_errno = errno;
+  ::close(fd);
+  if (rc != 0 && saved_errno != EINVAL && saved_errno != ENOTSUP) {
+    errno = saved_errno;
+    return Status::IoError(ErrnoMessage("fsync", path));
+  }
+#else
+  (void)path;
+#endif
+  return Status::Ok();
+}
+
 std::string DirectoryOf(const std::string& path) {
   const auto slash = path.find_last_of('/');
   if (slash == std::string::npos) return ".";
@@ -70,9 +92,11 @@ Status WriteFileAtomic(const std::string& path, std::string_view contents) {
     std::remove(tmp.c_str());
     return Status::IoError(ErrnoMessage("rename", path));
   }
-  // Persist the rename itself (directory entry).
-  (void)SyncPath(DirectoryOf(path));
-  return Status::Ok();
+  // Persist the rename itself: the file's bytes are durable after the
+  // fsync above, but the directory entry naming them is not - a power
+  // loss here could resurrect the *old* file, which for an HA snapshot
+  // means warm-starting from a checkpoint the journal has moved past.
+  return SyncDirectory(DirectoryOf(path));
 }
 
 StatusOr<std::string> ReadFileToString(const std::string& path) {

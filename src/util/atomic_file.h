@@ -18,7 +18,11 @@ namespace tipsy::util {
 
 // Atomically replaces `path` with `contents`. The temporary lives in the
 // same directory (rename is only atomic within a filesystem). On any
-// failure the temporary is removed and `path` is untouched.
+// failure the temporary is removed and `path` is untouched. After the
+// rename the parent directory is fsynced too - making the new *name*
+// durable, not just the bytes - and a failure there is reported as
+// kIoError like any other durability failure (filesystems that cannot
+// fsync a directory handle are tolerated as best-effort).
 [[nodiscard]] Status WriteFileAtomic(const std::string& path,
                                      std::string_view contents);
 

@@ -93,6 +93,31 @@ TEST(AtomicFile, RoundTripsAndReplacesAtomically) {
   std::remove(path.c_str());
 }
 
+TEST(AtomicFile, DirectoryFsyncFailureIsReported) {
+  // WriteFileAtomic's durability recipe has three fsync points: the temp
+  // file's data, the rename, and the *parent directory* entry. The last
+  // one is the subtle one - without it the bytes are durable but the
+  // name is not, and a power loss can resurrect the previous file (for
+  // an HA snapshot: warm-starting from a checkpoint the journal already
+  // moved past). The directory fsync's status must therefore reach the
+  // caller like any other IO error. We can't make fsync fail portably in
+  // a unit test, so this asserts the observable contract on both sides:
+  // a writable directory succeeds end-to-end, and a target whose parent
+  // directory cannot even be opened reports kIoError instead of
+  // pretending the save was durable.
+  const auto dir = std::filesystem::temp_directory_path() /
+                   "tipsy_dirsync_test";
+  std::filesystem::create_directories(dir);
+  const auto path = (dir / "artifact.bin").string();
+  EXPECT_TRUE(util::WriteFileAtomic(path, "payload").ok());
+
+  const auto denied = util::WriteFileAtomic(
+      "/proc/nonexistent_tipsy_dir/artifact.bin", "payload");
+  ASSERT_FALSE(denied.ok());
+  EXPECT_EQ(denied.code(), util::StatusCode::kIoError);
+  std::filesystem::remove_all(dir);
+}
+
 TEST(AtomicFile, MissingFileIsATypedError) {
   const auto missing = util::ReadFileToString("/nonexistent/tipsy.bin");
   ASSERT_FALSE(missing.ok());
@@ -540,6 +565,10 @@ struct InjectorFixture {
     [[nodiscard]] const scenario::OutageSchedule& outages() const override {
       return fixture_->outages;
     }
+    [[nodiscard]] std::size_t EstimatedRows(
+        util::HourRange range) const override {
+      return static_cast<std::size_t>(range.length()) * 6;
+    }
     InjectorFixture* fixture_;
   };
 
@@ -630,6 +659,48 @@ TEST(FaultInjection, DuplicationAndReorderAreDeterministic) {
                       replay.push_back(hour);
                     });
   EXPECT_EQ(replay, seen);
+}
+
+TEST(FaultInjection, EstimatedRowsAccountsForScheduledLoss) {
+  InjectorFixture fixture;
+  InjectorFixture::FakeSource inner(&fixture);
+  const util::HourRange range{0, 20};
+  const std::size_t base = inner.EstimatedRows(range);
+  ASSERT_GT(base, 0u);
+
+  // No faults: estimate passes through.
+  scenario::FaultInjectingRowSource clean(inner, {});
+  EXPECT_EQ(clean.EstimatedRows(range), base);
+
+  // Collector down for half the range: estimate halves.
+  scenario::FaultScheduleConfig down;
+  down.collector_down = {util::HourRange{0, 10}};
+  scenario::FaultInjectingRowSource halved(inner, down);
+  EXPECT_EQ(halved.EstimatedRows(range), base / 2);
+
+  // Degraded everywhere at 50% row loss: estimate halves too.
+  scenario::FaultScheduleConfig thinned;
+  thinned.degraded = {range};
+  thinned.row_loss_rate = 0.5;
+  scenario::FaultInjectingRowSource lossy(inner, thinned);
+  EXPECT_EQ(lossy.EstimatedRows(range), base / 2);
+
+  // Duplication adds rows back: outage + guaranteed duplicates.
+  scenario::FaultScheduleConfig mixed;
+  mixed.collector_down = {util::HourRange{0, 10}};
+  mixed.duplicate_hour_rate = 1.0;
+  scenario::FaultInjectingRowSource doubled(inner, mixed);
+  EXPECT_EQ(doubled.EstimatedRows(range), base);
+
+  // The injected stream actually delivers what was estimated (loss and
+  // duplication are deterministic at rate 1.0 / full windows).
+  std::size_t delivered = 0;
+  scenario::FaultInjectingRowSource check(inner, mixed);
+  check.StreamHours(range, [&](util::HourIndex,
+                               std::span<const pipeline::AggRow> rows) {
+    delivered += rows.size();
+  });
+  EXPECT_EQ(delivered, check.EstimatedRows(range));
 }
 
 // --------------------------------------------------------- cms health gate

@@ -1,12 +1,20 @@
 #!/usr/bin/env bash
-# Byte-flip corruption fuzz under AddressSanitizer.
+# Byte-flip corruption fuzz + HA concurrency checks under sanitizers.
 #
-# Configures a dedicated build tree with -DTIPSY_SANITIZE=address and runs
-# the persistence format tests plus the robustness suite (which includes
-# the exhaustive single-byte-flip sweeps over the model bundle and row
-# file formats). Every mutation must either load bit-identically or fail
-# with a typed Status - never crash, leak, or over-allocate; ASan turns
-# any violation into a hard failure.
+# Pass 1 (address by default): configures a dedicated build tree with
+# -DTIPSY_SANITIZE=<sanitizer> and runs the persistence format tests, the
+# robustness suite (exhaustive single-byte-flip sweeps over the model
+# bundle and row file formats) and the HA suite (the same sweeps over the
+# hour journal and snapshot formats, plus the crash/restore matrix).
+# Every mutation must either load bit-identically or fail with a typed
+# Status - never crash, leak, or over-allocate; ASan turns any violation
+# into a hard failure.
+#
+# Pass 2 (thread): rebuilds with -DTIPSY_SANITIZE=thread and runs the HA
+# supervisor's concurrency tests (heartbeats from replica threads racing
+# the query path's routing reads) plus the parallel substrate tests; TSan
+# turns any data race into a hard failure. Skipped when the requested
+# sanitizer *is* thread (pass 1 already covers it).
 #
 #   tools/run_sanitized_fuzz.sh [address|undefined|thread]
 set -euo pipefail
@@ -17,10 +25,26 @@ BUILD="${ROOT}/build-${SANITIZER}"
 
 cmake -B "${BUILD}" -S "${ROOT}" -DTIPSY_SANITIZE="${SANITIZER}" \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "${BUILD}" -j --target robustness_test persistence_test
+cmake --build "${BUILD}" -j --target robustness_test persistence_test \
+      ha_test
 
 echo "=== robustness_test (byte-flip fuzz) under ${SANITIZER} sanitizer ==="
 "${BUILD}/tests/robustness_test"
 echo "=== persistence_test under ${SANITIZER} sanitizer ==="
 "${BUILD}/tests/persistence_test"
+echo "=== ha_test (journal/snapshot fuzz + crash matrix) under ${SANITIZER} sanitizer ==="
+"${BUILD}/tests/ha_test"
+
+if [[ "${SANITIZER}" != "thread" ]]; then
+  TSAN_BUILD="${ROOT}/build-thread"
+  cmake -B "${TSAN_BUILD}" -S "${ROOT}" -DTIPSY_SANITIZE=thread \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "${TSAN_BUILD}" -j --target ha_test parallel_test
+  echo "=== ha_test supervisor/heartbeat races under thread sanitizer ==="
+  "${TSAN_BUILD}/tests/ha_test" \
+      --gtest_filter='Supervisor.*:HeartbeatFaults.*'
+  echo "=== parallel_test under thread sanitizer ==="
+  "${TSAN_BUILD}/tests/parallel_test"
+fi
+
 echo "OK: no sanitizer findings"
