@@ -1,0 +1,241 @@
+// Incremental retraining bench: what the day-shard window buys at each
+// daily retrain.
+//
+// Not a paper table. The paper's serving loop retrains over a sliding
+// ~21-day window every day (Appendix B.1/B.2), yet only one day of data
+// changes per retrain. This bench drives two DailyRetrainers through the
+// identical multi-week stream - one re-aggregating the full window at
+// every boundary, one maintaining mergeable per-day count shards
+// (core/day_shard.h) and merge-newest / subtract-expired - and times the
+// day-boundary retrain on both, asserting after every boundary that the
+// two serve *bit-identical* models (serialized bundle + ServiceHealth).
+//
+// Reported per boundary: buffered window rows, full and incremental
+// retrain latency, speedup; plus a steady-state summary (boundaries where
+// the window is full, so the incremental path both merges and subtracts).
+//
+// Writes results/bench_incremental.csv and BENCH_incremental.json in the
+// working directory. Exits non-zero if any boundary diverges.
+#include <chrono>
+#include <deque>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/online.h"
+#include "core/serialize.h"
+#include "scenario/scenario.h"
+#include "util/table.h"
+
+using namespace tipsy;
+
+namespace {
+
+util::HourIndex Hours(int days) { return days * util::kHoursPerDay; }
+
+std::string ServiceBytes(const core::TipsyService* service) {
+  if (service == nullptr) return {};
+  std::ostringstream out;
+  core::SaveService(*service, out);
+  return out.str();
+}
+
+double TimeMs(const std::function<void()>& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  return std::chrono::duration<double, std::milli>(elapsed).count();
+}
+
+std::string Millis(double ms) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.3f", ms);
+  return buffer;
+}
+
+std::string Ratio(double r) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.1f", r);
+  return buffer;
+}
+
+struct BoundaryResult {
+  int day = 0;                   // the day that just completed
+  std::size_t window_rows = 0;   // rows buffered across the window
+  double full_ms = 0.0;
+  double incremental_ms = 0.0;
+  bool bit_identical = false;
+  bool steady_state = false;     // window full: merge + subtract boundary
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto options = bench::BenchOptions::Parse(argc, argv);
+  // The paper's 21-day window in the full run; the smoke run keeps the
+  // same shape (fill the window, then turn it over for several days) at a
+  // fraction of the cost.
+  const int window_days = options.small ? 5 : 21;
+  const int turnover_days = options.small ? 3 : 5;
+  const int total_days = window_days + turnover_days;
+
+  auto cfg = scenario::TinyScenarioConfig();
+  cfg.traffic.flow_target = options.small ? 300 : 900;
+  if (options.seed != 0) {
+    cfg.seed = cfg.topology.seed = options.seed;
+    cfg.traffic.seed = options.seed + 1;
+    cfg.outages.seed = options.seed + 2;
+  }
+  cfg.horizon = util::HourRange{0, Hours(total_days)};
+
+  bench::PrintHeader("bench_incremental",
+                     "day-shard window maintenance; no paper table - cost "
+                     "of the daily retrain (Appendix B.1/B.2 window)");
+
+  // Simulate once; both retrainers see the identical stream.
+  scenario::Scenario world(cfg);
+  std::vector<std::pair<util::HourIndex, std::vector<pipeline::AggRow>>>
+      stream;
+  std::size_t total_rows = 0;
+  world.SimulateHours(
+      {0, Hours(total_days)},
+      [&](util::HourIndex hour, std::span<const pipeline::AggRow> rows) {
+        stream.emplace_back(
+            hour, std::vector<pipeline::AggRow>(rows.begin(), rows.end()));
+        total_rows += rows.size();
+      });
+  std::cout << "stream: " << stream.size() << " hourly records, "
+            << total_rows << " rows, window " << window_days << "d, "
+            << total_days << "d total\n\n";
+
+  core::RetrainPolicy incremental_policy;
+  incremental_policy.incremental_retrain = true;
+  core::RetrainPolicy full_policy;
+  full_policy.incremental_retrain = false;
+  core::DailyRetrainer incremental(&world.wan(), &world.metros(),
+                                   window_days, {}, incremental_policy);
+  core::DailyRetrainer full(&world.wan(), &world.metros(), window_days, {},
+                            full_policy);
+
+  // Ingest day by day; at each boundary, time the retrain itself (an
+  // AdvanceTo into the new day triggers it, with no ingest work mixed in).
+  std::vector<BoundaryResult> boundaries;
+  std::size_t next_event = 0;
+  std::deque<std::size_t> window_day_rows;
+  for (int day = 0; day < total_days; ++day) {
+    std::size_t day_rows = 0;
+    while (next_event < stream.size() &&
+           util::DayIndex(stream[next_event].first) == day) {
+      const auto& [hour, rows] = stream[next_event];
+      incremental.Ingest(hour, rows);
+      full.Ingest(hour, rows);
+      day_rows += rows.size();
+      ++next_event;
+    }
+    window_day_rows.push_back(day_rows);
+    while (static_cast<int>(window_day_rows.size()) > window_days) {
+      window_day_rows.pop_front();
+    }
+
+    BoundaryResult result;
+    result.day = day;
+    for (std::size_t rows : window_day_rows) result.window_rows += rows;
+    // The window is full once `window_days` of data are buffered; the
+    // boundary after that both merges the new day and subtracts the
+    // expired one - the steady-state daily retrain.
+    result.steady_state = day >= window_days;
+    const util::HourIndex boundary_hour = Hours(day + 1);
+    result.incremental_ms =
+        TimeMs([&] { incremental.AdvanceTo(boundary_hour); });
+    result.full_ms = TimeMs([&] { full.AdvanceTo(boundary_hour); });
+    result.bit_identical =
+        ServiceBytes(incremental.current()) == ServiceBytes(full.current()) &&
+        incremental.health_snapshot() == full.health_snapshot();
+    boundaries.push_back(result);
+  }
+
+  util::TextTable table({"Day", "Window rows", "Full ms", "Incremental ms",
+                         "Speedup", "Steady", "Bit-identical"});
+  bool all_identical = true;
+  double steady_full = 0.0, steady_incremental = 0.0;
+  std::size_t steady_count = 0;
+  for (const auto& b : boundaries) {
+    all_identical = all_identical && b.bit_identical;
+    if (b.steady_state) {
+      steady_full += b.full_ms;
+      steady_incremental += b.incremental_ms;
+      ++steady_count;
+    }
+    table.AddRow({std::to_string(b.day), std::to_string(b.window_rows),
+                  Millis(b.full_ms), Millis(b.incremental_ms),
+                  Ratio(b.full_ms / std::max(b.incremental_ms, 1e-6)),
+                  b.steady_state ? "yes" : "-",
+                  b.bit_identical ? "yes" : "NO"});
+  }
+  table.Print(std::cout);
+
+  const double mean_full = steady_count ? steady_full / steady_count : 0.0;
+  const double mean_incremental =
+      steady_count ? steady_incremental / steady_count : 0.0;
+  const double speedup = mean_full / std::max(mean_incremental, 1e-6);
+  std::cout << "\nsteady state (" << steady_count << " boundaries, "
+            << window_days << "d window): full " << Millis(mean_full)
+            << " ms, incremental " << Millis(mean_incremental)
+            << " ms, speedup " << Ratio(speedup) << "x\n";
+  std::cout << "incremental retrains: " << incremental.incremental_retrains()
+            << ", aggregate rebuilds: " << incremental.incremental_rebuilds()
+            << ", bit-identical at every boundary: "
+            << (all_identical ? "yes" : "NO") << "\n";
+
+  std::vector<std::vector<std::string>> csv{
+      {"day", "window_rows", "full_ms", "incremental_ms", "speedup",
+       "steady_state", "bit_identical"}};
+  for (const auto& b : boundaries) {
+    csv.push_back({std::to_string(b.day), std::to_string(b.window_rows),
+                   Millis(b.full_ms), Millis(b.incremental_ms),
+                   Ratio(b.full_ms / std::max(b.incremental_ms, 1e-6)),
+                   b.steady_state ? "1" : "0", b.bit_identical ? "1" : "0"});
+  }
+  bench::WriteCsv("bench_incremental", csv);
+
+  std::ofstream json("BENCH_incremental.json");
+  if (json) {
+    json << "{\n  \"bench\": \"incremental_retrain\",\n";
+    json << "  \"window_days\": " << window_days
+         << ", \"total_days\": " << total_days
+         << ", \"stream_rows\": " << total_rows << ",\n";
+    json << "  \"steady_state\": {\"boundaries\": " << steady_count
+         << ", \"mean_full_ms\": " << Millis(mean_full)
+         << ", \"mean_incremental_ms\": " << Millis(mean_incremental)
+         << ", \"speedup\": " << Ratio(speedup)
+         << ", \"bit_identical\": " << (all_identical ? "true" : "false")
+         << "},\n";
+    json << "  \"boundaries\": [\n";
+    for (std::size_t i = 0; i < boundaries.size(); ++i) {
+      const auto& b = boundaries[i];
+      json << "    {\"day\": " << b.day
+           << ", \"window_rows\": " << b.window_rows
+           << ", \"full_ms\": " << Millis(b.full_ms)
+           << ", \"incremental_ms\": " << Millis(b.incremental_ms)
+           << ", \"steady_state\": " << (b.steady_state ? "true" : "false")
+           << ", \"bit_identical\": " << (b.bit_identical ? "true" : "false")
+           << "}" << (i + 1 < boundaries.size() ? "," : "") << "\n";
+    }
+    json << "  ]\n}\n";
+    std::cout << "\nwrote BENCH_incremental.json\n";
+  }
+
+  if (!all_identical) {
+    std::cerr << "FAIL: incremental and full retrains diverged\n";
+    return 1;
+  }
+  std::cout << "\nThe daily retrain touches one day, not the window: "
+               "maintaining mergeable day shards turns the boundary "
+               "rebuild into one merge + one subtract, bit-identical to "
+               "re-aggregating all " << window_days << " days.\n";
+  return 0;
+}

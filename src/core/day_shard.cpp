@@ -1,0 +1,199 @@
+#include "core/day_shard.h"
+
+#include <algorithm>
+
+#include "util/parallel.h"
+
+namespace tipsy::core {
+namespace {
+
+// Below this batch size the fork-join overhead outweighs sharded
+// accumulation (same cutoff rationale as TipsyService::Train);
+// determinism does not depend on the value.
+constexpr std::size_t kMinParallelShardRows = 256;
+
+}  // namespace
+
+void TupleCountTable::Add(const pipeline::AggRow& row) {
+  const FlowFeatures flow{row.src_asn, row.src_prefix24, row.src_metro,
+                          row.dest_region, row.dest_service};
+  if (!HasFeatures(feature_set_, flow)) return;
+  const double weight =
+      weight_by_bytes_ ? static_cast<double>(row.bytes) : 1.0;
+  TupleCounts& entry = counts_[MakeTupleKey(feature_set_, flow)];
+  entry.total_bytes += weight;
+  for (auto& lb : entry.ranked) {
+    if (lb.link == row.link) {
+      lb.bytes += weight;
+      return;
+    }
+  }
+  entry.ranked.push_back(LinkBytes{row.link, weight});
+}
+
+void TupleCountTable::Merge(const TupleCountTable& other) {
+  std::size_t upper_bound = counts_.size() + other.counts_.size();
+  counts_.reserve(upper_bound);
+  for (const auto& [key, incoming_entry] : other.counts_) {
+    TupleCounts& entry = counts_[key];
+    entry.total_bytes += incoming_entry.total_bytes;
+    for (const auto& incoming : incoming_entry.ranked) {
+      bool found = false;
+      for (auto& lb : entry.ranked) {
+        if (lb.link == incoming.link) {
+          lb.bytes += incoming.bytes;
+          found = true;
+          break;
+        }
+      }
+      if (!found) entry.ranked.push_back(incoming);
+    }
+  }
+}
+
+util::Status TupleCountTable::Subtract(const TupleCountTable& other) {
+  // Validate fully before mutating, so a failed subtraction leaves the
+  // aggregate usable (the caller falls back to a from-scratch rebuild).
+  for (const auto& [key, incoming_entry] : other.counts_) {
+    const auto it = counts_.find(key);
+    if (it == counts_.end()) {
+      return util::Status::InvalidArgument(
+          "subtracting a tuple the aggregate does not hold");
+    }
+    if (it->second.total_bytes < incoming_entry.total_bytes) {
+      return util::Status::InvalidArgument(
+          "subtracting more byte mass than the aggregate holds");
+    }
+    for (const auto& incoming : incoming_entry.ranked) {
+      bool found = false;
+      for (const auto& lb : it->second.ranked) {
+        if (lb.link == incoming.link) {
+          if (lb.bytes < incoming.bytes) {
+            return util::Status::InvalidArgument(
+                "subtracting more link bytes than the aggregate holds");
+          }
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        return util::Status::InvalidArgument(
+            "subtracting a link the aggregate does not hold");
+      }
+    }
+  }
+  for (const auto& [key, incoming_entry] : other.counts_) {
+    auto it = counts_.find(key);
+    TupleCounts& entry = it->second;
+    entry.total_bytes -= incoming_entry.total_bytes;
+    for (const auto& incoming : incoming_entry.ranked) {
+      for (auto lb = entry.ranked.begin(); lb != entry.ranked.end(); ++lb) {
+        if (lb->link == incoming.link) {
+          lb->bytes -= incoming.bytes;
+          // Counts are integer-valued, so a fully drained link hits
+          // exactly 0.0; erase it so the aggregate matches what the
+          // remaining days would build from scratch.
+          if (lb->bytes == 0.0) entry.ranked.erase(lb);
+          break;
+        }
+      }
+    }
+    if (entry.total_bytes == 0.0 && entry.ranked.empty()) counts_.erase(it);
+  }
+  return util::Status::Ok();
+}
+
+std::vector<TupleCountTable::ExportEntry> TupleCountTable::Export() const {
+  std::vector<ExportEntry> out;
+  out.reserve(counts_.size());
+  for (const auto& [key, entry] : counts_) {
+    out.push_back(ExportEntry{key, entry.total_bytes, entry.ranked});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ExportEntry& a, const ExportEntry& b) {
+              if (a.key.hi != b.key.hi) return a.key.hi < b.key.hi;
+              return a.key.lo < b.key.lo;
+            });
+  return out;
+}
+
+TupleCountTable TupleCountTable::FromExport(
+    FeatureSet feature_set, bool weight_by_bytes,
+    const std::vector<ExportEntry>& entries) {
+  TupleCountTable table(feature_set, weight_by_bytes);
+  table.counts_.reserve(entries.size());
+  for (const auto& entry : entries) {
+    table.counts_.emplace(entry.key,
+                          TupleCounts{entry.links, entry.total_bytes});
+  }
+  return table;
+}
+
+bool TupleCountTable::SameCounts(const TupleCountTable& other) const {
+  if (counts_.size() != other.counts_.size()) return false;
+  for (const auto& [key, entry] : counts_) {
+    const auto it = other.counts_.find(key);
+    if (it == other.counts_.end()) return false;
+    if (entry.total_bytes != it->second.total_bytes) return false;
+    if (entry.ranked.size() != it->second.ranked.size()) return false;
+    for (const auto& lb : entry.ranked) {
+      bool found = false;
+      for (const auto& their : it->second.ranked) {
+        if (their.link == lb.link) {
+          if (their.bytes != lb.bytes) return false;
+          found = true;
+          break;
+        }
+      }
+      if (!found) return false;
+    }
+  }
+  return true;
+}
+
+void ShardTables::AddRows(std::span<const pipeline::AggRow> rows) {
+  util::ThreadPool& pool = util::CurrentPool();
+  const std::size_t shards = pool.thread_count();
+  if (shards <= 1 || rows.size() < kMinParallelShardRows) {
+    for (const auto& row : rows) Add(row);
+    return;
+  }
+  // Chunk s builds a private partial; partials fold in chunk order. The
+  // sums are exact, so the result is bit-identical at any thread count.
+  std::vector<ShardTables> partials(shards);
+  const std::size_t n = rows.size();
+  pool.Run(shards, [&](std::size_t shard) {
+    const std::size_t begin = n * shard / shards;
+    const std::size_t end = n * (shard + 1) / shards;
+    for (std::size_t i = begin; i < end; ++i) partials[shard].Add(rows[i]);
+  });
+  for (const auto& partial : partials) Merge(partial);
+}
+
+void ShardTables::Merge(const ShardTables& other) {
+  a.Merge(other.a);
+  ap.Merge(other.ap);
+  al.Merge(other.al);
+}
+
+util::Status ShardTables::Subtract(const ShardTables& other) {
+  if (auto status = a.Subtract(other.a); !status.ok()) return status;
+  if (auto status = ap.Subtract(other.ap); !status.ok()) return status;
+  return al.Subtract(other.al);
+}
+
+void ShardTables::Clear() {
+  a.Clear();
+  ap.Clear();
+  al.Clear();
+}
+
+DayShard DayShard::Build(util::HourIndex day,
+                         std::span<const pipeline::AggRow> rows) {
+  DayShard shard;
+  shard.day = day;
+  shard.AddRows(rows);
+  return shard;
+}
+
+}  // namespace tipsy::core

@@ -1,0 +1,153 @@
+// Mergeable per-day partial count tables for incremental retraining.
+//
+// The paper's serving loop retrains the byte-weighted B(f, l) tables from
+// a sliding ~21-day window every day (Appendix B.2) - yet only one day of
+// data changes per retrain. A DayShard holds one day's partial counts for
+// every historical feature set; the retrainer keeps a ring of them and
+// maintains the window aggregate by merging the newest day and
+// subtracting the expired one, instead of re-aggregating the full window.
+//
+// Exactness contract: all counts are integer-valued (byte volumes, or 1.0
+// per observation under the unweighted ablation) and stay far below 2^53,
+// so double addition and subtraction are exact in any order. Merging day
+// shards therefore reproduces, bit for bit, the table a serial pass over
+// the same rows builds; subtracting a day leaves exactly the table the
+// remaining days would build (Subtract erases exact-zero links and
+// tuples so the aggregate never accumulates tombstones).
+#pragma once
+
+#include <span>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/features.h"
+#include "pipeline/aggregate.h"
+#include "util/sim_time.h"
+#include "util/status.h"
+
+namespace tipsy::core {
+
+// Byte mass observed on one ingress link, within one tuple's counts. The
+// pre-finalization accumulation unit shared by HistoricalModel and the
+// day-shard tables.
+struct LinkBytes {
+  util::LinkId link;
+  double bytes = 0.0;
+};
+
+// Per tuple: the links that carried its traffic plus the tuple total.
+// Before finalization `ranked` is in insertion order; HistoricalModel
+// sorts and truncates it by (bytes desc, link asc) when building a
+// servable model, which makes every downstream artifact independent of
+// the accumulation order.
+struct TupleCounts {
+  std::vector<LinkBytes> ranked;
+  double total_bytes = 0.0;
+};
+
+using TupleCountMap =
+    std::unordered_map<TupleKey, TupleCounts, TupleKeyHash>;
+
+// One feature set's B(f, l) counts over some slice of training data (a
+// day, a window, a parallel training shard): addable row by row,
+// mergeable and subtractable slice by slice, all bit-exact.
+class TupleCountTable {
+ public:
+  TupleCountTable() = default;
+  explicit TupleCountTable(FeatureSet feature_set,
+                           bool weight_by_bytes = true)
+      : feature_set_(feature_set), weight_by_bytes_(weight_by_bytes) {}
+
+  // Accumulates one row (rows missing the feature set's features are
+  // skipped, matching HistoricalModel::Add).
+  void Add(const pipeline::AggRow& row);
+
+  // other += nothing; *this += other.
+  void Merge(const TupleCountTable& other);
+  // *this -= other. kInvalidArgument when `other` holds a (tuple, link)
+  // or byte mass this table does not - the caller tried to subtract a day
+  // that was never merged. The table is unchanged on failure.
+  [[nodiscard]] util::Status Subtract(const TupleCountTable& other);
+
+  [[nodiscard]] FeatureSet feature_set() const { return feature_set_; }
+  [[nodiscard]] bool weight_by_bytes() const { return weight_by_bytes_; }
+  [[nodiscard]] std::size_t tuple_count() const { return counts_.size(); }
+  [[nodiscard]] bool empty() const { return counts_.empty(); }
+  [[nodiscard]] const TupleCountMap& counts() const { return counts_; }
+
+  void Reserve(std::size_t expected_tuples) {
+    counts_.reserve(expected_tuples);
+  }
+  void Clear() { counts_.clear(); }
+
+  // Hands the underlying map to a consumer (HistoricalModel's finalize
+  // ranks and truncates it in place); the table is left empty.
+  [[nodiscard]] TupleCountMap ReleaseCounts() {
+    return std::exchange(counts_, {});
+  }
+
+  // Deterministic plain-data view (tuples sorted by key; links in
+  // accumulation order) for serialization and equality checks.
+  struct ExportEntry {
+    TupleKey key;
+    double total_bytes = 0.0;
+    std::vector<LinkBytes> links;
+  };
+  [[nodiscard]] std::vector<ExportEntry> Export() const;
+  [[nodiscard]] static TupleCountTable FromExport(
+      FeatureSet feature_set, bool weight_by_bytes,
+      const std::vector<ExportEntry>& entries);
+
+  // Structural equality up to accumulation order: same tuples, same
+  // per-link byte mass (link order within a tuple may differ).
+  [[nodiscard]] bool SameCounts(const TupleCountTable& other) const;
+
+ private:
+  FeatureSet feature_set_ = FeatureSet::kA;
+  bool weight_by_bytes_ = true;
+  TupleCountMap counts_;
+};
+
+// The three historical feature sets' counts over one slice of data - the
+// unit the incremental retrainer merges and subtracts.
+struct ShardTables {
+  TupleCountTable a{FeatureSet::kA};
+  TupleCountTable ap{FeatureSet::kAP};
+  TupleCountTable al{FeatureSet::kAL};
+
+  void Add(const pipeline::AggRow& row) {
+    a.Add(row);
+    ap.Add(row);
+    al.Add(row);
+  }
+  // Accumulates a batch, fanning large batches out over the current
+  // thread pool (util::CurrentPool) with an in-order partial merge, so
+  // the result is bit-identical at any thread count.
+  void AddRows(std::span<const pipeline::AggRow> rows);
+  void Merge(const ShardTables& other);
+  [[nodiscard]] util::Status Subtract(const ShardTables& other);
+  [[nodiscard]] bool empty() const {
+    return a.empty() && ap.empty() && al.empty();
+  }
+  void Clear();
+};
+
+// One training day's partial counts, the ring element the retrainer
+// maintains per buffered day.
+struct DayShard {
+  util::HourIndex day = 0;
+  std::uint64_t row_count = 0;
+  ShardTables tables;
+
+  void AddRows(std::span<const pipeline::AggRow> rows) {
+    tables.AddRows(rows);
+    row_count += rows.size();
+  }
+  // Builds the shard for a whole day of rows at once (restore path and
+  // tests); identical to incremental AddRows over the same rows.
+  [[nodiscard]] static DayShard Build(
+      util::HourIndex day, std::span<const pipeline::AggRow> rows);
+};
+
+}  // namespace tipsy::core

@@ -10,43 +10,25 @@ HistoricalModel::HistoricalModel(FeatureSet feature_set,
                                  bool weight_by_bytes)
     : feature_set_(feature_set),
       max_links_per_tuple_(max_links_per_tuple),
-      weight_by_bytes_(weight_by_bytes) {
+      weight_by_bytes_(weight_by_bytes),
+      counts_(feature_set, weight_by_bytes) {
   assert(max_links_per_tuple_ >= 1);
-}
-
-void HistoricalModel::AddTo(Table& table, const pipeline::AggRow& row) {
-  const FlowFeatures flow{row.src_asn, row.src_prefix24, row.src_metro,
-                          row.dest_region, row.dest_service};
-  if (!HasFeatures(feature_set_, flow)) return;
-  const double weight =
-      weight_by_bytes_ ? static_cast<double>(row.bytes) : 1.0;
-  Entry& entry = table[MakeTupleKey(feature_set_, flow)];
-  entry.total_bytes += weight;
-  // Linear scan: the number of links per tuple is small in practice
-  // ("relatively very small", §4.3).
-  for (auto& lb : entry.ranked) {
-    if (lb.link == row.link) {
-      lb.bytes += weight;
-      return;
-    }
-  }
-  entry.ranked.push_back(LinkBytes{row.link, weight});
 }
 
 void HistoricalModel::Add(const pipeline::AggRow& row) {
   assert(!finalized_);
-  AddTo(table_, row);
+  counts_.Add(row);
 }
 
 void HistoricalModel::EnsureShards(std::size_t count) {
   assert(!finalized_);
   if (shards_.size() >= count) return;
   const std::size_t old_size = shards_.size();
-  shards_.resize(count);
+  shards_.resize(count, TupleCountTable(feature_set_, weight_by_bytes_));
   if (reserve_hint_ > 0) {
     const std::size_t per_shard = reserve_hint_ / count + 1;
     for (std::size_t i = old_size; i < count; ++i) {
-      shards_[i].reserve(per_shard);
+      shards_[i].Reserve(per_shard);
     }
   }
 }
@@ -54,48 +36,15 @@ void HistoricalModel::EnsureShards(std::size_t count) {
 void HistoricalModel::AddToShard(std::size_t shard,
                                  const pipeline::AggRow& row) {
   assert(!finalized_ && shard < shards_.size());
-  AddTo(shards_[shard], row);
+  shards_[shard].Add(row);
 }
 
 void HistoricalModel::ReserveTuples(std::size_t expected_tuples) {
   reserve_hint_ = expected_tuples;
-  table_.reserve(expected_tuples);
+  counts_.Reserve(expected_tuples);
 }
 
-void HistoricalModel::MergeShards() {
-  if (shards_.empty()) return;
-  std::size_t upper_bound = table_.size();
-  for (const auto& shard : shards_) upper_bound += shard.size();
-  table_.reserve(upper_bound);
-  // Shards merge in index order; per tuple every link's byte total is a
-  // sum of integer-valued doubles, so the grouping does not change the
-  // result and the merged table matches a serial pass bit for bit. The
-  // ranked order after Finalize() is fully determined by (bytes, link)
-  // regardless of the insertion order built here.
-  for (auto& shard : shards_) {
-    for (auto& [key, shard_entry] : shard) {
-      Entry& entry = table_[key];
-      entry.total_bytes += shard_entry.total_bytes;
-      for (const auto& incoming : shard_entry.ranked) {
-        bool found = false;
-        for (auto& lb : entry.ranked) {
-          if (lb.link == incoming.link) {
-            lb.bytes += incoming.bytes;
-            found = true;
-            break;
-          }
-        }
-        if (!found) entry.ranked.push_back(incoming);
-      }
-    }
-    shard.clear();
-  }
-  shards_.clear();
-  shards_.shrink_to_fit();
-}
-
-void HistoricalModel::Finalize() {
-  MergeShards();
+void HistoricalModel::RankAndTruncate() {
   for (auto& [key, entry] : table_) {
     std::sort(entry.ranked.begin(), entry.ranked.end(),
               [](const LinkBytes& a, const LinkBytes& b) {
@@ -110,6 +59,22 @@ void HistoricalModel::Finalize() {
   finalized_ = true;
 }
 
+void HistoricalModel::Finalize() {
+  // Shards merge in index order; per tuple every link's byte total is a
+  // sum of integer-valued doubles, so the grouping does not change the
+  // result and the merged table matches a serial pass bit for bit. The
+  // ranked order after RankAndTruncate() is fully determined by
+  // (bytes, link) regardless of the insertion order built here.
+  for (auto& shard : shards_) {
+    counts_.Merge(shard);
+    shard.Clear();
+  }
+  shards_.clear();
+  shards_.shrink_to_fit();
+  table_ = counts_.ReleaseCounts();
+  RankAndTruncate();
+}
+
 std::vector<Prediction> HistoricalModel::Predict(
     const FlowFeatures& flow, std::size_t k,
     const ExclusionMask* excluded) const {
@@ -118,7 +83,7 @@ std::vector<Prediction> HistoricalModel::Predict(
   if (k == 0 || !HasFeatures(feature_set_, flow)) return out;
   const auto it = table_.find(MakeTupleKey(feature_set_, flow));
   if (it == table_.end()) return out;
-  const Entry& entry = it->second;
+  const TupleCounts& entry = it->second;
   // Without exclusions, p(l|f) = B(f,l)/B(f). With exclusions the traffic
   // must land somewhere else, so renormalize over the remaining choices.
   double denominator = entry.total_bytes;
@@ -142,7 +107,7 @@ std::string HistoricalModel::name() const {
 }
 
 std::size_t HistoricalModel::MemoryFootprintBytes() const {
-  std::size_t bytes = table_.size() * (sizeof(TupleKey) + sizeof(Entry));
+  std::size_t bytes = table_.size() * (sizeof(TupleKey) + sizeof(TupleCounts));
   for (const auto& [key, entry] : table_) {
     bytes += entry.ranked.capacity() * sizeof(LinkBytes);
   }
@@ -182,7 +147,7 @@ HistoricalModel HistoricalModel::FromExport(
     bool weight_by_bytes, const std::vector<TupleExport>& table) {
   HistoricalModel model(feature_set, max_links_per_tuple, weight_by_bytes);
   for (const auto& exported : table) {
-    Entry entry;
+    TupleCounts entry;
     entry.total_bytes = exported.total_bytes;
     entry.ranked.reserve(exported.ranked.size());
     for (const auto& [link, bytes] : exported.ranked) {
@@ -192,6 +157,20 @@ HistoricalModel HistoricalModel::FromExport(
   }
   // Exported tables were already ranked and truncated.
   model.finalized_ = true;
+  return model;
+}
+
+HistoricalModel HistoricalModel::FromCounts(std::size_t max_links_per_tuple,
+                                            const TupleCountTable& counts,
+                                            const TupleCountTable* overlay) {
+  HistoricalModel model(counts.feature_set(), max_links_per_tuple,
+                        counts.weight_by_bytes());
+  // The window aggregate stays untouched (it keeps rolling forward); the
+  // model ranks and truncates a private copy, overlay merged on top.
+  TupleCountTable merged = counts;
+  if (overlay != nullptr) merged.Merge(*overlay);
+  model.table_ = merged.ReleaseCounts();
+  model.RankAndTruncate();
   return model;
 }
 

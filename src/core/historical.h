@@ -6,10 +6,14 @@
 // Its known limitation - no transfer learning across tuples, no prediction
 // at all for unseen tuples - is what the ensembles and the geographic
 // augmentation compensate for.
+//
+// Accumulation is delegated to core/day_shard.h's TupleCountTable, the
+// same mergeable counts the incremental retrainer keeps per day; this
+// class owns what makes the counts a servable model: ranking, top-k
+// truncation and prediction.
 #pragma once
 
-#include <unordered_map>
-
+#include "core/day_shard.h"
 #include "core/model.h"
 
 namespace tipsy::core {
@@ -51,7 +55,9 @@ class HistoricalModel : public Model {
   [[nodiscard]] std::size_t MemoryFootprintBytes() const override;
 
   [[nodiscard]] FeatureSet feature_set() const { return feature_set_; }
-  [[nodiscard]] std::size_t tuple_count() const { return table_.size(); }
+  [[nodiscard]] std::size_t tuple_count() const {
+    return finalized_ ? table_.size() : counts_.tuple_count();
+  }
   [[nodiscard]] bool finalized() const { return finalized_; }
 
   // Whether the model has any ranking for the flow's tuple (used by tests
@@ -77,32 +83,31 @@ class HistoricalModel : public Model {
                                     bool weight_by_bytes,
                                     const std::vector<TupleExport>& table);
 
+  // Builds a finalized model directly from accumulated window counts,
+  // optionally overlaying one more partial table (the retrainer's
+  // still-unfolded newest day) - the incremental retraining path. The
+  // result is bit-identical to training a model over the rows the counts
+  // were accumulated from: sums are exact and the ranking depends only on
+  // the summed (bytes, link) pairs.
+  static HistoricalModel FromCounts(std::size_t max_links_per_tuple,
+                                    const TupleCountTable& counts,
+                                    const TupleCountTable* overlay = nullptr);
+
  private:
-  struct LinkBytes {
-    LinkId link;
-    double bytes = 0.0;
-  };
-  // Per tuple: links ranked by training bytes (after Finalize), plus the
-  // tuple's total bytes for probability computation.
-  struct Entry {
-    std::vector<LinkBytes> ranked;
-    double total_bytes = 0.0;
-  };
-
-  using Table = std::unordered_map<TupleKey, Entry, TupleKeyHash>;
-
-  // Accumulates one row into `table` (shared by Add and AddToShard).
-  void AddTo(Table& table, const pipeline::AggRow& row);
-  // Folds every shard into table_, in shard order, then drops the shards.
-  void MergeShards();
+  // Sorts every tuple's links by (bytes desc, link asc), truncates to
+  // max_links_per_tuple_ and marks the model servable.
+  void RankAndTruncate();
 
   FeatureSet feature_set_;
   std::size_t max_links_per_tuple_;
   bool weight_by_bytes_;
   bool finalized_ = false;
   std::size_t reserve_hint_ = 0;
-  Table table_;
-  std::vector<Table> shards_;
+  // Pre-finalization accumulation (serial path) ...
+  TupleCountTable counts_;
+  std::vector<TupleCountTable> shards_;
+  // ... and the finalized, ranked + truncated serving table.
+  TupleCountMap table_;
 };
 
 }  // namespace tipsy::core

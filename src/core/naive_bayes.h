@@ -5,6 +5,11 @@
 // score flows whose exact tuple never appeared in training, as long as each
 // individual feature value was seen; the price is a per-query scan over all
 // candidate links (the O(l log l) prediction cost of Table 11).
+//
+// NB is an evaluation baseline, not a serving model: it is not persisted in
+// model bundles and its finalized log-probabilities are not mergeable, so the
+// DailyRetrainer's incremental per-day-shard path (core/day_shard.h) excludes
+// it — configs with train_naive_bayes fall back to full-window rebuilds.
 #pragma once
 
 #include <array>

@@ -27,7 +27,11 @@ util::HourIndex DailyRetrainer::NewestBufferedDay() const {
 }
 
 void DailyRetrainer::OpenDay(util::HourIndex day) {
-  days_.push_back(DayBuffer{day, {}, 0, kNoDay});
+  DayBuffer buffer;
+  buffer.day = day;
+  buffer.last_hour = kNoDay;
+  buffer.shard.day = day;
+  days_.push_back(std::move(buffer));
 }
 
 void DailyRetrainer::OnDayBoundary(util::HourIndex new_day) {
@@ -92,14 +96,26 @@ void DailyRetrainer::Ingest(util::HourIndex hour,
     buffer.last_hour = hour;
   }
   buffer.rows.insert(buffer.rows.end(), rows.begin(), rows.end());
+  if (incremental_enabled()) buffer.shard.AddRows(rows);
 }
 
 util::Status DailyRetrainer::TryRetrain() {
   // Trim the window relative to the newest buffered data so long-gone
-  // days cannot linger in the model through an outage.
+  // days cannot linger in the model through an outage. On the incremental
+  // path an expired day that was folded into the window aggregate is
+  // subtracted back out - exact, because every count is integer-valued.
   const util::HourIndex newest = NewestBufferedDay();
   if (newest != kNoDay) {
     while (!days_.empty() && days_.front().day + window_days_ <= newest) {
+      if (days_.front().folded) {
+        if (!window_counts_.Subtract(days_.front().shard.tables).ok()) {
+          // The aggregate disagrees with the shard (cannot happen unless
+          // state was tampered with); drop it and re-merge below.
+          window_counts_.Clear();
+          for (auto& day : days_) day.folded = false;
+          ++incremental_rebuilds_;
+        }
+      }
       days_.pop_front();
     }
   }
@@ -118,6 +134,31 @@ util::Status DailyRetrainer::TryRetrain() {
   } else if (retrain_fault_ &&
              retrain_fault_(util::DayIndex(last_observed_hour_))) {
     status = util::Status::Unavailable("injected training fault");
+  } else if (incremental_enabled()) {
+    // Fold every day the ingest clock has moved past into the window
+    // aggregate; a day the clock still sits on can keep growing, so its
+    // shard is overlaid onto the aggregate during the model build
+    // without being folded. Days are in ascending order, hence at most
+    // the newest can be unfrozen.
+    const util::HourIndex now_day = util::DayIndex(last_observed_hour_);
+    const DayBuffer* overlay = nullptr;
+    for (auto& day : days_) {
+      if (day.folded) continue;
+      if (day.day < now_day) {
+        window_counts_.Merge(day.shard.tables);
+        day.folded = true;
+      } else {
+        overlay = &day;
+      }
+    }
+    current_ = TipsyService::FromWindowCounts(
+        wan_, metros_, config_, window_counts_,
+        overlay != nullptr ? &overlay->shard.tables : nullptr);
+    ++incremental_retrains_;
+    trained_through_day_ = newest;
+    ++retrain_count_;
+    consecutive_failures_ = 0;
+    return util::Status::Ok();
   } else {
     auto fresh = std::make_unique<TipsyService>(wan_, metros_, config_);
     for (const auto& day : days_) {
@@ -153,8 +194,18 @@ RetrainerState DailyRetrainer::ExportState() const {
   RetrainerState state;
   state.days.reserve(days_.size());
   for (const auto& day : days_) {
-    state.days.push_back(
-        RetrainerState::Day{day.day, day.hours_seen, day.last_hour, day.rows});
+    RetrainerState::Day exported;
+    exported.day = day.day;
+    exported.hours_seen = day.hours_seen;
+    exported.last_hour = day.last_hour;
+    exported.rows = day.rows;
+    if (incremental_enabled()) {
+      exported.shard_row_count = day.shard.row_count;
+      exported.shard_a = day.shard.tables.a.Export();
+      exported.shard_ap = day.shard.tables.ap.Export();
+      exported.shard_al = day.shard.tables.al.Export();
+    }
+    state.days.push_back(std::move(exported));
   }
   state.last_observed_hour = last_observed_hour_;
   state.last_day = last_day_;
@@ -190,9 +241,34 @@ util::Status DailyRetrainer::RestoreState(const RetrainerState& state) {
     restored = *std::move(loaded);
   }
   days_.clear();
+  window_counts_.Clear();
   for (const auto& day : state.days) {
-    days_.push_back(DayBuffer{day.day, day.rows, day.hours_seen,
-                              day.last_hour});
+    DayBuffer buffer;
+    buffer.day = day.day;
+    buffer.rows = day.rows;
+    buffer.hours_seen = day.hours_seen;
+    buffer.last_hour = day.last_hour;
+    if (incremental_enabled()) {
+      if (day.shard_row_count == day.rows.size()) {
+        // The exporter maintained this shard; trust it verbatim so the
+        // restored replica keeps the incremental path without
+        // re-aggregating the window.
+        buffer.shard.day = day.day;
+        buffer.shard.row_count = day.shard_row_count;
+        buffer.shard.tables.a =
+            TupleCountTable::FromExport(FeatureSet::kA, true, day.shard_a);
+        buffer.shard.tables.ap =
+            TupleCountTable::FromExport(FeatureSet::kAP, true, day.shard_ap);
+        buffer.shard.tables.al =
+            TupleCountTable::FromExport(FeatureSet::kAL, true, day.shard_al);
+      } else {
+        // Shard missing or inconsistent (an exporter running without the
+        // incremental path, or a v1 snapshot): rebuild from the rows -
+        // the result is bit-identical to the incrementally built shard.
+        buffer.shard = DayShard::Build(day.day, day.rows);
+      }
+    }
+    days_.push_back(std::move(buffer));
   }
   last_observed_hour_ = state.last_observed_hour;
   last_day_ = state.last_day;

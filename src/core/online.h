@@ -20,7 +20,13 @@
 //    while retrains keep up, STALE once the model is trained on data
 //    older than `stale_after_days`, EXPIRED past `expire_after_days`
 //    (Appendix B.2's 7 days) - the signal the CMS uses to refuse
-//    prediction-gated mitigation (§2's conservative behaviour).
+//    prediction-gated mitigation (§2's conservative behaviour);
+//  * retrains incrementally (RetrainPolicy::incremental_retrain): each
+//    buffered day carries a mergeable count shard (core/day_shard.h) and
+//    a scheduled retrain merges the newest day into a rolling window
+//    aggregate and subtracts the expired day, instead of re-aggregating
+//    all ~21 days of rows - bit-identical to the from-scratch rebuild,
+//    including across snapshot/restore.
 #pragma once
 
 #include <deque>
@@ -29,6 +35,7 @@
 #include <memory>
 #include <span>
 
+#include "core/day_shard.h"
 #include "core/tipsy_service.h"
 #include "util/sim_time.h"
 #include "util/status.h"
@@ -64,6 +71,14 @@ struct RetrainPolicy {
   // A completed day with fewer distinct ingest hours than this is counted
   // as partial in ServiceHealth (collector lost part of the day).
   int min_hours_per_day = 20;
+  // Incremental retraining: maintain mergeable per-day count shards
+  // (core/day_shard.h) and refresh the window aggregate by merging the
+  // newest day and subtracting the expired one, instead of re-aggregating
+  // every buffered row on each retrain. Bit-identical to the from-scratch
+  // path (integer-valued counts, deterministic ranking); automatically
+  // disabled when Naive Bayes training is requested, which always
+  // retrains from the buffered rows.
+  bool incremental_retrain = true;
 };
 
 // Snapshot of the serving plane's condition; cheap to copy.
@@ -100,6 +115,15 @@ struct RetrainerState {
     int hours_seen = 0;
     util::HourIndex last_hour = std::numeric_limits<util::HourIndex>::min();
     std::vector<pipeline::AggRow> rows;
+    // The day's partial count tables (core/day_shard.h), so a restored
+    // replica resumes the incremental retraining path without
+    // re-aggregating the window. Empty (with shard_row_count != rows
+    // count) when the exporter was not maintaining shards; Restore then
+    // rebuilds them from `rows`, bit-identically.
+    std::uint64_t shard_row_count = 0;
+    std::vector<TupleCountTable::ExportEntry> shard_a;
+    std::vector<TupleCountTable::ExportEntry> shard_ap;
+    std::vector<TupleCountTable::ExportEntry> shard_al;
   };
   std::vector<Day> days;
   util::HourIndex last_observed_hour =
@@ -185,12 +209,32 @@ class DailyRetrainer {
   [[nodiscard]] std::size_t buffered_days() const { return days_.size(); }
   [[nodiscard]] std::size_t retrain_count() const { return retrain_count_; }
 
+  // --- Incremental retraining diagnostics (not part of ServiceHealth:
+  // the two retrain paths are bit-identical in everything they serve, and
+  // these counters are the only place they may differ).
+  // Whether retrains maintain the per-day shard ring + window aggregate.
+  [[nodiscard]] bool incremental_enabled() const {
+    return policy_.incremental_retrain && !config_.train_naive_bayes;
+  }
+  [[nodiscard]] std::size_t incremental_retrains() const {
+    return incremental_retrains_;
+  }
+  // Times the window aggregate had to be rebuilt by re-merging every
+  // buffered day's shard (a failed subtract; never expected in practice).
+  [[nodiscard]] std::size_t incremental_rebuilds() const {
+    return incremental_rebuilds_;
+  }
+
  private:
   struct DayBuffer {
     util::HourIndex day = 0;
     std::vector<pipeline::AggRow> rows;
     int hours_seen = 0;
     util::HourIndex last_hour = std::numeric_limits<util::HourIndex>::min();
+    // Incremental path only: the day's mergeable partial counts, and
+    // whether they have been folded into the window aggregate.
+    DayShard shard;
+    bool folded = false;
   };
 
   // Newest buffered data day, min() when nothing is buffered.
@@ -220,6 +264,11 @@ class DailyRetrainer {
   std::size_t partial_days_ = 0;
   int pending_retries_ = 0;  // bounded retry budget after a failed boundary
   std::function<bool(util::HourIndex)> retrain_fault_;
+  // Incremental path: aggregate of every folded day's shard. Invariant:
+  // window_counts_ == merge of days_[i].shard for all i with folded set.
+  ShardTables window_counts_;
+  std::size_t incremental_retrains_ = 0;
+  std::size_t incremental_rebuilds_ = 0;
 };
 
 }  // namespace tipsy::core

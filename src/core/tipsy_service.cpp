@@ -130,6 +130,21 @@ std::unique_ptr<TipsyService> TipsyService::FromTrainedModels(
   return service;
 }
 
+std::unique_ptr<TipsyService> TipsyService::FromWindowCounts(
+    const wan::Wan* wan, const geo::MetroCatalogue* metros,
+    TipsyConfig config, const ShardTables& window,
+    const ShardTables* overlay) {
+  return FromTrainedModels(
+      wan, metros, config,
+      HistoricalModel::FromCounts(config.max_links_per_tuple, window.a,
+                                  overlay != nullptr ? &overlay->a : nullptr),
+      HistoricalModel::FromCounts(config.max_links_per_tuple, window.ap,
+                                  overlay != nullptr ? &overlay->ap : nullptr),
+      HistoricalModel::FromCounts(config.max_links_per_tuple, window.al,
+                                  overlay != nullptr ? &overlay->al
+                                                     : nullptr));
+}
+
 const HistoricalModel& TipsyService::hist(FeatureSet fs) const {
   switch (fs) {
     case FeatureSet::kA: return *hist_a_;

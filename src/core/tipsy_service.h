@@ -49,6 +49,17 @@ class TipsyService {
       TipsyConfig config, HistoricalModel a, HistoricalModel ap,
       HistoricalModel al);
 
+  // Assembles a finalized service directly from accumulated window count
+  // tables, optionally overlaying one more day's partial counts - the
+  // incremental retraining path (core/online.h). Bit-identical to
+  // training a service over the rows the counts came from. Production
+  // configuration only: Naive Bayes is an evaluation baseline and is not
+  // part of the incremental serving path.
+  static std::unique_ptr<TipsyService> FromWindowCounts(
+      const wan::Wan* wan, const geo::MetroCatalogue* metros,
+      TipsyConfig config, const ShardTables& window,
+      const ShardTables* overlay = nullptr);
+
   // The three historical models (finalized service only); used by the
   // persistence layer.
   [[nodiscard]] const HistoricalModel& hist(FeatureSet fs) const;

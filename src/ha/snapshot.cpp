@@ -1,5 +1,6 @@
 #include "ha/snapshot.h"
 
+#include <cassert>
 #include <cstring>
 #include <sstream>
 
@@ -10,57 +11,113 @@
 namespace tipsy::ha {
 namespace {
 
-constexpr char kSnapshotMagic[8] = {'T', 'I', 'P', 'S', 'Y', 'S', 'S', '1'};
+constexpr char kSnapshotMagicPrefix[7] = {'T', 'I', 'P', 'S', 'Y', 'S', 'S'};
 // A snapshot holds at most window_days of aggregated rows plus one model
 // bundle; anything past this is a hostile or garbage length, not data.
 constexpr std::uint64_t kMaxSnapshotPayloadBytes = 1ull << 30;
 // Matches the verbatim row codec: every encoded row spends at least one
 // byte on each of its 9 fields.
 constexpr std::uint64_t kMinEncodedRowBytes = 9;
+// Every encoded count-table tuple spends 16 raw bytes on its key plus at
+// least one byte each on its total and link count.
+constexpr std::uint64_t kMinEncodedTupleBytes = 18;
+// Every encoded link spends at least one byte each on its id and bytes.
+constexpr std::uint64_t kMinEncodedLinkBytes = 2;
 
-void PutZigzag(std::ostream& out, std::int64_t value) {
-  pipeline::PutVarint(out, pipeline::ZigzagEncode(value));
-}
-
-// Reads one varint, failing the shared `ok` flag on buffer end.
-std::uint64_t TakeVarint(std::string_view payload, std::size_t& pos,
-                         bool& ok) {
-  auto value = pipeline::GetVarint(payload, pos);
-  if (!value) {
-    ok = false;
-    return 0;
+// One feature set's exported day-shard counts. Totals and per-link byte
+// masses are integer-valued by the day-shard exactness contract
+// (core/day_shard.h), so they round-trip losslessly through varints.
+void EncodeCountTable(
+    std::ostream& out,
+    const std::vector<core::TupleCountTable::ExportEntry>& entries) {
+  pipeline::PutVarint(out, entries.size());
+  for (const auto& entry : entries) {
+    out.write(reinterpret_cast<const char*>(&entry.key.hi),
+              sizeof(entry.key.hi));
+    out.write(reinterpret_cast<const char*>(&entry.key.lo),
+              sizeof(entry.key.lo));
+    pipeline::PutVarint(out, static_cast<std::uint64_t>(entry.total_bytes));
+    pipeline::PutVarint(out, entry.links.size());
+    for (const auto& link : entry.links) {
+      pipeline::PutVarint(out, link.link.value());
+      pipeline::PutVarint(out, static_cast<std::uint64_t>(link.bytes));
+    }
   }
-  return *value;
 }
 
-std::int64_t TakeZigzag(std::string_view payload, std::size_t& pos,
-                        bool& ok) {
-  return pipeline::ZigzagDecode(TakeVarint(payload, pos, ok));
+// false on any malformed or hostile length; `pos` is then unusable and
+// the caller must fail the whole snapshot.
+[[nodiscard]] bool DecodeCountTable(
+    std::string_view payload, std::size_t& pos,
+    std::vector<core::TupleCountTable::ExportEntry>& entries) {
+  bool ok = true;
+  const std::uint64_t tuple_count = pipeline::TakeVarint(payload, pos, ok);
+  if (!ok ||
+      tuple_count > (payload.size() - pos) / kMinEncodedTupleBytes) {
+    return false;
+  }
+  entries.reserve(static_cast<std::size_t>(tuple_count));
+  for (std::uint64_t i = 0; i < tuple_count; ++i) {
+    core::TupleCountTable::ExportEntry entry;
+    if (payload.size() - pos < sizeof(entry.key.hi) + sizeof(entry.key.lo)) {
+      return false;
+    }
+    std::memcpy(&entry.key.hi, payload.data() + pos, sizeof(entry.key.hi));
+    pos += sizeof(entry.key.hi);
+    std::memcpy(&entry.key.lo, payload.data() + pos, sizeof(entry.key.lo));
+    pos += sizeof(entry.key.lo);
+    entry.total_bytes =
+        static_cast<double>(pipeline::TakeVarint(payload, pos, ok));
+    const std::uint64_t link_count = pipeline::TakeVarint(payload, pos, ok);
+    if (!ok ||
+        link_count > (payload.size() - pos) / kMinEncodedLinkBytes) {
+      return false;
+    }
+    entry.links.reserve(static_cast<std::size_t>(link_count));
+    for (std::uint64_t j = 0; j < link_count; ++j) {
+      core::LinkBytes link;
+      link.link = util::LinkId(
+          static_cast<std::uint32_t>(pipeline::TakeVarint(payload, pos, ok)));
+      link.bytes =
+          static_cast<double>(pipeline::TakeVarint(payload, pos, ok));
+      if (!ok) return false;
+      entry.links.push_back(link);
+    }
+    entries.push_back(std::move(entry));
+  }
+  return true;
 }
 
 }  // namespace
 
-std::string EncodeSnapshot(const SnapshotState& state) {
+std::string EncodeSnapshot(const SnapshotState& state, int format_version) {
+  assert(format_version >= 1 && format_version <= kSnapshotFormatVersion);
   const auto& r = state.retrainer;
   std::ostringstream payload;
   pipeline::PutVarint(payload, state.applied_seq);
-  PutZigzag(payload, r.last_observed_hour);
-  PutZigzag(payload, r.last_day);
-  PutZigzag(payload, r.trained_through_day);
+  pipeline::PutZigzag(payload, r.last_observed_hour);
+  pipeline::PutZigzag(payload, r.last_day);
+  pipeline::PutZigzag(payload, r.trained_through_day);
   pipeline::PutVarint(payload, r.retrain_count);
   pipeline::PutVarint(payload, r.retrain_failures);
   pipeline::PutVarint(payload, r.consecutive_failures);
   pipeline::PutVarint(payload, r.dropped_hours);
   pipeline::PutVarint(payload, r.missing_days);
   pipeline::PutVarint(payload, r.partial_days);
-  PutZigzag(payload, r.pending_retries);
+  pipeline::PutZigzag(payload, r.pending_retries);
   pipeline::PutVarint(payload, r.days.size());
   for (const auto& day : r.days) {
-    PutZigzag(payload, day.day);
+    pipeline::PutZigzag(payload, day.day);
     pipeline::PutVarint(payload, static_cast<std::uint64_t>(day.hours_seen));
-    PutZigzag(payload, day.last_hour);
+    pipeline::PutZigzag(payload, day.last_hour);
     pipeline::PutVarint(payload, day.rows.size());
     pipeline::EncodeRowsVerbatim(payload, day.rows);
+    if (format_version >= 2) {
+      pipeline::PutVarint(payload, day.shard_row_count);
+      EncodeCountTable(payload, day.shard_a);
+      EncodeCountTable(payload, day.shard_ap);
+      EncodeCountTable(payload, day.shard_al);
+    }
   }
   pipeline::PutVarint(payload, r.model_bundle.size());
   payload.write(r.model_bundle.data(),
@@ -68,7 +125,8 @@ std::string EncodeSnapshot(const SnapshotState& state) {
 
   const std::string body = payload.str();
   std::ostringstream out;
-  out.write(kSnapshotMagic, sizeof(kSnapshotMagic));
+  out.write(kSnapshotMagicPrefix, sizeof(kSnapshotMagicPrefix));
+  out.put(static_cast<char>('0' + format_version));
   pipeline::PutVarint(out, body.size());
   const std::uint32_t crc = util::Crc32c::Of(body);
   out.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
@@ -77,19 +135,20 @@ std::string EncodeSnapshot(const SnapshotState& state) {
 }
 
 util::StatusOr<SnapshotState> DecodeSnapshot(std::string_view bytes) {
-  if (bytes.size() < sizeof(kSnapshotMagic)) {
+  constexpr std::size_t kMagicBytes = sizeof(kSnapshotMagicPrefix) + 1;
+  if (bytes.size() < kMagicBytes) {
     return util::Status::Truncated("snapshot shorter than its magic");
   }
-  if (std::memcmp(bytes.data(), kSnapshotMagic, sizeof(kSnapshotMagic)) !=
-      0) {
-    if (std::memcmp(bytes.data(), kSnapshotMagic,
-                    sizeof(kSnapshotMagic) - 1) == 0) {
-      return util::Status::VersionMismatch(
-          "unsupported snapshot format version byte");
-    }
+  if (std::memcmp(bytes.data(), kSnapshotMagicPrefix,
+                  sizeof(kSnapshotMagicPrefix)) != 0) {
     return util::Status::Corrupt("bad snapshot magic");
   }
-  std::size_t pos = sizeof(kSnapshotMagic);
+  const int format_version = bytes[sizeof(kSnapshotMagicPrefix)] - '0';
+  if (format_version < 1 || format_version > kSnapshotFormatVersion) {
+    return util::Status::VersionMismatch(
+        "unsupported snapshot format version byte");
+  }
+  std::size_t pos = kMagicBytes;
   auto payload_size = pipeline::GetVarint(bytes, pos);
   if (!payload_size) {
     return util::Status::Truncated("snapshot header ends early");
@@ -122,18 +181,18 @@ util::StatusOr<SnapshotState> DecodeSnapshot(std::string_view bytes) {
   auto& r = state.retrainer;
   std::size_t p = 0;
   bool ok = true;
-  state.applied_seq = TakeVarint(payload, p, ok);
-  r.last_observed_hour = TakeZigzag(payload, p, ok);
-  r.last_day = TakeZigzag(payload, p, ok);
-  r.trained_through_day = TakeZigzag(payload, p, ok);
-  r.retrain_count = TakeVarint(payload, p, ok);
-  r.retrain_failures = TakeVarint(payload, p, ok);
-  r.consecutive_failures = TakeVarint(payload, p, ok);
-  r.dropped_hours = TakeVarint(payload, p, ok);
-  r.missing_days = TakeVarint(payload, p, ok);
-  r.partial_days = TakeVarint(payload, p, ok);
-  r.pending_retries = static_cast<int>(TakeZigzag(payload, p, ok));
-  const std::uint64_t day_count = TakeVarint(payload, p, ok);
+  state.applied_seq = pipeline::TakeVarint(payload, p, ok);
+  r.last_observed_hour = pipeline::TakeZigzag(payload, p, ok);
+  r.last_day = pipeline::TakeZigzag(payload, p, ok);
+  r.trained_through_day = pipeline::TakeZigzag(payload, p, ok);
+  r.retrain_count = pipeline::TakeVarint(payload, p, ok);
+  r.retrain_failures = pipeline::TakeVarint(payload, p, ok);
+  r.consecutive_failures = pipeline::TakeVarint(payload, p, ok);
+  r.dropped_hours = pipeline::TakeVarint(payload, p, ok);
+  r.missing_days = pipeline::TakeVarint(payload, p, ok);
+  r.partial_days = pipeline::TakeVarint(payload, p, ok);
+  r.pending_retries = static_cast<int>(pipeline::TakeZigzag(payload, p, ok));
+  const std::uint64_t day_count = pipeline::TakeVarint(payload, p, ok);
   if (!ok) {
     return util::Status::Corrupt("snapshot payload header is malformed");
   }
@@ -146,10 +205,10 @@ util::StatusOr<SnapshotState> DecodeSnapshot(std::string_view bytes) {
   r.days.reserve(static_cast<std::size_t>(day_count));
   for (std::uint64_t i = 0; i < day_count; ++i) {
     core::RetrainerState::Day day;
-    day.day = TakeZigzag(payload, p, ok);
-    day.hours_seen = static_cast<int>(TakeVarint(payload, p, ok));
-    day.last_hour = TakeZigzag(payload, p, ok);
-    const std::uint64_t row_count = TakeVarint(payload, p, ok);
+    day.day = pipeline::TakeZigzag(payload, p, ok);
+    day.hours_seen = static_cast<int>(pipeline::TakeVarint(payload, p, ok));
+    day.last_hour = pipeline::TakeZigzag(payload, p, ok);
+    const std::uint64_t row_count = pipeline::TakeVarint(payload, p, ok);
     if (!ok || row_count > (payload.size() - p) / kMinEncodedRowBytes) {
       return util::Status::Corrupt("snapshot day " + std::to_string(i) +
                                    " header is malformed");
@@ -158,9 +217,21 @@ util::StatusOr<SnapshotState> DecodeSnapshot(std::string_view bytes) {
       return util::Status::Corrupt("snapshot day " + std::to_string(i) +
                                    " rows end early");
     }
+    if (format_version >= 2) {
+      // v1 snapshots carry no shards; RestoreState rebuilds them from the
+      // rows, bit-identically (shard_row_count stays 0 == rows.size() only
+      // for genuinely empty days, where the empty shard is also correct).
+      day.shard_row_count = pipeline::TakeVarint(payload, p, ok);
+      if (!ok || !DecodeCountTable(payload, p, day.shard_a) ||
+          !DecodeCountTable(payload, p, day.shard_ap) ||
+          !DecodeCountTable(payload, p, day.shard_al)) {
+        return util::Status::Corrupt("snapshot day " + std::to_string(i) +
+                                     " count shard is malformed");
+      }
+    }
     r.days.push_back(std::move(day));
   }
-  const std::uint64_t bundle_size = TakeVarint(payload, p, ok);
+  const std::uint64_t bundle_size = pipeline::TakeVarint(payload, p, ok);
   if (!ok || bundle_size != payload.size() - p) {
     // The bundle must consume exactly the remaining payload — anything
     // else means a length was tampered with inside a (then wrong) CRC, or

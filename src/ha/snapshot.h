@@ -7,7 +7,12 @@
 // records with seq >= applied_seq (replay is idempotent under the seq
 // gate, so an overlap is skipped-and-counted, never double-ingested).
 //
-// On-disk layout:  "TIPSYSS1" | varint payload_size | crc32c | payload
+// On-disk layout:  "TIPSYSS2" | varint payload_size | crc32c | payload
+// Format v2 (current) adds each buffered day's mergeable count shard
+// (core/day_shard.h) after its rows, so a warm-started replica resumes
+// the *incremental* retraining path without re-aggregating the window;
+// v1 snapshots ("TIPSYSS1", rows only) remain readable - restore then
+// rebuilds the shards from the rows, bit-identically.
 // The CRC-32C covers the whole payload; every embedded length is
 // validated against the bytes actually present before any allocation
 // (same hostile-length discipline as pipeline/storage). Snapshots are
@@ -23,7 +28,7 @@
 
 namespace tipsy::ha {
 
-inline constexpr int kSnapshotFormatVersion = 1;  // magic "TIPSYSS1"
+inline constexpr int kSnapshotFormatVersion = 2;  // magic "TIPSYSS2"
 
 struct SnapshotState {
   core::RetrainerState retrainer;
@@ -32,7 +37,12 @@ struct SnapshotState {
   std::uint64_t applied_seq = 0;
 };
 
-[[nodiscard]] std::string EncodeSnapshot(const SnapshotState& state);
+// `format_version` exists for interop with old readers and the
+// backward-compat tests; new snapshots should use the default (v1 simply
+// omits the day shards).
+[[nodiscard]] std::string EncodeSnapshot(
+    const SnapshotState& state,
+    int format_version = kSnapshotFormatVersion);
 // Typed failures: kCorrupt (bad magic, checksum mismatch, impossible
 // lengths), kVersionMismatch (recognized container, newer version),
 // kTruncated (bytes end mid-payload).

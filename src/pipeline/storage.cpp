@@ -265,6 +265,25 @@ std::optional<std::uint64_t> GetVarint(std::string_view bytes,
   return value;
 }
 
+std::uint64_t TakeVarint(std::string_view payload, std::size_t& pos,
+                         bool& ok) {
+  const auto value = GetVarint(payload, pos);
+  if (!value) {
+    ok = false;
+    return 0;
+  }
+  return *value;
+}
+
+std::int64_t TakeZigzag(std::string_view payload, std::size_t& pos,
+                        bool& ok) {
+  return ZigzagDecode(TakeVarint(payload, pos, ok));
+}
+
+void PutZigzag(std::ostream& out, std::int64_t value) {
+  PutVarint(out, ZigzagEncode(value));
+}
+
 void WriteV2Frame(std::ostream& out, util::HourIndex hour,
                   std::uint64_t count, std::string_view payload) {
   PutVarint(out, ZigzagEncode(hour));

@@ -18,6 +18,7 @@
 #include <iosfwd>
 #include <optional>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "pipeline/aggregate.h"
@@ -34,6 +35,19 @@ void PutVarint(std::ostream& out, std::uint64_t value);
 // advancing it. nullopt when the buffer ends mid-varint or it overflows.
 [[nodiscard]] std::optional<std::uint64_t> GetVarint(std::string_view bytes,
                                                      std::size_t& pos);
+
+// --- Bounds-checked payload-cursor helpers, shared by the decoders that
+// walk an in-memory checksummed payload (the HA snapshot and journal).
+// Each reads one value from `payload` at `pos` (advanced past it) and
+// clears the shared `ok` flag - returning 0 - when the buffer ends
+// mid-value; callers check `ok` once per section instead of per field.
+[[nodiscard]] std::uint64_t TakeVarint(std::string_view payload,
+                                       std::size_t& pos, bool& ok);
+[[nodiscard]] std::int64_t TakeZigzag(std::string_view payload,
+                                      std::size_t& pos, bool& ok);
+
+// Writes a zigzag-encoded varint (for occasionally-negative values).
+void PutZigzag(std::ostream& out, std::int64_t value);
 
 // Zigzag for occasionally-negative values (hours).
 [[nodiscard]] constexpr std::uint64_t ZigzagEncode(std::int64_t v) {

@@ -1,0 +1,417 @@
+// Incremental per-day-shard retraining (core/day_shard.h + the
+// DailyRetrainer's window aggregate).
+//
+// The load-bearing property throughout is *bit-identity*: a retrainer
+// maintaining mergeable day shards and refreshing the window by
+// merge-newest / subtract-expired must serve, at every day boundary and
+// after every ingest imperfection (duplicate re-delivery, out-of-order
+// hours, day gaps, snapshot warm-start), exactly the model a from-scratch
+// window rebuild serves - compared as core::SaveService bytes - and
+// report exactly the same ServiceHealth.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "core/day_shard.h"
+#include "core/online.h"
+#include "core/serialize.h"
+#include "ha/snapshot.h"
+#include "topo/generator.h"
+#include "util/status.h"
+
+namespace tipsy {
+namespace {
+
+// ---------------------------------------------------------------- fixtures
+
+pipeline::AggRow MakeRow(std::uint32_t f, std::uint32_t link,
+                         util::HourIndex hour, std::uint64_t bytes) {
+  pipeline::AggRow row;
+  row.link = util::LinkId{link};
+  row.src_asn = util::AsId{100 + f};
+  row.src_prefix24 = util::Ipv4Prefix(util::Ipv4Addr(f << 8), 24);
+  row.src_metro = util::MetroId{f % 2};
+  row.dest_region = util::RegionId{f % 3};
+  row.dest_service =
+      f % 2 == 0 ? wan::ServiceType::kWeb : wan::ServiceType::kStorage;
+  row.dest_prefix = util::PrefixId{1 + f % 3};
+  row.bytes = bytes;
+  row.hour = hour;
+  return row;
+}
+
+std::string ServiceBytes(const core::TipsyService* service) {
+  if (service == nullptr) return {};
+  std::ostringstream out;
+  core::SaveService(*service, out);
+  return out.str();
+}
+
+struct IncrementalFixture {
+  IncrementalFixture()
+      : topology(topo::GenerateTinyTopology()),
+        wan(topology.peering_links,
+            topology.graph.node(topology.wan).presence, 8, 1) {}
+
+  // A small but non-trivial hour: several tuples, link choice rotating
+  // with the hour so day shards genuinely differ from each other.
+  [[nodiscard]] std::vector<pipeline::AggRow> HourRows(
+      util::HourIndex hour) const {
+    std::vector<pipeline::AggRow> rows;
+    const auto links = static_cast<std::uint32_t>(wan.link_count());
+    for (std::uint32_t f = 0; f < 5; ++f) {
+      rows.push_back(MakeRow(f, (f + static_cast<std::uint32_t>(hour)) % links,
+                             hour, 500 + 13 * f + 7 * hour));
+    }
+    return rows;
+  }
+
+  [[nodiscard]] core::DailyRetrainer MakeRetrainer(
+      int window_days, bool incremental,
+      core::TipsyConfig config = {}) const {
+    core::RetrainPolicy policy;
+    policy.incremental_retrain = incremental;
+    return core::DailyRetrainer(&wan, &topology.metros, window_days, config,
+                                policy);
+  }
+
+  topo::GeneratedTopology topology;
+  wan::Wan wan;
+};
+
+// Drives an incremental and a full-rebuild retrainer through the same
+// event stream, asserting bit-identical serving + health after every
+// event. Events: ingest of HourRows(hour), or a bare heartbeat.
+struct Event {
+  util::HourIndex hour = 0;
+  bool heartbeat = false;
+};
+
+void RunLockstep(const IncrementalFixture& fixture, int window_days,
+                 const std::vector<Event>& events) {
+  auto incremental = fixture.MakeRetrainer(window_days, true);
+  auto full = fixture.MakeRetrainer(window_days, false);
+  ASSERT_TRUE(incremental.incremental_enabled());
+  ASSERT_FALSE(full.incremental_enabled());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const auto& event = events[i];
+    if (event.heartbeat) {
+      incremental.AdvanceTo(event.hour);
+      full.AdvanceTo(event.hour);
+    } else {
+      const auto rows = fixture.HourRows(event.hour);
+      incremental.Ingest(event.hour, rows);
+      full.Ingest(event.hour, rows);
+    }
+    ASSERT_EQ(ServiceBytes(incremental.current()),
+              ServiceBytes(full.current()))
+        << "diverged after event " << i << " (hour " << event.hour << ")";
+    ASSERT_EQ(incremental.health_snapshot(), full.health_snapshot())
+        << "health diverged after event " << i;
+  }
+  // Every successful retrain of the incremental retrainer took the
+  // incremental path, and the window aggregate never had to self-heal.
+  EXPECT_EQ(incremental.incremental_retrains(), incremental.retrain_count());
+  EXPECT_EQ(incremental.incremental_rebuilds(), 0u);
+  EXPECT_GT(incremental.retrain_count(), 0u);
+}
+
+std::vector<Event> InOrderHours(util::HourIndex begin, util::HourIndex end) {
+  std::vector<Event> events;
+  for (util::HourIndex h = begin; h < end; ++h) events.push_back({h, false});
+  return events;
+}
+
+// --------------------------------------------------- count table algebra
+
+TEST(TupleCountTable, MergeMatchesSerialAdd) {
+  IncrementalFixture fixture;
+  core::TupleCountTable serial(core::FeatureSet::kAP);
+  core::TupleCountTable first(core::FeatureSet::kAP);
+  core::TupleCountTable second(core::FeatureSet::kAP);
+  for (util::HourIndex h = 0; h < 48; ++h) {
+    for (const auto& row : fixture.HourRows(h)) {
+      serial.Add(row);
+      (h < 24 ? first : second).Add(row);
+    }
+  }
+  core::TupleCountTable merged = first;
+  merged.Merge(second);
+  EXPECT_TRUE(merged.SameCounts(serial));
+  // Merge appends links in first-seen order, exactly like the serial
+  // pass, so even the exported link order is identical.
+  const auto a = merged.Export();
+  const auto b = serial.Export();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].key, b[i].key);
+    EXPECT_EQ(a[i].total_bytes, b[i].total_bytes);
+    ASSERT_EQ(a[i].links.size(), b[i].links.size());
+    for (std::size_t j = 0; j < a[i].links.size(); ++j) {
+      EXPECT_EQ(a[i].links[j].link, b[i].links[j].link);
+      EXPECT_EQ(a[i].links[j].bytes, b[i].links[j].bytes);
+    }
+  }
+}
+
+TEST(TupleCountTable, SubtractInvertsMergeAndErasesZeros) {
+  IncrementalFixture fixture;
+  core::TupleCountTable day1(core::FeatureSet::kAL);
+  core::TupleCountTable day2(core::FeatureSet::kAL);
+  for (util::HourIndex h = 0; h < 24; ++h) {
+    for (const auto& row : fixture.HourRows(h)) day1.Add(row);
+  }
+  for (util::HourIndex h = 24; h < 48; ++h) {
+    for (const auto& row : fixture.HourRows(h)) day2.Add(row);
+  }
+  core::TupleCountTable window = day1;
+  window.Merge(day2);
+  ASSERT_TRUE(window.Subtract(day1).ok());
+  // Exactly day2 remains: every day1-only link and tuple hit 0.0 and was
+  // erased, none of day2's mass was touched.
+  EXPECT_TRUE(window.SameCounts(day2));
+  EXPECT_EQ(window.tuple_count(), day2.tuple_count());
+}
+
+TEST(TupleCountTable, SubtractingUnknownMassIsTypedAndNonDestructive) {
+  IncrementalFixture fixture;
+  core::TupleCountTable table(core::FeatureSet::kA);
+  for (const auto& row : fixture.HourRows(3)) table.Add(row);
+  const auto before = table.Export();
+
+  // A tuple this table never saw.
+  core::TupleCountTable foreign(core::FeatureSet::kA);
+  foreign.Add(MakeRow(99, 0, 3, 1000));
+  const auto unknown = table.Subtract(foreign);
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_EQ(unknown.code(), util::StatusCode::kInvalidArgument);
+
+  // A known tuple with more byte mass than the table holds (underflow).
+  core::TupleCountTable doubled(core::FeatureSet::kA);
+  for (const auto& row : fixture.HourRows(3)) {
+    doubled.Add(row);
+    doubled.Add(row);
+  }
+  const auto underflow = table.Subtract(doubled);
+  ASSERT_FALSE(underflow.ok());
+  EXPECT_EQ(underflow.code(), util::StatusCode::kInvalidArgument);
+
+  // Both failures validated before mutating: the table is untouched.
+  const auto after = table.Export();
+  ASSERT_EQ(after.size(), before.size());
+  for (std::size_t i = 0; i < after.size(); ++i) {
+    EXPECT_EQ(after[i].key, before[i].key);
+    EXPECT_EQ(after[i].total_bytes, before[i].total_bytes);
+  }
+}
+
+TEST(TupleCountTable, ExportRoundTrips) {
+  IncrementalFixture fixture;
+  core::TupleCountTable table(core::FeatureSet::kAP);
+  for (util::HourIndex h = 0; h < 24; ++h) {
+    for (const auto& row : fixture.HourRows(h)) table.Add(row);
+  }
+  const auto restored = core::TupleCountTable::FromExport(
+      core::FeatureSet::kAP, true, table.Export());
+  EXPECT_TRUE(restored.SameCounts(table));
+  EXPECT_EQ(restored.tuple_count(), table.tuple_count());
+}
+
+TEST(DayShard, BuildMatchesIncrementalAddRows) {
+  IncrementalFixture fixture;
+  core::DayShard incremental;
+  incremental.day = 0;
+  std::vector<pipeline::AggRow> all;
+  for (util::HourIndex h = 0; h < 24; ++h) {
+    const auto rows = fixture.HourRows(h);
+    incremental.AddRows(rows);
+    all.insert(all.end(), rows.begin(), rows.end());
+  }
+  const auto built = core::DayShard::Build(0, all);
+  EXPECT_EQ(built.row_count, incremental.row_count);
+  EXPECT_TRUE(built.tables.a.SameCounts(incremental.tables.a));
+  EXPECT_TRUE(built.tables.ap.SameCounts(incremental.tables.ap));
+  EXPECT_TRUE(built.tables.al.SameCounts(incremental.tables.al));
+}
+
+// ------------------------------------------- retrainer window edge cases
+
+TEST(IncrementalRetrain, BitIdenticalAtEveryBoundaryThroughWindowTurnover) {
+  IncrementalFixture fixture;
+  // 10 days through a 3-day window: the ring fills, then turns over seven
+  // times, exercising merge-newest + subtract-expired on most boundaries.
+  RunLockstep(fixture, /*window_days=*/3, InOrderHours(0, 240));
+}
+
+TEST(IncrementalRetrain, ColdStartWindowShorterThanHorizon) {
+  IncrementalFixture fixture;
+  // Only 4 days into a 21-day window: every boundary merges, nothing has
+  // expired yet, and the early-window models must still match.
+  RunLockstep(fixture, /*window_days=*/21, InOrderHours(0, 96));
+}
+
+TEST(IncrementalRetrain, DuplicateHourRedeliveryStaysIdentical) {
+  IncrementalFixture fixture;
+  // A journal replay that overlaps the live stream re-delivers hours at
+  // the ingest clock; the retrainer accepts them (not behind the clock),
+  // so both paths must double-count identically.
+  std::vector<Event> events;
+  for (util::HourIndex h = 0; h < 72; ++h) {
+    events.push_back({h, false});
+    if (h % 10 == 9) events.push_back({h, false});  // duplicate delivery
+  }
+  RunLockstep(fixture, /*window_days=*/3, events);
+}
+
+TEST(IncrementalRetrain, OutOfOrderAndGappedDaysStayIdentical) {
+  IncrementalFixture fixture;
+  std::vector<Event> events;
+  for (util::HourIndex h = 0; h < 48; ++h) events.push_back({h, false});
+  events.push_back({20, false});   // late replay from day 0: dropped
+  for (util::HourIndex h = 96; h < 120; ++h) {
+    events.push_back({h, false});  // days 2-3 never arrive (collector gap)
+  }
+  events.push_back({50, false});   // late replay from the gap: dropped
+  events.push_back({130, true});   // heartbeat crosses a boundary, no data
+  for (util::HourIndex h = 144; h < 192; ++h) events.push_back({h, false});
+  RunLockstep(fixture, /*window_days=*/3, events);
+}
+
+TEST(IncrementalRetrain, NaiveBayesConfigFallsBackToFullRebuild) {
+  IncrementalFixture fixture;
+  core::TipsyConfig config;
+  config.train_naive_bayes = true;
+  auto retrainer = fixture.MakeRetrainer(/*window_days=*/3, true, config);
+  // Naive Bayes is trained from the buffered rows only; the policy flag
+  // must not put a NB-configured retrainer on the incremental path.
+  EXPECT_FALSE(retrainer.incremental_enabled());
+  for (util::HourIndex h = 0; h < 72; ++h) {
+    retrainer.Ingest(h, fixture.HourRows(h));
+  }
+  EXPECT_NE(retrainer.current(), nullptr);
+  EXPECT_GT(retrainer.retrain_count(), 0u);
+  EXPECT_EQ(retrainer.incremental_retrains(), 0u);
+}
+
+// ------------------------------------------------- snapshot warm starts
+
+// Runs `hours` of in-order ingest and returns the retrainer's state.
+core::RetrainerState TrainedState(const IncrementalFixture& fixture,
+                                  core::DailyRetrainer& retrainer,
+                                  util::HourIndex hours) {
+  for (util::HourIndex h = 0; h < hours; ++h) {
+    retrainer.Ingest(h, fixture.HourRows(h));
+  }
+  return retrainer.ExportState();
+}
+
+TEST(IncrementalSnapshot, V2RoundTripsDayShardsExactly) {
+  IncrementalFixture fixture;
+  auto retrainer = fixture.MakeRetrainer(/*window_days=*/3, true);
+  ha::SnapshotState state;
+  // 100 hours: mid-day handoff, so the newest day's shard is unfolded.
+  state.retrainer = TrainedState(fixture, retrainer, 100);
+  state.applied_seq = 100;
+
+  const std::string bytes = ha::EncodeSnapshot(state);
+  auto decoded = ha::DecodeSnapshot(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded->retrainer.days.size(), state.retrainer.days.size());
+  for (std::size_t i = 0; i < state.retrainer.days.size(); ++i) {
+    const auto& original = state.retrainer.days[i];
+    const auto& restored = decoded->retrainer.days[i];
+    EXPECT_EQ(restored.shard_row_count, original.rows.size());
+    ASSERT_EQ(restored.shard_ap.size(), original.shard_ap.size());
+    for (std::size_t t = 0; t < original.shard_ap.size(); ++t) {
+      EXPECT_EQ(restored.shard_ap[t].key, original.shard_ap[t].key);
+      EXPECT_EQ(restored.shard_ap[t].total_bytes,
+                original.shard_ap[t].total_bytes);
+      ASSERT_EQ(restored.shard_ap[t].links.size(),
+                original.shard_ap[t].links.size());
+      for (std::size_t l = 0; l < original.shard_ap[t].links.size(); ++l) {
+        EXPECT_EQ(restored.shard_ap[t].links[l].link,
+                  original.shard_ap[t].links[l].link);
+        EXPECT_EQ(restored.shard_ap[t].links[l].bytes,
+                  original.shard_ap[t].links[l].bytes);
+      }
+    }
+  }
+  // Re-encoding the decoded state reproduces the snapshot byte for byte.
+  EXPECT_EQ(ha::EncodeSnapshot(*decoded), bytes);
+}
+
+// Warm-starts a fresh retrainer from `bytes` and runs it lockstep against
+// the uninterrupted original for two more days of ingest.
+void ContinueBitIdentically(const IncrementalFixture& fixture,
+                            core::DailyRetrainer& original,
+                            const std::string& bytes,
+                            util::HourIndex resume_hour) {
+  auto decoded = ha::DecodeSnapshot(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  auto restored = fixture.MakeRetrainer(/*window_days=*/3, true);
+  ASSERT_TRUE(restored.RestoreState(decoded->retrainer).ok());
+  ASSERT_EQ(ServiceBytes(restored.current()),
+            ServiceBytes(original.current()));
+  for (util::HourIndex h = resume_hour; h < resume_hour + 48; ++h) {
+    const auto rows = fixture.HourRows(h);
+    original.Ingest(h, rows);
+    restored.Ingest(h, rows);
+    ASSERT_EQ(ServiceBytes(restored.current()),
+              ServiceBytes(original.current()))
+        << "diverged at hour " << h;
+    ASSERT_EQ(restored.health_snapshot(), original.health_snapshot());
+  }
+  // The warm-started replica is on the incremental path, not silently
+  // re-aggregating the window each boundary.
+  EXPECT_TRUE(restored.incremental_enabled());
+  EXPECT_GT(restored.incremental_retrains(), 0u);
+  EXPECT_EQ(restored.incremental_rebuilds(), 0u);
+}
+
+TEST(IncrementalSnapshot, WarmStartContinuesIncrementally) {
+  IncrementalFixture fixture;
+  auto original = fixture.MakeRetrainer(/*window_days=*/3, true);
+  ha::SnapshotState state;
+  state.retrainer = TrainedState(fixture, original, 100);
+  ContinueBitIdentically(fixture, original, ha::EncodeSnapshot(state), 100);
+}
+
+TEST(IncrementalSnapshot, V1SnapshotRebuildsShardsBitIdentically) {
+  IncrementalFixture fixture;
+  auto original = fixture.MakeRetrainer(/*window_days=*/3, true);
+  ha::SnapshotState state;
+  state.retrainer = TrainedState(fixture, original, 100);
+  // A v1 snapshot (pre-shard format) carries rows only; restore rebuilds
+  // every day shard from them and the replica continues incrementally,
+  // bit-identical to the exporter.
+  const std::string v1 = ha::EncodeSnapshot(state, /*format_version=*/1);
+  auto decoded = ha::DecodeSnapshot(v1);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  for (const auto& day : decoded->retrainer.days) {
+    EXPECT_EQ(day.shard_row_count, 0u);
+    EXPECT_TRUE(day.shard_a.empty());
+    EXPECT_TRUE(day.shard_ap.empty());
+    EXPECT_TRUE(day.shard_al.empty());
+  }
+  ContinueBitIdentically(fixture, original, v1, 100);
+}
+
+TEST(IncrementalSnapshot, HostileShardLengthsAreRejectedWithoutAllocating) {
+  IncrementalFixture fixture;
+  auto retrainer = fixture.MakeRetrainer(/*window_days=*/3, true);
+  ha::SnapshotState state;
+  state.retrainer = TrainedState(fixture, retrainer, 30);
+  const std::string bytes = ha::EncodeSnapshot(state);
+  ASSERT_TRUE(ha::DecodeSnapshot(bytes).ok());
+  // Truncating inside the shard section must be caught (the CRC no longer
+  // matches the shortened payload) - typed, not a crash or a bad alloc.
+  for (std::size_t cut = 1; cut <= 64; cut += 7) {
+    auto truncated = ha::DecodeSnapshot(bytes.substr(0, bytes.size() - cut));
+    ASSERT_FALSE(truncated.ok());
+    EXPECT_EQ(truncated.status().code(), util::StatusCode::kTruncated);
+  }
+}
+
+}  // namespace
+}  // namespace tipsy

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Validate the BENCH_*.json artifacts the bench binaries emit.
+
+CI runs the benches in smoke mode and then this script, so a refactor
+that silently breaks an emitter (malformed JSON, a dropped key, an empty
+series) fails the pipeline instead of producing a hollow artifact.
+
+Usage: check_bench_json.py [dir]
+  Scans `dir` (default: the current directory) for BENCH_*.json. Known
+  files are checked against their schema: required top-level keys, the
+  name of their series array, per-entry required keys, and that every
+  series is non-empty. Unknown BENCH_*.json files only need to be valid
+  JSON objects with a "bench" key and at least one non-empty list value.
+Exits non-zero, listing every problem, if anything is malformed.
+"""
+
+import json
+import pathlib
+import sys
+
+# file name -> (required top-level keys, series key, required series-entry
+# keys). Every listed series must be a non-empty list of objects.
+SCHEMAS = {
+    "BENCH_parallel.json": (
+        {"bench", "hardware_concurrency", "train_rows", "points"},
+        "points",
+        {"threads", "train_rows_per_s", "eval_cases_per_s", "bit_identical"},
+    ),
+    "BENCH_robustness.json": (
+        {"bench", "warmup_days", "live_days", "window_days", "classes"},
+        "classes",
+        {"name", "top1", "delta_top1_vs_clean", "worst_health",
+         "final_health", "retrain_failures"},
+    ),
+    "BENCH_ha.json": (
+        {"bench", "warmup_days", "live_days", "window_days", "crash_cases",
+         "failover"},
+        "crash_cases",
+        {"name", "crash_at_hour", "restore_source", "replayed_records",
+         "recovery_ms", "bit_identical"},
+    ),
+    "BENCH_incremental.json": (
+        {"bench", "window_days", "total_days", "steady_state", "boundaries"},
+        "boundaries",
+        {"day", "window_rows", "full_ms", "incremental_ms", "steady_state",
+         "bit_identical"},
+    ),
+}
+
+
+def check_file(path: pathlib.Path) -> list[str]:
+    problems = []
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        return [f"{path.name}: unreadable or malformed JSON: {error}"]
+    if not isinstance(data, dict):
+        return [f"{path.name}: top level is not a JSON object"]
+
+    schema = SCHEMAS.get(path.name)
+    if schema is None:
+        if "bench" not in data:
+            problems.append(f"{path.name}: missing required key 'bench'")
+        if not any(isinstance(v, list) and v for v in data.values()):
+            problems.append(f"{path.name}: no non-empty series array")
+        return problems
+
+    required, series_key, entry_keys = schema
+    for key in sorted(required - data.keys()):
+        problems.append(f"{path.name}: missing required key '{key}'")
+    series = data.get(series_key)
+    if not isinstance(series, list) or not series:
+        problems.append(
+            f"{path.name}: series '{series_key}' is missing or empty")
+        return problems
+    for index, entry in enumerate(series):
+        if not isinstance(entry, dict):
+            problems.append(
+                f"{path.name}: {series_key}[{index}] is not an object")
+            continue
+        for key in sorted(entry_keys - entry.keys()):
+            problems.append(
+                f"{path.name}: {series_key}[{index}] missing key '{key}'")
+    return problems
+
+
+def main() -> int:
+    directory = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else ".")
+    files = sorted(directory.glob("BENCH_*.json"))
+    if not files:
+        print(f"check_bench_json: no BENCH_*.json found in {directory}",
+              file=sys.stderr)
+        return 1
+    problems = []
+    for path in files:
+        issues = check_file(path)
+        problems.extend(issues)
+        status = "FAIL" if issues else "OK"
+        print(f"{status:4} {path.name}")
+    for problem in problems:
+        print(f"  {problem}", file=sys.stderr)
+    if problems:
+        print(f"check_bench_json: {len(problems)} problem(s)",
+              file=sys.stderr)
+        return 1
+    print(f"check_bench_json: {len(files)} file(s) valid")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,11 +4,12 @@
 # Pass 1 (address by default): configures a dedicated build tree with
 # -DTIPSY_SANITIZE=<sanitizer> and runs the persistence format tests, the
 # robustness suite (exhaustive single-byte-flip sweeps over the model
-# bundle and row file formats) and the HA suite (the same sweeps over the
-# hour journal and snapshot formats, plus the crash/restore matrix).
-# Every mutation must either load bit-identically or fail with a typed
-# Status - never crash, leak, or over-allocate; ASan turns any violation
-# into a hard failure.
+# bundle and row file formats), the HA suite (the same sweeps over the
+# hour journal and snapshot formats, plus the crash/restore matrix) and
+# the incremental-retraining suite (day-shard algebra + snapshot v1/v2
+# warm starts). Every mutation must either load bit-identically or fail
+# with a typed Status - never crash, leak, or over-allocate; the
+# sanitizer turns any violation into a hard failure.
 #
 # Pass 2 (thread): rebuilds with -DTIPSY_SANITIZE=thread and runs the HA
 # supervisor's concurrency tests (heartbeats from replica threads racing
@@ -16,35 +17,72 @@
 # turns any data race into a hard failure. Skipped when the requested
 # sanitizer *is* thread (pass 1 already covers it).
 #
+# Every pass runs even after an earlier one fails; the script prints a
+# per-pass PASS/FAIL summary and exits non-zero if any pass failed.
+#
 #   tools/run_sanitized_fuzz.sh [address|undefined|thread]
-set -euo pipefail
+set -uo pipefail
 
 SANITIZER="${1:-address}"
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${ROOT}/build-${SANITIZER}"
 
-cmake -B "${BUILD}" -S "${ROOT}" -DTIPSY_SANITIZE="${SANITIZER}" \
-      -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "${BUILD}" -j --target robustness_test persistence_test \
-      ha_test
+PASS_NAMES=()
+PASS_RESULTS=()
+FAILED=0
 
-echo "=== robustness_test (byte-flip fuzz) under ${SANITIZER} sanitizer ==="
-"${BUILD}/tests/robustness_test"
-echo "=== persistence_test under ${SANITIZER} sanitizer ==="
-"${BUILD}/tests/persistence_test"
-echo "=== ha_test (journal/snapshot fuzz + crash matrix) under ${SANITIZER} sanitizer ==="
-"${BUILD}/tests/ha_test"
+# run_pass <name> <command...>: runs the command, records PASS/FAIL, and
+# keeps going so one failing suite cannot mask findings in the others.
+run_pass() {
+  local name="$1"
+  shift
+  echo "=== ${name} ==="
+  if "$@"; then
+    PASS_NAMES+=("${name}")
+    PASS_RESULTS+=("PASS")
+  else
+    local status=$?
+    PASS_NAMES+=("${name}")
+    PASS_RESULTS+=("FAIL (exit ${status})")
+    FAILED=1
+  fi
+}
+
+# A build failure is fatal: there is nothing meaningful to run or report.
+cmake -B "${BUILD}" -S "${ROOT}" -DTIPSY_SANITIZE="${SANITIZER}" \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo || exit 1
+cmake --build "${BUILD}" -j --target robustness_test persistence_test \
+      ha_test incremental_test || exit 1
+
+run_pass "robustness_test (byte-flip fuzz) under ${SANITIZER} sanitizer" \
+    "${BUILD}/tests/robustness_test"
+run_pass "persistence_test under ${SANITIZER} sanitizer" \
+    "${BUILD}/tests/persistence_test"
+run_pass "ha_test (journal/snapshot fuzz + crash matrix) under ${SANITIZER} sanitizer" \
+    "${BUILD}/tests/ha_test"
+run_pass "incremental_test (day-shard algebra + snapshot warm starts) under ${SANITIZER} sanitizer" \
+    "${BUILD}/tests/incremental_test"
 
 if [[ "${SANITIZER}" != "thread" ]]; then
   TSAN_BUILD="${ROOT}/build-thread"
   cmake -B "${TSAN_BUILD}" -S "${ROOT}" -DTIPSY_SANITIZE=thread \
-        -DCMAKE_BUILD_TYPE=RelWithDebInfo
-  cmake --build "${TSAN_BUILD}" -j --target ha_test parallel_test
-  echo "=== ha_test supervisor/heartbeat races under thread sanitizer ==="
-  "${TSAN_BUILD}/tests/ha_test" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo || exit 1
+  cmake --build "${TSAN_BUILD}" -j --target ha_test parallel_test || exit 1
+  run_pass "ha_test supervisor/heartbeat races under thread sanitizer" \
+      "${TSAN_BUILD}/tests/ha_test" \
       --gtest_filter='Supervisor.*:HeartbeatFaults.*'
-  echo "=== parallel_test under thread sanitizer ==="
-  "${TSAN_BUILD}/tests/parallel_test"
+  run_pass "parallel_test under thread sanitizer" \
+      "${TSAN_BUILD}/tests/parallel_test"
 fi
 
+echo
+echo "=== sanitizer pass summary ==="
+for i in "${!PASS_NAMES[@]}"; do
+  printf '%-10s %s\n' "${PASS_RESULTS[$i]}" "${PASS_NAMES[$i]}"
+done
+
+if [[ "${FAILED}" -ne 0 ]]; then
+  echo "FAIL: at least one sanitizer pass failed"
+  exit 1
+fi
 echo "OK: no sanitizer findings"
