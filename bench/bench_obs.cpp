@@ -1,0 +1,325 @@
+// Observability overhead bench: what the metrics instrumentation costs
+// on the prediction hot path.
+//
+// Not a paper table. PR 5's obs layer wires counters and a sampled
+// latency timer into TipsyService::PredictShift; the acceptance bar is
+// <3% added latency versus an uninstrumented path. The baseline here is
+// an inline replica of PredictShift's aggregation loop (Best().Predict +
+// byte spreading) with no instrumentation — exactly what the function
+// body compiles to under -DTIPSY_NO_OBS — run against the identical
+// trained service and query stream. Both paths are timed in alternating
+// rounds (min-of-rounds, so scheduler noise cannot inflate one side
+// only), across CMS-realistic batch sizes.
+//
+// Also reported: the raw cost of each obs primitive (counter increment,
+// histogram observe, span, scrape), so a regression can be localized.
+//
+// Writes results/bench_obs.csv and BENCH_obs.json in the working
+// directory. Always exits 0: the 3% target is asserted by CI over the
+// committed artifact, not by this binary racing the machine it runs on.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/tipsy_service.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "scenario/scenario.h"
+#include "util/table.h"
+
+using namespace tipsy;
+
+namespace {
+
+std::string Fixed(double v, int digits = 1) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", digits, v);
+  return buffer;
+}
+
+// PredictShift's body with the instrumentation stripped: the compiled-out
+// (TIPSY_NO_OBS) behaviour of the prediction path, independent of how
+// this binary itself was configured. Kept in sync with
+// core/tipsy_service.cpp by ObsServiceWiring tests asserting the
+// instrumented path's *results* are unchanged.
+core::TipsyService::ShiftPrediction BaselinePredictShift(
+    const core::TipsyService& service,
+    std::span<const core::TipsyService::ShiftQueryFlow> flows,
+    const core::ExclusionMask& excluded, std::size_t k) {
+  core::TipsyService::ShiftPrediction out;
+  for (const auto& query : flows) {
+    const auto predictions = service.Best().Predict(query.flow, k, &excluded);
+    if (predictions.empty()) {
+      out.unpredicted_bytes += query.bytes;
+      continue;
+    }
+    double total_probability = 0.0;
+    for (const auto& p : predictions) total_probability += p.probability;
+    if (total_probability <= 0.0) {
+      out.unpredicted_bytes += query.bytes;
+      continue;
+    }
+    for (const auto& p : predictions) {
+      out.shifted[p.link] +=
+          query.bytes * (p.probability / total_probability);
+    }
+  }
+  return out;
+}
+
+struct BatchPoint {
+  std::size_t batch = 0;          // flows per PredictShift query
+  std::size_t queries = 0;        // timed queries per round
+  double baseline_ns = 0.0;       // min-of-rounds, per query
+  double instrumented_ns = 0.0;   // min-of-rounds, per query
+  [[nodiscard]] double overhead_pct() const {
+    return baseline_ns > 0.0
+               ? (instrumented_ns - baseline_ns) / baseline_ns * 100.0
+               : 0.0;
+  }
+};
+
+struct Primitive {
+  std::string name;
+  double ns_per_op = 0.0;
+};
+
+// Keeps results observable so the optimizer cannot delete a timed loop.
+double g_sink = 0.0;
+
+double TimePrimitive(std::size_t ops, const std::function<void()>& op) {
+  const std::uint64_t start = obs::NowNanos();
+  for (std::size_t i = 0; i < ops; ++i) op();
+  return static_cast<double>(obs::NowNanos() - start) /
+         static_cast<double>(ops);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto options = bench::BenchOptions::Parse(argc, argv);
+  const int rounds = options.small ? 5 : 9;
+  const std::size_t target_queries_per_round = options.small ? 2000 : 20000;
+
+  bench::PrintHeader("bench_obs",
+                     "instrumentation overhead on the prediction path; no "
+                     "paper table - PR 5 acceptance (<3% vs compiled-out)");
+#ifdef TIPSY_NO_OBS
+  const std::string mode = "no_obs";
+#else
+  const std::string mode = "obs";
+#endif
+  std::cout << "build mode: " << mode << " (TIPSY_NO_OBS "
+            << (mode == "no_obs" ? "on" : "off") << ")\n\n";
+
+  // A trained service over a simulated week: realistic table sizes and a
+  // query stream of flows the model has actually seen (the CMS queries
+  // flows taken from the congested link's rows).
+  auto cfg = scenario::TinyScenarioConfig();
+  cfg.traffic.flow_target = options.small ? 300 : 900;
+  if (options.seed != 0) {
+    cfg.seed = cfg.topology.seed = options.seed;
+    cfg.traffic.seed = options.seed + 1;
+    cfg.outages.seed = options.seed + 2;
+  }
+  scenario::Scenario world(cfg);
+  core::TipsyService service(&world.wan(), &world.metros());
+  std::vector<core::TipsyService::ShiftQueryFlow> flow_pool;
+  world.SimulateHours(
+      {0, 7 * util::kHoursPerDay},
+      [&](util::HourIndex, std::span<const pipeline::AggRow> rows) {
+        service.Train(rows);
+        for (const auto& row : rows) {
+          if (flow_pool.size() >= 4096) continue;
+          flow_pool.push_back(core::TipsyService::ShiftQueryFlow{
+              core::FlowFeatures{row.src_asn, row.src_prefix24,
+                                 row.src_metro, row.dest_region,
+                                 row.dest_service},
+              static_cast<double>(row.bytes)});
+        }
+      });
+  service.FinalizeTraining();
+  std::cout << "trained over 7 days, query pool " << flow_pool.size()
+            << " flows\n\n";
+
+  const core::ExclusionMask excluded(world.wan().link_count(), false);
+  const std::vector<std::size_t> batch_sizes{1, 4, 16, 64};
+
+  std::vector<BatchPoint> points;
+  std::size_t total_queries = 0;
+  for (const std::size_t batch : batch_sizes) {
+    BatchPoint point;
+    point.batch = batch;
+    point.queries = std::max<std::size_t>(target_queries_per_round / batch,
+                                          64);
+    point.baseline_ns = point.instrumented_ns = 1e18;
+
+    // Alternate the two paths inside every round: slow drift (thermal,
+    // scheduler) hits both sides equally, and min-of-rounds drops the
+    // noisy outliers.
+    for (int round = 0; round < rounds; ++round) {
+      std::size_t cursor = round;  // vary the query stream per round
+      const std::uint64_t b0 = obs::NowNanos();
+      for (std::size_t q = 0; q < point.queries; ++q) {
+        const std::size_t at = (cursor + q * batch) % flow_pool.size();
+        const std::size_t take =
+            std::min(batch, flow_pool.size() - at);
+        const auto result = BaselinePredictShift(
+            service,
+            std::span(flow_pool.data() + at, take), excluded, 3);
+        g_sink += result.unpredicted_bytes +
+                  static_cast<double>(result.shifted.size());
+      }
+      const std::uint64_t b1 = obs::NowNanos();
+      for (std::size_t q = 0; q < point.queries; ++q) {
+        const std::size_t at = (cursor + q * batch) % flow_pool.size();
+        const std::size_t take =
+            std::min(batch, flow_pool.size() - at);
+        const auto result = service.PredictShift(
+            std::span(flow_pool.data() + at, take), excluded, 3);
+        g_sink += result.unpredicted_bytes +
+                  static_cast<double>(result.shifted.size());
+      }
+      const std::uint64_t b2 = obs::NowNanos();
+      point.baseline_ns = std::min(
+          point.baseline_ns, static_cast<double>(b1 - b0) /
+                                 static_cast<double>(point.queries));
+      point.instrumented_ns = std::min(
+          point.instrumented_ns, static_cast<double>(b2 - b1) /
+                                     static_cast<double>(point.queries));
+    }
+    total_queries += point.queries * static_cast<std::size_t>(rounds) * 2;
+    points.push_back(point);
+  }
+
+  util::TextTable table({"Batch", "Queries/round", "Baseline ns/q",
+                         "Instrumented ns/q", "Overhead %"});
+  double sum_baseline = 0.0, sum_instrumented = 0.0;
+  for (const auto& p : points) {
+    sum_baseline += p.baseline_ns * static_cast<double>(p.queries);
+    sum_instrumented += p.instrumented_ns * static_cast<double>(p.queries);
+    table.AddRow({std::to_string(p.batch), std::to_string(p.queries),
+                  Fixed(p.baseline_ns), Fixed(p.instrumented_ns),
+                  Fixed(p.overhead_pct(), 2)});
+  }
+  table.Print(std::cout);
+
+  // The headline number: total instrumented time over total baseline time
+  // for the whole mixed-batch query stream, i.e. the overhead a CMS
+  // decision round actually pays.
+  const double overhead_pct =
+      sum_baseline > 0.0
+          ? (sum_instrumented - sum_baseline) / sum_baseline * 100.0
+          : 0.0;
+  const bool within_target = overhead_pct < 3.0;
+  std::cout << "\nprediction path: baseline "
+            << Fixed(sum_baseline / 1000.0) << " us, instrumented "
+            << Fixed(sum_instrumented / 1000.0) << " us per mixed sweep -> "
+            << Fixed(overhead_pct, 2) << "% overhead (target <3%): "
+            << (within_target ? "OK" : "OVER") << "\n\n";
+
+  // Primitive costs, for localizing a regression.
+  std::vector<Primitive> primitives;
+  {
+    obs::Counter counter;
+    primitives.push_back(
+        {"counter_increment",
+         TimePrimitive(1 << 20, [&] { counter.Increment(); })});
+    obs::Gauge gauge;
+    double x = 0.0;
+    primitives.push_back(
+        {"gauge_set", TimePrimitive(1 << 20, [&] { gauge.Set(x += 1.0); })});
+    obs::Histogram hist;
+    primitives.push_back(
+        {"histogram_observe",
+         TimePrimitive(1 << 20, [&] { hist.Observe(1.5e-4); })});
+    primitives.push_back({"scoped_timer_disabled", TimePrimitive(1 << 20, [] {
+                            obs::ScopedTimer timer(nullptr);
+                          })});
+    primitives.push_back({"scoped_timer_active", TimePrimitive(1 << 18, [&] {
+                            obs::ScopedTimer timer(&hist);
+                          })});
+    obs::Tracer tracer(256);
+    primitives.push_back({"trace_span", TimePrimitive(1 << 16, [&] {
+                            obs::Span span(&tracer, "bench", nullptr);
+                          })});
+    // A scrape over a registry the size of the full serving plane's.
+    obs::Registry registry;
+    std::vector<obs::Registration> handles;
+    std::vector<obs::Counter> counters(40);
+    for (std::size_t i = 0; i < counters.size(); ++i) {
+      handles.push_back(registry.RegisterCounter(
+          "tipsy_bench_counter_" + std::to_string(i), "", &counters[i]));
+    }
+    handles.push_back(
+        registry.RegisterHistogram("tipsy_bench_latency", "", &hist));
+    primitives.push_back({"registry_scrape_prometheus",
+                          TimePrimitive(1 << 10, [&] {
+                            g_sink += static_cast<double>(
+                                registry.RenderPrometheusText().size());
+                          })});
+  }
+  util::TextTable prim_table({"Primitive", "ns/op"});
+  for (const auto& p : primitives) {
+    prim_table.AddRow({p.name, Fixed(p.ns_per_op, 1)});
+  }
+  prim_table.Print(std::cout);
+
+  std::vector<std::vector<std::string>> csv{
+      {"batch", "queries", "baseline_ns", "instrumented_ns",
+       "overhead_pct"}};
+  for (const auto& p : points) {
+    csv.push_back({std::to_string(p.batch), std::to_string(p.queries),
+                   Fixed(p.baseline_ns, 1), Fixed(p.instrumented_ns, 1),
+                   Fixed(p.overhead_pct(), 2)});
+  }
+  csv.push_back({"primitive", "ns_per_op", "", "", ""});
+  for (const auto& p : primitives) {
+    csv.push_back({p.name, Fixed(p.ns_per_op, 1), "", "", ""});
+  }
+  bench::WriteCsv("bench_obs", csv);
+
+  std::ofstream json("BENCH_obs.json");
+  if (json) {
+    json << "{\n  \"bench\": \"obs_overhead\",\n";
+    json << "  \"mode\": \"" << mode << "\",\n";
+    json << "  \"queries\": " << total_queries << ",\n";
+    json << "  \"prediction_path\": {\"baseline_ns_per_query\": "
+         << Fixed(sum_baseline / static_cast<double>(total_queries / 2), 1)
+         << ", \"instrumented_ns_per_query\": "
+         << Fixed(sum_instrumented / static_cast<double>(total_queries / 2),
+                  1)
+         << ", \"overhead_pct\": " << Fixed(overhead_pct, 2)
+         << ", \"within_target\": " << (within_target ? "true" : "false")
+         << "},\n";
+    json << "  \"points\": [\n";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const auto& p = points[i];
+      json << "    {\"batch\": " << p.batch << ", \"queries\": " << p.queries
+           << ", \"baseline_ns\": "
+           << Fixed(p.baseline_ns, 1) << ", \"instrumented_ns\": "
+           << Fixed(p.instrumented_ns, 1) << ", \"overhead_pct\": "
+           << Fixed(p.overhead_pct(), 2) << "}"
+           << (i + 1 < points.size() ? "," : "") << "\n";
+    }
+    json << "  ],\n  \"primitives\": [\n";
+    for (std::size_t i = 0; i < primitives.size(); ++i) {
+      json << "    {\"name\": \"" << primitives[i].name
+           << "\", \"ns_per_op\": " << Fixed(primitives[i].ns_per_op, 1)
+           << "}" << (i + 1 < primitives.size() ? "," : "") << "\n";
+    }
+    json << "  ]\n}\n";
+    std::cout << "\nwrote BENCH_obs.json\n";
+  }
+
+  if (!within_target) {
+    std::cout << "note: overhead above target on this run; CI validates "
+                 "the committed artifact, not this machine's timing.\n";
+  }
+  (void)g_sink;
+  return 0;
+}

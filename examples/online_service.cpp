@@ -12,6 +12,8 @@
 #include "core/online.h"
 #include "core/serialize.h"
 #include "ha/replica.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "scenario/scenario.h"
 #include "util/table.h"
 
@@ -34,6 +36,15 @@ int main(int argc, char** argv) {
   core::DailyRetrainer retrainer(&world.wan(), &world.metros(),
                                  /*window_days=*/14);
   std::unique_ptr<core::TipsyService> stale;  // trained once after warmup
+
+  // Observability (src/obs, docs/OPERATIONS.md): every component
+  // registers its counters into one registry, and the loop below dumps
+  // it periodically the way a /metrics endpoint would serve it.
+  obs::Registry registry;
+  obs::Tracer tracer(/*capacity=*/64);
+  retrainer.SetTracer(&tracer);
+  const obs::MetricGroup retrainer_metrics =
+      retrainer.RegisterMetrics(registry, "tipsy_retrainer");
 
   std::cout << "Warming up the online service on " << warmup_days
             << " days of telemetry...\n";
@@ -100,6 +111,36 @@ int main(int argc, char** argv) {
                   util::TextTable::Percent(fresh_accuracy.top1()),
                   util::TextTable::Percent(stale_accuracy.top1()),
                   std::to_string(retrainer.retrain_count())});
+
+    // Periodic /metrics dump. The fresh service's prediction-path
+    // metrics register only for the scrape: the service is replaced on
+    // the next retrain, and registrations must not outlive it. A few
+    // what-if queries against the day's flows give the latency histogram
+    // and top-k counters something to report.
+    if ((day + 1) % 5 == 0) {
+      std::vector<core::TipsyService::ShiftQueryFlow> queries;
+      for (const auto& [hour, rows] : day_rows) {
+        for (const auto& row : rows) {
+          if (queries.size() >= 64) break;
+          queries.push_back({core::FlowFeatures{row.src_asn, row.src_prefix24,
+                                                row.src_metro,
+                                                row.dest_region,
+                                                row.dest_service},
+                             static_cast<double>(row.bytes)});
+        }
+      }
+      const core::ExclusionMask excluded(world.wan().link_count(), false);
+      // Re-fetch: ingesting the day's first hour retrained and replaced
+      // the service `fresh` pointed at.
+      const core::TipsyService* current = retrainer.current();
+      (void)current->PredictShift(queries, excluded);
+      const obs::MetricGroup service_metrics =
+          current->RegisterMetrics(registry, "tipsy_service");
+      std::cout << "--- /metrics after day " << warmup_days + day
+                << " ---\n"
+                << registry.RenderPrometheusText()
+                << "--- end /metrics ---\n\n";
+    }
   }
   table.Print(std::cout);
   std::cout << "The stale model ages (Appendix B.2); daily retraining "
@@ -150,6 +191,8 @@ int main(int argc, char** argv) {
                 << "\n";
       return 1;
     }
+    const obs::MetricGroup primary_metrics =
+        replica->RegisterMetrics(registry, "tipsy_replica_primary");
     scenario::Scenario replay_world(cfg);
     replay_world.SimulateHours(
         {0, 3 * util::kHoursPerDay},
@@ -179,5 +222,13 @@ int main(int argc, char** argv) {
             << core::ModelHealthName(restarted->health()) << "\n";
   std::remove(replica_cfg.journal_path.c_str());
   std::remove(replica_cfg.snapshot_path.c_str());
+
+  // Final scrape: the restarted replica's durability counters join the
+  // retrainer's on the registry, and the JSON form follows the
+  // BENCH_*.json conventions (tools/check_bench_json.py accepts it).
+  const obs::MetricGroup restarted_metrics =
+      restarted->RegisterMetrics(registry, "tipsy_replica");
+  std::cout << "\nfinal JSON scrape:\n" << registry.RenderJsonText() << "\n";
+  std::cout << "recent retrain spans:\n" << tracer.RenderJsonText() << "\n";
   return 0;
 }

@@ -79,7 +79,7 @@ void CongestionMitigationSystem::HandleCongestion(
   if (tipsy_guided && config_.health_provider &&
       config_.health_provider() == core::ModelHealth::kExpired) {
     tipsy_guided = false;
-    ++health_fallbacks_;
+    health_fallbacks_.Increment();
   }
 
   // Bytes and flows per destination prefix on the congested link.
@@ -154,7 +154,7 @@ void CongestionMitigationSystem::HandleCongestion(
         }
       }
       if (!safe) {
-        ++unsafe_skipped_;
+        unsafe_skipped_.Increment();
         continue;  // try an alternative prefix instead
       }
       const auto shift = tipsy_->PredictShift(load->flows, excluded,
@@ -224,6 +224,31 @@ std::size_t CongestionMitigationSystem::withdrawals_issued() const {
     if (!action.reannounce) ++n;
   }
   return n;
+}
+
+obs::MetricGroup CongestionMitigationSystem::RegisterMetrics(
+    obs::Registry& registry, const std::string& prefix) const {
+  obs::MetricGroup group;
+  group.push_back(registry.RegisterCounter(
+      prefix + "_health_fallbacks_total",
+      "Congestion events handled in legacy mode (EXPIRED serving model)",
+      &health_fallbacks_));
+  group.push_back(registry.RegisterCounter(
+      prefix + "_unsafe_withdrawals_skipped_total",
+      "Candidate withdrawals refused by the safety-headroom check",
+      &unsafe_skipped_));
+  group.push_back(registry.RegisterGauge(
+      prefix + "_congestion_events",
+      "Congestion events detected (sustained over-trigger utilization)",
+      [this] { return static_cast<double>(events_.size()); }));
+  group.push_back(registry.RegisterGauge(
+      prefix + "_withdrawals_issued", "BGP withdrawals injected",
+      [this] { return static_cast<double>(withdrawals_issued()); }));
+  group.push_back(registry.RegisterGauge(
+      prefix + "_active_withdrawals",
+      "Withdrawals currently awaiting re-announce",
+      [this] { return static_cast<double>(active_.size()); }));
+  return group;
 }
 
 }  // namespace tipsy::cms

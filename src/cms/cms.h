@@ -17,6 +17,7 @@
 
 #include "core/online.h"
 #include "core/tipsy_service.h"
+#include "obs/metrics.h"
 #include "pipeline/aggregate.h"
 #include "scenario/scenario.h"
 #include "util/sim_time.h"
@@ -91,13 +92,21 @@ class CongestionMitigationSystem {
   }
   [[nodiscard]] std::size_t withdrawals_issued() const;
   [[nodiscard]] std::size_t unsafe_withdrawals_skipped() const {
-    return unsafe_skipped_;
+    return static_cast<std::size_t>(unsafe_skipped_.value());
   }
   // Congestion events handled in legacy mode because the health gate
   // reported an EXPIRED serving model.
   [[nodiscard]] std::size_t health_fallbacks() const {
-    return health_fallbacks_;
+    return static_cast<std::size_t>(health_fallbacks_.value());
   }
+
+  // Registers the mitigation counters and derived gauges (events,
+  // withdrawals, active withdrawals) under `prefix` (e.g. "tipsy_cms").
+  // Gauge callbacks capture `this`: drop the handles before the CMS is
+  // destroyed.
+  [[nodiscard]] obs::MetricGroup RegisterMetrics(obs::Registry& registry,
+                                                 const std::string& prefix)
+      const;
 
   // Longest run of minutes above the trigger for the given hourly
   // utilization (exposed for tests of the 4-minute rule).
@@ -115,8 +124,8 @@ class CongestionMitigationSystem {
   CmsConfig config_;
   std::vector<CongestionEvent> events_;
   std::vector<WithdrawalAction> actions_;
-  std::size_t unsafe_skipped_ = 0;
-  std::size_t health_fallbacks_ = 0;
+  obs::Counter unsafe_skipped_;
+  obs::Counter health_fallbacks_;
 
   struct ActiveWithdrawal {
     PrefixId prefix;

@@ -8,6 +8,7 @@ SequentialEnsemble::SequentialEnsemble(std::vector<const Model*> stages,
                                        std::string label)
     : stages_(std::move(stages)), label_(std::move(label)) {
   assert(!stages_.empty());
+  stage_hits_ = std::vector<obs::Counter>(stages_.size() + 1);
 }
 
 std::vector<Prediction> SequentialEnsemble::Predict(
@@ -17,10 +18,12 @@ std::vector<Prediction> SequentialEnsemble::Predict(
     auto predictions = stages_[i]->Predict(flow, k, excluded);
     if (!predictions.empty()) {
       last_stage_.store(static_cast<int>(i), std::memory_order_relaxed);
+      TIPSY_OBS_ONLY(stage_hits_[i].Increment();)
       return predictions;
     }
   }
   last_stage_.store(-1, std::memory_order_relaxed);
+  TIPSY_OBS_ONLY(stage_hits_.back().Increment();)
   return {};
 }
 

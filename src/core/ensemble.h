@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/model.h"
+#include "obs/metrics.h"
 
 namespace tipsy::core {
 
@@ -34,10 +35,30 @@ class SequentialEnsemble : public Model {
     return last_stage_.load(std::memory_order_relaxed);
   }
 
+  // Per-stage answer counters (optional instrumentation: frozen at zero
+  // under TIPSY_NO_OBS). stage_hits(i) counts queries stage i answered;
+  // miss_count() counts queries every stage fell through.
+  [[nodiscard]] std::size_t stage_count() const { return stages_.size(); }
+  [[nodiscard]] std::uint64_t stage_hits(std::size_t i) const {
+    return stage_hits_[i].value();
+  }
+  [[nodiscard]] std::uint64_t miss_count() const {
+    return stage_hits_.back().value();
+  }
+  // The raw counters, for registration (registry borrows them).
+  [[nodiscard]] const obs::Counter& stage_hit_counter(std::size_t i) const {
+    return stage_hits_[i];
+  }
+  [[nodiscard]] const obs::Counter& miss_counter() const {
+    return stage_hits_.back();
+  }
+
  private:
   std::vector<const Model*> stages_;
   std::string label_;
   mutable std::atomic<int> last_stage_{-1};
+  // stage_hits_[i] for stage i, one extra trailing slot for misses.
+  mutable std::vector<obs::Counter> stage_hits_;
 };
 
 }  // namespace tipsy::core

@@ -38,13 +38,13 @@ void DailyRetrainer::OnDayBoundary(util::HourIndex new_day) {
   // Account for what the completed day(s) looked like. Days the clock
   // skipped entirely, and the previous day if it never produced a buffer,
   // are missing; a previous day with too few distinct hours is partial.
-  missing_days_ += static_cast<std::size_t>(new_day - last_day_ - 1);
+  missing_days_.Increment(static_cast<std::uint64_t>(new_day - last_day_ - 1));
   if (!days_.empty() && days_.back().day == last_day_) {
     if (days_.back().hours_seen < policy_.min_hours_per_day) {
-      ++partial_days_;
+      partial_days_.Increment();
     }
   } else {
-    ++missing_days_;
+    missing_days_.Increment();
   }
   // A new day began: retrain on everything buffered so far (the just
   // completed days). On failure the last-good model keeps serving and a
@@ -84,7 +84,7 @@ void DailyRetrainer::Ingest(util::HourIndex hour,
   if (last_day_ != kNoDay && hour < last_observed_hour_) {
     // Out-of-order delivery: dropping beats folding late telemetry into
     // the wrong day buffer (the contract is monotone non-decreasing).
-    ++dropped_hours_;
+    dropped_hours_.Increment();
     return;
   }
   AdvanceTo(hour);
@@ -113,7 +113,7 @@ util::Status DailyRetrainer::TryRetrain() {
           // state was tampered with); drop it and re-merge below.
           window_counts_.Clear();
           for (auto& day : days_) day.folded = false;
-          ++incremental_rebuilds_;
+          incremental_rebuilds_.Increment();
         }
       }
       days_.pop_front();
@@ -135,6 +135,7 @@ util::Status DailyRetrainer::TryRetrain() {
              retrain_fault_(util::DayIndex(last_observed_hour_))) {
     status = util::Status::Unavailable("injected training fault");
   } else if (incremental_enabled()) {
+    TIPSY_OBS_SPAN(tracer_, "retrain_incremental", &retrain_duration_);
     // Fold every day the ingest clock has moved past into the window
     // aggregate; a day the clock still sits on can keep growing, so its
     // shard is overlaid onto the aggregate during the model build
@@ -154,12 +155,13 @@ util::Status DailyRetrainer::TryRetrain() {
     current_ = TipsyService::FromWindowCounts(
         wan_, metros_, config_, window_counts_,
         overlay != nullptr ? &overlay->shard.tables : nullptr);
-    ++incremental_retrains_;
+    incremental_retrains_.Increment();
     trained_through_day_ = newest;
-    ++retrain_count_;
+    retrain_count_.Increment();
     consecutive_failures_ = 0;
     return util::Status::Ok();
   } else {
+    TIPSY_OBS_SPAN(tracer_, "retrain_full", &retrain_duration_);
     auto fresh = std::make_unique<TipsyService>(wan_, metros_, config_);
     for (const auto& day : days_) {
       fresh->Train(day.rows);
@@ -167,11 +169,11 @@ util::Status DailyRetrainer::TryRetrain() {
     fresh->FinalizeTraining();
     current_ = std::move(fresh);
     trained_through_day_ = newest;
-    ++retrain_count_;
+    retrain_count_.Increment();
     consecutive_failures_ = 0;
     return util::Status::Ok();
   }
-  ++retrain_failures_;
+  retrain_failures_.Increment();
   ++consecutive_failures_;
   return status;
 }
@@ -210,12 +212,12 @@ RetrainerState DailyRetrainer::ExportState() const {
   state.last_observed_hour = last_observed_hour_;
   state.last_day = last_day_;
   state.trained_through_day = trained_through_day_;
-  state.retrain_count = retrain_count_;
-  state.retrain_failures = retrain_failures_;
+  state.retrain_count = retrain_count_.value();
+  state.retrain_failures = retrain_failures_.value();
   state.consecutive_failures = consecutive_failures_;
-  state.dropped_hours = dropped_hours_;
-  state.missing_days = missing_days_;
-  state.partial_days = partial_days_;
+  state.dropped_hours = dropped_hours_.value();
+  state.missing_days = missing_days_.value();
+  state.partial_days = partial_days_.value();
   state.pending_retries = pending_retries_;
   if (current_ != nullptr) {
     std::ostringstream bundle;
@@ -273,13 +275,13 @@ util::Status DailyRetrainer::RestoreState(const RetrainerState& state) {
   last_observed_hour_ = state.last_observed_hour;
   last_day_ = state.last_day;
   trained_through_day_ = state.trained_through_day;
-  retrain_count_ = static_cast<std::size_t>(state.retrain_count);
-  retrain_failures_ = static_cast<std::size_t>(state.retrain_failures);
+  retrain_count_.Reset(state.retrain_count);
+  retrain_failures_.Reset(state.retrain_failures);
   consecutive_failures_ =
       static_cast<std::size_t>(state.consecutive_failures);
-  dropped_hours_ = static_cast<std::size_t>(state.dropped_hours);
-  missing_days_ = static_cast<std::size_t>(state.missing_days);
-  partial_days_ = static_cast<std::size_t>(state.partial_days);
+  dropped_hours_.Reset(state.dropped_hours);
+  missing_days_.Reset(state.missing_days);
+  partial_days_.Reset(state.partial_days);
   pending_retries_ = state.pending_retries;
   current_ = std::move(restored);
   return util::Status::Ok();
@@ -296,13 +298,63 @@ ServiceHealth DailyRetrainer::health_snapshot() const {
                              trained_through_day_);
   snapshot.last_ingest_hour = last_observed_hour_;
   snapshot.buffered_days = days_.size();
-  snapshot.retrain_count = retrain_count_;
-  snapshot.retrain_failures = retrain_failures_;
+  snapshot.retrain_count = static_cast<std::size_t>(retrain_count_.value());
+  snapshot.retrain_failures =
+      static_cast<std::size_t>(retrain_failures_.value());
   snapshot.consecutive_failures = consecutive_failures_;
-  snapshot.dropped_hours = dropped_hours_;
-  snapshot.missing_days = missing_days_;
-  snapshot.partial_days = partial_days_;
+  snapshot.dropped_hours = static_cast<std::size_t>(dropped_hours_.value());
+  snapshot.missing_days = static_cast<std::size_t>(missing_days_.value());
+  snapshot.partial_days = static_cast<std::size_t>(partial_days_.value());
   return snapshot;
+}
+
+obs::MetricGroup DailyRetrainer::RegisterMetrics(
+    obs::Registry& registry, const std::string& prefix) const {
+  obs::MetricGroup group;
+  group.push_back(registry.RegisterCounter(
+      prefix + "_retrain_total", "Successful model retrains",
+      &retrain_count_));
+  group.push_back(registry.RegisterCounter(
+      prefix + "_retrain_failures_total", "Failed retrain attempts",
+      &retrain_failures_));
+  group.push_back(registry.RegisterCounter(
+      prefix + "_dropped_hours_total",
+      "Out-of-order hour deliveries dropped at ingest", &dropped_hours_));
+  group.push_back(registry.RegisterCounter(
+      prefix + "_missing_days_total", "Day gaps in the ingest stream",
+      &missing_days_));
+  group.push_back(registry.RegisterCounter(
+      prefix + "_partial_days_total",
+      "Completed days with fewer hours than the policy minimum",
+      &partial_days_));
+  group.push_back(registry.RegisterCounter(
+      prefix + "_incremental_retrains_total",
+      "Retrains served by the incremental window-aggregate path",
+      &incremental_retrains_));
+  group.push_back(registry.RegisterCounter(
+      prefix + "_incremental_rebuilds_total",
+      "Self-heal rebuilds of the window aggregate after a failed subtract",
+      &incremental_rebuilds_));
+  group.push_back(registry.RegisterHistogram(
+      prefix + "_retrain_duration_seconds",
+      "Model (re)build duration, incremental and full paths",
+      &retrain_duration_));
+  group.push_back(registry.RegisterGauge(
+      prefix + "_consecutive_failures",
+      "Failed retrain attempts since the last success",
+      [this] { return static_cast<double>(consecutive_failures_); }));
+  group.push_back(registry.RegisterGauge(
+      prefix + "_buffered_days", "Day buffers held in the rolling window",
+      [this] { return static_cast<double>(days_.size()); }));
+  group.push_back(registry.RegisterGauge(
+      prefix + "_model_age_days",
+      "Ingest days since the served model's newest training day",
+      [this] { return static_cast<double>(health_snapshot().model_age_days); }));
+  group.push_back(registry.RegisterGauge(
+      prefix + "_model_health",
+      "Served model health: 0=NONE 1=FRESH 2=STALE 3=EXPIRED",
+      [this] { return static_cast<double>(health()); }));
+  return group;
 }
 
 }  // namespace tipsy::core

@@ -37,6 +37,8 @@
 
 #include "core/day_shard.h"
 #include "core/tipsy_service.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/sim_time.h"
 #include "util/status.h"
 
@@ -205,9 +207,27 @@ class DailyRetrainer {
     retrain_fault_ = std::move(fault);
   }
 
+  // Optional trace sink: every retrain records a "retrain_incremental" /
+  // "retrain_full" span into it (no-op under TIPSY_NO_OBS). Borrowed; must
+  // outlive the retrainer.
+  void SetTracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
+  // Registers the retrainer's health counters, the retrain-duration
+  // histogram and derived gauges (model age, health, buffered days) under
+  // `prefix` (e.g. "tipsy_retrainer"). The gauge callbacks capture
+  // `this`: drop the handles before the retrainer is destroyed.
+  [[nodiscard]] obs::MetricGroup RegisterMetrics(obs::Registry& registry,
+                                                 const std::string& prefix)
+      const;
+
   [[nodiscard]] int window_days() const { return window_days_; }
   [[nodiscard]] std::size_t buffered_days() const { return days_.size(); }
-  [[nodiscard]] std::size_t retrain_count() const { return retrain_count_; }
+  [[nodiscard]] std::size_t retrain_count() const {
+    return static_cast<std::size_t>(retrain_count_.value());
+  }
+  [[nodiscard]] const obs::Histogram& retrain_duration() const {
+    return retrain_duration_;
+  }
 
   // --- Incremental retraining diagnostics (not part of ServiceHealth:
   // the two retrain paths are bit-identical in everything they serve, and
@@ -217,12 +237,12 @@ class DailyRetrainer {
     return policy_.incremental_retrain && !config_.train_naive_bayes;
   }
   [[nodiscard]] std::size_t incremental_retrains() const {
-    return incremental_retrains_;
+    return static_cast<std::size_t>(incremental_retrains_.value());
   }
   // Times the window aggregate had to be rebuilt by re-merging every
   // buffered day's shard (a failed subtract; never expected in practice).
   [[nodiscard]] std::size_t incremental_rebuilds() const {
-    return incremental_rebuilds_;
+    return static_cast<std::size_t>(incremental_rebuilds_.value());
   }
 
  private:
@@ -256,19 +276,25 @@ class DailyRetrainer {
   std::unique_ptr<TipsyService> current_;
   util::HourIndex trained_through_day_ =
       std::numeric_limits<util::HourIndex>::min();
-  std::size_t retrain_count_ = 0;
-  std::size_t retrain_failures_ = 0;
+  // Health counters are obs::Counter so the registry serves them
+  // directly - health_snapshot()/ExportState() fold the same cells, no
+  // double bookkeeping. consecutive_failures_ resets on every success,
+  // so it stays a plain field (exported as a gauge).
+  obs::Counter retrain_count_;
+  obs::Counter retrain_failures_;
   std::size_t consecutive_failures_ = 0;
-  std::size_t dropped_hours_ = 0;
-  std::size_t missing_days_ = 0;
-  std::size_t partial_days_ = 0;
+  obs::Counter dropped_hours_;
+  obs::Counter missing_days_;
+  obs::Counter partial_days_;
+  obs::Histogram retrain_duration_;
+  obs::Tracer* tracer_ = nullptr;
   int pending_retries_ = 0;  // bounded retry budget after a failed boundary
   std::function<bool(util::HourIndex)> retrain_fault_;
   // Incremental path: aggregate of every folded day's shard. Invariant:
   // window_counts_ == merge of days_[i].shard for all i with folded set.
   ShardTables window_counts_;
-  std::size_t incremental_retrains_ = 0;
-  std::size_t incremental_rebuilds_ = 0;
+  obs::Counter incremental_retrains_;
+  obs::Counter incremental_rebuilds_;
 };
 
 }  // namespace tipsy::core

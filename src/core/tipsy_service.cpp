@@ -12,6 +12,31 @@ namespace {
 // sharded adds merge to bit-identical tables).
 constexpr std::size_t kMinParallelTrainRows = 256;
 
+#ifndef TIPSY_NO_OBS
+// Sample the prediction latency timer on one query in 16: a steady-clock
+// read pair costs tens of nanoseconds, which would be a visible fraction
+// of a single-flow PredictShift. Counters are unsampled.
+constexpr std::uint64_t kPredictSampleMask = 15;
+#endif
+
+// Prometheus-safe metric-name fragment from a model label like
+// "Hist_AP/AL/A": lowercase, non-alphanumerics collapsed to '_'.
+std::string MetricNameFragment(const std::string& label) {
+  std::string out;
+  out.reserve(label.size());
+  for (char c : label) {
+    if ((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')) {
+      out += c;
+    } else if (c >= 'A' && c <= 'Z') {
+      out += static_cast<char>(c - 'A' + 'a');
+    } else if (!out.empty() && out.back() != '_') {
+      out += '_';
+    }
+  }
+  while (!out.empty() && out.back() == '_') out.pop_back();
+  return out;
+}
+
 }  // namespace
 
 TipsyService::TipsyService(const wan::Wan* wan,
@@ -181,17 +206,28 @@ TipsyService::ShiftPrediction TipsyService::PredictShift(
     std::span<const ShiftQueryFlow> flows, const ExclusionMask& excluded,
     std::size_t k) const {
   assert(finalized_);
+#ifndef TIPSY_NO_OBS
+  obs::ScopedTimer latency_timer(
+      (predict_sample_clock_.fetch_add(1, std::memory_order_relaxed) &
+       kPredictSampleMask) == 0
+          ? &predict_latency_
+          : nullptr);
+  predict_queries_.Increment();
+  predict_flows_.Increment(flows.size());
+#endif
   ShiftPrediction out;
   for (const auto& query : flows) {
     const auto predictions = Best().Predict(query.flow, k, &excluded);
     if (predictions.empty()) {
       out.unpredicted_bytes += query.bytes;
+      TIPSY_OBS_ONLY(unpredicted_flows_.Increment();)
       continue;
     }
     double total_probability = 0.0;
     for (const auto& p : predictions) total_probability += p.probability;
     if (total_probability <= 0.0) {
       out.unpredicted_bytes += query.bytes;
+      TIPSY_OBS_ONLY(unpredicted_flows_.Increment();)
       continue;
     }
     for (const auto& p : predictions) {
@@ -200,6 +236,45 @@ TipsyService::ShiftPrediction TipsyService::PredictShift(
     }
   }
   return out;
+}
+
+obs::MetricGroup TipsyService::RegisterMetrics(
+    obs::Registry& registry, const std::string& prefix) const {
+  assert(finalized_);
+  obs::MetricGroup group;
+  group.push_back(registry.RegisterCounter(
+      prefix + "_predict_queries_total",
+      "PredictShift what-if queries answered", &predict_queries_));
+  group.push_back(registry.RegisterCounter(
+      prefix + "_predict_flows_total",
+      "Flows evaluated across all PredictShift queries", &predict_flows_));
+  group.push_back(registry.RegisterCounter(
+      prefix + "_predict_unpredicted_flows_total",
+      "Flows the best model had no ingress prediction for",
+      &unpredicted_flows_));
+  group.push_back(registry.RegisterHistogram(
+      prefix + "_predict_latency_seconds",
+      "PredictShift latency, sampled 1-in-16 queries", &predict_latency_));
+  // Per-stage answer counters for the sequential ensembles: which model
+  // tier is actually serving (§3.3.1 fall-through behavior).
+  for (const SequentialEnsemble* ensemble :
+       {hist_ap_al_a_.get(), hist_al_ap_a_.get(), hist_al_nb_al_.get()}) {
+    if (ensemble == nullptr) continue;
+    const std::string base =
+        prefix + "_ensemble_" + MetricNameFragment(ensemble->name());
+    for (std::size_t i = 0; i < ensemble->stage_count(); ++i) {
+      group.push_back(registry.RegisterCounter(
+          base + "_stage" + std::to_string(i) + "_hits_total",
+          "Queries answered by stage " + std::to_string(i) + " of " +
+              ensemble->name(),
+          &ensemble->stage_hit_counter(i)));
+    }
+    group.push_back(registry.RegisterCounter(
+        base + "_miss_total",
+        "Queries no stage of " + ensemble->name() + " could answer",
+        &ensemble->miss_counter()));
+  }
+  return group;
 }
 
 }  // namespace tipsy::core

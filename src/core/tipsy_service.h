@@ -11,10 +11,13 @@
 #include <unordered_map>
 #include <vector>
 
+#include <atomic>
+
 #include "core/ensemble.h"
 #include "core/geo_model.h"
 #include "core/historical.h"
 #include "core/naive_bayes.h"
+#include "obs/metrics.h"
 
 namespace tipsy::core {
 
@@ -90,6 +93,30 @@ class TipsyService {
       std::span<const ShiftQueryFlow> flows, const ExclusionMask& excluded,
       std::size_t k = 3) const;
 
+  // Registers the prediction-path metrics (latency histogram, query/flow
+  // counters, per-stage ensemble hits) under `prefix` (e.g. "tipsy").
+  // The handles must be dropped before the service is destroyed. Under
+  // TIPSY_NO_OBS the metrics register but stay at zero.
+  [[nodiscard]] obs::MetricGroup RegisterMetrics(obs::Registry& registry,
+                                                 const std::string& prefix)
+      const;
+
+  // Prediction-path counters (optional instrumentation: frozen at zero
+  // under TIPSY_NO_OBS). Latency is sampled 1-in-16 queries so the clock
+  // reads stay off most of the hot path.
+  [[nodiscard]] std::uint64_t predict_queries() const {
+    return predict_queries_.value();
+  }
+  [[nodiscard]] std::uint64_t predict_flows() const {
+    return predict_flows_.value();
+  }
+  [[nodiscard]] std::uint64_t unpredicted_flows() const {
+    return unpredicted_flows_.value();
+  }
+  [[nodiscard]] const obs::Histogram& predict_latency() const {
+    return predict_latency_;
+  }
+
  private:
   const wan::Wan* wan_;
   const geo::MetroCatalogue* metros_;
@@ -105,6 +132,13 @@ class TipsyService {
   std::unique_ptr<NaiveBayesModel> nb_a_;
   std::unique_ptr<NaiveBayesModel> nb_al_;
   std::unique_ptr<SequentialEnsemble> hist_al_nb_al_;
+
+  // PredictShift instrumentation (see TIPSY_OBS_ONLY in the .cpp).
+  mutable obs::Counter predict_queries_;
+  mutable obs::Counter predict_flows_;
+  mutable obs::Counter unpredicted_flows_;
+  mutable obs::Histogram predict_latency_;
+  mutable std::atomic<std::uint64_t> predict_sample_clock_{0};
 };
 
 }  // namespace tipsy::core

@@ -177,7 +177,9 @@ Journal::Journal(Journal&& other) noexcept
       fsync_appends_(other.fsync_appends_),
       file_(other.file_),
       recovered_(std::move(other.recovered_)),
-      next_seq_(other.next_seq_) {
+      next_seq_(other.next_seq_),
+      appends_(other.appends_),
+      append_bytes_(other.append_bytes_) {
   other.file_ = nullptr;
 }
 
@@ -189,6 +191,8 @@ Journal& Journal::operator=(Journal&& other) noexcept {
     file_ = other.file_;
     recovered_ = std::move(other.recovered_);
     next_seq_ = other.next_seq_;
+    appends_ = other.appends_;
+    append_bytes_ = other.append_bytes_;
     other.file_ = nullptr;
   }
   return *this;
@@ -217,6 +221,8 @@ util::StatusOr<std::uint64_t> Journal::Append(
   if (fsync_appends_) {
     if (auto status = SyncFile(file_, path_); !status.ok()) return status;
   }
+  appends_.Increment();
+  append_bytes_.Increment(frame.size());
   return next_seq_++;
 }
 

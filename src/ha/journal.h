@@ -28,6 +28,7 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "pipeline/storage.h"
 #include "util/status.h"
 
@@ -99,6 +100,19 @@ class Journal {
   [[nodiscard]] std::uint64_t next_seq() const { return next_seq_; }
   [[nodiscard]] const std::string& path() const { return path_; }
 
+  // Append accounting since Open (registry-served; see
+  // Replica::RegisterMetrics).
+  [[nodiscard]] std::uint64_t appends() const { return appends_.value(); }
+  [[nodiscard]] std::uint64_t append_bytes() const {
+    return append_bytes_.value();
+  }
+  [[nodiscard]] const obs::Counter& append_counter() const {
+    return appends_;
+  }
+  [[nodiscard]] const obs::Counter& append_bytes_counter() const {
+    return append_bytes_;
+  }
+
  private:
   Journal() = default;
 
@@ -107,6 +121,8 @@ class Journal {
   std::FILE* file_ = nullptr;
   JournalRecovery recovered_;
   std::uint64_t next_seq_ = 0;
+  obs::Counter appends_;
+  obs::Counter append_bytes_;
 };
 
 }  // namespace tipsy::ha

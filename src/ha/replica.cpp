@@ -118,7 +118,7 @@ util::Status Replica::SnapshotNow() {
   state.retrainer = retrainer_.ExportState();
   state.applied_seq = applied_seq_;
   auto status = SaveSnapshot(config_.snapshot_path, state);
-  if (status.ok()) ++snapshots_taken_;
+  if (status.ok()) snapshots_taken_.Increment();
   return status;
 }
 
@@ -132,7 +132,7 @@ util::Status Replica::Replay(std::span<const JournalRecord> records) {
                    });
   for (const JournalRecord* record : ordered) {
     if (record->seq < applied_seq_) {
-      ++duplicate_records_skipped_;
+      duplicate_records_skipped_.Increment();
       continue;
     }
     if (record->seq > applied_seq_) {
@@ -144,6 +144,46 @@ util::Status Replica::Replay(std::span<const JournalRecord> records) {
     Apply(*record);
   }
   return util::Status::Ok();
+}
+
+obs::MetricGroup Replica::RegisterMetrics(obs::Registry& registry,
+                                          const std::string& prefix) const {
+  obs::MetricGroup group = retrainer_.RegisterMetrics(registry, prefix);
+  group.push_back(registry.RegisterCounter(
+      prefix + "_journal_appends_total",
+      "Records durably appended to the hour journal",
+      &journal_.append_counter()));
+  group.push_back(registry.RegisterCounter(
+      prefix + "_journal_append_bytes_total",
+      "Framed bytes durably appended to the hour journal",
+      &journal_.append_bytes_counter()));
+  group.push_back(registry.RegisterCounter(
+      prefix + "_replay_duplicates_skipped_total",
+      "Replayed records skipped because they were already applied",
+      &duplicate_records_skipped_));
+  group.push_back(registry.RegisterCounter(
+      prefix + "_snapshots_total", "Snapshots checkpointed successfully",
+      &snapshots_taken_));
+  group.push_back(registry.RegisterGauge(
+      prefix + "_applied_seq", "Next journal sequence number to apply",
+      [this] { return static_cast<double>(applied_seq_); }));
+  // Warm-start facts: fixed after Open, useful on a scrape right after a
+  // restart to see what recovery did.
+  group.push_back(registry.RegisterGauge(
+      prefix + "_recovery_replayed_records",
+      "Journal records replayed during the last warm start",
+      [this] { return static_cast<double>(recovery_.replayed_records); }));
+  group.push_back(registry.RegisterGauge(
+      prefix + "_recovery_skipped_records",
+      "Journal records skipped (inside the snapshot) during warm start",
+      [this] { return static_cast<double>(recovery_.skipped_records); }));
+  group.push_back(registry.RegisterGauge(
+      prefix + "_journal_torn_bytes",
+      "Bytes truncated from the journal's torn tail on open",
+      [this] {
+        return static_cast<double>(journal_.recovered().torn_bytes);
+      }));
+  return group;
 }
 
 }  // namespace tipsy::ha

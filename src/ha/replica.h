@@ -23,6 +23,7 @@
 #include "core/online.h"
 #include "ha/journal.h"
 #include "ha/snapshot.h"
+#include "obs/metrics.h"
 #include "util/status.h"
 
 namespace tipsy::ha {
@@ -108,12 +109,21 @@ class Replica {
   [[nodiscard]] const ReplicaRecovery& recovery() const { return recovery_; }
   [[nodiscard]] std::uint64_t applied_seq() const { return applied_seq_; }
   [[nodiscard]] std::uint64_t duplicate_records_skipped() const {
-    return duplicate_records_skipped_;
+    return duplicate_records_skipped_.value();
   }
   [[nodiscard]] std::uint64_t snapshots_taken() const {
-    return snapshots_taken_;
+    return snapshots_taken_.value();
   }
   [[nodiscard]] const Journal& journal() const { return journal_; }
+
+  // Registers the replica's durability metrics (journal appends/bytes,
+  // replay duplicate skips, snapshots, applied_seq, recovery facts) and
+  // the embedded retrainer's metrics under `prefix` (e.g.
+  // "tipsy_replica_primary"). Gauge callbacks capture `this`: drop the
+  // handles before the replica is moved or destroyed.
+  [[nodiscard]] obs::MetricGroup RegisterMetrics(obs::Registry& registry,
+                                                 const std::string& prefix)
+      const;
 
  private:
   Replica(core::DailyRetrainer retrainer, Journal journal,
@@ -128,8 +138,8 @@ class Replica {
   ReplicaConfig config_;
   ReplicaRecovery recovery_;
   std::uint64_t applied_seq_ = 0;  // seqs below this are in retrainer_
-  std::uint64_t duplicate_records_skipped_ = 0;
-  std::uint64_t snapshots_taken_ = 0;
+  obs::Counter duplicate_records_skipped_;
+  obs::Counter snapshots_taken_;
   // Day of the last applied record, for day-boundary checkpoints.
   util::HourIndex last_applied_day_ =
       std::numeric_limits<util::HourIndex>::min();

@@ -33,7 +33,7 @@ int Supervisor::RankLocked(const Tracked& t, bool is_primary) const {
 
 void Supervisor::ObserveHeartbeat(ReplicaRole role, util::HourIndex hour) {
   std::lock_guard<std::mutex> lock(mu_);
-  ++stats_.heartbeats_observed;
+  heartbeats_observed_.Increment();
   Tracked& t = role == ReplicaRole::kPrimary ? primary_ : standby_;
   t.last_heartbeat = std::max(t.last_heartbeat, hour);
   // New liveness information refills the promotion retry budget.
@@ -59,8 +59,8 @@ void Supervisor::ReRouteLocked() {
     // again via a heartbeat, which refills the budget.
     if (promote_attempt_ < config_.max_promote_attempts &&
         (next_promote_hour_ == kNever || now_ >= next_promote_hour_)) {
-      ++stats_.promote_attempts;
-      ++stats_.promote_failures;
+      promote_attempts_.Increment();
+      promote_failures_.Increment();
       const double backoff =
           static_cast<double>(config_.backoff_base_hours) *
           static_cast<double>(std::uint64_t{1} << promote_attempt_) *
@@ -73,11 +73,11 @@ void Supervisor::ReRouteLocked() {
   }
 
   if (desired != serving_) {
-    ++stats_.promote_attempts;
+    promote_attempts_.Increment();
     if (desired == ServingSource::kStandby) {
-      ++stats_.failovers;
+      failovers_.Increment();
     } else if (serving_ == ServingSource::kStandby) {
-      ++stats_.failbacks;
+      failbacks_.Increment();
     }
     serving_ = desired;
   }
@@ -90,12 +90,12 @@ void Supervisor::Tick(util::HourIndex hour) {
   now_ = std::max(now_, hour);
   ReRouteLocked();
   if (serving_ == ServingSource::kNone) {
-    ++stats_.unavailable_hours;
+    unavailable_hours_.Increment();
   } else {
     const Tracked& t =
         serving_ == ServingSource::kPrimary ? primary_ : standby_;
     if (t.replica->health() == core::ModelHealth::kStale) {
-      ++stats_.stale_served_hours;
+      stale_served_hours_.Increment();
     }
   }
 }
@@ -135,7 +135,50 @@ bool Supervisor::IsAlive(ReplicaRole role) const {
 
 SupervisorStats Supervisor::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  SupervisorStats stats;
+  stats.heartbeats_observed = heartbeats_observed_.value();
+  stats.failovers = failovers_.value();
+  stats.failbacks = failbacks_.value();
+  stats.promote_attempts = promote_attempts_.value();
+  stats.promote_failures = promote_failures_.value();
+  stats.unavailable_hours = unavailable_hours_.value();
+  stats.stale_served_hours = stale_served_hours_.value();
+  return stats;
+}
+
+obs::MetricGroup Supervisor::RegisterMetrics(obs::Registry& registry,
+                                             const std::string& prefix)
+    const {
+  obs::MetricGroup group;
+  group.push_back(registry.RegisterCounter(
+      prefix + "_heartbeats_observed_total",
+      "Replica heartbeats that reached the supervisor",
+      &heartbeats_observed_));
+  group.push_back(registry.RegisterCounter(
+      prefix + "_failovers_total", "Routing transitions off the primary",
+      &failovers_));
+  group.push_back(registry.RegisterCounter(
+      prefix + "_failbacks_total",
+      "Routing transitions back to the primary", &failbacks_));
+  group.push_back(registry.RegisterCounter(
+      prefix + "_promote_attempts_total",
+      "Promotion attempts (routing changes and dark-plane retries)",
+      &promote_attempts_));
+  group.push_back(registry.RegisterCounter(
+      prefix + "_promote_failures_total",
+      "Promotion attempts that found no servable replica",
+      &promote_failures_));
+  group.push_back(registry.RegisterCounter(
+      prefix + "_unavailable_hours_total",
+      "Supervisor ticks spent serving nothing", &unavailable_hours_));
+  group.push_back(registry.RegisterCounter(
+      prefix + "_stale_served_hours_total",
+      "Supervisor ticks served by a STALE model", &stale_served_hours_));
+  group.push_back(registry.RegisterGauge(
+      prefix + "_serving_source",
+      "Routed replica: 0=PRIMARY 1=STANDBY 2=NONE",
+      [this] { return static_cast<double>(serving()); }));
+  return group;
 }
 
 }  // namespace tipsy::ha

@@ -30,6 +30,7 @@
 
 #include "core/online.h"
 #include "ha/replica.h"
+#include "obs/metrics.h"
 #include "util/rng.h"
 
 namespace tipsy::ha {
@@ -107,6 +108,14 @@ class Supervisor {
   [[nodiscard]] bool IsAlive(ReplicaRole role) const;
   [[nodiscard]] SupervisorStats stats() const;
 
+  // Registers the failover counters and a serving-source gauge
+  // (0=PRIMARY 1=STANDBY 2=NONE) under `prefix` (e.g.
+  // "tipsy_supervisor"). The gauge callback captures `this`: drop the
+  // handles before the supervisor is destroyed.
+  [[nodiscard]] obs::MetricGroup RegisterMetrics(obs::Registry& registry,
+                                                 const std::string& prefix)
+      const;
+
  private:
   struct Tracked {
     Replica* replica = nullptr;
@@ -126,7 +135,17 @@ class Supervisor {
   Tracked standby_;
   util::HourIndex now_ = std::numeric_limits<util::HourIndex>::min();
   ServingSource serving_ = ServingSource::kNone;
-  SupervisorStats stats_;
+  // The failover transition counters are obs::Counter so the registry
+  // serves them directly; stats() folds the same cells into the
+  // SupervisorStats mirror, no double bookkeeping. All writes stay under
+  // mu_ (the counters only make the *reads* registry-servable).
+  obs::Counter heartbeats_observed_;
+  obs::Counter failovers_;
+  obs::Counter failbacks_;
+  obs::Counter promote_attempts_;
+  obs::Counter promote_failures_;
+  obs::Counter unavailable_hours_;
+  obs::Counter stale_served_hours_;
   int promote_attempt_ = 0;  // consecutive failed attempts
   util::HourIndex next_promote_hour_ =
       std::numeric_limits<util::HourIndex>::min();

@@ -1,0 +1,345 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+namespace tipsy::obs {
+
+namespace {
+
+// Hands out stripe indices round-robin as threads first touch a metric.
+std::size_t NextStripe() {
+  static std::atomic<std::size_t> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed) % kStripes;
+}
+
+}  // namespace
+
+std::size_t ThreadStripe() {
+  thread_local const std::size_t stripe = NextStripe();
+  return stripe;
+}
+
+std::uint64_t NowNanos() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+std::vector<double> Histogram::DefaultLatencyBounds() {
+  // Log-spaced seconds: 1us, 10us, 100us, 1ms, 10ms, 100ms, 1s, 10s.
+  return {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0};
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  InitStripes();
+}
+
+void Histogram::InitStripes() {
+  const std::size_t n = bounds_.size() + 1;
+  for (auto& stripe : stripes_) {
+    stripe.buckets = std::make_unique<std::atomic<std::uint64_t>[]>(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      stripe.buckets[i].store(0, std::memory_order_relaxed);
+    }
+    stripe.sum.value.store(0.0, std::memory_order_relaxed);
+    stripe.count.value.store(0, std::memory_order_relaxed);
+  }
+}
+
+Histogram::Histogram(const Histogram& other) : bounds_(other.bounds_) {
+  InitStripes();
+  // Fold the source into stripe 0 (copy happens off the hot path).
+  const auto counts = other.bucket_counts();
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    stripes_[0].buckets[i].store(counts[i], std::memory_order_relaxed);
+  }
+  stripes_[0].sum.value.store(other.sum(), std::memory_order_relaxed);
+  stripes_[0].count.value.store(other.count(), std::memory_order_relaxed);
+}
+
+Histogram& Histogram::operator=(const Histogram& other) {
+  if (this == &other) return *this;
+  bounds_ = other.bounds_;
+  InitStripes();
+  const auto counts = other.bucket_counts();
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    stripes_[0].buckets[i].store(counts[i], std::memory_order_relaxed);
+  }
+  stripes_[0].sum.value.store(other.sum(), std::memory_order_relaxed);
+  stripes_[0].count.value.store(other.count(), std::memory_order_relaxed);
+  return *this;
+}
+
+void Histogram::Observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const std::size_t bucket = static_cast<std::size_t>(it - bounds_.begin());
+  Stripe& stripe = stripes_[ThreadStripe()];
+  stripe.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  stripe.count.value.fetch_add(1, std::memory_order_relaxed);
+  double current = stripe.sum.value.load(std::memory_order_relaxed);
+  while (!stripe.sum.value.compare_exchange_weak(current, current + v,
+                                                 std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> folded(bounds_.size() + 1, 0);
+  for (const auto& stripe : stripes_) {
+    for (std::size_t i = 0; i < folded.size(); ++i) {
+      folded[i] += stripe.buckets[i].load(std::memory_order_relaxed);
+    }
+  }
+  return folded;
+}
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t total = 0;
+  for (const auto& stripe : stripes_) {
+    total += stripe.count.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::sum() const {
+  double total = 0.0;
+  for (const auto& stripe : stripes_) {
+    total += stripe.sum.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+ScopedTimer::ScopedTimer(Histogram* histogram) : histogram_(histogram) {
+  if (histogram_ != nullptr) start_ns_ = NowNanos();
+}
+
+ScopedTimer::~ScopedTimer() {
+  if (histogram_ != nullptr) {
+    histogram_->Observe(static_cast<double>(NowNanos() - start_ns_) * 1e-9);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Registration
+
+Registration::Registration(Registration&& other) noexcept
+    : registry_(other.registry_), id_(other.id_) {
+  other.registry_ = nullptr;
+  other.id_ = 0;
+}
+
+Registration& Registration::operator=(Registration&& other) noexcept {
+  if (this != &other) {
+    if (registry_ != nullptr) registry_->Unregister(id_);
+    registry_ = other.registry_;
+    id_ = other.id_;
+    other.registry_ = nullptr;
+    other.id_ = 0;
+  }
+  return *this;
+}
+
+Registration::~Registration() {
+  if (registry_ != nullptr) registry_->Unregister(id_);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+Registration Registry::Add(Entry entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entry.id = next_id_++;
+  const std::uint64_t id = entry.id;
+  entries_.push_back(std::move(entry));
+  return Registration(this, id);
+}
+
+Registration Registry::RegisterCounter(std::string name, std::string help,
+                                       const Counter* counter) {
+  Entry entry;
+  entry.name = std::move(name);
+  entry.help = std::move(help);
+  entry.type = MetricType::kCounter;
+  entry.counter = counter;
+  return Add(std::move(entry));
+}
+
+Registration Registry::RegisterGauge(std::string name, std::string help,
+                                     std::function<double()> value) {
+  Entry entry;
+  entry.name = std::move(name);
+  entry.help = std::move(help);
+  entry.type = MetricType::kGauge;
+  entry.gauge = std::move(value);
+  return Add(std::move(entry));
+}
+
+Registration Registry::RegisterHistogram(std::string name, std::string help,
+                                         const Histogram* histogram) {
+  Entry entry;
+  entry.name = std::move(name);
+  entry.help = std::move(help);
+  entry.type = MetricType::kHistogram;
+  entry.histogram = histogram;
+  return Add(std::move(entry));
+}
+
+void Registry::Unregister(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [id](const Entry& e) { return e.id == id; }),
+                 entries_.end());
+}
+
+std::size_t Registry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+std::vector<MetricSnapshot> Registry::Snapshot() const {
+  std::vector<MetricSnapshot> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.reserve(entries_.size());
+    for (const Entry& entry : entries_) {
+      MetricSnapshot snap;
+      snap.name = entry.name;
+      snap.help = entry.help;
+      snap.type = entry.type;
+      switch (entry.type) {
+        case MetricType::kCounter:
+          snap.value = static_cast<double>(entry.counter->value());
+          break;
+        case MetricType::kGauge:
+          snap.value = entry.gauge ? entry.gauge() : 0.0;
+          break;
+        case MetricType::kHistogram:
+          snap.bounds = entry.histogram->bounds();
+          snap.buckets = entry.histogram->bucket_counts();
+          snap.count = entry.histogram->count();
+          snap.sum = entry.histogram->sum();
+          break;
+      }
+      out.push_back(std::move(snap));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSnapshot& a, const MetricSnapshot& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+namespace {
+
+// %g-style formatting that never produces locale-dependent output.
+std::string FormatDouble(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  std::ostringstream os;
+  os.imbue(std::locale::classic());
+  os << v;
+  return os.str();
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c; break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void Registry::RenderPrometheus(std::ostream& out) const {
+  for (const MetricSnapshot& m : Snapshot()) {
+    out << "# HELP " << m.name << " " << m.help << "\n";
+    out << "# TYPE " << m.name << " " << MetricTypeName(m.type) << "\n";
+    switch (m.type) {
+      case MetricType::kCounter:
+      case MetricType::kGauge:
+        out << m.name << " " << FormatDouble(m.value) << "\n";
+        break;
+      case MetricType::kHistogram: {
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < m.bounds.size(); ++i) {
+          cumulative += m.buckets[i];
+          out << m.name << "_bucket{le=\"" << FormatDouble(m.bounds[i])
+              << "\"} " << cumulative << "\n";
+        }
+        out << m.name << "_bucket{le=\"+Inf\"} " << m.count << "\n";
+        out << m.name << "_sum " << FormatDouble(m.sum) << "\n";
+        out << m.name << "_count " << m.count << "\n";
+        break;
+      }
+    }
+  }
+}
+
+std::string Registry::RenderPrometheusText() const {
+  std::ostringstream os;
+  RenderPrometheus(os);
+  return os.str();
+}
+
+void Registry::RenderJson(std::ostream& out) const {
+  const auto metrics = Snapshot();
+  out << "{\n  \"bench\": \"obs_scrape\",\n  \"metrics\": [\n";
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    const MetricSnapshot& m = metrics[i];
+    out << "    {\"name\": \"" << JsonEscape(m.name) << "\", \"type\": \""
+        << MetricTypeName(m.type) << "\", \"help\": \"" << JsonEscape(m.help)
+        << "\"";
+    switch (m.type) {
+      case MetricType::kCounter:
+      case MetricType::kGauge:
+        out << ", \"value\": " << FormatDouble(m.value);
+        break;
+      case MetricType::kHistogram: {
+        out << ", \"count\": " << m.count << ", \"sum\": "
+            << FormatDouble(m.sum) << ", \"buckets\": [";
+        for (std::size_t b = 0; b < m.buckets.size(); ++b) {
+          if (b > 0) out << ", ";
+          out << "{\"le\": "
+              << (b < m.bounds.size()
+                      ? ("\"" + FormatDouble(m.bounds[b]) + "\"")
+                      : std::string("\"+Inf\""))
+              << ", \"n\": " << m.buckets[b] << "}";
+        }
+        out << "]";
+        break;
+      }
+    }
+    out << "}" << (i + 1 < metrics.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+std::string Registry::RenderJsonText() const {
+  std::ostringstream os;
+  RenderJson(os);
+  return os.str();
+}
+
+Registry& Registry::Default() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+}  // namespace tipsy::obs

@@ -1,0 +1,290 @@
+// Observability substrate: a lock-cheap metrics registry.
+//
+// The paper's CMS decides prefix withdrawals from *measured* link
+// utilization and prediction confidence (§6); this layer is the
+// repository's equivalent of the measurement side: every serving
+// subsystem (TipsyService predictions, DailyRetrainer retrains, the HA
+// journal/replica/supervisor, the thread pool) exposes monotonic
+// counters, gauges and fixed-bucket latency histograms through one
+// registry with two exporters — a Prometheus-style text dump and a JSON
+// snapshot following the BENCH_*.json conventions that
+// tools/check_bench_json.py validates.
+//
+// Design rules, consistent with util/parallel.h's substrate:
+//  * Write paths are lock-free: counters and histogram buckets are
+//    striped over cache-line-padded atomic cells indexed by a per-thread
+//    stripe, so concurrent writers on the prediction hot path never
+//    contend on one cache line. Reads fold the stripes on scrape.
+//  * Metric objects are plain values owned by the component they
+//    instrument (so per-instance counters stay per-instance and restore
+//    paths can Reset them); the registry holds *borrowed* pointers and
+//    callbacks, released by RAII Registration handles.
+//  * Compiling with -DTIPSY_NO_OBS removes the optional instrumentation
+//    (latency timers, trace spans, per-stage hit counters) from the hot
+//    paths via the TIPSY_OBS_ONLY macro. Counters that back public
+//    accessors (ServiceHealth fields, CMS health_fallbacks, replica
+//    duplicate skips, shard rebuilds) are service state, not optional
+//    instrumentation, and stay in both build modes.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tipsy::obs {
+
+// Number of cache-line-padded cells each counter/histogram stripes its
+// writes over. A small power of two: enough to de-contend the pool's
+// worker threads, cheap to fold on scrape.
+inline constexpr std::size_t kStripes = 8;
+
+// The stripe this thread writes to (stable for the thread's lifetime).
+[[nodiscard]] std::size_t ThreadStripe();
+
+namespace internal {
+struct alignas(64) PaddedCell {
+  std::atomic<std::uint64_t> value{0};
+};
+struct alignas(64) PaddedDoubleCell {
+  std::atomic<double> value{0.0};
+};
+}  // namespace internal
+
+// Monotonic counter. Increment is one relaxed fetch_add on this thread's
+// stripe; value() folds the stripes. Copy/move fold the source into the
+// destination's first stripe (metric objects live inside movable
+// components like DailyRetrainer and Replica).
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter& other) { Reset(other.value()); }
+  Counter& operator=(const Counter& other) {
+    if (this != &other) Reset(other.value());
+    return *this;
+  }
+
+  void Increment(std::uint64_t n = 1) {
+    cells_[ThreadStripe()].value.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const {
+    std::uint64_t total = 0;
+    for (const auto& cell : cells_) {
+      total += cell.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+  // Restore-path escape hatch (snapshot warm starts): folds to `n`.
+  // Not synchronized against concurrent Increment — call quiescent.
+  void Reset(std::uint64_t n) {
+    cells_[0].value.store(n, std::memory_order_relaxed);
+    for (std::size_t i = 1; i < kStripes; ++i) {
+      cells_[i].value.store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  internal::PaddedCell cells_[kStripes];
+};
+
+// Instantaneous value (queue depth, model age, buffered days). One atomic
+// double: gauges are written from one place at a time in practice.
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge& other) { Set(other.value()); }
+  Gauge& operator=(const Gauge& other) {
+    if (this != &other) Set(other.value());
+    return *this;
+  }
+
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta) {
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Fixed-bucket histogram: bucket i counts observations <= bounds[i], the
+// last implicit bucket counts the rest (+Inf). Observe is a binary search
+// plus two relaxed adds on this thread's stripe; scrape folds stripes.
+class Histogram {
+ public:
+  // Default bounds suit latencies in seconds: 1us .. 10s, log-spaced.
+  explicit Histogram(std::vector<double> bounds = DefaultLatencyBounds());
+  Histogram(const Histogram& other);
+  Histogram& operator=(const Histogram& other);
+
+  void Observe(double v);
+
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  // Per-bucket counts (size bounds()+1, last = overflow), folded.
+  [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const;
+  [[nodiscard]] std::uint64_t count() const;
+  [[nodiscard]] double sum() const;
+
+  [[nodiscard]] static std::vector<double> DefaultLatencyBounds();
+
+ private:
+  struct Stripe {
+    std::unique_ptr<std::atomic<std::uint64_t>[]> buckets;
+    internal::PaddedDoubleCell sum;
+    internal::PaddedCell count;
+  };
+  void InitStripes();
+
+  std::vector<double> bounds_;  // ascending
+  Stripe stripes_[kStripes];
+};
+
+// RAII timer: observes the elapsed seconds into `histogram` on
+// destruction. A null histogram disables the timer (including the clock
+// read), which is how sampled instrumentation skips the off cycles.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* histogram);
+  ~ScopedTimer();
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* histogram_;
+  std::uint64_t start_ns_ = 0;
+};
+
+// Monotonic nanoseconds (steady clock), for timers and spans.
+[[nodiscard]] std::uint64_t NowNanos();
+
+enum class MetricType : std::uint8_t { kCounter, kGauge, kHistogram };
+
+[[nodiscard]] constexpr const char* MetricTypeName(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter: return "counter";
+    case MetricType::kGauge: return "gauge";
+    case MetricType::kHistogram: return "histogram";
+  }
+  return "unknown";
+}
+
+// One scraped metric, folded at scrape time.
+struct MetricSnapshot {
+  std::string name;
+  std::string help;
+  MetricType type = MetricType::kCounter;
+  double value = 0.0;                   // counter/gauge
+  std::vector<double> bounds;           // histogram bucket upper bounds
+  std::vector<std::uint64_t> buckets;   // per-bucket counts (last = +Inf)
+  std::uint64_t count = 0;              // histogram observation count
+  double sum = 0.0;                     // histogram observation sum
+};
+
+class Registry;
+
+// RAII registration handle: unregisters the metric when destroyed, so a
+// component's metrics cannot outlive the component. Movable; a
+// default-constructed handle is inert.
+class Registration {
+ public:
+  Registration() = default;
+  Registration(Registration&& other) noexcept;
+  Registration& operator=(Registration&& other) noexcept;
+  Registration(const Registration&) = delete;
+  Registration& operator=(const Registration&) = delete;
+  ~Registration();
+
+ private:
+  friend class Registry;
+  Registration(Registry* registry, std::uint64_t id)
+      : registry_(registry), id_(id) {}
+  Registry* registry_ = nullptr;
+  std::uint64_t id_ = 0;
+};
+
+// A bag of registrations, for components that export several metrics.
+using MetricGroup = std::vector<Registration>;
+
+// Named metric registry. Registration/scrape take a mutex (rare, cold);
+// the metric write paths never touch the registry at all. Metric names
+// follow the Prometheus convention: `tipsy_<subsystem>_<what>[_total]`,
+// unique per registry (the operator picks distinct prefixes when
+// registering several instances of one component).
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  // The metric objects are borrowed: they must outlive the returned
+  // Registration (components register members and keep the handle).
+  [[nodiscard]] Registration RegisterCounter(std::string name,
+                                             std::string help,
+                                             const Counter* counter);
+  // Gauges scrape through a callback, so derived values (queue depth,
+  // model age) need no shadow state.
+  [[nodiscard]] Registration RegisterGauge(std::string name,
+                                           std::string help,
+                                           std::function<double()> value);
+  [[nodiscard]] Registration RegisterHistogram(std::string name,
+                                               std::string help,
+                                               const Histogram* histogram);
+
+  // Folds every registered metric, sorted by name.
+  [[nodiscard]] std::vector<MetricSnapshot> Snapshot() const;
+  [[nodiscard]] std::size_t size() const;
+
+  // Prometheus text exposition: # HELP / # TYPE / samples, histograms as
+  // cumulative `_bucket{le=...}` + `_sum` + `_count`.
+  void RenderPrometheus(std::ostream& out) const;
+  [[nodiscard]] std::string RenderPrometheusText() const;
+
+  // JSON snapshot following the BENCH_*.json conventions (a top-level
+  // "bench" key and a non-empty series array — tools/check_bench_json.py
+  // accepts it as an unknown artifact).
+  void RenderJson(std::ostream& out) const;
+  [[nodiscard]] std::string RenderJsonText() const;
+
+  // Process-wide default registry (examples and operator dumps).
+  [[nodiscard]] static Registry& Default();
+
+ private:
+  friend class Registration;
+  struct Entry {
+    std::uint64_t id = 0;
+    std::string name;
+    std::string help;
+    MetricType type = MetricType::kCounter;
+    const Counter* counter = nullptr;
+    std::function<double()> gauge;
+    const Histogram* histogram = nullptr;
+  };
+  void Unregister(std::uint64_t id);
+  Registration Add(Entry entry);
+
+  mutable std::mutex mu_;
+  std::vector<Entry> entries_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace tipsy::obs
+
+// TIPSY_OBS_ONLY(statement;): optional instrumentation — compiled out
+// entirely under -DTIPSY_NO_OBS. Use for latency timers, spans and
+// hit counters that exist purely for observability; never for counters
+// that back public accessors or serving semantics.
+#ifdef TIPSY_NO_OBS
+#define TIPSY_OBS_ONLY(...)
+#else
+#define TIPSY_OBS_ONLY(...) __VA_ARGS__
+#endif

@@ -1,0 +1,104 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace tipsy::obs {
+
+namespace {
+thread_local std::uint32_t span_depth = 0;
+}  // namespace
+
+Tracer::Tracer(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(capacity_);
+}
+
+void Tracer::Record(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(event));
+  } else {
+    ring_[next_] = std::move(event);
+  }
+  next_ = (next_ + 1) % capacity_;
+  ++total_;
+}
+
+std::vector<TraceEvent> Tracer::Recent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;
+  } else {
+    // next_ is the oldest slot once the ring has wrapped.
+    out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(next_),
+               ring_.end());
+    out.insert(out.end(), ring_.begin(),
+               ring_.begin() + static_cast<std::ptrdiff_t>(next_));
+  }
+  return out;
+}
+
+std::uint64_t Tracer::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  next_ = 0;
+  total_ = 0;
+}
+
+std::string Tracer::RenderJsonText() const {
+  const auto events = Recent();
+  std::ostringstream os;
+  os << "{\n  \"bench\": \"obs_trace\",\n  \"spans\": [\n";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    std::string name = e.name;
+    std::string escaped;
+    escaped.reserve(name.size());
+    for (char c : name) {
+      if (c == '"' || c == '\\') escaped += '\\';
+      escaped += c;
+    }
+    os << "    {\"name\": \"" << escaped << "\", \"start_ns\": " << e.start_ns
+       << ", \"duration_ns\": " << e.duration_ns << ", \"depth\": " << e.depth
+       << "}" << (i + 1 < events.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  return os.str();
+}
+
+Tracer& Tracer::Default() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+Span::Span(Tracer* tracer, std::string name, Histogram* histogram)
+    : tracer_(tracer),
+      histogram_(histogram),
+      name_(std::move(name)),
+      start_ns_(NowNanos()),
+      depth_(span_depth++) {}
+
+Span::~Span() {
+  --span_depth;
+  const std::uint64_t duration = NowNanos() - start_ns_;
+  if (histogram_ != nullptr) {
+    histogram_->Observe(static_cast<double>(duration) * 1e-9);
+  }
+  if (tracer_ != nullptr) {
+    TraceEvent event;
+    event.name = std::move(name_);
+    event.start_ns = start_ns_;
+    event.duration_ns = duration;
+    event.depth = depth_;
+    tracer_->Record(std::move(event));
+  }
+}
+
+}  // namespace tipsy::obs

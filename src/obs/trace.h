@@ -1,0 +1,84 @@
+// Lightweight trace spans: RAII-scoped timing of coarse operations
+// (retrain, snapshot, journal replay, failover) recorded into a bounded
+// in-memory ring. Spans are for the operator's "what just happened"
+// question; per-event latency distributions belong in a Histogram.
+//
+// A span optionally feeds its duration into a Histogram on close, so
+// one instrumentation point serves both the trace ring (last N events,
+// with nesting depth) and the metrics registry (aggregate distribution).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace tipsy::obs {
+
+struct TraceEvent {
+  std::string name;
+  std::uint64_t start_ns = 0;     // NowNanos() at span open
+  std::uint64_t duration_ns = 0;  // span close - open
+  std::uint32_t depth = 0;        // nesting depth within this thread
+};
+
+// Mutex-guarded bounded ring of completed spans. Recording takes the
+// lock once per span *close* — spans wrap coarse operations (retrains,
+// snapshots, replays), so this is never on a per-prediction path.
+class Tracer {
+ public:
+  explicit Tracer(std::size_t capacity = 256);
+
+  void Record(TraceEvent event);
+  // Completed events, oldest first.
+  [[nodiscard]] std::vector<TraceEvent> Recent() const;
+  [[nodiscard]] std::uint64_t total_recorded() const;
+  void Clear();
+
+  // JSON dump following the BENCH_*.json conventions ("bench" key +
+  // non-empty list), same contract as Registry::RenderJson.
+  [[nodiscard]] std::string RenderJsonText() const;
+
+  [[nodiscard]] static Tracer& Default();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;
+  std::size_t capacity_;
+  std::size_t next_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+// RAII span: records into `tracer` (and optionally observes seconds
+// into `histogram`) on destruction. Null tracer and histogram are both
+// allowed — the span then only maintains the depth bookkeeping.
+class Span {
+ public:
+  Span(Tracer* tracer, std::string name, Histogram* histogram = nullptr);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  Tracer* tracer_;
+  Histogram* histogram_;
+  std::string name_;
+  std::uint64_t start_ns_;
+  std::uint32_t depth_;
+};
+
+}  // namespace tipsy::obs
+
+// TIPSY_OBS_SPAN(tracer, name, histogram): span-scoped timing of the
+// enclosing block; compiled out under -DTIPSY_NO_OBS.
+#ifdef TIPSY_NO_OBS
+#define TIPSY_OBS_SPAN(tracer, name, histogram)
+#else
+#define TIPSY_OBS_SPAN_CAT2(a, b) a##b
+#define TIPSY_OBS_SPAN_CAT(a, b) TIPSY_OBS_SPAN_CAT2(a, b)
+#define TIPSY_OBS_SPAN(tracer, name, histogram)            \
+  ::tipsy::obs::Span TIPSY_OBS_SPAN_CAT(obs_span_, __LINE__)( \
+      (tracer), (name), (histogram))
+#endif

@@ -58,6 +58,9 @@ struct ThreadPool::Impl {
   std::vector<std::thread> workers;
   bool started = false;
   bool stop = false;
+  // Lifetime fork-join accounting (relaxed: scrape-only diagnostics).
+  std::atomic<std::uint64_t> batches_run{0};
+  std::atomic<std::uint64_t> chunks_run{0};
 };
 
 ThreadPool::ThreadPool(std::size_t threads)
@@ -76,6 +79,19 @@ ThreadPool::~ThreadPool() {
 bool ThreadPool::started() const {
   std::lock_guard<std::mutex> lock(impl_->mutex);
   return impl_->started;
+}
+
+std::size_t ThreadPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->queue.size();
+}
+
+std::uint64_t ThreadPool::batches_run() const {
+  return impl_->batches_run.load(std::memory_order_relaxed);
+}
+
+std::uint64_t ThreadPool::chunks_run() const {
+  return impl_->chunks_run.load(std::memory_order_relaxed);
 }
 
 void ThreadPool::EnsureStarted() {
@@ -133,6 +149,8 @@ void ThreadPool::ExecuteChunks(Batch& batch) {
 void ThreadPool::Run(std::size_t chunks,
                      const std::function<void(std::size_t)>& chunk_fn) {
   if (chunks == 0) return;
+  impl_->batches_run.fetch_add(1, std::memory_order_relaxed);
+  impl_->chunks_run.fetch_add(chunks, std::memory_order_relaxed);
   if (thread_count_ <= 1 || chunks == 1 || tls_in_parallel) {
     for (std::size_t chunk = 0; chunk < chunks; ++chunk) chunk_fn(chunk);
     return;

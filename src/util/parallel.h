@@ -23,6 +23,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <utility>
@@ -50,6 +51,14 @@ class ThreadPool {
   [[nodiscard]] std::size_t thread_count() const { return thread_count_; }
   // True once worker threads have actually been spawned (lazily).
   [[nodiscard]] bool started() const;
+
+  // Instantaneous batches waiting/draining in the queue, plus lifetime
+  // fork-join counts. Plain accessors (no obs dependency: util sits at
+  // the bottom of the dependency graph) — the observability layer
+  // registers them as gauges, e.g. in examples/online_service.cpp.
+  [[nodiscard]] std::size_t queue_depth() const;
+  [[nodiscard]] std::uint64_t batches_run() const;
+  [[nodiscard]] std::uint64_t chunks_run() const;
 
   // Runs chunk_fn(0) .. chunk_fn(chunks - 1), distributing chunks over
   // the pool (the calling thread participates). Blocks until every chunk

@@ -19,31 +19,46 @@ import pathlib
 import sys
 
 # file name -> (required top-level keys, series key, required series-entry
-# keys). Every listed series must be a non-empty list of objects.
+# keys). Every listed series must be a non-empty list of objects. Keys
+# must track the emitters exactly (docs/BENCHMARKS.md documents both
+# sides); a key the emitter writes but the schema does not require is
+# drift that lets a silently-dropped field through.
 SCHEMAS = {
     "BENCH_parallel.json": (
-        {"bench", "hardware_concurrency", "train_rows", "points"},
+        {"bench", "hardware_concurrency", "train_rows", "eval_cases",
+         "points"},
         "points",
-        {"threads", "train_rows_per_s", "eval_cases_per_s", "bit_identical"},
+        {"threads", "train_rows_per_s", "train_speedup", "eval_cases_per_s",
+         "eval_speedup", "bit_identical"},
     ),
     "BENCH_robustness.json": (
-        {"bench", "warmup_days", "live_days", "window_days", "classes"},
+        {"bench", "warmup_days", "live_days", "window_days", "eval_cases",
+         "classes"},
         "classes",
         {"name", "top1", "delta_top1_vs_clean", "worst_health",
-         "final_health", "retrain_failures"},
+         "final_health", "retrain_failures", "cms_health_fallbacks",
+         "archive_blocks_recovered", "archive_status"},
     ),
     "BENCH_ha.json": (
         {"bench", "warmup_days", "live_days", "window_days", "crash_cases",
          "failover"},
         "crash_cases",
         {"name", "crash_at_hour", "restore_source", "replayed_records",
-         "recovery_ms", "bit_identical"},
+         "skipped_records", "recovery_ms", "bit_identical"},
     ),
     "BENCH_incremental.json": (
-        {"bench", "window_days", "total_days", "steady_state", "boundaries"},
+        {"bench", "window_days", "total_days", "stream_rows",
+         "steady_state", "boundaries"},
         "boundaries",
         {"day", "window_rows", "full_ms", "incremental_ms", "steady_state",
          "bit_identical"},
+    ),
+    "BENCH_obs.json": (
+        {"bench", "mode", "queries", "prediction_path", "points",
+         "primitives"},
+        "points",
+        {"batch", "queries", "baseline_ns", "instrumented_ns",
+         "overhead_pct"},
     ),
 }
 

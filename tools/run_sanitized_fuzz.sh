@@ -13,9 +13,10 @@
 #
 # Pass 2 (thread): rebuilds with -DTIPSY_SANITIZE=thread and runs the HA
 # supervisor's concurrency tests (heartbeats from replica threads racing
-# the query path's routing reads) plus the parallel substrate tests; TSan
-# turns any data race into a hard failure. Skipped when the requested
-# sanitizer *is* thread (pass 1 already covers it).
+# the query path's routing reads), the parallel substrate tests, and the
+# observability suite (concurrent metric writers racing registry
+# scrapes); TSan turns any data race into a hard failure. Skipped when
+# the requested sanitizer *is* thread (pass 1 already covers it).
 #
 # Every pass runs even after an earlier one fails; the script prints a
 # per-pass PASS/FAIL summary and exits non-zero if any pass failed.
@@ -52,7 +53,7 @@ run_pass() {
 cmake -B "${BUILD}" -S "${ROOT}" -DTIPSY_SANITIZE="${SANITIZER}" \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo || exit 1
 cmake --build "${BUILD}" -j --target robustness_test persistence_test \
-      ha_test incremental_test || exit 1
+      ha_test incremental_test obs_test || exit 1
 
 run_pass "robustness_test (byte-flip fuzz) under ${SANITIZER} sanitizer" \
     "${BUILD}/tests/robustness_test"
@@ -62,17 +63,22 @@ run_pass "ha_test (journal/snapshot fuzz + crash matrix) under ${SANITIZER} sani
     "${BUILD}/tests/ha_test"
 run_pass "incremental_test (day-shard algebra + snapshot warm starts) under ${SANITIZER} sanitizer" \
     "${BUILD}/tests/incremental_test"
+run_pass "obs_test (metrics registry + trace spans) under ${SANITIZER} sanitizer" \
+    "${BUILD}/tests/obs_test"
 
 if [[ "${SANITIZER}" != "thread" ]]; then
   TSAN_BUILD="${ROOT}/build-thread"
   cmake -B "${TSAN_BUILD}" -S "${ROOT}" -DTIPSY_SANITIZE=thread \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo || exit 1
-  cmake --build "${TSAN_BUILD}" -j --target ha_test parallel_test || exit 1
+  cmake --build "${TSAN_BUILD}" -j --target ha_test parallel_test \
+        obs_test || exit 1
   run_pass "ha_test supervisor/heartbeat races under thread sanitizer" \
       "${TSAN_BUILD}/tests/ha_test" \
       --gtest_filter='Supervisor.*:HeartbeatFaults.*'
   run_pass "parallel_test under thread sanitizer" \
       "${TSAN_BUILD}/tests/parallel_test"
+  run_pass "obs_test concurrent scrape races under thread sanitizer" \
+      "${TSAN_BUILD}/tests/obs_test"
 fi
 
 echo
