@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <thread>
 
 namespace tipsy::bench {
 
@@ -50,6 +51,11 @@ scenario::ScenarioConfig SweepScenario(const BenchOptions& opt) {
 
 void PrintHeader(const std::string& name, const std::string& paper_ref) {
   std::cout << "\n=== " << name << " (paper " << paper_ref << ") ===\n";
+}
+
+unsigned HardwareConcurrency() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
 }
 
 void WriteCsv(const std::string& name,

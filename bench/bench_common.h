@@ -32,6 +32,12 @@ struct BenchOptions {
 // Prints "=== <name> (paper <ref>) ===" and remembers `name` for the CSV.
 void PrintHeader(const std::string& name, const std::string& paper_ref);
 
+// Hardware threads visible to this process, never 0 (falls back to 1 when
+// the runtime cannot tell). Every BENCH_*.json records this so readers can
+// judge whether parallel speedups were even measurable on the host; benches
+// with speedup assertions should degrade to "skipped: 1 core" when it is 1.
+[[nodiscard]] unsigned HardwareConcurrency();
+
 // Writes rows (first row = header) to results/<name>.csv.
 void WriteCsv(const std::string& name,
               const std::vector<std::vector<std::string>>& rows);

@@ -376,6 +376,8 @@ int main(int argc, char** argv) {
   std::ofstream json("BENCH_robustness.json");
   if (json) {
     json << "{\n  \"bench\": \"robustness_degradation\",\n";
+    json << "  \"hardware_concurrency\": " << bench::HardwareConcurrency()
+         << ",\n";
     json << "  \"warmup_days\": " << kWarmupDays
          << ", \"live_days\": " << kLiveDays
          << ", \"window_days\": " << kWindowDays << ",\n";

@@ -425,6 +425,8 @@ int main(int argc, char** argv) {
   std::ofstream json("BENCH_ha.json");
   if (json) {
     json << "{\n  \"bench\": \"ha_failover\",\n";
+    json << "  \"hardware_concurrency\": " << bench::HardwareConcurrency()
+         << ",\n";
     json << "  \"warmup_days\": " << kWarmupDays
          << ", \"live_days\": " << kLiveDays
          << ", \"window_days\": " << kWindowDays << ",\n";

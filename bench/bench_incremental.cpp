@@ -205,6 +205,8 @@ int main(int argc, char** argv) {
   std::ofstream json("BENCH_incremental.json");
   if (json) {
     json << "{\n  \"bench\": \"incremental_retrain\",\n";
+    json << "  \"hardware_concurrency\": " << bench::HardwareConcurrency()
+         << ",\n";
     json << "  \"window_days\": " << window_days
          << ", \"total_days\": " << total_days
          << ", \"stream_rows\": " << total_rows << ",\n";

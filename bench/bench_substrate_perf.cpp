@@ -132,11 +132,12 @@ void RunParallelSweep(const bench::BenchOptions& options) {
                      "thread count");
   SweepInput input = BuildSweepInput(options);
   const std::size_t hw = util::ParallelConfig{}.Resolve();
+  const unsigned cores = bench::HardwareConcurrency();
   std::vector<std::size_t> thread_counts{1, 2, 4};
   if (hw > 4) thread_counts.push_back(hw);
   std::cout << "scenario: " << input.train_rows << " training rows, "
             << input.eval.cases().size() << " eval cases, hardware threads "
-            << hw << "\n";
+            << hw << " (physical cores " << cores << ")\n";
 
   std::vector<SweepPoint> points;
   for (const std::size_t threads : thread_counts) {
@@ -160,6 +161,13 @@ void RunParallelSweep(const bench::BenchOptions& options) {
                           points.front().eval_reps) /
       points.front().eval_seconds;
 
+  // On a single-core host every thread count time-slices one core, so a
+  // "speedup" near 1x is an artifact of the scheduler, not a measurement.
+  // Label it as skipped rather than report it as real; bit-identity is
+  // still meaningful and still checked.
+  const bool speedups_measurable = cores > 1;
+  const std::string skipped = "skipped: 1 core";
+
   util::TextTable table({"Threads", "Train rows/s", "Eval cases/s",
                          "Train speedup", "Eval speedup", "Identical"});
   std::vector<std::vector<std::string>> csv{
@@ -180,21 +188,31 @@ void RunParallelSweep(const bench::BenchOptions& options) {
                   train_rate / base_train_rate);
     std::snprintf(eval_sp, sizeof eval_sp, "%.2fx",
                   eval_rate / base_eval_rate);
+    const std::string train_sp_label =
+        speedups_measurable ? train_sp : skipped;
+    const std::string eval_sp_label =
+        speedups_measurable ? eval_sp : skipped;
     table.AddRow({std::to_string(point.threads), train_rate_s, eval_rate_s,
-                  train_sp, eval_sp, identical ? "yes" : "NO"});
+                  train_sp_label, eval_sp_label, identical ? "yes" : "NO"});
     csv.push_back({std::to_string(point.threads), train_rate_s,
-                   eval_rate_s, train_sp, eval_sp,
+                   eval_rate_s, train_sp_label, eval_sp_label,
                    point.export_identical ? "1" : "0",
                    point.accuracy_identical ? "1" : "0"});
   }
   table.Print(std::cout);
+  if (!speedups_measurable) {
+    std::cout << "speedups skipped: 1 hardware core - thread counts "
+                 "time-slice one core, so ~1x would be noise, not signal\n";
+  }
   bench::WriteCsv("bench_substrate_perf", csv);
 
   // Machine-readable summary for the perf trajectory across PRs.
   std::ofstream json("BENCH_parallel.json");
   if (json) {
     json << "{\n  \"bench\": \"substrate_parallel\",\n";
-    json << "  \"hardware_concurrency\": " << hw << ",\n";
+    json << "  \"hardware_concurrency\": " << cores << ",\n";
+    json << "  \"speedups_measurable\": "
+         << (speedups_measurable ? "true" : "false") << ",\n";
     json << "  \"train_rows\": " << input.train_rows << ",\n";
     json << "  \"eval_cases\": " << input.eval.cases().size() << ",\n";
     json << "  \"points\": [\n";
@@ -209,9 +227,19 @@ void RunParallelSweep(const bench::BenchOptions& options) {
       json << "    {\"threads\": " << point.threads
            << ", \"train_rows_per_s\": " << static_cast<long long>(train_rate)
            << ", \"eval_cases_per_s\": " << static_cast<long long>(eval_rate)
-           << ", \"train_speedup\": " << train_rate / base_train_rate
-           << ", \"eval_speedup\": " << eval_rate / base_eval_rate
-           << ", \"bit_identical\": "
+           << ", \"train_speedup\": ";
+      if (speedups_measurable) {
+        json << train_rate / base_train_rate;
+      } else {
+        json << "\"" << skipped << "\"";
+      }
+      json << ", \"eval_speedup\": ";
+      if (speedups_measurable) {
+        json << eval_rate / base_eval_rate;
+      } else {
+        json << "\"" << skipped << "\"";
+      }
+      json << ", \"bit_identical\": "
            << ((point.export_identical && point.accuracy_identical)
                    ? "true"
                    : "false")

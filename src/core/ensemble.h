@@ -24,6 +24,9 @@ class SequentialEnsemble : public Model {
   [[nodiscard]] std::vector<Prediction> Predict(
       const FlowFeatures& flow, std::size_t k,
       const ExclusionMask* excluded) const override;
+  [[nodiscard]] std::size_t PredictInto(
+      const FlowFeatures& flow, std::size_t k, const ExclusionMask* excluded,
+      std::span<Prediction> out) const override;
 
   [[nodiscard]] std::string name() const override { return label_; }
   [[nodiscard]] std::size_t MemoryFootprintBytes() const override;

@@ -1,6 +1,7 @@
 #include "core/evaluator.h"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 
 #include "util/parallel.h"
@@ -113,11 +114,16 @@ double ActualBytesOn(const EvalCase& ec, LinkId link) {
 double CreditedBytesAtK(const Model& model, const EvalSet& eval,
                         std::size_t k, std::size_t begin, std::size_t end) {
   double credited = 0.0;
+  // One prediction buffer per chunk (not per case): crediting only needs
+  // the predicted links, so the allocation-free PredictInto keeps the
+  // sweep on the serving fast path.
+  std::vector<Prediction> predictions(k);
   for (std::size_t i = begin; i < end; ++i) {
     const auto& ec = eval.cases()[i];
-    const auto predictions = model.Predict(ec.flow, k, eval.mask(ec.mask_id));
-    for (const auto& p : predictions) {
-      credited += ActualBytesOn(ec, p.link);
+    const std::size_t count =
+        model.PredictInto(ec.flow, k, eval.mask(ec.mask_id), predictions);
+    for (std::size_t j = 0; j < count; ++j) {
+      credited += ActualBytesOn(ec, predictions[j].link);
     }
   }
   return credited;
@@ -154,12 +160,13 @@ AccuracyResult EvaluateModel(const Model& model, const EvalSet& eval) {
   // and crediting only consults predicted links, never probabilities.
   const auto credit_range = [&](std::size_t begin, std::size_t end) {
     Credit credited{};
+    std::array<Prediction, AccuracyResult::kMaxK> predictions;
     for (std::size_t i = begin; i < end; ++i) {
       const auto& ec = eval.cases()[i];
-      const auto predictions =
-          model.Predict(ec.flow, AccuracyResult::kMaxK,
-                        eval.mask(ec.mask_id));
-      for (std::size_t j = 0; j < predictions.size(); ++j) {
+      const std::size_t count =
+          model.PredictInto(ec.flow, AccuracyResult::kMaxK,
+                            eval.mask(ec.mask_id), predictions);
+      for (std::size_t j = 0; j < count; ++j) {
         const double bytes = ActualBytesOn(ec, predictions[j].link);
         if (bytes <= 0.0) continue;
         for (std::size_t k = j; k < AccuracyResult::kMaxK; ++k) {

@@ -1,0 +1,71 @@
+#include "core/flat_table.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+
+namespace tipsy::core {
+namespace {
+
+// Capacity is the smallest power of two keeping the load factor at or
+// below ~0.7: linear probing stays short (max probe lengths in the
+// single digits at this load) while two-thirds of the bucket lines still
+// hold data.
+std::size_t BucketCapacityFor(std::size_t tuples) {
+  std::size_t capacity = 16;
+  while (capacity * 7 < tuples * 10) capacity <<= 1;
+  return capacity;
+}
+
+}  // namespace
+
+FlatTupleTable FlatTupleTable::Build(const TupleCountMap& ranked) {
+  const std::uint64_t start_ns = obs::NowNanos();
+  FlatTupleTable table;
+  table.size_ = ranked.size();
+  if (ranked.empty()) {
+    table.build_ns_ = obs::NowNanos() - start_ns;
+    return table;
+  }
+
+  // Insert in key-sorted order so the bucket layout and the arena are a
+  // pure function of the map's contents, not its iteration order - the
+  // same determinism discipline as ExportTable().
+  std::vector<const std::pair<const TupleKey, TupleCounts>*> entries;
+  entries.reserve(ranked.size());
+  std::size_t total_links = 0;
+  for (const auto& entry : ranked) {
+    entries.push_back(&entry);
+    total_links += entry.second.ranked.size();
+  }
+  std::sort(entries.begin(), entries.end(), [](const auto* a, const auto* b) {
+    if (a->first.hi != b->first.hi) return a->first.hi < b->first.hi;
+    return a->first.lo < b->first.lo;
+  });
+
+  table.buckets_.resize(BucketCapacityFor(entries.size()));
+  table.mask_ = table.buckets_.size() - 1;
+  table.links_.reserve(total_links);
+  for (const auto* entry : entries) {
+    std::size_t i = TupleKeyHash{}(entry->first) & table.mask_;
+    std::size_t probe_length = 1;
+    while (table.buckets_[i].links_begin != kEmpty) {
+      i = (i + 1) & table.mask_;
+      ++probe_length;
+    }
+    Bucket& bucket = table.buckets_[i];
+    bucket.key = entry->first;
+    bucket.total_bytes = entry->second.total_bytes;
+    bucket.links_begin = static_cast<std::uint32_t>(table.links_.size());
+    bucket.link_count =
+        static_cast<std::uint32_t>(entry->second.ranked.size());
+    table.links_.insert(table.links_.end(), entry->second.ranked.begin(),
+                        entry->second.ranked.end());
+    table.max_probe_length_ =
+        std::max(table.max_probe_length_, probe_length);
+  }
+  table.build_ns_ = obs::NowNanos() - start_ns;
+  return table;
+}
+
+}  // namespace tipsy::core

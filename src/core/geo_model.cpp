@@ -9,6 +9,11 @@ GeoAugmentedModel::GeoAugmentedModel(const Model* base, const wan::Wan* wan,
                                      const geo::MetroCatalogue* metros)
     : base_(base), wan_(wan), metros_(metros) {
   assert(base_ != nullptr && wan_ != nullptr && metros_ != nullptr);
+  geo_ranked_.resize(wan_->link_count());
+  for (const wan::PeeringLink& link : wan_->links()) {
+    geo_ranked_[link.id.value()] = wan_->LinksOfAsnByDistance(
+        link.peer_asn, link.metro, *metros_, link.id);
+  }
 }
 
 std::vector<Prediction> GeoAugmentedModel::Predict(
@@ -21,10 +26,6 @@ std::vector<Prediction> GeoAugmentedModel::Predict(
   // historically entered, and geography is measured from there.
   const auto anchor = base_->Predict(flow, 1, nullptr);
   if (anchor.empty()) return predictions;
-  const wan::PeeringLink& anchor_link = wan_->link(anchor.front().link);
-
-  const auto ranked = wan_->LinksOfAsnByDistance(
-      anchor_link.peer_asn, anchor_link.metro, *metros_, anchor_link.id);
 
   // Residual probability mass to hand to the geographic guesses: whatever
   // the base predictions left uncovered, split geometrically (closest
@@ -38,13 +39,45 @@ std::vector<Prediction> GeoAugmentedModel::Predict(
         predictions.begin(), predictions.end(),
         [&](const Prediction& p) { return p.link == link; });
   };
-  for (LinkId link : ranked) {
+  for (LinkId link : GeoRanked(anchor.front().link)) {
     if (predictions.size() >= k) break;
     if (IsExcluded(excluded, link) || already_predicted(link)) continue;
     residual *= 0.5;
     predictions.push_back(Prediction{link, residual});
   }
   return predictions;
+}
+
+std::size_t GeoAugmentedModel::PredictInto(const FlowFeatures& flow,
+                                           std::size_t k,
+                                           const ExclusionMask* excluded,
+                                           std::span<Prediction> out) const {
+  if (k > out.size()) k = out.size();
+  std::size_t written = base_->PredictInto(flow, k, excluded, out);
+  if (written >= k) return written;
+
+  Prediction anchor;
+  if (base_->PredictInto(flow, 1, nullptr, {&anchor, 1}) == 0) {
+    return written;
+  }
+
+  double covered = 0.0;
+  for (std::size_t i = 0; i < written; ++i) covered += out[i].probability;
+  double residual = std::max(0.05, 1.0 - covered);
+
+  auto already_predicted = [&](LinkId link) {
+    for (std::size_t i = 0; i < written; ++i) {
+      if (out[i].link == link) return true;
+    }
+    return false;
+  };
+  for (LinkId link : GeoRanked(anchor.link)) {
+    if (written >= k) break;
+    if (IsExcluded(excluded, link) || already_predicted(link)) continue;
+    residual *= 0.5;
+    out[written++] = Prediction{link, residual};
+  }
+  return written;
 }
 
 }  // namespace tipsy::core

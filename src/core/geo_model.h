@@ -24,6 +24,9 @@ class GeoAugmentedModel : public Model {
   [[nodiscard]] std::vector<Prediction> Predict(
       const FlowFeatures& flow, std::size_t k,
       const ExclusionMask* excluded) const override;
+  [[nodiscard]] std::size_t PredictInto(
+      const FlowFeatures& flow, std::size_t k, const ExclusionMask* excluded,
+      std::span<Prediction> out) const override;
 
   [[nodiscard]] std::string name() const override {
     return base_->name() + "+G";
@@ -33,9 +36,19 @@ class GeoAugmentedModel : public Model {
   }
 
  private:
+  // The geographic fallback ranking when `anchor` is the historical best
+  // match: anchor's peer AS'es other interfaces by distance from it.
+  [[nodiscard]] std::span<const LinkId> GeoRanked(LinkId anchor) const {
+    return geo_ranked_[anchor.value()];
+  }
+
   const Model* base_;
   const wan::Wan* wan_;
   const geo::MetroCatalogue* metros_;
+  // Precomputed per possible anchor link (indexed by LinkId value): the
+  // WAN topology is immutable for the model's lifetime, so the per-query
+  // distance sort of the legacy path is paid once at construction.
+  std::vector<std::vector<LinkId>> geo_ranked_;
 };
 
 }  // namespace tipsy::core

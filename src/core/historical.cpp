@@ -7,10 +7,12 @@ namespace tipsy::core {
 
 HistoricalModel::HistoricalModel(FeatureSet feature_set,
                                  std::size_t max_links_per_tuple,
-                                 bool weight_by_bytes)
+                                 bool weight_by_bytes,
+                                 ServingBackend backend)
     : feature_set_(feature_set),
       max_links_per_tuple_(max_links_per_tuple),
       weight_by_bytes_(weight_by_bytes),
+      backend_(backend),
       counts_(feature_set, weight_by_bytes) {
   assert(max_links_per_tuple_ >= 1);
 }
@@ -56,6 +58,14 @@ void HistoricalModel::RankAndTruncate() {
       entry.ranked.shrink_to_fit();
     }
   }
+}
+
+void HistoricalModel::AdoptServingTable() {
+  if (backend_ == ServingBackend::kFlat) {
+    flat_ = FlatTupleTable::Build(table_);
+    // The map was only the build input; serving probes the flat table.
+    TupleCountMap().swap(table_);
+  }
   finalized_ = true;
 }
 
@@ -73,28 +83,51 @@ void HistoricalModel::Finalize() {
   shards_.shrink_to_fit();
   table_ = counts_.ReleaseCounts();
   RankAndTruncate();
+  AdoptServingTable();
+}
+
+bool HistoricalModel::LookupRanked(const FlowFeatures& flow,
+                                   std::span<const LinkBytes>* ranked,
+                                   double* total_bytes) const {
+  assert(finalized_);
+  if (!HasFeatures(feature_set_, flow)) return false;
+  const TupleKey key = MakeTupleKey(feature_set_, flow);
+  if (backend_ == ServingBackend::kFlat) {
+    const FlatTupleTable::Bucket* bucket = flat_.Find(key);
+    if (bucket == nullptr) return false;
+    *ranked = flat_.links(*bucket);
+    *total_bytes = bucket->total_bytes;
+    return true;
+  }
+  const auto it = table_.find(key);
+  if (it == table_.end()) return false;
+  *ranked = {it->second.ranked.data(), it->second.ranked.size()};
+  *total_bytes = it->second.total_bytes;
+  return true;
 }
 
 std::vector<Prediction> HistoricalModel::Predict(
     const FlowFeatures& flow, std::size_t k,
     const ExclusionMask* excluded) const {
-  assert(finalized_);
   std::vector<Prediction> out;
-  if (k == 0 || !HasFeatures(feature_set_, flow)) return out;
-  const auto it = table_.find(MakeTupleKey(feature_set_, flow));
-  if (it == table_.end()) return out;
-  const TupleCounts& entry = it->second;
+  if (k == 0) {
+    assert(finalized_);
+    return out;
+  }
+  std::span<const LinkBytes> ranked;
+  double total_bytes = 0.0;
+  if (!LookupRanked(flow, &ranked, &total_bytes)) return out;
   // Without exclusions, p(l|f) = B(f,l)/B(f). With exclusions the traffic
   // must land somewhere else, so renormalize over the remaining choices.
-  double denominator = entry.total_bytes;
+  double denominator = total_bytes;
   if (excluded != nullptr) {
     denominator = 0.0;
-    for (const auto& lb : entry.ranked) {
+    for (const auto& lb : ranked) {
       if (!IsExcluded(excluded, lb.link)) denominator += lb.bytes;
     }
   }
   if (denominator <= 0.0) return out;
-  for (const auto& lb : entry.ranked) {
+  for (const auto& lb : ranked) {
     if (IsExcluded(excluded, lb.link)) continue;
     out.push_back(Prediction{lb.link, lb.bytes / denominator});
     if (out.size() == k) break;
@@ -102,11 +135,43 @@ std::vector<Prediction> HistoricalModel::Predict(
   return out;
 }
 
+std::size_t HistoricalModel::PredictInto(const FlowFeatures& flow,
+                                         std::size_t k,
+                                         const ExclusionMask* excluded,
+                                         std::span<Prediction> out) const {
+  if (k > out.size()) k = out.size();
+  if (k == 0) {
+    assert(finalized_);
+    return 0;
+  }
+  std::span<const LinkBytes> ranked;
+  double total_bytes = 0.0;
+  if (!LookupRanked(flow, &ranked, &total_bytes)) return 0;
+  double denominator = total_bytes;
+  if (excluded != nullptr) {
+    denominator = 0.0;
+    for (const auto& lb : ranked) {
+      if (!IsExcluded(excluded, lb.link)) denominator += lb.bytes;
+    }
+  }
+  if (denominator <= 0.0) return 0;
+  std::size_t written = 0;
+  for (const auto& lb : ranked) {
+    if (IsExcluded(excluded, lb.link)) continue;
+    out[written++] = Prediction{lb.link, lb.bytes / denominator};
+    if (written == k) break;
+  }
+  return written;
+}
+
 std::string HistoricalModel::name() const {
   return std::string("Hist_") + ToString(feature_set_);
 }
 
 std::size_t HistoricalModel::MemoryFootprintBytes() const {
+  if (finalized_ && backend_ == ServingBackend::kFlat) {
+    return flat_.MemoryFootprintBytes();
+  }
   std::size_t bytes = table_.size() * (sizeof(TupleKey) + sizeof(TupleCounts));
   for (const auto& [key, entry] : table_) {
     bytes += entry.ranked.capacity() * sizeof(LinkBytes);
@@ -115,24 +180,41 @@ std::size_t HistoricalModel::MemoryFootprintBytes() const {
 }
 
 bool HistoricalModel::Knows(const FlowFeatures& flow) const {
-  return HasFeatures(feature_set_, flow) &&
-         table_.contains(MakeTupleKey(feature_set_, flow));
+  if (!HasFeatures(feature_set_, flow)) return false;
+  const TupleKey key = MakeTupleKey(feature_set_, flow);
+  return backend_ == ServingBackend::kFlat ? flat_.Contains(key)
+                                           : table_.contains(key);
 }
 
 std::vector<HistoricalModel::TupleExport> HistoricalModel::ExportTable()
     const {
   assert(finalized_);
   std::vector<TupleExport> out;
-  out.reserve(table_.size());
-  for (const auto& [key, entry] : table_) {
-    TupleExport exported;
-    exported.key = key;
-    exported.total_bytes = entry.total_bytes;
-    exported.ranked.reserve(entry.ranked.size());
-    for (const auto& lb : entry.ranked) {
-      exported.ranked.emplace_back(lb.link, lb.bytes);
+  if (backend_ == ServingBackend::kFlat) {
+    out.reserve(flat_.size());
+    flat_.ForEachBucket([&](const FlatTupleTable::Bucket& bucket) {
+      TupleExport exported;
+      exported.key = bucket.key;
+      exported.total_bytes = bucket.total_bytes;
+      const auto links = flat_.links(bucket);
+      exported.ranked.reserve(links.size());
+      for (const auto& lb : links) {
+        exported.ranked.emplace_back(lb.link, lb.bytes);
+      }
+      out.push_back(std::move(exported));
+    });
+  } else {
+    out.reserve(table_.size());
+    for (const auto& [key, entry] : table_) {
+      TupleExport exported;
+      exported.key = key;
+      exported.total_bytes = entry.total_bytes;
+      exported.ranked.reserve(entry.ranked.size());
+      for (const auto& lb : entry.ranked) {
+        exported.ranked.emplace_back(lb.link, lb.bytes);
+      }
+      out.push_back(std::move(exported));
     }
-    out.push_back(std::move(exported));
   }
   std::sort(out.begin(), out.end(),
             [](const TupleExport& a, const TupleExport& b) {
@@ -144,8 +226,10 @@ std::vector<HistoricalModel::TupleExport> HistoricalModel::ExportTable()
 
 HistoricalModel HistoricalModel::FromExport(
     FeatureSet feature_set, std::size_t max_links_per_tuple,
-    bool weight_by_bytes, const std::vector<TupleExport>& table) {
-  HistoricalModel model(feature_set, max_links_per_tuple, weight_by_bytes);
+    bool weight_by_bytes, const std::vector<TupleExport>& table,
+    ServingBackend backend) {
+  HistoricalModel model(feature_set, max_links_per_tuple, weight_by_bytes,
+                        backend);
   for (const auto& exported : table) {
     TupleCounts entry;
     entry.total_bytes = exported.total_bytes;
@@ -156,21 +240,23 @@ HistoricalModel HistoricalModel::FromExport(
     model.table_.emplace(exported.key, std::move(entry));
   }
   // Exported tables were already ranked and truncated.
-  model.finalized_ = true;
+  model.AdoptServingTable();
   return model;
 }
 
 HistoricalModel HistoricalModel::FromCounts(std::size_t max_links_per_tuple,
                                             const TupleCountTable& counts,
-                                            const TupleCountTable* overlay) {
+                                            const TupleCountTable* overlay,
+                                            ServingBackend backend) {
   HistoricalModel model(counts.feature_set(), max_links_per_tuple,
-                        counts.weight_by_bytes());
+                        counts.weight_by_bytes(), backend);
   // The window aggregate stays untouched (it keeps rolling forward); the
   // model ranks and truncates a private copy, overlay merged on top.
   TupleCountTable merged = counts;
   if (overlay != nullptr) merged.Merge(*overlay);
   model.table_ = merged.ReleaseCounts();
   model.RankAndTruncate();
+  model.AdoptServingTable();
   return model;
 }
 

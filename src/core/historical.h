@@ -14,9 +14,16 @@
 #pragma once
 
 #include "core/day_shard.h"
+#include "core/flat_table.h"
 #include "core/model.h"
 
 namespace tipsy::core {
+
+// What a finalized model serves lookups from. kFlat (the default) builds
+// a FlatTupleTable at finalization and drops the accumulation map; the
+// two backends are bit-identical in everything they serve - kLegacyMap
+// exists as the reference the serving-core tests diff against.
+enum class ServingBackend : std::uint8_t { kFlat, kLegacyMap };
 
 class HistoricalModel : public Model {
  public:
@@ -26,7 +33,8 @@ class HistoricalModel : public Model {
   // every observation counts 1 instead of its byte volume.
   explicit HistoricalModel(FeatureSet feature_set,
                            std::size_t max_links_per_tuple = 16,
-                           bool weight_by_bytes = true);
+                           bool weight_by_bytes = true,
+                           ServingBackend backend = ServingBackend::kFlat);
 
   // Streaming, byte-weighted training. Call Finalize() before predicting.
   void Add(const pipeline::AggRow& row);
@@ -50,15 +58,32 @@ class HistoricalModel : public Model {
   [[nodiscard]] std::vector<Prediction> Predict(
       const FlowFeatures& flow, std::size_t k,
       const ExclusionMask* excluded) const override;
+  [[nodiscard]] std::size_t PredictInto(
+      const FlowFeatures& flow, std::size_t k, const ExclusionMask* excluded,
+      std::span<Prediction> out) const override;
 
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] std::size_t MemoryFootprintBytes() const override;
 
   [[nodiscard]] FeatureSet feature_set() const { return feature_set_; }
   [[nodiscard]] std::size_t tuple_count() const {
-    return finalized_ ? table_.size() : counts_.tuple_count();
+    if (!finalized_) return counts_.tuple_count();
+    return backend_ == ServingBackend::kFlat ? flat_.size() : table_.size();
   }
   [[nodiscard]] bool finalized() const { return finalized_; }
+  [[nodiscard]] ServingBackend backend() const { return backend_; }
+  // The flat serving table (kFlat backend, finalized models only);
+  // nullptr otherwise. Exposed for serving-core metrics and benches.
+  [[nodiscard]] const FlatTupleTable* flat_table() const {
+    return finalized_ && backend_ == ServingBackend::kFlat ? &flat_ : nullptr;
+  }
+
+  // Prefetches the tuple's serving bucket (no-op on the legacy backend).
+  // The batched prediction path calls this a few flows ahead of the
+  // probe; `key` must come from MakeTupleKey(feature_set(), flow).
+  void PrefetchTuple(const TupleKey& key) const {
+    if (backend_ == ServingBackend::kFlat) flat_.Prefetch(key);
+  }
 
   // Whether the model has any ranking for the flow's tuple (used by tests
   // and by the fall-through logic diagnostics).
@@ -81,7 +106,9 @@ class HistoricalModel : public Model {
   static HistoricalModel FromExport(FeatureSet feature_set,
                                     std::size_t max_links_per_tuple,
                                     bool weight_by_bytes,
-                                    const std::vector<TupleExport>& table);
+                                    const std::vector<TupleExport>& table,
+                                    ServingBackend backend =
+                                        ServingBackend::kFlat);
 
   // Builds a finalized model directly from accumulated window counts,
   // optionally overlaying one more partial table (the retrainer's
@@ -91,23 +118,36 @@ class HistoricalModel : public Model {
   // the summed (bytes, link) pairs.
   static HistoricalModel FromCounts(std::size_t max_links_per_tuple,
                                     const TupleCountTable& counts,
-                                    const TupleCountTable* overlay = nullptr);
+                                    const TupleCountTable* overlay = nullptr,
+                                    ServingBackend backend =
+                                        ServingBackend::kFlat);
 
  private:
-  // Sorts every tuple's links by (bytes desc, link asc), truncates to
-  // max_links_per_tuple_ and marks the model servable.
+  // Sorts every tuple's links by (bytes desc, link asc) and truncates to
+  // max_links_per_tuple_.
   void RankAndTruncate();
+  // Moves the ranked map into the configured serving backend (the flat
+  // table frees the map) and marks the model servable.
+  void AdoptServingTable();
+  // The serving entry for `flow`'s tuple: its ranked links and tuple
+  // total. False when the model cannot key or has never seen the flow.
+  [[nodiscard]] bool LookupRanked(const FlowFeatures& flow,
+                                  std::span<const LinkBytes>* ranked,
+                                  double* total_bytes) const;
 
   FeatureSet feature_set_;
   std::size_t max_links_per_tuple_;
   bool weight_by_bytes_;
+  ServingBackend backend_;
   bool finalized_ = false;
   std::size_t reserve_hint_ = 0;
   // Pre-finalization accumulation (serial path) ...
   TupleCountTable counts_;
   std::vector<TupleCountTable> shards_;
-  // ... and the finalized, ranked + truncated serving table.
+  // ... and the finalized, ranked + truncated serving table: the flat
+  // table on the kFlat backend, the map on kLegacyMap.
   TupleCountMap table_;
+  FlatTupleTable flat_;
 };
 
 }  // namespace tipsy::core

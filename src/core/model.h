@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -37,6 +38,23 @@ class Model {
   [[nodiscard]] virtual std::vector<Prediction> Predict(
       const FlowFeatures& flow, std::size_t k,
       const ExclusionMask* excluded) const = 0;
+
+  // Allocation-free variant: writes up to min(k, out.size()) predictions
+  // into `out`, most likely first, and returns how many were written.
+  // Bit-identical to Predict() truncated to out.size(); the batched
+  // serving path (TipsyService::PredictShift) and the evaluator use it
+  // to keep a heap allocation off every per-flow query. The default
+  // adapter copies from Predict(); table-backed models override it.
+  [[nodiscard]] virtual std::size_t PredictInto(
+      const FlowFeatures& flow, std::size_t k, const ExclusionMask* excluded,
+      std::span<Prediction> out) const {
+    const auto predictions =
+        Predict(flow, k < out.size() ? k : out.size(), excluded);
+    for (std::size_t i = 0; i < predictions.size(); ++i) {
+      out[i] = predictions[i];
+    }
+    return predictions.size();
+  }
 
   [[nodiscard]] virtual std::string name() const = 0;
 

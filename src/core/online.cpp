@@ -155,6 +155,7 @@ util::Status DailyRetrainer::TryRetrain() {
     current_ = TipsyService::FromWindowCounts(
         wan_, metros_, config_, window_counts_,
         overlay != nullptr ? &overlay->shard.tables : nullptr);
+    if (epoch_ != nullptr) epoch_->Publish(current_);
     incremental_retrains_.Increment();
     trained_through_day_ = newest;
     retrain_count_.Increment();
@@ -168,6 +169,7 @@ util::Status DailyRetrainer::TryRetrain() {
     }
     fresh->FinalizeTraining();
     current_ = std::move(fresh);
+    if (epoch_ != nullptr) epoch_->Publish(current_);
     trained_through_day_ = newest;
     retrain_count_.Increment();
     consecutive_failures_ = 0;
@@ -284,6 +286,7 @@ util::Status DailyRetrainer::RestoreState(const RetrainerState& state) {
   partial_days_.Reset(state.partial_days);
   pending_retries_ = state.pending_retries;
   current_ = std::move(restored);
+  if (epoch_ != nullptr) epoch_->Publish(current_);
   return util::Status::Ok();
 }
 

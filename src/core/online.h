@@ -29,6 +29,7 @@
 //    including across snapshot/restore.
 #pragma once
 
+#include <atomic>
 #include <deque>
 #include <functional>
 #include <limits>
@@ -145,6 +146,62 @@ struct RetrainerState {
   std::string model_bundle;
 };
 
+// Epoch-based publication point between the retrainer and the serving
+// threads (RCU-flavored). The retrainer builds the next model suite
+// entirely off-path - aggregation, ranking, flat-table build - and
+// Publish() makes it visible with one atomic shared-ptr store; readers
+// Acquire() a borrowed snapshot per query batch and keep predicting on
+// it even while the next epoch is being built or published. Neither side
+// ever blocks the other, and the PredictShift hot path itself takes no
+// lock of any kind: the only synchronization is the pointer swap at the
+// batch boundary. Old epochs are reclaimed by shared_ptr refcounting
+// once the last in-flight batch drops its snapshot.
+class ModelEpoch {
+ public:
+  ModelEpoch() = default;
+  ModelEpoch(const ModelEpoch&) = delete;
+  ModelEpoch& operator=(const ModelEpoch&) = delete;
+
+  // Makes `service` the current epoch. nullptr is allowed (serving not
+  // yet trained); the epoch counter still advances.
+  void Publish(std::shared_ptr<const TipsyService> service) {
+    current_.store(std::move(service), std::memory_order_release);
+    epoch_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+  // The current epoch's service (nullptr before the first publish).
+  // Callers hold the returned snapshot for the duration of a query
+  // batch, not per flow - one refcount bump amortized over the batch.
+  [[nodiscard]] std::shared_ptr<const TipsyService> Acquire() const {
+    return current_.load(std::memory_order_acquire);
+  }
+
+  // Number of publishes so far; readers can compare across batches to
+  // detect a model swap.
+  [[nodiscard]] std::uint64_t epoch() const {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
+  // Swap observability: the epoch gauge plus whether a model is loaded.
+  [[nodiscard]] obs::MetricGroup RegisterMetrics(
+      obs::Registry& registry, const std::string& prefix) const {
+    obs::MetricGroup group;
+    group.push_back(registry.RegisterGauge(
+        prefix + "_model_epoch", "Model publishes since process start",
+        [this] { return static_cast<double>(epoch()); }));
+    group.push_back(registry.RegisterGauge(
+        prefix + "_model_loaded",
+        "1 when an epoch holds a trained service, 0 before the first "
+        "publish",
+        [this] { return Acquire() != nullptr ? 1.0 : 0.0; }));
+    return group;
+  }
+
+ private:
+  std::atomic<std::shared_ptr<const TipsyService>> current_;
+  std::atomic<std::uint64_t> epoch_{0};
+};
+
 class DailyRetrainer {
  public:
   DailyRetrainer(const wan::Wan* wan, const geo::MetroCatalogue* metros,
@@ -172,6 +229,21 @@ class DailyRetrainer {
   // the previous (last-good) service keeps being returned.
   [[nodiscard]] const TipsyService* current() const {
     return current_.get();
+  }
+  // Shared ownership of the same service, for callers that outlive a
+  // retrain (epoch publication, snapshot writers).
+  [[nodiscard]] std::shared_ptr<const TipsyService> current_shared() const {
+    return current_;
+  }
+
+  // Attaches an epoch publication point: the current service (possibly
+  // nullptr) is published immediately, and every later successful
+  // retrain or restore publishes its fresh service. The retrainer itself
+  // is still single-writer - concurrent readers go through the epoch,
+  // never through this object. Pass nullptr to detach.
+  void PublishTo(ModelEpoch* epoch) {
+    epoch_ = epoch;
+    if (epoch_ != nullptr) epoch_->Publish(current_);
   }
 
   // Force a retrain on whatever is buffered (e.g. at end of stream).
@@ -273,7 +345,10 @@ class DailyRetrainer {
   util::HourIndex last_observed_hour_ =
       std::numeric_limits<util::HourIndex>::min();
   util::HourIndex last_day_ = std::numeric_limits<util::HourIndex>::min();
-  std::unique_ptr<TipsyService> current_;
+  // Shared so an attached ModelEpoch can hand out snapshots that outlive
+  // the next retrain; the retrainer is the only writer.
+  std::shared_ptr<const TipsyService> current_;
+  ModelEpoch* epoch_ = nullptr;
   util::HourIndex trained_through_day_ =
       std::numeric_limits<util::HourIndex>::min();
   // Health counters are obs::Counter so the registry serves them

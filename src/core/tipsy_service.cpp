@@ -1,5 +1,6 @@
 #include "core/tipsy_service.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "util/parallel.h"
@@ -13,11 +14,54 @@ namespace {
 constexpr std::size_t kMinParallelTrainRows = 256;
 
 #ifndef TIPSY_NO_OBS
-// Sample the prediction latency timer on one query in 16: a steady-clock
-// read pair costs tens of nanoseconds, which would be a visible fraction
-// of a single-flow PredictShift. Counters are unsampled.
-constexpr std::uint64_t kPredictSampleMask = 15;
+// Sample the prediction latency timer on one query in 64: a steady-clock
+// read pair plus a histogram observe costs ~100 ns, comparable to an
+// entire query on the flat serving core, so the timer must be rare
+// enough to vanish from the per-batch BENCH_obs.json acceptance rows.
+// Counters are unsampled (exact).
+constexpr std::uint64_t kPredictSampleMask = 63;
 #endif
+
+// How many flows ahead of the probe loop the flat table's buckets are
+// prefetched. Far enough to cover a memory load, near enough to stay in
+// the L1 shadow of small batches.
+constexpr std::size_t kPrefetchLookahead = 8;
+
+// Per-thread scratch reused across PredictShift calls, so the batched
+// path performs no steady-state heap allocation. `accumulated[v]` is
+// meaningful only while `stamp[v] == epoch`; stale entries are reset
+// lazily on first touch instead of zeroing the arrays between calls.
+struct ShiftScratch {
+  std::vector<TupleKey> keys;           // per flow: its AL tuple key
+  std::vector<std::uint32_t> flow_slot; // per flow: prediction cache slot
+  // Open-addressing dedupe map from tuple key to cache slot + 1.
+  std::vector<std::uint32_t> slot_of_bucket;
+  std::vector<TupleKey> key_of_bucket;
+  struct CacheSlot {
+    std::uint32_t begin = 0;  // into `predictions`
+    std::uint32_t count = 0;
+    double total_probability = 0.0;
+  };
+  std::vector<CacheSlot> slots;
+  std::vector<Prediction> predictions;  // arena of per-tuple predictions
+  // Dense per-link byte accumulation, first-touch tracked by stamp.
+  std::vector<double> accumulated;
+  std::vector<std::uint64_t> stamp;
+  std::uint64_t epoch = 0;
+  std::vector<std::uint32_t> touched;   // link ids hit this call
+
+  void EnsureLink(std::size_t link_value) {
+    if (link_value >= accumulated.size()) {
+      accumulated.resize(link_value + 1, 0.0);
+      stamp.resize(link_value + 1, 0);
+    }
+  }
+};
+
+ShiftScratch& LocalShiftScratch() {
+  thread_local ShiftScratch scratch;
+  return scratch;
+}
 
 // Prometheus-safe metric-name fragment from a model label like
 // "Hist_AP/AL/A": lowercase, non-alphanumerics collapsed to '_'.
@@ -43,12 +87,15 @@ TipsyService::TipsyService(const wan::Wan* wan,
                            const geo::MetroCatalogue* metros,
                            TipsyConfig config)
     : wan_(wan), metros_(metros), config_(config) {
-  hist_a_ = std::make_unique<HistoricalModel>(FeatureSet::kA,
-                                              config_.max_links_per_tuple);
-  hist_ap_ = std::make_unique<HistoricalModel>(FeatureSet::kAP,
-                                               config_.max_links_per_tuple);
-  hist_al_ = std::make_unique<HistoricalModel>(FeatureSet::kAL,
-                                               config_.max_links_per_tuple);
+  hist_a_ = std::make_unique<HistoricalModel>(
+      FeatureSet::kA, config_.max_links_per_tuple, true,
+      config_.serving_backend);
+  hist_ap_ = std::make_unique<HistoricalModel>(
+      FeatureSet::kAP, config_.max_links_per_tuple, true,
+      config_.serving_backend);
+  hist_al_ = std::make_unique<HistoricalModel>(
+      FeatureSet::kAL, config_.max_links_per_tuple, true,
+      config_.serving_backend);
   if (config_.train_naive_bayes) {
     nb_a_ = std::make_unique<NaiveBayesModel>(FeatureSet::kA);
     nb_al_ = std::make_unique<NaiveBayesModel>(FeatureSet::kAL);
@@ -162,12 +209,14 @@ std::unique_ptr<TipsyService> TipsyService::FromWindowCounts(
   return FromTrainedModels(
       wan, metros, config,
       HistoricalModel::FromCounts(config.max_links_per_tuple, window.a,
-                                  overlay != nullptr ? &overlay->a : nullptr),
+                                  overlay != nullptr ? &overlay->a : nullptr,
+                                  config.serving_backend),
       HistoricalModel::FromCounts(config.max_links_per_tuple, window.ap,
-                                  overlay != nullptr ? &overlay->ap : nullptr),
+                                  overlay != nullptr ? &overlay->ap : nullptr,
+                                  config.serving_backend),
       HistoricalModel::FromCounts(config.max_links_per_tuple, window.al,
-                                  overlay != nullptr ? &overlay->al
-                                                     : nullptr));
+                                  overlay != nullptr ? &overlay->al : nullptr,
+                                  config.serving_backend));
 }
 
 const HistoricalModel& TipsyService::hist(FeatureSet fs) const {
@@ -202,40 +251,139 @@ const Model& TipsyService::Best() const {
   return *hist_al_g_;
 }
 
+double TipsyService::ShiftPrediction::BytesFor(LinkId link) const {
+  const auto it = std::lower_bound(
+      shifted.begin(), shifted.end(), link,
+      [](const std::pair<LinkId, double>& entry, LinkId l) {
+        return entry.first < l;
+      });
+  return it != shifted.end() && it->first == link ? it->second : 0.0;
+}
+
+TipsyService::ShiftPrediction TipsyService::PredictShiftImpl(
+    std::span<const ShiftQueryFlow> flows, const ExclusionMask& excluded,
+    std::size_t k, std::uint64_t* unpredicted_flow_count) const {
+  assert(finalized_);
+  ShiftPrediction out;
+  if (flows.empty()) {
+    if (unpredicted_flow_count != nullptr) *unpredicted_flow_count = 0;
+    return out;
+  }
+  const Model& best = Best();
+  ShiftScratch& s = LocalShiftScratch();
+  const std::size_t n = flows.size();
+
+  // Pass 1 - resolve each flow's prediction set with one model probe per
+  // distinct AL tuple: Best() is Hist_AL+G, whose output (the base
+  // lookup and the geo anchor alike) is a pure function of the flow's AL
+  // tuple key plus the per-call k and mask, so flows sharing a tuple
+  // share a cache slot. Upcoming tuples' buckets are prefetched a few
+  // flows ahead of the probe.
+  s.keys.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    s.keys[i] = MakeTupleKey(FeatureSet::kAL, flows[i].flow);
+  }
+  std::size_t bucket_count = 16;
+  while (bucket_count < n * 2) bucket_count <<= 1;
+  const std::size_t bucket_mask = bucket_count - 1;
+  s.slot_of_bucket.assign(bucket_count, 0);
+  s.key_of_bucket.resize(bucket_count);
+  s.slots.clear();
+  s.predictions.clear();
+  s.flow_slot.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i + kPrefetchLookahead < n) {
+      hist_al_->PrefetchTuple(s.keys[i + kPrefetchLookahead]);
+    }
+    const TupleKey& key = s.keys[i];
+    std::size_t b = TupleKeyHash{}(key) & bucket_mask;
+    while (s.slot_of_bucket[b] != 0 && !(s.key_of_bucket[b] == key)) {
+      b = (b + 1) & bucket_mask;
+    }
+    if (s.slot_of_bucket[b] == 0) {
+      const std::size_t begin = s.predictions.size();
+      s.predictions.resize(begin + k);
+      const std::size_t count = best.PredictInto(
+          flows[i].flow, k, &excluded,
+          std::span<Prediction>(s.predictions.data() + begin, k));
+      s.predictions.resize(begin + count);
+      ShiftScratch::CacheSlot slot;
+      slot.begin = static_cast<std::uint32_t>(begin);
+      slot.count = static_cast<std::uint32_t>(count);
+      for (std::size_t j = 0; j < count; ++j) {
+        slot.total_probability += s.predictions[begin + j].probability;
+      }
+      s.slots.push_back(slot);
+      s.slot_of_bucket[b] = static_cast<std::uint32_t>(s.slots.size());
+      s.key_of_bucket[b] = key;
+    }
+    s.flow_slot[i] = s.slot_of_bucket[b] - 1;
+  }
+
+  // Pass 2 - spread bytes, strictly in the original flow order so every
+  // per-link sum is bit-identical to querying flow by flow (cached
+  // contributions are identical values; only the probes were shared).
+  double unpredicted_bytes = 0.0;
+  std::uint64_t unpredicted = 0;
+  ++s.epoch;
+  s.touched.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    const ShiftScratch::CacheSlot& slot = s.slots[s.flow_slot[i]];
+    if (slot.count == 0 || slot.total_probability <= 0.0) {
+      unpredicted_bytes += flows[i].bytes;
+      ++unpredicted;
+      continue;
+    }
+    for (std::uint32_t j = 0; j < slot.count; ++j) {
+      const Prediction& p = s.predictions[slot.begin + j];
+      const std::size_t link_value = p.link.value();
+      s.EnsureLink(link_value);
+      if (s.stamp[link_value] != s.epoch) {
+        s.stamp[link_value] = s.epoch;
+        s.accumulated[link_value] = 0.0;
+        s.touched.push_back(static_cast<std::uint32_t>(link_value));
+      }
+      s.accumulated[link_value] +=
+          flows[i].bytes * (p.probability / slot.total_probability);
+    }
+  }
+
+  std::sort(s.touched.begin(), s.touched.end());
+  out.shifted.reserve(s.touched.size());
+  for (const std::uint32_t link_value : s.touched) {
+    out.shifted.emplace_back(LinkId(link_value), s.accumulated[link_value]);
+  }
+  out.unpredicted_bytes = unpredicted_bytes;
+  if (unpredicted_flow_count != nullptr) {
+    *unpredicted_flow_count = unpredicted;
+  }
+  return out;
+}
+
 TipsyService::ShiftPrediction TipsyService::PredictShift(
     std::span<const ShiftQueryFlow> flows, const ExclusionMask& excluded,
     std::size_t k) const {
   assert(finalized_);
 #ifndef TIPSY_NO_OBS
+  // The sampling cadence rides on the query counter's stripe-local
+  // count: one atomic covers both the metric and the 1-in-N decision.
+  const std::uint64_t query_index = predict_queries_.IncrementAndCount() - 1;
   obs::ScopedTimer latency_timer(
-      (predict_sample_clock_.fetch_add(1, std::memory_order_relaxed) &
-       kPredictSampleMask) == 0
-          ? &predict_latency_
-          : nullptr);
-  predict_queries_.Increment();
+      (query_index & kPredictSampleMask) == 0 ? &predict_latency_ : nullptr);
   predict_flows_.Increment(flows.size());
-#endif
-  ShiftPrediction out;
-  for (const auto& query : flows) {
-    const auto predictions = Best().Predict(query.flow, k, &excluded);
-    if (predictions.empty()) {
-      out.unpredicted_bytes += query.bytes;
-      TIPSY_OBS_ONLY(unpredicted_flows_.Increment();)
-      continue;
-    }
-    double total_probability = 0.0;
-    for (const auto& p : predictions) total_probability += p.probability;
-    if (total_probability <= 0.0) {
-      out.unpredicted_bytes += query.bytes;
-      TIPSY_OBS_ONLY(unpredicted_flows_.Increment();)
-      continue;
-    }
-    for (const auto& p : predictions) {
-      out.shifted[p.link] +=
-          query.bytes * (p.probability / total_probability);
-    }
-  }
+  std::uint64_t unpredicted = 0;
+  ShiftPrediction out = PredictShiftImpl(flows, excluded, k, &unpredicted);
+  if (unpredicted > 0) unpredicted_flows_.Increment(unpredicted);
   return out;
+#else
+  return PredictShiftImpl(flows, excluded, k, nullptr);
+#endif
+}
+
+TipsyService::ShiftPrediction TipsyService::PredictShiftNoMetrics(
+    std::span<const ShiftQueryFlow> flows, const ExclusionMask& excluded,
+    std::size_t k) const {
+  return PredictShiftImpl(flows, excluded, k, nullptr);
 }
 
 obs::MetricGroup TipsyService::RegisterMetrics(
@@ -254,7 +402,58 @@ obs::MetricGroup TipsyService::RegisterMetrics(
       &unpredicted_flows_));
   group.push_back(registry.RegisterHistogram(
       prefix + "_predict_latency_seconds",
-      "PredictShift latency, sampled 1-in-16 queries", &predict_latency_));
+      "PredictShift latency, sampled 1-in-64 queries",
+      &predict_latency_));
+  // Serving-core gauges: shape and build cost of the flat tables this
+  // service probes (all zero on the legacy-map backend).
+  const auto flat_tables = [this] {
+    std::vector<const FlatTupleTable*> tables;
+    for (const HistoricalModel* model :
+         {hist_a_.get(), hist_ap_.get(), hist_al_.get()}) {
+      if (model->flat_table() != nullptr) {
+        tables.push_back(model->flat_table());
+      }
+    }
+    return tables;
+  };
+  group.push_back(registry.RegisterGauge(
+      prefix + "_flat_table_tuples",
+      "Tuples across the historical models' flat serving tables", [flat_tables] {
+        double total = 0.0;
+        for (const auto* table : flat_tables()) {
+          total += static_cast<double>(table->size());
+        }
+        return total;
+      }));
+  group.push_back(registry.RegisterGauge(
+      prefix + "_flat_table_bytes",
+      "Resident bytes of the flat serving tables", [flat_tables] {
+        double total = 0.0;
+        for (const auto* table : flat_tables()) {
+          total += static_cast<double>(table->MemoryFootprintBytes());
+        }
+        return total;
+      }));
+  group.push_back(registry.RegisterGauge(
+      prefix + "_flat_table_build_seconds",
+      "Summed build time of the flat serving tables", [flat_tables] {
+        double total = 0.0;
+        for (const auto* table : flat_tables()) {
+          total += static_cast<double>(table->build_ns()) * 1e-9;
+        }
+        return total;
+      }));
+  group.push_back(registry.RegisterGauge(
+      prefix + "_flat_table_max_probe",
+      "Longest lookup probe sequence across the flat serving tables",
+      [flat_tables] {
+        double longest = 0.0;
+        for (const auto* table : flat_tables()) {
+          longest = std::max(longest,
+                             static_cast<double>(table->max_probe_length()));
+        }
+        return longest;
+      }));
   // Per-stage answer counters for the sequential ensembles: which model
   // tier is actually serving (§3.3.1 fall-through behavior).
   for (const SequentialEnsemble* ensemble :

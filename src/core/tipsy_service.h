@@ -8,10 +8,8 @@
 #include <span>
 #include <string>
 #include <string_view>
-#include <unordered_map>
+#include <utility>
 #include <vector>
-
-#include <atomic>
 
 #include "core/ensemble.h"
 #include "core/geo_model.h"
@@ -26,6 +24,11 @@ struct TipsyConfig {
   // Naive Bayes is an order of magnitude more expensive to query
   // (Appendix A); train it only when an experiment needs it.
   bool train_naive_bayes = false;
+  // What the historical models serve lookups from once finalized. kFlat
+  // (production) probes the open-addressing FlatTupleTable; kLegacyMap
+  // keeps the node-based hash map and exists as the bit-identity
+  // reference for the serving-core tests and benches.
+  ServingBackend serving_backend = ServingBackend::kFlat;
 };
 
 class TipsyService {
@@ -82,14 +85,32 @@ class TipsyService {
     double bytes = 0.0;
   };
   struct ShiftPrediction {
-    // Predicted additional bytes per destination link.
-    std::unordered_map<LinkId, double> shifted;
+    // Predicted additional bytes per destination link, sorted by link id
+    // (deterministic iteration order for downstream accumulation).
+    std::vector<std::pair<LinkId, double>> shifted;
     // Bytes of flows TIPSY had no prediction for.
     double unpredicted_bytes = 0.0;
+
+    // Predicted bytes for one link (0 when absent); binary search.
+    [[nodiscard]] double BytesFor(LinkId link) const;
   };
   // Where the given flows will go once the links in `excluded` stop being
   // valid ingress choices for them (§4.4). Uses Best() with top-k spread.
+  //
+  // The whole span is answered as one batch: flows sharing an AL tuple
+  // share one model probe (Best() keys purely on the AL tuple), the flat
+  // table's buckets are prefetched a few flows ahead, and byte spreads
+  // accumulate into a dense per-link scratch. Per link the contributions
+  // still sum in flow order, so every value is bit-identical to querying
+  // the flows one by one.
   [[nodiscard]] ShiftPrediction PredictShift(
+      std::span<const ShiftQueryFlow> flows, const ExclusionMask& excluded,
+      std::size_t k = 3) const;
+  // The same prediction path with the optional instrumentation skipped
+  // entirely - the overhead-measurement baseline for bench_obs, and the
+  // serving-core bench's uninstrumented lane. Equivalent to PredictShift
+  // in a -DTIPSY_NO_OBS build.
+  [[nodiscard]] ShiftPrediction PredictShiftNoMetrics(
       std::span<const ShiftQueryFlow> flows, const ExclusionMask& excluded,
       std::size_t k = 3) const;
 
@@ -102,8 +123,9 @@ class TipsyService {
       const;
 
   // Prediction-path counters (optional instrumentation: frozen at zero
-  // under TIPSY_NO_OBS). Latency is sampled 1-in-16 queries so the clock
-  // reads stay off most of the hot path.
+  // under TIPSY_NO_OBS). Latency is sampled 1-in-64 queries so the
+  // clock-read pair - comparable in cost to an entire query on the flat
+  // serving core - stays off the hot path. Counters are exact.
   [[nodiscard]] std::uint64_t predict_queries() const {
     return predict_queries_.value();
   }
@@ -118,6 +140,10 @@ class TipsyService {
   }
 
  private:
+  [[nodiscard]] ShiftPrediction PredictShiftImpl(
+      std::span<const ShiftQueryFlow> flows, const ExclusionMask& excluded,
+      std::size_t k, std::uint64_t* unpredicted_flow_count) const;
+
   const wan::Wan* wan_;
   const geo::MetroCatalogue* metros_;
   TipsyConfig config_;
@@ -133,12 +159,13 @@ class TipsyService {
   std::unique_ptr<NaiveBayesModel> nb_al_;
   std::unique_ptr<SequentialEnsemble> hist_al_nb_al_;
 
-  // PredictShift instrumentation (see TIPSY_OBS_ONLY in the .cpp).
+  // PredictShift instrumentation (see TIPSY_OBS_ONLY in the .cpp). The
+  // latency sampling cadence is driven off predict_queries_'s stripe-
+  // local count (Counter::IncrementAndCount), not a separate atomic.
   mutable obs::Counter predict_queries_;
   mutable obs::Counter predict_flows_;
   mutable obs::Counter unpredicted_flows_;
   mutable obs::Histogram predict_latency_;
-  mutable std::atomic<std::uint64_t> predict_sample_clock_{0};
 };
 
 }  // namespace tipsy::core

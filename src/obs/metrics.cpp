@@ -8,20 +8,14 @@
 
 namespace tipsy::obs {
 
-namespace {
+namespace internal {
 
-// Hands out stripe indices round-robin as threads first touch a metric.
 std::size_t NextStripe() {
   static std::atomic<std::size_t> next{0};
   return next.fetch_add(1, std::memory_order_relaxed) % kStripes;
 }
 
-}  // namespace
-
-std::size_t ThreadStripe() {
-  thread_local const std::size_t stripe = NextStripe();
-  return stripe;
-}
+}  // namespace internal
 
 std::uint64_t NowNanos() {
   return static_cast<std::uint64_t>(

@@ -43,8 +43,17 @@ namespace tipsy::obs {
 // worker threads, cheap to fold on scrape.
 inline constexpr std::size_t kStripes = 8;
 
+namespace internal {
+// Hands out stripe indices round-robin as threads first touch a metric.
+[[nodiscard]] std::size_t NextStripe();
+}  // namespace internal
+
 // The stripe this thread writes to (stable for the thread's lifetime).
-[[nodiscard]] std::size_t ThreadStripe();
+// Inline so the serving hot path pays a thread-local read, not a call.
+[[nodiscard]] inline std::size_t ThreadStripe() {
+  thread_local const std::size_t stripe = internal::NextStripe();
+  return stripe;
+}
 
 namespace internal {
 struct alignas(64) PaddedCell {
@@ -70,6 +79,16 @@ class Counter {
 
   void Increment(std::uint64_t n = 1) {
     cells_[ThreadStripe()].value.fetch_add(n, std::memory_order_relaxed);
+  }
+  // Increment and return this stripe's running total (not the folded
+  // value). Lets a caller drive sampling decisions - "time 1 query in
+  // N" - off the counter it is already paying for, instead of a second
+  // atomic. Per-stripe totals advance independently, so the sampling
+  // cadence is per thread; the overall rate is still ~1-in-N.
+  std::uint64_t IncrementAndCount(std::uint64_t n = 1) {
+    return cells_[ThreadStripe()].value.fetch_add(
+               n, std::memory_order_relaxed) +
+           n;
   }
   [[nodiscard]] std::uint64_t value() const {
     std::uint64_t total = 0;

@@ -328,8 +328,8 @@ TEST(ObsServiceWiring, PredictShiftFeedsCountersAndRegistry) {
 #else
   EXPECT_EQ(fixture.service.predict_queries(), 20u);
   EXPECT_EQ(fixture.service.predict_flows(), 40u);
-  // 1-in-16 sampling: 20 queries sample the clock at calls 0 and 16.
-  EXPECT_EQ(fixture.service.predict_latency().count(), 2u);
+  // 1-in-64 sampling: of 20 queries only call 0 samples the clock.
+  EXPECT_EQ(fixture.service.predict_latency().count(), 1u);
 #endif
 
   // Accessors and the registry fold the same cells.

@@ -13,10 +13,12 @@
 #
 # Pass 2 (thread): rebuilds with -DTIPSY_SANITIZE=thread and runs the HA
 # supervisor's concurrency tests (heartbeats from replica threads racing
-# the query path's routing reads), the parallel substrate tests, and the
+# the query path's routing reads), the parallel substrate tests, the
 # observability suite (concurrent metric writers racing registry
-# scrapes); TSan turns any data race into a hard failure. Skipped when
-# the requested sanitizer *is* thread (pass 1 already covers it).
+# scrapes), and the serving-core epoch-swap suite (PredictShift readers
+# racing ModelEpoch publishes - the lock-free model handoff); TSan turns
+# any data race into a hard failure. Skipped when the requested sanitizer
+# *is* thread (pass 1 already covers it).
 #
 # Every pass runs even after an earlier one fails; the script prints a
 # per-pass PASS/FAIL summary and exits non-zero if any pass failed.
@@ -27,6 +29,11 @@ set -uo pipefail
 SANITIZER="${1:-address}"
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${ROOT}/build-${SANITIZER}"
+
+# GCC 12's std::atomic<std::shared_ptr> lacks the TSan mutex
+# annotations later libstdc++ releases carry; tools/tsan.supp silences
+# that one library-internal report (see the file for the full story).
+export TSAN_OPTIONS="suppressions=${ROOT}/tools/tsan.supp ${TSAN_OPTIONS:-}"
 
 PASS_NAMES=()
 PASS_RESULTS=()
@@ -53,7 +60,7 @@ run_pass() {
 cmake -B "${BUILD}" -S "${ROOT}" -DTIPSY_SANITIZE="${SANITIZER}" \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo || exit 1
 cmake --build "${BUILD}" -j --target robustness_test persistence_test \
-      ha_test incremental_test obs_test || exit 1
+      ha_test incremental_test obs_test serving_core_test || exit 1
 
 run_pass "robustness_test (byte-flip fuzz) under ${SANITIZER} sanitizer" \
     "${BUILD}/tests/robustness_test"
@@ -65,13 +72,15 @@ run_pass "incremental_test (day-shard algebra + snapshot warm starts) under ${SA
     "${BUILD}/tests/incremental_test"
 run_pass "obs_test (metrics registry + trace spans) under ${SANITIZER} sanitizer" \
     "${BUILD}/tests/obs_test"
+run_pass "serving_core_test (flat-table bit-identity + epoch swap) under ${SANITIZER} sanitizer" \
+    "${BUILD}/tests/serving_core_test"
 
 if [[ "${SANITIZER}" != "thread" ]]; then
   TSAN_BUILD="${ROOT}/build-thread"
   cmake -B "${TSAN_BUILD}" -S "${ROOT}" -DTIPSY_SANITIZE=thread \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo || exit 1
   cmake --build "${TSAN_BUILD}" -j --target ha_test parallel_test \
-        obs_test || exit 1
+        obs_test serving_core_test || exit 1
   run_pass "ha_test supervisor/heartbeat races under thread sanitizer" \
       "${TSAN_BUILD}/tests/ha_test" \
       --gtest_filter='Supervisor.*:HeartbeatFaults.*'
@@ -79,6 +88,9 @@ if [[ "${SANITIZER}" != "thread" ]]; then
       "${TSAN_BUILD}/tests/parallel_test"
   run_pass "obs_test concurrent scrape races under thread sanitizer" \
       "${TSAN_BUILD}/tests/obs_test"
+  run_pass "serving_core_test epoch-swap races under thread sanitizer" \
+      "${TSAN_BUILD}/tests/serving_core_test" \
+      --gtest_filter='ServingCoreTsan.*'
 fi
 
 echo
