@@ -25,16 +25,27 @@
 //   accuracy vs the primary's (should be *identical* - both replicas
 //   applied the same journal records).
 //
-// Writes results/bench_failover.csv and BENCH_ha.json in the working
-// directory.
+//   Part C - networked failover. The same story over real sockets: two
+//   tipsyd daemons serve warm replicas, a supervisor knows them only
+//   through heartbeats arriving on a net::HeartbeatListener, and the
+//   primary's heartbeat AND predict paths run through a
+//   scenario::SocketFaultProxy. The proxy partitions both mid-run;
+//   reported: wall-clock failover-to-promotion latency, the tick budget
+//   it fits in (heartbeat timeout + 1), and how many predict requests
+//   went unavailable before routing moved to the standby.
+//
+// Writes results/bench_failover.csv, results/bench_failover_net.csv and
+// BENCH_ha.json in the working directory.
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.h"
@@ -43,6 +54,9 @@
 #include "core/serialize.h"
 #include "ha/replica.h"
 #include "ha/supervisor.h"
+#include "net/client.h"
+#include "net/daemon.h"
+#include "obs/metrics.h"
 #include "scenario/fault_injection.h"
 #include "scenario/scenario.h"
 #include "util/atomic_file.h"
@@ -256,6 +270,188 @@ FailoverResult RunFailover(const HourStream& stream,
   return result;
 }
 
+// --- Part C: failover over real sockets.
+
+struct NetFailoverResult {
+  bool ran = false;
+  int heartbeat_timeout_ticks = 0;
+  int partition_tick = -1;
+  bool promoted = false;
+  int promotion_ticks = -1;   // partition start -> routed to the standby
+  double promotion_ms = 0.0;  // same, wall clock
+  bool promoted_within_budget = false;  // <= timeout + 1 ticks
+  bool failback = false;  // routing returned after the partition healed
+  std::uint64_t requests_total = 0;
+  std::uint64_t requests_ok = 0;
+  // Ticks with nothing routable plus predict requests that failed into
+  // the partitioned path before promotion caught up.
+  std::uint64_t unavailable_requests = 0;
+};
+
+NetFailoverResult RunNetFailover(const HourStream& stream,
+                                 const scenario::Scenario& world,
+                                 const std::filesystem::path& dir) {
+  NetFailoverResult result;
+  auto primary = OpenReplica(world, StateConfig(dir, "net_primary"));
+  auto standby = OpenReplica(world, StateConfig(dir, "net_standby"));
+  if (!primary.ok() || !standby.ok()) return result;
+  for (const auto& [hour, rows] : stream.hours) {
+    (void)primary->Ingest(hour, rows);
+    (void)standby->Ingest(hour, rows);
+  }
+
+  obs::Registry registry;
+  net::DaemonConfig daemon_config;
+  daemon_config.io_deadline_ms = 500;
+  daemon_config.idle_poll_ms = 10;
+  daemon_config.metric_prefix = "net_primary";
+  net::Daemon primary_daemon(&*primary, &registry, daemon_config);
+  daemon_config.metric_prefix = "net_standby";
+  net::Daemon standby_daemon(&*standby, &registry, daemon_config);
+  if (!primary_daemon.Start().ok() || !standby_daemon.Start().ok()) {
+    return result;
+  }
+
+  // The supervisor sees both daemons as *remote* members: everything it
+  // knows arrives over the heartbeat socket.
+  ha::SupervisorConfig sup_config;
+  sup_config.heartbeat_timeout_hours = 2;
+  result.heartbeat_timeout_ticks = sup_config.heartbeat_timeout_hours;
+  ha::Supervisor supervisor(nullptr, nullptr, sup_config);
+  const int member_primary = supervisor.AddStandby(nullptr, 0);
+  const int member_standby = supervisor.AddStandby(nullptr, 1);
+
+  net::HeartbeatListener listener([&](const net::HeartbeatReport& report) {
+    supervisor.ObserveMemberHeartbeat(report.member_index, report.hour,
+                                      report.applied_seq, report.health);
+  });
+  if (!listener.Start(0).ok()) return result;
+
+  // The primary's heartbeat and predict paths share the injected fault;
+  // the standby's paths are direct.
+  scenario::SocketFaultProxyConfig proxy_config;
+  proxy_config.upstream_port = listener.port();
+  scenario::SocketFaultProxy heartbeat_proxy(proxy_config);
+  proxy_config.upstream_port = primary_daemon.predict_port();
+  scenario::SocketFaultProxy predict_proxy(proxy_config);
+  if (!heartbeat_proxy.Start().ok() || !predict_proxy.Start().ok()) {
+    return result;
+  }
+
+  std::atomic<util::HourIndex> clock{0};
+  const auto client_config = [](std::uint16_t port) {
+    net::ClientConfig config;
+    config.port = port;
+    config.connect_timeout_ms = 200;
+    config.io_deadline_ms = 100;
+    config.backoff.initial_ms = 5;
+    config.backoff.max_ms = 50;
+    return config;
+  };
+  const auto beat = [&clock](const ha::Replica& replica,
+                             std::uint32_t member) {
+    net::HeartbeatReport report;
+    report.member_index = member;
+    report.hour = clock.load(std::memory_order_acquire);
+    report.applied_seq = replica.applied_seq();
+    report.health = replica.health();
+    return report;
+  };
+  net::HeartbeatSender primary_beats(
+      client_config(heartbeat_proxy.port()), /*interval_ms=*/10,
+      [&] { return beat(*primary, static_cast<std::uint32_t>(member_primary)); });
+  net::HeartbeatSender standby_beats(
+      client_config(listener.port()), /*interval_ms=*/10,
+      [&] { return beat(*standby, static_cast<std::uint32_t>(member_standby)); });
+  primary_beats.Start();
+  standby_beats.Start();
+
+  net::PredictClient to_primary(client_config(predict_proxy.port()),
+                                /*max_attempts=*/1);
+  net::PredictClient to_standby(
+      client_config(standby_daemon.predict_port()), /*max_attempts=*/1);
+  net::PredictRequest request;
+  for (const auto& row : stream.hours.back().second) {
+    request.flows.push_back(
+        {core::FlowFeatures{row.src_asn, row.src_prefix24, row.src_metro,
+                            row.dest_region, row.dest_service},
+         static_cast<double>(row.bytes)});
+  }
+
+  // Warm up: both members heartbeating, routing settled on the primary.
+  for (int i = 0; i < 400 && supervisor.serving_member() != member_primary;
+       ++i) {
+    supervisor.Tick(0);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  if (supervisor.serving_member() != member_primary) return result;
+  result.ran = true;
+
+  constexpr int kTicks = 40;
+  constexpr int kPartitionTick = 12;
+  constexpr int kHealTick = 26;
+  auto partition_started = std::chrono::steady_clock::now();
+  for (int tick = 1; tick <= kTicks; ++tick) {
+    if (tick == kPartitionTick) {
+      heartbeat_proxy.set_mode(scenario::ProxyMode::kPartition);
+      predict_proxy.set_mode(scenario::ProxyMode::kPartition);
+      heartbeat_proxy.DropConnections();
+      predict_proxy.DropConnections();
+      partition_started = std::chrono::steady_clock::now();
+      result.partition_tick = tick;
+    }
+    if (tick == kHealTick) {
+      heartbeat_proxy.set_mode(scenario::ProxyMode::kPass);
+      predict_proxy.set_mode(scenario::ProxyMode::kPass);
+      heartbeat_proxy.DropConnections();
+      predict_proxy.DropConnections();
+    }
+    clock.store(tick, std::memory_order_release);
+    supervisor.Tick(tick);
+    const int member = supervisor.serving_member();
+    ++result.requests_total;
+    if (member < 0) {
+      ++result.unavailable_requests;
+    } else {
+      auto& client = member == member_primary ? to_primary : to_standby;
+      auto response = client.Predict(request);
+      if (response.ok()) {
+        ++result.requests_ok;
+      } else {
+        ++result.unavailable_requests;
+      }
+    }
+    if (!result.promoted && tick >= kPartitionTick &&
+        member == member_standby) {
+      result.promoted = true;
+      result.promotion_ticks = tick - kPartitionTick;
+      result.promotion_ms = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() -
+                                partition_started)
+                                .count();
+    }
+    if (result.promoted && tick > kHealTick &&
+        member == member_primary) {
+      result.failback = true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  result.promoted_within_budget =
+      result.promoted &&
+      result.promotion_ticks <= result.heartbeat_timeout_ticks + 1;
+
+  primary_beats.Stop();
+  standby_beats.Stop();
+  to_primary.Disconnect();
+  to_standby.Disconnect();
+  heartbeat_proxy.Stop();
+  predict_proxy.Stop();
+  listener.Stop();
+  primary_daemon.Stop();
+  standby_daemon.Stop();
+  return result;
+}
+
 std::string Percent(double fraction) {
   char buffer[32];
   std::snprintf(buffer, sizeof(buffer), "%.1f", fraction * 100.0);
@@ -398,6 +594,40 @@ int main(int argc, char** argv) {
        Percent(failover.standby_top1 - failover.primary_top1)});
   fo_table.Print(std::cout);
 
+  // Part C: the same failover story over real sockets and a fault proxy.
+  const auto net = RunNetFailover(stream, world, state_dir);
+  std::cout << "\nnetworked failover: partition injected at tick "
+            << net.partition_tick << " (heartbeat timeout "
+            << net.heartbeat_timeout_ticks << " ticks)\n";
+  util::TextTable net_table({"Metric", "Value"});
+  net_table.AddRow({"promoted to standby", net.promoted ? "yes" : "NO"});
+  net_table.AddRow(
+      {"promotion latency (ticks)", std::to_string(net.promotion_ticks)});
+  net_table.AddRow({"promotion latency (ms)", Millis(net.promotion_ms)});
+  net_table.AddRow({"within heartbeat budget",
+                    net.promoted_within_budget ? "yes" : "NO"});
+  net_table.AddRow({"failback after heal", net.failback ? "yes" : "NO"});
+  net_table.AddRow(
+      {"predict requests", std::to_string(net.requests_total)});
+  net_table.AddRow({"requests ok", std::to_string(net.requests_ok)});
+  net_table.AddRow({"unavailable requests",
+                    std::to_string(net.unavailable_requests)});
+  net_table.Print(std::cout);
+
+  bench::WriteCsv(
+      "bench_failover_net",
+      {{"partition_tick", "heartbeat_timeout_ticks", "promoted",
+        "promotion_ticks", "promotion_ms", "promoted_within_budget",
+        "failback", "requests_total", "requests_ok",
+        "unavailable_requests"},
+       {std::to_string(net.partition_tick),
+        std::to_string(net.heartbeat_timeout_ticks),
+        net.promoted ? "1" : "0", std::to_string(net.promotion_ticks),
+        Millis(net.promotion_ms), net.promoted_within_budget ? "1" : "0",
+        net.failback ? "1" : "0", std::to_string(net.requests_total),
+        std::to_string(net.requests_ok),
+        std::to_string(net.unavailable_requests)}});
+
   std::vector<std::vector<std::string>> csv{
       {"kind", "case", "crash_at_hour", "restore_source",
        "replayed_records", "skipped_records", "recovery_ms",
@@ -457,6 +687,19 @@ int main(int argc, char** argv) {
          << ", \"standby_top1\": " << Percent(failover.standby_top1)
          << ", \"standby_delta_top1\": "
          << Percent(failover.standby_top1 - failover.primary_top1)
+         << "\n  },\n  \"net\": {\n";
+    json << "    \"ran\": " << (net.ran ? "true" : "false")
+         << ", \"heartbeat_timeout_ticks\": " << net.heartbeat_timeout_ticks
+         << ", \"partition_tick\": " << net.partition_tick
+         << ",\n    \"promoted\": " << (net.promoted ? "true" : "false")
+         << ", \"promotion_ticks\": " << net.promotion_ticks
+         << ", \"promotion_ms\": " << Millis(net.promotion_ms)
+         << ", \"promoted_within_budget\": "
+         << (net.promoted_within_budget ? "true" : "false")
+         << ",\n    \"failback\": " << (net.failback ? "true" : "false")
+         << ", \"requests_total\": " << net.requests_total
+         << ", \"requests_ok\": " << net.requests_ok
+         << ", \"unavailable_requests\": " << net.unavailable_requests
          << "\n  }\n}\n";
     std::cout << "\nwrote BENCH_ha.json\n";
   }

@@ -4,6 +4,13 @@
 // the operational payoff of Appendix B's analysis.
 //
 //   ./examples/online_service [seed]
+//
+// With `--connect <host> <predict_port> <ingest_port> [seed]` it runs as
+// an out-of-process client of a live `tipsyd` daemon instead: it streams
+// a day of simulated telemetry to the ingest port (journal-framed, acked
+// durable, idempotent on reconnect), then asks the predict port where
+// that traffic would shift if its busiest ingress link failed. The seed
+// must match the daemon's — the scenario is the shared model identity.
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -12,6 +19,7 @@
 #include "core/online.h"
 #include "core/serialize.h"
 #include "ha/replica.h"
+#include "net/client.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "scenario/scenario.h"
@@ -19,7 +27,120 @@
 
 using namespace tipsy;
 
+namespace {
+
+// Client-demo mode against a running tipsyd (tools/daemon_smoke.sh runs
+// this end to end in CI). Returns the process exit code.
+int RunConnectMode(int argc, char** argv) {
+  if (argc < 5) {
+    std::cerr << "usage: online_service --connect <host> <predict_port> "
+                 "<ingest_port> [seed]\n";
+    return 2;
+  }
+  const std::string host = argv[2];
+  const auto predict_port =
+      static_cast<std::uint16_t>(std::strtoul(argv[3], nullptr, 10));
+  const auto ingest_port =
+      static_cast<std::uint16_t>(std::strtoul(argv[4], nullptr, 10));
+
+  auto cfg = scenario::TinyScenarioConfig();
+  if (argc > 5) {
+    cfg.seed = cfg.topology.seed = std::strtoull(argv[5], nullptr, 10);
+    cfg.traffic.seed = cfg.seed + 1;
+    cfg.outages.seed = cfg.seed + 2;
+  }
+  // Cross the first day boundary: ingesting hour 24 triggers the daemon's
+  // daily retrain, so the predict RPC below is answered by a FRESH model.
+  const int feed_hours = 26;
+  cfg.horizon = util::HourRange{0, feed_hours};
+  scenario::Scenario world(cfg);
+
+  obs::Registry registry;
+  net::ClientConfig ingest_cfg;
+  ingest_cfg.host = host;
+  ingest_cfg.port = ingest_port;
+  net::CollectorClient collector(ingest_cfg, &registry, "demo_collector");
+
+  std::cout << "streaming " << feed_hours << " hours to " << host << ":"
+            << ingest_port << " ...\n";
+  std::vector<pipeline::AggRow> last_hour_rows;
+  util::Status send_status = util::Status::Ok();
+  world.SimulateHours(
+      {0, feed_hours},
+      [&](util::HourIndex hour, std::span<const pipeline::AggRow> rows) {
+        if (!send_status.ok()) return;
+        send_status = collector.SendHour(hour, rows);
+        if (send_status.ok()) {
+          last_hour_rows.assign(rows.begin(), rows.end());
+        }
+      });
+  if (!send_status.ok()) {
+    std::cerr << "ingest stream failed: " << send_status.ToString() << "\n";
+    return 1;
+  }
+  std::cout << "ingest acked durable: " << collector.hours_sent()
+            << " hours sent, " << collector.hours_skipped()
+            << " already applied server-side, " << collector.reconnects()
+            << " reconnects\n";
+
+  // Ask the daemon where the last hour's flows would land if the link
+  // carrying most of them were withdrawn — the §4.4 what-if, answered
+  // over the wire by the model this same stream just trained.
+  net::PredictRequest request;
+  double heaviest_bytes = 0.0;
+  util::LinkId heaviest_link{0};
+  std::vector<double> per_link(world.wan().link_count(), 0.0);
+  for (const auto& row : last_hour_rows) {
+    if (request.flows.size() < 64) {
+      request.flows.push_back(
+          {core::FlowFeatures{row.src_asn, row.src_prefix24, row.src_metro,
+                              row.dest_region, row.dest_service},
+           static_cast<double>(row.bytes)});
+    }
+    double& bytes_on_link = per_link[row.link.value()];
+    bytes_on_link += static_cast<double>(row.bytes);
+    if (bytes_on_link > heaviest_bytes) {
+      heaviest_bytes = bytes_on_link;
+      heaviest_link = row.link;
+    }
+  }
+  request.excluded = {heaviest_link};
+
+  net::ClientConfig predict_cfg;
+  predict_cfg.host = host;
+  predict_cfg.port = predict_port;
+  net::PredictClient predictor(predict_cfg);
+  const auto response = predictor.Predict(request);
+  if (!response.ok()) {
+    std::cerr << "predict RPC failed: " << response.status().ToString()
+              << "\n";
+    return 1;
+  }
+  std::cout << "predict RPC ok: excluding link " << heaviest_link.value()
+            << ", serving health "
+            << core::ModelHealthName(response->health) << ", "
+            << response->prediction.shifted.size()
+            << " links receive shifted traffic ("
+            << response->prediction.unpredicted_bytes
+            << " bytes unpredicted)\n";
+  util::TextTable table({"Link", "Shifted bytes"});
+  for (std::size_t i = 0;
+       i < response->prediction.shifted.size() && i < 5; ++i) {
+    const auto& [link, bytes] = response->prediction.shifted[i];
+    table.AddRow({std::to_string(link.value()), std::to_string(bytes)});
+  }
+  table.Print(std::cout);
+  std::cout << "CLIENT_DEMO_OK hours=" << collector.hours_sent()
+            << " flows=" << request.flows.size() << std::endl;
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
+  if (argc > 1 && std::string(argv[1]) == "--connect") {
+    return RunConnectMode(argc, argv);
+  }
   auto cfg = scenario::TinyScenarioConfig();
   if (argc > 1) {
     cfg.seed = cfg.topology.seed = std::strtoull(argv[1], nullptr, 10);

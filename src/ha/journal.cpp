@@ -39,6 +39,10 @@ util::Status SyncFile(std::FILE* file, const std::string& path) {
 
 }  // namespace
 
+std::string_view JournalMagic() {
+  return std::string_view(kJournalMagic, sizeof(kJournalMagic));
+}
+
 std::string EncodeJournalRecord(const JournalRecord& record) {
   std::ostringstream payload;
   pipeline::PutVarint(payload, static_cast<std::uint64_t>(record.kind));
@@ -48,6 +52,31 @@ std::string EncodeJournalRecord(const JournalRecord& record) {
   pipeline::WriteV2Frame(frame, record.hour, record.rows.size(),
                          payload.str());
   return frame.str();
+}
+
+util::StatusOr<JournalRecord> DecodeJournalFrame(
+    const pipeline::V2Frame& frame) {
+  JournalRecord record;
+  record.hour = frame.hour;
+  std::size_t pos = 0;
+  const auto kind = pipeline::GetVarint(frame.payload, pos);
+  const auto seq = pipeline::GetVarint(frame.payload, pos);
+  if (!kind || !seq || *kind > 1) {
+    return util::Status::Corrupt("journal record header is malformed");
+  }
+  record.kind = static_cast<JournalRecordKind>(*kind);
+  record.seq = *seq;
+  if (record.kind == JournalRecordKind::kHeartbeat && frame.count != 0) {
+    return util::Status::Corrupt("heartbeat record carries rows");
+  }
+  if (!pipeline::DecodeRowsVerbatim(frame.payload, pos, frame.count,
+                                    record.rows) ||
+      pos != frame.payload.size()) {
+    return util::Status::Corrupt("journal record " +
+                                 std::to_string(record.seq) +
+                                 " payload is malformed");
+  }
+  return record;
 }
 
 util::StatusOr<JournalRecovery> RecoverJournalBytes(std::string_view bytes) {
@@ -78,41 +107,21 @@ util::StatusOr<JournalRecovery> RecoverJournalBytes(std::string_view bytes) {
       recovery.tail_status = frame.status();
       break;
     }
-    JournalRecord record;
-    record.hour = frame->hour;
-    std::size_t pos = 0;
-    const auto kind = pipeline::GetVarint(frame->payload, pos);
-    const auto seq = pipeline::GetVarint(frame->payload, pos);
-    if (!kind || !seq || *kind > 1) {
-      recovery.tail_status =
-          util::Status::Corrupt("journal record header is malformed");
+    auto record = DecodeJournalFrame(*frame);
+    if (!record.ok()) {
+      recovery.tail_status = record.status();
       break;
     }
-    record.kind = static_cast<JournalRecordKind>(*kind);
-    record.seq = *seq;
-    if (record.seq != recovery.records.size()) {
+    if (record->seq != recovery.records.size()) {
       // Sequence numbers are contiguous from zero by construction; a gap
       // means records were lost or spliced — stop at the verified prefix.
       recovery.tail_status = util::Status::Corrupt(
           "journal sequence gap: record " +
           std::to_string(recovery.records.size()) + " carries seq " +
-          std::to_string(record.seq));
+          std::to_string(record->seq));
       break;
     }
-    if (record.kind == JournalRecordKind::kHeartbeat && frame->count != 0) {
-      recovery.tail_status =
-          util::Status::Corrupt("heartbeat record carries rows");
-      break;
-    }
-    if (!pipeline::DecodeRowsVerbatim(frame->payload, pos, frame->count,
-                                      record.rows) ||
-        pos != frame->payload.size()) {
-      recovery.tail_status = util::Status::Corrupt(
-          "journal record " + std::to_string(record.seq) +
-          " payload is malformed");
-      break;
-    }
-    recovery.records.push_back(std::move(record));
+    recovery.records.push_back(*std::move(record));
     recovery.verified_bytes =
         sizeof(kJournalMagic) + static_cast<std::size_t>(in.tellg());
   }

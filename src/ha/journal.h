@@ -36,6 +36,10 @@ namespace tipsy::ha {
 
 inline constexpr int kJournalFormatVersion = 1;  // magic "TIPSYHJ1"
 
+// The 8-byte container magic ("TIPSYHJ1"), shared by the on-disk journal
+// and the wire stream that ships it (src/net/wire).
+[[nodiscard]] std::string_view JournalMagic();
+
 enum class JournalRecordKind : std::uint8_t {
   kIngest = 0,     // an Ingest(hour, rows) call
   kHeartbeat = 1,  // an AdvanceTo(hour) clock tick (no rows)
@@ -51,6 +55,14 @@ struct JournalRecord {
 // One record encoded as a framed journal entry (exposed for the chaos
 // harness and tests, which build damaged journals byte by byte).
 [[nodiscard]] std::string EncodeJournalRecord(const JournalRecord& record);
+
+// Decodes one journal record from a verified v2 frame (the checksum has
+// already passed). kCorrupt when the payload inside the frame is
+// malformed: bad kind, a heartbeat carrying rows, undecodable rows, or
+// trailing bytes. Shared by file recovery and the wire-stream decoder
+// (src/net/wire) so both sides reject hostile frames identically.
+[[nodiscard]] util::StatusOr<JournalRecord> DecodeJournalFrame(
+    const pipeline::V2Frame& frame);
 
 struct JournalRecovery {
   std::vector<JournalRecord> records;

@@ -100,6 +100,12 @@ class Replica {
   [[nodiscard]] const core::DailyRetrainer& retrainer() const {
     return retrainer_;
   }
+  // For wiring that needs the non-const retrainer surface (epoch
+  // publication, tracer/fault hooks); ingest must still go through the
+  // replica so it is journaled.
+  [[nodiscard]] core::DailyRetrainer& mutable_retrainer() {
+    return retrainer_;
+  }
   [[nodiscard]] const core::TipsyService* service() const {
     return retrainer_.current();
   }

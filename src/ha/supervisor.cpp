@@ -13,18 +13,38 @@ constexpr util::HourIndex kNever =
 Supervisor::Supervisor(Replica* primary, Replica* standby,
                        SupervisorConfig config)
     : config_(config), rng_(config.seed) {
-  primary_.replica = primary;
-  standby_.replica = standby;
+  members_.resize(2);
+  members_[0].replica = primary;
+  members_[1].replica = standby;
+}
+
+int Supervisor::AddStandby(Replica* replica, int configured_rank) {
+  Tracked member;
+  member.replica = replica;
+  member.remote = replica == nullptr;
+  member.configured_rank = configured_rank;
+  members_.push_back(member);
+  return static_cast<int>(members_.size()) - 1;
 }
 
 bool Supervisor::AliveLocked(const Tracked& t) const {
-  return t.replica != nullptr && t.last_heartbeat != kNever &&
+  const bool exists = t.replica != nullptr || t.remote;
+  return exists && t.last_heartbeat != kNever &&
          now_ - t.last_heartbeat <= config_.heartbeat_timeout_hours;
+}
+
+core::ModelHealth Supervisor::HealthLocked(const Tracked& t) const {
+  return t.replica != nullptr ? t.replica->health() : t.reported_health;
+}
+
+std::uint64_t Supervisor::AppliedSeqLocked(const Tracked& t) const {
+  return t.replica != nullptr ? t.replica->applied_seq()
+                              : t.reported_applied_seq;
 }
 
 int Supervisor::RankLocked(const Tracked& t, bool is_primary) const {
   if (!AliveLocked(t)) return -1;
-  switch (t.replica->health()) {
+  switch (HealthLocked(t)) {
     case core::ModelHealth::kFresh: return is_primary ? 0 : 1;
     case core::ModelHealth::kStale: return is_primary ? 2 : 3;
     default: return -1;  // nothing trained, or past the validity horizon
@@ -34,26 +54,73 @@ int Supervisor::RankLocked(const Tracked& t, bool is_primary) const {
 void Supervisor::ObserveHeartbeat(ReplicaRole role, util::HourIndex hour) {
   std::lock_guard<std::mutex> lock(mu_);
   heartbeats_observed_.Increment();
-  Tracked& t = role == ReplicaRole::kPrimary ? primary_ : standby_;
+  Tracked& t = members_[role == ReplicaRole::kPrimary ? 0 : 1];
   t.last_heartbeat = std::max(t.last_heartbeat, hour);
   // New liveness information refills the promotion retry budget.
   promote_attempt_ = 0;
   next_promote_hour_ = kNever;
 }
 
+void Supervisor::ObserveMemberHeartbeat(std::size_t member_index,
+                                        util::HourIndex hour,
+                                        std::uint64_t applied_seq,
+                                        core::ModelHealth health) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (member_index >= members_.size()) return;  // unknown member: ignore
+  heartbeats_observed_.Increment();
+  Tracked& t = members_[member_index];
+  t.last_heartbeat = std::max(t.last_heartbeat, hour);
+  t.reported_applied_seq = std::max(t.reported_applied_seq, applied_seq);
+  t.reported_health = health;
+  promote_attempt_ = 0;
+  next_promote_hour_ = kNever;
+}
+
+int Supervisor::DesiredMemberLocked() const {
+  int best = -1;
+  int best_rank = -1;
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    const int rank = RankLocked(members_[i], /*is_primary=*/i == 0);
+    if (rank < 0) continue;
+    if (best < 0 || rank < best_rank) {
+      best = static_cast<int>(i);
+      best_rank = rank;
+      continue;
+    }
+    if (rank != best_rank || best == 0) continue;
+    // Standby tie: most journal progress wins (losing the fewest applied
+    // hours on promotion), then the operator's configured rank, then
+    // stable member order.
+    const Tracked& contender = members_[i];
+    const Tracked& incumbent = members_[best];
+    const std::uint64_t contender_seq = AppliedSeqLocked(contender);
+    const std::uint64_t incumbent_seq = AppliedSeqLocked(incumbent);
+    if (contender_seq > incumbent_seq ||
+        (contender_seq == incumbent_seq &&
+         contender.configured_rank < incumbent.configured_rank)) {
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
 void Supervisor::ReRouteLocked() {
-  const int rank_primary = RankLocked(primary_, /*is_primary=*/true);
-  const int rank_standby = RankLocked(standby_, /*is_primary=*/false);
-  ServingSource desired = ServingSource::kNone;
-  if (rank_primary >= 0 &&
-      (rank_standby < 0 || rank_primary < rank_standby)) {
-    desired = ServingSource::kPrimary;
-  } else if (rank_standby >= 0) {
-    desired = ServingSource::kStandby;
+  int desired = DesiredMemberLocked();
+
+  if (desired >= 1 && config_.require_quorum) {
+    std::size_t alive = 0;
+    for (const auto& member : members_) {
+      if (AliveLocked(member)) ++alive;
+    }
+    if (alive * 2 <= members_.size()) {
+      // Minority side of a partition: do not elect a second head.
+      quorum_blocked_.Increment();
+      desired = -1;
+    }
   }
 
-  if (desired == ServingSource::kNone) {
-    serving_ = ServingSource::kNone;
+  if (desired < 0) {
+    serving_member_ = -1;
     // A bounded, backed-off promotion attempt while the plane is dark.
     // Success never needs this gate: a replica can only become servable
     // again via a heartbeat, which refills the budget.
@@ -72,14 +139,14 @@ void Supervisor::ReRouteLocked() {
     return;
   }
 
-  if (desired != serving_) {
+  if (desired != serving_member_) {
     promote_attempts_.Increment();
-    if (desired == ServingSource::kStandby) {
+    if (desired >= 1) {
       failovers_.Increment();
-    } else if (serving_ == ServingSource::kStandby) {
+    } else if (serving_member_ >= 1) {
       failbacks_.Increment();
     }
-    serving_ = desired;
+    serving_member_ = desired;
   }
   promote_attempt_ = 0;
   next_promote_hour_ = kNever;
@@ -89,48 +156,64 @@ void Supervisor::Tick(util::HourIndex hour) {
   std::lock_guard<std::mutex> lock(mu_);
   now_ = std::max(now_, hour);
   ReRouteLocked();
-  if (serving_ == ServingSource::kNone) {
+  if (serving_member_ < 0) {
     unavailable_hours_.Increment();
-  } else {
-    const Tracked& t =
-        serving_ == ServingSource::kPrimary ? primary_ : standby_;
-    if (t.replica->health() == core::ModelHealth::kStale) {
-      stale_served_hours_.Increment();
-    }
+  } else if (HealthLocked(members_[serving_member_]) ==
+             core::ModelHealth::kStale) {
+    stale_served_hours_.Increment();
   }
 }
 
 ServingSource Supervisor::serving() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return serving_;
+  if (serving_member_ < 0) return ServingSource::kNone;
+  return serving_member_ == 0 ? ServingSource::kPrimary
+                              : ServingSource::kStandby;
+}
+
+int Supervisor::serving_member() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return serving_member_;
 }
 
 const core::TipsyService* Supervisor::service() const {
   std::lock_guard<std::mutex> lock(mu_);
-  switch (serving_) {
-    case ServingSource::kPrimary: return primary_.replica->service();
-    case ServingSource::kStandby: return standby_.replica->service();
-    case ServingSource::kNone: return nullptr;
-  }
-  return nullptr;
+  if (serving_member_ < 0) return nullptr;
+  const Replica* routed = members_[serving_member_].replica;
+  return routed != nullptr ? routed->service() : nullptr;
 }
 
 core::ModelHealth Supervisor::ServingHealth() const {
   std::lock_guard<std::mutex> lock(mu_);
-  const Replica* routed = nullptr;
-  if (serving_ == ServingSource::kPrimary) routed = primary_.replica;
-  if (serving_ == ServingSource::kStandby) routed = standby_.replica;
-  if (routed == nullptr || routed->service() == nullptr) {
+  if (serving_member_ < 0) {
     // Nothing servable: report past-the-horizon so the CMS health gate
     // (cms.cpp) refuses prediction-gated mitigation and serves legacy.
     return core::ModelHealth::kExpired;
   }
-  return routed->health();
+  const Tracked& routed = members_[serving_member_];
+  if (routed.replica != nullptr && routed.replica->service() == nullptr) {
+    return core::ModelHealth::kExpired;
+  }
+  return HealthLocked(routed);
 }
 
 bool Supervisor::IsAlive(ReplicaRole role) const {
+  return IsMemberAlive(role == ReplicaRole::kPrimary ? 0 : 1);
+}
+
+bool Supervisor::IsMemberAlive(std::size_t member_index) const {
   std::lock_guard<std::mutex> lock(mu_);
-  return AliveLocked(role == ReplicaRole::kPrimary ? primary_ : standby_);
+  if (member_index >= members_.size()) return false;
+  return AliveLocked(members_[member_index]);
+}
+
+std::size_t Supervisor::member_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return members_.size();
+}
+
+std::uint64_t Supervisor::quorum_blocked() const {
+  return quorum_blocked_.value();
 }
 
 SupervisorStats Supervisor::stats() const {
@@ -174,6 +257,9 @@ obs::MetricGroup Supervisor::RegisterMetrics(obs::Registry& registry,
   group.push_back(registry.RegisterCounter(
       prefix + "_stale_served_hours_total",
       "Supervisor ticks served by a STALE model", &stale_served_hours_));
+  group.push_back(registry.RegisterCounter(
+      prefix + "_quorum_blocked_total",
+      "Standby promotions blocked by the quorum gate", &quorum_blocked_));
   group.push_back(registry.RegisterGauge(
       prefix + "_serving_source",
       "Routed replica: 0=PRIMARY 1=STANDBY 2=NONE",

@@ -21,12 +21,23 @@
 // times with exponential backoff + deterministic jitter; a new heartbeat
 // resets the retry budget (new information arrived).
 //
+// Beyond the original primary/standby pair, any number of standbys can
+// join (AddStandby) — local replicas or *remote* members known only
+// through heartbeats carrying (hour, applied_seq, health) over the
+// net-layer heartbeat sockets. Standbys of equal health rank for
+// promotion by: most journal progress (highest applied_seq), then lowest
+// configured rank, then lowest member index. With
+// SupervisorConfig::require_quorum, promotion onto a standby additionally
+// demands a strict majority of members alive, so a partitioned minority
+// supervisor degrades to NONE instead of electing a split-brain head.
+//
 // The supervisor is internally synchronized (heartbeats arrive from
 // replica threads while the query path reads routing), which is what the
 // TSan pass in tools/run_sanitized_fuzz.sh exercises.
 #pragma once
 
 #include <mutex>
+#include <vector>
 
 #include "core/online.h"
 #include "ha/replica.h"
@@ -65,6 +76,12 @@ struct SupervisorConfig {
   int backoff_base_hours = 1;
   double backoff_jitter = 0.5;
   std::uint64_t seed = 1;
+  // Quorum gate: when true, routing may move onto a standby only while a
+  // strict majority of all members (primary + standbys) is alive — a
+  // supervisor on the minority side of a partition must not promote a
+  // second serving head. Routing to the primary is never quorum-gated
+  // (the primary is the incumbent, not a promotion).
+  bool require_quorum = false;
 };
 
 struct SupervisorStats {
@@ -84,29 +101,56 @@ class Supervisor {
  public:
   // Non-owning; both replicas must outlive the supervisor. `standby` may
   // be nullptr for a single-replica deployment (failover degrades
-  // straight to NONE).
+  // straight to NONE). More standbys join via AddStandby — members are
+  // indexed 0 (primary), 1 (this standby), 2... (added standbys),
+  // matching net::HeartbeatReport::member_index.
   Supervisor(Replica* primary, Replica* standby,
              SupervisorConfig config = {});
 
   Supervisor(const Supervisor&) = delete;
   Supervisor& operator=(const Supervisor&) = delete;
 
+  // Adds one more standby before supervision starts (not synchronized
+  // against concurrent Tick/ObserveHeartbeat). `replica` may be nullptr
+  // for a *remote* standby, whose health and applied_seq then come from
+  // its heartbeats (ObserveMemberHeartbeat). `configured_rank` breaks
+  // promotion ties — lower wins — after health and applied_seq. Returns
+  // the member index.
+  int AddStandby(Replica* replica, int configured_rank = 0);
+
   // A replica's liveness signal made it through (the chaos harness drops
   // or delays these to simulate partitions). Refills the retry budget.
   void ObserveHeartbeat(ReplicaRole role, util::HourIndex hour);
+  // The networked form: a heartbeat carrying the member's own progress
+  // report (hour, applied_seq, health). For remote members (null
+  // replica) the report *is* the supervisor's view of that member; for
+  // local members it refreshes liveness and the applied_seq tiebreak.
+  void ObserveMemberHeartbeat(std::size_t member_index, util::HourIndex hour,
+                              std::uint64_t applied_seq,
+                              core::ModelHealth health);
 
   // Advance the supervisor clock one observation and re-evaluate routing.
   void Tick(util::HourIndex hour);
 
   [[nodiscard]] ServingSource serving() const;
-  // The routed replica's model; nullptr when nothing is servable.
+  // Routed member index: 0 primary, >= 1 a standby, -1 none.
+  [[nodiscard]] int serving_member() const;
+  // The routed replica's model; nullptr when nothing is servable or the
+  // routed member is remote (the supervisor then only *routes*; queries
+  // go over that member's predict port).
   [[nodiscard]] const core::TipsyService* service() const;
   // The routed replica's model health — kExpired when nothing is
   // servable, which is exactly what the CMS health gate treats as "fall
   // back to the legacy config".
   [[nodiscard]] core::ModelHealth ServingHealth() const;
   [[nodiscard]] bool IsAlive(ReplicaRole role) const;
+  [[nodiscard]] bool IsMemberAlive(std::size_t member_index) const;
+  [[nodiscard]] std::size_t member_count() const;
   [[nodiscard]] SupervisorStats stats() const;
+  // Ticks on which the quorum gate blocked an otherwise-rankable standby
+  // promotion (kept out of SupervisorStats so its `== default`
+  // comparisons in pre-quorum tests stay meaningful).
+  [[nodiscard]] std::uint64_t quorum_blocked() const;
 
   // Registers the failover counters and a serving-source gauge
   // (0=PRIMARY 1=STANDBY 2=NONE) under `prefix` (e.g.
@@ -118,23 +162,38 @@ class Supervisor {
 
  private:
   struct Tracked {
-    Replica* replica = nullptr;
+    Replica* replica = nullptr;  // nullptr: remote member (reported state)
+    // Distinguishes an intentionally remote member from the two-replica
+    // constructor's empty standby slot (which must never count as alive).
+    bool remote = false;
     util::HourIndex last_heartbeat =
         std::numeric_limits<util::HourIndex>::min();
+    int configured_rank = 0;
+    // Last reported progress; authoritative for remote members, a
+    // tiebreak refresher for local ones.
+    std::uint64_t reported_applied_seq = 0;
+    core::ModelHealth reported_health = core::ModelHealth::kNone;
   };
 
   [[nodiscard]] bool AliveLocked(const Tracked& t) const;
+  [[nodiscard]] core::ModelHealth HealthLocked(const Tracked& t) const;
+  [[nodiscard]] std::uint64_t AppliedSeqLocked(const Tracked& t) const;
   // Servability rank for the preference order; lower is better, -1 when
   // not servable.
   [[nodiscard]] int RankLocked(const Tracked& t, bool is_primary) const;
+  // Best servable member this tick (-1 when dark): min rank; standby
+  // ties break on higher applied_seq, then lower configured_rank, then
+  // lower member index.
+  [[nodiscard]] int DesiredMemberLocked() const;
   void ReRouteLocked();
 
   mutable std::mutex mu_;
   SupervisorConfig config_;
-  Tracked primary_;
-  Tracked standby_;
+  // members_[0] is the primary; 1.. are standbys in AddStandby order
+  // (the two-replica constructor's standby is member 1).
+  std::vector<Tracked> members_;
   util::HourIndex now_ = std::numeric_limits<util::HourIndex>::min();
-  ServingSource serving_ = ServingSource::kNone;
+  int serving_member_ = -1;
   // The failover transition counters are obs::Counter so the registry
   // serves them directly; stats() folds the same cells into the
   // SupervisorStats mirror, no double bookkeeping. All writes stay under
@@ -146,6 +205,7 @@ class Supervisor {
   obs::Counter promote_failures_;
   obs::Counter unavailable_hours_;
   obs::Counter stale_served_hours_;
+  obs::Counter quorum_blocked_;
   int promote_attempt_ = 0;  // consecutive failed attempts
   util::HourIndex next_promote_hour_ =
       std::numeric_limits<util::HourIndex>::min();

@@ -1,0 +1,435 @@
+#include "net/client.h"
+
+namespace tipsy::net {
+
+std::vector<double> BackoffDelayBoundsMs() {
+  return {1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000};
+}
+
+// --- CollectorClient.
+
+CollectorClient::CollectorClient(ClientConfig config, obs::Registry* registry,
+                                 const std::string& metric_prefix)
+    : config_(config),
+      backoff_(config.backoff, config.backoff_seed),
+      backoff_ms_(BackoffDelayBoundsMs()) {
+  metric_handles_.push_back(registry->RegisterCounter(
+      metric_prefix + "_net_reconnects_total",
+      "Ingest connections re-established after a failure", &reconnects_));
+  metric_handles_.push_back(registry->RegisterCounter(
+      metric_prefix + "_net_hours_sent_total",
+      "Hour records delivered and acked durable", &hours_sent_));
+  metric_handles_.push_back(registry->RegisterCounter(
+      metric_prefix + "_net_hours_skipped_total",
+      "Hour records resolved by the resume ack (already applied)",
+      &hours_skipped_));
+  metric_handles_.push_back(registry->RegisterHistogram(
+      metric_prefix + "_net_backoff_ms",
+      "Reconnect backoff delays in milliseconds", &backoff_ms_));
+}
+
+CollectorClient::~CollectorClient() = default;
+
+void CollectorClient::Disconnect() {
+  socket_.Close();
+  handshaken_ = false;
+  wire_seq_ = 0;
+}
+
+void CollectorClient::BackoffSleep(const std::atomic<bool>* stop) {
+  const int delay = backoff_.NextDelayMs();
+  backoff_ms_.Observe(static_cast<double>(delay));
+  (void)SleepInterruptible(delay, stop);
+}
+
+util::Status CollectorClient::EnsureConnected() {
+  if (handshaken_) return util::Status::Ok();
+  Disconnect();
+  auto socket =
+      Connect(config_.host, config_.port, config_.connect_timeout_ms);
+  if (!socket.ok()) return socket.status();
+  socket_ = *std::move(socket);
+  if (auto status = socket_.SetReadDeadline(config_.io_deadline_ms);
+      !status.ok()) {
+    return status;
+  }
+  if (auto status = socket_.SetWriteDeadline(config_.io_deadline_ms);
+      !status.ok()) {
+    return status;
+  }
+  const std::string hello =
+      EncodeMessage(MessageType::kIngestHello, EncodeIngestHello({}));
+  if (auto status = socket_.SendAll(hello); !status.ok()) return status;
+  auto ack = ReadMessage(socket_);
+  if (!ack.ok()) return ack.status();
+  if (ack->type != MessageType::kIngestAck) {
+    return util::Status::Corrupt("expected ingest ack after hello");
+  }
+  auto decoded = DecodeIngestAck(ack->payload);
+  if (!decoded.ok()) return decoded.status();
+  resume_hour_ = decoded->last_applied_hour;
+  // A fresh connection is a fresh TIPSYHJ1 stream: magic, then seqs
+  // from zero.
+  if (auto status = socket_.SendAll(ha::JournalMagic()); !status.ok()) {
+    return status;
+  }
+  wire_seq_ = 0;
+  handshaken_ = true;
+  return util::Status::Ok();
+}
+
+util::Status CollectorClient::SendRecord(
+    ha::JournalRecordKind kind, util::HourIndex hour,
+    std::span<const pipeline::AggRow> rows, const std::atomic<bool>* stop) {
+  while (stop == nullptr || !stop->load(std::memory_order_acquire)) {
+    if (auto status = EnsureConnected(); !status.ok()) {
+      reconnects_.Increment();
+      BackoffSleep(stop);
+      continue;
+    }
+    if (kind == ha::JournalRecordKind::kIngest && hour <= resume_hour_) {
+      // The daemon already holds this hour durably (a pre-crash delivery
+      // we never saw the ack for). Skipping here — instead of re-sending
+      // and letting the server gate — keeps the wire quiet, but either
+      // path applies the hour exactly once.
+      hours_skipped_.Increment();
+      return util::Status::Ok();
+    }
+    ha::JournalRecord record;
+    record.seq = wire_seq_;
+    record.kind = kind;
+    record.hour = hour;
+    record.rows.assign(rows.begin(), rows.end());
+    auto attempt = [&]() -> util::Status {
+      if (auto status = socket_.SendAll(ha::EncodeJournalRecord(record));
+          !status.ok()) {
+        return status;
+      }
+      auto ack = ReadMessage(socket_);
+      if (!ack.ok()) return ack.status();
+      if (ack->type != MessageType::kIngestAck) {
+        return util::Status::Corrupt("expected ingest ack");
+      }
+      auto decoded = DecodeIngestAck(ack->payload);
+      if (!decoded.ok()) return decoded.status();
+      if (kind == ha::JournalRecordKind::kIngest &&
+          decoded->last_applied_hour < hour) {
+        // The daemon acked without applying (journal write failed on its
+        // side): not durable, retry elsewhere/later.
+        return util::Status::Unavailable("hour not applied by daemon");
+      }
+      resume_hour_ = std::max(resume_hour_, decoded->last_applied_hour);
+      return util::Status::Ok();
+    }();
+    if (attempt.ok()) {
+      ++wire_seq_;
+      hours_sent_.Increment();
+      backoff_.Reset();
+      return attempt;
+    }
+    // Anything else — deadline, RST, torn ack, corrupt bytes — tears the
+    // connection down; the next loop handshakes again and the resume ack
+    // decides whether the record still needs sending.
+    Disconnect();
+    reconnects_.Increment();
+    BackoffSleep(stop);
+  }
+  return util::Status::Unavailable("stopped before the hour was acked");
+}
+
+util::Status CollectorClient::SendHour(util::HourIndex hour,
+                                       std::span<const pipeline::AggRow> rows,
+                                       const std::atomic<bool>* stop) {
+  return SendRecord(ha::JournalRecordKind::kIngest, hour, rows, stop);
+}
+
+util::Status CollectorClient::SendHeartbeat(util::HourIndex hour,
+                                            const std::atomic<bool>* stop) {
+  return SendRecord(ha::JournalRecordKind::kHeartbeat, hour, {}, stop);
+}
+
+// --- ShippingClient.
+
+ShippingClient::ShippingClient(ha::Replica* replica, ClientConfig config,
+                               obs::Registry* registry,
+                               const std::string& metric_prefix)
+    : replica_(replica),
+      config_(config),
+      backoff_(config.backoff, config.backoff_seed),
+      backoff_ms_(BackoffDelayBoundsMs()) {
+  applied_seq_.store(replica_->applied_seq(), std::memory_order_release);
+  health_.store(replica_->health(), std::memory_order_release);
+  metric_handles_.push_back(registry->RegisterCounter(
+      metric_prefix + "_net_reconnects_total",
+      "Shipping connections re-established after a failure", &reconnects_));
+  metric_handles_.push_back(registry->RegisterCounter(
+      metric_prefix + "_net_records_applied_total",
+      "Shipped journal records applied via Replay", &records_applied_));
+  metric_handles_.push_back(registry->RegisterCounter(
+      metric_prefix + "_net_corrupt_streams_total",
+      "Shipping streams dropped for damaged bytes", &corrupt_streams_));
+  metric_handles_.push_back(registry->RegisterHistogram(
+      metric_prefix + "_net_backoff_ms",
+      "Reconnect backoff delays in milliseconds", &backoff_ms_));
+}
+
+ShippingClient::~ShippingClient() { Stop(); }
+
+void ShippingClient::Start() {
+  if (running_) return;
+  stop_.store(false, std::memory_order_release);
+  running_ = true;
+  thread_ = std::thread(&ShippingClient::Run, this);
+}
+
+void ShippingClient::Stop() {
+  if (!running_) return;
+  stop_.store(true, std::memory_order_release);
+  thread_.join();
+  running_ = false;
+}
+
+void ShippingClient::RefreshSnapshots() {
+  applied_seq_.store(replica_->applied_seq(), std::memory_order_release);
+  health_.store(replica_->health(), std::memory_order_release);
+  const auto snapshot = replica_->retrainer().health_snapshot();
+  last_hour_.store(snapshot.last_ingest_hour, std::memory_order_release);
+}
+
+void ShippingClient::Run() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    StreamOnce();
+    if (stop_.load(std::memory_order_acquire)) break;
+    reconnects_.Increment();
+    const int delay = backoff_.NextDelayMs();
+    backoff_ms_.Observe(static_cast<double>(delay));
+    if (!SleepInterruptible(delay, &stop_)) break;
+  }
+}
+
+void ShippingClient::StreamOnce() {
+  auto socket =
+      Connect(config_.host, config_.port, config_.connect_timeout_ms);
+  if (!socket.ok()) return;
+  // Short read deadline: the tail is idle most of the time and Stop()
+  // must interrupt promptly.
+  if (!socket->SetReadDeadline(50).ok() ||
+      !socket->SetWriteDeadline(config_.io_deadline_ms).ok()) {
+    return;
+  }
+  ShipRequest request;
+  request.from_seq = replica_->applied_seq();
+  if (!socket
+           ->SendAll(EncodeMessage(MessageType::kShipRequest,
+                                   EncodeShipRequest(request)))
+           .ok()) {
+    return;
+  }
+  JournalStreamDecoder decoder(request.from_seq);
+  std::vector<ha::JournalRecord> records;
+  while (!stop_.load(std::memory_order_acquire)) {
+    auto bytes = socket->RecvSome(64 * 1024);
+    if (!bytes.ok()) {
+      if (bytes.status().code() == util::StatusCode::kUnavailable) {
+        continue;  // idle tail
+      }
+      return;  // closed (cleanly or not): reconnect and resume
+    }
+    records.clear();
+    if (auto status = decoder.Feed(*bytes, records); !status.ok()) {
+      corrupt_streams_.Increment();
+      return;  // damaged stream: reconnect from applied_seq
+    }
+    if (records.empty()) continue;
+    if (!replica_->Replay(records).ok()) {
+      corrupt_streams_.Increment();
+      return;
+    }
+    records_applied_.Increment(records.size());
+    RefreshSnapshots();
+    backoff_.Reset();  // progress: the next failure starts backoff over
+  }
+}
+
+// --- PredictClient.
+
+PredictClient::PredictClient(ClientConfig config, int max_attempts)
+    : config_(config),
+      max_attempts_(max_attempts),
+      backoff_(config.backoff, config.backoff_seed) {}
+
+PredictClient::~PredictClient() = default;
+
+void PredictClient::Disconnect() { socket_.Close(); }
+
+util::StatusOr<PredictResponse> PredictClient::Predict(
+    const PredictRequest& request, const std::atomic<bool>* stop) {
+  requests_.Increment();
+  const std::string wire = EncodeMessage(MessageType::kPredictRequest,
+                                         EncodePredictRequest(request));
+  util::Status last = util::Status::Unavailable("no attempt made");
+  for (int attempt = 0; attempt < max_attempts_; ++attempt) {
+    if (stop != nullptr && stop->load(std::memory_order_acquire)) break;
+    if (attempt > 0) {
+      (void)SleepInterruptible(backoff_.NextDelayMs(), stop);
+    }
+    if (!socket_.valid()) {
+      auto connected =
+          Connect(config_.host, config_.port, config_.connect_timeout_ms);
+      if (!connected.ok()) {
+        last = connected.status();
+        reconnects_.Increment();
+        continue;
+      }
+      socket_ = *std::move(connected);
+      if (!socket_.SetReadDeadline(config_.io_deadline_ms).ok() ||
+          !socket_.SetWriteDeadline(config_.io_deadline_ms).ok()) {
+        Disconnect();
+        last = util::Status::IoError("failed to set deadlines");
+        continue;
+      }
+      backoff_.Reset();
+    }
+    auto roundtrip = [&]() -> util::StatusOr<PredictResponse> {
+      if (auto status = socket_.SendAll(wire); !status.ok()) return status;
+      auto reply = ReadMessage(socket_);
+      if (!reply.ok()) return reply.status();
+      if (reply->type != MessageType::kPredictResponse) {
+        return util::Status::Corrupt("expected predict response");
+      }
+      return DecodePredictResponse(reply->payload);
+    }();
+    if (roundtrip.ok()) return roundtrip;
+    last = roundtrip.status();
+    Disconnect();  // stale connection: next attempt redials
+    reconnects_.Increment();
+  }
+  failures_.Increment();
+  if (last.ok() || last.code() == util::StatusCode::kCorrupt) return last;
+  return util::Status::Unavailable("predict failed after " +
+                                   std::to_string(max_attempts_) +
+                                   " attempts: " + last.ToString());
+}
+
+// --- HeartbeatSender.
+
+HeartbeatSender::HeartbeatSender(ClientConfig config, int interval_ms,
+                                 std::function<HeartbeatReport()> provider)
+    : config_(config),
+      interval_ms_(interval_ms),
+      provider_(std::move(provider)),
+      backoff_(config.backoff, config.backoff_seed) {}
+
+HeartbeatSender::~HeartbeatSender() { Stop(); }
+
+void HeartbeatSender::Start() {
+  if (running_) return;
+  stop_.store(false, std::memory_order_release);
+  running_ = true;
+  thread_ = std::thread(&HeartbeatSender::Run, this);
+}
+
+void HeartbeatSender::Stop() {
+  if (!running_) return;
+  stop_.store(true, std::memory_order_release);
+  thread_.join();
+  running_ = false;
+}
+
+void HeartbeatSender::Run() {
+  Socket socket;
+  while (!stop_.load(std::memory_order_acquire)) {
+    if (!socket.valid()) {
+      auto connected =
+          Connect(config_.host, config_.port, config_.connect_timeout_ms);
+      if (!connected.ok()) {
+        reconnects_.Increment();
+        if (!SleepInterruptible(backoff_.NextDelayMs(), &stop_)) return;
+        continue;
+      }
+      socket = *std::move(connected);
+      (void)socket.SetWriteDeadline(config_.io_deadline_ms);
+      backoff_.Reset();
+    }
+    const std::string wire =
+        EncodeMessage(MessageType::kHeartbeat, EncodeHeartbeat(provider_()));
+    if (socket.SendAll(wire).ok()) {
+      sent_.Increment();
+    } else {
+      socket.Close();
+      reconnects_.Increment();
+      continue;  // redial immediately; backoff applies to dial failures
+    }
+    if (!SleepInterruptible(interval_ms_, &stop_)) return;
+  }
+}
+
+// --- HeartbeatListener.
+
+HeartbeatListener::HeartbeatListener(Callback callback, int idle_poll_ms)
+    : callback_(std::move(callback)), idle_poll_ms_(idle_poll_ms) {}
+
+HeartbeatListener::~HeartbeatListener() { Stop(); }
+
+util::Status HeartbeatListener::Start(std::uint16_t port) {
+  if (running_) {
+    return util::Status::InvalidArgument("listener already running");
+  }
+  auto listener = Listener::Open(port);
+  if (!listener.ok()) return listener.status();
+  listener_ = *std::move(listener);
+  stop_.store(false, std::memory_order_release);
+  running_ = true;
+  accept_thread_ = std::thread(&HeartbeatListener::AcceptLoop, this);
+  return util::Status::Ok();
+}
+
+void HeartbeatListener::Stop() {
+  if (!running_) return;
+  stop_.store(true, std::memory_order_release);
+  listener_.Close();
+  accept_thread_.join();
+  std::vector<std::thread> connections;
+  {
+    std::lock_guard<std::mutex> lock(connections_mu_);
+    connections.swap(connections_);
+  }
+  for (auto& thread : connections) thread.join();
+  running_ = false;
+}
+
+void HeartbeatListener::AcceptLoop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    auto socket = listener_.Accept(idle_poll_ms_);
+    if (!socket.ok()) {
+      if (socket.status().code() == util::StatusCode::kUnavailable) {
+        continue;
+      }
+      break;  // listener closed
+    }
+    std::lock_guard<std::mutex> lock(connections_mu_);
+    connections_.emplace_back(&HeartbeatListener::HandleConnection, this,
+                              *std::move(socket));
+  }
+}
+
+void HeartbeatListener::HandleConnection(Socket socket) {
+  (void)socket.SetReadDeadline(idle_poll_ms_);
+  MessageReader reader(&socket);
+  while (!stop_.load(std::memory_order_acquire)) {
+    auto message = reader.Next();
+    if (!message.ok()) {
+      if (message.status().code() == util::StatusCode::kUnavailable) {
+        continue;
+      }
+      return;  // closed or damaged: the sender reconnects
+    }
+    if (message->type != MessageType::kHeartbeat) return;
+    auto report = DecodeHeartbeat(message->payload);
+    if (!report.ok()) return;
+    received_.Increment();
+    callback_(*report);
+  }
+}
+
+}  // namespace tipsy::net

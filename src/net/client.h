@@ -1,0 +1,283 @@
+// Reconnecting clients for the tipsyd wire protocol.
+//
+// Every client here shares the same robustness skeleton: bounded
+// exponential backoff with deterministic jitter between connection
+// attempts (net/socket's Backoff), per-connection read/write deadlines,
+// and idempotent resume after a reconnect — the *server* tells the client
+// where to resume (the ingest ack's applied hour, the standby's own
+// applied_seq), so a retry can only ever re-send work the receiving side
+// will recognize and skip. Counters (`net_reconnects`, the
+// `net_backoff_ms` histogram) register into the same obs registry as the
+// daemon's, making a reconnect storm visible on /metrics.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ha/replica.h"
+#include "net/socket.h"
+#include "net/wire.h"
+#include "obs/metrics.h"
+
+namespace tipsy::net {
+
+struct ClientConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  int connect_timeout_ms = 1000;
+  int io_deadline_ms = 2000;
+  BackoffPolicy backoff;
+  std::uint64_t backoff_seed = 0xc11e;
+};
+
+// Histogram bounds for backoff delays, in milliseconds.
+[[nodiscard]] std::vector<double> BackoffDelayBoundsMs();
+
+// --- CollectorClient: streams hour rows to a daemon's ingest port.
+//
+// Lock-step protocol: one journal-framed record out, one ack back. Hours
+// must be fed strictly increasing (the collector contract); on reconnect
+// the daemon's handshake ack names its newest applied hour and anything
+// at or below it resolves locally as already-delivered. SendHour blocks
+// — reconnecting with backoff — until the hour is acked durable or
+// `stop` flips.
+class CollectorClient {
+ public:
+  CollectorClient(ClientConfig config, obs::Registry* registry,
+                  const std::string& metric_prefix);
+  ~CollectorClient();
+  CollectorClient(const CollectorClient&) = delete;
+  CollectorClient& operator=(const CollectorClient&) = delete;
+
+  // Delivers one hour of rows durably (kIngest record) or returns why
+  // not: kUnavailable only when `stop` interrupted the retry loop.
+  [[nodiscard]] util::Status SendHour(
+      util::HourIndex hour, std::span<const pipeline::AggRow> rows,
+      const std::atomic<bool>* stop = nullptr);
+  // Clock tick without data (kHeartbeat record) — drives the daemon's
+  // dark-feed aging when the collector has nothing to report.
+  [[nodiscard]] util::Status SendHeartbeat(
+      util::HourIndex hour, const std::atomic<bool>* stop = nullptr);
+
+  void Disconnect();
+
+  [[nodiscard]] std::uint64_t reconnects() const {
+    return reconnects_.value();
+  }
+  [[nodiscard]] std::uint64_t hours_sent() const {
+    return hours_sent_.value();
+  }
+  // Hours resolved by the handshake ack (already applied server-side).
+  [[nodiscard]] std::uint64_t hours_skipped() const {
+    return hours_skipped_.value();
+  }
+  [[nodiscard]] const obs::Histogram& backoff_delay_ms() const {
+    return backoff_ms_;
+  }
+
+ private:
+  [[nodiscard]] util::Status SendRecord(ha::JournalRecordKind kind,
+                                        util::HourIndex hour,
+                                        std::span<const pipeline::AggRow> rows,
+                                        const std::atomic<bool>* stop);
+  // Establishes (if needed) the connection + handshake; updates
+  // resume_hour_ from the ack.
+  [[nodiscard]] util::Status EnsureConnected();
+  void BackoffSleep(const std::atomic<bool>* stop);
+
+  ClientConfig config_;
+  Socket socket_;
+  Backoff backoff_;
+  bool handshaken_ = false;
+  std::uint64_t wire_seq_ = 0;  // per-connection, restarts at 0
+  util::HourIndex resume_hour_ = -1;
+  obs::Counter reconnects_;
+  obs::Counter hours_sent_;
+  obs::Counter hours_skipped_;
+  obs::Histogram backoff_ms_;
+  obs::MetricGroup metric_handles_;
+};
+
+// --- ShippingClient: a standby tailing a primary's journal.
+//
+// Runs its own thread: connect, request `from_seq = replica->applied_seq()`,
+// decode the incoming TIPSYHJ1 stream incrementally and fold each record
+// into the standby via Replica::Replay (idempotent, seq-gated, not
+// re-journaled). Any wire damage or disconnect tears the connection down
+// and reconnects with backoff, re-requesting from the updated
+// applied_seq — so replays after a partition heal apply zero duplicates.
+// The client is the sole writer of its replica while running; readers
+// needing progress (the heartbeat provider) use the atomic snapshots.
+class ShippingClient {
+ public:
+  ShippingClient(ha::Replica* replica, ClientConfig config,
+                 obs::Registry* registry, const std::string& metric_prefix);
+  ~ShippingClient();
+  ShippingClient(const ShippingClient&) = delete;
+  ShippingClient& operator=(const ShippingClient&) = delete;
+
+  void Start();
+  void Stop();
+  [[nodiscard]] bool running() const { return running_; }
+
+  // Lock-free progress snapshots (updated after every applied batch).
+  [[nodiscard]] std::uint64_t applied_seq() const {
+    return applied_seq_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] core::ModelHealth health() const {
+    return health_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] util::HourIndex last_hour() const {
+    return last_hour_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] std::uint64_t reconnects() const {
+    return reconnects_.value();
+  }
+  [[nodiscard]] std::uint64_t records_applied() const {
+    return records_applied_.value();
+  }
+  [[nodiscard]] std::uint64_t corrupt_streams() const {
+    return corrupt_streams_.value();
+  }
+  [[nodiscard]] const obs::Histogram& backoff_delay_ms() const {
+    return backoff_ms_;
+  }
+
+ private:
+  void Run();
+  // One connection lifetime; returns when the stream dies or stop flips.
+  void StreamOnce();
+  void RefreshSnapshots();
+
+  ha::Replica* replica_;
+  ClientConfig config_;
+  std::atomic<bool> stop_{false};
+  bool running_ = false;
+  std::thread thread_;
+  Backoff backoff_;
+  std::atomic<std::uint64_t> applied_seq_{0};
+  std::atomic<core::ModelHealth> health_{core::ModelHealth::kNone};
+  std::atomic<util::HourIndex> last_hour_{
+      std::numeric_limits<util::HourIndex>::min()};
+  obs::Counter reconnects_;
+  obs::Counter records_applied_;
+  obs::Counter corrupt_streams_;
+  obs::Histogram backoff_ms_;
+  obs::MetricGroup metric_handles_;
+};
+
+// --- PredictClient: batch PredictShift RPCs with bounded retry.
+//
+// Keeps one connection and replays the request on a fresh connection
+// after a failure, up to `max_attempts` tries with backoff between them.
+// PredictShift is a pure read, so retrying a request whose response was
+// lost is safe. Returns kUnavailable when every attempt failed — the
+// bench's "unavailable request" unit.
+class PredictClient {
+ public:
+  PredictClient(ClientConfig config, int max_attempts = 3);
+  ~PredictClient();
+  PredictClient(const PredictClient&) = delete;
+  PredictClient& operator=(const PredictClient&) = delete;
+
+  [[nodiscard]] util::StatusOr<PredictResponse> Predict(
+      const PredictRequest& request,
+      const std::atomic<bool>* stop = nullptr);
+
+  void Disconnect();
+
+  [[nodiscard]] std::uint64_t reconnects() const {
+    return reconnects_.value();
+  }
+  [[nodiscard]] std::uint64_t requests() const { return requests_.value(); }
+  [[nodiscard]] std::uint64_t failures() const { return failures_.value(); }
+
+ private:
+  ClientConfig config_;
+  int max_attempts_;
+  Socket socket_;
+  Backoff backoff_;
+  obs::Counter reconnects_;
+  obs::Counter requests_;
+  obs::Counter failures_;
+};
+
+// --- Heartbeats over sockets: the quorum supervisor's liveness plane.
+
+// Periodically reports a member's progress to a supervisor's heartbeat
+// listener, reconnecting with backoff. The provider callback is invoked
+// on the sender thread each interval; it must be thread-safe (read
+// atomics, not raw replica internals).
+class HeartbeatSender {
+ public:
+  HeartbeatSender(ClientConfig config, int interval_ms,
+                  std::function<HeartbeatReport()> provider);
+  ~HeartbeatSender();
+  HeartbeatSender(const HeartbeatSender&) = delete;
+  HeartbeatSender& operator=(const HeartbeatSender&) = delete;
+
+  void Start();
+  void Stop();
+
+  [[nodiscard]] std::uint64_t sent() const { return sent_.value(); }
+  [[nodiscard]] std::uint64_t reconnects() const {
+    return reconnects_.value();
+  }
+
+ private:
+  void Run();
+
+  ClientConfig config_;
+  int interval_ms_;
+  std::function<HeartbeatReport()> provider_;
+  std::atomic<bool> stop_{false};
+  bool running_ = false;
+  std::thread thread_;
+  Backoff backoff_;
+  obs::Counter sent_;
+  obs::Counter reconnects_;
+};
+
+// Accepts heartbeat connections and hands every decoded report to the
+// callback (typically Supervisor::ObserveMemberHeartbeat). One thread per
+// connection, short-deadline polled so Stop() is prompt.
+class HeartbeatListener {
+ public:
+  using Callback = std::function<void(const HeartbeatReport&)>;
+
+  explicit HeartbeatListener(Callback callback, int idle_poll_ms = 50);
+  ~HeartbeatListener();
+  HeartbeatListener(const HeartbeatListener&) = delete;
+  HeartbeatListener& operator=(const HeartbeatListener&) = delete;
+
+  // Binds (loopback) and starts accepting. Port 0 = ephemeral.
+  [[nodiscard]] util::Status Start(std::uint16_t port);
+  void Stop();
+  [[nodiscard]] std::uint16_t port() const { return listener_.port(); }
+
+  [[nodiscard]] std::uint64_t received() const { return received_.value(); }
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(Socket socket);
+
+  Callback callback_;
+  int idle_poll_ms_;
+  Listener listener_;
+  std::atomic<bool> stop_{false};
+  bool running_ = false;
+  std::thread accept_thread_;
+  std::mutex connections_mu_;
+  std::vector<std::thread> connections_;
+  obs::Counter received_;
+};
+
+}  // namespace tipsy::net

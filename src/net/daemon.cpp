@@ -1,0 +1,399 @@
+#include "net/daemon.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/atomic_file.h"
+
+namespace tipsy::net {
+
+Daemon::Daemon(ha::Replica* replica, obs::Registry* registry,
+               DaemonConfig config)
+    : replica_(replica), registry_(registry), config_(std::move(config)) {
+  const std::string& p = config_.metric_prefix;
+  metric_handles_.push_back(registry_->RegisterCounter(
+      p + "_net_connections_total", "Connections accepted across listeners",
+      &connections_accepted_));
+  metric_handles_.push_back(registry_->RegisterCounter(
+      p + "_net_frames_applied_total",
+      "Ingest-stream frames applied to the replica", &frames_applied_));
+  metric_handles_.push_back(registry_->RegisterCounter(
+      p + "_net_frames_skipped_total",
+      "Ingest-stream frames skipped by the hour idempotence gate",
+      &frames_skipped_));
+  metric_handles_.push_back(registry_->RegisterCounter(
+      p + "_net_frames_corrupt_total",
+      "Connections dropped for damaged bytes (bad magic, CRC, seq gap)",
+      &frames_corrupt_));
+  metric_handles_.push_back(registry_->RegisterCounter(
+      p + "_net_frames_dropped_total",
+      "Connections that ended inside a frame (torn wire tail)",
+      &frames_dropped_));
+  metric_handles_.push_back(registry_->RegisterCounter(
+      p + "_net_predict_requests_total", "Batch PredictShift RPCs answered",
+      &predict_requests_));
+  metric_handles_.push_back(registry_->RegisterCounter(
+      p + "_net_ship_streams_total", "Journal shipping streams opened",
+      &ship_streams_));
+  metric_handles_.push_back(registry_->RegisterCounter(
+      p + "_net_ship_frames_sent_total",
+      "Journal frames shipped to standbys", &ship_frames_sent_));
+  metric_handles_.push_back(registry_->RegisterCounter(
+      p + "_net_metrics_scrapes_total", "GET /metrics requests served",
+      &metrics_scrapes_));
+  metric_handles_.push_back(registry_->RegisterGauge(
+      p + "_net_ship_lag_seq",
+      "Journal frames the most recently polled ship subscriber still "
+      "lacks",
+      [this] { return ship_lag_seq_.value(); }));
+  auto epoch_handles = epoch_.RegisterMetrics(*registry_, p);
+  for (auto& handle : epoch_handles) {
+    metric_handles_.push_back(std::move(handle));
+  }
+}
+
+Daemon::~Daemon() { Stop(); }
+
+util::Status Daemon::Start() {
+  if (running_) return util::Status::InvalidArgument("daemon already running");
+
+  auto predict = Listener::Open(config_.predict_port, config_.any_interface);
+  if (!predict.ok()) return predict.status();
+  auto ingest = Listener::Open(config_.ingest_port, config_.any_interface);
+  if (!ingest.ok()) return ingest.status();
+  auto ship = Listener::Open(config_.ship_port, config_.any_interface);
+  if (!ship.ok()) return ship.status();
+  auto metrics = Listener::Open(config_.metrics_port, config_.any_interface);
+  if (!metrics.ok()) return metrics.status();
+  predict_listener_ = *std::move(predict);
+  ingest_listener_ = *std::move(ingest);
+  ship_listener_ = *std::move(ship);
+  metrics_listener_ = *std::move(metrics);
+
+  // The idempotence gate survives restarts because the journal does:
+  // recover the newest data hour from what Open() replayed.
+  util::HourIndex last_applied = -1;
+  for (const auto& record : replica_->journal().recovered().records) {
+    if (record.kind == ha::JournalRecordKind::kIngest) {
+      last_applied = std::max(last_applied, record.hour);
+    }
+  }
+  last_applied_hour_.store(last_applied, std::memory_order_release);
+
+  // Serving goes through the epoch from here on; every later retrain
+  // publishes into it.
+  replica_->mutable_retrainer().PublishTo(&epoch_);
+
+  stop_.store(false, std::memory_order_release);
+  running_ = true;
+  accept_threads_.emplace_back(&Daemon::AcceptLoop, this, &predict_listener_,
+                               &Daemon::HandlePredict);
+  accept_threads_.emplace_back(&Daemon::AcceptLoop, this, &ingest_listener_,
+                               &Daemon::HandleIngest);
+  accept_threads_.emplace_back(&Daemon::AcceptLoop, this, &ship_listener_,
+                               &Daemon::HandleShip);
+  accept_threads_.emplace_back(&Daemon::AcceptLoop, this, &metrics_listener_,
+                               &Daemon::HandleMetrics);
+  return util::Status::Ok();
+}
+
+void Daemon::Stop() {
+  if (!running_) return;
+  stop_.store(true, std::memory_order_release);
+  predict_listener_.Close();
+  ingest_listener_.Close();
+  ship_listener_.Close();
+  metrics_listener_.Close();
+  for (auto& thread : accept_threads_) thread.join();
+  accept_threads_.clear();
+  std::vector<Connection> connections;
+  {
+    std::lock_guard<std::mutex> lock(connections_mu_);
+    connections.swap(connections_);
+  }
+  for (auto& connection : connections) connection.thread.join();
+  replica_->mutable_retrainer().PublishTo(nullptr);
+  running_ = false;
+}
+
+util::Status Daemon::AdvanceClock(util::HourIndex hour) {
+  std::lock_guard<std::mutex> lock(replica_mu_);
+  if (hour <= replica_->retrainer().health_snapshot().last_ingest_hour) {
+    return util::Status::Ok();  // the feed overtook the ticker
+  }
+  return replica_->Heartbeat(hour);
+}
+
+core::ModelHealth Daemon::health() const {
+  std::lock_guard<std::mutex> lock(replica_mu_);
+  return replica_->health();
+}
+
+void Daemon::AcceptLoop(Listener* listener,
+                        void (Daemon::*handler)(Socket)) {
+  while (!stop_.load(std::memory_order_acquire)) {
+    auto socket = listener->Accept(config_.idle_poll_ms);
+    ReapFinishedConnections();
+    if (!socket.ok()) {
+      if (socket.status().code() == util::StatusCode::kUnavailable) {
+        continue;  // poll tick
+      }
+      break;  // listener closed (Stop)
+    }
+    connections_accepted_.Increment();
+    SpawnConnection(handler, *std::move(socket));
+  }
+}
+
+void Daemon::SpawnConnection(void (Daemon::*handler)(Socket),
+                             Socket socket) {
+  Connection connection;
+  connection.done = std::make_shared<std::atomic<bool>>(false);
+  auto done = connection.done;
+  connection.thread =
+      std::thread([this, handler, done, sock = std::move(socket)]() mutable {
+        (this->*handler)(std::move(sock));
+        done->store(true, std::memory_order_release);
+      });
+  std::lock_guard<std::mutex> lock(connections_mu_);
+  connections_.push_back(std::move(connection));
+}
+
+void Daemon::ReapFinishedConnections() {
+  std::lock_guard<std::mutex> lock(connections_mu_);
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if (it->done->load(std::memory_order_acquire)) {
+      it->thread.join();
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::string Daemon::AckBytes() {
+  IngestAck ack;
+  ack.last_applied_hour = last_applied_hour_.load(std::memory_order_acquire);
+  {
+    std::lock_guard<std::mutex> lock(replica_mu_);
+    ack.next_seq = replica_->journal().next_seq();
+  }
+  return EncodeMessage(MessageType::kIngestAck, EncodeIngestAck(ack));
+}
+
+void Daemon::HandlePredict(Socket socket) {
+  // Short read deadline so Stop() is observed promptly; the buffered
+  // reader keeps partially-arrived envelopes across deadline ticks.
+  (void)socket.SetReadDeadline(config_.idle_poll_ms);
+  (void)socket.SetWriteDeadline(config_.io_deadline_ms);
+  MessageReader reader(&socket);
+  while (!stop_.load(std::memory_order_acquire)) {
+    auto message = reader.Next();
+    if (!message.ok()) {
+      if (message.status().code() == util::StatusCode::kUnavailable) {
+        continue;  // idle tick
+      }
+      if (message.status().code() == util::StatusCode::kCorrupt) {
+        frames_corrupt_.Increment();
+      } else if (message.status().code() == util::StatusCode::kTruncated) {
+        frames_dropped_.Increment();
+      }
+      return;  // clean close, torn close, damage, or OS error
+    }
+    if (message->type != MessageType::kPredictRequest) {
+      frames_corrupt_.Increment();
+      return;
+    }
+    auto request = DecodePredictRequest(message->payload);
+    if (!request.ok()) {
+      frames_corrupt_.Increment();
+      return;
+    }
+    predict_requests_.Increment();
+
+    PredictResponse response;
+    // Lock-free: answered entirely from the published epoch. With no
+    // model yet (or after the feed died before the first retrain), every
+    // byte is honestly unpredicted and health says why.
+    const auto service = epoch_.Acquire();
+    if (service != nullptr) {
+      core::ExclusionMask mask;
+      if (!request->excluded.empty()) {
+        mask.resize(request->excluded.back().value() + 1, false);
+        for (const auto link : request->excluded) {
+          if (link.value() < mask.size()) mask[link.value()] = true;
+        }
+      }
+      response.prediction = service->PredictShift(request->flows, mask);
+    } else {
+      for (const auto& query : request->flows) {
+        response.prediction.unpredicted_bytes += query.bytes;
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(replica_mu_);
+      response.health = replica_->health();
+    }
+    const std::string reply = EncodeMessage(MessageType::kPredictResponse,
+                                            EncodePredictResponse(response));
+    if (!socket.SendAll(reply).ok()) return;
+  }
+}
+
+void Daemon::HandleIngest(Socket socket) {
+  (void)socket.SetReadDeadline(config_.io_deadline_ms);
+  (void)socket.SetWriteDeadline(config_.io_deadline_ms);
+
+  // Handshake: hello in, resume-point ack out.
+  auto hello = ReadMessage(socket);
+  if (!hello.ok() || hello->type != MessageType::kIngestHello) {
+    if (hello.ok() ||
+        hello.status().code() == util::StatusCode::kCorrupt) {
+      frames_corrupt_.Increment();
+    }
+    return;
+  }
+  if (auto decoded = DecodeIngestHello(hello->payload); !decoded.ok()) {
+    frames_corrupt_.Increment();
+    return;
+  }
+  if (!socket.SendAll(AckBytes()).ok()) return;
+
+  // Stream phase: raw TIPSYHJ1 bytes, one ack per record. Per-connection
+  // seqs restart at zero (each connection is a fresh stream; idempotence
+  // comes from the hour gate, not the seq).
+  (void)socket.SetReadDeadline(config_.idle_poll_ms);
+  JournalStreamDecoder decoder(/*base_seq=*/0);
+  std::vector<ha::JournalRecord> records;
+  while (!stop_.load(std::memory_order_acquire)) {
+    auto bytes = socket.RecvSome(64 * 1024);
+    if (!bytes.ok()) {
+      if (bytes.status().code() == util::StatusCode::kUnavailable) {
+        continue;  // idle tick (the collector sends hourly)
+      }
+      if (bytes.status().code() == util::StatusCode::kNoData) {
+        // Clean close: a torn buffered frame is still a drop.
+        if (!decoder.Finish().ok()) frames_dropped_.Increment();
+      }
+      return;
+    }
+    records.clear();
+    if (auto status = decoder.Feed(*bytes, records); !status.ok()) {
+      frames_corrupt_.Increment();
+      return;  // the collector reconnects and resumes from the ack
+    }
+    for (const auto& record : records) {
+      {
+        std::lock_guard<std::mutex> lock(replica_mu_);
+        if (record.kind == ha::JournalRecordKind::kIngest) {
+          if (record.hour <=
+              last_applied_hour_.load(std::memory_order_acquire)) {
+            // Idempotence gate: a replayed hour never reaches the
+            // replica, so dropped/duplicate accounting (and therefore
+            // the model) stays bit-identical to an uninterrupted feed.
+            frames_skipped_.Increment();
+          } else if (auto status =
+                         replica_->Ingest(record.hour, record.rows);
+                     status.ok()) {
+            last_applied_hour_.store(record.hour,
+                                     std::memory_order_release);
+            frames_applied_.Increment();
+          } else {
+            return;  // journal append failed: nothing was acked
+          }
+        } else {  // heartbeat: clock tick relayed from the collector
+          if (record.hour >
+              replica_->retrainer().health_snapshot().last_ingest_hour) {
+            if (!replica_->Heartbeat(record.hour).ok()) return;
+          } else {
+            frames_skipped_.Increment();
+          }
+          frames_applied_.Increment();
+        }
+      }
+      if (!socket.SendAll(AckBytes()).ok()) return;
+    }
+  }
+}
+
+void Daemon::HandleShip(Socket socket) {
+  (void)socket.SetWriteDeadline(config_.io_deadline_ms);
+  (void)socket.SetReadDeadline(config_.io_deadline_ms);
+  auto message = ReadMessage(socket);
+  if (!message.ok() || message->type != MessageType::kShipRequest) {
+    if (message.ok() ||
+        message.status().code() == util::StatusCode::kCorrupt) {
+      frames_corrupt_.Increment();
+    }
+    return;
+  }
+  auto request = DecodeShipRequest(message->payload);
+  if (!request.ok()) {
+    frames_corrupt_.Increment();
+    return;
+  }
+  ship_streams_.Increment();
+  if (!socket.SendAll(ha::JournalMagic()).ok()) return;
+
+  // Tail the journal file, shipping verified frames from the requested
+  // seq on. Re-reading and re-verifying the whole file per poll is O(file)
+  // but reuses the recovery path byte for byte — a torn tail mid-append is
+  // simply not shipped until the next poll sees it complete. Re-encoding
+  // a recovered record reproduces its file bytes exactly (the codec is
+  // deterministic), so the standby receives the journal verbatim.
+  std::uint64_t cursor = request->from_seq;
+  // After the handshake the standby never sends; a 1ms read poll per
+  // round detects its departure (EOF) without blocking the tail loop.
+  (void)socket.SetReadDeadline(1);
+  while (!stop_.load(std::memory_order_acquire)) {
+    std::string path;
+    {
+      std::lock_guard<std::mutex> lock(replica_mu_);
+      path = replica_->journal().path();
+    }
+    auto bytes = util::ReadFileToString(path);
+    if (bytes.ok()) {
+      auto recovery = ha::RecoverJournalBytes(*bytes);
+      if (!recovery.ok()) return;  // journal replaced/unreadable: bail
+      const auto& records = recovery->records;
+      ship_lag_seq_.Set(cursor < records.size()
+                            ? static_cast<double>(records.size() - cursor)
+                            : 0.0);
+      for (; cursor < records.size(); ++cursor) {
+        if (!socket.SendAll(ha::EncodeJournalRecord(records[cursor]))
+                 .ok()) {
+          return;
+        }
+        ship_frames_sent_.Increment();
+      }
+      ship_lag_seq_.Set(0.0);
+    }
+    if (auto probe = socket.RecvSome(16); !probe.ok()) {
+      if (probe.status().code() != util::StatusCode::kUnavailable) {
+        return;  // standby hung up (or the socket died)
+      }
+    }
+    if (!SleepInterruptible(config_.idle_poll_ms, &stop_)) return;
+  }
+}
+
+void Daemon::HandleMetrics(Socket socket) {
+  (void)socket.SetReadDeadline(config_.io_deadline_ms);
+  (void)socket.SetWriteDeadline(config_.io_deadline_ms);
+  // One-shot HTTP: read the request line(s), answer, close. The path is
+  // not inspected — every GET serves the exposition (curl/Prometheus
+  // compatible enough for scraping and the smoke job).
+  auto request = socket.RecvSome(4096);
+  if (!request.ok()) return;
+  metrics_scrapes_.Increment();
+  const std::string body = registry_->RenderPrometheusText();
+  std::ostringstream response;
+  response << "HTTP/1.1 200 OK\r\n"
+           << "Content-Type: text/plain; version=0.0.4\r\n"
+           << "Content-Length: " << body.size() << "\r\n"
+           << "Connection: close\r\n\r\n"
+           << body;
+  (void)socket.SendAll(response.str());
+}
+
+}  // namespace tipsy::net

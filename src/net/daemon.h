@@ -1,0 +1,196 @@
+// tipsyd's serving core: one ha::Replica exposed over four loopback-able
+// TCP listeners.
+//
+//   predict  — length-prefixed binary batch PredictShift RPC. Lock-free:
+//              requests are answered from the ModelEpoch the replica's
+//              retrainer publishes into, so a retrain or an ingest never
+//              blocks a prediction (and vice versa).
+//   ingest   — the collector's hour stream: a TIPSYHJ1 journal on the
+//              wire. Hour-gated for idempotence: after the handshake the
+//              daemon acks its newest durably-applied data hour, and any
+//              resent hour at or below the gate is skipped at the wire
+//              (counted, acked, never applied), so a reconnecting
+//              collector can replay conservatively and the replica state
+//              stays bit-identical to an uninterrupted feed.
+//   ship     — journal shipping to standbys: a standby asks for
+//              `from_seq` and the daemon streams its journal's verified
+//              frames from that seq on, tailing the file as new appends
+//              land. Only verified frames travel — a torn tail mid-append
+//              is simply not sent yet.
+//   metrics  — GET /metrics, Prometheus text from the wired registry.
+//
+// Degradation is the replica's own FRESH -> STALE -> EXPIRED aging: when
+// the collector feed goes dark, AdvanceClock (driven by the embedding
+// process's ticker, or directly by tests) keeps the ingest clock moving
+// so the served model ages honestly instead of freezing time, while the
+// predict plane keeps answering from the last-good epoch.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/online.h"
+#include "ha/replica.h"
+#include "net/socket.h"
+#include "net/wire.h"
+#include "obs/metrics.h"
+
+namespace tipsy::net {
+
+struct DaemonConfig {
+  // 0 asks the kernel for an ephemeral port; read the resolved ports back
+  // after Start() (the smoke harness and tests do).
+  std::uint16_t predict_port = 0;
+  std::uint16_t ingest_port = 0;
+  std::uint16_t ship_port = 0;
+  std::uint16_t metrics_port = 0;
+  bool any_interface = false;  // default loopback
+  // Per-connection read/write deadline. A peer that stops draining or
+  // feeding is cut loose after this long, never held forever.
+  int io_deadline_ms = 2000;
+  // Accept/journal-tail poll cadence; also how fast Stop() is observed.
+  int idle_poll_ms = 50;
+  std::string metric_prefix = "tipsyd";
+};
+
+class Daemon {
+ public:
+  // The replica is borrowed and must outlive the daemon; the daemon is
+  // its only writer while running (all mutations serialize on one
+  // mutex). `registry` (borrowed too) receives the net_* metrics and is
+  // what /metrics renders — register the replica/service metrics into
+  // the same registry to scrape the whole process.
+  Daemon(ha::Replica* replica, obs::Registry* registry,
+         DaemonConfig config = {});
+  ~Daemon();
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  // Opens the four listeners and starts the accept loops. kIoError when
+  // a port cannot be bound.
+  [[nodiscard]] util::Status Start();
+  // Idempotent; joins every connection thread.
+  void Stop();
+
+  [[nodiscard]] bool running() const { return running_; }
+  [[nodiscard]] std::uint16_t predict_port() const {
+    return predict_listener_.port();
+  }
+  [[nodiscard]] std::uint16_t ingest_port() const {
+    return ingest_listener_.port();
+  }
+  [[nodiscard]] std::uint16_t ship_port() const {
+    return ship_listener_.port();
+  }
+  [[nodiscard]] std::uint16_t metrics_port() const {
+    return metrics_listener_.port();
+  }
+
+  // Journaled clock tick (Replica::Heartbeat): the dark-feed degradation
+  // driver. Ticks behind the ingest clock are ignored (the feed came
+  // back and overtook the ticker).
+  [[nodiscard]] util::Status AdvanceClock(util::HourIndex hour);
+
+  // Serving-model health right now (what the predict plane stamps on
+  // responses).
+  [[nodiscard]] core::ModelHealth health() const;
+  // Newest durably-applied data hour (the ingest idempotence gate); -1
+  // before any data.
+  [[nodiscard]] util::HourIndex last_applied_hour() const {
+    return last_applied_hour_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] const core::ModelEpoch& epoch() const { return epoch_; }
+
+  // --- Wire-plane counters (satellite of the obs registry wiring; each
+  // is also registered under `<prefix>_net_...`).
+  [[nodiscard]] std::uint64_t connections_accepted() const {
+    return connections_accepted_.value();
+  }
+  [[nodiscard]] std::uint64_t frames_applied() const {
+    return frames_applied_.value();
+  }
+  // Resent hours skipped by the idempotence gate.
+  [[nodiscard]] std::uint64_t frames_skipped() const {
+    return frames_skipped_.value();
+  }
+  // Connections dropped for damaged bytes (bad magic/CRC/seq).
+  [[nodiscard]] std::uint64_t frames_corrupt() const {
+    return frames_corrupt_.value();
+  }
+  // Connections that ended inside a frame (torn wire tail).
+  [[nodiscard]] std::uint64_t frames_dropped() const {
+    return frames_dropped_.value();
+  }
+  [[nodiscard]] std::uint64_t predict_requests() const {
+    return predict_requests_.value();
+  }
+  [[nodiscard]] std::uint64_t ship_streams() const {
+    return ship_streams_.value();
+  }
+  [[nodiscard]] std::uint64_t ship_frames_sent() const {
+    return ship_frames_sent_.value();
+  }
+  [[nodiscard]] std::uint64_t metrics_scrapes() const {
+    return metrics_scrapes_.value();
+  }
+  // Journal frames the slowest live ship subscriber still lacks.
+  [[nodiscard]] double ship_lag_seq() const { return ship_lag_seq_.value(); }
+
+ private:
+  void AcceptLoop(Listener* listener, void (Daemon::*handler)(Socket));
+  void HandlePredict(Socket socket);
+  void HandleIngest(Socket socket);
+  void HandleShip(Socket socket);
+  void HandleMetrics(Socket socket);
+  void SpawnConnection(void (Daemon::*handler)(Socket), Socket socket);
+  void ReapFinishedConnections();
+
+  // The encoded IngestAck envelope for the current applied state.
+  [[nodiscard]] std::string AckBytes();
+
+  ha::Replica* replica_;
+  obs::Registry* registry_;
+  DaemonConfig config_;
+
+  Listener predict_listener_;
+  Listener ingest_listener_;
+  Listener ship_listener_;
+  Listener metrics_listener_;
+
+  std::atomic<bool> stop_{false};
+  bool running_ = false;
+  std::vector<std::thread> accept_threads_;
+  std::mutex connections_mu_;
+  struct Connection {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+  std::vector<Connection> connections_;
+
+  // Serializes every replica mutation (ingest, heartbeat, health reads of
+  // retrainer internals). The predict hot path does not take it — it
+  // reads the epoch.
+  mutable std::mutex replica_mu_;
+  core::ModelEpoch epoch_;
+  std::atomic<util::HourIndex> last_applied_hour_{-1};
+
+  obs::Counter connections_accepted_;
+  obs::Counter frames_applied_;
+  obs::Counter frames_skipped_;
+  obs::Counter frames_corrupt_;
+  obs::Counter frames_dropped_;
+  obs::Counter predict_requests_;
+  obs::Counter ship_streams_;
+  obs::Counter ship_frames_sent_;
+  obs::Counter metrics_scrapes_;
+  obs::Gauge ship_lag_seq_;
+  obs::MetricGroup metric_handles_;
+};
+
+}  // namespace tipsy::net

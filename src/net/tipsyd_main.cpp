@@ -1,0 +1,166 @@
+// tipsyd: the TIPSY serving daemon. One ha::Replica (journal + snapshot
+// on disk) behind four TCP listeners — predict, ingest, ship, /metrics —
+// with an hourly dark-feed ticker so the served model ages honestly when
+// the collector goes quiet.
+//
+//   ./tipsyd [--predict-port N] [--ingest-port N] [--ship-port N]
+//            [--metrics-port N] [--journal PATH] [--snapshot PATH]
+//            [--seed N] [--tick-ms N] [--run-for-ms N]
+//
+// Ports default to 0 (kernel-assigned); the resolved ports are printed on
+// one line once serving:
+//
+//   tipsyd READY predict=<p> ingest=<p> ship=<p> metrics=<p>
+//
+// which is what tools/daemon_smoke.sh and the net tests parse. SIGINT or
+// SIGTERM stops the listeners, joins every connection, and exits 0. The
+// model identity (wan/metros) comes from the default-seed TinyScenario so
+// that out-of-process clients built against the same scenario agree on
+// link and metro ids.
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "ha/replica.h"
+#include "net/daemon.h"
+#include "obs/metrics.h"
+#include "scenario/scenario.h"
+#include "util/ids.h"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void HandleSignal(int) { g_stop.store(true, std::memory_order_release); }
+
+std::uint64_t ParseU64(const char* text, const char* flag) {
+  char* end = nullptr;
+  const std::uint64_t value = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') {
+    std::cerr << "tipsyd: bad value for " << flag << ": " << text << "\n";
+    std::exit(2);
+  }
+  return value;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tipsy;
+
+  net::DaemonConfig daemon_cfg;
+  std::string journal_path = "tipsyd.journal";
+  std::string snapshot_path = "tipsyd.snapshot";
+  std::uint64_t seed = 0;
+  bool seed_set = false;
+  int tick_ms = 0;        // 0: no dark-feed ticker
+  long run_for_ms = -1;   // <0: run until signalled
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "tipsyd: " << flag << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (flag == "--predict-port") {
+      daemon_cfg.predict_port = static_cast<std::uint16_t>(ParseU64(next(), "--predict-port"));
+    } else if (flag == "--ingest-port") {
+      daemon_cfg.ingest_port = static_cast<std::uint16_t>(ParseU64(next(), "--ingest-port"));
+    } else if (flag == "--ship-port") {
+      daemon_cfg.ship_port = static_cast<std::uint16_t>(ParseU64(next(), "--ship-port"));
+    } else if (flag == "--metrics-port") {
+      daemon_cfg.metrics_port = static_cast<std::uint16_t>(ParseU64(next(), "--metrics-port"));
+    } else if (flag == "--journal") {
+      journal_path = next();
+    } else if (flag == "--snapshot") {
+      snapshot_path = next();
+    } else if (flag == "--seed") {
+      seed = ParseU64(next(), "--seed");
+      seed_set = true;
+    } else if (flag == "--tick-ms") {
+      tick_ms = static_cast<int>(ParseU64(next(), "--tick-ms"));
+    } else if (flag == "--run-for-ms") {
+      run_for_ms = static_cast<long>(ParseU64(next(), "--run-for-ms"));
+    } else {
+      std::cerr << "tipsyd: unknown flag " << flag << "\n";
+      return 2;
+    }
+  }
+
+  // The scenario is the model identity: daemon and clients must build the
+  // same wan/metros (same seed) or link ids will not line up on the wire.
+  auto scenario_cfg = scenario::TinyScenarioConfig();
+  if (seed_set) {
+    scenario_cfg.seed = scenario_cfg.topology.seed = seed;
+    scenario_cfg.traffic.seed = seed + 1;
+    scenario_cfg.outages.seed = seed + 2;
+  }
+  scenario::Scenario world(scenario_cfg);
+
+  ha::ReplicaConfig replica_cfg;
+  replica_cfg.journal_path = journal_path;
+  replica_cfg.snapshot_path = snapshot_path;
+  auto replica = ha::Replica::Open(&world.wan(), &world.metros(),
+                                   /*window_days=*/14, {}, {}, replica_cfg);
+  if (!replica.ok()) {
+    std::cerr << "tipsyd: replica open failed: "
+              << replica.status().ToString() << "\n";
+    return 1;
+  }
+
+  obs::Registry registry;
+  const obs::MetricGroup replica_metrics =
+      replica->RegisterMetrics(registry, "tipsyd_replica");
+
+  net::Daemon daemon(&*replica, &registry, daemon_cfg);
+  if (const auto started = daemon.Start(); !started.ok()) {
+    std::cerr << "tipsyd: start failed: " << started.ToString() << "\n";
+    return 1;
+  }
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+
+  std::cout << "tipsyd READY predict=" << daemon.predict_port()
+            << " ingest=" << daemon.ingest_port()
+            << " ship=" << daemon.ship_port()
+            << " metrics=" << daemon.metrics_port() << std::endl;
+
+  const auto started_at = std::chrono::steady_clock::now();
+  auto next_tick = started_at + std::chrono::milliseconds(
+                                    tick_ms > 0 ? tick_ms : 1 << 30);
+  while (!g_stop.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    const auto now = std::chrono::steady_clock::now();
+    if (run_for_ms >= 0 &&
+        now - started_at >= std::chrono::milliseconds(run_for_ms)) {
+      break;
+    }
+    if (tick_ms > 0 && now >= next_tick) {
+      // One simulated hour per tick, starting just past whatever the
+      // collector last delivered.
+      const util::HourIndex hour = daemon.last_applied_hour() + 1;
+      if (const auto ticked = daemon.AdvanceClock(hour); !ticked.ok()) {
+        std::cerr << "tipsyd: clock tick failed: " << ticked.ToString()
+                  << "\n";
+      }
+      next_tick = now + std::chrono::milliseconds(tick_ms);
+    }
+  }
+
+  daemon.Stop();
+  std::cout << "tipsyd STOPPED frames_applied=" << daemon.frames_applied()
+            << " predict_requests=" << daemon.predict_requests()
+            << " ship_frames_sent=" << daemon.ship_frames_sent()
+            << std::endl;
+  return 0;
+}

@@ -1,0 +1,495 @@
+#include "net/wire.h"
+
+#include <bit>
+#include <cstring>
+#include <sstream>
+
+#include "util/checksum.h"
+
+namespace tipsy::net {
+namespace {
+
+constexpr char kMessageMagic[4] = {'T', 'P', 'S', 'Y'};
+constexpr std::size_t kEnvelopeHeaderBytes =
+    sizeof(kMessageMagic) + 1 + 4 + 4;  // magic | type | length | crc
+
+void PutFixed32(std::string& out, std::uint32_t value) {
+  char bytes[4];
+  bytes[0] = static_cast<char>(value & 0xff);
+  bytes[1] = static_cast<char>((value >> 8) & 0xff);
+  bytes[2] = static_cast<char>((value >> 16) & 0xff);
+  bytes[3] = static_cast<char>((value >> 24) & 0xff);
+  out.append(bytes, sizeof(bytes));
+}
+
+std::uint32_t GetFixed32(std::string_view bytes, std::size_t pos) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[pos])) |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[pos + 1]))
+             << 8 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[pos + 2]))
+             << 16 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[pos + 3]))
+             << 24;
+}
+
+void PutFixed64(std::ostream& out, std::uint64_t value) {
+  char bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    bytes[i] = static_cast<char>((value >> (8 * i)) & 0xff);
+  }
+  out.write(bytes, sizeof(bytes));
+}
+
+void PutDouble(std::ostream& out, double value) {
+  PutFixed64(out, std::bit_cast<std::uint64_t>(value));
+}
+
+// Bounds-checked fixed64 read, same `ok`-flag convention as
+// pipeline::TakeVarint.
+std::uint64_t TakeFixed64(std::string_view payload, std::size_t& pos,
+                          bool& ok) {
+  if (!ok || payload.size() - pos < 8) {
+    ok = false;
+    return 0;
+  }
+  std::uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<std::uint64_t>(
+                 static_cast<unsigned char>(payload[pos + i]))
+             << (8 * i);
+  }
+  pos += 8;
+  return value;
+}
+
+double TakeDouble(std::string_view payload, std::size_t& pos, bool& ok) {
+  return std::bit_cast<double>(TakeFixed64(payload, pos, ok));
+}
+
+// The envelope checksum covers (type || payload): a flipped type byte is
+// as fatal as flipped payload bytes.
+std::uint32_t EnvelopeCrc(MessageType type, std::string_view payload) {
+  util::Crc32c crc;
+  const char type_byte = static_cast<char>(type);
+  crc.Update(std::string_view(&type_byte, 1));
+  crc.Update(payload);
+  return crc.Digest();
+}
+
+bool KnownMessageType(std::uint8_t raw) {
+  return raw >= static_cast<std::uint8_t>(MessageType::kIngestHello) &&
+         raw <= static_cast<std::uint8_t>(MessageType::kHeartbeat);
+}
+
+util::StatusOr<Message> DecodeEnvelope(std::string_view header,
+                                       std::string payload,
+                                       std::size_t max_payload) {
+  (void)max_payload;
+  const std::uint8_t raw_type =
+      static_cast<std::uint8_t>(header[sizeof(kMessageMagic)]);
+  if (!KnownMessageType(raw_type)) {
+    return util::Status::Corrupt("unknown message type " +
+                                 std::to_string(raw_type));
+  }
+  Message message;
+  message.type = static_cast<MessageType>(raw_type);
+  message.payload = std::move(payload);
+  const std::uint32_t want = GetFixed32(header, sizeof(kMessageMagic) + 5);
+  const std::uint32_t got = EnvelopeCrc(message.type, message.payload);
+  if (want != got) {
+    return util::Status::Corrupt("message checksum mismatch");
+  }
+  return message;
+}
+
+}  // namespace
+
+std::string EncodeMessage(MessageType type, std::string_view payload) {
+  std::string out;
+  out.reserve(kEnvelopeHeaderBytes + payload.size());
+  out.append(kMessageMagic, sizeof(kMessageMagic));
+  out.push_back(static_cast<char>(type));
+  PutFixed32(out, static_cast<std::uint32_t>(payload.size()));
+  PutFixed32(out, EnvelopeCrc(type, payload));
+  out.append(payload);
+  return out;
+}
+
+util::StatusOr<Message> ReadMessage(Socket& socket,
+                                    std::size_t max_payload) {
+  std::string header;
+  if (auto status = socket.RecvExact(kEnvelopeHeaderBytes, header);
+      !status.ok()) {
+    return status;
+  }
+  if (std::memcmp(header.data(), kMessageMagic, sizeof(kMessageMagic)) != 0) {
+    return util::Status::Corrupt("bad message magic");
+  }
+  const std::uint32_t length = GetFixed32(header, sizeof(kMessageMagic) + 1);
+  if (length > max_payload) {
+    return util::Status::Corrupt("implausible message length " +
+                                 std::to_string(length));
+  }
+  std::string payload;
+  if (length > 0) {
+    if (auto status = socket.RecvExact(length, payload); !status.ok()) {
+      // Losing the peer mid-payload is a torn message even when the close
+      // itself was "clean" from the kernel's point of view.
+      if (status.code() == util::StatusCode::kNoData) {
+        return util::Status::Truncated("connection closed mid-message");
+      }
+      return status;
+    }
+  }
+  return DecodeEnvelope(header, std::move(payload), max_payload);
+}
+
+util::StatusOr<Message> DecodeMessage(std::string_view bytes,
+                                      std::size_t& pos,
+                                      std::size_t max_payload) {
+  if (bytes.size() - pos < kEnvelopeHeaderBytes) {
+    return util::Status::Truncated("message header ends early");
+  }
+  const std::string_view header = bytes.substr(pos, kEnvelopeHeaderBytes);
+  if (std::memcmp(header.data(), kMessageMagic, sizeof(kMessageMagic)) != 0) {
+    return util::Status::Corrupt("bad message magic");
+  }
+  const std::uint32_t length = GetFixed32(header, sizeof(kMessageMagic) + 1);
+  if (length > max_payload) {
+    return util::Status::Corrupt("implausible message length " +
+                                 std::to_string(length));
+  }
+  if (bytes.size() - pos - kEnvelopeHeaderBytes < length) {
+    return util::Status::Truncated("message payload ends early");
+  }
+  auto message = DecodeEnvelope(
+      header, std::string(bytes.substr(pos + kEnvelopeHeaderBytes, length)),
+      max_payload);
+  if (message.ok()) pos += kEnvelopeHeaderBytes + length;
+  return message;
+}
+
+util::StatusOr<Message> MessageReader::Next(std::size_t max_payload) {
+  while (true) {
+    if (!buffer_.empty()) {
+      std::size_t pos = 0;
+      auto message = DecodeMessage(buffer_, pos, max_payload);
+      if (message.ok()) {
+        buffer_.erase(0, pos);
+        return message;
+      }
+      if (message.status().code() != util::StatusCode::kTruncated) {
+        return message.status();  // corrupt: permanent
+      }
+      // Incomplete: fall through and read more.
+    }
+    auto bytes = socket_->RecvSome(64 * 1024);
+    if (!bytes.ok()) {
+      if (bytes.status().code() == util::StatusCode::kNoData &&
+          !buffer_.empty()) {
+        return util::Status::Truncated("connection closed mid-message");
+      }
+      return bytes.status();  // kNoData / kUnavailable / kIoError
+    }
+    buffer_.append(*bytes);
+  }
+}
+
+// --- Handshake payloads.
+
+std::string EncodeIngestHello(const IngestHello& hello) {
+  std::ostringstream out;
+  pipeline::PutVarint(out,
+                      static_cast<std::uint64_t>(hello.protocol_version));
+  return out.str();
+}
+
+util::StatusOr<IngestHello> DecodeIngestHello(std::string_view payload) {
+  std::size_t pos = 0;
+  bool ok = true;
+  IngestHello hello;
+  hello.protocol_version =
+      static_cast<int>(pipeline::TakeVarint(payload, pos, ok));
+  if (!ok || pos != payload.size()) {
+    return util::Status::Corrupt("ingest hello is malformed");
+  }
+  if (hello.protocol_version != kWireProtocolVersion) {
+    return util::Status::VersionMismatch(
+        "peer speaks wire protocol version " +
+        std::to_string(hello.protocol_version));
+  }
+  return hello;
+}
+
+std::string EncodeIngestAck(const IngestAck& ack) {
+  std::ostringstream out;
+  pipeline::PutZigzag(out, ack.last_applied_hour);
+  pipeline::PutVarint(out, ack.next_seq);
+  return out.str();
+}
+
+util::StatusOr<IngestAck> DecodeIngestAck(std::string_view payload) {
+  std::size_t pos = 0;
+  bool ok = true;
+  IngestAck ack;
+  ack.last_applied_hour = pipeline::TakeZigzag(payload, pos, ok);
+  ack.next_seq = pipeline::TakeVarint(payload, pos, ok);
+  if (!ok || pos != payload.size()) {
+    return util::Status::Corrupt("ingest ack is malformed");
+  }
+  return ack;
+}
+
+std::string EncodeShipRequest(const ShipRequest& request) {
+  std::ostringstream out;
+  pipeline::PutVarint(out,
+                      static_cast<std::uint64_t>(request.protocol_version));
+  pipeline::PutVarint(out, request.from_seq);
+  return out.str();
+}
+
+util::StatusOr<ShipRequest> DecodeShipRequest(std::string_view payload) {
+  std::size_t pos = 0;
+  bool ok = true;
+  ShipRequest request;
+  request.protocol_version =
+      static_cast<int>(pipeline::TakeVarint(payload, pos, ok));
+  request.from_seq = pipeline::TakeVarint(payload, pos, ok);
+  if (!ok || pos != payload.size()) {
+    return util::Status::Corrupt("ship request is malformed");
+  }
+  if (request.protocol_version != kWireProtocolVersion) {
+    return util::Status::VersionMismatch(
+        "peer speaks wire protocol version " +
+        std::to_string(request.protocol_version));
+  }
+  return request;
+}
+
+std::string EncodeHeartbeat(const HeartbeatReport& report) {
+  std::ostringstream out;
+  pipeline::PutVarint(out, report.member_index);
+  pipeline::PutZigzag(out, report.hour);
+  pipeline::PutVarint(out, report.applied_seq);
+  pipeline::PutVarint(out, static_cast<std::uint64_t>(report.health));
+  return out.str();
+}
+
+util::StatusOr<HeartbeatReport> DecodeHeartbeat(std::string_view payload) {
+  std::size_t pos = 0;
+  bool ok = true;
+  HeartbeatReport report;
+  report.member_index =
+      static_cast<std::uint32_t>(pipeline::TakeVarint(payload, pos, ok));
+  report.hour = pipeline::TakeZigzag(payload, pos, ok);
+  report.applied_seq = pipeline::TakeVarint(payload, pos, ok);
+  const std::uint64_t health = pipeline::TakeVarint(payload, pos, ok);
+  if (!ok || pos != payload.size() ||
+      health > static_cast<std::uint64_t>(core::ModelHealth::kExpired)) {
+    return util::Status::Corrupt("heartbeat report is malformed");
+  }
+  report.health = static_cast<core::ModelHealth>(health);
+  return report;
+}
+
+// --- Batch PredictShift RPC payloads.
+
+std::string EncodePredictRequest(const PredictRequest& request) {
+  std::ostringstream out;
+  pipeline::PutVarint(out, request.flows.size());
+  for (const auto& query : request.flows) {
+    const core::FlowFeatures& f = query.flow;
+    pipeline::PutVarint(out, f.src_asn.value());
+    pipeline::PutVarint(out, f.src_prefix24.address().bits());
+    pipeline::PutVarint(out, f.src_prefix24.length());
+    pipeline::PutVarint(out, f.src_metro.value());
+    pipeline::PutVarint(out, f.dest_region.value());
+    pipeline::PutVarint(out, static_cast<std::uint64_t>(f.dest_service));
+    PutDouble(out, query.bytes);
+  }
+  // Excluded links as deltas over the sorted ids (they are small and
+  // clustered in practice).
+  pipeline::PutVarint(out, request.excluded.size());
+  std::uint32_t prev = 0;
+  for (const auto link : request.excluded) {
+    pipeline::PutVarint(out, link.value() - prev);
+    prev = link.value();
+  }
+  return out.str();
+}
+
+util::StatusOr<PredictRequest> DecodePredictRequest(
+    std::string_view payload) {
+  std::size_t pos = 0;
+  bool ok = true;
+  PredictRequest request;
+  const std::uint64_t flow_count = pipeline::TakeVarint(payload, pos, ok);
+  // >= 7 bytes per encoded flow (six single-byte varints minimum plus the
+  // fixed64 bytes field would be 14, but stay conservative).
+  if (!ok || flow_count > payload.size()) {
+    return util::Status::Corrupt("predict request flow count implausible");
+  }
+  request.flows.reserve(static_cast<std::size_t>(flow_count));
+  for (std::uint64_t i = 0; i < flow_count && ok; ++i) {
+    core::TipsyService::ShiftQueryFlow query;
+    query.flow.src_asn =
+        util::AsId(static_cast<std::uint32_t>(
+            pipeline::TakeVarint(payload, pos, ok)));
+    const auto prefix_bits =
+        static_cast<std::uint32_t>(pipeline::TakeVarint(payload, pos, ok));
+    const auto prefix_len =
+        static_cast<std::uint8_t>(pipeline::TakeVarint(payload, pos, ok));
+    if (prefix_len > 32) {
+      return util::Status::Corrupt("predict request prefix length > 32");
+    }
+    query.flow.src_prefix24 =
+        util::Ipv4Prefix(util::Ipv4Addr(prefix_bits), prefix_len);
+    query.flow.src_metro = util::MetroId(static_cast<std::uint32_t>(
+        pipeline::TakeVarint(payload, pos, ok)));
+    query.flow.dest_region = util::RegionId(static_cast<std::uint32_t>(
+        pipeline::TakeVarint(payload, pos, ok)));
+    const std::uint64_t service = pipeline::TakeVarint(payload, pos, ok);
+    if (ok && service > static_cast<std::uint64_t>(
+                            wan::ServiceType::kCdnFill)) {
+      return util::Status::Corrupt("predict request service type unknown");
+    }
+    query.flow.dest_service = static_cast<wan::ServiceType>(service);
+    query.bytes = TakeDouble(payload, pos, ok);
+    if (ok) request.flows.push_back(query);
+  }
+  const std::uint64_t excluded_count = pipeline::TakeVarint(payload, pos, ok);
+  if (!ok || excluded_count > payload.size()) {
+    return util::Status::Corrupt("predict request exclusion count "
+                                 "implausible");
+  }
+  request.excluded.reserve(static_cast<std::size_t>(excluded_count));
+  std::uint32_t prev = 0;
+  for (std::uint64_t i = 0; i < excluded_count && ok; ++i) {
+    prev += static_cast<std::uint32_t>(pipeline::TakeVarint(payload, pos, ok));
+    if (ok) request.excluded.push_back(util::LinkId(prev));
+  }
+  if (!ok || pos != payload.size()) {
+    return util::Status::Corrupt("predict request is malformed");
+  }
+  return request;
+}
+
+std::string EncodePredictResponse(const PredictResponse& response) {
+  std::ostringstream out;
+  pipeline::PutVarint(out, response.prediction.shifted.size());
+  std::uint32_t prev = 0;
+  for (const auto& [link, bytes] : response.prediction.shifted) {
+    // shifted is sorted by link id, so deltas are non-negative.
+    pipeline::PutVarint(out, link.value() - prev);
+    prev = link.value();
+    PutDouble(out, bytes);
+  }
+  PutDouble(out, response.prediction.unpredicted_bytes);
+  pipeline::PutVarint(out, static_cast<std::uint64_t>(response.health));
+  return out.str();
+}
+
+util::StatusOr<PredictResponse> DecodePredictResponse(
+    std::string_view payload) {
+  std::size_t pos = 0;
+  bool ok = true;
+  PredictResponse response;
+  const std::uint64_t count = pipeline::TakeVarint(payload, pos, ok);
+  // Every entry needs at least 1 varint byte + 8 double bytes.
+  if (!ok || count > payload.size() / 9) {
+    return util::Status::Corrupt("predict response entry count implausible");
+  }
+  response.prediction.shifted.reserve(static_cast<std::size_t>(count));
+  std::uint32_t prev = 0;
+  for (std::uint64_t i = 0; i < count && ok; ++i) {
+    prev += static_cast<std::uint32_t>(pipeline::TakeVarint(payload, pos, ok));
+    const double bytes = TakeDouble(payload, pos, ok);
+    if (ok) response.prediction.shifted.emplace_back(util::LinkId(prev),
+                                                     bytes);
+  }
+  response.prediction.unpredicted_bytes = TakeDouble(payload, pos, ok);
+  const std::uint64_t health = pipeline::TakeVarint(payload, pos, ok);
+  if (!ok || pos != payload.size() ||
+      health > static_cast<std::uint64_t>(core::ModelHealth::kExpired)) {
+    return util::Status::Corrupt("predict response is malformed");
+  }
+  response.health = static_cast<core::ModelHealth>(health);
+  return response;
+}
+
+// --- Incremental TIPSYHJ1 stream decoder.
+
+JournalStreamDecoder::JournalStreamDecoder(std::uint64_t base_seq,
+                                           bool expect_magic)
+    : next_seq_(base_seq), magic_pending_(expect_magic) {}
+
+util::Status JournalStreamDecoder::Feed(std::string_view bytes,
+                                        std::vector<ha::JournalRecord>& out) {
+  if (!status_.ok()) return status_;
+  buffer_.append(bytes);
+
+  if (magic_pending_) {
+    const std::string_view magic = ha::JournalMagic();
+    if (buffer_.size() < magic.size()) return util::Status::Ok();
+    if (std::memcmp(buffer_.data(), magic.data(), magic.size()) != 0) {
+      // Same split as file recovery: a magic that matches except the
+      // version byte is a version skew, anything else is not a journal
+      // stream at all.
+      if (std::memcmp(buffer_.data(), magic.data(), magic.size() - 1) == 0) {
+        status_ = util::Status::VersionMismatch(
+            "unsupported journal stream version byte");
+      } else {
+        status_ = util::Status::Corrupt("bad journal stream magic");
+      }
+      return status_;
+    }
+    buffer_.erase(0, magic.size());
+    magic_pending_ = false;
+  }
+
+  while (!buffer_.empty()) {
+    std::istringstream in(buffer_);
+    auto frame = pipeline::ReadV2Frame(in);
+    if (!frame.ok()) {
+      if (frame.status().code() == util::StatusCode::kTruncated) {
+        // The rest of the frame has not arrived yet; keep the bytes
+        // buffered. Finish() turns this into kTruncated if the
+        // connection ends here.
+        return util::Status::Ok();
+      }
+      status_ = frame.status();
+      return status_;
+    }
+    auto record = ha::DecodeJournalFrame(*frame);
+    if (!record.ok()) {
+      status_ = record.status();
+      return status_;
+    }
+    if (record->seq != next_seq_) {
+      status_ = util::Status::Corrupt(
+          "journal stream sequence gap: expected seq " +
+          std::to_string(next_seq_) + ", got " +
+          std::to_string(record->seq));
+      return status_;
+    }
+    buffer_.erase(0, static_cast<std::size_t>(in.tellg()));
+    ++next_seq_;
+    out.push_back(*std::move(record));
+  }
+  return util::Status::Ok();
+}
+
+util::Status JournalStreamDecoder::Finish() const {
+  if (!status_.ok()) return status_;
+  if (magic_pending_ && !buffer_.empty()) {
+    return util::Status::Truncated("stream ended inside the journal magic");
+  }
+  if (!buffer_.empty()) {
+    return util::Status::Truncated(
+        "stream ended inside a journal frame (" +
+        std::to_string(buffer_.size()) + " torn bytes)");
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace tipsy::net

@@ -1,0 +1,196 @@
+// Wire formats for the networked serving plane.
+//
+// Two layers share this file:
+//
+//  * Control messages — a length-prefixed, CRC-32C-checked envelope
+//    ("TPSY" | type | u32 length | u32 crc | payload) carrying the
+//    handshakes (ingest hello/ack, ship request), the binary batch
+//    PredictShift RPC, and quorum heartbeats. Every length is validated
+//    against a hard cap before any allocation (the hostile-length
+//    discipline of pipeline/storage), and a connection that dies
+//    mid-envelope surfaces as kTruncated — the wire analogue of a torn
+//    journal tail.
+//
+//  * The journal stream — after its handshake, a collector or shipping
+//    connection is a byte-for-byte TIPSYHJ1 journal: the 8-byte magic
+//    followed by the same CRC-framed records ha::Journal appends on disk.
+//    JournalStreamDecoder is the incremental (socket-fed) twin of
+//    ha::RecoverJournalBytes: complete verified frames are surfaced as
+//    records, a damaged frame is a permanent typed error (kCorrupt /
+//    kVersionMismatch), and bytes still waiting for the rest of their
+//    frame are simply buffered — or reported kTruncated if the
+//    connection ends on them. Sequence numbers are gated exactly like
+//    file recovery, except the expected base seq comes from the
+//    handshake (a standby resumes mid-journal).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/online.h"
+#include "core/tipsy_service.h"
+#include "ha/journal.h"
+#include "net/socket.h"
+#include "util/status.h"
+
+namespace tipsy::net {
+
+inline constexpr int kWireProtocolVersion = 1;
+
+// Hard cap on any single message payload; a hostile or corrupt length
+// header can never drive a multi-GB allocation.
+inline constexpr std::size_t kMaxMessageBytes = 64u << 20;
+
+enum class MessageType : std::uint8_t {
+  kIngestHello = 1,   // collector -> daemon: open the hour stream
+  kIngestAck = 2,     // daemon -> collector: resume point + durability ack
+  kShipRequest = 3,   // standby -> primary: stream my journal suffix
+  kPredictRequest = 4,
+  kPredictResponse = 5,
+  kHeartbeat = 6,     // replica -> supervisor liveness + progress report
+};
+
+struct Message {
+  MessageType type = MessageType::kIngestHello;
+  std::string payload;
+};
+
+// Envelope codec. EncodeMessage always succeeds; ReadMessage returns
+// kTruncated when the connection ends mid-envelope, kCorrupt on a bad
+// magic/checksum/oversized length, kUnavailable on a read deadline, and
+// kNoData when the peer closed cleanly between messages.
+[[nodiscard]] std::string EncodeMessage(MessageType type,
+                                        std::string_view payload);
+[[nodiscard]] util::StatusOr<Message> ReadMessage(
+    Socket& socket, std::size_t max_payload = kMaxMessageBytes);
+// In-memory variant (tests, fuzzing): decodes one envelope from `bytes`
+// starting at `pos`, advancing it past the envelope.
+[[nodiscard]] util::StatusOr<Message> DecodeMessage(
+    std::string_view bytes, std::size_t& pos,
+    std::size_t max_payload = kMaxMessageBytes);
+
+// Buffered envelope reader for persistent connections polled with a
+// short read deadline. A deadline that fires mid-envelope must not lose
+// the bytes already received (a slow-dripping peer — or the fault proxy
+// imitating one — delivers envelopes one byte at a time), so arrived
+// bytes accumulate in a buffer and an envelope is surfaced only once it
+// is complete.
+class MessageReader {
+ public:
+  explicit MessageReader(Socket* socket) : socket_(socket) {}
+
+  // Waits (up to the socket's read deadline) for the next complete
+  // envelope. kUnavailable: deadline fired, nothing complete yet — loop
+  // again after checking your stop flag. kNoData: peer closed cleanly at
+  // an envelope boundary. kTruncated: peer closed mid-envelope. kCorrupt:
+  // damaged bytes (permanent — drop the connection).
+  [[nodiscard]] util::StatusOr<Message> Next(
+      std::size_t max_payload = kMaxMessageBytes);
+
+ private:
+  Socket* socket_;
+  std::string buffer_;
+};
+
+// --- Handshake payloads.
+
+struct IngestHello {
+  int protocol_version = kWireProtocolVersion;
+};
+struct IngestAck {
+  // Newest hour the daemon has durably applied; the collector resumes
+  // with the first hour after this (idempotent resume — a resent hour at
+  // or below it is skipped at the wire and re-acked, never re-applied).
+  // -1 means nothing applied yet (hour indices start at 0).
+  util::HourIndex last_applied_hour = -1;
+  // The daemon journal's next sequence number (operator visibility).
+  std::uint64_t next_seq = 0;
+};
+struct ShipRequest {
+  int protocol_version = kWireProtocolVersion;
+  // First journal seq the standby is missing (its applied_seq).
+  std::uint64_t from_seq = 0;
+};
+struct HeartbeatReport {
+  // 0 = primary, 1+ = standby (member_index - 1 is the standby index).
+  std::uint32_t member_index = 0;
+  util::HourIndex hour = 0;
+  std::uint64_t applied_seq = 0;
+  core::ModelHealth health = core::ModelHealth::kNone;
+};
+
+[[nodiscard]] std::string EncodeIngestHello(const IngestHello& hello);
+[[nodiscard]] util::StatusOr<IngestHello> DecodeIngestHello(
+    std::string_view payload);
+[[nodiscard]] std::string EncodeIngestAck(const IngestAck& ack);
+[[nodiscard]] util::StatusOr<IngestAck> DecodeIngestAck(
+    std::string_view payload);
+[[nodiscard]] std::string EncodeShipRequest(const ShipRequest& request);
+[[nodiscard]] util::StatusOr<ShipRequest> DecodeShipRequest(
+    std::string_view payload);
+[[nodiscard]] std::string EncodeHeartbeat(const HeartbeatReport& report);
+[[nodiscard]] util::StatusOr<HeartbeatReport> DecodeHeartbeat(
+    std::string_view payload);
+
+// --- Batch PredictShift RPC payloads.
+
+struct PredictRequest {
+  std::vector<core::TipsyService::ShiftQueryFlow> flows;
+  // Links excluded from prediction (the CMS's withdrawal candidates),
+  // sorted ascending by id.
+  std::vector<util::LinkId> excluded;
+};
+struct PredictResponse {
+  core::TipsyService::ShiftPrediction prediction;
+  // Serving-model health at answer time, so a remote CMS can apply its
+  // gate without a second RPC.
+  core::ModelHealth health = core::ModelHealth::kNone;
+};
+
+[[nodiscard]] std::string EncodePredictRequest(const PredictRequest& request);
+[[nodiscard]] util::StatusOr<PredictRequest> DecodePredictRequest(
+    std::string_view payload);
+[[nodiscard]] std::string EncodePredictResponse(
+    const PredictResponse& response);
+[[nodiscard]] util::StatusOr<PredictResponse> DecodePredictResponse(
+    std::string_view payload);
+
+// --- Incremental TIPSYHJ1 stream decoder.
+
+class JournalStreamDecoder {
+ public:
+  // `base_seq` is the seq the first decoded record must carry (from the
+  // handshake); `expect_magic` is true for streams that open with the
+  // 8-byte TIPSYHJ1 magic (both directions do — symmetry with the file).
+  explicit JournalStreamDecoder(std::uint64_t base_seq = 0,
+                                bool expect_magic = true);
+
+  // Buffers `bytes` and appends every complete, verified record to
+  // `out`. Returns OK while the stream is healthy (possibly with bytes
+  // left buffered awaiting the rest of a frame); a damaged frame or seq
+  // gap returns the typed error and poisons the decoder (every later
+  // Feed returns the same error).
+  [[nodiscard]] util::Status Feed(std::string_view bytes,
+                                  std::vector<ha::JournalRecord>& out);
+
+  // End-of-connection verdict: OK when the stream ended on a frame
+  // boundary, kTruncated when buffered bytes form a torn frame, or the
+  // poisoned error.
+  [[nodiscard]] util::Status Finish() const;
+
+  [[nodiscard]] std::uint64_t next_seq() const { return next_seq_; }
+  [[nodiscard]] std::size_t buffered_bytes() const {
+    return buffer_.size();
+  }
+  [[nodiscard]] const util::Status& status() const { return status_; }
+
+ private:
+  std::string buffer_;
+  std::uint64_t next_seq_ = 0;
+  bool magic_pending_ = true;
+  util::Status status_;
+};
+
+}  // namespace tipsy::net

@@ -209,4 +209,190 @@ void FaultyHeartbeatChannel::DeliverDueBy(util::HourIndex hour) {
   }
 }
 
+// --- SocketFaultProxy.
+
+struct SocketFaultProxy::Link {
+  net::Socket client;
+  net::Socket upstream;
+  // Shared kill switch: either pump dying (EOF, error, injected reset)
+  // cuts both directions, like a real connection teardown.
+  std::atomic<bool> dead{false};
+  // kResetMidFrame budget, client->upstream direction.
+  std::atomic<std::size_t> reset_budget{0};
+  std::thread to_upstream;
+  std::thread to_client;
+};
+
+SocketFaultProxy::SocketFaultProxy(SocketFaultProxyConfig config)
+    : config_(std::move(config)) {}
+
+SocketFaultProxy::~SocketFaultProxy() { Stop(); }
+
+util::Status SocketFaultProxy::Start() {
+  if (running_) return util::Status::Ok();
+  auto listener = net::Listener::Open(config_.listen_port);
+  if (!listener.ok()) return listener.status();
+  listener_ = std::move(*listener);
+  stop_.store(false, std::memory_order_release);
+  running_ = true;
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return util::Status::Ok();
+}
+
+void SocketFaultProxy::Stop() {
+  if (!running_) return;
+  stop_.store(true, std::memory_order_release);
+  listener_.Close();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::unique_ptr<Link>> links;
+  {
+    std::lock_guard<std::mutex> lock(links_mu_);
+    links.swap(links_);
+  }
+  for (auto& link : links) {
+    link->dead.store(true, std::memory_order_release);
+    link->client.Shutdown();
+    link->upstream.Shutdown();
+    if (link->to_upstream.joinable()) link->to_upstream.join();
+    if (link->to_client.joinable()) link->to_client.join();
+  }
+  running_ = false;
+}
+
+void SocketFaultProxy::DropConnections() {
+  std::lock_guard<std::mutex> lock(links_mu_);
+  for (auto& link : links_) {
+    link->dead.store(true, std::memory_order_release);
+    link->client.Shutdown();
+    link->upstream.Shutdown();
+  }
+}
+
+void SocketFaultProxy::ReapFinishedLinks() {
+  std::lock_guard<std::mutex> lock(links_mu_);
+  for (std::size_t i = 0; i < links_.size();) {
+    if (links_[i]->dead.load(std::memory_order_acquire)) {
+      if (links_[i]->to_upstream.joinable()) links_[i]->to_upstream.join();
+      if (links_[i]->to_client.joinable()) links_[i]->to_client.join();
+      links_[i] = std::move(links_.back());
+      links_.pop_back();
+    } else {
+      ++i;
+    }
+  }
+}
+
+void SocketFaultProxy::AcceptLoop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    auto accepted = listener_.Accept(config_.poll_ms);
+    if (!accepted.ok()) {
+      if (accepted.status().code() == util::StatusCode::kUnavailable) {
+        ReapFinishedLinks();
+        continue;
+      }
+      return;  // listener closed
+    }
+    if (mode() == ProxyMode::kRefuse) {
+      connections_refused_.fetch_add(1, std::memory_order_relaxed);
+      continue;  // Socket dtor closes: the client sees an immediate EOF
+    }
+    auto upstream = net::Connect(config_.upstream_host,
+                                 config_.upstream_port,
+                                 config_.connect_timeout_ms);
+    if (!upstream.ok()) {
+      connections_refused_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    auto link = std::make_unique<Link>();
+    link->client = std::move(*accepted);
+    link->upstream = std::move(*upstream);
+    link->reset_budget.store(config_.reset_after_bytes,
+                             std::memory_order_relaxed);
+    // Short per-call deadlines so the pumps poll stop/mode promptly.
+    (void)link->client.SetReadDeadline(config_.poll_ms);
+    (void)link->upstream.SetReadDeadline(config_.poll_ms);
+    Link* raw = link.get();
+    link->to_upstream = std::thread(
+        [this, raw] { PumpLoop(raw, /*client_to_upstream=*/true); });
+    link->to_client = std::thread(
+        [this, raw] { PumpLoop(raw, /*client_to_upstream=*/false); });
+    {
+      std::lock_guard<std::mutex> lock(links_mu_);
+      links_.push_back(std::move(link));
+    }
+  }
+}
+
+void SocketFaultProxy::PumpLoop(Link* link, bool client_to_upstream) {
+  net::Socket& from = client_to_upstream ? link->client : link->upstream;
+  net::Socket& to = client_to_upstream ? link->upstream : link->client;
+  while (!stop_.load(std::memory_order_acquire) &&
+         !link->dead.load(std::memory_order_acquire)) {
+    ProxyMode mode = this->mode();
+    if (mode == ProxyMode::kRefuse) break;  // daemon "went down"
+    if (mode == ProxyMode::kPartition) {
+      // Black hole: read nothing, forward nothing. Bytes the peers send
+      // pile up in kernel buffers exactly as on a partitioned path.
+      net::SleepInterruptible(config_.poll_ms, &stop_);
+      continue;
+    }
+    auto chunk = from.RecvSome(4096);
+    if (!chunk.ok()) {
+      if (chunk.status().code() == util::StatusCode::kUnavailable) {
+        continue;  // poll deadline: check stop/mode and wait again
+      }
+      break;  // peer closed or error: tear down both directions
+    }
+    // Re-sample: the fault that governs these bytes is the mode at their
+    // *arrival*, not the one sampled before blocking in RecvSome — a
+    // harness that flips the mode and then sends must see the new fault
+    // hit that very send (the pre-recv sample can be a full poll
+    // interval stale).
+    mode = this->mode();
+    if (mode == ProxyMode::kRefuse) break;
+    if (mode == ProxyMode::kPartition) {
+      continue;  // arrived as the partition hit: lost in flight
+    }
+    std::string_view bytes = *chunk;
+    if (mode == ProxyMode::kDelay) {
+      if (!net::SleepInterruptible(config_.delay_ms, &stop_)) break;
+    }
+    if (mode == ProxyMode::kResetMidFrame && client_to_upstream) {
+      std::size_t budget = link->reset_budget.load(std::memory_order_acquire);
+      if (bytes.size() >= budget) {
+        // Forward exactly the budget, then cut the connection inside
+        // whatever frame those bytes belong to.
+        if (budget > 0) {
+          (void)to.SendAll(bytes.substr(0, budget));
+          bytes_forwarded_.fetch_add(budget, std::memory_order_relaxed);
+        }
+        resets_injected_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+      link->reset_budget.store(budget - bytes.size(),
+                               std::memory_order_release);
+    }
+    if (mode == ProxyMode::kSlowDrip) {
+      bool sent = true;
+      for (std::size_t i = 0; i < bytes.size() && sent; ++i) {
+        if (!net::SleepInterruptible(config_.drip_interval_ms, &stop_)) {
+          sent = false;
+          break;
+        }
+        sent = to.SendAll(bytes.substr(i, 1)).ok();
+        if (sent) bytes_forwarded_.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (!sent) break;
+      continue;
+    }
+    if (!to.SendAll(bytes).ok()) break;
+    bytes_forwarded_.fetch_add(bytes.size(), std::memory_order_relaxed);
+  }
+  // First pump out marks the link dead and wakes the other side.
+  link->dead.store(true, std::memory_order_release);
+  link->client.Shutdown();
+  link->upstream.Shutdown();
+}
+
 }  // namespace tipsy::scenario

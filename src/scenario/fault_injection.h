@@ -11,10 +11,16 @@
 // -> FRESH).
 #pragma once
 
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "ha/supervisor.h"
+#include "net/socket.h"
 #include "pipeline/storage.h"
 #include "scenario/scenario.h"
 #include "util/status.h"
@@ -166,6 +172,117 @@ class FaultyHeartbeatChannel {
   std::size_t delivered_ = 0;
   std::size_t dropped_ = 0;
   std::size_t delayed_ = 0;
+};
+
+// --- Socket-level faults for the networked plane (src/net).
+//
+// The in-process channels above model *what* fails; tipsyd's robustness
+// contract is about *how it fails on a real TCP path*: connections
+// refused, partitions that black-hole live connections, congested links
+// that delay or drip bytes one at a time, and resets that cut a frame in
+// half. SocketFaultProxy is a forwarding TCP proxy that sits between a
+// net client and its daemon and injects exactly those faults, switchable
+// at runtime so one test drives a connection through the whole matrix.
+
+enum class ProxyMode : std::uint8_t {
+  kPass = 0,       // forward faithfully
+  kRefuse,         // new connections are closed on accept; established
+                   // ones are cut — the daemon process is "down"
+  kPartition,      // connections stay open but no bytes cross in either
+                   // direction — packets lost in the network
+  kDelay,          // every forwarded chunk waits delay_ms first
+  kSlowDrip,       // bytes forwarded one at a time, drip_interval_ms apart
+  kResetMidFrame,  // forward reset_after_bytes client->upstream, then cut
+                   // both directions abruptly (a torn wire frame)
+};
+
+[[nodiscard]] constexpr const char* ProxyModeName(ProxyMode mode) {
+  switch (mode) {
+    case ProxyMode::kPass: return "PASS";
+    case ProxyMode::kRefuse: return "REFUSE";
+    case ProxyMode::kPartition: return "PARTITION";
+    case ProxyMode::kDelay: return "DELAY";
+    case ProxyMode::kSlowDrip: return "SLOW_DRIP";
+    case ProxyMode::kResetMidFrame: return "RESET_MID_FRAME";
+  }
+  return "UNKNOWN";
+}
+
+struct SocketFaultProxyConfig {
+  std::string upstream_host = "127.0.0.1";
+  std::uint16_t upstream_port = 0;
+  // 0: kernel-assigned; read it back with port() after Start().
+  std::uint16_t listen_port = 0;
+  int connect_timeout_ms = 1000;
+  // Pump poll cadence; also how fast Stop() and mode switches are seen.
+  int poll_ms = 10;
+  int delay_ms = 50;          // kDelay: added before each forwarded chunk
+  int drip_interval_ms = 2;   // kSlowDrip: gap between single bytes
+  // kResetMidFrame: client->upstream bytes forwarded (per connection)
+  // before the cut. The wire envelope header alone is 13 bytes, so the
+  // default cuts inside the first message's payload.
+  std::size_t reset_after_bytes = 16;
+};
+
+// A runtime-switchable fault-injecting TCP forwarder. Threads: one accept
+// loop plus two pumps per live connection; Stop() joins them all.
+class SocketFaultProxy {
+ public:
+  explicit SocketFaultProxy(SocketFaultProxyConfig config);
+  ~SocketFaultProxy();
+  SocketFaultProxy(const SocketFaultProxy&) = delete;
+  SocketFaultProxy& operator=(const SocketFaultProxy&) = delete;
+
+  [[nodiscard]] util::Status Start();
+  void Stop();
+
+  [[nodiscard]] std::uint16_t port() const { return listener_.port(); }
+
+  void set_mode(ProxyMode mode) {
+    mode_.store(mode, std::memory_order_release);
+  }
+  [[nodiscard]] ProxyMode mode() const {
+    return mode_.load(std::memory_order_acquire);
+  }
+  // Severs every established connection (on top of whatever the current
+  // mode does to new ones) — the abrupt half of a partition heal or a
+  // process kill.
+  void DropConnections();
+
+  // --- Injection tallies.
+  [[nodiscard]] std::uint64_t connections() const {
+    return connections_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t connections_refused() const {
+    return connections_refused_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t bytes_forwarded() const {
+    return bytes_forwarded_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t resets_injected() const {
+    return resets_injected_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Link;  // one proxied connection (client + upstream + pumps)
+
+  void AcceptLoop();
+  void PumpLoop(Link* link, bool client_to_upstream);
+  void ReapFinishedLinks();
+
+  SocketFaultProxyConfig config_;
+  net::Listener listener_;
+  std::atomic<ProxyMode> mode_{ProxyMode::kPass};
+  std::atomic<bool> stop_{false};
+  bool running_ = false;
+  std::thread accept_thread_;
+  std::mutex links_mu_;
+  std::vector<std::unique_ptr<Link>> links_;
+
+  std::atomic<std::uint64_t> connections_{0};
+  std::atomic<std::uint64_t> connections_refused_{0};
+  std::atomic<std::uint64_t> bytes_forwarded_{0};
+  std::atomic<std::uint64_t> resets_injected_{0};
 };
 
 }  // namespace tipsy::scenario

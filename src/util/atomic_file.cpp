@@ -1,6 +1,8 @@
 #include "util/atomic_file.h"
 
+#include <atomic>
 #include <cerrno>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -68,6 +70,9 @@ std::string DirectoryOf(const std::string& path) {
   return path.substr(0, slash);
 }
 
+std::atomic<std::uint64_t> g_atomic_writes{0};
+std::atomic<std::uint64_t> g_directory_fsyncs{0};
+
 }  // namespace
 
 Status WriteFileAtomic(const std::string& path, std::string_view contents) {
@@ -96,7 +101,20 @@ Status WriteFileAtomic(const std::string& path, std::string_view contents) {
   // fsync above, but the directory entry naming them is not - a power
   // loss here could resurrect the *old* file, which for an HA snapshot
   // means warm-starting from a checkpoint the journal has moved past.
-  return SyncDirectory(DirectoryOf(path));
+  auto dir_status = SyncDirectory(DirectoryOf(path));
+  if (dir_status.ok()) {
+    g_directory_fsyncs.fetch_add(1, std::memory_order_relaxed);
+  }
+  g_atomic_writes.fetch_add(1, std::memory_order_relaxed);
+  return dir_status;
+}
+
+std::uint64_t AtomicWritesPerformed() {
+  return g_atomic_writes.load(std::memory_order_relaxed);
+}
+
+std::uint64_t DirectoryFsyncsPerformed() {
+  return g_directory_fsyncs.load(std::memory_order_relaxed);
 }
 
 StatusOr<std::string> ReadFileToString(const std::string& path) {

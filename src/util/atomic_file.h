@@ -9,6 +9,7 @@
 // never a prefix.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 
@@ -28,5 +29,19 @@ namespace tipsy::util {
 
 // Whole-file read; kIoError when the file cannot be opened or read.
 [[nodiscard]] StatusOr<std::string> ReadFileToString(const std::string& path);
+
+// --- Durability audit counters (process-global, monotone).
+//
+// Every successful WriteFileAtomic increments AtomicWritesPerformed();
+// every one that actually fsynced the parent directory (i.e. the new
+// *name* is durable, not just the bytes) increments
+// DirectoryFsyncsPerformed() too. On a filesystem with working directory
+// fsync the two advance in lockstep, which is exactly what the
+// daemon-path audit test asserts across snapshot saves, journal creation
+// and model-bundle writes: no crash-safe writer silently skips the
+// directory flush. Relaxed atomics — these are tallies, not
+// synchronization.
+[[nodiscard]] std::uint64_t AtomicWritesPerformed();
+[[nodiscard]] std::uint64_t DirectoryFsyncsPerformed();
 
 }  // namespace tipsy::util

@@ -899,5 +899,141 @@ TEST(HeartbeatFaults, DelayedHeartbeatsArriveLateDeterministically) {
   EXPECT_GT(std::get<0>(first), 0u);
 }
 
+// ------------------------------------------------------ multi-standby quorum
+
+// Remote members (nullptr replica) are known only through reported
+// heartbeats; promotion ranks by health, then applied_seq, then the
+// configured rank, then member index.
+TEST(Quorum, RankedPromotionPrefersProgressThenConfiguredRank) {
+  ha::SupervisorConfig config;
+  config.heartbeat_timeout_hours = 2;
+  ha::Supervisor supervisor(nullptr, nullptr, config);
+  const int a = supervisor.AddStandby(nullptr, /*configured_rank=*/1);
+  const int b = supervisor.AddStandby(nullptr, /*configured_rank=*/0);
+  const int c = supervisor.AddStandby(nullptr, /*configured_rank=*/2);
+  ASSERT_EQ(a, 2);
+  ASSERT_EQ(b, 3);
+  ASSERT_EQ(c, 4);
+  EXPECT_EQ(supervisor.member_count(), 5u);
+
+  // All FRESH; `a` has the most journal progress and wins despite the
+  // worse configured rank — applied_seq outranks configuration.
+  supervisor.ObserveMemberHeartbeat(2, 10, /*applied_seq=*/200,
+                                    core::ModelHealth::kFresh);
+  supervisor.ObserveMemberHeartbeat(3, 10, /*applied_seq=*/150,
+                                    core::ModelHealth::kFresh);
+  supervisor.ObserveMemberHeartbeat(4, 10, /*applied_seq=*/150,
+                                    core::ModelHealth::kFresh);
+  supervisor.Tick(10);
+  EXPECT_EQ(supervisor.serving_member(), 2);
+  // Remote member: the supervisor routes, it does not hold the model.
+  EXPECT_EQ(supervisor.service(), nullptr);
+  EXPECT_EQ(supervisor.serving(), ha::ServingSource::kStandby);
+  EXPECT_EQ(supervisor.ServingHealth(), core::ModelHealth::kFresh);
+
+  // `a` dies. `b` and `c` tie on applied_seq; the configured rank breaks
+  // the tie (b's 0 beats c's 2).
+  supervisor.ObserveMemberHeartbeat(3, 13, 150, core::ModelHealth::kFresh);
+  supervisor.ObserveMemberHeartbeat(4, 13, 150, core::ModelHealth::kFresh);
+  supervisor.Tick(13);
+  EXPECT_FALSE(supervisor.IsMemberAlive(2));
+  EXPECT_EQ(supervisor.serving_member(), 3);
+
+  // A STALE member loses to a FRESH one regardless of progress.
+  supervisor.ObserveMemberHeartbeat(3, 14, 500, core::ModelHealth::kStale);
+  supervisor.ObserveMemberHeartbeat(4, 14, 150, core::ModelHealth::kFresh);
+  supervisor.Tick(14);
+  EXPECT_EQ(supervisor.serving_member(), 4);
+}
+
+TEST(Quorum, MinorityPartitionDegradesToNoneInsteadOfSplitBrain) {
+  ha::SupervisorConfig config;
+  config.heartbeat_timeout_hours = 2;
+  config.require_quorum = true;
+  ha::Supervisor supervisor(nullptr, nullptr, config);
+  supervisor.AddStandby(nullptr, 0);  // member 2
+  supervisor.AddStandby(nullptr, 1);  // member 3
+  supervisor.AddStandby(nullptr, 2);  // member 4
+  // 5 members total (the constructor pair never heartbeats here), so a
+  // strict majority needs 3 alive.
+
+  // Only member 2 is reachable: 1 alive of 5 — an otherwise-servable
+  // FRESH standby must NOT be promoted from the minority side.
+  supervisor.ObserveMemberHeartbeat(2, 10, 100, core::ModelHealth::kFresh);
+  supervisor.Tick(10);
+  EXPECT_EQ(supervisor.serving_member(), -1);
+  EXPECT_EQ(supervisor.serving(), ha::ServingSource::kNone);
+  EXPECT_EQ(supervisor.ServingHealth(), core::ModelHealth::kExpired);
+  EXPECT_GE(supervisor.quorum_blocked(), 1u);
+
+  // Two more members heard from: 3 of 5 alive — majority, promote.
+  const auto blocked_before = supervisor.quorum_blocked();
+  supervisor.ObserveMemberHeartbeat(3, 11, 90, core::ModelHealth::kFresh);
+  supervisor.ObserveMemberHeartbeat(4, 11, 80, core::ModelHealth::kFresh);
+  supervisor.ObserveMemberHeartbeat(2, 11, 100, core::ModelHealth::kFresh);
+  supervisor.Tick(11);
+  EXPECT_EQ(supervisor.serving_member(), 2);
+  EXPECT_EQ(supervisor.quorum_blocked(), blocked_before);
+
+  // The partition heals the other way: members 3+4 keep beating, 2 goes
+  // quiet. 2 of 5 is not a majority once 2 times out — dark again.
+  for (util::HourIndex h = 12; h <= 15; ++h) {
+    supervisor.ObserveMemberHeartbeat(3, h, 90, core::ModelHealth::kFresh);
+    supervisor.ObserveMemberHeartbeat(4, h, 80, core::ModelHealth::kFresh);
+    supervisor.Tick(h);
+  }
+  EXPECT_FALSE(supervisor.IsMemberAlive(2));
+  EXPECT_EQ(supervisor.serving_member(), -1);
+  EXPECT_GT(supervisor.quorum_blocked(), blocked_before);
+}
+
+TEST(Quorum, LocalStandbysJoinTheRankingAndQuorumIsNotGatedOffPrimary) {
+  HaFixture fixture;
+  TempDir dir("quorum_local");
+  auto primary = ServedReplica(fixture, dir, "primary", 2);
+  auto standby = ServedReplica(fixture, dir, "standby", 2);
+  auto extra = ServedReplica(fixture, dir, "extra", 2);
+  const util::HourIndex t0 = 2 * util::kHoursPerDay + 1;
+
+  ha::SupervisorConfig config;
+  config.heartbeat_timeout_hours = 2;
+  config.require_quorum = true;
+  ha::Supervisor supervisor(&primary, &standby, config);
+  const int extra_index = supervisor.AddStandby(&extra, /*rank=*/0);
+  ASSERT_EQ(extra_index, 2);
+
+  // All three beating: the primary serves; quorum never gates the
+  // incumbent.
+  supervisor.ObserveMemberHeartbeat(0, t0, primary.applied_seq(),
+                                    primary.health());
+  supervisor.ObserveMemberHeartbeat(1, t0, standby.applied_seq(),
+                                    standby.health());
+  supervisor.ObserveMemberHeartbeat(2, t0, extra.applied_seq(),
+                                    extra.health());
+  supervisor.Tick(t0);
+  EXPECT_EQ(supervisor.serving_member(), 0);
+  EXPECT_EQ(supervisor.service(), primary.service());
+
+  // The added standby out-progresses member 1; when the primary dies the
+  // ranking picks the local replica with the larger applied_seq and the
+  // query path gets its in-process model.
+  for (util::HourIndex h = 2 * util::kHoursPerDay + 1;
+       h < 2 * util::kHoursPerDay + 4; ++h) {
+    EXPECT_TRUE(extra.Ingest(h, fixture.HourRows(h)).ok());
+  }
+  ASSERT_GT(extra.applied_seq(), standby.applied_seq());
+  for (util::HourIndex h = t0 + 1; h <= t0 + 4; ++h) {
+    supervisor.ObserveMemberHeartbeat(1, h, standby.applied_seq(),
+                                      standby.health());
+    supervisor.ObserveMemberHeartbeat(2, h, extra.applied_seq(),
+                                      extra.health());
+    supervisor.Tick(h);
+  }
+  EXPECT_FALSE(supervisor.IsMemberAlive(0));
+  EXPECT_EQ(supervisor.serving_member(), 2);
+  EXPECT_EQ(supervisor.service(), extra.service());
+  EXPECT_EQ(supervisor.serving(), ha::ServingSource::kStandby);
+}
+
 }  // namespace
 }  // namespace tipsy

@@ -1,0 +1,955 @@
+// The networked serving plane (src/net): wire codecs, the framed
+// TIPSYHJ1 stream decoder, tipsyd's four listeners over loopback, the
+// reconnecting clients, and the socket fault matrix.
+//
+// The load-bearing property mirrors ha_test's: after any injected
+// network fault — reset mid-frame, partition, refused connections, slow
+// drip — the daemon's replica must be *bit-identical* (core::SaveService
+// bytes) to one fed the same hours in-process with no network at all.
+// Idempotent resume means zero duplicate applications, not "mostly one".
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/online.h"
+#include "core/serialize.h"
+#include "ha/journal.h"
+#include "ha/replica.h"
+#include "net/client.h"
+#include "net/daemon.h"
+#include "net/socket.h"
+#include "net/wire.h"
+#include "scenario/fault_injection.h"
+#include "topo/generator.h"
+#include "util/atomic_file.h"
+#include "util/status.h"
+
+namespace tipsy {
+namespace {
+
+// ---------------------------------------------------------------- fixtures
+
+pipeline::AggRow MakeRow(std::uint32_t f, std::uint32_t link,
+                         util::HourIndex hour, std::uint64_t bytes) {
+  pipeline::AggRow row;
+  row.link = util::LinkId{link};
+  row.src_asn = util::AsId{100 + f};
+  row.src_prefix24 = util::Ipv4Prefix(util::Ipv4Addr(f << 8), 24);
+  row.src_metro = util::MetroId{f % 2};
+  row.dest_region = util::RegionId{0};
+  row.dest_service = wan::ServiceType::kWeb;
+  row.dest_prefix = util::PrefixId{1};
+  row.bytes = bytes;
+  row.hour = hour;
+  return row;
+}
+
+std::string ServiceBytes(const core::TipsyService* service) {
+  if (service == nullptr) return {};
+  std::ostringstream out;
+  core::SaveService(*service, out);
+  return out.str();
+}
+
+struct TempDir {
+  explicit TempDir(const std::string& name)
+      : path(std::filesystem::temp_directory_path() /
+             ("tipsy_net_" + name + "_" + std::to_string(::getpid()))) {
+    std::filesystem::remove_all(path);
+    std::filesystem::create_directories(path);
+  }
+  ~TempDir() { std::filesystem::remove_all(path); }
+
+  [[nodiscard]] std::string File(const std::string& name) const {
+    return (path / name).string();
+  }
+
+  std::filesystem::path path;
+};
+
+struct NetFixture {
+  NetFixture()
+      : topology(topo::GenerateTinyTopology()),
+        wan(topology.peering_links,
+            topology.graph.node(topology.wan).presence, 8, 1) {}
+
+  [[nodiscard]] std::vector<pipeline::AggRow> HourRows(
+      util::HourIndex hour) const {
+    std::vector<pipeline::AggRow> rows;
+    const auto links = static_cast<std::uint32_t>(wan.link_count());
+    for (std::uint32_t f = 0; f < 4; ++f) {
+      rows.push_back(MakeRow(f, (f + static_cast<std::uint32_t>(hour)) % links,
+                             hour, 500 + 13 * f + 7 * hour));
+    }
+    return rows;
+  }
+
+  [[nodiscard]] ha::ReplicaConfig MakeReplicaConfig(
+      const TempDir& dir, const std::string& prefix) const {
+    ha::ReplicaConfig config;
+    config.journal_path = dir.File(prefix + ".journal");
+    config.snapshot_path = dir.File(prefix + ".snapshot");
+    config.fsync_appends = false;
+    return config;
+  }
+
+  [[nodiscard]] util::StatusOr<ha::Replica> OpenReplica(
+      const ha::ReplicaConfig& config) const {
+    return ha::Replica::Open(&wan, &topology.metros, /*window_days=*/3, {},
+                             {}, config);
+  }
+
+  [[nodiscard]] net::DaemonConfig FastDaemonConfig() const {
+    net::DaemonConfig config;
+    config.io_deadline_ms = 500;
+    config.idle_poll_ms = 10;
+    return config;
+  }
+
+  [[nodiscard]] net::ClientConfig FastClientConfig(std::uint16_t port) const {
+    net::ClientConfig config;
+    config.port = port;
+    config.connect_timeout_ms = 500;
+    config.io_deadline_ms = 300;
+    config.backoff.initial_ms = 5;
+    config.backoff.max_ms = 50;
+    return config;
+  }
+
+  topo::GeneratedTopology topology;
+  wan::Wan wan;
+};
+
+bool WaitUntil(const std::function<bool()>& pred, int timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return pred();
+}
+
+std::string ScrapeMetrics(std::uint16_t port) {
+  auto socket = net::Connect("127.0.0.1", port, 1000);
+  if (!socket.ok()) return {};
+  (void)socket->SetReadDeadline(2000);
+  (void)socket->SetWriteDeadline(2000);
+  if (!socket->SendAll("GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n").ok()) {
+    return {};
+  }
+  std::string response;
+  for (;;) {
+    auto chunk = socket->RecvSome(4096);
+    if (!chunk.ok()) break;  // kNoData once the daemon closes
+    response += *chunk;
+  }
+  return response;
+}
+
+// ------------------------------------------------------------- wire codecs
+
+TEST(WireCodec, EnvelopeRoundTripsEveryType) {
+  const std::string payload = "the payload";
+  for (const auto type :
+       {net::MessageType::kIngestHello, net::MessageType::kIngestAck,
+        net::MessageType::kShipRequest, net::MessageType::kPredictRequest,
+        net::MessageType::kPredictResponse, net::MessageType::kHeartbeat}) {
+    const std::string bytes = net::EncodeMessage(type, payload);
+    std::size_t pos = 0;
+    auto message = net::DecodeMessage(bytes, pos);
+    ASSERT_TRUE(message.ok()) << message.status().ToString();
+    EXPECT_EQ(message->type, type);
+    EXPECT_EQ(message->payload, payload);
+    EXPECT_EQ(pos, bytes.size());
+  }
+}
+
+TEST(WireCodec, PayloadCodecsRoundTrip) {
+  const net::IngestHello hello{net::kWireProtocolVersion};
+  auto hello2 = net::DecodeIngestHello(net::EncodeIngestHello(hello));
+  ASSERT_TRUE(hello2.ok());
+  EXPECT_EQ(hello2->protocol_version, hello.protocol_version);
+
+  net::IngestAck ack;
+  ack.last_applied_hour = 123;
+  ack.next_seq = 77;
+  auto ack2 = net::DecodeIngestAck(net::EncodeIngestAck(ack));
+  ASSERT_TRUE(ack2.ok());
+  EXPECT_EQ(ack2->last_applied_hour, ack.last_applied_hour);
+  EXPECT_EQ(ack2->next_seq, ack.next_seq);
+  // The "nothing applied yet" sentinel survives the zigzag.
+  net::IngestAck fresh;
+  auto fresh2 = net::DecodeIngestAck(net::EncodeIngestAck(fresh));
+  ASSERT_TRUE(fresh2.ok());
+  EXPECT_EQ(fresh2->last_applied_hour, -1);
+
+  net::ShipRequest ship;
+  ship.from_seq = 99;
+  auto ship2 = net::DecodeShipRequest(net::EncodeShipRequest(ship));
+  ASSERT_TRUE(ship2.ok());
+  EXPECT_EQ(ship2->from_seq, ship.from_seq);
+
+  net::HeartbeatReport beat;
+  beat.member_index = 2;
+  beat.hour = 48;
+  beat.applied_seq = 1234;
+  beat.health = core::ModelHealth::kStale;
+  auto beat2 = net::DecodeHeartbeat(net::EncodeHeartbeat(beat));
+  ASSERT_TRUE(beat2.ok());
+  EXPECT_EQ(beat2->member_index, beat.member_index);
+  EXPECT_EQ(beat2->hour, beat.hour);
+  EXPECT_EQ(beat2->applied_seq, beat.applied_seq);
+  EXPECT_EQ(beat2->health, beat.health);
+}
+
+TEST(WireCodec, PredictPayloadsRoundTripBitExactly) {
+  NetFixture fixture;
+  net::PredictRequest request;
+  for (const auto& row : fixture.HourRows(7)) {
+    request.flows.push_back(
+        {core::FlowFeatures{row.src_asn, row.src_prefix24, row.src_metro,
+                            row.dest_region, row.dest_service},
+         static_cast<double>(row.bytes) * 1.25});
+  }
+  request.excluded = {util::LinkId{0}, util::LinkId{3}, util::LinkId{4}};
+  auto request2 =
+      net::DecodePredictRequest(net::EncodePredictRequest(request));
+  ASSERT_TRUE(request2.ok()) << request2.status().ToString();
+  ASSERT_EQ(request2->flows.size(), request.flows.size());
+  for (std::size_t i = 0; i < request.flows.size(); ++i) {
+    EXPECT_EQ(request2->flows[i].flow.src_asn.value(),
+              request.flows[i].flow.src_asn.value());
+    EXPECT_EQ(request2->flows[i].flow.src_prefix24,
+              request.flows[i].flow.src_prefix24);
+    EXPECT_EQ(request2->flows[i].bytes, request.flows[i].bytes);
+  }
+  ASSERT_EQ(request2->excluded.size(), request.excluded.size());
+  for (std::size_t i = 0; i < request.excluded.size(); ++i) {
+    EXPECT_EQ(request2->excluded[i].value(), request.excluded[i].value());
+  }
+
+  net::PredictResponse response;
+  response.prediction.shifted = {{util::LinkId{1}, 100.5},
+                                 {util::LinkId{6}, 0.125}};
+  response.prediction.unpredicted_bytes = 17.75;
+  response.health = core::ModelHealth::kExpired;
+  auto response2 =
+      net::DecodePredictResponse(net::EncodePredictResponse(response));
+  ASSERT_TRUE(response2.ok()) << response2.status().ToString();
+  ASSERT_EQ(response2->prediction.shifted.size(), 2u);
+  EXPECT_EQ(response2->prediction.shifted[0].first.value(), 1u);
+  EXPECT_EQ(response2->prediction.shifted[0].second, 100.5);
+  EXPECT_EQ(response2->prediction.shifted[1].second, 0.125);
+  EXPECT_EQ(response2->prediction.unpredicted_bytes, 17.75);
+  EXPECT_EQ(response2->health, core::ModelHealth::kExpired);
+}
+
+// Every single-byte flip of a valid envelope must decode to a typed
+// error (or a strictly shorter valid parse) — never a crash, never an
+// uncaught mutation: the CRC covers the type byte and the payload, and
+// the header fields are each validated.
+TEST(WireCodec, EnvelopeByteFlipFuzzIsTyped) {
+  const std::string bytes = net::EncodeMessage(
+      net::MessageType::kPredictRequest, "some payload bytes here");
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string damaged = scenario::FlipBit(bytes, i, bit);
+      std::size_t pos = 0;
+      auto message = net::DecodeMessage(damaged, pos);
+      ASSERT_FALSE(message.ok())
+          << "flip at byte " << i << " bit " << bit << " went undetected";
+      const auto code = message.status().code();
+      EXPECT_TRUE(code == util::StatusCode::kCorrupt ||
+                  code == util::StatusCode::kTruncated)
+          << "byte " << i << " bit " << bit << ": "
+          << message.status().ToString();
+    }
+  }
+}
+
+TEST(WireCodec, EnvelopeTruncationIsTruncated) {
+  const std::string bytes =
+      net::EncodeMessage(net::MessageType::kHeartbeat, "payload");
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    std::size_t pos = 0;
+    auto message = net::DecodeMessage(bytes.substr(0, cut), pos);
+    ASSERT_FALSE(message.ok()) << "cut at " << cut;
+    EXPECT_EQ(message.status().code(), util::StatusCode::kTruncated)
+        << "cut at " << cut << ": " << message.status().ToString();
+  }
+}
+
+// ---------------------------------------------------- journal stream codec
+
+std::vector<ha::JournalRecord> MakeJournalRecords(const NetFixture& fixture,
+                                                  std::uint64_t base_seq,
+                                                  int count) {
+  std::vector<ha::JournalRecord> records;
+  for (int i = 0; i < count; ++i) {
+    ha::JournalRecord record;
+    record.seq = base_seq + static_cast<std::uint64_t>(i);
+    record.hour = static_cast<util::HourIndex>(i);
+    if (i % 3 == 2) {
+      record.kind = ha::JournalRecordKind::kHeartbeat;
+    } else {
+      record.kind = ha::JournalRecordKind::kIngest;
+      record.rows = fixture.HourRows(record.hour);
+    }
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+std::string EncodeStream(const std::vector<ha::JournalRecord>& records,
+                         std::vector<std::size_t>* boundaries = nullptr) {
+  std::string stream(ha::JournalMagic());
+  if (boundaries != nullptr) boundaries->push_back(stream.size());
+  for (const auto& record : records) {
+    stream += ha::EncodeJournalRecord(record);
+    if (boundaries != nullptr) boundaries->push_back(stream.size());
+  }
+  return stream;
+}
+
+TEST(JournalStream, DecodesOneByteAtATime) {
+  NetFixture fixture;
+  const auto records = MakeJournalRecords(fixture, /*base_seq=*/5, 6);
+  const std::string stream = EncodeStream(records);
+
+  net::JournalStreamDecoder decoder(/*base_seq=*/5);
+  std::vector<ha::JournalRecord> out;
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    ASSERT_TRUE(decoder.Feed(stream.substr(i, 1), out).ok()) << "byte " << i;
+  }
+  EXPECT_TRUE(decoder.Finish().ok()) << decoder.Finish().ToString();
+  ASSERT_EQ(out.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(out[i].seq, records[i].seq);
+    EXPECT_EQ(out[i].kind, records[i].kind);
+    EXPECT_EQ(out[i].hour, records[i].hour);
+    EXPECT_EQ(out[i].rows.size(), records[i].rows.size());
+  }
+  EXPECT_EQ(decoder.next_seq(), 11u);
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+}
+
+TEST(JournalStream, ByteFlipFuzzIsTypedNeverCrashes) {
+  NetFixture fixture;
+  const auto records = MakeJournalRecords(fixture, 0, 4);
+  const std::string stream = EncodeStream(records);
+
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    for (int bit : {0, 3, 7}) {
+      const std::string damaged = scenario::FlipBit(stream, i, bit);
+      net::JournalStreamDecoder decoder(0);
+      std::vector<ha::JournalRecord> out;
+      const auto fed = decoder.Feed(damaged, out);
+      const auto finished = decoder.Finish();
+      // A flip may truncate framing (longer claimed length) or corrupt a
+      // frame (CRC / magic / seq), but it must never decode the full
+      // stream clean, and the failure must be typed.
+      const bool clean = fed.ok() && finished.ok() &&
+                         out.size() == records.size();
+      ASSERT_FALSE(clean) << "flip at byte " << i << " bit " << bit
+                          << " went undetected";
+      const util::Status& failure = fed.ok() ? finished : fed;
+      const auto code = failure.code();
+      EXPECT_TRUE(code == util::StatusCode::kCorrupt ||
+                  code == util::StatusCode::kTruncated ||
+                  code == util::StatusCode::kVersionMismatch)
+          << "byte " << i << " bit " << bit << ": " << failure.ToString();
+      EXPECT_LT(out.size(), records.size() + 1);
+    }
+  }
+}
+
+TEST(JournalStream, TruncationIsTornExactlyOffFrameBoundaries) {
+  NetFixture fixture;
+  const auto records = MakeJournalRecords(fixture, 0, 4);
+  std::vector<std::size_t> boundaries;
+  const std::string stream = EncodeStream(records, &boundaries);
+
+  for (std::size_t cut = 1; cut <= stream.size(); ++cut) {
+    net::JournalStreamDecoder decoder(0);
+    std::vector<ha::JournalRecord> out;
+    ASSERT_TRUE(decoder.Feed(stream.substr(0, cut), out).ok())
+        << "cut at " << cut;
+    const bool on_boundary =
+        std::find(boundaries.begin(), boundaries.end(), cut) !=
+        boundaries.end();
+    const auto finished = decoder.Finish();
+    if (on_boundary) {
+      EXPECT_TRUE(finished.ok()) << "cut at " << cut;
+    } else {
+      EXPECT_EQ(finished.code(), util::StatusCode::kTruncated)
+          << "cut at " << cut;
+    }
+    // Only whole verified frames surface, regardless of the cut.
+    std::size_t complete = 0;
+    while (complete < boundaries.size() - 1 &&
+           boundaries[complete + 1] <= cut) {
+      ++complete;
+    }
+    EXPECT_EQ(out.size(), complete) << "cut at " << cut;
+  }
+}
+
+TEST(JournalStream, SequenceGapIsCorrupt) {
+  NetFixture fixture;
+  auto records = MakeJournalRecords(fixture, 0, 4);
+  records[2].seq = 7;  // gap: 0, 1, 7, 3
+  std::string stream(ha::JournalMagic());
+  for (const auto& record : records) {
+    stream += ha::EncodeJournalRecord(record);
+  }
+  net::JournalStreamDecoder decoder(0);
+  std::vector<ha::JournalRecord> out;
+  const auto fed = decoder.Feed(stream, out);
+  EXPECT_EQ(fed.code(), util::StatusCode::kCorrupt);
+  EXPECT_EQ(out.size(), 2u);
+  // Poisoned: the same error comes back for every later feed.
+  EXPECT_EQ(decoder.Feed("more", out).code(), util::StatusCode::kCorrupt);
+  EXPECT_EQ(decoder.Finish().code(), util::StatusCode::kCorrupt);
+}
+
+TEST(JournalStream, WrongMagicIsTypedExactlyLikeFileRecovery) {
+  std::string wrong_version(ha::JournalMagic());
+  wrong_version.back() = '9';
+  net::JournalStreamDecoder decoder_version(0);
+  std::vector<ha::JournalRecord> out;
+  EXPECT_EQ(decoder_version.Feed(wrong_version, out).code(),
+            util::StatusCode::kVersionMismatch);
+
+  net::JournalStreamDecoder decoder_magic(0);
+  EXPECT_EQ(decoder_magic.Feed("NOTMYFMT", out).code(),
+            util::StatusCode::kCorrupt);
+}
+
+// ------------------------------------------------------------ daemon E2E
+
+TEST(Daemon, PredictIngestMetricsEndToEnd) {
+  NetFixture fixture;
+  TempDir dir("daemon_e2e");
+  auto replica = fixture.OpenReplica(fixture.MakeReplicaConfig(dir, "d"));
+  ASSERT_TRUE(replica.ok()) << replica.status().ToString();
+
+  obs::Registry registry;
+  net::Daemon daemon(&*replica, &registry, fixture.FastDaemonConfig());
+  ASSERT_TRUE(daemon.Start().ok());
+
+  // Control: the same hours with no network at all.
+  core::DailyRetrainer control(&fixture.wan, &fixture.topology.metros,
+                               /*window_days=*/3);
+
+  net::CollectorClient collector(
+      fixture.FastClientConfig(daemon.ingest_port()), &registry,
+      "collector");
+  const util::HourIndex hours = 26;  // crosses one day boundary: a retrain
+  for (util::HourIndex h = 0; h < hours; ++h) {
+    const auto rows = fixture.HourRows(h);
+    ASSERT_TRUE(collector.SendHour(h, rows).ok()) << "hour " << h;
+    control.Ingest(h, rows);
+  }
+  EXPECT_EQ(daemon.frames_applied(), static_cast<std::uint64_t>(hours));
+  EXPECT_EQ(daemon.last_applied_hour(), hours - 1);
+  EXPECT_EQ(daemon.health(), core::ModelHealth::kFresh);
+
+  // The served model is bit-identical to the in-process run.
+  EXPECT_EQ(ServiceBytes(replica->service()), ServiceBytes(control.current()));
+  EXPECT_EQ(replica->retrainer().health_snapshot(),
+            control.health_snapshot());
+
+  // Predict over the wire == PredictShift in-process, bit for bit.
+  net::PredictRequest request;
+  for (const auto& row : fixture.HourRows(30)) {
+    request.flows.push_back(
+        {core::FlowFeatures{row.src_asn, row.src_prefix24, row.src_metro,
+                            row.dest_region, row.dest_service},
+         static_cast<double>(row.bytes)});
+  }
+  request.excluded = {util::LinkId{0}};
+  net::PredictClient predict(
+      fixture.FastClientConfig(daemon.predict_port()));
+  auto response = predict.Predict(request);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->health, core::ModelHealth::kFresh);
+
+  core::ExclusionMask mask(fixture.wan.link_count(), false);
+  mask[0] = true;
+  const auto local = control.current()->PredictShift(request.flows, mask);
+  ASSERT_EQ(response->prediction.shifted.size(), local.shifted.size());
+  for (std::size_t i = 0; i < local.shifted.size(); ++i) {
+    EXPECT_EQ(response->prediction.shifted[i].first.value(),
+              local.shifted[i].first.value());
+    EXPECT_EQ(response->prediction.shifted[i].second,
+              local.shifted[i].second);
+  }
+  EXPECT_EQ(response->prediction.unpredicted_bytes, local.unpredicted_bytes);
+
+  // /metrics serves the registry over HTTP with the daemon's counters.
+  const std::string scrape = ScrapeMetrics(daemon.metrics_port());
+  EXPECT_NE(scrape.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(scrape.find("tipsyd_net_frames_applied_total 26"),
+            std::string::npos)
+      << scrape;
+  EXPECT_NE(scrape.find("tipsyd_net_predict_requests_total 1"),
+            std::string::npos);
+  EXPECT_GE(daemon.metrics_scrapes(), 1u);
+
+  daemon.Stop();
+  EXPECT_FALSE(daemon.running());
+}
+
+// Obs counter parity (ObsCounterParity pattern): every accessor must
+// equal what the registry renders — one underlying cell, no double
+// bookkeeping drifting apart.
+TEST(Daemon, NetCountersMatchRegistryRendering) {
+  NetFixture fixture;
+  TempDir dir("daemon_parity");
+  auto replica = fixture.OpenReplica(fixture.MakeReplicaConfig(dir, "d"));
+  ASSERT_TRUE(replica.ok());
+
+  obs::Registry registry;
+  net::Daemon daemon(&*replica, &registry, fixture.FastDaemonConfig());
+  ASSERT_TRUE(daemon.Start().ok());
+
+  net::CollectorClient collector(
+      fixture.FastClientConfig(daemon.ingest_port()), &registry,
+      "collector");
+  for (util::HourIndex h = 0; h < 5; ++h) {
+    ASSERT_TRUE(collector.SendHour(h, fixture.HourRows(h)).ok());
+  }
+  // A duplicate hour exercises the skip counter: a fresh client whose
+  // handshake learns hour 4 is applied resolves 0..4 locally.
+  net::CollectorClient late(fixture.FastClientConfig(daemon.ingest_port()),
+                            &registry, "late_collector");
+  for (util::HourIndex h = 0; h < 5; ++h) {
+    ASSERT_TRUE(late.SendHour(h, fixture.HourRows(h)).ok());
+  }
+  EXPECT_EQ(late.hours_skipped(), 5u);
+  EXPECT_EQ(late.hours_sent(), 0u);
+  EXPECT_EQ(daemon.frames_applied(), 5u);
+
+  const std::string text = registry.RenderPrometheusText();
+  const auto expect_line = [&](const std::string& name, std::uint64_t value) {
+    const std::string line = name + " " + std::to_string(value) + "\n";
+    EXPECT_NE(text.find(line), std::string::npos)
+        << "missing `" << line << "` in:\n" << text;
+  };
+  expect_line("tipsyd_net_frames_applied_total", daemon.frames_applied());
+  expect_line("tipsyd_net_frames_skipped_total", daemon.frames_skipped());
+  expect_line("tipsyd_net_connections_total", daemon.connections_accepted());
+  expect_line("collector_net_hours_sent_total", collector.hours_sent());
+  expect_line("late_collector_net_hours_skipped_total",
+              late.hours_skipped());
+  // The backoff histogram renders with bucket/sum/count series.
+  EXPECT_NE(text.find("collector_net_backoff_ms_count"), std::string::npos);
+
+  daemon.Stop();
+}
+
+// The crash/partition matrix over real sockets: the collector is driven
+// through the fault proxy across reset-mid-frame, partition, refused
+// connections, slow drip and delay — and the daemon's replica must come
+// out bit-identical to an uninterrupted in-process run, with every hour
+// applied exactly once.
+TEST(Daemon, CollectorSurvivesFaultMatrixWithZeroDuplicateApplies) {
+  NetFixture fixture;
+  TempDir dir("daemon_faults");
+  auto replica = fixture.OpenReplica(fixture.MakeReplicaConfig(dir, "d"));
+  ASSERT_TRUE(replica.ok());
+
+  obs::Registry registry;
+  net::Daemon daemon(&*replica, &registry, fixture.FastDaemonConfig());
+  ASSERT_TRUE(daemon.Start().ok());
+
+  scenario::SocketFaultProxyConfig proxy_cfg;
+  proxy_cfg.upstream_port = daemon.ingest_port();
+  scenario::SocketFaultProxy proxy(proxy_cfg);
+  ASSERT_TRUE(proxy.Start().ok());
+
+  net::CollectorClient collector(fixture.FastClientConfig(proxy.port()),
+                                 &registry, "collector");
+  core::DailyRetrainer control(&fixture.wan, &fixture.topology.metros,
+                               /*window_days=*/3);
+
+  const util::HourIndex hours = 30;
+  for (util::HourIndex h = 0; h < hours; ++h) {
+    std::thread healer;
+    switch (h) {
+      case 10: {
+        // Cut the connection inside a frame, then heal once it happened.
+        proxy.set_mode(scenario::ProxyMode::kResetMidFrame);
+        const auto resets_before = proxy.resets_injected();
+        healer = std::thread([&proxy, resets_before] {
+          while (proxy.resets_injected() == resets_before) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+          }
+          proxy.set_mode(scenario::ProxyMode::kPass);
+        });
+        break;
+      }
+      case 15:
+        // Partition: black-hole live bytes for a while, then heal.
+        proxy.set_mode(scenario::ProxyMode::kPartition);
+        healer = std::thread([&proxy] {
+          std::this_thread::sleep_for(std::chrono::milliseconds(400));
+          proxy.set_mode(scenario::ProxyMode::kPass);
+          proxy.DropConnections();  // the stale black-holed connection
+        });
+        break;
+      case 20:
+        // Daemon "down": connections refused, then it comes back.
+        proxy.set_mode(scenario::ProxyMode::kRefuse);
+        proxy.DropConnections();
+        healer = std::thread([&proxy] {
+          std::this_thread::sleep_for(std::chrono::milliseconds(200));
+          proxy.set_mode(scenario::ProxyMode::kPass);
+        });
+        break;
+      case 24:
+        proxy.set_mode(scenario::ProxyMode::kSlowDrip);
+        break;
+      case 25:
+        proxy.set_mode(scenario::ProxyMode::kDelay);
+        break;
+      case 26:
+        proxy.set_mode(scenario::ProxyMode::kPass);
+        break;
+      default:
+        break;
+    }
+    const auto rows = fixture.HourRows(h);
+    ASSERT_TRUE(collector.SendHour(h, rows).ok()) << "hour " << h;
+    control.Ingest(h, rows);
+    if (healer.joinable()) healer.join();
+  }
+
+  EXPECT_GE(proxy.resets_injected(), 1u);
+  EXPECT_GE(collector.reconnects(), 2u);
+
+  // Exactly-once application: 30 hours in, 30 frames applied, and the
+  // model + health counters are bit-identical to the no-network run
+  // (dropped_hours included — duplicates never even reached the replica).
+  EXPECT_EQ(daemon.frames_applied(), static_cast<std::uint64_t>(hours));
+  EXPECT_EQ(daemon.last_applied_hour(), hours - 1);
+  EXPECT_EQ(ServiceBytes(replica->service()), ServiceBytes(control.current()));
+  EXPECT_EQ(replica->retrainer().health_snapshot(),
+            control.health_snapshot());
+
+  // And the journal holds exactly one record per hour, contiguous.
+  daemon.Stop();
+  proxy.Stop();
+  auto reopened = fixture.OpenReplica(fixture.MakeReplicaConfig(dir, "d"));
+  ASSERT_TRUE(reopened.ok());
+  std::size_t ingest_records = 0;
+  for (const auto& record : reopened->journal().recovered().records) {
+    if (record.kind == ha::JournalRecordKind::kIngest) ++ingest_records;
+  }
+  EXPECT_EQ(ingest_records, static_cast<std::size_t>(hours));
+}
+
+TEST(Daemon, ShippingStandbyResumesFromAppliedSeqWithZeroDuplicates) {
+  NetFixture fixture;
+  TempDir dir("daemon_ship");
+  auto primary = fixture.OpenReplica(fixture.MakeReplicaConfig(dir, "p"));
+  ASSERT_TRUE(primary.ok());
+  auto standby = fixture.OpenReplica(fixture.MakeReplicaConfig(dir, "s"));
+  ASSERT_TRUE(standby.ok());
+
+  obs::Registry registry;
+  net::Daemon daemon(&*primary, &registry, fixture.FastDaemonConfig());
+  ASSERT_TRUE(daemon.Start().ok());
+
+  net::CollectorClient collector(
+      fixture.FastClientConfig(daemon.ingest_port()), &registry,
+      "collector");
+  for (util::HourIndex h = 0; h < 30; ++h) {
+    ASSERT_TRUE(collector.SendHour(h, fixture.HourRows(h)).ok());
+  }
+
+  // First shipping session: catch up 0 -> 30.
+  {
+    net::ShippingClient shipper(&*standby,
+                                fixture.FastClientConfig(daemon.ship_port()),
+                                &registry, "shipper");
+    shipper.Start();
+    ASSERT_TRUE(WaitUntil([&] { return shipper.applied_seq() == 30; }, 5000))
+        << "caught up only to seq " << shipper.applied_seq();
+    shipper.Stop();
+  }
+  EXPECT_EQ(standby->applied_seq(), 30u);
+  EXPECT_EQ(standby->duplicate_records_skipped(), 0u);
+
+  // The primary moves on while shipping is down.
+  for (util::HourIndex h = 30; h < 50; ++h) {
+    ASSERT_TRUE(collector.SendHour(h, fixture.HourRows(h)).ok());
+  }
+
+  // Second session resumes from the standby's applied_seq: only the 20
+  // missing records travel, and nothing is applied twice.
+  {
+    net::ShippingClient shipper(&*standby,
+                                fixture.FastClientConfig(daemon.ship_port()),
+                                &registry, "shipper2");
+    shipper.Start();
+    ASSERT_TRUE(WaitUntil([&] { return shipper.applied_seq() == 50; }, 5000))
+        << "caught up only to seq " << shipper.applied_seq();
+    EXPECT_EQ(shipper.records_applied(), 20u);
+    shipper.Stop();
+  }
+  EXPECT_EQ(standby->applied_seq(), 50u);
+  EXPECT_EQ(standby->duplicate_records_skipped(), 0u);
+  EXPECT_EQ(ServiceBytes(standby->service()),
+            ServiceBytes(primary->service()));
+  EXPECT_EQ(standby->retrainer().health_snapshot(),
+            primary->retrainer().health_snapshot());
+
+  daemon.Stop();
+}
+
+TEST(Daemon, DarkFeedDegradesFreshStaleExpiredWhileStillServing) {
+  NetFixture fixture;
+  TempDir dir("daemon_dark");
+  auto replica = fixture.OpenReplica(fixture.MakeReplicaConfig(dir, "d"));
+  ASSERT_TRUE(replica.ok());
+
+  obs::Registry registry;
+  net::Daemon daemon(&*replica, &registry, fixture.FastDaemonConfig());
+  ASSERT_TRUE(daemon.Start().ok());
+
+  net::CollectorClient collector(
+      fixture.FastClientConfig(daemon.ingest_port()), &registry,
+      "collector");
+  for (util::HourIndex h = 0; h < 2 * util::kHoursPerDay; ++h) {
+    ASSERT_TRUE(collector.SendHour(h, fixture.HourRows(h)).ok());
+  }
+  ASSERT_EQ(daemon.health(), core::ModelHealth::kFresh);
+  const std::string fresh_bytes = ServiceBytes(replica->service());
+  ASSERT_FALSE(fresh_bytes.empty());
+
+  net::PredictRequest request;
+  for (const auto& row : fixture.HourRows(99)) {
+    request.flows.push_back(
+        {core::FlowFeatures{row.src_asn, row.src_prefix24, row.src_metro,
+                            row.dest_region, row.dest_service},
+         static_cast<double>(row.bytes)});
+  }
+  net::PredictClient predict(
+      fixture.FastClientConfig(daemon.predict_port()));
+
+  // The collector goes dark; the embedding process keeps the clock
+  // ticking. Age 2 days -> STALE.
+  ASSERT_TRUE(daemon.AdvanceClock(3 * util::kHoursPerDay).ok());
+  EXPECT_EQ(daemon.health(), core::ModelHealth::kStale);
+  auto stale_response = predict.Predict(request);
+  ASSERT_TRUE(stale_response.ok());
+  EXPECT_EQ(stale_response->health, core::ModelHealth::kStale);
+
+  // Past the validity horizon -> EXPIRED: the daemon still answers from
+  // the last-good model (graceful degradation), stamping the health a
+  // remote CMS needs to fall back to its legacy gate.
+  ASSERT_TRUE(daemon.AdvanceClock(10 * util::kHoursPerDay).ok());
+  EXPECT_EQ(daemon.health(), core::ModelHealth::kExpired);
+  auto expired_response = predict.Predict(request);
+  ASSERT_TRUE(expired_response.ok());
+  EXPECT_EQ(expired_response->health, core::ModelHealth::kExpired);
+  // The last-good model keeps serving (it re-trains as the window slides,
+  // but never unloads).
+  EXPECT_NE(replica->service(), nullptr);
+  // A late tick behind the applied clock is ignored, not a time warp.
+  ASSERT_TRUE(daemon.AdvanceClock(0).ok());
+  EXPECT_EQ(daemon.health(), core::ModelHealth::kExpired);
+
+  daemon.Stop();
+}
+
+TEST(Daemon, PredictPathSurvivesSlowDripAndPartitionHeal) {
+  NetFixture fixture;
+  TempDir dir("daemon_predict_faults");
+  auto replica = fixture.OpenReplica(fixture.MakeReplicaConfig(dir, "d"));
+  ASSERT_TRUE(replica.ok());
+
+  obs::Registry registry;
+  net::Daemon daemon(&*replica, &registry, fixture.FastDaemonConfig());
+  ASSERT_TRUE(daemon.Start().ok());
+
+  net::CollectorClient collector(
+      fixture.FastClientConfig(daemon.ingest_port()), &registry,
+      "collector");
+  for (util::HourIndex h = 0; h < 26; ++h) {
+    ASSERT_TRUE(collector.SendHour(h, fixture.HourRows(h)).ok());
+  }
+
+  scenario::SocketFaultProxyConfig proxy_cfg;
+  proxy_cfg.upstream_port = daemon.predict_port();
+  scenario::SocketFaultProxy proxy(proxy_cfg);
+  ASSERT_TRUE(proxy.Start().ok());
+
+  net::PredictRequest request;
+  for (const auto& row : fixture.HourRows(50)) {
+    request.flows.push_back(
+        {core::FlowFeatures{row.src_asn, row.src_prefix24, row.src_metro,
+                            row.dest_region, row.dest_service},
+         static_cast<double>(row.bytes)});
+  }
+
+  net::PredictClient predict(fixture.FastClientConfig(proxy.port()),
+                             /*max_attempts=*/2);
+  // Baseline through the proxy.
+  ASSERT_TRUE(predict.Predict(request).ok());
+
+  // Slow drip: the envelope arrives one byte at a time; the daemon's
+  // buffered reader must reassemble it instead of timing out away the
+  // partial bytes.
+  proxy.set_mode(scenario::ProxyMode::kSlowDrip);
+  auto dripped = predict.Predict(request);
+  EXPECT_TRUE(dripped.ok()) << dripped.status().ToString();
+
+  // Partition: requests go unanswered and the bounded retry reports
+  // kUnavailable — the caller's signal to degrade, not hang.
+  proxy.set_mode(scenario::ProxyMode::kPartition);
+  proxy.DropConnections();
+  auto partitioned = predict.Predict(request);
+  ASSERT_FALSE(partitioned.ok());
+  EXPECT_EQ(partitioned.status().code(), util::StatusCode::kUnavailable);
+  EXPECT_GE(predict.failures(), 1u);
+
+  // Heal: the same client reconnects and answers again.
+  proxy.set_mode(scenario::ProxyMode::kPass);
+  auto healed = predict.Predict(request);
+  EXPECT_TRUE(healed.ok()) << healed.status().ToString();
+
+  daemon.Stop();
+  proxy.Stop();
+}
+
+// ------------------------------------------- heartbeat sockets and quorum
+
+TEST(Quorum, SocketHeartbeatsDriveRankedPromotion) {
+  // A fully remote quorum plane: the supervisor knows its members only
+  // through heartbeats arriving over a real socket. Members 2 and 3 are
+  // added standbys (the constructor pair stays empty).
+  ha::SupervisorConfig sup_cfg;
+  sup_cfg.heartbeat_timeout_hours = 2;
+  ha::Supervisor supervisor(nullptr, nullptr, sup_cfg);
+  const int member_a = supervisor.AddStandby(nullptr, /*configured_rank=*/0);
+  const int member_b = supervisor.AddStandby(nullptr, /*configured_rank=*/1);
+  ASSERT_EQ(member_a, 2);
+  ASSERT_EQ(member_b, 3);
+
+  net::HeartbeatListener listener([&](const net::HeartbeatReport& report) {
+    supervisor.ObserveMemberHeartbeat(report.member_index, report.hour,
+                                      report.applied_seq, report.health);
+  });
+  ASSERT_TRUE(listener.Start(/*port=*/0).ok());
+
+  std::atomic<util::HourIndex> clock{0};
+  std::atomic<bool> a_alive{true};
+  net::ClientConfig hb_cfg;
+  hb_cfg.port = listener.port();
+  hb_cfg.connect_timeout_ms = 500;
+  hb_cfg.backoff.initial_ms = 5;
+  hb_cfg.backoff.max_ms = 50;
+
+  net::HeartbeatSender sender_a(hb_cfg, /*interval_ms=*/10, [&] {
+    net::HeartbeatReport report;
+    report.member_index = 2;
+    report.hour = clock.load();
+    report.applied_seq = 100;  // more journal progress than member 3
+    report.health = a_alive.load() ? core::ModelHealth::kFresh
+                                   : core::ModelHealth::kNone;
+    return report;
+  });
+  net::HeartbeatSender sender_b(hb_cfg, /*interval_ms=*/10, [&] {
+    net::HeartbeatReport report;
+    report.member_index = 3;
+    report.hour = clock.load();
+    report.applied_seq = 60;
+    report.health = core::ModelHealth::kFresh;
+    return report;
+  });
+  sender_a.Start();
+  sender_b.Start();
+
+  // Both report FRESH at equal rank: the applied_seq tiebreak elects the
+  // member that lost the least journal progress.
+  ASSERT_TRUE(WaitUntil(
+      [&] {
+        supervisor.Tick(clock.load());
+        return supervisor.serving_member() == 2;
+      },
+      5000))
+      << "serving_member=" << supervisor.serving_member();
+  // Routed member is remote: the supervisor routes, queries go over that
+  // member's own predict port.
+  EXPECT_EQ(supervisor.service(), nullptr);
+  EXPECT_EQ(supervisor.ServingHealth(), core::ModelHealth::kFresh);
+
+  // Member 2 "dies": its reports stop carrying a servable model and the
+  // clock moves past the heartbeat timeout. Routing must fail over to
+  // member 3 — the next-ranked standby.
+  a_alive.store(false);
+  sender_a.Stop();
+  ASSERT_TRUE(WaitUntil(
+      [&] {
+        clock.fetch_add(1);
+        supervisor.Tick(clock.load());
+        return supervisor.serving_member() == 3;
+      },
+      5000))
+      << "serving_member=" << supervisor.serving_member();
+  EXPECT_FALSE(supervisor.IsMemberAlive(2));
+  EXPECT_TRUE(supervisor.IsMemberAlive(3));
+  EXPECT_GE(listener.received(), 2u);
+
+  sender_b.Stop();
+  listener.Stop();
+}
+
+// ------------------------------------------------- atomic-file audit
+
+// Satellite regression: every daemon-path writer that claims crash
+// safety (journal creation, snapshots, model bundles) must go through
+// WriteFileAtomic, and every such write must fsync the parent directory
+// — the counters advance in lockstep or a writer is cutting corners.
+TEST(AtomicFileAudit, DaemonPathWritersAllFsyncTheParentDirectory) {
+  NetFixture fixture;
+  TempDir dir("atomic_audit");
+
+  const std::uint64_t writes_before = util::AtomicWritesPerformed();
+  const std::uint64_t fsyncs_before = util::DirectoryFsyncsPerformed();
+
+  auto replica = fixture.OpenReplica(fixture.MakeReplicaConfig(dir, "a"));
+  ASSERT_TRUE(replica.ok());
+  for (util::HourIndex h = 0; h < 26; ++h) {
+    ASSERT_TRUE(replica->Ingest(h, fixture.HourRows(h)).ok());
+  }
+  ASSERT_TRUE(replica->SnapshotNow().ok());
+  ASSERT_TRUE(core::SaveServiceToFile(*replica->service(),
+                                      dir.File("bundle.tipsy"))
+                  .ok());
+
+  const std::uint64_t writes = util::AtomicWritesPerformed() - writes_before;
+  const std::uint64_t fsyncs =
+      util::DirectoryFsyncsPerformed() - fsyncs_before;
+  // Journal creation + at least one snapshot (explicit or day-boundary)
+  // + the model bundle.
+  EXPECT_GE(writes, 3u);
+  EXPECT_EQ(writes, fsyncs)
+      << "an atomic write skipped the directory fsync";
+}
+
+}  // namespace
+}  // namespace tipsy

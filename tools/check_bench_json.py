@@ -41,7 +41,7 @@ SCHEMAS = {
     ),
     "BENCH_ha.json": (
         {"bench", "hardware_concurrency", "warmup_days", "live_days",
-         "window_days", "crash_cases", "failover"},
+         "window_days", "crash_cases", "failover", "net"},
         "crash_cases",
         {"name", "crash_at_hour", "restore_source", "replayed_records",
          "skipped_records", "recovery_ms", "bit_identical"},
@@ -145,8 +145,37 @@ def check_parallel_speedups(data: dict) -> list[str]:
     return problems
 
 
+def check_ha_net(data: dict) -> list[str]:
+    """The networked failover lane (real sockets through the fault proxy)
+    must actually run, promote a standby within the heartbeat budget, and
+    serve at least one predict request end to end. A lane that silently
+    skipped (warmup never converged) or promoted late would otherwise
+    still produce a schema-valid artifact.
+    """
+    net = data.get("net")
+    if not isinstance(net, dict):
+        return ["'net' is not an object"]
+    problems = []
+    if net.get("ran") is not True:
+        problems.append("net.ran is not true (warmup never converged)")
+    if net.get("promoted") is not True:
+        problems.append("net.promoted is not true: the standby was never "
+                        "promoted after the partition")
+    if net.get("promoted_within_budget") is not True:
+        problems.append(
+            f"net.promotion_ticks {net.get('promotion_ticks')} exceeds the "
+            f"heartbeat budget of {net.get('heartbeat_timeout_ticks')} "
+            "ticks (+1 detection tick)")
+    ok = net.get("requests_ok")
+    if not isinstance(ok, int) or ok <= 0:
+        problems.append(
+            f"net.requests_ok {ok!r}: no predict request survived the run")
+    return problems
+
+
 # file name -> extra semantic checks run after the schema passes.
 TARGET_CHECKS = {
+    "BENCH_ha.json": check_ha_net,
     "BENCH_obs.json": check_obs_targets,
     "BENCH_serving.json": check_serving_targets,
     "BENCH_parallel.json": check_parallel_speedups,

@@ -1,0 +1,110 @@
+#!/usr/bin/env bash
+# Daemon smoke test: boot a real tipsyd, drive it with the out-of-process
+# client demo (examples/online_service --connect), scrape /metrics, and
+# shut it down cleanly. CI runs this after the build; it fails if any
+# stage — READY handshake, ingest+predict round trip, metrics scrape,
+# graceful shutdown — does not complete.
+#
+# Usage: tools/daemon_smoke.sh [build_dir]   (default: ./build)
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+TIPSYD="$BUILD_DIR/src/net/tipsyd"
+CLIENT="$BUILD_DIR/examples/online_service"
+WORK_DIR="$(mktemp -d -t tipsyd_smoke.XXXXXX)"
+LOG="$WORK_DIR/tipsyd.log"
+
+[[ -x "$TIPSYD" ]] || { echo "daemon_smoke: missing $TIPSYD" >&2; exit 1; }
+[[ -x "$CLIENT" ]] || { echo "daemon_smoke: missing $CLIENT" >&2; exit 1; }
+
+DAEMON_PID=""
+cleanup() {
+  if [[ -n "$DAEMON_PID" ]] && kill -0 "$DAEMON_PID" 2>/dev/null; then
+    kill -TERM "$DAEMON_PID" 2>/dev/null || true
+    wait "$DAEMON_PID" 2>/dev/null || true
+  fi
+  rm -rf "$WORK_DIR"
+}
+trap cleanup EXIT
+
+TIPSYD_ABS="$(cd "$(dirname "$TIPSYD")" && pwd)/$(basename "$TIPSYD")"
+CLIENT_ABS="$(cd "$(dirname "$CLIENT")" && pwd)/$(basename "$CLIENT")"
+
+echo "daemon_smoke: starting tipsyd (state in $WORK_DIR)"
+(cd "$WORK_DIR" && exec "$TIPSYD_ABS") > "$LOG" 2>&1 &
+DAEMON_PID=$!
+
+# Parse the READY line: tipsyd READY predict=<p> ingest=<p> ship=<p>
+# metrics=<p>. Ports are kernel-assigned, so this line is the only way to
+# learn them.
+READY=""
+for _ in $(seq 1 100); do
+  READY="$(grep -m1 '^tipsyd READY' "$LOG" 2>/dev/null || true)"
+  [[ -n "$READY" ]] && break
+  kill -0 "$DAEMON_PID" 2>/dev/null || {
+    echo "daemon_smoke: tipsyd died before READY:" >&2; cat "$LOG" >&2
+    exit 1
+  }
+  sleep 0.1
+done
+[[ -n "$READY" ]] || { echo "daemon_smoke: no READY line" >&2; exit 1; }
+echo "daemon_smoke: $READY"
+
+port_of() { sed -n "s/.*$1=\([0-9]*\).*/\1/p" <<< "$READY"; }
+PREDICT_PORT="$(port_of predict)"
+INGEST_PORT="$(port_of ingest)"
+METRICS_PORT="$(port_of metrics)"
+[[ -n "$PREDICT_PORT" && -n "$INGEST_PORT" && -n "$METRICS_PORT" ]] || {
+  echo "daemon_smoke: could not parse ports from: $READY" >&2; exit 1
+}
+
+echo "daemon_smoke: running client demo against the daemon"
+CLIENT_OUT="$(cd "$WORK_DIR" && "$CLIENT_ABS" --connect 127.0.0.1 \
+  "$PREDICT_PORT" "$INGEST_PORT")"
+echo "$CLIENT_OUT" | sed 's/^/  client: /'
+grep -q 'CLIENT_DEMO_OK' <<< "$CLIENT_OUT" || {
+  echo "daemon_smoke: client demo did not report CLIENT_DEMO_OK" >&2
+  exit 1
+}
+grep -q 'serving health FRESH' <<< "$CLIENT_OUT" || {
+  echo "daemon_smoke: predict answered without a FRESH model" >&2
+  exit 1
+}
+
+echo "daemon_smoke: scraping /metrics on port $METRICS_PORT"
+SCRAPE="$(python3 - "$METRICS_PORT" <<'PY'
+import socket, sys
+with socket.create_connection(("127.0.0.1", int(sys.argv[1])), 5) as s:
+    s.sendall(b"GET /metrics HTTP/1.1\r\nHost: smoke\r\n\r\n")
+    s.settimeout(5)
+    data = b""
+    while True:
+        try:
+            chunk = s.recv(4096)
+        except socket.timeout:
+            break
+        if not chunk:
+            break
+        data += chunk
+sys.stdout.write(data.decode(errors="replace"))
+PY
+)"
+for metric in tipsyd_net_frames_applied_total tipsyd_net_predict_requests_total; do
+  grep -q "^$metric " <<< "$SCRAPE" || {
+    echo "daemon_smoke: /metrics is missing $metric" >&2
+    printf '%s\n' "$SCRAPE" | head -40 >&2
+    exit 1
+  }
+done
+echo "daemon_smoke: /metrics serves $(grep -c '^tipsyd_' <<< "$SCRAPE") tipsyd_* series"
+
+echo "daemon_smoke: SIGTERM and clean shutdown"
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID"
+DAEMON_PID=""
+grep -q '^tipsyd STOPPED' "$LOG" || {
+  echo "daemon_smoke: no STOPPED line after SIGTERM" >&2; cat "$LOG" >&2
+  exit 1
+}
+grep '^tipsyd STOPPED' "$LOG"
+echo "daemon_smoke: OK"

@@ -15,10 +15,13 @@
 # supervisor's concurrency tests (heartbeats from replica threads racing
 # the query path's routing reads), the parallel substrate tests, the
 # observability suite (concurrent metric writers racing registry
-# scrapes), and the serving-core epoch-swap suite (PredictShift readers
-# racing ModelEpoch publishes - the lock-free model handoff); TSan turns
-# any data race into a hard failure. Skipped when the requested sanitizer
-# *is* thread (pass 1 already covers it).
+# scrapes), the serving-core epoch-swap suite (PredictShift readers
+# racing ModelEpoch publishes - the lock-free model handoff), and the
+# net suite (daemon listener threads, reconnecting clients, the socket
+# fault proxy's pump threads, and the wire-format byte-flip fuzz, all
+# over real sockets); TSan turns any data race into a hard failure.
+# Skipped when the requested sanitizer *is* thread (pass 1 already
+# covers it).
 #
 # Every pass runs even after an earlier one fails; the script prints a
 # per-pass PASS/FAIL summary and exits non-zero if any pass failed.
@@ -60,7 +63,7 @@ run_pass() {
 cmake -B "${BUILD}" -S "${ROOT}" -DTIPSY_SANITIZE="${SANITIZER}" \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo || exit 1
 cmake --build "${BUILD}" -j --target robustness_test persistence_test \
-      ha_test incremental_test obs_test serving_core_test || exit 1
+      ha_test incremental_test obs_test serving_core_test net_test || exit 1
 
 run_pass "robustness_test (byte-flip fuzz) under ${SANITIZER} sanitizer" \
     "${BUILD}/tests/robustness_test"
@@ -74,13 +77,15 @@ run_pass "obs_test (metrics registry + trace spans) under ${SANITIZER} sanitizer
     "${BUILD}/tests/obs_test"
 run_pass "serving_core_test (flat-table bit-identity + epoch swap) under ${SANITIZER} sanitizer" \
     "${BUILD}/tests/serving_core_test"
+run_pass "net_test (wire fuzz + daemon/client/fault-proxy) under ${SANITIZER} sanitizer" \
+    "${BUILD}/tests/net_test"
 
 if [[ "${SANITIZER}" != "thread" ]]; then
   TSAN_BUILD="${ROOT}/build-thread"
   cmake -B "${TSAN_BUILD}" -S "${ROOT}" -DTIPSY_SANITIZE=thread \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo || exit 1
   cmake --build "${TSAN_BUILD}" -j --target ha_test parallel_test \
-        obs_test serving_core_test || exit 1
+        obs_test serving_core_test net_test || exit 1
   run_pass "ha_test supervisor/heartbeat races under thread sanitizer" \
       "${TSAN_BUILD}/tests/ha_test" \
       --gtest_filter='Supervisor.*:HeartbeatFaults.*'
@@ -91,6 +96,8 @@ if [[ "${SANITIZER}" != "thread" ]]; then
   run_pass "serving_core_test epoch-swap races under thread sanitizer" \
       "${TSAN_BUILD}/tests/serving_core_test" \
       --gtest_filter='ServingCoreTsan.*'
+  run_pass "net_test daemon/client/proxy thread races under thread sanitizer" \
+      "${TSAN_BUILD}/tests/net_test"
 fi
 
 echo
