@@ -1,10 +1,12 @@
 #include "ha/journal.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <sstream>
 
 #include "util/atomic_file.h"
+#include "util/checksum.h"
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <unistd.h>
@@ -15,6 +17,7 @@ namespace tipsy::ha {
 namespace {
 
 constexpr char kJournalMagic[8] = {'T', 'I', 'P', 'S', 'Y', 'H', 'J', '1'};
+constexpr char kManifestMagic[8] = {'T', 'I', 'P', 'S', 'Y', 'H', 'M', '1'};
 
 std::string ErrnoMessage(const char* op, const std::string& path) {
   std::string msg(op);
@@ -41,6 +44,62 @@ util::Status SyncFile(std::FILE* file, const std::string& path) {
 
 std::string_view JournalMagic() {
   return std::string_view(kJournalMagic, sizeof(kJournalMagic));
+}
+
+std::string JournalManifestPath(std::string_view journal_path) {
+  return std::string(journal_path) + ".manifest";
+}
+
+std::string EncodeJournalManifest(const JournalManifest& manifest) {
+  std::ostringstream body;
+  pipeline::PutVarint(body, manifest.base_seq);
+  const std::string payload = body.str();
+  const std::uint32_t crc = util::Crc32c::Of(payload);
+  std::string out(kManifestMagic, sizeof(kManifestMagic));
+  out += payload;
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<char>((crc >> shift) & 0xffu));
+  }
+  return out;
+}
+
+util::StatusOr<JournalManifest> DecodeJournalManifest(
+    std::string_view bytes) {
+  if (bytes.size() < sizeof(kManifestMagic) + 1 + sizeof(std::uint32_t)) {
+    return util::Status::Truncated("journal manifest shorter than its "
+                                   "fixed layout");
+  }
+  if (std::memcmp(bytes.data(), kManifestMagic, sizeof(kManifestMagic)) !=
+      0) {
+    if (std::memcmp(bytes.data(), kManifestMagic,
+                    sizeof(kManifestMagic) - 1) == 0) {
+      return util::Status::VersionMismatch(
+          "unsupported journal manifest version byte");
+    }
+    return util::Status::Corrupt("bad journal manifest magic");
+  }
+  const std::string_view payload =
+      bytes.substr(sizeof(kManifestMagic),
+                   bytes.size() - sizeof(kManifestMagic) -
+                       sizeof(std::uint32_t));
+  const std::string_view crc_bytes = bytes.substr(bytes.size() - 4);
+  std::uint32_t stored = 0;
+  for (int i = 0; i < 4; ++i) {
+    stored |= static_cast<std::uint32_t>(
+                  static_cast<unsigned char>(crc_bytes[i]))
+              << (8 * i);
+  }
+  if (util::Crc32c::Of(payload) != stored) {
+    return util::Status::Corrupt("journal manifest checksum mismatch");
+  }
+  std::size_t pos = 0;
+  const auto base = pipeline::GetVarint(payload, pos);
+  if (!base || pos != payload.size()) {
+    return util::Status::Corrupt("journal manifest payload is malformed");
+  }
+  JournalManifest manifest;
+  manifest.base_seq = *base;
+  return manifest;
 }
 
 std::string EncodeJournalRecord(const JournalRecord& record) {
@@ -112,13 +171,19 @@ util::StatusOr<JournalRecovery> RecoverJournalBytes(std::string_view bytes) {
       recovery.tail_status = record.status();
       break;
     }
-    if (record->seq != recovery.records.size()) {
-      // Sequence numbers are contiguous from zero by construction; a gap
-      // means records were lost or spliced — stop at the verified prefix.
+    if (recovery.records.empty()) {
+      // The first record's seq is the file's compacted base; Open()
+      // checks it against the manifest.
+      recovery.base_seq = record->seq;
+    } else if (record->seq !=
+               recovery.base_seq + recovery.records.size()) {
+      // Sequence numbers are contiguous from the base by construction; a
+      // gap means records were lost or spliced — stop at the verified
+      // prefix.
       recovery.tail_status = util::Status::Corrupt(
           "journal sequence gap: record " +
-          std::to_string(recovery.records.size()) + " carries seq " +
-          std::to_string(record->seq));
+          std::to_string(recovery.base_seq + recovery.records.size()) +
+          " carries seq " + std::to_string(record->seq));
       break;
     }
     recovery.records.push_back(*std::move(record));
@@ -134,6 +199,21 @@ util::StatusOr<Journal> Journal::Open(std::string path, bool fsync_appends) {
   journal.path_ = std::move(path);
   journal.fsync_appends_ = fsync_appends;
 
+  // The manifest authenticates the compacted base. Missing is fine (base
+  // 0, the pre-compaction layout); a damaged manifest is a typed error —
+  // it is written atomically, so damage is bit rot, and guessing a base
+  // would turn silent record loss into a "successful" open.
+  bool has_manifest = false;
+  JournalManifest manifest;
+  if (auto manifest_bytes =
+          util::ReadFileToString(JournalManifestPath(journal.path_));
+      manifest_bytes.ok()) {
+    auto decoded = DecodeJournalManifest(*manifest_bytes);
+    if (!decoded.ok()) return decoded.status();
+    manifest = *decoded;
+    has_manifest = true;
+  }
+
   auto bytes = util::ReadFileToString(journal.path_);
   if (bytes.ok()) {
     auto recovery = RecoverJournalBytes(*bytes);
@@ -141,6 +221,47 @@ util::StatusOr<Journal> Journal::Open(std::string path, bool fsync_appends) {
     journal.recovered_ = *std::move(recovery);
   }
   // Missing file (first open) falls through with an empty recovery.
+
+  auto& recovered = journal.recovered_;
+  if (!has_manifest) {
+    if (!recovered.records.empty() && recovered.base_seq != 0) {
+      return util::Status::Corrupt(
+          "journal begins at seq " + std::to_string(recovered.base_seq) +
+          " but no compaction manifest authenticates the base");
+    }
+    recovered.base_seq = 0;
+  } else if (recovered.records.empty()) {
+    recovered.base_seq = manifest.base_seq;
+  } else if (recovered.base_seq > manifest.base_seq) {
+    return util::Status::Corrupt(
+        "journal begins at seq " + std::to_string(recovered.base_seq) +
+        " past the manifest base " + std::to_string(manifest.base_seq) +
+        ": records were lost");
+  } else if (recovered.base_seq < manifest.base_seq) {
+    // Torn compaction: the manifest advanced but the crash landed before
+    // the journal rewrite. Complete the truncation to the verified state
+    // — everything below the manifest base is covered by the snapshot the
+    // compaction followed.
+    std::vector<JournalRecord> kept;
+    for (auto& record : recovered.records) {
+      if (record.seq >= manifest.base_seq) {
+        kept.push_back(std::move(record));
+      }
+    }
+    std::string rebuilt(kJournalMagic, sizeof(kJournalMagic));
+    for (const auto& record : kept) {
+      rebuilt += EncodeJournalRecord(record);
+    }
+    if (auto status = util::WriteFileAtomic(journal.path_, rebuilt);
+        !status.ok()) {
+      return status;
+    }
+    recovered.records = std::move(kept);
+    recovered.base_seq = manifest.base_seq;
+    recovered.verified_bytes = rebuilt.size();
+    recovered.torn_bytes = 0;  // the rewrite dropped any torn tail too
+    journal.compaction_resumed_ = true;
+  }
 
   if (journal.recovered_.verified_bytes < sizeof(kJournalMagic)) {
     // New journal (or torn initial create): write the magic atomically so
@@ -177,7 +298,10 @@ util::StatusOr<Journal> Journal::Open(std::string path, bool fsync_appends) {
     return util::Status::IoError(
         ErrnoMessage("open-for-append", journal.path_));
   }
-  journal.next_seq_ = journal.recovered_.records.size();
+  journal.base_seq_ = journal.recovered_.base_seq;
+  journal.next_seq_ = journal.recovered_.records.empty()
+                          ? journal.recovered_.base_seq
+                          : journal.recovered_.records.back().seq + 1;
   return journal;
 }
 
@@ -187,8 +311,12 @@ Journal::Journal(Journal&& other) noexcept
       file_(other.file_),
       recovered_(std::move(other.recovered_)),
       next_seq_(other.next_seq_),
+      base_seq_(other.base_seq_),
+      compaction_resumed_(other.compaction_resumed_),
       appends_(other.appends_),
-      append_bytes_(other.append_bytes_) {
+      append_bytes_(other.append_bytes_),
+      compactions_(other.compactions_),
+      compacted_records_(other.compacted_records_) {
   other.file_ = nullptr;
 }
 
@@ -200,8 +328,12 @@ Journal& Journal::operator=(Journal&& other) noexcept {
     file_ = other.file_;
     recovered_ = std::move(other.recovered_);
     next_seq_ = other.next_seq_;
+    base_seq_ = other.base_seq_;
+    compaction_resumed_ = other.compaction_resumed_;
     appends_ = other.appends_;
     append_bytes_ = other.append_bytes_;
+    compactions_ = other.compactions_;
+    compacted_records_ = other.compacted_records_;
     other.file_ = nullptr;
   }
   return *this;
@@ -214,6 +346,18 @@ Journal::~Journal() {
 util::StatusOr<std::uint64_t> Journal::Append(
     JournalRecordKind kind, util::HourIndex hour,
     std::span<const pipeline::AggRow> rows) {
+  return AppendImpl(kind, hour, rows, /*sync=*/true);
+}
+
+util::StatusOr<std::uint64_t> Journal::AppendBuffered(
+    JournalRecordKind kind, util::HourIndex hour,
+    std::span<const pipeline::AggRow> rows) {
+  return AppendImpl(kind, hour, rows, /*sync=*/false);
+}
+
+util::StatusOr<std::uint64_t> Journal::AppendImpl(
+    JournalRecordKind kind, util::HourIndex hour,
+    std::span<const pipeline::AggRow> rows, bool sync) {
   if (file_ == nullptr) {
     return util::Status::InvalidArgument("journal is not open");
   }
@@ -227,12 +371,80 @@ util::StatusOr<std::uint64_t> Journal::Append(
       std::fflush(file_) != 0) {
     return util::Status::IoError(ErrnoMessage("append to", path_));
   }
-  if (fsync_appends_) {
+  if (sync && fsync_appends_) {
     if (auto status = SyncFile(file_, path_); !status.ok()) return status;
   }
   appends_.Increment();
   append_bytes_.Increment(frame.size());
   return next_seq_++;
+}
+
+util::Status Journal::Sync() {
+  if (file_ == nullptr) {
+    return util::Status::InvalidArgument("journal is not open");
+  }
+  if (!fsync_appends_) return util::Status::Ok();
+  return SyncFile(file_, path_);
+}
+
+util::Status Journal::Compact(std::uint64_t through_seq) {
+  if (file_ == nullptr) {
+    return util::Status::InvalidArgument("journal is not open");
+  }
+  const std::uint64_t new_base = std::max(through_seq, base_seq_);
+  if (new_base == base_seq_) return util::Status::Ok();
+
+  // Re-read the file: recovered_ only holds the open-time prefix, not the
+  // records appended since.
+  auto bytes = util::ReadFileToString(path_);
+  if (!bytes.ok()) return bytes.status();
+  auto recovery = RecoverJournalBytes(*bytes);
+  if (!recovery.ok()) return recovery.status();
+  if (!recovery->tail_status.ok()) {
+    // Every appended record was flushed; a damaged tail here means the
+    // file changed under us. Refuse rather than compact unverified bytes.
+    return recovery->tail_status;
+  }
+
+  std::string rebuilt(kJournalMagic, sizeof(kJournalMagic));
+  std::uint64_t dropped = 0;
+  for (const auto& record : recovery->records) {
+    if (record.seq >= new_base) {
+      rebuilt += EncodeJournalRecord(record);
+    } else {
+      ++dropped;
+    }
+  }
+
+  // Manifest first: a crash after this point leaves the manifest ahead of
+  // the file, which Open() reconciles by completing the truncation.
+  if (auto status = util::WriteFileAtomic(
+          JournalManifestPath(path_),
+          EncodeJournalManifest({.base_seq = new_base}));
+      !status.ok()) {
+    return status;
+  }
+
+  // The rename swaps the inode out from under the append handle, so close
+  // it across the rewrite.
+  std::fclose(file_);
+  file_ = nullptr;
+  if (auto status = util::WriteFileAtomic(path_, rebuilt); !status.ok()) {
+    // On-disk this is the torn-compaction state the next Open() repairs;
+    // try to restore the append handle so the caller can keep journaling.
+    file_ = std::fopen(path_.c_str(), "ab");
+    return status;
+  }
+  file_ = std::fopen(path_.c_str(), "ab");
+  if (file_ == nullptr) {
+    return util::Status::IoError(ErrnoMessage("reopen-for-append", path_));
+  }
+
+  base_seq_ = new_base;
+  next_seq_ = std::max(next_seq_, new_base);
+  compactions_.Increment();
+  compacted_records_.Increment(dropped);
+  return util::Status::Ok();
 }
 
 }  // namespace tipsy::ha

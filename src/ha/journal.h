@@ -20,6 +20,17 @@
 // the next append lands on verified bytes. A short file (shorter than the
 // magic) is a torn initial create and is rewritten; a *wrong* magic is a
 // typed kCorrupt — the file is something else and must not be clobbered.
+//
+// Compaction: once every record below a seq is captured in a snapshot,
+// Compact(through_seq) drops that prefix from disk so the journal stays
+// bounded. The new base seq is authenticated by a manifest sidecar at
+// `<path>.manifest` ("TIPSYHM1" | varint base_seq | CRC-32C), written
+// atomically *before* the journal rewrite (manifest-before-truncate). A
+// crash between the two leaves manifest.base ahead of the file's first
+// record; Open() detects that torn compaction and completes the
+// truncation to the verified state. A file whose first record is *ahead*
+// of the manifest base (or nonzero with no manifest at all) means records
+// were lost and is a typed kCorrupt.
 #pragma once
 
 #include <cstdio>
@@ -34,11 +45,30 @@
 
 namespace tipsy::ha {
 
-inline constexpr int kJournalFormatVersion = 1;  // magic "TIPSYHJ1"
+inline constexpr int kJournalFormatVersion = 1;    // magic "TIPSYHJ1"
+inline constexpr int kJournalManifestVersion = 1;  // magic "TIPSYHM1"
 
 // The 8-byte container magic ("TIPSYHJ1"), shared by the on-disk journal
 // and the wire stream that ships it (src/net/wire).
 [[nodiscard]] std::string_view JournalMagic();
+
+// The compaction manifest sidecar lives next to the journal file.
+[[nodiscard]] std::string JournalManifestPath(std::string_view journal_path);
+
+// What the manifest authenticates: every seq below base_seq has been
+// compacted out of the journal file (it lives in a snapshot instead).
+struct JournalManifest {
+  std::uint64_t base_seq = 0;
+};
+
+[[nodiscard]] std::string EncodeJournalManifest(
+    const JournalManifest& manifest);
+
+// Typed errors mirror the other PR 2 formats: kTruncated when shorter
+// than its fixed layout, kCorrupt on bad magic / checksum / trailing
+// bytes, kVersionMismatch on an unsupported version byte.
+[[nodiscard]] util::StatusOr<JournalManifest> DecodeJournalManifest(
+    std::string_view bytes);
 
 enum class JournalRecordKind : std::uint8_t {
   kIngest = 0,     // an Ingest(hour, rows) call
@@ -66,6 +96,9 @@ struct JournalRecord {
 
 struct JournalRecovery {
   std::vector<JournalRecord> records;
+  // Seq of the first record in the file (the compacted base). An empty
+  // file recovers base 0; Journal::Open overrides it from the manifest.
+  std::uint64_t base_seq = 0;
   // Bytes (including the magic) that passed every checksum; the file is
   // truncated to this length on open when a tail was torn.
   std::size_t verified_bytes = 0;
@@ -75,11 +108,12 @@ struct JournalRecovery {
   util::Status tail_status;
 };
 
-// Parses journal bytes up to the first damaged record. Returns a non-OK
-// status only when the magic itself is wrong (kCorrupt) or names an
-// unsupported version (kVersionMismatch) — then nothing in the file can
-// be trusted. An empty or shorter-than-magic buffer recovers to zero
-// records with the stub counted as torn.
+// Parses journal bytes up to the first damaged record. The first record's
+// seq defines the file's base; later records must be contiguous from it.
+// Returns a non-OK status only when the magic itself is wrong (kCorrupt)
+// or names an unsupported version (kVersionMismatch) — then nothing in
+// the file can be trusted. An empty or shorter-than-magic buffer recovers
+// to zero records with the stub counted as torn.
 [[nodiscard]] util::StatusOr<JournalRecovery> RecoverJournalBytes(
     std::string_view bytes);
 
@@ -105,12 +139,45 @@ class Journal {
       JournalRecordKind kind, util::HourIndex hour,
       std::span<const pipeline::AggRow> rows);
 
+  // Like Append but defers the fsync: the record reaches the OS (fflush)
+  // yet is NOT durable until the next Sync(). The batched-ack ingest path
+  // appends a whole window of records and pays one fsync for all of them.
+  [[nodiscard]] util::StatusOr<std::uint64_t> AppendBuffered(
+      JournalRecordKind kind, util::HourIndex hour,
+      std::span<const pipeline::AggRow> rows);
+
+  // Makes every buffered append durable (no-op when fsync_appends=false,
+  // matching Append's policy).
+  [[nodiscard]] util::Status Sync();
+
+  // Drops every record with seq < through_seq from the on-disk file.
+  // Caller contract: those records are already captured in a snapshot.
+  // Writes the manifest first (WriteFileAtomic), then rewrites the
+  // journal as magic + surviving suffix (WriteFileAtomic again); a crash
+  // between the two is reconciled by the next Open(). through_seq may
+  // exceed next_seq (a standby installing a remote snapshot): the journal
+  // resets to an empty file based at through_seq.
+  [[nodiscard]] util::Status Compact(std::uint64_t through_seq);
+
   // What Open() recovered (the records are kept for warm-start replay).
+  // Not updated by later Append/Compact calls.
   [[nodiscard]] const JournalRecovery& recovered() const {
     return recovered_;
   }
   [[nodiscard]] std::uint64_t next_seq() const { return next_seq_; }
+  // Seq of the oldest record still in the file; records() spans
+  // [base_seq, next_seq).
+  [[nodiscard]] std::uint64_t base_seq() const { return base_seq_; }
+  // True when Open() found a manifest ahead of the file (a crash landed
+  // between manifest write and journal rewrite) and completed the
+  // truncation.
+  [[nodiscard]] bool compaction_resumed() const {
+    return compaction_resumed_;
+  }
   [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] std::string manifest_path() const {
+    return JournalManifestPath(path_);
+  }
 
   // Append accounting since Open (registry-served; see
   // Replica::RegisterMetrics).
@@ -124,17 +191,37 @@ class Journal {
   [[nodiscard]] const obs::Counter& append_bytes_counter() const {
     return append_bytes_;
   }
+  [[nodiscard]] std::uint64_t compactions() const {
+    return compactions_.value();
+  }
+  [[nodiscard]] std::uint64_t compacted_records() const {
+    return compacted_records_.value();
+  }
+  [[nodiscard]] const obs::Counter& compaction_counter() const {
+    return compactions_;
+  }
+  [[nodiscard]] const obs::Counter& compacted_records_counter() const {
+    return compacted_records_;
+  }
 
  private:
   Journal() = default;
+
+  [[nodiscard]] util::StatusOr<std::uint64_t> AppendImpl(
+      JournalRecordKind kind, util::HourIndex hour,
+      std::span<const pipeline::AggRow> rows, bool sync);
 
   std::string path_;
   bool fsync_appends_ = true;
   std::FILE* file_ = nullptr;
   JournalRecovery recovered_;
   std::uint64_t next_seq_ = 0;
+  std::uint64_t base_seq_ = 0;
+  bool compaction_resumed_ = false;
   obs::Counter appends_;
   obs::Counter append_bytes_;
+  obs::Counter compactions_;
+  obs::Counter compacted_records_;
 };
 
 }  // namespace tipsy::ha

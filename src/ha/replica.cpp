@@ -2,12 +2,28 @@
 
 #include <algorithm>
 #include <limits>
+#include <sstream>
+
+#include "core/serialize.h"
+#include "util/checksum.h"
 
 namespace tipsy::ha {
 
 namespace {
 constexpr util::HourIndex kNoDay =
     std::numeric_limits<util::HourIndex>::min();
+
+// Newest data-bearing hour recorded in a snapshot: Day.last_hour is only
+// advanced by Ingest (heartbeats age last_observed_hour, not the days),
+// so the max over the window reconstructs last_data_hour after the
+// journal prefix that carried those hours was compacted away.
+util::HourIndex MaxDataHour(const core::RetrainerState& state) {
+  util::HourIndex result = kNoDay;
+  for (const auto& day : state.days) {
+    result = std::max(result, day.last_hour);
+  }
+  return result;
+}
 }  // namespace
 
 util::StatusOr<Replica> Replica::Open(const wan::Wan* wan,
@@ -45,7 +61,25 @@ util::StatusOr<Replica> Replica::Open(const wan::Wan* wan,
   } else {
     replica.applied_seq_ = snapshot->applied_seq;
     replica.last_applied_day_ = snapshot->retrainer.last_day;
+    replica.last_data_hour_ = MaxDataHour(snapshot->retrainer);
+    replica.last_snapshot_seq_ = snapshot->applied_seq;
     used_snapshot = true;
+  }
+
+  // A compacted journal only spans [base_seq, next_seq): without a usable
+  // snapshot covering the base there is no path back to the compacted
+  // prefix, and replaying just the suffix would present a wrong state as
+  // a successful open. Refuse with the snapshot's own failure attached.
+  const std::uint64_t journal_base = replica.journal_.base_seq();
+  if (journal_base > 0 &&
+      (!used_snapshot || replica.applied_seq_ < journal_base)) {
+    return util::Status::Corrupt(
+        "journal is compacted through seq " + std::to_string(journal_base) +
+        " but no snapshot covers that base (snapshot: " +
+        (used_snapshot ? ("applied_seq " +
+                          std::to_string(replica.applied_seq_))
+                       : replica.recovery_.snapshot_status.message()) +
+        ")");
   }
 
   const auto& records = replica.journal_.recovered().records;
@@ -73,10 +107,17 @@ void Replica::Apply(const JournalRecord& record) {
     retrainer_.AdvanceTo(record.hour);
   } else {
     retrainer_.Ingest(record.hour, record.rows);
+    last_data_hour_ = std::max(last_data_hour_, record.hour);
   }
   applied_seq_ = record.seq + 1;
   last_applied_day_ =
       std::max(last_applied_day_, util::DayIndex(record.hour));
+}
+
+util::Status Replica::CheckpointAfterDayCrossing() {
+  if (auto status = SnapshotNow(); !status.ok()) return status;
+  if (!config_.compact_after_snapshot) return util::Status::Ok();
+  return CompactThroughSnapshot();
 }
 
 util::Status Replica::Ingest(util::HourIndex hour,
@@ -92,7 +133,7 @@ util::Status Replica::Ingest(util::HourIndex hour,
                            util::DayIndex(hour) > last_applied_day_;
   Apply(record);
   if (crossed_day && config_.snapshot_on_day_boundary) {
-    return SnapshotNow();
+    return CheckpointAfterDayCrossing();
   }
   return util::Status::Ok();
 }
@@ -108,7 +149,40 @@ util::Status Replica::Heartbeat(util::HourIndex hour) {
                            util::DayIndex(hour) > last_applied_day_;
   Apply(record);
   if (crossed_day && config_.snapshot_on_day_boundary) {
-    return SnapshotNow();
+    return CheckpointAfterDayCrossing();
+  }
+  return util::Status::Ok();
+}
+
+util::Status Replica::IngestBatch(std::span<const JournalRecord> records) {
+  if (records.empty()) return util::Status::Ok();
+  // Append phase: everything reaches the OS, one fsync covers the batch.
+  // On failure nothing was applied, so the caller must not ack anything.
+  for (const auto& record : records) {
+    auto seq =
+        journal_.AppendBuffered(record.kind, record.hour, record.rows);
+    if (!seq.ok()) return seq.status();
+  }
+  if (auto status = journal_.Sync(); !status.ok()) return status;
+
+  // Apply phase: the records are durable now; day crossings checkpoint
+  // exactly as the one-at-a-time path does.
+  std::uint64_t seq = journal_.next_seq() - records.size();
+  for (const auto& record : records) {
+    JournalRecord stamped;
+    stamped.seq = seq++;
+    stamped.kind = record.kind;
+    stamped.hour = record.hour;
+    stamped.rows = record.rows;
+    const bool crossed_day =
+        last_applied_day_ != kNoDay &&
+        util::DayIndex(record.hour) > last_applied_day_;
+    Apply(stamped);
+    if (crossed_day && config_.snapshot_on_day_boundary) {
+      if (auto status = CheckpointAfterDayCrossing(); !status.ok()) {
+        return status;
+      }
+    }
   }
   return util::Status::Ok();
 }
@@ -118,8 +192,46 @@ util::Status Replica::SnapshotNow() {
   state.retrainer = retrainer_.ExportState();
   state.applied_seq = applied_seq_;
   auto status = SaveSnapshot(config_.snapshot_path, state);
-  if (status.ok()) snapshots_taken_.Increment();
+  if (status.ok()) {
+    snapshots_taken_.Increment();
+    last_snapshot_seq_ = std::max(last_snapshot_seq_, applied_seq_);
+  }
   return status;
+}
+
+util::Status Replica::CompactThroughSnapshot() {
+  const std::uint64_t base = journal_.base_seq();
+  if (last_snapshot_seq_ <= base) return util::Status::Ok();
+  const std::uint64_t droppable = last_snapshot_seq_ - base;
+  if (droppable < std::max<std::uint64_t>(config_.compact_min_records, 1)) {
+    return util::Status::Ok();
+  }
+  return journal_.Compact(last_snapshot_seq_);
+}
+
+util::Status Replica::InstallSnapshot(const SnapshotState& state) {
+  if (state.applied_seq < applied_seq_) {
+    return util::Status::InvalidArgument(
+        "snapshot install would rewind applied_seq from " +
+        std::to_string(applied_seq_) + " to " +
+        std::to_string(state.applied_seq));
+  }
+  if (auto status = retrainer_.RestoreState(state.retrainer);
+      !status.ok()) {
+    return status;
+  }
+  applied_seq_ = state.applied_seq;
+  last_applied_day_ = state.retrainer.last_day;
+  last_data_hour_ = std::max(last_data_hour_, MaxDataHour(state.retrainer));
+  // Persist locally and reset the journal base: the local journal's
+  // records all predate the installed state, and leaving them would make
+  // the next warm start look like a snapshot-ahead-of-journal corruption.
+  if (auto status = SnapshotNow(); !status.ok()) return status;
+  if (auto status = journal_.Compact(applied_seq_); !status.ok()) {
+    return status;
+  }
+  snapshots_installed_.Increment();
+  return util::Status::Ok();
 }
 
 util::Status Replica::Replay(std::span<const JournalRecord> records) {
@@ -146,6 +258,35 @@ util::Status Replica::Replay(std::span<const JournalRecord> records) {
   return util::Status::Ok();
 }
 
+std::uint32_t ReplicaStateDigest(const Replica& replica) {
+  util::Crc32c crc;
+  if (const core::TipsyService* service = replica.service();
+      service != nullptr) {
+    std::ostringstream bytes;
+    core::SaveService(*service, bytes);
+    const std::string blob = bytes.str();
+    crc.Update(blob.data(), blob.size());
+  }
+  const core::ServiceHealth health =
+      replica.retrainer().health_snapshot();
+  const auto fold = [&crc](std::uint64_t value) {
+    crc.Update(&value, sizeof(value));
+  };
+  fold(static_cast<std::uint64_t>(health.health));
+  fold(static_cast<std::uint64_t>(health.trained_through_day));
+  fold(static_cast<std::uint64_t>(health.model_age_days));
+  fold(static_cast<std::uint64_t>(health.last_ingest_hour));
+  fold(health.buffered_days);
+  fold(health.retrain_count);
+  fold(health.retrain_failures);
+  fold(health.consecutive_failures);
+  fold(health.dropped_hours);
+  fold(health.missing_days);
+  fold(health.partial_days);
+  fold(replica.applied_seq());
+  return crc.Digest();
+}
+
 obs::MetricGroup Replica::RegisterMetrics(obs::Registry& registry,
                                           const std::string& prefix) const {
   obs::MetricGroup group = retrainer_.RegisterMetrics(registry, prefix);
@@ -164,6 +305,22 @@ obs::MetricGroup Replica::RegisterMetrics(obs::Registry& registry,
   group.push_back(registry.RegisterCounter(
       prefix + "_snapshots_total", "Snapshots checkpointed successfully",
       &snapshots_taken_));
+  group.push_back(registry.RegisterCounter(
+      prefix + "_snapshots_installed_total",
+      "Remotely sourced snapshots installed (ship-side catch-up)",
+      &snapshots_installed_));
+  group.push_back(registry.RegisterCounter(
+      prefix + "_journal_compactions_total",
+      "Journal prefix compactions completed",
+      &journal_.compaction_counter()));
+  group.push_back(registry.RegisterCounter(
+      prefix + "_journal_compacted_records_total",
+      "Records dropped from the journal by compaction",
+      &journal_.compacted_records_counter()));
+  group.push_back(registry.RegisterGauge(
+      prefix + "_journal_base_seq",
+      "Oldest sequence number still present in the journal file",
+      [this] { return static_cast<double>(journal_.base_seq()); }));
   group.push_back(registry.RegisterGauge(
       prefix + "_applied_seq", "Next journal sequence number to apply",
       [this] { return static_cast<double>(applied_seq_); }));

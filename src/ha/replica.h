@@ -37,6 +37,13 @@ struct ReplicaConfig {
   // Checkpoint automatically whenever ingest crosses a day boundary, so
   // recovery replays at most one day of records.
   bool snapshot_on_day_boundary = true;
+  // After each successful snapshot, drop the journal prefix the snapshot
+  // covers (Journal::Compact), keeping the journal bounded to roughly one
+  // day of records instead of growing from genesis.
+  bool compact_after_snapshot = false;
+  // Skip compaction while fewer than this many records would be dropped,
+  // so tiny prefixes don't pay a file rewrite.
+  std::uint64_t compact_min_records = 0;
 };
 
 // Where Open() got its state from, for operators and the failover bench.
@@ -86,8 +93,28 @@ class Replica {
   // Clock tick without data (journaled too: AdvanceTo mutates health).
   [[nodiscard]] util::Status Heartbeat(util::HourIndex hour);
 
+  // Journal-first over a whole batch: every record is appended with the
+  // fsync deferred, ONE fsync covers the batch, then the records are
+  // applied in order (`seq` fields on the inputs are ignored; the journal
+  // assigns them). A non-OK status from the append/sync phase means
+  // nothing in the batch was applied and nothing may be acked. This is
+  // the batched-ack ingest path: N records per fsync instead of one.
+  [[nodiscard]] util::Status IngestBatch(
+      std::span<const JournalRecord> records);
+
   // Checkpoint the current state + applied_seq atomically.
   [[nodiscard]] util::Status SnapshotNow();
+
+  // Drops the journal prefix covered by the newest on-disk snapshot
+  // (manifest-before-truncate; see Journal::Compact). No-op when nothing
+  // new is covered or fewer than compact_min_records would drop.
+  [[nodiscard]] util::Status CompactThroughSnapshot();
+
+  // Adopts a remotely sourced snapshot (the ship-side catch-up transfer):
+  // restores the state, persists it locally, and resets the local journal
+  // base to the snapshot's applied_seq so a warm restart replays cleanly.
+  // Refuses (kInvalidArgument) to rewind below the current applied_seq.
+  [[nodiscard]] util::Status InstallSnapshot(const SnapshotState& state);
 
   // Idempotently applies externally sourced records (e.g. a primary's
   // journal shipped to a standby). Records are applied in seq order;
@@ -120,7 +147,25 @@ class Replica {
   [[nodiscard]] std::uint64_t snapshots_taken() const {
     return snapshots_taken_.value();
   }
+  [[nodiscard]] std::uint64_t snapshots_installed() const {
+    return snapshots_installed_.value();
+  }
+  // Newest hour that carried data (heartbeats excluded); HourIndex min
+  // when no data was ever ingested. Survives compaction — the value is
+  // reconstructed from the snapshot when the journal prefix is gone — so
+  // the daemon's ingest idempotence gate can rest on it.
+  [[nodiscard]] util::HourIndex last_data_hour() const {
+    return last_data_hour_;
+  }
+  // Seq covered by the newest snapshot this replica wrote or restored
+  // (the upper bound CompactThroughSnapshot may truncate to).
+  [[nodiscard]] std::uint64_t last_snapshot_seq() const {
+    return last_snapshot_seq_;
+  }
   [[nodiscard]] const Journal& journal() const { return journal_; }
+  [[nodiscard]] const std::string& snapshot_path() const {
+    return config_.snapshot_path;
+  }
 
   // Registers the replica's durability metrics (journal appends/bytes,
   // replay duplicate skips, snapshots, applied_seq, recovery facts) and
@@ -138,17 +183,34 @@ class Replica {
         config_(std::move(config)) {}
 
   void Apply(const JournalRecord& record);
+  // Day-boundary bookkeeping shared by Ingest/Heartbeat/IngestBatch:
+  // snapshot (and optionally compact) when the applied record crossed a
+  // day boundary.
+  [[nodiscard]] util::Status CheckpointAfterDayCrossing();
 
   core::DailyRetrainer retrainer_;
   Journal journal_;
   ReplicaConfig config_;
   ReplicaRecovery recovery_;
   std::uint64_t applied_seq_ = 0;  // seqs below this are in retrainer_
+  std::uint64_t last_snapshot_seq_ = 0;
   obs::Counter duplicate_records_skipped_;
   obs::Counter snapshots_taken_;
+  obs::Counter snapshots_installed_;
   // Day of the last applied record, for day-boundary checkpoints.
   util::HourIndex last_applied_day_ =
       std::numeric_limits<util::HourIndex>::min();
+  // Newest data-bearing hour (see last_data_hour()).
+  util::HourIndex last_data_hour_ =
+      std::numeric_limits<util::HourIndex>::min();
 };
+
+// CRC-32C fingerprint of a replica's full logical state: the served
+// model's core::SaveService bytes, every ServiceHealth counter, and
+// applied_seq. Two replicas with equal digests are bit-identical for
+// serving purposes — the chaos harness compares survivor digests (each
+// tipsyd prints its own in the STOPPED line) against the in-process
+// control's.
+[[nodiscard]] std::uint32_t ReplicaStateDigest(const Replica& replica);
 
 }  // namespace tipsy::ha

@@ -1,5 +1,9 @@
 #include "net/client.h"
 
+#include <algorithm>
+
+#include "util/checksum.h"
+
 namespace tipsy::net {
 
 std::vector<double> BackoffDelayBoundsMs() {
@@ -23,6 +27,14 @@ CollectorClient::CollectorClient(ClientConfig config, obs::Registry* registry,
       metric_prefix + "_net_hours_skipped_total",
       "Hour records resolved by the resume ack (already applied)",
       &hours_skipped_));
+  metric_handles_.push_back(registry->RegisterCounter(
+      metric_prefix + "_net_acks_total",
+      "Ingest acks received (each may retire a whole batch)",
+      &acks_received_));
+  metric_handles_.push_back(registry->RegisterCounter(
+      metric_prefix + "_net_records_resent_total",
+      "Records re-sent after a reconnect (retired idempotently)",
+      &records_resent_));
   metric_handles_.push_back(registry->RegisterHistogram(
       metric_prefix + "_net_backoff_ms",
       "Reconnect backoff delays in milliseconds", &backoff_ms_));
@@ -34,6 +46,8 @@ void CollectorClient::Disconnect() {
   socket_.Close();
   handshaken_ = false;
   wire_seq_ = 0;
+  sent_ = 0;
+  conn_acked_ = 0;
 }
 
 void CollectorClient::BackoffSleep(const std::atomic<bool>* stop) {
@@ -68,84 +82,192 @@ util::Status CollectorClient::EnsureConnected() {
   auto decoded = DecodeIngestAck(ack->payload);
   if (!decoded.ok()) return decoded.status();
   resume_hour_ = decoded->last_applied_hour;
+  credits_ = decoded->credits;
+  // The resume ack settles the fate of everything queued: records the
+  // daemon proves durable (hour at or below the resume point) retire
+  // now; the rest will be renumbered onto the fresh stream and resent —
+  // the daemon's hour gate retires any overlap idempotently.
+  while (!pending_.empty() && pending_.front().hour <= resume_hour_) {
+    hours_sent_.Increment();
+    pending_.pop_front();
+  }
   // A fresh connection is a fresh TIPSYHJ1 stream: magic, then seqs
   // from zero.
   if (auto status = socket_.SendAll(ha::JournalMagic()); !status.ok()) {
     return status;
   }
   wire_seq_ = 0;
+  sent_ = 0;
+  conn_acked_ = 0;
   handshaken_ = true;
   return util::Status::Ok();
 }
 
-util::Status CollectorClient::SendRecord(
+util::Status CollectorClient::WaitAck() {
+  auto ack = ReadMessage(socket_);
+  if (!ack.ok()) return ack.status();
+  if (ack->type != MessageType::kIngestAck) {
+    return util::Status::Corrupt("expected ingest ack");
+  }
+  auto decoded = DecodeIngestAck(ack->payload);
+  if (!decoded.ok()) return decoded.status();
+  if (decoded->acked_wire_seq < conn_acked_ ||
+      decoded->acked_wire_seq > conn_acked_ + sent_) {
+    return util::Status::Corrupt(
+        "ack outside the in-flight window: acked " +
+        std::to_string(decoded->acked_wire_seq) + ", window [" +
+        std::to_string(conn_acked_) + ", " +
+        std::to_string(conn_acked_ + sent_) + "]");
+  }
+  const std::uint64_t newly = decoded->acked_wire_seq - conn_acked_;
+  for (std::uint64_t i = 0; i < newly; ++i) {
+    hours_sent_.Increment();
+    pending_.pop_front();
+  }
+  sent_ -= newly;
+  conn_acked_ = decoded->acked_wire_seq;
+  resume_hour_ = std::max(resume_hour_, decoded->last_applied_hour);
+  credits_ = decoded->credits;
+  acks_received_.Increment();
+  backoff_.Reset();
+  return util::Status::Ok();
+}
+
+util::Status CollectorClient::Pump(const std::atomic<bool>* stop) {
+  while (sent_ < pending_.size()) {
+    if (stop != nullptr && stop->load(std::memory_order_acquire)) {
+      return util::Status::Unavailable("stopped while pumping");
+    }
+    // Zero advertised credits degrades to lock-step probing: one record
+    // may go out only once nothing is in flight. Hours queue locally —
+    // delayed, never dropped.
+    std::uint64_t window = credits_;
+    if (window == 0 && sent_ == 0) window = 1;
+    if (sent_ >= window) {
+      if (auto status = WaitAck(); !status.ok()) return status;
+      continue;
+    }
+    PendingRecord& next = pending_[sent_];
+    ha::JournalRecord record;
+    record.seq = wire_seq_;
+    record.kind = next.kind;
+    record.hour = next.hour;
+    record.rows = next.rows;
+    if (auto status = socket_.SendAll(ha::EncodeJournalRecord(record));
+        !status.ok()) {
+      return status;
+    }
+    if (next.sent_once) records_resent_.Increment();
+    next.sent_once = true;
+    ++wire_seq_;
+    ++sent_;
+  }
+  return util::Status::Ok();
+}
+
+util::Status CollectorClient::Enqueue(
     ha::JournalRecordKind kind, util::HourIndex hour,
     std::span<const pipeline::AggRow> rows, const std::atomic<bool>* stop) {
+  bool queued = false;
   while (stop == nullptr || !stop->load(std::memory_order_acquire)) {
     if (auto status = EnsureConnected(); !status.ok()) {
       reconnects_.Increment();
       BackoffSleep(stop);
       continue;
     }
-    if (kind == ha::JournalRecordKind::kIngest && hour <= resume_hour_) {
-      // The daemon already holds this hour durably (a pre-crash delivery
-      // we never saw the ack for). Skipping here — instead of re-sending
-      // and letting the server gate — keeps the wire quiet, but either
-      // path applies the hour exactly once.
-      hours_skipped_.Increment();
-      return util::Status::Ok();
+    if (!queued) {
+      if (kind == ha::JournalRecordKind::kIngest && hour <= resume_hour_) {
+        // The daemon already holds this hour durably (a pre-crash
+        // delivery we never saw the ack for). Skipping here — instead of
+        // re-sending and letting the server gate — keeps the wire quiet,
+        // but either path applies the hour exactly once.
+        hours_skipped_.Increment();
+        return util::Status::Ok();
+      }
+      PendingRecord record;
+      record.kind = kind;
+      record.hour = hour;
+      record.rows.assign(rows.begin(), rows.end());
+      pending_.push_back(std::move(record));
+      queued = true;
     }
-    ha::JournalRecord record;
-    record.seq = wire_seq_;
-    record.kind = kind;
-    record.hour = hour;
-    record.rows.assign(rows.begin(), rows.end());
-    auto attempt = [&]() -> util::Status {
-      if (auto status = socket_.SendAll(ha::EncodeJournalRecord(record));
-          !status.ok()) {
-        return status;
-      }
-      auto ack = ReadMessage(socket_);
-      if (!ack.ok()) return ack.status();
-      if (ack->type != MessageType::kIngestAck) {
-        return util::Status::Corrupt("expected ingest ack");
-      }
-      auto decoded = DecodeIngestAck(ack->payload);
-      if (!decoded.ok()) return decoded.status();
-      if (kind == ha::JournalRecordKind::kIngest &&
-          decoded->last_applied_hour < hour) {
-        // The daemon acked without applying (journal write failed on its
-        // side): not durable, retry elsewhere/later.
-        return util::Status::Unavailable("hour not applied by daemon");
-      }
-      resume_hour_ = std::max(resume_hour_, decoded->last_applied_hour);
-      return util::Status::Ok();
-    }();
-    if (attempt.ok()) {
-      ++wire_seq_;
-      hours_sent_.Increment();
-      backoff_.Reset();
-      return attempt;
+    auto status = Pump(stop);
+    if (status.ok()) return status;
+    if (status.code() == util::StatusCode::kUnavailable &&
+        stop != nullptr && stop->load(std::memory_order_acquire)) {
+      break;  // Pump observed the stop flag, not a wire failure
     }
     // Anything else — deadline, RST, torn ack, corrupt bytes — tears the
     // connection down; the next loop handshakes again and the resume ack
-    // decides whether the record still needs sending.
+    // decides which queued records still need sending.
     Disconnect();
     reconnects_.Increment();
     BackoffSleep(stop);
   }
-  return util::Status::Unavailable("stopped before the hour was acked");
+  return util::Status::Unavailable("stopped before the hour was sent");
+}
+
+util::Status CollectorClient::Flush(const std::atomic<bool>* stop) {
+  while (stop == nullptr || !stop->load(std::memory_order_acquire)) {
+    if (pending_.empty()) return util::Status::Ok();
+    if (auto status = EnsureConnected(); !status.ok()) {
+      reconnects_.Increment();
+      BackoffSleep(stop);
+      continue;
+    }
+    auto status = [&]() -> util::Status {
+      while (!pending_.empty()) {
+        if (stop != nullptr && stop->load(std::memory_order_acquire)) {
+          return util::Status::Unavailable("stopped while flushing");
+        }
+        if (auto pumped = Pump(stop); !pumped.ok()) return pumped;
+        if (!pending_.empty()) {
+          if (auto acked = WaitAck(); !acked.ok()) return acked;
+        }
+      }
+      return util::Status::Ok();
+    }();
+    if (status.ok()) return status;
+    if (status.code() == util::StatusCode::kUnavailable &&
+        stop != nullptr && stop->load(std::memory_order_acquire)) {
+      break;
+    }
+    Disconnect();
+    reconnects_.Increment();
+    BackoffSleep(stop);
+  }
+  return util::Status::Unavailable("stopped before the queue was acked");
 }
 
 util::Status CollectorClient::SendHour(util::HourIndex hour,
                                        std::span<const pipeline::AggRow> rows,
                                        const std::atomic<bool>* stop) {
-  return SendRecord(ha::JournalRecordKind::kIngest, hour, rows, stop);
+  if (auto status = Enqueue(ha::JournalRecordKind::kIngest, hour, rows, stop);
+      !status.ok()) {
+    return status;
+  }
+  return Flush(stop);
 }
 
 util::Status CollectorClient::SendHeartbeat(util::HourIndex hour,
                                             const std::atomic<bool>* stop) {
-  return SendRecord(ha::JournalRecordKind::kHeartbeat, hour, {}, stop);
+  if (auto status =
+          Enqueue(ha::JournalRecordKind::kHeartbeat, hour, {}, stop);
+      !status.ok()) {
+    return status;
+  }
+  return Flush(stop);
+}
+
+util::Status CollectorClient::SendHourAsync(
+    util::HourIndex hour, std::span<const pipeline::AggRow> rows,
+    const std::atomic<bool>* stop) {
+  return Enqueue(ha::JournalRecordKind::kIngest, hour, rows, stop);
+}
+
+util::Status CollectorClient::SendHeartbeatAsync(
+    util::HourIndex hour, const std::atomic<bool>* stop) {
+  return Enqueue(ha::JournalRecordKind::kHeartbeat, hour, {}, stop);
 }
 
 // --- ShippingClient.
@@ -168,6 +290,13 @@ ShippingClient::ShippingClient(ha::Replica* replica, ClientConfig config,
   metric_handles_.push_back(registry->RegisterCounter(
       metric_prefix + "_net_corrupt_streams_total",
       "Shipping streams dropped for damaged bytes", &corrupt_streams_));
+  metric_handles_.push_back(registry->RegisterCounter(
+      metric_prefix + "_net_snapshot_catchups_total",
+      "Snapshot transfers installed (resume predated the compacted base)",
+      &snapshot_catchups_));
+  metric_handles_.push_back(registry->RegisterCounter(
+      metric_prefix + "_net_snapshot_bytes_received_total",
+      "Snapshot transfer bytes received", &snapshot_bytes_received_));
   metric_handles_.push_back(registry->RegisterHistogram(
       metric_prefix + "_net_backoff_ms",
       "Reconnect backoff delays in milliseconds", &backoff_ms_));
@@ -207,6 +336,94 @@ void ShippingClient::Run() {
   }
 }
 
+util::Status ShippingClient::FillBuffer(Socket& socket, std::string& buffer,
+                                        std::size_t need) {
+  while (buffer.size() < need) {
+    if (stop_.load(std::memory_order_acquire)) {
+      return util::Status::Unavailable("stopping");
+    }
+    auto bytes = socket.RecvSome(64 * 1024);
+    if (!bytes.ok()) {
+      if (bytes.status().code() == util::StatusCode::kUnavailable) {
+        continue;  // read deadline: poll again
+      }
+      return bytes.status();  // a close mid-transfer is a failed transfer
+    }
+    buffer.append(*bytes);
+  }
+  return util::Status::Ok();
+}
+
+util::Status ShippingClient::ReceiveSnapshot(Socket& socket,
+                                             std::string& buffer,
+                                             std::uint64_t* resume_seq) {
+  std::size_t pos = 0;
+  auto next_envelope = [&]() -> util::StatusOr<Message> {
+    while (true) {
+      std::size_t try_pos = pos;
+      auto message = DecodeMessage(buffer, try_pos);
+      if (message.ok()) {
+        pos = try_pos;
+        return message;
+      }
+      if (message.status().code() != util::StatusCode::kTruncated) {
+        return message.status();  // damaged envelope: permanent
+      }
+      if (auto status = FillBuffer(socket, buffer, buffer.size() + 1);
+          !status.ok()) {
+        return status;
+      }
+    }
+  };
+  auto offer_message = next_envelope();
+  if (!offer_message.ok()) return offer_message.status();
+  if (offer_message->type != MessageType::kSnapshotOffer) {
+    return util::Status::Corrupt("expected a snapshot offer");
+  }
+  auto offer = DecodeSnapshotOffer(offer_message->payload);
+  if (!offer.ok()) return offer.status();
+  std::string blob;
+  blob.reserve(offer->total_bytes);
+  std::uint64_t next_index = 0;
+  while (blob.size() < offer->total_bytes) {
+    auto chunk_message = next_envelope();
+    if (!chunk_message.ok()) return chunk_message.status();
+    if (chunk_message->type != MessageType::kSnapshotChunk) {
+      return util::Status::Corrupt("expected a snapshot chunk");
+    }
+    auto chunk = DecodeSnapshotChunk(chunk_message->payload);
+    if (!chunk.ok()) return chunk.status();
+    if (chunk->index != next_index) {
+      return util::Status::Corrupt(
+          "snapshot chunk out of order: got " +
+          std::to_string(chunk->index) + ", want " +
+          std::to_string(next_index));
+    }
+    ++next_index;
+    if (blob.size() + chunk->data.size() > offer->total_bytes) {
+      return util::Status::Corrupt("snapshot chunks exceed the offer size");
+    }
+    blob.append(chunk->data);
+  }
+  // Gate two of three: the whole reassembled blob against the offer's
+  // CRC (each envelope was gate one; DecodeSnapshot's own checksum is
+  // gate three).
+  if (util::Crc32c::Of(blob) != offer->total_crc32c) {
+    return util::Status::Corrupt("snapshot transfer checksum mismatch");
+  }
+  auto snapshot = ha::DecodeSnapshot(blob);
+  if (!snapshot.ok()) return snapshot.status();
+  if (auto status = replica_->InstallSnapshot(*snapshot); !status.ok()) {
+    return status;
+  }
+  snapshot_catchups_.Increment();
+  snapshot_bytes_received_.Increment(blob.size());
+  *resume_seq = snapshot->applied_seq;
+  buffer.erase(0, pos);  // anything left is the journal suffix stream
+  RefreshSnapshots();
+  return util::Status::Ok();
+}
+
 void ShippingClient::StreamOnce() {
   auto socket =
       Connect(config_.host, config_.port, config_.connect_timeout_ms);
@@ -225,18 +442,43 @@ void ShippingClient::StreamOnce() {
            .ok()) {
     return;
   }
-  JournalStreamDecoder decoder(request.from_seq);
+  // Sniff the stream opening: a TIPSYHJ1 journal begins "TIPS", a
+  // snapshot catch-up transfer begins with a TPSY envelope — the primary
+  // chooses based on whether from_seq predates its compacted journal
+  // base. Loop, because compaction racing the transfer can legitimately
+  // produce a second offer before the journal bytes start.
+  std::string buffer;
+  std::uint64_t base_seq = request.from_seq;
+  while (!stop_.load(std::memory_order_acquire)) {
+    if (!FillBuffer(*socket, buffer, 4).ok()) return;
+    if (buffer.compare(0, 4, "TPSY") != 0) break;  // journal magic next
+    if (auto status = ReceiveSnapshot(*socket, buffer, &base_seq);
+        !status.ok()) {
+      if (status.code() == util::StatusCode::kCorrupt ||
+          status.code() == util::StatusCode::kVersionMismatch) {
+        corrupt_streams_.Increment();
+      }
+      return;  // reconnect; applied_seq() reflects whatever installed
+    }
+    backoff_.Reset();
+  }
+  JournalStreamDecoder decoder(base_seq);
   std::vector<ha::JournalRecord> records;
   while (!stop_.load(std::memory_order_acquire)) {
-    auto bytes = socket->RecvSome(64 * 1024);
-    if (!bytes.ok()) {
-      if (bytes.status().code() == util::StatusCode::kUnavailable) {
-        continue;  // idle tail
+    if (buffer.empty()) {
+      auto bytes = socket->RecvSome(64 * 1024);
+      if (!bytes.ok()) {
+        if (bytes.status().code() == util::StatusCode::kUnavailable) {
+          continue;  // idle tail
+        }
+        return;  // closed (cleanly or not): reconnect and resume
       }
-      return;  // closed (cleanly or not): reconnect and resume
+      buffer = *std::move(bytes);
     }
     records.clear();
-    if (auto status = decoder.Feed(*bytes, records); !status.ok()) {
+    auto status = decoder.Feed(buffer, records);
+    buffer.clear();
+    if (!status.ok()) {
       corrupt_streams_.Increment();
       return;  // damaged stream: reconnect from applied_seq
     }

@@ -13,6 +13,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <limits>
 #include <mutex>
@@ -42,12 +43,22 @@ struct ClientConfig {
 
 // --- CollectorClient: streams hour rows to a daemon's ingest port.
 //
-// Lock-step protocol: one journal-framed record out, one ack back. Hours
-// must be fed strictly increasing (the collector contract); on reconnect
-// the daemon's handshake ack names its newest applied hour and anything
-// at or below it resolves locally as already-delivered. SendHour blocks
-// — reconnecting with backoff — until the hour is acked durable or
-// `stop` flips.
+// Credit-window pipelining: records are queued locally and sent while
+// fewer than the daemon's advertised `credits` are in flight; the
+// daemon's cumulative acks (acked_wire_seq) retire whole batches at
+// once, so N records share one server-side fsync instead of lock-step
+// round trips. At zero advertised credits the client degrades to
+// lock-step probing (one record, then wait) — hours are never dropped,
+// only delayed. Hours must be fed strictly increasing (the collector
+// contract); on reconnect the daemon's handshake ack names its newest
+// applied hour, queued records at or below it resolve locally as
+// already-delivered, and the sent-but-unacked remainder is renumbered
+// and resent (the daemon's hour gate makes the overlap idempotent).
+//
+// SendHour/SendHeartbeat keep the blocking contract (queued, sent, AND
+// acked durable before returning); SendHourAsync/SendHeartbeatAsync
+// return once the record is queued and the window pumped, and Flush()
+// blocks until everything pending is acked.
 class CollectorClient {
  public:
   CollectorClient(ClientConfig config, obs::Registry* registry,
@@ -66,6 +77,19 @@ class CollectorClient {
   [[nodiscard]] util::Status SendHeartbeat(
       util::HourIndex hour, const std::atomic<bool>* stop = nullptr);
 
+  // Pipelined variants: queue the record and pump the send window,
+  // blocking only when the window is full (that wait IS the
+  // backpressure). Durability is confirmed by a later Flush() or by the
+  // acks drained while pumping.
+  [[nodiscard]] util::Status SendHourAsync(
+      util::HourIndex hour, std::span<const pipeline::AggRow> rows,
+      const std::atomic<bool>* stop = nullptr);
+  [[nodiscard]] util::Status SendHeartbeatAsync(
+      util::HourIndex hour, const std::atomic<bool>* stop = nullptr);
+  // Blocks — reconnecting with backoff — until every queued record is
+  // acked durable or `stop` flips (kUnavailable).
+  [[nodiscard]] util::Status Flush(const std::atomic<bool>* stop = nullptr);
+
   void Disconnect();
 
   [[nodiscard]] std::uint64_t reconnects() const {
@@ -78,18 +102,49 @@ class CollectorClient {
   [[nodiscard]] std::uint64_t hours_skipped() const {
     return hours_skipped_.value();
   }
+  [[nodiscard]] std::uint64_t acks_received() const {
+    return acks_received_.value();
+  }
+  // Records re-sent after a reconnect (retired idempotently server-side).
+  [[nodiscard]] std::uint64_t records_resent() const {
+    return records_resent_.value();
+  }
+  // Queued-but-unacked records right now (sent + not-yet-sent).
+  [[nodiscard]] std::size_t pending_records() const {
+    return pending_.size();
+  }
+  // Sent-but-unacked records right now (bounded by the credit window).
+  [[nodiscard]] std::size_t inflight_records() const { return sent_; }
+  // The daemon's last advertised credit window.
+  [[nodiscard]] std::uint64_t last_credits() const { return credits_; }
   [[nodiscard]] const obs::Histogram& backoff_delay_ms() const {
     return backoff_ms_;
   }
 
  private:
-  [[nodiscard]] util::Status SendRecord(ha::JournalRecordKind kind,
-                                        util::HourIndex hour,
-                                        std::span<const pipeline::AggRow> rows,
-                                        const std::atomic<bool>* stop);
+  struct PendingRecord {
+    ha::JournalRecordKind kind = ha::JournalRecordKind::kIngest;
+    util::HourIndex hour = 0;
+    std::vector<pipeline::AggRow> rows;
+    bool sent_once = false;  // for the resend counter only
+  };
+
+  // Queue + pump: returns once the record is sent (or resolved by the
+  // resume ack), retrying with backoff until then.
+  [[nodiscard]] util::Status Enqueue(ha::JournalRecordKind kind,
+                                     util::HourIndex hour,
+                                     std::span<const pipeline::AggRow> rows,
+                                     const std::atomic<bool>* stop);
   // Establishes (if needed) the connection + handshake; updates
-  // resume_hour_ from the ack.
+  // resume_hour_/credits_ from the ack and drops queued records the
+  // resume hour proves durable.
   [[nodiscard]] util::Status EnsureConnected();
+  // Sends queued records while the credit window allows, blocking on an
+  // ack when it is full. Leaves nothing unsent unless credits are
+  // exhausted mid-wait.
+  [[nodiscard]] util::Status Pump(const std::atomic<bool>* stop);
+  // Blocks for one ack and retires everything it covers.
+  [[nodiscard]] util::Status WaitAck();
   void BackoffSleep(const std::atomic<bool>* stop);
 
   ClientConfig config_;
@@ -98,9 +153,15 @@ class CollectorClient {
   bool handshaken_ = false;
   std::uint64_t wire_seq_ = 0;  // per-connection, restarts at 0
   util::HourIndex resume_hour_ = -1;
+  std::deque<PendingRecord> pending_;  // front = oldest unacked
+  std::size_t sent_ = 0;          // prefix of pending_ already sent
+  std::uint64_t conn_acked_ = 0;  // cumulative ack on this connection
+  std::uint64_t credits_ = 1;     // daemon-advertised window
   obs::Counter reconnects_;
   obs::Counter hours_sent_;
   obs::Counter hours_skipped_;
+  obs::Counter acks_received_;
+  obs::Counter records_resent_;
   obs::Histogram backoff_ms_;
   obs::MetricGroup metric_handles_;
 };
@@ -113,6 +174,17 @@ class CollectorClient {
 // re-journaled). Any wire damage or disconnect tears the connection down
 // and reconnects with backoff, re-requesting from the updated
 // applied_seq — so replays after a partition heal apply zero duplicates.
+//
+// Snapshot catch-up: when the primary's journal has been compacted past
+// from_seq, the stream opens with TPSY envelopes (kSnapshotOffer +
+// kSnapshotChunk) instead of the TIPSYHJ1 magic. The client reassembles
+// the snapshot blob, gates it on the offer's whole-file CRC (the
+// envelope CRCs and the snapshot format's own checksum are the other two
+// gates), installs it via Replica::InstallSnapshot, then decodes the
+// journal suffix that follows from the snapshot's applied_seq — the
+// combined restore+replay is bit-identical to never having fallen
+// behind, with zero duplicate applies.
+//
 // The client is the sole writer of its replica while running; readers
 // needing progress (the heartbeat provider) use the atomic snapshots.
 class ShippingClient {
@@ -147,6 +219,13 @@ class ShippingClient {
   [[nodiscard]] std::uint64_t corrupt_streams() const {
     return corrupt_streams_.value();
   }
+  // Snapshot transfers received and installed (pre-compaction resume).
+  [[nodiscard]] std::uint64_t snapshot_catchups() const {
+    return snapshot_catchups_.value();
+  }
+  [[nodiscard]] std::uint64_t snapshot_bytes_received() const {
+    return snapshot_bytes_received_.value();
+  }
   [[nodiscard]] const obs::Histogram& backoff_delay_ms() const {
     return backoff_ms_;
   }
@@ -155,6 +234,15 @@ class ShippingClient {
   void Run();
   // One connection lifetime; returns when the stream dies or stop flips.
   void StreamOnce();
+  // Grows `buffer` from the socket until it holds >= `need` bytes.
+  [[nodiscard]] util::Status FillBuffer(Socket& socket, std::string& buffer,
+                                        std::size_t need);
+  // Consumes one offer + its chunks from `buffer`/the socket, installs
+  // the snapshot, and sets `resume_seq` to its applied_seq. Leftover
+  // bytes (the journal suffix already received) stay in `buffer`.
+  [[nodiscard]] util::Status ReceiveSnapshot(Socket& socket,
+                                             std::string& buffer,
+                                             std::uint64_t* resume_seq);
   void RefreshSnapshots();
 
   ha::Replica* replica_;
@@ -170,6 +258,8 @@ class ShippingClient {
   obs::Counter reconnects_;
   obs::Counter records_applied_;
   obs::Counter corrupt_streams_;
+  obs::Counter snapshot_catchups_;
+  obs::Counter snapshot_bytes_received_;
   obs::Histogram backoff_ms_;
   obs::MetricGroup metric_handles_;
 };

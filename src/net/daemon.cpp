@@ -1,9 +1,11 @@
 #include "net/daemon.h"
 
 #include <algorithm>
+#include <limits>
 #include <sstream>
 
 #include "util/atomic_file.h"
+#include "util/checksum.h"
 
 namespace tipsy::net {
 
@@ -39,6 +41,23 @@ Daemon::Daemon(ha::Replica* replica, obs::Registry* registry,
       p + "_net_ship_frames_sent_total",
       "Journal frames shipped to standbys", &ship_frames_sent_));
   metric_handles_.push_back(registry_->RegisterCounter(
+      p + "_net_snapshot_transfers_total",
+      "Snapshot catch-up transfers served to standbys behind the "
+      "compacted journal base",
+      &snapshot_transfers_));
+  metric_handles_.push_back(registry_->RegisterCounter(
+      p + "_net_snapshot_bytes_sent_total",
+      "Snapshot bytes shipped in catch-up transfers",
+      &snapshot_bytes_sent_));
+  metric_handles_.push_back(registry_->RegisterCounter(
+      p + "_net_ingest_batches_total",
+      "Ingest read batches durably processed (one fsync + one ack each)",
+      &ingest_batches_));
+  metric_handles_.push_back(registry_->RegisterCounter(
+      p + "_net_ingest_batched_records_total",
+      "Ingest records processed through batched acks",
+      &ingest_batched_records_));
+  metric_handles_.push_back(registry_->RegisterCounter(
       p + "_net_metrics_scrapes_total", "GET /metrics requests served",
       &metrics_scrapes_));
   metric_handles_.push_back(registry_->RegisterGauge(
@@ -70,13 +89,13 @@ util::Status Daemon::Start() {
   ship_listener_ = *std::move(ship);
   metrics_listener_ = *std::move(metrics);
 
-  // The idempotence gate survives restarts because the journal does:
-  // recover the newest data hour from what Open() replayed.
-  util::HourIndex last_applied = -1;
-  for (const auto& record : replica_->journal().recovered().records) {
-    if (record.kind == ha::JournalRecordKind::kIngest) {
-      last_applied = std::max(last_applied, record.hour);
-    }
+  // The idempotence gate survives restarts because the replica does: its
+  // last_data_hour is rebuilt from the snapshot *and* the replayed
+  // journal, so it stays correct even after compaction emptied the
+  // journal prefix that carried those hours.
+  util::HourIndex last_applied = replica_->last_data_hour();
+  if (last_applied == std::numeric_limits<util::HourIndex>::min()) {
+    last_applied = -1;  // the wire convention for "nothing applied yet"
   }
   last_applied_hour_.store(last_applied, std::memory_order_release);
 
@@ -171,13 +190,15 @@ void Daemon::ReapFinishedConnections() {
   }
 }
 
-std::string Daemon::AckBytes() {
+std::string Daemon::AckBytes(std::uint64_t acked_wire_seq) {
   IngestAck ack;
   ack.last_applied_hour = last_applied_hour_.load(std::memory_order_acquire);
   {
     std::lock_guard<std::mutex> lock(replica_mu_);
     ack.next_seq = replica_->journal().next_seq();
   }
+  ack.acked_wire_seq = acked_wire_seq;
+  ack.credits = config_.ingest_window;
   return EncodeMessage(MessageType::kIngestAck, EncodeIngestAck(ack));
 }
 
@@ -257,14 +278,20 @@ void Daemon::HandleIngest(Socket socket) {
     frames_corrupt_.Increment();
     return;
   }
-  if (!socket.SendAll(AckBytes()).ok()) return;
+  if (!socket.SendAll(AckBytes(0)).ok()) return;
 
-  // Stream phase: raw TIPSYHJ1 bytes, one ack per record. Per-connection
-  // seqs restart at zero (each connection is a fresh stream; idempotence
-  // comes from the hour gate, not the seq).
+  // Stream phase: raw TIPSYHJ1 bytes. Per-connection seqs restart at zero
+  // (each connection is a fresh stream; idempotence comes from the hour
+  // gate, not the seq). Whatever a read delivers is drained as ONE batch:
+  // every surviving record is journaled with the fsync deferred, one
+  // fsync makes the batch durable, and one cumulative ack covers it —
+  // that is how a pipelining collector gets N records per fsync instead
+  // of lock-step.
   (void)socket.SetReadDeadline(config_.idle_poll_ms);
   JournalStreamDecoder decoder(/*base_seq=*/0);
   std::vector<ha::JournalRecord> records;
+  std::vector<ha::JournalRecord> batch;
+  std::uint64_t wire_processed = 0;
   while (!stop_.load(std::memory_order_acquire)) {
     auto bytes = socket.RecvSome(64 * 1024);
     if (!bytes.ok()) {
@@ -282,37 +309,54 @@ void Daemon::HandleIngest(Socket socket) {
       frames_corrupt_.Increment();
       return;  // the collector reconnects and resumes from the ack
     }
-    for (const auto& record : records) {
-      {
-        std::lock_guard<std::mutex> lock(replica_mu_);
+    if (records.empty()) continue;  // mid-frame; keep reading
+    {
+      std::lock_guard<std::mutex> lock(replica_mu_);
+      // Gate pass: decide per record against the hour gate (including
+      // hours earlier in this same batch), then apply the survivors as
+      // one durable batch.
+      batch.clear();
+      util::HourIndex gate =
+          last_applied_hour_.load(std::memory_order_acquire);
+      util::HourIndex heartbeat_gate =
+          replica_->retrainer().health_snapshot().last_ingest_hour;
+      std::uint64_t skipped_heartbeats = 0;
+      for (auto& record : records) {
         if (record.kind == ha::JournalRecordKind::kIngest) {
-          if (record.hour <=
-              last_applied_hour_.load(std::memory_order_acquire)) {
+          if (record.hour <= gate) {
             // Idempotence gate: a replayed hour never reaches the
             // replica, so dropped/duplicate accounting (and therefore
             // the model) stays bit-identical to an uninterrupted feed.
             frames_skipped_.Increment();
-          } else if (auto status =
-                         replica_->Ingest(record.hour, record.rows);
-                     status.ok()) {
-            last_applied_hour_.store(record.hour,
-                                     std::memory_order_release);
-            frames_applied_.Increment();
           } else {
-            return;  // journal append failed: nothing was acked
+            gate = record.hour;
+            batch.push_back(std::move(record));
           }
         } else {  // heartbeat: clock tick relayed from the collector
-          if (record.hour >
-              replica_->retrainer().health_snapshot().last_ingest_hour) {
-            if (!replica_->Heartbeat(record.hour).ok()) return;
+          if (record.hour > heartbeat_gate && record.hour > gate) {
+            heartbeat_gate = record.hour;
+            batch.push_back(std::move(record));
           } else {
             frames_skipped_.Increment();
+            ++skipped_heartbeats;
           }
-          frames_applied_.Increment();
         }
       }
-      if (!socket.SendAll(AckBytes()).ok()) return;
+      if (!batch.empty()) {
+        if (auto status = replica_->IngestBatch(batch); !status.ok()) {
+          return;  // journal append/sync failed: nothing was acked
+        }
+        last_applied_hour_.store(gate, std::memory_order_release);
+        frames_applied_.Increment(batch.size());
+        ingest_batches_.Increment();
+        ingest_batched_records_.Increment(batch.size());
+      }
+      // Heartbeats count as handled even when gated (they carried no
+      // data), matching the one-at-a-time path's accounting.
+      frames_applied_.Increment(skipped_heartbeats);
     }
+    wire_processed += records.size();
+    if (!socket.SendAll(AckBytes(wire_processed)).ok()) return;
   }
 }
 
@@ -333,7 +377,6 @@ void Daemon::HandleShip(Socket socket) {
     return;
   }
   ship_streams_.Increment();
-  if (!socket.SendAll(ha::JournalMagic()).ok()) return;
 
   // Tail the journal file, shipping verified frames from the requested
   // seq on. Re-reading and re-verifying the whole file per poll is O(file)
@@ -341,26 +384,60 @@ void Daemon::HandleShip(Socket socket) {
   // simply not shipped until the next poll sees it complete. Re-encoding
   // a recovered record reproduces its file bytes exactly (the codec is
   // deterministic), so the standby receives the journal verbatim.
+  //
+  // Catch-up: when the cursor predates the compacted journal base, the
+  // requested prefix no longer exists on disk. Before any journal bytes
+  // have been sent this is served as a snapshot transfer (offer + chunks,
+  // then the suffix from the snapshot's applied_seq). If compaction
+  // overtakes the cursor AFTER journal bytes went out, the stream cannot
+  // be spliced — drop the connection and let the standby reconnect into
+  // the snapshot path.
   std::uint64_t cursor = request->from_seq;
-  // After the handshake the standby never sends; a 1ms read poll per
-  // round detects its departure (EOF) without blocking the tail loop.
-  (void)socket.SetReadDeadline(1);
+  bool magic_sent = false;
   while (!stop_.load(std::memory_order_acquire)) {
     std::string path;
+    std::uint64_t live_base = 0;
     {
       std::lock_guard<std::mutex> lock(replica_mu_);
       path = replica_->journal().path();
+      // The LIVE base, not the file's: an empty compacted journal file
+      // self-describes base 0, which would wrongly suggest the whole
+      // history is still servable.
+      live_base = replica_->journal().base_seq();
+    }
+    if (cursor < live_base) {
+      if (magic_sent) return;  // mid-stream base advance: force reconnect
+      auto resume = SendSnapshotTransfer(socket, live_base);
+      if (!resume.ok()) return;
+      cursor = *resume;
+      continue;  // re-check the base before streaming the suffix
+    }
+    if (!magic_sent) {
+      if (!socket.SendAll(ha::JournalMagic()).ok()) return;
+      magic_sent = true;
+      // After the handshake the standby never sends; a 1ms read poll per
+      // round detects its departure (EOF) without blocking the tail loop.
+      (void)socket.SetReadDeadline(1);
     }
     auto bytes = util::ReadFileToString(path);
     if (bytes.ok()) {
       auto recovery = ha::RecoverJournalBytes(*bytes);
       if (!recovery.ok()) return;  // journal replaced/unreadable: bail
       const auto& records = recovery->records;
-      ship_lag_seq_.Set(cursor < records.size()
-                            ? static_cast<double>(records.size() - cursor)
+      const std::uint64_t file_base = recovery->base_seq;
+      const std::uint64_t file_next = file_base + records.size();
+      ship_lag_seq_.Set(cursor < file_next
+                            ? static_cast<double>(file_next - cursor)
                             : 0.0);
-      for (; cursor < records.size(); ++cursor) {
-        if (!socket.SendAll(ha::EncodeJournalRecord(records[cursor]))
+      if (cursor < file_base) {
+        // Compaction landed between the base check and the file read (or
+        // mid-tail); same verdict as above.
+        return;
+      }
+      for (; cursor < file_next; ++cursor) {
+        if (!socket
+                 .SendAll(ha::EncodeJournalRecord(
+                     records[cursor - file_base]))
                  .ok()) {
           return;
         }
@@ -375,6 +452,59 @@ void Daemon::HandleShip(Socket socket) {
     }
     if (!SleepInterruptible(config_.idle_poll_ms, &stop_)) return;
   }
+}
+
+util::StatusOr<std::uint64_t> Daemon::SendSnapshotTransfer(
+    Socket& socket, std::uint64_t journal_base) {
+  // Read and verify the snapshot file BEFORE offering it: a damaged or
+  // stale snapshot must fail the transfer here (standby keeps its state
+  // and retries) rather than mid-stream.
+  std::string snapshot_path;
+  {
+    std::lock_guard<std::mutex> lock(replica_mu_);
+    snapshot_path = replica_->snapshot_path();
+  }
+  auto blob = util::ReadFileToString(snapshot_path);
+  if (!blob.ok()) return blob.status();
+  auto snapshot = ha::DecodeSnapshot(*blob);
+  if (!snapshot.ok()) return snapshot.status();
+  if (snapshot->applied_seq < journal_base) {
+    // The journal was compacted past what this snapshot covers — there is
+    // no way to bridge the gap. (Compaction only truncates through a
+    // snapshot's applied_seq, so this indicates file-level interference.)
+    return util::Status::Corrupt(
+        "snapshot applied_seq " + std::to_string(snapshot->applied_seq) +
+        " predates compacted journal base " + std::to_string(journal_base));
+  }
+  if (blob->size() > kMaxMessageBytes) {
+    return util::Status::Corrupt("snapshot exceeds the wire transfer cap");
+  }
+  SnapshotOffer offer;
+  offer.applied_seq = snapshot->applied_seq;
+  offer.total_bytes = blob->size();
+  offer.total_crc32c = util::Crc32c::Of(*blob);
+  if (auto status = socket.SendAll(EncodeMessage(
+          MessageType::kSnapshotOffer, EncodeSnapshotOffer(offer)));
+      !status.ok()) {
+    return status;
+  }
+  const std::size_t chunk_bytes =
+      config_.snapshot_chunk_bytes > 0 ? config_.snapshot_chunk_bytes
+                                       : (1u << 20);
+  SnapshotChunk chunk;
+  for (std::size_t offset = 0; offset < blob->size();
+       offset += chunk_bytes, ++chunk.index) {
+    chunk.data.assign(*blob, offset,
+                      std::min(chunk_bytes, blob->size() - offset));
+    if (auto status = socket.SendAll(EncodeMessage(
+            MessageType::kSnapshotChunk, EncodeSnapshotChunk(chunk)));
+        !status.ok()) {
+      return status;
+    }
+    snapshot_bytes_sent_.Increment(chunk.data.size());
+  }
+  snapshot_transfers_.Increment();
+  return snapshot->applied_seq;
 }
 
 void Daemon::HandleMetrics(Socket socket) {

@@ -56,6 +56,14 @@ struct DaemonConfig {
   // Accept/journal-tail poll cadence; also how fast Stop() is observed.
   int idle_poll_ms = 50;
   std::string metric_prefix = "tipsyd";
+  // Credit window advertised in ingest acks: how many records a collector
+  // may have in flight beyond the last ack. The daemon drains whatever
+  // arrives per read as ONE journal fsync + ONE ack, so a larger window
+  // amortizes more fsyncs; 0 forces collectors into lock-step probing.
+  std::uint64_t ingest_window = 64;
+  // Snapshot catch-up transfer chunk size (each chunk rides its own
+  // CRC-gated envelope, so this also bounds per-envelope allocation).
+  std::size_t snapshot_chunk_bytes = 1u << 20;
 };
 
 class Daemon {
@@ -136,6 +144,19 @@ class Daemon {
   [[nodiscard]] std::uint64_t ship_frames_sent() const {
     return ship_frames_sent_.value();
   }
+  // Snapshot catch-up transfers served to standbys whose from_seq
+  // predated the compacted journal base.
+  [[nodiscard]] std::uint64_t snapshot_transfers() const {
+    return snapshot_transfers_.value();
+  }
+  // Ingest read batches durably processed (each is one journal fsync and
+  // one ack, however many records it carried).
+  [[nodiscard]] std::uint64_t ingest_batches() const {
+    return ingest_batches_.value();
+  }
+  [[nodiscard]] std::uint64_t ingest_batched_records() const {
+    return ingest_batched_records_.value();
+  }
   [[nodiscard]] std::uint64_t metrics_scrapes() const {
     return metrics_scrapes_.value();
   }
@@ -152,7 +173,14 @@ class Daemon {
   void ReapFinishedConnections();
 
   // The encoded IngestAck envelope for the current applied state.
-  [[nodiscard]] std::string AckBytes();
+  // `acked_wire_seq` is the cumulative count of the connection's wire
+  // records durably processed (batched cumulative ack).
+  [[nodiscard]] std::string AckBytes(std::uint64_t acked_wire_seq);
+  // Ship-side snapshot catch-up: offer + chunks for the current snapshot
+  // file. On success returns the snapshot's applied_seq (where the
+  // journal suffix stream resumes).
+  [[nodiscard]] util::StatusOr<std::uint64_t> SendSnapshotTransfer(
+      Socket& socket, std::uint64_t journal_base);
 
   ha::Replica* replica_;
   obs::Registry* registry_;
@@ -188,6 +216,10 @@ class Daemon {
   obs::Counter predict_requests_;
   obs::Counter ship_streams_;
   obs::Counter ship_frames_sent_;
+  obs::Counter snapshot_transfers_;
+  obs::Counter snapshot_bytes_sent_;
+  obs::Counter ingest_batches_;
+  obs::Counter ingest_batched_records_;
   obs::Counter metrics_scrapes_;
   obs::Gauge ship_lag_seq_;
   obs::MetricGroup metric_handles_;

@@ -6,6 +6,8 @@
 //   ./tipsyd [--predict-port N] [--ingest-port N] [--ship-port N]
 //            [--metrics-port N] [--journal PATH] [--snapshot PATH]
 //            [--seed N] [--tick-ms N] [--run-for-ms N]
+//            [--ship-from HOST:PORT] [--no-compact]
+//            [--compact-min-records N]
 //
 // Ports default to 0 (kernel-assigned); the resolved ports are printed on
 // one line once serving:
@@ -13,21 +15,37 @@
 //   tipsyd READY predict=<p> ingest=<p> ship=<p> metrics=<p>
 //
 // which is what tools/daemon_smoke.sh and the net tests parse. SIGINT or
-// SIGTERM stops the listeners, joins every connection, and exits 0. The
-// model identity (wan/metros) comes from the default-seed TinyScenario so
-// that out-of-process clients built against the same scenario agree on
-// link and metro ids.
+// SIGTERM stops the listeners, joins every connection, snapshots the
+// final state, and exits 0 after printing
+//
+//   tipsyd STOPPED ... applied_seq=<n> digest=<crc32c hex>
+//
+// — the digest is ha::ReplicaStateDigest, the chaos harness's
+// bit-identical convergence witness.
+//
+// --ship-from puts the process in standby mode: a ShippingClient tails
+// the named primary's ship port (snapshot catch-up included) into this
+// replica while the local listeners keep serving predictions. Journal
+// compaction after day-boundary snapshots is ON by default (--no-compact
+// for the unbounded-journal behavior of earlier versions).
+//
+// The model identity (wan/metros) comes from the default-seed
+// TinyScenario so that out-of-process clients built against the same
+// scenario agree on link and metro ids.
 #include <atomic>
 #include <chrono>
 #include <csignal>
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
+#include <iomanip>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <thread>
 
 #include "ha/replica.h"
+#include "net/client.h"
 #include "net/daemon.h"
 #include "obs/metrics.h"
 #include "scenario/scenario.h"
@@ -57,8 +75,11 @@ int main(int argc, char** argv) {
   net::DaemonConfig daemon_cfg;
   std::string journal_path = "tipsyd.journal";
   std::string snapshot_path = "tipsyd.snapshot";
+  std::string ship_from;  // non-empty: standby mode
   std::uint64_t seed = 0;
   bool seed_set = false;
+  bool compact = true;
+  std::uint64_t compact_min_records = 0;
   int tick_ms = 0;        // 0: no dark-feed ticker
   long run_for_ms = -1;   // <0: run until signalled
 
@@ -90,6 +111,12 @@ int main(int argc, char** argv) {
       tick_ms = static_cast<int>(ParseU64(next(), "--tick-ms"));
     } else if (flag == "--run-for-ms") {
       run_for_ms = static_cast<long>(ParseU64(next(), "--run-for-ms"));
+    } else if (flag == "--ship-from") {
+      ship_from = next();
+    } else if (flag == "--no-compact") {
+      compact = false;
+    } else if (flag == "--compact-min-records") {
+      compact_min_records = ParseU64(next(), "--compact-min-records");
     } else {
       std::cerr << "tipsyd: unknown flag " << flag << "\n";
       return 2;
@@ -109,6 +136,8 @@ int main(int argc, char** argv) {
   ha::ReplicaConfig replica_cfg;
   replica_cfg.journal_path = journal_path;
   replica_cfg.snapshot_path = snapshot_path;
+  replica_cfg.compact_after_snapshot = compact;
+  replica_cfg.compact_min_records = compact_min_records;
   auto replica = ha::Replica::Open(&world.wan(), &world.metros(),
                                    /*window_days=*/14, {}, {}, replica_cfg);
   if (!replica.ok()) {
@@ -125,6 +154,37 @@ int main(int argc, char** argv) {
   if (const auto started = daemon.Start(); !started.ok()) {
     std::cerr << "tipsyd: start failed: " << started.ToString() << "\n";
     return 1;
+  }
+
+  // Standby mode: tail the primary's journal (snapshot catch-up
+  // included) into this replica. The shipper and the ingest plane are
+  // never fed concurrently — a standby's collector traffic starts only
+  // after it is relaunched as a primary.
+  std::unique_ptr<net::ShippingClient> shipper;
+  obs::MetricGroup ship_metrics;
+  if (!ship_from.empty()) {
+    const auto colon = ship_from.rfind(':');
+    if (colon == std::string::npos) {
+      std::cerr << "tipsyd: --ship-from wants HOST:PORT, got " << ship_from
+                << "\n";
+      return 2;
+    }
+    net::ClientConfig ship_cfg;
+    ship_cfg.host = ship_from.substr(0, colon);
+    ship_cfg.port = static_cast<std::uint16_t>(
+        ParseU64(ship_from.c_str() + colon + 1, "--ship-from"));
+    shipper = std::make_unique<net::ShippingClient>(&*replica, ship_cfg,
+                                                    &registry, "tipsyd_ship");
+    // Progress gauge for the harness: how far the shipped replay has
+    // advanced, readable from /metrics without racing the shipper
+    // thread (the client keeps it in an atomic).
+    ship_metrics.push_back(registry.RegisterGauge(
+        "tipsyd_ship_applied_seq",
+        "Standby replay position (journal seqs applied via shipping)",
+        [&shipper]() {
+          return static_cast<double>(shipper->applied_seq());
+        }));
+    shipper->Start();
   }
 
   std::signal(SIGINT, HandleSignal);
@@ -157,10 +217,32 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (shipper != nullptr) shipper->Stop();
   daemon.Stop();
+  // Persist the final state so a relaunch (e.g. a standby promoted to
+  // primary) resumes from here instead of its last day-boundary
+  // checkpoint. Shipped records are not re-journaled locally, so for a
+  // standby this snapshot IS the durable record of its replay.
+  if (const auto saved = replica->SnapshotNow(); !saved.ok()) {
+    std::cerr << "tipsyd: final snapshot failed: " << saved.ToString()
+              << "\n";
+  } else if (compact) {
+    // Align the journal base with the snapshot. On a standby this is
+    // what makes the snapshot restorable at all: shipped records were
+    // never journaled locally, and a snapshot ahead of the journal is
+    // (correctly) rejected as corrupt on open. Compact resets the
+    // journal to an empty file based at applied_seq.
+    if (const auto compacted = replica->CompactThroughSnapshot();
+        !compacted.ok()) {
+      std::cerr << "tipsyd: final compaction failed: "
+                << compacted.ToString() << "\n";
+    }
+  }
   std::cout << "tipsyd STOPPED frames_applied=" << daemon.frames_applied()
             << " predict_requests=" << daemon.predict_requests()
             << " ship_frames_sent=" << daemon.ship_frames_sent()
-            << std::endl;
+            << " applied_seq=" << replica->applied_seq() << " digest="
+            << std::hex << std::setfill('0') << std::setw(8)
+            << ha::ReplicaStateDigest(*replica) << std::dec << std::endl;
   return 0;
 }

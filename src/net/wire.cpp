@@ -2,6 +2,7 @@
 
 #include <bit>
 #include <cstring>
+#include <limits>
 #include <sstream>
 
 #include "util/checksum.h"
@@ -78,7 +79,7 @@ std::uint32_t EnvelopeCrc(MessageType type, std::string_view payload) {
 
 bool KnownMessageType(std::uint8_t raw) {
   return raw >= static_cast<std::uint8_t>(MessageType::kIngestHello) &&
-         raw <= static_cast<std::uint8_t>(MessageType::kHeartbeat);
+         raw <= static_cast<std::uint8_t>(MessageType::kSnapshotChunk);
 }
 
 util::StatusOr<Message> DecodeEnvelope(std::string_view header,
@@ -225,6 +226,8 @@ std::string EncodeIngestAck(const IngestAck& ack) {
   std::ostringstream out;
   pipeline::PutZigzag(out, ack.last_applied_hour);
   pipeline::PutVarint(out, ack.next_seq);
+  pipeline::PutVarint(out, ack.acked_wire_seq);
+  pipeline::PutVarint(out, ack.credits);
   return out.str();
 }
 
@@ -234,6 +237,8 @@ util::StatusOr<IngestAck> DecodeIngestAck(std::string_view payload) {
   IngestAck ack;
   ack.last_applied_hour = pipeline::TakeZigzag(payload, pos, ok);
   ack.next_seq = pipeline::TakeVarint(payload, pos, ok);
+  ack.acked_wire_seq = pipeline::TakeVarint(payload, pos, ok);
+  ack.credits = pipeline::TakeVarint(payload, pos, ok);
   if (!ok || pos != payload.size()) {
     return util::Status::Corrupt("ingest ack is malformed");
   }
@@ -264,6 +269,65 @@ util::StatusOr<ShipRequest> DecodeShipRequest(std::string_view payload) {
         std::to_string(request.protocol_version));
   }
   return request;
+}
+
+std::string EncodeSnapshotOffer(const SnapshotOffer& offer) {
+  std::ostringstream out;
+  pipeline::PutVarint(out,
+                      static_cast<std::uint64_t>(offer.protocol_version));
+  pipeline::PutVarint(out, offer.applied_seq);
+  pipeline::PutVarint(out, offer.total_bytes);
+  pipeline::PutVarint(out, offer.total_crc32c);
+  return out.str();
+}
+
+util::StatusOr<SnapshotOffer> DecodeSnapshotOffer(std::string_view payload) {
+  std::size_t pos = 0;
+  bool ok = true;
+  SnapshotOffer offer;
+  offer.protocol_version =
+      static_cast<int>(pipeline::TakeVarint(payload, pos, ok));
+  offer.applied_seq = pipeline::TakeVarint(payload, pos, ok);
+  offer.total_bytes = pipeline::TakeVarint(payload, pos, ok);
+  const std::uint64_t crc = pipeline::TakeVarint(payload, pos, ok);
+  if (!ok || pos != payload.size() ||
+      crc > std::numeric_limits<std::uint32_t>::max()) {
+    return util::Status::Corrupt("snapshot offer is malformed");
+  }
+  offer.total_crc32c = static_cast<std::uint32_t>(crc);
+  if (offer.protocol_version != kWireProtocolVersion) {
+    return util::Status::VersionMismatch(
+        "peer speaks wire protocol version " +
+        std::to_string(offer.protocol_version));
+  }
+  // The whole transfer obeys the same allocation discipline as a single
+  // envelope: a snapshot that claims more than the cap is refused before
+  // any chunk is buffered.
+  if (offer.total_bytes > kMaxMessageBytes) {
+    return util::Status::Corrupt("snapshot offer claims implausible size " +
+                                 std::to_string(offer.total_bytes));
+  }
+  return offer;
+}
+
+std::string EncodeSnapshotChunk(const SnapshotChunk& chunk) {
+  std::ostringstream out;
+  pipeline::PutVarint(out, chunk.index);
+  out.write(chunk.data.data(),
+            static_cast<std::streamsize>(chunk.data.size()));
+  return out.str();
+}
+
+util::StatusOr<SnapshotChunk> DecodeSnapshotChunk(std::string_view payload) {
+  std::size_t pos = 0;
+  bool ok = true;
+  SnapshotChunk chunk;
+  chunk.index = pipeline::TakeVarint(payload, pos, ok);
+  if (!ok) {
+    return util::Status::Corrupt("snapshot chunk is malformed");
+  }
+  chunk.data.assign(payload.substr(pos));
+  return chunk;
 }
 
 std::string EncodeHeartbeat(const HeartbeatReport& report) {

@@ -37,7 +37,9 @@
 
 namespace tipsy::net {
 
-inline constexpr int kWireProtocolVersion = 1;
+// v2 added batched-ack fields to IngestAck and the snapshot catch-up
+// message pair (kSnapshotOffer / kSnapshotChunk).
+inline constexpr int kWireProtocolVersion = 2;
 
 // Hard cap on any single message payload; a hostile or corrupt length
 // header can never drive a multi-GB allocation.
@@ -50,6 +52,12 @@ enum class MessageType : std::uint8_t {
   kPredictRequest = 4,
   kPredictResponse = 5,
   kHeartbeat = 6,     // replica -> supervisor liveness + progress report
+  // Ship-side catch-up: when the requested from_seq predates the
+  // compacted journal base, the primary sends one kSnapshotOffer followed
+  // by kSnapshotChunk envelopes carrying the TIPSYSS2 snapshot bytes,
+  // then the journal suffix stream from the snapshot's applied_seq.
+  kSnapshotOffer = 7,
+  kSnapshotChunk = 8,
 };
 
 struct Message {
@@ -107,12 +115,41 @@ struct IngestAck {
   util::HourIndex last_applied_hour = -1;
   // The daemon journal's next sequence number (operator visibility).
   std::uint64_t next_seq = 0;
+  // Cumulative count of this connection's wire records the daemon has
+  // durably processed (applied or wire-skipped). Acks are batched: one
+  // ack can cover many records, and the collector pops everything below
+  // this from its unacked window.
+  std::uint64_t acked_wire_seq = 0;
+  // How many records the collector may have in flight past
+  // acked_wire_seq before it must wait for the next ack. 0 tells the
+  // collector to degrade to lock-step probing (one record, then wait).
+  std::uint64_t credits = 0;
 };
 struct ShipRequest {
   int protocol_version = kWireProtocolVersion;
   // First journal seq the standby is missing (its applied_seq).
   std::uint64_t from_seq = 0;
 };
+// Ship-side catch-up transfer header. The snapshot bytes that follow (in
+// kSnapshotChunk envelopes) are the primary's TIPSYSS2 file verbatim;
+// total_crc32c covers the whole blob so a reassembled transfer is gated
+// twice (per-envelope CRC, then whole-file CRC) before DecodeSnapshot
+// adds the format's own checksum as the third gate.
+struct SnapshotOffer {
+  int protocol_version = kWireProtocolVersion;
+  // The snapshot's applied_seq: the journal suffix streamed after the
+  // chunks starts exactly here.
+  std::uint64_t applied_seq = 0;
+  std::uint64_t total_bytes = 0;
+  std::uint32_t total_crc32c = 0;
+};
+struct SnapshotChunk {
+  // 0-based position of this chunk in the transfer; chunks arrive in
+  // order and a gap is kCorrupt.
+  std::uint64_t index = 0;
+  std::string data;
+};
+
 struct HeartbeatReport {
   // 0 = primary, 1+ = standby (member_index - 1 is the standby index).
   std::uint32_t member_index = 0;
@@ -132,6 +169,12 @@ struct HeartbeatReport {
     std::string_view payload);
 [[nodiscard]] std::string EncodeHeartbeat(const HeartbeatReport& report);
 [[nodiscard]] util::StatusOr<HeartbeatReport> DecodeHeartbeat(
+    std::string_view payload);
+[[nodiscard]] std::string EncodeSnapshotOffer(const SnapshotOffer& offer);
+[[nodiscard]] util::StatusOr<SnapshotOffer> DecodeSnapshotOffer(
+    std::string_view payload);
+[[nodiscard]] std::string EncodeSnapshotChunk(const SnapshotChunk& chunk);
+[[nodiscard]] util::StatusOr<SnapshotChunk> DecodeSnapshotChunk(
     std::string_view payload);
 
 // --- Batch PredictShift RPC payloads.

@@ -1,0 +1,70 @@
+#include "scenario/chaos_schedule.h"
+
+#include <random>
+
+namespace tipsy::scenario {
+
+std::vector<ChaosEvent> BuildChaosSchedule(
+    const ChaosScheduleConfig& config) {
+  std::mt19937_64 rng(config.seed);
+  const auto pick = [&rng](std::uint64_t bound) -> int {
+    // Modulo, not uniform_int_distribution: the tiny bias is irrelevant
+    // for fault scheduling and the result is identical on every
+    // platform, which uniform_int_distribution does not promise.
+    return static_cast<int>(rng() % bound);
+  };
+  const int standbys = config.standbys > 0 ? config.standbys : 1;
+
+  std::vector<ChaosEvent> schedule;
+  schedule.push_back(
+      {ChaosAction::kFeedHours, 0, config.warmup_hours});
+
+  // Outstanding un-healed proxy faults; forces a heal before too many
+  // rounds pass so a partitioned standby never rots for the whole run.
+  int unhealed = 0;
+  for (int round = 0; round < config.rounds; ++round) {
+    if (unhealed > 0 && round % 3 == 2) {
+      schedule.push_back({ChaosAction::kHealAll, 0, 0});
+      unhealed = 0;
+      continue;
+    }
+    const int roll = pick(100);
+    ChaosEvent event;
+    if (roll < 35) {
+      event = {ChaosAction::kFeedHours, 0,
+               1 + pick(static_cast<std::uint64_t>(
+                       config.max_feed_hours > 0 ? config.max_feed_hours
+                                                 : 1))};
+    } else if (roll < 45) {
+      event = {ChaosAction::kKillPrimary, 0, 0};
+    } else if (roll < 52) {
+      event = {ChaosAction::kRestartPrimary, 0, 0};
+    } else if (roll < 62) {
+      event = {ChaosAction::kKillStandby, pick(standbys), 0};
+    } else if (roll < 69) {
+      event = {ChaosAction::kRestartStandby, pick(standbys), 0};
+    } else if (roll < 78) {
+      event = {ChaosAction::kPartitionStandby, pick(standbys), 0};
+      ++unhealed;
+    } else if (roll < 84) {
+      event = {ChaosAction::kSlowDripStandby, pick(standbys), 0};
+      ++unhealed;
+    } else if (roll < 89) {
+      event = {ChaosAction::kDripIngest, 0, 0};
+      ++unhealed;
+    } else if (roll < 94) {
+      event = {ChaosAction::kResetIngest, 0, 0};
+    } else {
+      event = {ChaosAction::kPromoteStandby, pick(standbys), 0};
+    }
+    schedule.push_back(event);
+  }
+
+  // Converging suffix: heal everything, then feed fresh traffic so the
+  // survivors have something recent to agree on.
+  schedule.push_back({ChaosAction::kHealAll, 0, 0});
+  schedule.push_back({ChaosAction::kFeedHours, 0, 3});
+  return schedule;
+}
+
+}  // namespace tipsy::scenario

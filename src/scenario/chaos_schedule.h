@@ -1,0 +1,88 @@
+// Deterministic event schedules for the multi-process chaos harness
+// (tools/chaos_harness).
+//
+// The harness boots real tipsyd processes behind SocketFaultProxy and
+// needs a reproducible interleaving of traffic, crashes, partitions and
+// promotions: same seed, same schedule, byte for byte. The generator
+// lives here (not in tools/) so scenario_test can pin the determinism
+// contract, and because the weights below — mostly feed, a steady drip
+// of faults, every fault eventually healed — are scenario policy, not
+// harness mechanics.
+//
+// Randomness uses std::mt19937_64 with modulo reduction only: the
+// distribution adapters (std::uniform_int_distribution et al) are
+// implementation-defined and would break cross-platform reproducibility.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace tipsy::scenario {
+
+enum class ChaosAction : std::uint8_t {
+  // Feed `count` hours of collector traffic (async + flush): the only
+  // action that advances the logical clock, so day-boundary snapshots
+  // and compactions ride on it.
+  kFeedHours = 0,
+  kKillPrimary,      // SIGKILL + relaunch: crash recovery from disk
+  kRestartPrimary,   // SIGTERM + relaunch: graceful stop, digest checked
+  kKillStandby,      // SIGKILL standby `index` + relaunch (catch-up path)
+  kRestartStandby,   // SIGTERM standby `index` + relaunch
+  kPartitionStandby, // standby `index`'s ship proxy black-holes bytes
+  kSlowDripStandby,  // standby `index`'s ship proxy drips one byte at a time
+  kDripIngest,       // the collector's ingest proxy drips
+  kResetIngest,      // cut the collector's connection mid-frame, then pass
+  kHealAll,          // every proxy back to pass-through
+  kPromoteStandby,   // graceful promotion: standby `index` becomes primary
+};
+
+[[nodiscard]] constexpr const char* ChaosActionName(ChaosAction action) {
+  switch (action) {
+    case ChaosAction::kFeedHours: return "FEED_HOURS";
+    case ChaosAction::kKillPrimary: return "KILL_PRIMARY";
+    case ChaosAction::kRestartPrimary: return "RESTART_PRIMARY";
+    case ChaosAction::kKillStandby: return "KILL_STANDBY";
+    case ChaosAction::kRestartStandby: return "RESTART_STANDBY";
+    case ChaosAction::kPartitionStandby: return "PARTITION_STANDBY";
+    case ChaosAction::kSlowDripStandby: return "SLOW_DRIP_STANDBY";
+    case ChaosAction::kDripIngest: return "DRIP_INGEST";
+    case ChaosAction::kResetIngest: return "RESET_INGEST";
+    case ChaosAction::kHealAll: return "HEAL_ALL";
+    case ChaosAction::kPromoteStandby: return "PROMOTE_STANDBY";
+  }
+  return "UNKNOWN";
+}
+
+struct ChaosEvent {
+  ChaosAction action = ChaosAction::kFeedHours;
+  int index = 0;  // which standby, for the *_STANDBY actions
+  int count = 0;  // hours, for kFeedHours
+};
+
+struct ChaosScheduleConfig {
+  std::uint64_t seed = 1;
+  // Random rounds generated (the emitted schedule is longer: a warmup
+  // feed prefix, forced heals, and a converging suffix are added).
+  int rounds = 40;
+  int standbys = 2;
+  // kFeedHours count is 1..max_feed_hours.
+  int max_feed_hours = 6;
+  // Hours fed before the first fault, so the primary crosses at least
+  // one day boundary (snapshot + compaction) and a cold standby must
+  // take the snapshot catch-up path, every run.
+  int warmup_hours = 30;
+};
+
+// Deterministic: the returned schedule depends only on `config`.
+//
+// Structural guarantees, independent of seed:
+//  * the first event feeds `warmup_hours` hours;
+//  * a partition or slow-drip is healed within 3 following events;
+//  * kill/restart/promote events are self-healing (the harness relaunches
+//    within the event), so no event leaves a process permanently down;
+//  * the schedule ends with kHealAll followed by a final feed, so every
+//    survivor has fresh traffic to converge on.
+[[nodiscard]] std::vector<ChaosEvent> BuildChaosSchedule(
+    const ChaosScheduleConfig& config);
+
+}  // namespace tipsy::scenario

@@ -1,0 +1,137 @@
+#include "util/jsonish.h"
+
+#include <cctype>
+
+namespace tipsy::util {
+namespace {
+
+// Advances past whitespace. Returns false at end of text.
+bool SkipSpace(std::string_view json, std::size_t& pos) {
+  while (pos < json.size() &&
+         std::isspace(static_cast<unsigned char>(json[pos])) != 0) {
+    ++pos;
+  }
+  return pos < json.size();
+}
+
+// Advances `pos` past the string whose opening quote is at `pos`.
+bool SkipString(std::string_view json, std::size_t& pos) {
+  if (pos >= json.size() || json[pos] != '"') return false;
+  for (++pos; pos < json.size(); ++pos) {
+    if (json[pos] == '\\') {
+      ++pos;  // whatever follows is escaped, even a quote
+    } else if (json[pos] == '"') {
+      ++pos;
+      return true;
+    }
+  }
+  return false;  // unterminated
+}
+
+// Advances `pos` past one value (string, object, array, or bare scalar).
+bool SkipValue(std::string_view json, std::size_t& pos) {
+  if (!SkipSpace(json, pos)) return false;
+  const char head = json[pos];
+  if (head == '"') return SkipString(json, pos);
+  if (head == '{' || head == '[') {
+    int depth = 0;
+    while (pos < json.size()) {
+      const char c = json[pos];
+      if (c == '"') {
+        if (!SkipString(json, pos)) return false;
+        continue;
+      }
+      if (c == '{' || c == '[') ++depth;
+      if (c == '}' || c == ']') {
+        --depth;
+        if (depth == 0) {
+          ++pos;
+          return true;
+        }
+      }
+      ++pos;
+    }
+    return false;  // unbalanced
+  }
+  // Bare scalar: number / true / false / null — ends at a delimiter.
+  const std::size_t start = pos;
+  while (pos < json.size() && json[pos] != ',' && json[pos] != '}' &&
+         json[pos] != ']' &&
+         std::isspace(static_cast<unsigned char>(json[pos])) == 0) {
+    ++pos;
+  }
+  return pos > start;
+}
+
+// Locates top-level `key`, filling [value_begin, value_end) with its
+// value span and entry_begin with where the `"key"` token starts.
+bool FindTopLevelKey(std::string_view json, std::string_view key,
+                     std::size_t* entry_begin, std::size_t* value_begin,
+                     std::size_t* value_end) {
+  std::size_t pos = 0;
+  if (!SkipSpace(json, pos) || json[pos] != '{') return false;
+  ++pos;
+  while (SkipSpace(json, pos) && json[pos] != '}') {
+    const std::size_t key_begin = pos;
+    if (json[pos] != '"') return false;
+    std::size_t key_end = pos;
+    if (!SkipString(json, key_end)) return false;
+    const std::string_view name =
+        json.substr(key_begin + 1, key_end - key_begin - 2);
+    pos = key_end;
+    if (!SkipSpace(json, pos) || json[pos] != ':') return false;
+    ++pos;
+    if (!SkipSpace(json, pos)) return false;
+    const std::size_t val_begin = pos;
+    if (!SkipValue(json, pos)) return false;
+    if (name == key) {
+      *entry_begin = key_begin;
+      *value_begin = val_begin;
+      *value_end = pos;
+      return true;
+    }
+    if (!SkipSpace(json, pos)) return false;
+    if (json[pos] == ',') ++pos;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string ExtractTopLevelJsonValue(std::string_view json,
+                                     std::string_view key) {
+  std::size_t entry = 0, begin = 0, end = 0;
+  if (!FindTopLevelKey(json, key, &entry, &begin, &end)) return {};
+  return std::string(json.substr(begin, end - begin));
+}
+
+std::string UpsertTopLevelJsonValue(std::string_view json,
+                                    std::string_view key,
+                                    std::string_view value) {
+  std::size_t entry = 0, begin = 0, end = 0;
+  if (FindTopLevelKey(json, key, &entry, &begin, &end)) {
+    std::string out(json.substr(0, begin));
+    out.append(value);
+    out.append(json.substr(end));
+    return out;
+  }
+  // Insert before the final '}' of the outermost object.
+  const std::size_t close = json.rfind('}');
+  if (close == std::string_view::npos) return {};
+  // Trim trailing whitespace before the brace so the splice is tidy.
+  std::size_t tail = close;
+  while (tail > 0 &&
+         std::isspace(static_cast<unsigned char>(json[tail - 1])) != 0) {
+    --tail;
+  }
+  std::string out(json.substr(0, tail));
+  out.append(",\n  \"");
+  out.append(key);
+  out.append("\": ");
+  out.append(value);
+  out.append("\n");
+  out.append(json.substr(close));
+  return out;
+}
+
+}  // namespace tipsy::util

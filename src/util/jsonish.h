@@ -1,0 +1,32 @@
+// Minimal structural surgery on the repo's BENCH_*.json files.
+//
+// The bench emitters hand-print their JSON (no serializer dependency),
+// and two writers now share BENCH_robustness.json: bench_degradation
+// owns the degradation keys and the chaos harness owns the "chaos"
+// object. Neither may clobber the other's section, so both splice
+// against the existing file: extract a top-level key's value verbatim,
+// or upsert one before the closing brace. The scanner understands just
+// enough JSON to do that safely — strings with escapes, and nesting of
+// {} / [] — and refuses (empty / false) rather than guessing when the
+// text doesn't parse.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace tipsy::util {
+
+// Returns the verbatim value (object, array, or scalar) of top-level
+// `key` in `json`, or an empty string when the key is absent or the
+// text is malformed. Only the outermost object's keys are considered.
+[[nodiscard]] std::string ExtractTopLevelJsonValue(std::string_view json,
+                                                   std::string_view key);
+
+// Returns `json` with top-level `key` set to `value` (verbatim JSON
+// text): replaces the existing entry or inserts one before the final
+// closing brace. Returns an empty string when `json` is not an object.
+[[nodiscard]] std::string UpsertTopLevelJsonValue(std::string_view json,
+                                                  std::string_view key,
+                                                  std::string_view value);
+
+}  // namespace tipsy::util

@@ -348,6 +348,308 @@ TEST(JournalByteFlipFuzz, EveryMutationRecoversAnHonestPrefix) {
   }
 }
 
+// ------------------------------------------------------------- compaction
+//
+// Journal::Compact is manifest-before-truncate: the authenticated base
+// seq is committed to the atomic `.manifest` sidecar first, then the
+// journal is atomically rewritten as magic + surviving suffix. The tests
+// below cover the clean path, the crash window between the two writes,
+// and bit rot in either file. The invariant throughout: Open() either
+// reconstructs exactly the authenticated state or refuses with a typed
+// error — it never guesses a base or presents record loss as success.
+
+std::uint64_t AppendHours(ha::Journal& journal, const HaFixture& fixture,
+                          util::HourIndex first, util::HourIndex count) {
+  std::uint64_t last = 0;
+  for (util::HourIndex h = first; h < first + count; ++h) {
+    auto seq = journal.Append(ha::JournalRecordKind::kIngest, h,
+                              fixture.HourRows(h));
+    EXPECT_TRUE(seq.ok()) << seq.status().ToString();
+    last = *seq;
+  }
+  return last;
+}
+
+TEST(JournalCompaction, CompactDropsPrefixAndSurvivesReopen) {
+  HaFixture fixture;
+  TempDir dir("compact_roundtrip");
+  const auto path = dir.File("hours.journal");
+  {
+    auto journal = ha::Journal::Open(path, /*fsync_appends=*/false);
+    ASSERT_TRUE(journal.ok()) << journal.status().ToString();
+    AppendHours(*journal, fixture, 0, 8);
+    ASSERT_TRUE(journal->Compact(5).ok());
+    EXPECT_EQ(journal->base_seq(), 5u);
+    EXPECT_EQ(journal->next_seq(), 8u);
+    EXPECT_EQ(journal->compactions(), 1u);
+    EXPECT_EQ(journal->compacted_records(), 5u);
+    // Appends keep landing on the rewritten file with contiguous seqs.
+    EXPECT_EQ(AppendHours(*journal, fixture, 8, 1), 8u);
+    // Compacting to a seq at or below the base is a no-op, not an error.
+    ASSERT_TRUE(journal->Compact(3).ok());
+    EXPECT_EQ(journal->base_seq(), 5u);
+  }
+  auto reopened = ha::Journal::Open(path, /*fsync_appends=*/false);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_FALSE(reopened->compaction_resumed());
+  EXPECT_EQ(reopened->base_seq(), 5u);
+  EXPECT_EQ(reopened->next_seq(), 9u);
+  const auto& records = reopened->recovered().records;
+  ASSERT_EQ(records.size(), 4u);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    ha::JournalRecord expect;
+    expect.seq = 5 + i;
+    expect.hour = static_cast<util::HourIndex>(5 + i);
+    expect.rows = fixture.HourRows(expect.hour);
+    EXPECT_TRUE(RecordsEqual(records[i], expect)) << i;
+  }
+}
+
+TEST(JournalCompaction, CompactPastNextSeqResetsToEmptyBase) {
+  // A standby installing a remote snapshot compacts through a seq it
+  // never journalled locally; the journal must reset to an empty file
+  // based there so the snapshot is restorable on the next open.
+  HaFixture fixture;
+  TempDir dir("compact_reset");
+  const auto path = dir.File("hours.journal");
+  {
+    auto journal = ha::Journal::Open(path, /*fsync_appends=*/false);
+    ASSERT_TRUE(journal.ok()) << journal.status().ToString();
+    AppendHours(*journal, fixture, 0, 3);
+    ASSERT_TRUE(journal->Compact(20).ok());
+    EXPECT_EQ(journal->base_seq(), 20u);
+    EXPECT_EQ(journal->next_seq(), 20u);
+    EXPECT_EQ(AppendHours(*journal, fixture, 20, 1), 20u);
+  }
+  auto reopened = ha::Journal::Open(path, /*fsync_appends=*/false);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened->base_seq(), 20u);
+  EXPECT_EQ(reopened->next_seq(), 21u);
+  ASSERT_EQ(reopened->recovered().records.size(), 1u);
+  EXPECT_EQ(reopened->recovered().records.front().seq, 20u);
+}
+
+TEST(JournalCompaction, CrashBetweenManifestAndTruncateIsCompletedOnOpen) {
+  HaFixture fixture;
+  TempDir dir("compact_torn");
+  const auto path = dir.File("hours.journal");
+  {
+    auto journal = ha::Journal::Open(path, /*fsync_appends=*/false);
+    ASSERT_TRUE(journal.ok()) << journal.status().ToString();
+    AppendHours(*journal, fixture, 0, 8);
+  }
+  // Exactly the on-disk state a crash after Compact's first atomic write
+  // leaves behind: the manifest advanced, the journal file did not.
+  ASSERT_TRUE(util::WriteFileAtomic(ha::JournalManifestPath(path),
+                                    ha::EncodeJournalManifest({.base_seq = 5}))
+                  .ok());
+  {
+    auto repaired = ha::Journal::Open(path, /*fsync_appends=*/false);
+    ASSERT_TRUE(repaired.ok()) << repaired.status().ToString();
+    EXPECT_TRUE(repaired->compaction_resumed());
+    EXPECT_EQ(repaired->base_seq(), 5u);
+    EXPECT_EQ(repaired->next_seq(), 8u);
+    ASSERT_EQ(repaired->recovered().records.size(), 3u);
+    EXPECT_EQ(repaired->recovered().records.front().seq, 5u);
+    EXPECT_EQ(AppendHours(*repaired, fixture, 8, 1), 8u);
+  }
+  // The repair is durable: a second open sees an ordinary compacted file.
+  auto stable = ha::Journal::Open(path, /*fsync_appends=*/false);
+  ASSERT_TRUE(stable.ok()) << stable.status().ToString();
+  EXPECT_FALSE(stable->compaction_resumed());
+  EXPECT_EQ(stable->base_seq(), 5u);
+  EXPECT_EQ(stable->next_seq(), 9u);
+}
+
+TEST(JournalCompaction, TornCompactionWithTornAppendTailRecovers) {
+  // Worst case: a torn append tail from one crash AND a manifest ahead
+  // of the file from a compaction crash. Open must drop the torn tail,
+  // complete the truncation, and keep exactly [manifest base, verified
+  // end).
+  HaFixture fixture;
+  TempDir dir("compact_torn_tail");
+  const auto path = dir.File("hours.journal");
+  std::string bytes(ha::JournalMagic());
+  for (std::uint64_t seq = 0; seq < 8; ++seq) {
+    ha::JournalRecord record;
+    record.seq = seq;
+    record.hour = static_cast<util::HourIndex>(seq);
+    record.rows = fixture.HourRows(record.hour);
+    bytes += ha::EncodeJournalRecord(record);
+  }
+  ASSERT_TRUE(
+      util::WriteFileAtomic(path, scenario::TruncateTail(bytes, 7)).ok());
+  ASSERT_TRUE(util::WriteFileAtomic(ha::JournalManifestPath(path),
+                                    ha::EncodeJournalManifest({.base_seq = 5}))
+                  .ok());
+  auto repaired = ha::Journal::Open(path, /*fsync_appends=*/false);
+  ASSERT_TRUE(repaired.ok()) << repaired.status().ToString();
+  EXPECT_TRUE(repaired->compaction_resumed());
+  EXPECT_EQ(repaired->base_seq(), 5u);
+  EXPECT_EQ(repaired->next_seq(), 7u);  // record 7 was the torn append
+  ASSERT_EQ(repaired->recovered().records.size(), 2u);
+  EXPECT_EQ(repaired->recovered().records.front().seq, 5u);
+}
+
+TEST(JournalCompaction, CompactedFileWithoutManifestIsCorrupt) {
+  // A nonzero first seq with no manifest means records went missing (or
+  // someone deleted the sidecar); guessing a base would present that
+  // loss as a successful open.
+  HaFixture fixture;
+  TempDir dir("compact_no_manifest");
+  const auto path = dir.File("hours.journal");
+  std::string bytes(ha::JournalMagic());
+  for (std::uint64_t seq = 5; seq < 8; ++seq) {
+    ha::JournalRecord record;
+    record.seq = seq;
+    record.hour = static_cast<util::HourIndex>(seq);
+    record.rows = fixture.HourRows(record.hour);
+    bytes += ha::EncodeJournalRecord(record);
+  }
+  ASSERT_TRUE(util::WriteFileAtomic(path, bytes).ok());
+  auto opened = ha::Journal::Open(path, /*fsync_appends=*/false);
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), util::StatusCode::kCorrupt);
+}
+
+TEST(JournalCompaction, FileAheadOfManifestIsCorrupt) {
+  // The manifest authenticates base 3 but the file starts at 5: records
+  // 3 and 4 are gone and no snapshot covers them. Typed refusal.
+  HaFixture fixture;
+  TempDir dir("compact_ahead");
+  const auto path = dir.File("hours.journal");
+  std::string bytes(ha::JournalMagic());
+  for (std::uint64_t seq = 5; seq < 8; ++seq) {
+    ha::JournalRecord record;
+    record.seq = seq;
+    record.hour = static_cast<util::HourIndex>(seq);
+    record.rows = fixture.HourRows(record.hour);
+    bytes += ha::EncodeJournalRecord(record);
+  }
+  ASSERT_TRUE(util::WriteFileAtomic(path, bytes).ok());
+  ASSERT_TRUE(util::WriteFileAtomic(ha::JournalManifestPath(path),
+                                    ha::EncodeJournalManifest({.base_seq = 3}))
+                  .ok());
+  auto opened = ha::Journal::Open(path, /*fsync_appends=*/false);
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), util::StatusCode::kCorrupt);
+}
+
+TEST(JournalCompaction, DamagedManifestRefusesOpenWithTypedError) {
+  HaFixture fixture;
+  TempDir dir("compact_bad_manifest");
+  const auto path = dir.File("hours.journal");
+  {
+    auto journal = ha::Journal::Open(path, /*fsync_appends=*/false);
+    ASSERT_TRUE(journal.ok()) << journal.status().ToString();
+    AppendHours(*journal, fixture, 0, 8);
+    ASSERT_TRUE(journal->Compact(5).ok());
+  }
+  auto manifest = util::ReadFileToString(ha::JournalManifestPath(path));
+  ASSERT_TRUE(manifest.ok());
+  ASSERT_TRUE(util::WriteFileAtomic(
+                  ha::JournalManifestPath(path),
+                  scenario::FlipBit(*manifest, manifest->size() - 2, 3))
+                  .ok());
+  auto opened = ha::Journal::Open(path, /*fsync_appends=*/false);
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), util::StatusCode::kCorrupt);
+}
+
+// Exhaustive single-bit-flip and truncation fuzz over the manifest: the
+// CRC catches every mutation, so the decoder must always refuse with a
+// typed code — a flipped base accepted as valid would silently orphan
+// (or resurrect) compacted records.
+TEST(JournalManifestByteFlipFuzz, EveryMutationIsATypedRefusal) {
+  const std::string clean =
+      ha::EncodeJournalManifest({.base_seq = 0x0123456789abcdefULL});
+  {
+    auto sanity = ha::DecodeJournalManifest(clean);
+    ASSERT_TRUE(sanity.ok()) << sanity.status().ToString();
+    ASSERT_EQ(sanity->base_seq, 0x0123456789abcdefULL);
+  }
+  for (std::size_t byte = 0; byte < clean.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      auto decoded =
+          ha::DecodeJournalManifest(scenario::FlipBit(clean, byte, bit));
+      ASSERT_FALSE(decoded.ok())
+          << "undetected manifest corruption at byte " << byte << " bit "
+          << bit;
+      const auto code = decoded.status().code();
+      EXPECT_TRUE(code == util::StatusCode::kCorrupt ||
+                  code == util::StatusCode::kVersionMismatch ||
+                  code == util::StatusCode::kTruncated)
+          << "byte " << byte << " bit " << bit;
+    }
+  }
+  for (std::size_t keep = 0; keep < clean.size(); ++keep) {
+    auto decoded = ha::DecodeJournalManifest(clean.substr(0, keep));
+    ASSERT_FALSE(decoded.ok()) << "accepted " << keep << "-byte prefix";
+  }
+  // Trailing garbage is not "close enough" either.
+  EXPECT_FALSE(ha::DecodeJournalManifest(clean + '\0').ok());
+}
+
+TEST(ReplicaCompaction, CheckpointCompactionKeepsRecoveryBitIdentical) {
+  // The full production loop: day-boundary checkpoints snapshot AND
+  // compact, then the process dies and a cold Open must come back
+  // bit-identical to an uninterrupted run — the compacted prefix now
+  // lives only in the snapshot.
+  HaFixture fixture;
+  const auto events = MakeStream(3 * util::kHoursPerDay);
+
+  auto reference = fixture.MakeRetrainer();
+  for (const auto& event : events) ApplyEvent(reference, fixture, event);
+  const std::string reference_bytes = ServiceBytes(reference.current());
+  ASSERT_FALSE(reference_bytes.empty());
+
+  TempDir dir("replica_compact");
+  auto config = fixture.MakeReplicaConfig(dir, "node");
+  config.compact_after_snapshot = true;
+  {
+    auto replica = fixture.OpenReplica(config);
+    ASSERT_TRUE(replica.ok()) << replica.status().ToString();
+    for (const auto& event : events) {
+      ASSERT_TRUE(ApplyEvent(*replica, fixture, event).ok());
+    }
+    // The day crossings actually compacted: the journal no longer spans
+    // back to genesis and the manifest authenticates the new base.
+    EXPECT_GT(replica->journal().base_seq(), 0u);
+    auto manifest = util::ReadFileToString(
+        ha::JournalManifestPath(config.journal_path));
+    ASSERT_TRUE(manifest.ok());
+    auto decoded = ha::DecodeJournalManifest(*manifest);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded->base_seq, replica->journal().base_seq());
+  }
+  auto reopened = fixture.OpenReplica(config);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened->recovery().source,
+            ha::RestoreSource::kSnapshotAndJournal);
+  EXPECT_EQ(reopened->recovery().skipped_records, 0u);
+  EXPECT_EQ(ServiceBytes(reopened->service()), reference_bytes);
+}
+
+TEST(ReplicaCompaction, CompactedJournalWithoutCoveringSnapshotIsCorrupt) {
+  // A compacted journal spans only [base, next); with no snapshot
+  // covering the base there is no path back to the dropped prefix, and
+  // replaying just the suffix would serve a wrong model as a successful
+  // open. Replica::Open must refuse, not improvise.
+  HaFixture fixture;
+  TempDir dir("replica_compact_orphan");
+  const auto config = fixture.MakeReplicaConfig(dir, "node");
+  {
+    auto journal =
+        ha::Journal::Open(config.journal_path, /*fsync_appends=*/false);
+    ASSERT_TRUE(journal.ok()) << journal.status().ToString();
+    AppendHours(*journal, fixture, 0, 6);
+    ASSERT_TRUE(journal->Compact(4).ok());
+  }
+  auto replica = fixture.OpenReplica(config);
+  ASSERT_FALSE(replica.ok());
+  EXPECT_EQ(replica.status().code(), util::StatusCode::kCorrupt);
+}
+
 // ---------------------------------------------------------------- snapshot
 
 core::RetrainerState TrainedState(const HaFixture& fixture,

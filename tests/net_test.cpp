@@ -213,6 +213,55 @@ TEST(WireCodec, PayloadCodecsRoundTrip) {
   EXPECT_EQ(beat2->health, beat.health);
 }
 
+TEST(WireCodec, AckCreditsAndSnapshotPayloadsRoundTrip) {
+  // IngestAck v2: the batched-ack cursor and the credit window survive
+  // the varints (these two fields ARE the backpressure protocol).
+  net::IngestAck ack;
+  ack.last_applied_hour = 123;
+  ack.next_seq = 500;
+  ack.acked_wire_seq = 77;
+  ack.credits = 64;
+  auto ack2 = net::DecodeIngestAck(net::EncodeIngestAck(ack));
+  ASSERT_TRUE(ack2.ok()) << ack2.status().ToString();
+  EXPECT_EQ(ack2->acked_wire_seq, 77u);
+  EXPECT_EQ(ack2->credits, 64u);
+
+  net::SnapshotOffer offer;
+  offer.applied_seq = 1234;
+  offer.total_bytes = 987654;
+  offer.total_crc32c = 0xdeadbeef;
+  auto offer2 = net::DecodeSnapshotOffer(net::EncodeSnapshotOffer(offer));
+  ASSERT_TRUE(offer2.ok()) << offer2.status().ToString();
+  EXPECT_EQ(offer2->protocol_version, net::kWireProtocolVersion);
+  EXPECT_EQ(offer2->applied_seq, 1234u);
+  EXPECT_EQ(offer2->total_bytes, 987654u);
+  EXPECT_EQ(offer2->total_crc32c, 0xdeadbeefu);
+
+  // Chunk data is opaque snapshot bytes: NULs and high bytes included.
+  net::SnapshotChunk chunk;
+  chunk.index = 3;
+  chunk.data = "snapshot bytes";
+  chunk.data.push_back('\0');
+  chunk.data.push_back('\xff');
+  auto chunk2 = net::DecodeSnapshotChunk(net::EncodeSnapshotChunk(chunk));
+  ASSERT_TRUE(chunk2.ok()) << chunk2.status().ToString();
+  EXPECT_EQ(chunk2->index, 3u);
+  EXPECT_EQ(chunk2->data, chunk.data);
+  net::SnapshotChunk empty;
+  auto empty2 = net::DecodeSnapshotChunk(net::EncodeSnapshotChunk(empty));
+  ASSERT_TRUE(empty2.ok()) << empty2.status().ToString();
+  EXPECT_TRUE(empty2->data.empty());
+
+  // Every truncation of the offer refuses with a typed code — a partial
+  // parse here would start a transfer against the wrong seq or CRC.
+  const std::string offer_bytes = net::EncodeSnapshotOffer(offer);
+  for (std::size_t keep = 0; keep < offer_bytes.size(); ++keep) {
+    EXPECT_FALSE(
+        net::DecodeSnapshotOffer(offer_bytes.substr(0, keep)).ok())
+        << "accepted " << keep << "-byte prefix";
+  }
+}
+
 TEST(WireCodec, PredictPayloadsRoundTripBitExactly) {
   NetFixture fixture;
   net::PredictRequest request;
@@ -716,6 +765,190 @@ TEST(Daemon, ShippingStandbyResumesFromAppliedSeqWithZeroDuplicates) {
   EXPECT_EQ(standby->retrainer().health_snapshot(),
             primary->retrainer().health_snapshot());
 
+  daemon.Stop();
+}
+
+TEST(Daemon, SnapshotCatchUpRestoresCompactedBaseBitIdentical) {
+  // A standby whose from_seq predates the primary's compacted journal
+  // base cannot be served by journal replay alone: the daemon offers a
+  // chunked, CRC-gated snapshot and streams the journal tail after it.
+  // The standby must end bit-identical with zero duplicate applies.
+  NetFixture fixture;
+  TempDir dir("daemon_snapcatch");
+  auto primary_config = fixture.MakeReplicaConfig(dir, "p");
+  primary_config.compact_after_snapshot = true;
+  auto primary = fixture.OpenReplica(primary_config);
+  ASSERT_TRUE(primary.ok()) << primary.status().ToString();
+
+  obs::Registry registry;
+  net::Daemon daemon(&*primary, &registry, fixture.FastDaemonConfig());
+  ASSERT_TRUE(daemon.Start().ok());
+
+  net::CollectorClient collector(
+      fixture.FastClientConfig(daemon.ingest_port()), &registry,
+      "collector");
+  for (util::HourIndex h = 0; h < 30; ++h) {
+    ASSERT_TRUE(collector.SendHour(h, fixture.HourRows(h)).ok());
+  }
+  // The day crossing at hour 24 snapshotted and compacted: the journal
+  // no longer reaches back to seq 0.
+  ASSERT_GT(primary->journal().base_seq(), 0u);
+  ASSERT_EQ(primary->applied_seq(), 30u);
+
+  auto standby = fixture.OpenReplica(fixture.MakeReplicaConfig(dir, "s"));
+  ASSERT_TRUE(standby.ok()) << standby.status().ToString();
+  net::ShippingClient shipper(&*standby,
+                              fixture.FastClientConfig(daemon.ship_port()),
+                              &registry, "shipper");
+  shipper.Start();
+  ASSERT_TRUE(WaitUntil([&] { return shipper.applied_seq() == 30; }, 5000))
+      << "caught up only to seq " << shipper.applied_seq();
+  shipper.Stop();
+
+  EXPECT_EQ(shipper.snapshot_catchups(), 1u);
+  EXPECT_GT(shipper.snapshot_bytes_received(), 0u);
+  // The compacted prefix arrived as state, not as replayed records.
+  EXPECT_LT(shipper.records_applied(), 30u);
+  EXPECT_EQ(standby->applied_seq(), 30u);
+  EXPECT_EQ(standby->duplicate_records_skipped(), 0u);
+  EXPECT_EQ(ServiceBytes(standby->service()),
+            ServiceBytes(primary->service()));
+  EXPECT_EQ(standby->retrainer().health_snapshot(),
+            primary->retrainer().health_snapshot());
+  daemon.Stop();
+}
+
+TEST(Daemon, BaseAdvancePastStandbyCursorForcesSnapshotPath) {
+  // Session 1 ships the journal from genesis. The primary then compacts
+  // past the standby's cursor while shipping is down, so session 2's
+  // from_seq lands below the journal base — replay resume is impossible
+  // and the daemon must fall back to a snapshot offer mid-lifecycle.
+  NetFixture fixture;
+  TempDir dir("daemon_base_advance");
+  auto primary_config = fixture.MakeReplicaConfig(dir, "p");
+  primary_config.compact_after_snapshot = true;
+  auto primary = fixture.OpenReplica(primary_config);
+  ASSERT_TRUE(primary.ok()) << primary.status().ToString();
+  auto standby = fixture.OpenReplica(fixture.MakeReplicaConfig(dir, "s"));
+  ASSERT_TRUE(standby.ok()) << standby.status().ToString();
+
+  obs::Registry registry;
+  net::Daemon daemon(&*primary, &registry, fixture.FastDaemonConfig());
+  ASSERT_TRUE(daemon.Start().ok());
+
+  net::CollectorClient collector(
+      fixture.FastClientConfig(daemon.ingest_port()), &registry,
+      "collector");
+  for (util::HourIndex h = 0; h < 20; ++h) {
+    ASSERT_TRUE(collector.SendHour(h, fixture.HourRows(h)).ok());
+  }
+
+  // Session 1: plain journal replay, no snapshot involved.
+  {
+    net::ShippingClient shipper(&*standby,
+                                fixture.FastClientConfig(daemon.ship_port()),
+                                &registry, "shipper");
+    shipper.Start();
+    ASSERT_TRUE(WaitUntil([&] { return shipper.applied_seq() == 20; }, 5000))
+        << "caught up only to seq " << shipper.applied_seq();
+    shipper.Stop();
+    EXPECT_EQ(shipper.snapshot_catchups(), 0u);
+  }
+
+  // The primary crosses two day boundaries while shipping is down; the
+  // second checkpoint compacts the base well past the standby's seq 20.
+  for (util::HourIndex h = 20; h < 50; ++h) {
+    ASSERT_TRUE(collector.SendHour(h, fixture.HourRows(h)).ok());
+  }
+  ASSERT_GT(primary->journal().base_seq(), 20u);
+
+  // Session 2: from_seq 20 is gone from the journal — snapshot path.
+  {
+    net::ShippingClient shipper(&*standby,
+                                fixture.FastClientConfig(daemon.ship_port()),
+                                &registry, "shipper2");
+    shipper.Start();
+    ASSERT_TRUE(WaitUntil([&] { return shipper.applied_seq() == 50; }, 5000))
+        << "caught up only to seq " << shipper.applied_seq();
+    shipper.Stop();
+    EXPECT_EQ(shipper.snapshot_catchups(), 1u);
+    EXPECT_GT(shipper.snapshot_bytes_received(), 0u);
+  }
+  EXPECT_EQ(standby->applied_seq(), 50u);
+  EXPECT_EQ(standby->duplicate_records_skipped(), 0u);
+  EXPECT_EQ(ServiceBytes(standby->service()),
+            ServiceBytes(primary->service()));
+  EXPECT_EQ(standby->retrainer().health_snapshot(),
+            primary->retrainer().health_snapshot());
+  daemon.Stop();
+}
+
+TEST(Daemon, BatchedAcksAmortizeFsyncsUnderCreditWindow) {
+  // Pipelined collector against a 16-credit window: the daemon drains
+  // whatever arrived per read as ONE journal sync + ONE ack, so acks
+  // come out fewer than records and the in-flight count never exceeds
+  // the advertised window.
+  NetFixture fixture;
+  TempDir dir("daemon_backpressure");
+  auto primary = fixture.OpenReplica(fixture.MakeReplicaConfig(dir, "p"));
+  ASSERT_TRUE(primary.ok()) << primary.status().ToString();
+
+  obs::Registry registry;
+  auto daemon_config = fixture.FastDaemonConfig();
+  daemon_config.ingest_window = 16;
+  net::Daemon daemon(&*primary, &registry, daemon_config);
+  ASSERT_TRUE(daemon.Start().ok());
+
+  net::CollectorClient collector(
+      fixture.FastClientConfig(daemon.ingest_port()), &registry,
+      "collector");
+  for (util::HourIndex h = 0; h < 80; ++h) {
+    ASSERT_TRUE(collector.SendHourAsync(h, fixture.HourRows(h)).ok());
+    EXPECT_LE(collector.inflight_records(), 16u);
+  }
+  ASSERT_TRUE(collector.Flush().ok());
+
+  EXPECT_EQ(primary->applied_seq(), 80u);
+  EXPECT_EQ(collector.pending_records(), 0u);
+  EXPECT_EQ(collector.last_credits(), 16u);
+  // Batching really happened: multiple records per daemon drain, and a
+  // single ack (single fsync) covering each batch.
+  EXPECT_GT(daemon.ingest_batches(), 0u);
+  EXPECT_GT(daemon.ingest_batched_records(), daemon.ingest_batches());
+  EXPECT_LT(collector.acks_received(), collector.hours_sent());
+  EXPECT_EQ(primary->duplicate_records_skipped(), 0u);
+  daemon.Stop();
+}
+
+TEST(Daemon, ZeroCreditWindowDegradesToLockStep) {
+  // ingest_window = 0: every ack advertises zero credits, so the
+  // collector falls back to one-record-in-flight probing. Slower, but
+  // nothing is lost and nothing is applied twice.
+  NetFixture fixture;
+  TempDir dir("daemon_lockstep");
+  auto primary = fixture.OpenReplica(fixture.MakeReplicaConfig(dir, "p"));
+  ASSERT_TRUE(primary.ok()) << primary.status().ToString();
+
+  obs::Registry registry;
+  auto daemon_config = fixture.FastDaemonConfig();
+  daemon_config.ingest_window = 0;
+  net::Daemon daemon(&*primary, &registry, daemon_config);
+  ASSERT_TRUE(daemon.Start().ok());
+
+  net::CollectorClient collector(
+      fixture.FastClientConfig(daemon.ingest_port()), &registry,
+      "collector");
+  for (util::HourIndex h = 0; h < 12; ++h) {
+    ASSERT_TRUE(collector.SendHourAsync(h, fixture.HourRows(h)).ok());
+    EXPECT_LE(collector.inflight_records(), 1u);
+  }
+  ASSERT_TRUE(collector.Flush().ok());
+
+  EXPECT_EQ(primary->applied_seq(), 12u);
+  EXPECT_EQ(collector.last_credits(), 0u);
+  // Lock-step means at least one ack per record.
+  EXPECT_GE(collector.acks_received(), 12u);
+  EXPECT_EQ(primary->duplicate_records_skipped(), 0u);
   daemon.Stop();
 }
 

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "scenario/chaos_schedule.h"
 #include "scenario/experiment.h"
 #include "scenario/outage.h"
 #include "scenario/row_cache.h"
@@ -345,6 +346,91 @@ TEST(Experiment, ParallelRunMatchesSerialRunExactly) {
     for (std::size_t k = 0; k < core::AccuracyResult::kMaxK; ++k) {
       EXPECT_EQ(serial[i].accuracy.top[k], parallel[i].accuracy.top[k])
           << serial[i].model << " k=" << k;
+    }
+  }
+}
+
+// ---------------------------------------------------------- chaos schedule
+//
+// The multi-process chaos harness replays these schedules across CI
+// hosts; a schedule that varied by platform (or run) would make a chaos
+// failure unreproducible, so determinism is pinned here as a contract.
+
+bool SchedulesEqual(const std::vector<ChaosEvent>& a,
+                    const std::vector<ChaosEvent>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].action != b[i].action || a[i].index != b[i].index ||
+        a[i].count != b[i].count) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(ChaosSchedule, SameSeedIsEventForEventIdentical) {
+  ChaosScheduleConfig config;
+  config.seed = 42;
+  config.rounds = 60;
+  config.standbys = 3;
+  EXPECT_TRUE(SchedulesEqual(BuildChaosSchedule(config),
+                             BuildChaosSchedule(config)));
+  // And the seed actually matters: a different one diverges.
+  auto other = config;
+  other.seed = 43;
+  EXPECT_FALSE(SchedulesEqual(BuildChaosSchedule(config),
+                              BuildChaosSchedule(other)));
+}
+
+TEST(ChaosSchedule, StructuralGuaranteesHoldAcrossSeeds) {
+  for (const std::uint64_t seed : {1u, 2u, 3u, 7u, 99u, 12345u}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    ChaosScheduleConfig config;
+    config.seed = seed;
+    const auto schedule = BuildChaosSchedule(config);
+    ASSERT_GE(schedule.size(), 3u);
+
+    // Warmup feed first: the primary must cross a day boundary (and
+    // compact) before any fault, so cold standbys always exercise the
+    // snapshot catch-up path.
+    EXPECT_EQ(schedule.front().action, ChaosAction::kFeedHours);
+    EXPECT_EQ(schedule.front().count, config.warmup_hours);
+    // Converging suffix: heal everything, then fresh traffic.
+    EXPECT_EQ(schedule[schedule.size() - 2].action, ChaosAction::kHealAll);
+    EXPECT_EQ(schedule.back().action, ChaosAction::kFeedHours);
+
+    for (std::size_t i = 0; i < schedule.size(); ++i) {
+      const auto& event = schedule[i];
+      // Feed counts and standby indices stay in bounds.
+      if (event.action == ChaosAction::kFeedHours) {
+        EXPECT_GE(event.count, 1) << "event " << i;
+        EXPECT_LE(event.count,
+                  std::max(config.max_feed_hours, config.warmup_hours))
+            << "event " << i;
+      }
+      if (event.action == ChaosAction::kKillStandby ||
+          event.action == ChaosAction::kRestartStandby ||
+          event.action == ChaosAction::kPartitionStandby ||
+          event.action == ChaosAction::kSlowDripStandby ||
+          event.action == ChaosAction::kPromoteStandby) {
+        EXPECT_GE(event.index, 0) << "event " << i;
+        EXPECT_LT(event.index, config.standbys) << "event " << i;
+      }
+      // Every lingering proxy fault is healed within 3 following events,
+      // so no standby rots behind a partition for the rest of the run.
+      if (event.action == ChaosAction::kPartitionStandby ||
+          event.action == ChaosAction::kSlowDripStandby ||
+          event.action == ChaosAction::kDripIngest) {
+        bool healed = false;
+        for (std::size_t j = i + 1; j < schedule.size() && j <= i + 3; ++j) {
+          if (schedule[j].action == ChaosAction::kHealAll) {
+            healed = true;
+            break;
+          }
+        }
+        EXPECT_TRUE(healed) << ChaosActionName(event.action) << " at event "
+                            << i << " not healed within 3 events";
+      }
     }
   }
 }

@@ -1,0 +1,766 @@
+// Multi-process chaos harness for the tipsyd HA plane.
+//
+// Boots a real primary tipsyd plus N standby tipsyds (fork/exec of the
+// actual binary), wires every network path through a SocketFaultProxy,
+// and drives a seeded random schedule (scenario::BuildChaosSchedule) of
+// traffic bursts, SIGKILLs, graceful restarts, partitions, slow-drip
+// links, mid-frame resets, day-boundary compactions (they ride on the
+// traffic) and graceful promotions. An in-process control Replica is fed
+// exactly the hours the primary durably acked; at the end every survivor
+// is stopped gracefully and its STOPPED-line state digest
+// (ha::ReplicaStateDigest) must equal the control's, bit for bit.
+//
+//   ./chaos_harness --tipsyd PATH [--seeds 1,2,3] [--rounds N]
+//                   [--standbys N] [--workdir DIR]
+//                   [--merge-into BENCH_robustness.json]
+//
+// Exit 0 iff every seed converged. --merge-into splices a "chaos" object
+// into the named bench JSON (tools/check_bench_json.py gates its shape).
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "ha/replica.h"
+#include "net/client.h"
+#include "net/socket.h"
+#include "obs/metrics.h"
+#include "scenario/chaos_schedule.h"
+#include "scenario/fault_injection.h"
+#include "scenario/scenario.h"
+#include "util/ids.h"
+#include "util/ip.h"
+#include "util/jsonish.h"
+#include "util/status.h"
+
+namespace tipsy {
+namespace {
+
+void SleepMs(int ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+std::uint64_t NowMs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// ------------------------------------------------------------- processes
+
+// One tipsyd child: argv (minus the binary), stdout capture, pid.
+struct Proc {
+  std::string name;
+  std::vector<std::string> args;
+  std::string log_base;  // per-generation capture: <log_base>.genN
+  std::string log_path;
+  pid_t pid = -1;
+  int generation = 0;
+};
+
+std::string ReadWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// fork/exec with stdout+stderr redirected to a fresh per-launch file.
+bool Launch(const std::string& binary, Proc& proc) {
+  ++proc.generation;
+  proc.log_path = proc.log_base + ".gen" + std::to_string(proc.generation);
+  std::vector<char*> argv;
+  argv.push_back(const_cast<char*>(binary.c_str()));
+  for (auto& arg : proc.args) argv.push_back(const_cast<char*>(arg.c_str()));
+  argv.push_back(nullptr);
+  const pid_t pid = ::fork();
+  if (pid < 0) return false;
+  if (pid == 0) {
+    const int fd =
+        ::open(proc.log_path.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
+    if (fd >= 0) {
+      ::dup2(fd, STDOUT_FILENO);
+      ::dup2(fd, STDERR_FILENO);
+      ::close(fd);
+    }
+    ::execv(binary.c_str(), argv.data());
+    ::_exit(127);
+  }
+  proc.pid = pid;
+  return true;
+}
+
+// Polls the capture file for the READY line (all four listeners up).
+bool WaitReady(const Proc& proc, int timeout_ms = 15000) {
+  const std::uint64_t deadline = NowMs() + timeout_ms;
+  while (NowMs() < deadline) {
+    if (ReadWholeFile(proc.log_path).find("tipsyd READY") !=
+        std::string::npos) {
+      return true;
+    }
+    SleepMs(20);
+  }
+  return false;
+}
+
+void Signal(const Proc& proc, int sig) {
+  if (proc.pid > 0) ::kill(proc.pid, sig);
+}
+
+bool WaitExit(Proc& proc, int timeout_ms = 15000) {
+  if (proc.pid <= 0) return true;
+  const std::uint64_t deadline = NowMs() + timeout_ms;
+  while (NowMs() < deadline) {
+    int status = 0;
+    if (::waitpid(proc.pid, &status, WNOHANG) == proc.pid) {
+      proc.pid = -1;
+      return true;
+    }
+    SleepMs(10);
+  }
+  // A child that ignores SIGTERM for this long is hung: escalate.
+  ::kill(proc.pid, SIGKILL);
+  ::waitpid(proc.pid, nullptr, 0);
+  proc.pid = -1;
+  return false;
+}
+
+// "key=value" field off the STOPPED line of the current capture file.
+std::string StoppedField(const Proc& proc, const std::string& key) {
+  const std::string log = ReadWholeFile(proc.log_path);
+  const std::size_t line = log.find("tipsyd STOPPED");
+  if (line == std::string::npos) return {};
+  const std::size_t at = log.find(key + "=", line);
+  if (at == std::string::npos) return {};
+  const std::size_t begin = at + key.size() + 1;
+  std::size_t end = begin;
+  while (end < log.size() && log[end] != ' ' && log[end] != '\n') ++end;
+  return log.substr(begin, end - begin);
+}
+
+// ------------------------------------------------------------- metrics
+
+// One-shot GET /metrics; returns the exposition body (empty on failure).
+std::string Scrape(std::uint16_t port) {
+  auto socket = net::Connect("127.0.0.1", port, 1000);
+  if (!socket.ok()) return {};
+  (void)socket->SetReadDeadline(1000);
+  (void)socket->SetWriteDeadline(1000);
+  if (!socket->SendAll("GET /metrics HTTP/1.0\r\n\r\n").ok()) return {};
+  std::string body;
+  while (true) {
+    auto bytes = socket->RecvSome(64 * 1024);
+    if (!bytes.ok()) break;  // kNoData = clean close = response complete
+    body.append(*bytes);
+  }
+  return body;
+}
+
+// Value of "name value" in a Prometheus exposition; -1 when absent.
+// (HELP/TYPE lines start with '#', so requiring line-start skips them.)
+double MetricValue(const std::string& body, const std::string& name) {
+  std::size_t pos = 0;
+  while ((pos = body.find(name, pos)) != std::string::npos) {
+    const std::size_t after = pos + name.size();
+    if ((pos == 0 || body[pos - 1] == '\n') && after < body.size() &&
+        body[after] == ' ') {
+      return std::strtod(body.c_str() + after + 1, nullptr);
+    }
+    pos = after;
+  }
+  return -1.0;
+}
+
+// ------------------------------------------------------------- harness
+
+struct HarnessOptions {
+  std::string tipsyd;
+  std::vector<std::uint64_t> seeds{1, 2, 3};
+  int rounds = 40;
+  int standbys = 2;
+  std::string workdir;
+  std::string merge_into;
+};
+
+struct SeedResult {
+  std::uint64_t seed = 0;
+  int events = 0;
+  int hours_fed = 0;
+  int kills = 0;
+  int restarts = 0;
+  int partitions = 0;
+  int promotions = 0;
+  int snapshot_catchups = 0;
+  bool converged = false;
+  std::string digest;
+  std::string failure;
+};
+
+class ChaosRun {
+ public:
+  ChaosRun(const HarnessOptions& options, std::uint64_t seed)
+      : options_(options),
+        seed_(seed),
+        dir_(std::filesystem::path(options.workdir) /
+             ("seed_" + std::to_string(seed))),
+        // Deterministic, seed-disjoint fixed ports. Fixed (not
+        // kernel-assigned) because a relaunched process must rebind the
+        // SAME numbers: the proxies' upstreams and the standbys'
+        // --ship-from targets are baked in at boot. SO_REUSEADDR on the
+        // listeners makes immediate rebinding safe.
+        base_port_(static_cast<std::uint16_t>(24000 + (seed % 64) * 48)),
+        world_(scenario::TinyScenarioConfig()),
+        collector_cfg_([&] {
+          net::ClientConfig cfg;
+          cfg.port = IngestProxyPort();
+          cfg.io_deadline_ms = 2000;
+          cfg.backoff.max_ms = 200;
+          return cfg;
+        }()),
+        collector_(collector_cfg_, &registry_, "chaos_collector") {}
+
+  SeedResult Run();
+
+ private:
+  // Port plan: primary gets base+0..3 (predict/ingest/ship/metrics),
+  // standby i gets base+8+4i..+3, proxies get base+40 up.
+  [[nodiscard]] std::uint16_t PrimaryPort(int k) const {
+    return static_cast<std::uint16_t>(base_port_ + k);
+  }
+  [[nodiscard]] std::uint16_t StandbyPort(int i, int k) const {
+    return static_cast<std::uint16_t>(base_port_ + 8 + 4 * i + k);
+  }
+  [[nodiscard]] std::uint16_t IngestProxyPort() const {
+    return static_cast<std::uint16_t>(base_port_ + 40);
+  }
+  [[nodiscard]] std::uint16_t ShipProxyPort(int i) const {
+    return static_cast<std::uint16_t>(base_port_ + 41 + i);
+  }
+
+  [[nodiscard]] std::string File(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  // Deterministic synthetic hour over the scenario wan's links. What
+  // matters is that the daemons and the control agree byte for byte,
+  // not realism — the accuracy benches own realism.
+  [[nodiscard]] std::vector<pipeline::AggRow> HourRows(
+      util::HourIndex hour) const {
+    std::vector<pipeline::AggRow> rows;
+    const auto links = static_cast<std::uint32_t>(world_.wan().link_count());
+    for (std::uint32_t f = 0; f < 4; ++f) {
+      pipeline::AggRow row;
+      row.link = util::LinkId{(f + static_cast<std::uint32_t>(hour)) % links};
+      row.src_asn = util::AsId{100 + f};
+      row.src_prefix24 = util::Ipv4Prefix(util::Ipv4Addr(f << 8), 24);
+      row.src_metro = util::MetroId{f % 2};
+      row.dest_region = util::RegionId{0};
+      row.dest_service = wan::ServiceType::kWeb;
+      row.dest_prefix = util::PrefixId{1};
+      row.bytes = 500 + 13 * f + 7 * static_cast<std::uint64_t>(hour);
+      row.hour = hour;
+      rows.push_back(row);
+    }
+    return rows;
+  }
+
+  // Role argv from a files prefix. Roles and on-disk state are
+  // decoupled: a promotion relaunches the standby's FILES under the
+  // primary's PORTS (and vice versa), so args are always rebuilt from
+  // (files, role) at launch time.
+  [[nodiscard]] std::vector<std::string> PrimaryArgs(
+      const std::string& files) const {
+    return {"--predict-port", std::to_string(PrimaryPort(0)),
+            "--ingest-port",  std::to_string(PrimaryPort(1)),
+            "--ship-port",    std::to_string(PrimaryPort(2)),
+            "--metrics-port", std::to_string(PrimaryPort(3)),
+            "--journal",      File(files + ".journal"),
+            "--snapshot",     File(files + ".snapshot")};
+  }
+  [[nodiscard]] std::vector<std::string> StandbyArgs(
+      const std::string& files, int slot) const {
+    return {"--predict-port", std::to_string(StandbyPort(slot, 0)),
+            "--ingest-port",  std::to_string(StandbyPort(slot, 1)),
+            "--ship-port",    std::to_string(StandbyPort(slot, 2)),
+            "--metrics-port", std::to_string(StandbyPort(slot, 3)),
+            "--journal",      File(files + ".journal"),
+            "--snapshot",     File(files + ".snapshot"),
+            "--ship-from",
+            "127.0.0.1:" + std::to_string(ShipProxyPort(slot))};
+  }
+
+  bool LaunchProc(Proc& proc) {
+    if (!Launch(options_.tipsyd, proc)) return false;
+    return WaitReady(proc);
+  }
+
+  [[nodiscard]] std::string ControlDigest() const {
+    std::ostringstream hex;
+    hex << std::hex << std::setfill('0') << std::setw(8)
+        << ha::ReplicaStateDigest(*control_);
+    return hex.str();
+  }
+
+  bool Feed(int hours, SeedResult& result);
+  bool Promote(int slot, SeedResult& result);
+  void HealAll();
+  // Counters die with the process: fold a standby's snapshot catch-up
+  // count into the result before stopping or killing that generation.
+  void HarvestStandbyCounters(int slot, SeedResult& result) {
+    const double catchups = MetricValue(
+        Scrape(StandbyPort(slot, 3)), "tipsyd_ship_net_snapshot_catchups_total");
+    if (catchups > 0) result.snapshot_catchups += static_cast<int>(catchups);
+  }
+  [[nodiscard]] bool WaitStandbyCaughtUp(int slot, double target_seq,
+                                         int timeout_ms = 60000);
+
+  const HarnessOptions& options_;
+  std::uint64_t seed_;
+  std::filesystem::path dir_;
+  std::uint16_t base_port_;
+  scenario::Scenario world_;
+  obs::Registry registry_;
+  net::ClientConfig collector_cfg_;
+  net::CollectorClient collector_;
+
+  Proc primary_;
+  std::vector<Proc> standbys_;
+  std::string primary_files_ = "node_a";
+  std::vector<std::string> standby_files_;
+  std::vector<std::unique_ptr<scenario::SocketFaultProxy>> ship_proxies_;
+  std::unique_ptr<scenario::SocketFaultProxy> ingest_proxy_;
+  std::unique_ptr<ha::Replica> control_;
+  util::HourIndex next_hour_ = 0;
+};
+
+void ChaosRun::HealAll() {
+  ingest_proxy_->set_mode(scenario::ProxyMode::kPass);
+  for (auto& proxy : ship_proxies_) {
+    proxy->set_mode(scenario::ProxyMode::kPass);
+  }
+}
+
+bool ChaosRun::Feed(int hours, SeedResult& result) {
+  const util::HourIndex first = next_hour_;
+  for (int i = 0; i < hours; ++i) {
+    const util::HourIndex hour = next_hour_++;
+    if (!collector_.SendHourAsync(hour, HourRows(hour)).ok()) {
+      result.failure = "send failed at hour " + std::to_string(hour);
+      return false;
+    }
+  }
+  // Flush = every hour in the burst acked durable by the primary; only
+  // then may the control see them. The control therefore always mirrors
+  // the primary's *durable* state — exactly what survives any crash.
+  if (!collector_.Flush().ok()) {
+    result.failure = "flush failed";
+    return false;
+  }
+  for (util::HourIndex hour = first; hour < next_hour_; ++hour) {
+    if (auto status = control_->Ingest(hour, HourRows(hour)); !status.ok()) {
+      result.failure = "control ingest: " + status.ToString();
+      return false;
+    }
+  }
+  result.hours_fed += hours;
+  return true;
+}
+
+bool ChaosRun::WaitStandbyCaughtUp(int slot, double target_seq,
+                                   int timeout_ms) {
+  const std::uint64_t deadline = NowMs() + timeout_ms;
+  while (NowMs() < deadline) {
+    const std::string body = Scrape(StandbyPort(slot, 3));
+    if (MetricValue(body, "tipsyd_ship_applied_seq") >= target_seq) {
+      return true;
+    }
+    SleepMs(50);
+  }
+  return false;
+}
+
+bool ChaosRun::Promote(int slot, SeedResult& result) {
+  // A promotion starts from a settled state: heal the paths, flush the
+  // feed, wait for the chosen standby to apply everything the primary
+  // has, then swap roles.
+  HealAll();
+  if (!collector_.Flush().ok()) {
+    result.failure = "flush before promotion failed";
+    return false;
+  }
+  const double target =
+      MetricValue(Scrape(PrimaryPort(3)), "tipsyd_replica_applied_seq");
+  if (target < 0) {
+    result.failure = "primary metrics unreadable before promotion";
+    return false;
+  }
+  if (!WaitStandbyCaughtUp(slot, target)) {
+    result.failure = "standby " + std::to_string(slot) +
+                     " never caught up for promotion";
+    return false;
+  }
+  // Both graceful stops must already equal the control: the primary
+  // holds exactly the flushed feed, and the standby just proved it
+  // applied every one of the primary's records.
+  const std::string want = ControlDigest();
+  HarvestStandbyCounters(slot, result);
+  Signal(standbys_[slot], SIGTERM);
+  (void)WaitExit(standbys_[slot]);
+  Signal(primary_, SIGTERM);
+  (void)WaitExit(primary_);
+  const std::string standby_digest = StoppedField(standbys_[slot], "digest");
+  const std::string primary_digest = StoppedField(primary_, "digest");
+  if (standby_digest != want || primary_digest != want) {
+    result.failure = "digest mismatch at promotion: control " + want +
+                     ", primary " + primary_digest + ", standby " +
+                     standby_digest;
+    return false;
+  }
+  // Swap the on-disk identities, keep the port roles: the standby's
+  // files come back up on the primary ports (collector and every ship
+  // proxy reach the new primary with no reconfiguration), the old
+  // primary's files come back as standby `slot` and catch up on
+  // whatever it misses from here on.
+  std::swap(primary_files_, standby_files_[slot]);
+  primary_.args = PrimaryArgs(primary_files_);
+  standbys_[slot].args = StandbyArgs(standby_files_[slot], slot);
+  if (!LaunchProc(primary_) || !LaunchProc(standbys_[slot])) {
+    result.failure = "relaunch after promotion failed";
+    return false;
+  }
+  ++result.promotions;
+  return true;
+}
+
+SeedResult ChaosRun::Run() {
+  SeedResult result;
+  result.seed = seed_;
+
+  std::filesystem::remove_all(dir_);
+  std::filesystem::create_directories(dir_);
+
+  // Control replica: same model identity and window as tipsyd, fed
+  // in-process with no network. fsync off — the control never crashes.
+  ha::ReplicaConfig control_cfg;
+  control_cfg.journal_path = File("control.journal");
+  control_cfg.snapshot_path = File("control.snapshot");
+  control_cfg.fsync_appends = false;
+  auto control = ha::Replica::Open(&world_.wan(), &world_.metros(),
+                                   /*window_days=*/14, {}, {}, control_cfg);
+  if (!control.ok()) {
+    result.failure = "control open: " + control.status().ToString();
+    return result;
+  }
+  control_ = std::make_unique<ha::Replica>(*std::move(control));
+
+  primary_.name = "primary";
+  primary_.args = PrimaryArgs(primary_files_);
+  primary_.log_base = File("primary.log");
+  if (!LaunchProc(primary_)) {
+    result.failure = "primary failed to boot";
+    return result;
+  }
+  {
+    scenario::SocketFaultProxyConfig cfg;
+    cfg.upstream_port = PrimaryPort(1);
+    cfg.listen_port = IngestProxyPort();
+    ingest_proxy_ = std::make_unique<scenario::SocketFaultProxy>(cfg);
+    if (!ingest_proxy_->Start().ok()) {
+      result.failure = "ingest proxy failed to start";
+      return result;
+    }
+  }
+  for (int i = 0; i < options_.standbys; ++i) {
+    scenario::SocketFaultProxyConfig cfg;
+    cfg.upstream_port = PrimaryPort(2);
+    cfg.listen_port = ShipProxyPort(i);
+    ship_proxies_.push_back(std::make_unique<scenario::SocketFaultProxy>(cfg));
+    if (!ship_proxies_.back()->Start().ok()) {
+      result.failure = "ship proxy failed to start";
+      return result;
+    }
+  }
+
+  scenario::ChaosScheduleConfig schedule_cfg;
+  schedule_cfg.seed = seed_;
+  schedule_cfg.rounds = options_.rounds;
+  schedule_cfg.standbys = options_.standbys;
+  const auto schedule = scenario::BuildChaosSchedule(schedule_cfg);
+  result.events = static_cast<int>(schedule.size());
+
+  // Standbys boot only after the warmup feed (the schedule's first
+  // event): by then the primary has crossed a day boundary and
+  // compacted, so a cold standby's from_seq=0 predates the journal base
+  // and the snapshot catch-up path runs on every seed.
+  bool standbys_up = false;
+  const auto boot_standbys = [&]() -> bool {
+    for (int i = 0; i < options_.standbys; ++i) {
+      standby_files_.push_back("node_" + std::string(1, 'b' + i));
+      Proc standby;
+      standby.name = "standby" + std::to_string(i);
+      standby.args = StandbyArgs(standby_files_.back(), i);
+      standby.log_base = File(standby.name + ".log");
+      standbys_.push_back(std::move(standby));
+      if (!LaunchProc(standbys_.back())) return false;
+    }
+    return true;
+  };
+
+  bool ok = true;
+  for (const auto& event : schedule) {
+    if (!ok) break;
+    std::cerr << "[seed " << seed_ << "] "
+              << scenario::ChaosActionName(event.action)
+              << " index=" << event.index << " count=" << event.count << "\n";
+    switch (event.action) {
+      case scenario::ChaosAction::kFeedHours:
+        ok = Feed(event.count, result);
+        if (ok && !standbys_up) {
+          standbys_up = true;
+          ok = boot_standbys();
+          if (!ok) result.failure = "standby failed to boot";
+        }
+        break;
+      case scenario::ChaosAction::kKillPrimary:
+        Signal(primary_, SIGKILL);
+        (void)WaitExit(primary_);
+        ok = LaunchProc(primary_);
+        if (!ok) result.failure = "primary relaunch after kill failed";
+        ++result.kills;
+        break;
+      case scenario::ChaosAction::kRestartPrimary:
+        Signal(primary_, SIGTERM);
+        (void)WaitExit(primary_);
+        ok = LaunchProc(primary_);
+        if (!ok) result.failure = "primary relaunch failed";
+        ++result.restarts;
+        break;
+      case scenario::ChaosAction::kKillStandby:
+        HarvestStandbyCounters(event.index, result);
+        Signal(standbys_[event.index], SIGKILL);
+        (void)WaitExit(standbys_[event.index]);
+        ok = LaunchProc(standbys_[event.index]);
+        if (!ok) result.failure = "standby relaunch after kill failed";
+        ++result.kills;
+        break;
+      case scenario::ChaosAction::kRestartStandby:
+        HarvestStandbyCounters(event.index, result);
+        Signal(standbys_[event.index], SIGTERM);
+        (void)WaitExit(standbys_[event.index]);
+        ok = LaunchProc(standbys_[event.index]);
+        if (!ok) result.failure = "standby relaunch failed";
+        ++result.restarts;
+        break;
+      case scenario::ChaosAction::kPartitionStandby:
+        ship_proxies_[event.index]->set_mode(scenario::ProxyMode::kPartition);
+        ++result.partitions;
+        break;
+      case scenario::ChaosAction::kSlowDripStandby:
+        ship_proxies_[event.index]->set_mode(scenario::ProxyMode::kSlowDrip);
+        break;
+      case scenario::ChaosAction::kDripIngest:
+        ingest_proxy_->set_mode(scenario::ProxyMode::kSlowDrip);
+        break;
+      case scenario::ChaosAction::kResetIngest:
+        // Transient: cut the live connection mid-frame, then pass. The
+        // collector's reconnect + the daemon's hour gate absorb it.
+        ingest_proxy_->set_mode(scenario::ProxyMode::kResetMidFrame);
+        ingest_proxy_->DropConnections();
+        SleepMs(100);
+        ingest_proxy_->set_mode(scenario::ProxyMode::kPass);
+        break;
+      case scenario::ChaosAction::kHealAll:
+        HealAll();
+        break;
+      case scenario::ChaosAction::kPromoteStandby:
+        ok = Promote(event.index, result);
+        break;
+    }
+  }
+
+  // Convergence verdict: heal, flush, wait for every standby to reach
+  // the primary's applied seq, count the snapshot catch-ups (the
+  // counters die with the processes), then stop everything gracefully
+  // and compare every state digest against the control's.
+  if (ok) {
+    HealAll();
+    ok = collector_.Flush().ok();
+    if (!ok) result.failure = "final flush failed";
+  }
+  if (ok) {
+    const double target =
+        MetricValue(Scrape(PrimaryPort(3)), "tipsyd_replica_applied_seq");
+    for (int i = 0; ok && i < static_cast<int>(standbys_.size()); ++i) {
+      if (!WaitStandbyCaughtUp(i, target)) {
+        ok = false;
+        result.failure = "standby " + std::to_string(i) + " never converged";
+      }
+    }
+  }
+  collector_.Disconnect();
+  for (int i = 0; i < static_cast<int>(standbys_.size()); ++i) {
+    HarvestStandbyCounters(i, result);
+  }
+  for (auto& standby : standbys_) Signal(standby, SIGTERM);
+  Signal(primary_, SIGTERM);
+  for (auto& standby : standbys_) (void)WaitExit(standby);
+  (void)WaitExit(primary_);
+
+  result.digest = ControlDigest();
+  if (ok) {
+    const std::string primary_digest = StoppedField(primary_, "digest");
+    if (primary_digest != result.digest) {
+      ok = false;
+      result.failure =
+          "primary digest " + primary_digest + " != control " + result.digest;
+    }
+    for (int i = 0; ok && i < static_cast<int>(standbys_.size()); ++i) {
+      const std::string digest = StoppedField(standbys_[i], "digest");
+      if (digest != result.digest) {
+        ok = false;
+        result.failure = "standby " + std::to_string(i) + " digest " +
+                         digest + " != control " + result.digest;
+      }
+    }
+  }
+  result.converged = ok;
+
+  ingest_proxy_->Stop();
+  for (auto& proxy : ship_proxies_) proxy->Stop();
+  return result;
+}
+
+// ------------------------------------------------------------- reporting
+
+std::string ChaosJson(const HarnessOptions& options,
+                      const std::vector<SeedResult>& results) {
+  bool all = true;
+  for (const auto& r : results) all = all && r.converged;
+  std::ostringstream json;
+  json << "{\n    \"harness\": \"tools/chaos_harness\",\n"
+       << "    \"rounds\": " << options.rounds << ",\n"
+       << "    \"standbys\": " << options.standbys << ",\n"
+       << "    \"seeds\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    json << "      {\"seed\": " << r.seed << ", \"events\": " << r.events
+         << ", \"hours_fed\": " << r.hours_fed << ", \"kills\": " << r.kills
+         << ", \"restarts\": " << r.restarts
+         << ", \"partitions\": " << r.partitions
+         << ", \"promotions\": " << r.promotions
+         << ", \"snapshot_catchups\": " << r.snapshot_catchups
+         << ", \"converged\": " << (r.converged ? "true" : "false")
+         << ", \"digest\": \"" << r.digest << "\"}"
+         << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  json << "    ],\n    \"all_converged\": " << (all ? "true" : "false")
+       << "\n  }";
+  return json.str();
+}
+
+}  // namespace
+}  // namespace tipsy
+
+int main(int argc, char** argv) {
+  using namespace tipsy;
+
+  HarnessOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "chaos_harness: " << flag << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (flag == "--tipsyd") {
+      options.tipsyd = next();
+    } else if (flag == "--seeds") {
+      options.seeds.clear();
+      std::stringstream list(next());
+      std::string item;
+      while (std::getline(list, item, ',')) {
+        options.seeds.push_back(std::strtoull(item.c_str(), nullptr, 10));
+      }
+    } else if (flag == "--rounds") {
+      options.rounds = std::atoi(next().c_str());
+    } else if (flag == "--standbys") {
+      options.standbys = std::atoi(next().c_str());
+    } else if (flag == "--workdir") {
+      options.workdir = next();
+    } else if (flag == "--merge-into") {
+      options.merge_into = next();
+    } else {
+      std::cerr << "chaos_harness: unknown flag " << flag << "\n";
+      return 2;
+    }
+  }
+  if (options.tipsyd.empty()) {
+    std::cerr << "chaos_harness: --tipsyd PATH is required\n";
+    return 2;
+  }
+  if (options.workdir.empty()) {
+    options.workdir = (std::filesystem::temp_directory_path() /
+                       ("tipsy_chaos_" + std::to_string(::getpid())))
+                          .string();
+  }
+  // Children die mid-send by design; take the EPIPE as an error return,
+  // not a process kill.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  std::vector<SeedResult> results;
+  bool all = true;
+  for (const std::uint64_t seed : options.seeds) {
+    ChaosRun run(options, seed);
+    SeedResult result = run.Run();
+    all = all && result.converged;
+    std::cout << "seed " << result.seed << ": "
+              << (result.converged ? "CONVERGED" : "FAILED")
+              << " digest=" << result.digest << " hours=" << result.hours_fed
+              << " kills=" << result.kills << " restarts=" << result.restarts
+              << " partitions=" << result.partitions
+              << " promotions=" << result.promotions
+              << " snapshot_catchups=" << result.snapshot_catchups
+              << (result.failure.empty() ? "" : " (" + result.failure + ")")
+              << "\n";
+    results.push_back(std::move(result));
+  }
+
+  const std::string chaos = ChaosJson(options, results);
+  if (!options.merge_into.empty()) {
+    std::ifstream in(options.merge_into, std::ios::binary);
+    std::ostringstream existing;
+    existing << in.rdbuf();
+    const std::string merged =
+        util::UpsertTopLevelJsonValue(existing.str(), "chaos", chaos);
+    if (merged.empty()) {
+      std::cerr << "chaos_harness: " << options.merge_into
+                << " is not a JSON object; not merging\n";
+      return 1;
+    }
+    std::ofstream out(options.merge_into, std::ios::binary | std::ios::trunc);
+    out << merged;
+    std::cout << "merged chaos results into " << options.merge_into << "\n";
+  } else {
+    std::cout << chaos << "\n";
+  }
+  return all ? 0 : 1;
+}

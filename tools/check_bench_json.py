@@ -147,10 +147,10 @@ def check_parallel_speedups(data: dict) -> list[str]:
 
 def check_ha_net(data: dict) -> list[str]:
     """The networked failover lane (real sockets through the fault proxy)
-    must actually run, promote a standby within the heartbeat budget, and
-    serve at least one predict request end to end. A lane that silently
-    skipped (warmup never converged) or promoted late would otherwise
-    still produce a schema-valid artifact.
+    must actually run, promote a standby within the tick-derived promotion
+    budget, and serve at least one predict request end to end. A lane that
+    silently skipped (warmup never converged) or promoted late would
+    otherwise still produce a schema-valid artifact.
     """
     net = data.get("net")
     if not isinstance(net, dict):
@@ -161,11 +161,17 @@ def check_ha_net(data: dict) -> list[str]:
     if net.get("promoted") is not True:
         problems.append("net.promoted is not true: the standby was never "
                         "promoted after the partition")
+    budget = net.get("promotion_budget_ms")
+    if not isinstance(budget, (int, float)) or budget <= 0:
+        problems.append(
+            f"net.promotion_budget_ms {budget!r}: the promotion budget "
+            "must be derived from the tick cadence "
+            "((heartbeat_timeout_ticks + 1) * tick_ms)")
     if net.get("promoted_within_budget") is not True:
         problems.append(
-            f"net.promotion_ticks {net.get('promotion_ticks')} exceeds the "
-            f"heartbeat budget of {net.get('heartbeat_timeout_ticks')} "
-            "ticks (+1 detection tick)")
+            f"promotion took {net.get('promotion_ticks')} ticks of "
+            f"{net.get('tick_ms')} ms, exceeding the tick-derived budget "
+            f"of {budget} ms")
     ok = net.get("requests_ok")
     if not isinstance(ok, int) or ok <= 0:
         problems.append(
@@ -173,9 +179,58 @@ def check_ha_net(data: dict) -> list[str]:
     return problems
 
 
+def check_robustness_chaos(data: dict) -> list[str]:
+    """The `chaos` object is written by tools/chaos_harness (the bench
+    emitter preserves it across rewrites). Every recorded seed must have
+    converged bit-identically, exercised the snapshot catch-up path, and
+    carried a digest — a harness run that quietly skipped the interesting
+    paths would otherwise still merge a schema-valid object.
+    """
+    chaos = data.get("chaos")
+    if chaos is None:
+        # Legitimate before the first harness run on this checkout; the
+        # CI chaos job always merges before checking.
+        return []
+    if not isinstance(chaos, dict):
+        return ["'chaos' is not an object"]
+    problems = []
+    seeds = chaos.get("seeds")
+    if not isinstance(seeds, list) or not seeds:
+        return ["chaos.seeds is missing or empty"]
+    if chaos.get("all_converged") is not True:
+        problems.append("chaos.all_converged is not true")
+    for index, entry in enumerate(seeds):
+        if not isinstance(entry, dict):
+            problems.append(f"chaos.seeds[{index}] is not an object")
+            continue
+        for key in ("seed", "events", "hours_fed", "kills", "restarts",
+                    "partitions", "promotions", "snapshot_catchups",
+                    "converged", "digest"):
+            if key not in entry:
+                problems.append(
+                    f"chaos.seeds[{index}] missing key '{key}'")
+        if entry.get("converged") is not True:
+            problems.append(
+                f"chaos.seeds[{index}] (seed={entry.get('seed')}) did not "
+                "converge bit-identically")
+        catchups = entry.get("snapshot_catchups")
+        if not isinstance(catchups, int) or catchups <= 0:
+            problems.append(
+                f"chaos.seeds[{index}] (seed={entry.get('seed')}): "
+                f"snapshot_catchups {catchups!r} — the snapshot catch-up "
+                "path was never exercised")
+        digest = entry.get("digest")
+        if not isinstance(digest, str) or len(digest) != 8:
+            problems.append(
+                f"chaos.seeds[{index}] (seed={entry.get('seed')}): digest "
+                f"{digest!r} is not an 8-hex crc32c")
+    return problems
+
+
 # file name -> extra semantic checks run after the schema passes.
 TARGET_CHECKS = {
     "BENCH_ha.json": check_ha_net,
+    "BENCH_robustness.json": check_robustness_chaos,
     "BENCH_obs.json": check_obs_targets,
     "BENCH_serving.json": check_serving_targets,
     "BENCH_parallel.json": check_parallel_speedups,

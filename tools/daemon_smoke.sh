@@ -19,13 +19,31 @@ LOG="$WORK_DIR/tipsyd.log"
 
 DAEMON_PID=""
 cleanup() {
+  # Bounded, escalating teardown: a tipsyd that ignores SIGTERM (wedged
+  # listener thread, stuck fsync) must not hang CI in `wait` — give it
+  # 5 s to stop gracefully, then SIGKILL. Never leak the daemon or the
+  # scratch dir, whatever path got us here.
   if [[ -n "$DAEMON_PID" ]] && kill -0 "$DAEMON_PID" 2>/dev/null; then
     kill -TERM "$DAEMON_PID" 2>/dev/null || true
+    for _ in $(seq 1 50); do
+      kill -0 "$DAEMON_PID" 2>/dev/null || break
+      sleep 0.1
+    done
+    if kill -0 "$DAEMON_PID" 2>/dev/null; then
+      echo "daemon_smoke: tipsyd ignored SIGTERM, escalating to SIGKILL" >&2
+      kill -KILL "$DAEMON_PID" 2>/dev/null || true
+    fi
     wait "$DAEMON_PID" 2>/dev/null || true
   fi
   rm -rf "$WORK_DIR"
 }
 trap cleanup EXIT
+# A delivered signal must still run the EXIT trap (set -e aborts do, but
+# INT/TERM/HUP bypass it unless re-raised through exit) and report the
+# conventional 128+signo status.
+trap 'trap - INT;  cleanup; trap - EXIT; kill -INT $$'   INT
+trap 'trap - TERM; cleanup; trap - EXIT; kill -TERM $$'  TERM
+trap 'exit 129' HUP
 
 TIPSYD_ABS="$(cd "$(dirname "$TIPSYD")" && pwd)/$(basename "$TIPSYD")"
 CLIENT_ABS="$(cd "$(dirname "$CLIENT")" && pwd)/$(basename "$CLIENT")"
