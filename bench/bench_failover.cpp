@@ -34,8 +34,19 @@
 //   it fits in (heartbeat timeout + 1), and how many predict requests
 //   went unavailable before routing moved to the standby.
 //
-// Writes results/bench_failover.csv, results/bench_failover_net.csv and
-// BENCH_ha.json in the working directory.
+//   Part D - pooled reads. A 1-primary/2-standby fleet serves the same
+//   warm model; a net::PredictPool spreads batched reads across all
+//   three with health-aware routing. The primary's predict path is
+//   partitioned mid-run (the read-plane forced promotion: the pool must
+//   move reads onto the standbys on its own, no supervisor in the
+//   loop). Reported: the fraction of pooled requests served end to end
+//   (the >= 95% acceptance gate), how many were served *inside* the
+//   partition window, pool failovers/ejections, and a zero-duplicate
+//   check over every replica's journal.
+//
+// Writes results/bench_failover.csv, results/bench_failover_net.csv,
+// results/bench_failover_pool.csv and BENCH_ha.json in the working
+// directory.
 #include <unistd.h>
 
 #include <atomic>
@@ -466,6 +477,143 @@ NetFailoverResult RunNetFailover(const HourStream& stream,
   return result;
 }
 
+// --- Part D: pooled reads across a partition-driven promotion.
+
+struct PoolLaneResult {
+  bool ran = false;
+  int endpoints = 0;
+  std::uint64_t requests_total = 0;
+  std::uint64_t requests_ok = 0;
+  std::uint64_t requests_during_failover = 0;
+  std::uint64_t served_during_failover = 0;
+  std::uint64_t pool_failovers = 0;
+  std::uint64_t ejections = 0;
+  std::uint64_t exhausted = 0;
+  double served_fraction = 0.0;
+  bool zero_duplicates = false;
+};
+
+PoolLaneResult RunPoolLane(const HourStream& stream,
+                           const scenario::Scenario& world,
+                           const std::filesystem::path& dir) {
+  PoolLaneResult result;
+  auto primary = OpenReplica(world, StateConfig(dir, "pool_primary"));
+  auto standby0 = OpenReplica(world, StateConfig(dir, "pool_standby0"));
+  auto standby1 = OpenReplica(world, StateConfig(dir, "pool_standby1"));
+  if (!primary.ok() || !standby0.ok() || !standby1.ok()) return result;
+  for (const auto& [hour, rows] : stream.hours) {
+    (void)primary->Ingest(hour, rows);
+    (void)standby0->Ingest(hour, rows);
+    (void)standby1->Ingest(hour, rows);
+  }
+
+  obs::Registry registry;
+  net::DaemonConfig daemon_config;
+  daemon_config.io_deadline_ms = 500;
+  daemon_config.idle_poll_ms = 10;
+  daemon_config.metric_prefix = "pool_primary";
+  net::Daemon primary_daemon(&*primary, &registry, daemon_config);
+  daemon_config.metric_prefix = "pool_standby0";
+  net::Daemon standby0_daemon(&*standby0, &registry, daemon_config);
+  daemon_config.metric_prefix = "pool_standby1";
+  net::Daemon standby1_daemon(&*standby1, &registry, daemon_config);
+  if (!primary_daemon.Start().ok() || !standby0_daemon.Start().ok() ||
+      !standby1_daemon.Start().ok()) {
+    return result;
+  }
+
+  // Only the primary's predict path runs through the fault proxy: the
+  // partition IS the forced promotion, and the pool has to notice (a
+  // stalled read, an ejection) and re-route with no supervisor in the
+  // loop.
+  scenario::SocketFaultProxyConfig proxy_config;
+  proxy_config.upstream_port = primary_daemon.predict_port();
+  scenario::SocketFaultProxy predict_proxy(proxy_config);
+  if (!predict_proxy.Start().ok()) return result;
+
+  const auto endpoint = [](std::uint16_t port) {
+    net::ClientConfig config;
+    config.port = port;
+    config.connect_timeout_ms = 200;
+    config.io_deadline_ms = 150;
+    config.backoff.initial_ms = 5;
+    config.backoff.max_ms = 50;
+    return config;
+  };
+  net::PredictPoolConfig pool_config;
+  pool_config.endpoints = {endpoint(predict_proxy.port()),
+                           endpoint(standby0_daemon.predict_port()),
+                           endpoint(standby1_daemon.predict_port())};
+  pool_config.eject_ms = 100;
+  pool_config.probe_interval_ms = 300;
+  net::PredictPool pool(pool_config);
+  result.endpoints = static_cast<int>(pool.size());
+
+  net::PredictRequest request;
+  for (const auto& row : stream.hours.back().second) {
+    request.flows.push_back(
+        {core::FlowFeatures{row.src_asn, row.src_prefix24, row.src_metro,
+                            row.dest_region, row.dest_service},
+         static_cast<double>(row.bytes)});
+  }
+  result.ran = true;
+
+  constexpr int kRequests = 200;
+  constexpr int kPartitionAt = 60;
+  constexpr int kHealAt = 140;
+  for (int i = 0; i < kRequests; ++i) {
+    if (i == kPartitionAt) {
+      predict_proxy.set_mode(scenario::ProxyMode::kPartition);
+      predict_proxy.DropConnections();
+    }
+    if (i == kHealAt) {
+      predict_proxy.set_mode(scenario::ProxyMode::kPass);
+      predict_proxy.DropConnections();
+    }
+    const bool in_window = i >= kPartitionAt && i < kHealAt;
+    ++result.requests_total;
+    if (in_window) ++result.requests_during_failover;
+    auto response = pool.Predict(request);
+    if (response.ok()) {
+      ++result.requests_ok;
+      if (in_window) ++result.served_during_failover;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+
+  result.pool_failovers = pool.failovers();
+  result.ejections = pool.ejections();
+  result.exhausted = pool.exhausted();
+  result.served_fraction =
+      result.requests_total == 0
+          ? 0.0
+          : static_cast<double>(result.requests_ok) /
+                static_cast<double>(result.requests_total);
+  // Zero duplicate journal applies: each replica applied each record of
+  // the shared stream exactly once, and the read-plane churn above never
+  // touched the write plane.
+  const auto expected = static_cast<std::uint64_t>(stream.hours.size());
+  result.zero_duplicates = primary->applied_seq() == expected &&
+                           standby0->applied_seq() == expected &&
+                           standby1->applied_seq() == expected &&
+                           primary->duplicate_records_skipped() == 0 &&
+                           standby0->duplicate_records_skipped() == 0 &&
+                           standby1->duplicate_records_skipped() == 0;
+
+  pool.Disconnect();
+  predict_proxy.Stop();
+  primary_daemon.Stop();
+  standby0_daemon.Stop();
+  standby1_daemon.Stop();
+  return result;
+}
+
+std::string Fraction(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.4f", value);
+  return buffer;
+}
+
 std::string Percent(double fraction) {
   char buffer[32];
   std::snprintf(buffer, sizeof(buffer), "%.1f", fraction * 100.0);
@@ -642,6 +790,42 @@ int main(int argc, char** argv) {
                     std::to_string(net.unavailable_requests)});
   net_table.Print(std::cout);
 
+  // Part D: pooled reads — the client-side answer to the same partition.
+  const auto pool = RunPoolLane(stream, world, state_dir);
+  std::cout << "\npooled reads: 1 primary + 2 standbys, primary predict "
+               "path partitioned for requests 60..139 of 200\n";
+  util::TextTable pool_table({"Metric", "Value"});
+  pool_table.AddRow({"pool endpoints", std::to_string(pool.endpoints)});
+  pool_table.AddRow(
+      {"pooled requests", std::to_string(pool.requests_total)});
+  pool_table.AddRow({"requests served", std::to_string(pool.requests_ok)});
+  pool_table.AddRow({"served fraction (gate >= 0.95)",
+                     Fraction(pool.served_fraction)});
+  pool_table.AddRow({"requests during partition",
+                     std::to_string(pool.requests_during_failover)});
+  pool_table.AddRow({"served during partition",
+                     std::to_string(pool.served_during_failover)});
+  pool_table.AddRow(
+      {"pool failovers (retried reads)",
+       std::to_string(pool.pool_failovers)});
+  pool_table.AddRow({"endpoint ejections", std::to_string(pool.ejections)});
+  pool_table.AddRow({"exhausted requests", std::to_string(pool.exhausted)});
+  pool_table.AddRow(
+      {"zero duplicate applies", pool.zero_duplicates ? "yes" : "NO"});
+  pool_table.Print(std::cout);
+
+  bench::WriteCsv(
+      "bench_failover_pool",
+      {{"endpoints", "requests_total", "requests_ok", "served_fraction",
+        "requests_during_failover", "served_during_failover",
+        "pool_failovers", "ejections", "exhausted", "zero_duplicates"},
+       {std::to_string(pool.endpoints), std::to_string(pool.requests_total),
+        std::to_string(pool.requests_ok), Fraction(pool.served_fraction),
+        std::to_string(pool.requests_during_failover),
+        std::to_string(pool.served_during_failover),
+        std::to_string(pool.pool_failovers), std::to_string(pool.ejections),
+        std::to_string(pool.exhausted), pool.zero_duplicates ? "1" : "0"}});
+
   bench::WriteCsv(
       "bench_failover_net",
       {{"partition_tick", "heartbeat_timeout_ticks", "tick_ms",
@@ -731,7 +915,20 @@ int main(int argc, char** argv) {
          << ", \"requests_total\": " << net.requests_total
          << ", \"requests_ok\": " << net.requests_ok
          << ", \"unavailable_requests\": " << net.unavailable_requests
-         << "\n  }\n}\n";
+         << "\n  },\n  \"pool\": {\n";
+    json << "    \"ran\": " << (pool.ran ? "true" : "false")
+         << ", \"endpoints\": " << pool.endpoints
+         << ", \"requests_total\": " << pool.requests_total
+         << ", \"requests_ok\": " << pool.requests_ok
+         << ", \"served_fraction\": " << Fraction(pool.served_fraction)
+         << ",\n    \"requests_during_failover\": "
+         << pool.requests_during_failover
+         << ", \"served_during_failover\": " << pool.served_during_failover
+         << ",\n    \"pool_failovers\": " << pool.pool_failovers
+         << ", \"ejections\": " << pool.ejections
+         << ", \"exhausted\": " << pool.exhausted
+         << ", \"zero_duplicates\": "
+         << (pool.zero_duplicates ? "true" : "false") << "\n  }\n}\n";
     std::cout << "\nwrote BENCH_ha.json\n";
   }
 

@@ -19,6 +19,7 @@
 #include "core/online.h"
 #include "core/serialize.h"
 #include "ha/replica.h"
+#include "net/auth.h"
 #include "net/client.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -55,10 +56,20 @@ int RunConnectMode(int argc, char** argv) {
   cfg.horizon = util::HourRange{0, feed_hours};
   scenario::Scenario world(cfg);
 
+  // Same key resolution as tipsyd: TIPSY_AUTH_KEY, when set, puts the
+  // demo on the authenticated v2 wire (tools/daemon_smoke.sh --auth
+  // exercises both the keyed round trip and the keyless refusal).
+  const auto auth = net::ResolveAuthKey("");
+  if (!auth.ok()) {
+    std::cerr << "auth key: " << auth.status().ToString() << "\n";
+    return 2;
+  }
+
   obs::Registry registry;
   net::ClientConfig ingest_cfg;
   ingest_cfg.host = host;
   ingest_cfg.port = ingest_port;
+  ingest_cfg.auth = *auth;
   net::CollectorClient collector(ingest_cfg, &registry, "demo_collector");
 
   std::cout << "streaming " << feed_hours << " hours to " << host << ":"
@@ -109,6 +120,7 @@ int RunConnectMode(int argc, char** argv) {
   net::ClientConfig predict_cfg;
   predict_cfg.host = host;
   predict_cfg.port = predict_port;
+  predict_cfg.auth = *auth;
   net::PredictClient predictor(predict_cfg);
   const auto response = predictor.Predict(request);
   if (!response.ok()) {

@@ -27,6 +27,13 @@ int Supervisor::AddStandby(Replica* replica, int configured_rank) {
   return static_cast<int>(members_.size()) - 1;
 }
 
+void Supervisor::MarkMemberRemote(std::size_t member_index) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (member_index >= members_.size()) return;
+  Tracked& t = members_[member_index];
+  if (t.replica == nullptr) t.remote = true;
+}
+
 bool Supervisor::AliveLocked(const Tracked& t) const {
   const bool exists = t.replica != nullptr || t.remote;
   return exists && t.last_heartbeat != kNever &&

@@ -118,6 +118,15 @@ class Supervisor {
   // the member index.
   int AddStandby(Replica* replica, int configured_rank = 0);
 
+  // Declares constructor-slot member `member_index` (0 primary, 1 the
+  // constructor standby) remote: liveness, health and applied_seq then
+  // come entirely from ObserveMemberHeartbeat. This is how an
+  // out-of-process fleet (e.g. the chaos harness quorum mode, where every
+  // member is a tipsyd child reporting over heartbeat sockets) is
+  // supervised without local Replica handles. Call before supervision
+  // starts; no-op for members that already carry a replica.
+  void MarkMemberRemote(std::size_t member_index);
+
   // A replica's liveness signal made it through (the chaos harness drops
   // or delays these to simulate partitions). Refills the retry budget.
   void ObserveHeartbeat(ReplicaRole role, util::HourIndex hour);

@@ -1,0 +1,131 @@
+#include "net/auth.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/hash.h"
+
+namespace tipsy::net {
+namespace {
+
+[[nodiscard]] std::string_view Trim(std::string_view s) {
+  while (!s.empty() &&
+         (s.front() == ' ' || s.front() == '\t' || s.front() == '\r' ||
+          s.front() == '\n')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() &&
+         (s.back() == ' ' || s.back() == '\t' || s.back() == '\r' ||
+          s.back() == '\n')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+[[nodiscard]] std::uint64_t Rotl(std::uint64_t x, int b) {
+  return (x << b) | (x >> (64 - b));
+}
+
+}  // namespace
+
+AuthKey AuthKey::FromSecret(std::string_view secret) {
+  secret = Trim(secret);
+  AuthKey key;
+  if (secret.empty()) return key;  // not present
+  // SplitMix64 sponge over the secret bytes: deterministic across
+  // platforms, and the two halves are decorrelated by distinct salts.
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL ^ secret.size();
+  for (const char c : secret) {
+    h = util::Mix64(h ^ static_cast<unsigned char>(c));
+  }
+  key.present = true;
+  key.k0 = util::Mix64(h ^ 0x736f6d6570736575ULL);
+  key.k1 = util::Mix64(h ^ 0x646f72616e646f6dULL);
+  return key;
+}
+
+std::uint64_t SipHash24(const AuthKey& key, std::string_view data) {
+  // Reference SipHash-2-4 (Aumasson & Bernstein), 64-bit output.
+  std::uint64_t v0 = 0x736f6d6570736575ULL ^ key.k0;
+  std::uint64_t v1 = 0x646f72616e646f6dULL ^ key.k1;
+  std::uint64_t v2 = 0x6c7967656e657261ULL ^ key.k0;
+  std::uint64_t v3 = 0x7465646279746573ULL ^ key.k1;
+
+  const auto round = [&] {
+    v0 += v1;
+    v1 = Rotl(v1, 13);
+    v1 ^= v0;
+    v0 = Rotl(v0, 32);
+    v2 += v3;
+    v3 = Rotl(v3, 16);
+    v3 ^= v2;
+    v0 += v3;
+    v3 = Rotl(v3, 21);
+    v3 ^= v0;
+    v2 += v1;
+    v1 = Rotl(v1, 17);
+    v1 ^= v2;
+    v2 = Rotl(v2, 32);
+  };
+
+  const std::size_t full_words = data.size() / 8;
+  const unsigned char* bytes =
+      reinterpret_cast<const unsigned char*>(data.data());
+  for (std::size_t w = 0; w < full_words; ++w) {
+    std::uint64_t m = 0;
+    for (int i = 0; i < 8; ++i) {
+      m |= static_cast<std::uint64_t>(bytes[8 * w + i]) << (8 * i);
+    }
+    v3 ^= m;
+    round();
+    round();
+    v0 ^= m;
+  }
+  // Final word: remaining bytes plus the length in the top byte.
+  std::uint64_t last = static_cast<std::uint64_t>(data.size() & 0xff) << 56;
+  for (std::size_t i = 8 * full_words; i < data.size(); ++i) {
+    last |= static_cast<std::uint64_t>(bytes[i]) << (8 * (i % 8));
+  }
+  v3 ^= last;
+  round();
+  round();
+  v0 ^= last;
+  v2 ^= 0xff;
+  round();
+  round();
+  round();
+  round();
+  return v0 ^ v1 ^ v2 ^ v3;
+}
+
+util::StatusOr<AuthKey> LoadAuthKeyFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return util::Status::IoError("cannot open auth key file " + path);
+  }
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  const AuthKey key = AuthKey::FromSecret(contents.str());
+  if (!key.present) {
+    return util::Status::InvalidArgument("auth key file " + path +
+                                         " is empty");
+  }
+  return key;
+}
+
+util::StatusOr<AuthKey> ResolveAuthKey(const std::string& key_file) {
+  if (!key_file.empty()) return LoadAuthKeyFile(key_file);
+  const char* env = std::getenv(kAuthKeyEnvVar);
+  if (env != nullptr) {
+    const AuthKey key = AuthKey::FromSecret(env);
+    if (!key.present) {
+      return util::Status::InvalidArgument(
+          std::string(kAuthKeyEnvVar) + " is set but empty");
+    }
+    return key;
+  }
+  return AuthKey{};  // no key: the v1 unauthenticated wire
+}
+
+}  // namespace tipsy::net

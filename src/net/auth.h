@@ -1,0 +1,61 @@
+// Keyed message authentication for the TPSY envelope (wire v2).
+//
+// The serving fleet crosses machine boundaries in PR 9: collectors,
+// standbys, and pool readers all dial daemons over plain TCP, and the
+// CRC-32C in every envelope only catches *accidental* damage. A shared
+// secret turns the envelope into an authenticated frame: a SipHash-2-4
+// MAC over the frame's (type || length || payload) keyed by a 128-bit
+// key derived from the operator's secret. Verification failures surface
+// as the typed kAuthFailed — an operator signal distinct from kCorrupt
+// (damaged bytes) and kVersionMismatch (software skew).
+//
+// Downgrade rules (enforced in wire.cpp, tested in net_test):
+//   * keyed endpoint + unauthenticated (v1) frame  -> kAuthFailed
+//   * keyed endpoint + bad MAC                     -> kAuthFailed
+//   * keyless endpoint + authenticated (v2) frame  -> kAuthFailed
+//   * keyless endpoint + v1 frame                  -> accepted
+// i.e. old-version peers are accepted only while no key is configured;
+// the moment a key exists, every peer must hold it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace tipsy::net {
+
+// Environment variable consulted when no --auth-key-file is given.
+inline constexpr const char* kAuthKeyEnvVar = "TIPSY_AUTH_KEY";
+
+// A derived 128-bit SipHash key. Default-constructed = "no key": frames
+// are sent and accepted unauthenticated (the v1 wire).
+struct AuthKey {
+  bool present = false;
+  std::uint64_t k0 = 0;
+  std::uint64_t k1 = 0;
+
+  // Derives the key from an operator secret (any non-empty byte string;
+  // surrounding ASCII whitespace is trimmed so key files may end in a
+  // newline).
+  [[nodiscard]] static AuthKey FromSecret(std::string_view secret);
+
+  bool operator==(const AuthKey&) const = default;
+};
+
+// SipHash-2-4 over `data` under `key` (which must be present).
+[[nodiscard]] std::uint64_t SipHash24(const AuthKey& key,
+                                      std::string_view data);
+
+// Reads a secret from `path` (trimmed); kInvalidArgument when the file
+// is empty after trimming, kIoError when unreadable.
+[[nodiscard]] util::StatusOr<AuthKey> LoadAuthKeyFile(
+    const std::string& path);
+
+// Key resolution used by tipsyd and the tools: an explicit key file wins,
+// else the TIPSY_AUTH_KEY environment variable, else no key (v1 wire).
+[[nodiscard]] util::StatusOr<AuthKey> ResolveAuthKey(
+    const std::string& key_file);
+
+}  // namespace tipsy::net

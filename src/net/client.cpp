@@ -71,10 +71,12 @@ util::Status CollectorClient::EnsureConnected() {
       !status.ok()) {
     return status;
   }
-  const std::string hello =
-      EncodeMessage(MessageType::kIngestHello, EncodeIngestHello({}));
+  IngestHello identity;
+  identity.source_id = config_.source_id;
+  const std::string hello = EncodeMessage(
+      MessageType::kIngestHello, EncodeIngestHello(identity), config_.auth);
   if (auto status = socket_.SendAll(hello); !status.ok()) return status;
-  auto ack = ReadMessage(socket_);
+  auto ack = ReadMessage(socket_, kMaxMessageBytes, config_.auth);
   if (!ack.ok()) return ack.status();
   if (ack->type != MessageType::kIngestAck) {
     return util::Status::Corrupt("expected ingest ack after hello");
@@ -104,7 +106,7 @@ util::Status CollectorClient::EnsureConnected() {
 }
 
 util::Status CollectorClient::WaitAck() {
-  auto ack = ReadMessage(socket_);
+  auto ack = ReadMessage(socket_, kMaxMessageBytes, config_.auth);
   if (!ack.ok()) return ack.status();
   if (ack->type != MessageType::kIngestAck) {
     return util::Status::Corrupt("expected ingest ack");
@@ -171,6 +173,10 @@ util::Status CollectorClient::Enqueue(
   bool queued = false;
   while (stop == nullptr || !stop->load(std::memory_order_acquire)) {
     if (auto status = EnsureConnected(); !status.ok()) {
+      // An auth-mode mismatch is a configuration problem, not an
+      // outage: no amount of reconnecting produces the missing key, so
+      // fail loudly instead of spinning in backoff.
+      if (status.code() == util::StatusCode::kAuthFailed) return status;
       reconnects_.Increment();
       BackoffSleep(stop);
       continue;
@@ -197,6 +203,10 @@ util::Status CollectorClient::Enqueue(
         stop != nullptr && stop->load(std::memory_order_acquire)) {
       break;  // Pump observed the stop flag, not a wire failure
     }
+    if (status.code() == util::StatusCode::kAuthFailed) {
+      Disconnect();
+      return status;  // a key mismatch mid-stream is just as permanent
+    }
     // Anything else — deadline, RST, torn ack, corrupt bytes — tears the
     // connection down; the next loop handshakes again and the resume ack
     // decides which queued records still need sending.
@@ -211,6 +221,7 @@ util::Status CollectorClient::Flush(const std::atomic<bool>* stop) {
   while (stop == nullptr || !stop->load(std::memory_order_acquire)) {
     if (pending_.empty()) return util::Status::Ok();
     if (auto status = EnsureConnected(); !status.ok()) {
+      if (status.code() == util::StatusCode::kAuthFailed) return status;
       reconnects_.Increment();
       BackoffSleep(stop);
       continue;
@@ -231,6 +242,10 @@ util::Status CollectorClient::Flush(const std::atomic<bool>* stop) {
     if (status.code() == util::StatusCode::kUnavailable &&
         stop != nullptr && stop->load(std::memory_order_acquire)) {
       break;
+    }
+    if (status.code() == util::StatusCode::kAuthFailed) {
+      Disconnect();
+      return status;
     }
     Disconnect();
     reconnects_.Increment();
@@ -361,7 +376,8 @@ util::Status ShippingClient::ReceiveSnapshot(Socket& socket,
   auto next_envelope = [&]() -> util::StatusOr<Message> {
     while (true) {
       std::size_t try_pos = pos;
-      auto message = DecodeMessage(buffer, try_pos);
+      auto message =
+          DecodeMessage(buffer, try_pos, kMaxMessageBytes, config_.auth);
       if (message.ok()) {
         pos = try_pos;
         return message;
@@ -438,7 +454,7 @@ void ShippingClient::StreamOnce() {
   request.from_seq = replica_->applied_seq();
   if (!socket
            ->SendAll(EncodeMessage(MessageType::kShipRequest,
-                                   EncodeShipRequest(request)))
+                                   EncodeShipRequest(request), config_.auth))
            .ok()) {
     return;
   }
@@ -507,8 +523,9 @@ void PredictClient::Disconnect() { socket_.Close(); }
 util::StatusOr<PredictResponse> PredictClient::Predict(
     const PredictRequest& request, const std::atomic<bool>* stop) {
   requests_.Increment();
-  const std::string wire = EncodeMessage(MessageType::kPredictRequest,
-                                         EncodePredictRequest(request));
+  const std::string wire =
+      EncodeMessage(MessageType::kPredictRequest,
+                    EncodePredictRequest(request), config_.auth);
   util::Status last = util::Status::Unavailable("no attempt made");
   for (int attempt = 0; attempt < max_attempts_; ++attempt) {
     if (stop != nullptr && stop->load(std::memory_order_acquire)) break;
@@ -534,7 +551,7 @@ util::StatusOr<PredictResponse> PredictClient::Predict(
     }
     auto roundtrip = [&]() -> util::StatusOr<PredictResponse> {
       if (auto status = socket_.SendAll(wire); !status.ok()) return status;
-      auto reply = ReadMessage(socket_);
+      auto reply = ReadMessage(socket_, kMaxMessageBytes, config_.auth);
       if (!reply.ok()) return reply.status();
       if (reply->type != MessageType::kPredictResponse) {
         return util::Status::Corrupt("expected predict response");
@@ -551,6 +568,166 @@ util::StatusOr<PredictResponse> PredictClient::Predict(
   return util::Status::Unavailable("predict failed after " +
                                    std::to_string(max_attempts_) +
                                    " attempts: " + last.ToString());
+}
+
+// --- PredictPool.
+
+struct PredictPool::Endpoint {
+  explicit Endpoint(const ClientConfig& config)
+      : host(config.host), port(config.port), client(config, 1) {}
+
+  std::string host;
+  std::uint16_t port;
+  // Serializes use of `client` (a connection is single-request); the
+  // atomics beside it are the routing signals other threads read while
+  // this endpoint is busy.
+  std::mutex mu;
+  PredictClient client;
+  std::atomic<int> outstanding{0};
+  std::atomic<std::uint64_t> served{0};
+  std::atomic<std::uint64_t> failures{0};
+  std::atomic<std::uint8_t> last_health{kHealthUnknown};
+  // Milliseconds since pool epoch; 0 = not ejected / never tried.
+  std::atomic<std::int64_t> ejected_until_ms{0};
+  std::atomic<std::int64_t> last_attempt_ms{0};
+};
+
+PredictPool::PredictPool(PredictPoolConfig config)
+    : config_(std::move(config)), epoch_(std::chrono::steady_clock::now()) {
+  for (const ClientConfig& endpoint : config_.endpoints) {
+    endpoints_.push_back(std::make_unique<Endpoint>(endpoint));
+  }
+}
+
+PredictPool::~PredictPool() = default;
+
+void PredictPool::Disconnect() {
+  for (auto& endpoint : endpoints_) {
+    std::lock_guard<std::mutex> lock(endpoint->mu);
+    endpoint->client.Disconnect();
+  }
+}
+
+std::int64_t PredictPool::NowMs() const {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+int PredictPool::Pick(const std::vector<bool>& tried, std::int64_t now_ms) {
+  const auto within_budget = [&](const Endpoint& e) {
+    const std::uint8_t health =
+        e.last_health.load(std::memory_order_acquire);
+    if (health == kHealthUnknown) return true;  // optimistic first contact
+    const auto observed = static_cast<core::ModelHealth>(health);
+    return observed != core::ModelHealth::kNone &&
+           observed <= config_.staleness_budget;
+  };
+  const auto ejected = [&](const Endpoint& e) {
+    return now_ms < e.ejected_until_ms.load(std::memory_order_acquire);
+  };
+  const auto probe_due = [&](const Endpoint& e) {
+    return now_ms - e.last_attempt_ms.load(std::memory_order_acquire) >=
+           config_.probe_interval_ms;
+  };
+  // Tier 0: healthy and in service. Tier 1: sidelined but due a live
+  // probe. Tier 2: anything — a read is never refused unattempted.
+  for (int tier = 0; tier < 3; ++tier) {
+    int best = -1;
+    int best_outstanding = 0;
+    const std::size_t start =
+        rotation_.fetch_add(1, std::memory_order_relaxed);
+    for (std::size_t i = 0; i < endpoints_.size(); ++i) {
+      const auto index =
+          static_cast<int>((start + i) % endpoints_.size());
+      if (tried[static_cast<std::size_t>(index)]) continue;
+      Endpoint& endpoint = *endpoints_[static_cast<std::size_t>(index)];
+      if (tier == 0 && (ejected(endpoint) || !within_budget(endpoint))) {
+        continue;
+      }
+      if (tier == 1 && !probe_due(endpoint)) continue;
+      const int outstanding =
+          endpoint.outstanding.load(std::memory_order_acquire);
+      if (best < 0 || outstanding < best_outstanding) {
+        best = index;
+        best_outstanding = outstanding;
+      }
+    }
+    if (best >= 0) return best;
+  }
+  return -1;
+}
+
+util::StatusOr<PredictResponse> PredictPool::Predict(
+    const PredictRequest& request, const std::atomic<bool>* stop) {
+  if (endpoints_.empty()) {
+    return util::Status::InvalidArgument("predict pool has no endpoints");
+  }
+  const std::size_t attempts =
+      config_.attempts_per_request > 0
+          ? std::min<std::size_t>(
+                static_cast<std::size_t>(config_.attempts_per_request),
+                endpoints_.size())
+          : endpoints_.size();
+  std::vector<bool> tried(endpoints_.size(), false);
+  util::Status last = util::Status::Unavailable("no endpoint tried");
+  for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
+    if (stop != nullptr && stop->load(std::memory_order_acquire)) break;
+    const int index = Pick(tried, NowMs());
+    if (index < 0) break;
+    tried[static_cast<std::size_t>(index)] = true;
+    Endpoint& endpoint = *endpoints_[static_cast<std::size_t>(index)];
+    endpoint.last_attempt_ms.store(NowMs(), std::memory_order_release);
+    endpoint.outstanding.fetch_add(1, std::memory_order_acq_rel);
+    auto response = [&] {
+      std::lock_guard<std::mutex> lock(endpoint.mu);
+      return endpoint.client.Predict(request, stop);
+    }();
+    endpoint.outstanding.fetch_sub(1, std::memory_order_acq_rel);
+    if (response.ok()) {
+      // The response's health stamp is the pool's freshness signal: an
+      // EXPIRED (or model-less) answer still returns to the caller, but
+      // this endpoint drops out of tier 0 until it reports healthy.
+      endpoint.last_health.store(
+          static_cast<std::uint8_t>(response->health),
+          std::memory_order_release);
+      endpoint.ejected_until_ms.store(0, std::memory_order_release);
+      endpoint.served.fetch_add(1, std::memory_order_relaxed);
+      served_.Increment();
+      if (attempt > 0) failovers_.Increment();
+      return response;
+    }
+    last = response.status();
+    endpoint.failures.fetch_add(1, std::memory_order_relaxed);
+    endpoint.ejected_until_ms.store(NowMs() + config_.eject_ms,
+                                    std::memory_order_release);
+    ejections_.Increment();
+  }
+  exhausted_.Increment();
+  if (last.code() == util::StatusCode::kUnavailable) return last;
+  return util::Status::Unavailable("pooled predict failed on " +
+                                   std::to_string(attempts) +
+                                   " endpoints, last: " + last.ToString());
+}
+
+std::vector<PredictPool::EndpointStats> PredictPool::endpoint_stats()
+    const {
+  std::vector<EndpointStats> out;
+  out.reserve(endpoints_.size());
+  const std::int64_t now_ms = NowMs();
+  for (const auto& endpoint : endpoints_) {
+    EndpointStats stats;
+    stats.host = endpoint->host;
+    stats.port = endpoint->port;
+    stats.served = endpoint->served.load(std::memory_order_relaxed);
+    stats.failures = endpoint->failures.load(std::memory_order_relaxed);
+    stats.last_health =
+        endpoint->last_health.load(std::memory_order_acquire);
+    stats.ejected =
+        now_ms < endpoint->ejected_until_ms.load(std::memory_order_acquire);
+    out.push_back(std::move(stats));
+  }
+  return out;
 }
 
 // --- HeartbeatSender.
@@ -594,7 +771,8 @@ void HeartbeatSender::Run() {
       backoff_.Reset();
     }
     const std::string wire =
-        EncodeMessage(MessageType::kHeartbeat, EncodeHeartbeat(provider_()));
+        EncodeMessage(MessageType::kHeartbeat, EncodeHeartbeat(provider_()),
+                      config_.auth);
     if (socket.SendAll(wire).ok()) {
       sent_.Increment();
     } else {
@@ -608,8 +786,11 @@ void HeartbeatSender::Run() {
 
 // --- HeartbeatListener.
 
-HeartbeatListener::HeartbeatListener(Callback callback, int idle_poll_ms)
-    : callback_(std::move(callback)), idle_poll_ms_(idle_poll_ms) {}
+HeartbeatListener::HeartbeatListener(Callback callback, int idle_poll_ms,
+                                     AuthKey auth)
+    : callback_(std::move(callback)),
+      idle_poll_ms_(idle_poll_ms),
+      auth_(auth) {}
 
 HeartbeatListener::~HeartbeatListener() { Stop(); }
 
@@ -657,7 +838,7 @@ void HeartbeatListener::AcceptLoop() {
 
 void HeartbeatListener::HandleConnection(Socket socket) {
   (void)socket.SetReadDeadline(idle_poll_ms_);
-  MessageReader reader(&socket);
+  MessageReader reader(&socket, auth_);
   while (!stop_.load(std::memory_order_acquire)) {
     auto message = reader.Next();
     if (!message.ok()) {

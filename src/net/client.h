@@ -12,10 +12,12 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <limits>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <string>
@@ -36,6 +38,12 @@ struct ClientConfig {
   int io_deadline_ms = 2000;
   BackoffPolicy backoff;
   std::uint64_t backoff_seed = 0xc11e;
+  // Wire auth key; must match the daemon's (see net/auth.h for the
+  // downgrade table). Absent = unauthenticated v1 envelopes.
+  AuthKey auth;
+  // Collector identity sent in the ingest hello (CollectorClient only);
+  // empty names the anonymous legacy source.
+  std::string source_id;
 };
 
 // Histogram bounds for backoff delays, in milliseconds.
@@ -300,6 +308,100 @@ class PredictClient {
   obs::Counter failures_;
 };
 
+// --- PredictPool: health-aware read scale-out across a serving fleet.
+//
+// One pool client spreads PredictShift reads across the primary and
+// every standby. Each response carries the answering replica's model
+// health stamp, so the pool learns per-endpoint freshness for free on
+// the read path itself — no separate health-check RPC. Routing:
+//
+//  * tier 0: endpoints whose last observed health is within the
+//    staleness budget (default kStale: FRESH and STALE serve, EXPIRED
+//    and NONE do not) and not currently ejected. Least outstanding
+//    requests wins; ties rotate.
+//  * tier 1: ejected or over-budget endpoints whose probe interval has
+//    elapsed — they get one live request as their probe; success
+//    reinstates them instantly.
+//  * tier 2: anything at all (never refuse a read without trying).
+//
+// A failed request ejects its endpoint for eject_ms (then probes); a
+// request that fails on one endpoint is retried on the next-best pick,
+// up to attempts_per_request endpoints, so a single replica loss — or a
+// failover window where the primary is dark — costs retries, not
+// errors. Endpoints never observed yet count as within budget
+// (optimistic first contact).
+struct PredictPoolConfig {
+  std::vector<ClientConfig> endpoints;  // [0] = primary by convention
+  // Distinct endpoints tried per request before giving up; 0 = all.
+  int attempts_per_request = 0;
+  // How long a failed endpoint sits out before its next probe.
+  int eject_ms = 250;
+  // Minimum spacing between probe requests to an unhealthy endpoint.
+  int probe_interval_ms = 1000;
+  // Worst model health that still takes routine reads.
+  core::ModelHealth staleness_budget = core::ModelHealth::kStale;
+};
+
+class PredictPool {
+ public:
+  explicit PredictPool(PredictPoolConfig config);
+  ~PredictPool();
+  PredictPool(const PredictPool&) = delete;
+  PredictPool& operator=(const PredictPool&) = delete;
+
+  // Routes one batch read, failing over across endpoints as needed.
+  // kUnavailable only when every tried endpoint failed.
+  [[nodiscard]] util::StatusOr<PredictResponse> Predict(
+      const PredictRequest& request,
+      const std::atomic<bool>* stop = nullptr);
+
+  void Disconnect();
+
+  // last_health sentinel for "never observed".
+  static constexpr std::uint8_t kHealthUnknown = 255;
+
+  struct EndpointStats {
+    std::string host;
+    std::uint16_t port = 0;
+    std::uint64_t served = 0;
+    std::uint64_t failures = 0;
+    std::uint8_t last_health = kHealthUnknown;
+    bool ejected = false;
+  };
+
+  [[nodiscard]] std::vector<EndpointStats> endpoint_stats() const;
+  [[nodiscard]] std::uint64_t served() const { return served_.value(); }
+  // Requests that needed more than one endpoint but still succeeded.
+  [[nodiscard]] std::uint64_t failovers() const {
+    return failovers_.value();
+  }
+  // Requests that exhausted every allowed endpoint.
+  [[nodiscard]] std::uint64_t exhausted() const {
+    return exhausted_.value();
+  }
+  [[nodiscard]] std::uint64_t ejections() const {
+    return ejections_.value();
+  }
+  [[nodiscard]] std::size_t size() const { return endpoints_.size(); }
+
+ private:
+  struct Endpoint;
+
+  // Best endpoint not in `tried`, by the tier rules; -1 when none left.
+  [[nodiscard]] int Pick(const std::vector<bool>& tried,
+                         std::int64_t now_ms);
+  [[nodiscard]] std::int64_t NowMs() const;
+
+  PredictPoolConfig config_;
+  std::vector<std::unique_ptr<Endpoint>> endpoints_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::atomic<std::size_t> rotation_{0};
+  obs::Counter served_;
+  obs::Counter failovers_;
+  obs::Counter exhausted_;
+  obs::Counter ejections_;
+};
+
 // --- Heartbeats over sockets: the quorum supervisor's liveness plane.
 
 // Periodically reports a member's progress to a supervisor's heartbeat
@@ -343,7 +445,8 @@ class HeartbeatListener {
  public:
   using Callback = std::function<void(const HeartbeatReport&)>;
 
-  explicit HeartbeatListener(Callback callback, int idle_poll_ms = 50);
+  explicit HeartbeatListener(Callback callback, int idle_poll_ms = 50,
+                             AuthKey auth = AuthKey{});
   ~HeartbeatListener();
   HeartbeatListener(const HeartbeatListener&) = delete;
   HeartbeatListener& operator=(const HeartbeatListener&) = delete;
@@ -361,6 +464,7 @@ class HeartbeatListener {
 
   Callback callback_;
   int idle_poll_ms_;
+  AuthKey auth_;
   Listener listener_;
   std::atomic<bool> stop_{false};
   bool running_ = false;

@@ -8,6 +8,23 @@
 #include "util/checksum.h"
 
 namespace tipsy::net {
+namespace {
+
+// Collector source ids land in metric names; anything outside the
+// Prometheus-safe alphabet collapses to '_'.
+[[nodiscard]] std::string SanitizeSourceId(const std::string& source_id) {
+  if (source_id.empty()) return "anonymous";
+  std::string out;
+  out.reserve(source_id.size());
+  for (const char c : source_id) {
+    const bool safe = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_';
+    out.push_back(safe ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
 
 Daemon::Daemon(ha::Replica* replica, obs::Registry* registry,
                DaemonConfig config)
@@ -60,6 +77,17 @@ Daemon::Daemon(ha::Replica* replica, obs::Registry* registry,
   metric_handles_.push_back(registry_->RegisterCounter(
       p + "_net_metrics_scrapes_total", "GET /metrics requests served",
       &metrics_scrapes_));
+  metric_handles_.push_back(registry_->RegisterCounter(
+      p + "_net_auth_failures_total",
+      "Connections refused for failed or missing message authentication",
+      &auth_failures_));
+  metric_handles_.push_back(registry_->RegisterGauge(
+      p + "_net_ingest_sources",
+      "Distinct collector source identities seen on the ingest port",
+      [this] {
+        std::lock_guard<std::mutex> lock(sources_mu_);
+        return static_cast<double>(sources_.size());
+      }));
   metric_handles_.push_back(registry_->RegisterGauge(
       p + "_net_ship_lag_seq",
       "Journal frames the most recently polled ship subscriber still "
@@ -199,7 +227,48 @@ std::string Daemon::AckBytes(std::uint64_t acked_wire_seq) {
   }
   ack.acked_wire_seq = acked_wire_seq;
   ack.credits = config_.ingest_window;
-  return EncodeMessage(MessageType::kIngestAck, EncodeIngestAck(ack));
+  return EncodeMessage(MessageType::kIngestAck, EncodeIngestAck(ack),
+                       config_.auth);
+}
+
+Daemon::SourceState* Daemon::SourceFor(const std::string& source_id) {
+  const std::string name = SanitizeSourceId(source_id);
+  std::lock_guard<std::mutex> lock(sources_mu_);
+  auto it = sources_.find(name);
+  if (it != sources_.end()) return it->second.get();
+  auto state = std::make_unique<SourceState>();
+  const std::string base =
+      config_.metric_prefix + "_net_ingest_source_" + name;
+  state->handles.push_back(registry_->RegisterCounter(
+      base + "_applied_total",
+      "Records journaled from collector source " + name, &state->applied));
+  state->handles.push_back(registry_->RegisterCounter(
+      base + "_skipped_total",
+      "Records from collector source " + name +
+          " retired by the idempotence gates",
+      &state->skipped));
+  state->handles.push_back(registry_->RegisterCounter(
+      base + "_batches_total",
+      "Ingest read batches processed for collector source " + name,
+      &state->batches));
+  it = sources_.emplace(name, std::move(state)).first;
+  return it->second.get();
+}
+
+std::vector<std::pair<std::string, Daemon::IngestSourceStats>>
+Daemon::ingest_source_stats() const {
+  std::lock_guard<std::mutex> lock(sources_mu_);
+  std::vector<std::pair<std::string, IngestSourceStats>> out;
+  out.reserve(sources_.size());
+  for (const auto& [name, state] : sources_) {
+    IngestSourceStats stats;
+    stats.applied = state->applied.value();
+    stats.skipped = state->skipped.value();
+    stats.batches = state->batches.value();
+    stats.last_hour = state->last_hour.load(std::memory_order_acquire);
+    out.emplace_back(name, stats);
+  }
+  return out;
 }
 
 void Daemon::HandlePredict(Socket socket) {
@@ -207,7 +276,7 @@ void Daemon::HandlePredict(Socket socket) {
   // reader keeps partially-arrived envelopes across deadline ticks.
   (void)socket.SetReadDeadline(config_.idle_poll_ms);
   (void)socket.SetWriteDeadline(config_.io_deadline_ms);
-  MessageReader reader(&socket);
+  MessageReader reader(&socket, config_.auth);
   while (!stop_.load(std::memory_order_acquire)) {
     auto message = reader.Next();
     if (!message.ok()) {
@@ -218,6 +287,8 @@ void Daemon::HandlePredict(Socket socket) {
         frames_corrupt_.Increment();
       } else if (message.status().code() == util::StatusCode::kTruncated) {
         frames_dropped_.Increment();
+      } else if (message.status().code() == util::StatusCode::kAuthFailed) {
+        auth_failures_.Increment();
       }
       return;  // clean close, torn close, damage, or OS error
     }
@@ -255,8 +326,9 @@ void Daemon::HandlePredict(Socket socket) {
       std::lock_guard<std::mutex> lock(replica_mu_);
       response.health = replica_->health();
     }
-    const std::string reply = EncodeMessage(MessageType::kPredictResponse,
-                                            EncodePredictResponse(response));
+    const std::string reply =
+        EncodeMessage(MessageType::kPredictResponse,
+                      EncodePredictResponse(response), config_.auth);
     if (!socket.SendAll(reply).ok()) return;
   }
 }
@@ -266,18 +338,22 @@ void Daemon::HandleIngest(Socket socket) {
   (void)socket.SetWriteDeadline(config_.io_deadline_ms);
 
   // Handshake: hello in, resume-point ack out.
-  auto hello = ReadMessage(socket);
+  auto hello = ReadMessage(socket, kMaxMessageBytes, config_.auth);
   if (!hello.ok() || hello->type != MessageType::kIngestHello) {
     if (hello.ok() ||
         hello.status().code() == util::StatusCode::kCorrupt) {
       frames_corrupt_.Increment();
+    } else if (hello.status().code() == util::StatusCode::kAuthFailed) {
+      auth_failures_.Increment();
     }
     return;
   }
-  if (auto decoded = DecodeIngestHello(hello->payload); !decoded.ok()) {
+  auto decoded = DecodeIngestHello(hello->payload);
+  if (!decoded.ok()) {
     frames_corrupt_.Increment();
     return;
   }
+  SourceState* source = SourceFor(decoded->source_id);
   if (!socket.SendAll(AckBytes(0)).ok()) return;
 
   // Stream phase: raw TIPSYHJ1 bytes. Per-connection seqs restart at zero
@@ -322,24 +398,39 @@ void Daemon::HandleIngest(Socket socket) {
           replica_->retrainer().health_snapshot().last_ingest_hour;
       std::uint64_t skipped_heartbeats = 0;
       for (auto& record : records) {
+        const util::HourIndex record_hour = record.hour;
         if (record.kind == ha::JournalRecordKind::kIngest) {
           if (record.hour <= gate) {
             // Idempotence gate: a replayed hour never reaches the
             // replica, so dropped/duplicate accounting (and therefore
             // the model) stays bit-identical to an uninterrupted feed.
+            // With several collectors feeding concurrently, the gate is
+            // still the single global hour watermark — whichever source
+            // lands an hour first wins it, every other delivery of that
+            // hour (same source or not) retires here.
             frames_skipped_.Increment();
+            source->skipped.Increment();
           } else {
             gate = record.hour;
             batch.push_back(std::move(record));
+            source->applied.Increment();
           }
         } else {  // heartbeat: clock tick relayed from the collector
           if (record.hour > heartbeat_gate && record.hour > gate) {
             heartbeat_gate = record.hour;
             batch.push_back(std::move(record));
+            source->applied.Increment();
           } else {
             frames_skipped_.Increment();
+            source->skipped.Increment();
             ++skipped_heartbeats;
           }
+        }
+        util::HourIndex seen =
+            source->last_hour.load(std::memory_order_acquire);
+        while (record_hour > seen &&
+               !source->last_hour.compare_exchange_weak(
+                   seen, record_hour, std::memory_order_acq_rel)) {
         }
       }
       if (!batch.empty()) {
@@ -350,6 +441,7 @@ void Daemon::HandleIngest(Socket socket) {
         frames_applied_.Increment(batch.size());
         ingest_batches_.Increment();
         ingest_batched_records_.Increment(batch.size());
+        source->batches.Increment();
       }
       // Heartbeats count as handled even when gated (they carried no
       // data), matching the one-at-a-time path's accounting.
@@ -363,11 +455,13 @@ void Daemon::HandleIngest(Socket socket) {
 void Daemon::HandleShip(Socket socket) {
   (void)socket.SetWriteDeadline(config_.io_deadline_ms);
   (void)socket.SetReadDeadline(config_.io_deadline_ms);
-  auto message = ReadMessage(socket);
+  auto message = ReadMessage(socket, kMaxMessageBytes, config_.auth);
   if (!message.ok() || message->type != MessageType::kShipRequest) {
     if (message.ok() ||
         message.status().code() == util::StatusCode::kCorrupt) {
       frames_corrupt_.Increment();
+    } else if (message.status().code() == util::StatusCode::kAuthFailed) {
+      auth_failures_.Increment();
     }
     return;
   }
@@ -483,8 +577,9 @@ util::StatusOr<std::uint64_t> Daemon::SendSnapshotTransfer(
   offer.applied_seq = snapshot->applied_seq;
   offer.total_bytes = blob->size();
   offer.total_crc32c = util::Crc32c::Of(*blob);
-  if (auto status = socket.SendAll(EncodeMessage(
-          MessageType::kSnapshotOffer, EncodeSnapshotOffer(offer)));
+  if (auto status = socket.SendAll(
+          EncodeMessage(MessageType::kSnapshotOffer,
+                        EncodeSnapshotOffer(offer), config_.auth));
       !status.ok()) {
     return status;
   }
@@ -496,8 +591,9 @@ util::StatusOr<std::uint64_t> Daemon::SendSnapshotTransfer(
        offset += chunk_bytes, ++chunk.index) {
     chunk.data.assign(*blob, offset,
                       std::min(chunk_bytes, blob->size() - offset));
-    if (auto status = socket.SendAll(EncodeMessage(
-            MessageType::kSnapshotChunk, EncodeSnapshotChunk(chunk)));
+    if (auto status = socket.SendAll(
+            EncodeMessage(MessageType::kSnapshotChunk,
+                          EncodeSnapshotChunk(chunk), config_.auth));
         !status.ok()) {
       return status;
     }

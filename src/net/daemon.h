@@ -28,10 +28,12 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/online.h"
@@ -64,6 +66,10 @@ struct DaemonConfig {
   // Snapshot catch-up transfer chunk size (each chunk rides its own
   // CRC-gated envelope, so this also bounds per-envelope allocation).
   std::size_t snapshot_chunk_bytes = 1u << 20;
+  // Wire auth key. Present = every control envelope in and out is
+  // authenticated v2 and unauthenticated peers are refused (kAuthFailed);
+  // absent = the v1 wire. See net/auth.h for the downgrade table.
+  AuthKey auth;
 };
 
 class Daemon {
@@ -162,8 +168,38 @@ class Daemon {
   }
   // Journal frames the slowest live ship subscriber still lacks.
   [[nodiscard]] double ship_lag_seq() const { return ship_lag_seq_.value(); }
+  // Connections refused for failed or missing message authentication.
+  [[nodiscard]] std::uint64_t auth_failures() const {
+    return auth_failures_.value();
+  }
+
+  // --- Per-source ingest attribution. Keyed by the hello's source_id
+  // (sanitized into metric names as `<prefix>_net_ingest_source_<id>_*`;
+  // empty ids report as "anonymous"). `applied` counts exactly the
+  // records this source put in the journal, so across sources the
+  // applied counters sum to the journal's collector-fed record count.
+  struct IngestSourceStats {
+    std::uint64_t applied = 0;   // records journaled for this source
+    std::uint64_t skipped = 0;   // records retired by the gates instead
+    std::uint64_t batches = 0;   // read batches (fsync+ack units)
+    util::HourIndex last_hour = -1;  // newest hour seen from this source
+  };
+  [[nodiscard]] std::vector<std::pair<std::string, IngestSourceStats>>
+  ingest_source_stats() const;
 
  private:
+  struct SourceState {
+    obs::Counter applied;
+    obs::Counter skipped;
+    obs::Counter batches;
+    std::atomic<util::HourIndex> last_hour{-1};
+    obs::MetricGroup handles;
+  };
+
+  // The state for `source_id`, registering its counters on first sight.
+  // The returned pointer is stable for the daemon's lifetime.
+  [[nodiscard]] SourceState* SourceFor(const std::string& source_id);
+
   void AcceptLoop(Listener* listener, void (Daemon::*handler)(Socket));
   void HandlePredict(Socket socket);
   void HandleIngest(Socket socket);
@@ -221,8 +257,12 @@ class Daemon {
   obs::Counter ingest_batches_;
   obs::Counter ingest_batched_records_;
   obs::Counter metrics_scrapes_;
+  obs::Counter auth_failures_;
   obs::Gauge ship_lag_seq_;
   obs::MetricGroup metric_handles_;
+
+  mutable std::mutex sources_mu_;
+  std::map<std::string, std::unique_ptr<SourceState>> sources_;
 };
 
 }  // namespace tipsy::net

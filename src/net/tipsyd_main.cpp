@@ -7,7 +7,22 @@
 //            [--metrics-port N] [--journal PATH] [--snapshot PATH]
 //            [--seed N] [--tick-ms N] [--run-for-ms N]
 //            [--ship-from HOST:PORT] [--no-compact]
-//            [--compact-min-records N]
+//            [--compact-min-records N] [--auth-key-file PATH]
+//            [--heartbeat-to HOST:PORT] [--member-index N]
+//            [--heartbeat-interval-ms N]
+//
+// --heartbeat-to points a HeartbeatSender at a supervisor's heartbeat
+// listener: every interval the process reports (member_index, newest
+// applied hour, applied seq, model health) — the quorum supervisor's
+// liveness plane. A primary reports its ingest-gate progress; a standby
+// (--ship-from) reports its shipped-replay progress. The chaos harness's
+// --chaos-quorum mode is the consumer.
+//
+// Wire authentication: --auth-key-file (or, when absent, the
+// TIPSY_AUTH_KEY environment variable) switches every TPSY envelope to
+// the authenticated v2 wire — unauthenticated peers are refused with
+// kAuthFailed, counted in tipsyd_net_auth_failures_total. With no key
+// anywhere the daemon speaks the v1 wire and refuses v2 frames.
 //
 // Ports default to 0 (kernel-assigned); the resolved ports are printed on
 // one line once serving:
@@ -76,6 +91,10 @@ int main(int argc, char** argv) {
   std::string journal_path = "tipsyd.journal";
   std::string snapshot_path = "tipsyd.snapshot";
   std::string ship_from;  // non-empty: standby mode
+  std::string heartbeat_to;  // non-empty: report liveness to a supervisor
+  std::uint64_t member_index = 0;
+  int heartbeat_interval_ms = 200;
+  std::string auth_key_file;
   std::uint64_t seed = 0;
   bool seed_set = false;
   bool compact = true;
@@ -117,11 +136,28 @@ int main(int argc, char** argv) {
       compact = false;
     } else if (flag == "--compact-min-records") {
       compact_min_records = ParseU64(next(), "--compact-min-records");
+    } else if (flag == "--auth-key-file") {
+      auth_key_file = next();
+    } else if (flag == "--heartbeat-to") {
+      heartbeat_to = next();
+    } else if (flag == "--member-index") {
+      member_index = ParseU64(next(), "--member-index");
+    } else if (flag == "--heartbeat-interval-ms") {
+      heartbeat_interval_ms =
+          static_cast<int>(ParseU64(next(), "--heartbeat-interval-ms"));
     } else {
       std::cerr << "tipsyd: unknown flag " << flag << "\n";
       return 2;
     }
   }
+
+  const auto auth = net::ResolveAuthKey(auth_key_file);
+  if (!auth.ok()) {
+    std::cerr << "tipsyd: auth key resolution failed: "
+              << auth.status().ToString() << "\n";
+    return 2;
+  }
+  daemon_cfg.auth = *auth;
 
   // The scenario is the model identity: daemon and clients must build the
   // same wan/metros (same seed) or link ids will not line up on the wire.
@@ -173,6 +209,7 @@ int main(int argc, char** argv) {
     ship_cfg.host = ship_from.substr(0, colon);
     ship_cfg.port = static_cast<std::uint16_t>(
         ParseU64(ship_from.c_str() + colon + 1, "--ship-from"));
+    ship_cfg.auth = *auth;  // the fleet shares one key
     shipper = std::make_unique<net::ShippingClient>(&*replica, ship_cfg,
                                                     &registry, "tipsyd_ship");
     // Progress gauge for the harness: how far the shipped replay has
@@ -185,6 +222,45 @@ int main(int argc, char** argv) {
           return static_cast<double>(shipper->applied_seq());
         }));
     shipper->Start();
+  }
+
+  // Liveness reporting to a quorum supervisor. The provider runs on the
+  // sender thread, so it reads only the atomics the daemon/shipper
+  // publish — never raw replica internals.
+  std::unique_ptr<net::HeartbeatSender> heartbeat;
+  if (!heartbeat_to.empty()) {
+    const auto colon = heartbeat_to.rfind(':');
+    if (colon == std::string::npos) {
+      std::cerr << "tipsyd: --heartbeat-to wants HOST:PORT, got "
+                << heartbeat_to << "\n";
+      return 2;
+    }
+    net::ClientConfig hb_cfg;
+    hb_cfg.host = heartbeat_to.substr(0, colon);
+    hb_cfg.port = static_cast<std::uint16_t>(
+        ParseU64(heartbeat_to.c_str() + colon + 1, "--heartbeat-to"));
+    hb_cfg.auth = *auth;
+    net::Daemon* daemon_ptr = &daemon;
+    net::ShippingClient* shipper_ptr = shipper.get();
+    heartbeat = std::make_unique<net::HeartbeatSender>(
+        hb_cfg, heartbeat_interval_ms,
+        [daemon_ptr, shipper_ptr, member_index]() {
+          net::HeartbeatReport report;
+          report.member_index = static_cast<std::uint32_t>(member_index);
+          if (shipper_ptr != nullptr) {
+            // Standby: progress arrives via shipped replay, not ingest.
+            report.hour = std::max(daemon_ptr->last_applied_hour(),
+                                   shipper_ptr->last_hour());
+            report.applied_seq = shipper_ptr->applied_seq();
+            report.health = shipper_ptr->health();
+          } else {
+            report.hour = daemon_ptr->last_applied_hour();
+            report.applied_seq = daemon_ptr->frames_applied();
+            report.health = daemon_ptr->health();
+          }
+          return report;
+        });
+    heartbeat->Start();
   }
 
   std::signal(SIGINT, HandleSignal);
@@ -217,6 +293,7 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (heartbeat != nullptr) heartbeat->Stop();
   if (shipper != nullptr) shipper->Stop();
   daemon.Stop();
   // Persist the final state so a relaunch (e.g. a standby promoted to

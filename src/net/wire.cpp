@@ -33,6 +33,24 @@ std::uint32_t GetFixed32(std::string_view bytes, std::size_t pos) {
              << 24;
 }
 
+void PutFixed64Str(std::string& out, std::uint64_t value) {
+  char bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    bytes[i] = static_cast<char>((value >> (8 * i)) & 0xff);
+  }
+  out.append(bytes, sizeof(bytes));
+}
+
+std::uint64_t GetFixed64(std::string_view bytes, std::size_t pos) {
+  std::uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<std::uint64_t>(
+                 static_cast<unsigned char>(bytes[pos + i]))
+             << (8 * i);
+  }
+  return value;
+}
+
 void PutFixed64(std::ostream& out, std::uint64_t value) {
   char bytes[8];
   for (int i = 0; i < 8; ++i) {
@@ -67,14 +85,27 @@ double TakeDouble(std::string_view payload, std::size_t& pos, bool& ok) {
   return std::bit_cast<double>(TakeFixed64(payload, pos, ok));
 }
 
-// The envelope checksum covers (type || payload): a flipped type byte is
-// as fatal as flipped payload bytes.
-std::uint32_t EnvelopeCrc(MessageType type, std::string_view payload) {
+// The envelope checksum covers (wire type byte || payload): a flipped
+// type byte — including a stripped or injected auth flag — is as fatal
+// as flipped payload bytes.
+std::uint32_t EnvelopeCrc(std::uint8_t wire_type, std::string_view payload) {
   util::Crc32c crc;
-  const char type_byte = static_cast<char>(type);
+  const char type_byte = static_cast<char>(wire_type);
   crc.Update(std::string_view(&type_byte, 1));
   crc.Update(payload);
   return crc.Digest();
+}
+
+// The envelope v2 MAC covers (wire type byte || u32 length || payload):
+// everything the frame claims, under the shared key.
+std::uint64_t EnvelopeMac(const AuthKey& key, std::uint8_t wire_type,
+                          std::string_view payload) {
+  std::string macd;
+  macd.reserve(1 + 4 + payload.size());
+  macd.push_back(static_cast<char>(wire_type));
+  PutFixed32(macd, static_cast<std::uint32_t>(payload.size()));
+  macd.append(payload);
+  return SipHash24(key, macd);
 }
 
 bool KnownMessageType(std::uint8_t raw) {
@@ -83,20 +114,44 @@ bool KnownMessageType(std::uint8_t raw) {
 }
 
 util::StatusOr<Message> DecodeEnvelope(std::string_view header,
+                                       std::string_view mac_bytes,
                                        std::string payload,
-                                       std::size_t max_payload) {
-  (void)max_payload;
-  const std::uint8_t raw_type =
+                                       const AuthKey& key) {
+  const std::uint8_t wire_type =
       static_cast<std::uint8_t>(header[sizeof(kMessageMagic)]);
+  const bool authenticated = (wire_type & kAuthTypeFlag) != 0;
+  const std::uint8_t raw_type =
+      static_cast<std::uint8_t>(wire_type & ~kAuthTypeFlag);
   if (!KnownMessageType(raw_type)) {
     return util::Status::Corrupt("unknown message type " +
                                  std::to_string(raw_type));
+  }
+  // Downgrade rules before byte checks: mode mismatches are a peer
+  // configuration problem (kAuthFailed), not wire damage (kCorrupt).
+  if (key.present && !authenticated) {
+    return util::Status::AuthFailed(
+        "unauthenticated (v1) frame refused: this endpoint requires the "
+        "wire auth key");
+  }
+  if (!key.present && authenticated) {
+    return util::Status::AuthFailed(
+        "authenticated (v2) frame refused: no auth key is configured "
+        "here");
+  }
+  if (authenticated) {
+    const std::uint64_t want_mac = GetFixed64(mac_bytes, 0);
+    const std::uint64_t got_mac = EnvelopeMac(key, wire_type, payload);
+    // Constant-time-ish compare; the fold keeps the comparison
+    // data-independent.
+    if (((want_mac ^ got_mac) | ((want_mac ^ got_mac) >> 32)) != 0) {
+      return util::Status::AuthFailed("message authentication failed");
+    }
   }
   Message message;
   message.type = static_cast<MessageType>(raw_type);
   message.payload = std::move(payload);
   const std::uint32_t want = GetFixed32(header, sizeof(kMessageMagic) + 5);
-  const std::uint32_t got = EnvelopeCrc(message.type, message.payload);
+  const std::uint32_t got = EnvelopeCrc(wire_type, message.payload);
   if (want != got) {
     return util::Status::Corrupt("message checksum mismatch");
   }
@@ -105,19 +160,27 @@ util::StatusOr<Message> DecodeEnvelope(std::string_view header,
 
 }  // namespace
 
-std::string EncodeMessage(MessageType type, std::string_view payload) {
+std::string EncodeMessage(MessageType type, std::string_view payload,
+                          const AuthKey& key) {
+  const std::uint8_t wire_type =
+      static_cast<std::uint8_t>(static_cast<std::uint8_t>(type) |
+                                (key.present ? kAuthTypeFlag : 0));
   std::string out;
-  out.reserve(kEnvelopeHeaderBytes + payload.size());
+  out.reserve(kEnvelopeHeaderBytes + (key.present ? kMacBytes : 0) +
+              payload.size());
   out.append(kMessageMagic, sizeof(kMessageMagic));
-  out.push_back(static_cast<char>(type));
+  out.push_back(static_cast<char>(wire_type));
   PutFixed32(out, static_cast<std::uint32_t>(payload.size()));
-  PutFixed32(out, EnvelopeCrc(type, payload));
+  PutFixed32(out, EnvelopeCrc(wire_type, payload));
+  if (key.present) {
+    PutFixed64Str(out, EnvelopeMac(key, wire_type, payload));
+  }
   out.append(payload);
   return out;
 }
 
-util::StatusOr<Message> ReadMessage(Socket& socket,
-                                    std::size_t max_payload) {
+util::StatusOr<Message> ReadMessage(Socket& socket, std::size_t max_payload,
+                                    const AuthKey& key) {
   std::string header;
   if (auto status = socket.RecvExact(kEnvelopeHeaderBytes, header);
       !status.ok()) {
@@ -126,10 +189,21 @@ util::StatusOr<Message> ReadMessage(Socket& socket,
   if (std::memcmp(header.data(), kMessageMagic, sizeof(kMessageMagic)) != 0) {
     return util::Status::Corrupt("bad message magic");
   }
+  const std::uint8_t wire_type =
+      static_cast<std::uint8_t>(header[sizeof(kMessageMagic)]);
   const std::uint32_t length = GetFixed32(header, sizeof(kMessageMagic) + 1);
   if (length > max_payload) {
     return util::Status::Corrupt("implausible message length " +
                                  std::to_string(length));
+  }
+  std::string mac_bytes;
+  if ((wire_type & kAuthTypeFlag) != 0) {
+    if (auto status = socket.RecvExact(kMacBytes, mac_bytes); !status.ok()) {
+      if (status.code() == util::StatusCode::kNoData) {
+        return util::Status::Truncated("connection closed mid-message");
+      }
+      return status;
+    }
   }
   std::string payload;
   if (length > 0) {
@@ -142,12 +216,13 @@ util::StatusOr<Message> ReadMessage(Socket& socket,
       return status;
     }
   }
-  return DecodeEnvelope(header, std::move(payload), max_payload);
+  return DecodeEnvelope(header, mac_bytes, std::move(payload), key);
 }
 
 util::StatusOr<Message> DecodeMessage(std::string_view bytes,
                                       std::size_t& pos,
-                                      std::size_t max_payload) {
+                                      std::size_t max_payload,
+                                      const AuthKey& key) {
   if (bytes.size() - pos < kEnvelopeHeaderBytes) {
     return util::Status::Truncated("message header ends early");
   }
@@ -155,18 +230,26 @@ util::StatusOr<Message> DecodeMessage(std::string_view bytes,
   if (std::memcmp(header.data(), kMessageMagic, sizeof(kMessageMagic)) != 0) {
     return util::Status::Corrupt("bad message magic");
   }
+  const std::uint8_t wire_type =
+      static_cast<std::uint8_t>(header[sizeof(kMessageMagic)]);
+  const std::size_t mac_len =
+      (wire_type & kAuthTypeFlag) != 0 ? kMacBytes : 0;
   const std::uint32_t length = GetFixed32(header, sizeof(kMessageMagic) + 1);
   if (length > max_payload) {
     return util::Status::Corrupt("implausible message length " +
                                  std::to_string(length));
   }
-  if (bytes.size() - pos - kEnvelopeHeaderBytes < length) {
+  if (bytes.size() - pos - kEnvelopeHeaderBytes < mac_len + length) {
     return util::Status::Truncated("message payload ends early");
   }
+  const std::string_view mac_bytes =
+      bytes.substr(pos + kEnvelopeHeaderBytes, mac_len);
   auto message = DecodeEnvelope(
-      header, std::string(bytes.substr(pos + kEnvelopeHeaderBytes, length)),
-      max_payload);
-  if (message.ok()) pos += kEnvelopeHeaderBytes + length;
+      header, mac_bytes,
+      std::string(
+          bytes.substr(pos + kEnvelopeHeaderBytes + mac_len, length)),
+      key);
+  if (message.ok()) pos += kEnvelopeHeaderBytes + mac_len + length;
   return message;
 }
 
@@ -174,7 +257,7 @@ util::StatusOr<Message> MessageReader::Next(std::size_t max_payload) {
   while (true) {
     if (!buffer_.empty()) {
       std::size_t pos = 0;
-      auto message = DecodeMessage(buffer_, pos, max_payload);
+      auto message = DecodeMessage(buffer_, pos, max_payload, key_);
       if (message.ok()) {
         buffer_.erase(0, pos);
         return message;
@@ -202,16 +285,22 @@ std::string EncodeIngestHello(const IngestHello& hello) {
   std::ostringstream out;
   pipeline::PutVarint(out,
                       static_cast<std::uint64_t>(hello.protocol_version));
+  pipeline::PutVarint(out, hello.source_id.size());
+  out.write(hello.source_id.data(),
+            static_cast<std::streamsize>(hello.source_id.size()));
   return out.str();
 }
 
 util::StatusOr<IngestHello> DecodeIngestHello(std::string_view payload) {
+  // Source ids name metrics; an unbounded one would let a peer mint
+  // arbitrarily large registry keys.
+  constexpr std::size_t kMaxSourceIdBytes = 128;
   std::size_t pos = 0;
   bool ok = true;
   IngestHello hello;
   hello.protocol_version =
       static_cast<int>(pipeline::TakeVarint(payload, pos, ok));
-  if (!ok || pos != payload.size()) {
+  if (!ok) {
     return util::Status::Corrupt("ingest hello is malformed");
   }
   if (hello.protocol_version != kWireProtocolVersion) {
@@ -219,6 +308,12 @@ util::StatusOr<IngestHello> DecodeIngestHello(std::string_view payload) {
         "peer speaks wire protocol version " +
         std::to_string(hello.protocol_version));
   }
+  const std::uint64_t id_len = pipeline::TakeVarint(payload, pos, ok);
+  if (!ok || id_len > kMaxSourceIdBytes ||
+      payload.size() - pos != id_len) {
+    return util::Status::Corrupt("ingest hello is malformed");
+  }
+  hello.source_id = std::string(payload.substr(pos, id_len));
   return hello;
 }
 

@@ -3,13 +3,21 @@
 // Two layers share this file:
 //
 //  * Control messages — a length-prefixed, CRC-32C-checked envelope
-//    ("TPSY" | type | u32 length | u32 crc | payload) carrying the
-//    handshakes (ingest hello/ack, ship request), the binary batch
-//    PredictShift RPC, and quorum heartbeats. Every length is validated
-//    against a hard cap before any allocation (the hostile-length
-//    discipline of pipeline/storage), and a connection that dies
-//    mid-envelope surfaces as kTruncated — the wire analogue of a torn
-//    journal tail.
+//    carrying the handshakes (ingest hello/ack, ship request), the
+//    binary batch PredictShift RPC, and quorum heartbeats. Two envelope
+//    versions share the "TPSY" magic:
+//      v1 (unauthenticated): "TPSY" | type | u32 length | u32 crc |
+//        payload.
+//      v2 (authenticated): the type byte carries kAuthTypeFlag and an
+//        8-byte SipHash-2-4 MAC (over type || length || payload, keyed
+//        from net/auth.h) sits between the CRC and the payload. A keyed
+//        endpoint refuses v1 frames with the typed kAuthFailed; a
+//        keyless endpoint accepts v1 and refuses v2 (it cannot verify
+//        what it cannot key) — see net/auth.h for the downgrade table.
+//    Every length is validated against a hard cap before any allocation
+//    (the hostile-length discipline of pipeline/storage), and a
+//    connection that dies mid-envelope surfaces as kTruncated — the
+//    wire analogue of a torn journal tail.
 //
 //  * The journal stream — after its handshake, a collector or shipping
 //    connection is a byte-for-byte TIPSYHJ1 journal: the 8-byte magic
@@ -32,14 +40,26 @@
 #include "core/online.h"
 #include "core/tipsy_service.h"
 #include "ha/journal.h"
+#include "net/auth.h"
 #include "net/socket.h"
 #include "util/status.h"
 
 namespace tipsy::net {
 
-// v2 added batched-ack fields to IngestAck and the snapshot catch-up
-// message pair (kSnapshotOffer / kSnapshotChunk).
-inline constexpr int kWireProtocolVersion = 2;
+// Handshake-payload protocol version (distinct from the envelope wire
+// version above): v2 added batched-ack fields to IngestAck and the
+// snapshot catch-up message pair (kSnapshotOffer / kSnapshotChunk); v3
+// added the collector source identity to IngestHello (multi-collector
+// ingest attribution).
+inline constexpr int kWireProtocolVersion = 3;
+
+// Envelope v2 marker: set on the wire type byte when the frame carries a
+// MAC. The flag lives outside the MessageType value space (1..8), so a
+// v1 peer reading a v2 frame fails typed (unknown type / checksum), never
+// silently misparses.
+inline constexpr std::uint8_t kAuthTypeFlag = 0x80;
+// Size of the envelope v2 MAC (SipHash-2-4 output).
+inline constexpr std::size_t kMacBytes = 8;
 
 // Hard cap on any single message payload; a hostile or corrupt length
 // header can never drive a multi-GB allocation.
@@ -65,19 +85,24 @@ struct Message {
   std::string payload;
 };
 
-// Envelope codec. EncodeMessage always succeeds; ReadMessage returns
-// kTruncated when the connection ends mid-envelope, kCorrupt on a bad
-// magic/checksum/oversized length, kUnavailable on a read deadline, and
-// kNoData when the peer closed cleanly between messages.
+// Envelope codec. With a present `key`, frames are sent and required as
+// authenticated v2; with no key, v1. EncodeMessage always succeeds;
+// ReadMessage returns kTruncated when the connection ends mid-envelope,
+// kCorrupt on a bad magic/checksum/oversized length, kAuthFailed on any
+// authentication-mode mismatch or MAC failure, kUnavailable on a read
+// deadline, and kNoData when the peer closed cleanly between messages.
 [[nodiscard]] std::string EncodeMessage(MessageType type,
-                                        std::string_view payload);
+                                        std::string_view payload,
+                                        const AuthKey& key = AuthKey{});
 [[nodiscard]] util::StatusOr<Message> ReadMessage(
-    Socket& socket, std::size_t max_payload = kMaxMessageBytes);
+    Socket& socket, std::size_t max_payload = kMaxMessageBytes,
+    const AuthKey& key = AuthKey{});
 // In-memory variant (tests, fuzzing): decodes one envelope from `bytes`
 // starting at `pos`, advancing it past the envelope.
 [[nodiscard]] util::StatusOr<Message> DecodeMessage(
     std::string_view bytes, std::size_t& pos,
-    std::size_t max_payload = kMaxMessageBytes);
+    std::size_t max_payload = kMaxMessageBytes,
+    const AuthKey& key = AuthKey{});
 
 // Buffered envelope reader for persistent connections polled with a
 // short read deadline. A deadline that fires mid-envelope must not lose
@@ -87,7 +112,8 @@ struct Message {
 // is complete.
 class MessageReader {
  public:
-  explicit MessageReader(Socket* socket) : socket_(socket) {}
+  explicit MessageReader(Socket* socket, AuthKey key = AuthKey{})
+      : socket_(socket), key_(key) {}
 
   // Waits (up to the socket's read deadline) for the next complete
   // envelope. kUnavailable: deadline fired, nothing complete yet — loop
@@ -99,6 +125,7 @@ class MessageReader {
 
  private:
   Socket* socket_;
+  AuthKey key_;
   std::string buffer_;
 };
 
@@ -106,6 +133,10 @@ class MessageReader {
 
 struct IngestHello {
   int protocol_version = kWireProtocolVersion;
+  // Collector identity for multi-source ingest attribution: the daemon
+  // keys its per-source gating state and `net_ingest_source_*` counters
+  // on it. Empty names the anonymous legacy source.
+  std::string source_id;
 };
 struct IngestAck {
   // Newest hour the daemon has durably applied; the collector resumes

@@ -30,6 +30,33 @@ std::vector<ChaosEvent> BuildChaosSchedule(
     }
     const int roll = pick(100);
     ChaosEvent event;
+    if (config.quorum) {
+      // Quorum mode: the faults move to the supervisor plane. Standby
+      // churn and heartbeat partitions replace the ship-path faults so
+      // the pool always has a primary to read through, and the
+      // deterministic drill suffix below owns the forced
+      // failover/darkness transitions.
+      if (roll < 30) {
+        event = {ChaosAction::kFeedHours, 0,
+                 1 + pick(static_cast<std::uint64_t>(
+                         config.max_feed_hours > 0 ? config.max_feed_hours
+                                                   : 1))};
+      } else if (roll < 45) {
+        event = {ChaosAction::kKillStandby, pick(standbys), 0};
+      } else if (roll < 58) {
+        event = {ChaosAction::kRestartStandby, pick(standbys), 0};
+      } else if (roll < 80) {
+        // Member index: 0 the primary, 1.. the standbys.
+        event = {ChaosAction::kPartitionHeartbeat, pick(standbys + 1), 0};
+        ++unhealed;
+      } else if (roll < 90) {
+        event = {ChaosAction::kResetIngest, 0, 0};
+      } else {
+        event = {ChaosAction::kFeedHours, 0, 1};
+      }
+      schedule.push_back(event);
+      continue;
+    }
     if (roll < 35) {
       event = {ChaosAction::kFeedHours, 0,
                1 + pick(static_cast<std::uint64_t>(
@@ -58,6 +85,24 @@ std::vector<ChaosEvent> BuildChaosSchedule(
       event = {ChaosAction::kPromoteStandby, pick(standbys), 0};
     }
     schedule.push_back(event);
+  }
+
+  if (config.quorum) {
+    // The quorum drill, identical on every seed: dark the primary's
+    // heartbeats and feed past the liveness timeout — the supervisor
+    // must rank-promote the best standby while a majority (both
+    // standbys) is still alive. Then dark one standby's heartbeats too:
+    // a lone-survivor view is a minority, so the quorum gate must hold
+    // the routing plane dark instead of electing a head. Heal, and the
+    // converging suffix below gives the failback fresh traffic.
+    schedule.push_back({ChaosAction::kHealAll, 0, 0});
+    schedule.push_back({ChaosAction::kFeedHours, 0, 2});
+    schedule.push_back({ChaosAction::kPartitionHeartbeat, 0, 0});
+    schedule.push_back({ChaosAction::kFeedHours, 0, 4});
+    schedule.push_back({ChaosAction::kAwaitFailover, 0, 0});
+    schedule.push_back({ChaosAction::kPartitionHeartbeat, 1 + pick(standbys), 0});
+    schedule.push_back({ChaosAction::kFeedHours, 0, 4});
+    schedule.push_back({ChaosAction::kAwaitDark, 0, 0});
   }
 
   // Converging suffix: heal everything, then feed fresh traffic so the

@@ -34,6 +34,11 @@ enum class ChaosAction : std::uint8_t {
   kResetIngest,      // cut the collector's connection mid-frame, then pass
   kHealAll,          // every proxy back to pass-through
   kPromoteStandby,   // graceful promotion: standby `index` becomes primary
+  // --- Quorum-plane actions (emitted only with ChaosScheduleConfig::
+  // quorum; `index` is a MEMBER index: 0 the primary, 1.. the standbys).
+  kPartitionHeartbeat,  // member `index`'s heartbeat path black-holed
+  kAwaitFailover,       // block until the supervisor routes off the primary
+  kAwaitDark,  // block until the quorum gate forces NONE (majority lost)
 };
 
 [[nodiscard]] constexpr const char* ChaosActionName(ChaosAction action) {
@@ -49,6 +54,9 @@ enum class ChaosAction : std::uint8_t {
     case ChaosAction::kResetIngest: return "RESET_INGEST";
     case ChaosAction::kHealAll: return "HEAL_ALL";
     case ChaosAction::kPromoteStandby: return "PROMOTE_STANDBY";
+    case ChaosAction::kPartitionHeartbeat: return "PARTITION_HEARTBEAT";
+    case ChaosAction::kAwaitFailover: return "AWAIT_FAILOVER";
+    case ChaosAction::kAwaitDark: return "AWAIT_DARK";
   }
   return "UNKNOWN";
 }
@@ -71,6 +79,16 @@ struct ChaosScheduleConfig {
   // one day boundary (snapshot + compaction) and a cold standby must
   // take the snapshot catch-up path, every run.
   int warmup_hours = 30;
+  // Quorum mode (the harness's --chaos-quorum): the fault mix moves to
+  // the supervisor plane — standby-set churn and heartbeat partitions
+  // instead of ship-path faults — and a deterministic drill suffix is
+  // appended that partitions the primary's heartbeats (ranked failover
+  // onto the best standby must follow), then a standby's as well
+  // (majority lost: the quorum gate must hold the plane dark), then
+  // heals. Requires standbys >= 2, or the drill's failover can never be
+  // quorum-approved. With quorum=false the emitted schedule is
+  // byte-identical to earlier versions.
+  bool quorum = false;
 };
 
 // Deterministic: the returned schedule depends only on `config`.
@@ -81,7 +99,11 @@ struct ChaosScheduleConfig {
 //  * kill/restart/promote events are self-healing (the harness relaunches
 //    within the event), so no event leaves a process permanently down;
 //  * the schedule ends with kHealAll followed by a final feed, so every
-//    survivor has fresh traffic to converge on.
+//    survivor has fresh traffic to converge on;
+//  * with config.quorum, the random rounds are followed by the fixed
+//    quorum drill: PARTITION_HEARTBEAT(primary) .. AWAIT_FAILOVER ..
+//    PARTITION_HEARTBEAT(a standby) .. AWAIT_DARK .. HEAL_ALL, so every
+//    seed exercises ranked promotion AND majority-gate darkness.
 [[nodiscard]] std::vector<ChaosEvent> BuildChaosSchedule(
     const ChaosScheduleConfig& config);
 

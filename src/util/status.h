@@ -29,6 +29,7 @@ enum class StatusCode : std::uint8_t {
   kNoData,           // nothing to train/serve from (empty window, missing day)
   kInvalidArgument,  // caller error (bad path, bad config)
   kUnavailable,      // transient: dependency not ready, retry may succeed
+  kAuthFailed,       // wire peer failed (or skipped) message authentication
 };
 
 [[nodiscard]] constexpr std::string_view StatusCodeName(StatusCode code) {
@@ -42,6 +43,7 @@ enum class StatusCode : std::uint8_t {
     case StatusCode::kNoData: return "NO_DATA";
     case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
     case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kAuthFailed: return "AUTH_FAILED";
   }
   return "UNKNOWN";
 }
@@ -76,6 +78,9 @@ class [[nodiscard]] Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status AuthFailed(std::string msg) {
+    return Status(StatusCode::kAuthFailed, std::move(msg));
   }
 
   [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }

@@ -15,7 +15,9 @@
 #include <chrono>
 #include <cstdint>
 #include <filesystem>
+#include <fstream>
 #include <functional>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -25,6 +27,7 @@
 #include "core/serialize.h"
 #include "ha/journal.h"
 #include "ha/replica.h"
+#include "net/auth.h"
 #include "net/client.h"
 #include "net/daemon.h"
 #include "net/socket.h"
@@ -109,10 +112,22 @@ struct NetFixture {
                              {}, config);
   }
 
+  // Default auth for every daemon and client the fixture builds,
+  // resolved from TIPSY_AUTH_KEY: CI's net-auth leg re-runs this entire
+  // suite over the authenticated v2 wire just by exporting the key.
+  // Tests that pin a specific key (or its absence) set .auth themselves
+  // and are unaffected — a mismatched env key still refuses, which is
+  // what those tests assert.
+  [[nodiscard]] static net::AuthKey EnvAuth() {
+    auto key = net::ResolveAuthKey("");
+    return key.ok() ? *key : net::AuthKey{};
+  }
+
   [[nodiscard]] net::DaemonConfig FastDaemonConfig() const {
     net::DaemonConfig config;
     config.io_deadline_ms = 500;
     config.idle_poll_ms = 10;
+    config.auth = EnvAuth();
     return config;
   }
 
@@ -123,6 +138,7 @@ struct NetFixture {
     config.io_deadline_ms = 300;
     config.backoff.initial_ms = 5;
     config.backoff.max_ms = 50;
+    config.auth = EnvAuth();
     return config;
   }
 
@@ -1149,6 +1165,545 @@ TEST(Quorum, SocketHeartbeatsDriveRankedPromotion) {
 
   sender_b.Stop();
   listener.Stop();
+}
+
+// ------------------------------------------------------------- wire auth
+
+TEST(WireAuth, KeyDerivationIsDeterministicTrimmedAndFileLoadable) {
+  const auto key = net::AuthKey::FromSecret("hunter2");
+  ASSERT_TRUE(key.present);
+  EXPECT_EQ(key, net::AuthKey::FromSecret("hunter2"));
+  // Key files routinely end in a newline; the derivation must not care.
+  EXPECT_EQ(key, net::AuthKey::FromSecret("  hunter2\n"));
+  EXPECT_NE(key, net::AuthKey::FromSecret("hunter3"));
+  EXPECT_FALSE(net::AuthKey::FromSecret("").present);
+  EXPECT_FALSE(net::AuthKey::FromSecret(" \n\t").present);
+
+  // The MAC moves with key, and with data.
+  const auto other = net::AuthKey::FromSecret("hunter3");
+  EXPECT_NE(net::SipHash24(key, "payload"), net::SipHash24(other, "payload"));
+  EXPECT_NE(net::SipHash24(key, "payload"), net::SipHash24(key, "payloae"));
+
+  TempDir dir("auth_keys");
+  {
+    std::ofstream out(dir.File("key"));
+    out << "hunter2\n";
+  }
+  auto loaded = net::LoadAuthKeyFile(dir.File("key"));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(*loaded, key);
+  {
+    std::ofstream out(dir.File("empty"));
+    out << "  \n";
+  }
+  EXPECT_EQ(net::LoadAuthKeyFile(dir.File("empty")).status().code(),
+            util::StatusCode::kInvalidArgument);
+  EXPECT_EQ(net::LoadAuthKeyFile(dir.File("missing")).status().code(),
+            util::StatusCode::kIoError);
+}
+
+TEST(WireAuth, AuthedEnvelopeRoundTripsUnderTheSameKey) {
+  const auto key = net::AuthKey::FromSecret("fleet secret");
+  const std::string payload = "authenticated payload";
+  const std::string bytes =
+      net::EncodeMessage(net::MessageType::kPredictRequest, payload, key);
+  // v2 frames are one MAC wider than v1 and carry the flagged type byte.
+  EXPECT_EQ(bytes.size(), net::EncodeMessage(
+                              net::MessageType::kPredictRequest, payload)
+                                  .size() +
+                              net::kMacBytes);
+  EXPECT_NE(static_cast<std::uint8_t>(bytes[4]) & net::kAuthTypeFlag, 0);
+  std::size_t pos = 0;
+  auto message =
+      net::DecodeMessage(bytes, pos, net::kMaxMessageBytes, key);
+  ASSERT_TRUE(message.ok()) << message.status().ToString();
+  EXPECT_EQ(message->type, net::MessageType::kPredictRequest);
+  EXPECT_EQ(message->payload, payload);
+  EXPECT_EQ(pos, bytes.size());
+}
+
+// The downgrade table from net/auth.h, line by line: every mode
+// mismatch is the typed kAuthFailed — never a crash, never a silent
+// accept, and never mistaken for wire damage (kCorrupt).
+TEST(WireAuth, DowngradeMatrixIsTypedAuthFailed) {
+  const auto key = net::AuthKey::FromSecret("fleet secret");
+  const auto wrong = net::AuthKey::FromSecret("stale rotated key");
+  const std::string v1 =
+      net::EncodeMessage(net::MessageType::kHeartbeat, "tick");
+  const std::string v2 =
+      net::EncodeMessage(net::MessageType::kHeartbeat, "tick", key);
+
+  const auto decode_with = [](const std::string& bytes,
+                              const net::AuthKey& endpoint) {
+    std::size_t pos = 0;
+    return net::DecodeMessage(bytes, pos, net::kMaxMessageBytes, endpoint);
+  };
+  // Keyed endpoint, v1 frame: refused.
+  EXPECT_EQ(decode_with(v1, key).status().code(),
+            util::StatusCode::kAuthFailed);
+  // Keyed endpoint, v2 frame under a different key: refused.
+  EXPECT_EQ(decode_with(v2, wrong).status().code(),
+            util::StatusCode::kAuthFailed);
+  // Keyless endpoint, v2 frame: refused (cannot verify what it cannot
+  // key).
+  EXPECT_EQ(decode_with(v2, net::AuthKey{}).status().code(),
+            util::StatusCode::kAuthFailed);
+  // Keyless endpoint, v1 frame: the legacy wire still works.
+  EXPECT_TRUE(decode_with(v1, net::AuthKey{}).ok());
+}
+
+// The fuzz gate from the v1 envelope, upgraded: under a shared key,
+// every single-bit flip anywhere in an authenticated envelope must
+// surface as a typed error — kAuthFailed (MAC caught it), kCorrupt
+// (CRC/type caught it), or kTruncated (length now claims more bytes).
+TEST(WireAuth, AuthedEnvelopeByteFlipFuzzIsTyped) {
+  const auto key = net::AuthKey::FromSecret("fuzz key");
+  const std::string bytes = net::EncodeMessage(
+      net::MessageType::kPredictRequest, "some payload bytes here", key);
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string damaged = scenario::FlipBit(bytes, i, bit);
+      std::size_t pos = 0;
+      auto message =
+          net::DecodeMessage(damaged, pos, net::kMaxMessageBytes, key);
+      ASSERT_FALSE(message.ok())
+          << "flip at byte " << i << " bit " << bit << " went undetected";
+      const auto code = message.status().code();
+      EXPECT_TRUE(code == util::StatusCode::kCorrupt ||
+                  code == util::StatusCode::kTruncated ||
+                  code == util::StatusCode::kAuthFailed)
+          << "byte " << i << " bit " << bit << ": "
+          << message.status().ToString();
+    }
+  }
+}
+
+TEST(WireAuth, AuthedEnvelopeTruncationIsTruncated) {
+  const auto key = net::AuthKey::FromSecret("cut key");
+  const std::string bytes =
+      net::EncodeMessage(net::MessageType::kHeartbeat, "payload", key);
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    std::size_t pos = 0;
+    auto message = net::DecodeMessage(bytes.substr(0, cut), pos,
+                                      net::kMaxMessageBytes, key);
+    ASSERT_FALSE(message.ok()) << "cut at " << cut;
+    EXPECT_EQ(message.status().code(), util::StatusCode::kTruncated)
+        << "cut at " << cut << ": " << message.status().ToString();
+  }
+}
+
+// End to end: a keyed fleet serves keyed peers exactly as the keyless
+// wire does, refuses keyless and wrong-key peers with counted
+// kAuthFailed drops, and never crashes doing either.
+TEST(Daemon, AuthedFleetServesKeyedPeersAndRefusesTheRest) {
+  NetFixture fixture;
+  TempDir dir("daemon_auth");
+  auto replica = fixture.OpenReplica(fixture.MakeReplicaConfig(dir, "d"));
+  ASSERT_TRUE(replica.ok());
+
+  const auto key = net::AuthKey::FromSecret("fleet secret");
+  obs::Registry registry;
+  auto daemon_cfg = fixture.FastDaemonConfig();
+  daemon_cfg.auth = key;
+  net::Daemon daemon(&*replica, &registry, daemon_cfg);
+  ASSERT_TRUE(daemon.Start().ok());
+
+  // Keyed collector + predict client: business as usual.
+  auto keyed_cfg = fixture.FastClientConfig(daemon.ingest_port());
+  keyed_cfg.auth = key;
+  net::CollectorClient collector(keyed_cfg, &registry, "collector");
+  for (util::HourIndex h = 0; h < 5; ++h) {
+    ASSERT_TRUE(collector.SendHour(h, fixture.HourRows(h)).ok());
+  }
+  EXPECT_EQ(daemon.frames_applied(), 5u);
+
+  auto keyed_predict_cfg = fixture.FastClientConfig(daemon.predict_port());
+  keyed_predict_cfg.auth = key;
+  net::PredictClient keyed_predict(keyed_predict_cfg, /*max_attempts=*/1);
+  net::PredictRequest request;
+  for (const auto& row : fixture.HourRows(6)) {
+    request.flows.push_back(
+        {core::FlowFeatures{row.src_asn, row.src_prefix24, row.src_metro,
+                            row.dest_region, row.dest_service},
+         static_cast<double>(row.bytes)});
+  }
+  ASSERT_TRUE(keyed_predict.Predict(request).ok());
+
+  // A keyless peer's v1 hello is refused before the ack: the daemon
+  // counts the kAuthFailed and hangs up; the peer reads a clean close,
+  // not an ack — and not a crash.
+  const std::uint64_t refusals_before = daemon.auth_failures();
+  {
+    auto socket = net::Connect("127.0.0.1", daemon.ingest_port(), 500);
+    ASSERT_TRUE(socket.ok());
+    (void)socket->SetReadDeadline(500);
+    ASSERT_TRUE(socket
+                    ->SendAll(net::EncodeMessage(
+                        net::MessageType::kIngestHello,
+                        net::EncodeIngestHello({})))
+                    .ok());
+    auto reply = net::ReadMessage(*socket);
+    EXPECT_FALSE(reply.ok());
+  }
+  ASSERT_TRUE(WaitUntil(
+      [&] { return daemon.auth_failures() > refusals_before; }, 2000));
+
+  // Wrong-key predict: MAC mismatch server-side, typed refusal, the
+  // client surfaces an unavailable endpoint (it can retry elsewhere).
+  auto wrong_cfg = fixture.FastClientConfig(daemon.predict_port());
+  wrong_cfg.auth = net::AuthKey::FromSecret("rotated-away key");
+  net::PredictClient wrong_predict(wrong_cfg, /*max_attempts=*/1);
+  const auto refused = wrong_predict.Predict(request);
+  EXPECT_FALSE(refused.ok());
+  ASSERT_TRUE(WaitUntil(
+      [&] { return daemon.auth_failures() > refusals_before + 1; }, 2000));
+
+  // A keyed shipping standby works against the keyed primary.
+  auto standby = fixture.OpenReplica(fixture.MakeReplicaConfig(dir, "s"));
+  ASSERT_TRUE(standby.ok());
+  auto ship_cfg = fixture.FastClientConfig(daemon.ship_port());
+  ship_cfg.auth = key;
+  net::ShippingClient shipper(&*standby, ship_cfg, &registry, "shipper");
+  shipper.Start();
+  ASSERT_TRUE(WaitUntil([&] { return shipper.applied_seq() == 5; }, 5000));
+  shipper.Stop();
+  EXPECT_EQ(standby->duplicate_records_skipped(), 0u);
+
+  // The refusal counter is on /metrics for operators.
+  const std::string text = registry.RenderPrometheusText();
+  EXPECT_NE(text.find("tipsyd_net_auth_failures_total"), std::string::npos);
+
+  daemon.Stop();
+}
+
+// The reverse downgrade: a keyed client dialing a keyless daemon is
+// refused too (the daemon cannot verify v2 frames), so a half-rotated
+// fleet fails loudly instead of silently serving unauthenticated.
+TEST(Daemon, KeylessDaemonRefusesKeyedClients) {
+  NetFixture fixture;
+  TempDir dir("daemon_keyless");
+  auto replica = fixture.OpenReplica(fixture.MakeReplicaConfig(dir, "d"));
+  ASSERT_TRUE(replica.ok());
+
+  obs::Registry registry;
+  net::Daemon daemon(&*replica, &registry, fixture.FastDaemonConfig());
+  ASSERT_TRUE(daemon.Start().ok());
+
+  auto keyed_cfg = fixture.FastClientConfig(daemon.predict_port());
+  keyed_cfg.auth = net::AuthKey::FromSecret("key the daemon lacks");
+  net::PredictClient predict(keyed_cfg, /*max_attempts=*/1);
+  EXPECT_FALSE(predict.Predict({}).ok());
+  ASSERT_TRUE(WaitUntil([&] { return daemon.auth_failures() >= 1; }, 2000));
+
+  daemon.Stop();
+}
+
+// ---------------------------------------------------- multi-collector
+
+// Three collectors with distinct source identities feed one primary
+// concurrently — one behind a partition that heals, one slow-dripped —
+// and the daemon must come out with a contiguous journal, zero
+// duplicate applies, and per-source counters that sum exactly to the
+// journal's record count.
+TEST(Daemon, ThreeConcurrentCollectorsSurviveFaultsWithPerSourceAttribution) {
+  NetFixture fixture;
+  TempDir dir("daemon_multi");
+  auto replica = fixture.OpenReplica(fixture.MakeReplicaConfig(dir, "d"));
+  ASSERT_TRUE(replica.ok());
+
+  obs::Registry registry;
+  net::Daemon daemon(&*replica, &registry, fixture.FastDaemonConfig());
+  ASSERT_TRUE(daemon.Start().ok());
+
+  // Each collector dials through its own fault proxy.
+  const char* names[3] = {"alpha", "bravo", "charlie"};
+  std::vector<std::unique_ptr<scenario::SocketFaultProxy>> proxies;
+  for (int c = 0; c < 3; ++c) {
+    scenario::SocketFaultProxyConfig proxy_cfg;
+    proxy_cfg.upstream_port = daemon.ingest_port();
+    proxies.push_back(
+        std::make_unique<scenario::SocketFaultProxy>(proxy_cfg));
+    ASSERT_TRUE(proxies.back()->Start().ok());
+  }
+  // bravo starts partitioned (heals mid-run); charlie drips all run.
+  proxies[1]->set_mode(scenario::ProxyMode::kPartition);
+  proxies[2]->set_mode(scenario::ProxyMode::kSlowDrip);
+  std::thread healer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    proxies[1]->set_mode(scenario::ProxyMode::kPass);
+    proxies[1]->DropConnections();
+  });
+
+  // Collector c sends hours c, c+3, ..., c+27 — strictly increasing per
+  // source, interleaved across sources. The daemon's hour gate stays
+  // global, so late-arriving low hours retire as skips, never as
+  // duplicate applies.
+  std::vector<std::thread> feeders;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < 3; ++c) {
+    feeders.emplace_back([&, c] {
+      auto client_cfg = fixture.FastClientConfig(proxies[c]->port());
+      client_cfg.source_id = names[c];
+      net::CollectorClient collector(client_cfg, &registry, names[c]);
+      for (util::HourIndex h = c; h < 30; h += 3) {
+        if (!collector.SendHour(h, fixture.HourRows(h)).ok()) {
+          failures.fetch_add(1);
+          return;
+        }
+      }
+    });
+  }
+  for (auto& feeder : feeders) feeder.join();
+  healer.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // Zero duplicate applies, by construction and by count.
+  EXPECT_EQ(replica->duplicate_records_skipped(), 0u);
+  const auto sources = daemon.ingest_source_stats();
+  ASSERT_EQ(sources.size(), 3u);
+  std::uint64_t applied_sum = 0;
+  std::uint64_t skipped_sum = 0;
+  for (const auto& [name, stats] : sources) {
+    EXPECT_TRUE(std::string(name) == "alpha" || name == "bravo" ||
+                name == "charlie")
+        << name;
+    applied_sum += stats.applied;
+    skipped_sum += stats.skipped;
+    // Note a source can legitimately end with all-zero counters: a
+    // collector that reconnects after the others finished learns from
+    // the resume ack that its hours are already durable and resolves
+    // them client-side, never shipping a record.
+  }
+  EXPECT_EQ(applied_sum, daemon.frames_applied());
+  EXPECT_EQ(skipped_sum, daemon.frames_skipped());
+  // Every one of the 30 hours was delivered durably (applied or retired
+  // against an already-applied gate) before its SendHour returned.
+  EXPECT_GE(applied_sum, 1u);
+  EXPECT_EQ(daemon.last_applied_hour(), 29);
+
+  // Per-source counters land on /metrics, plus the source gauge.
+  const std::string text = registry.RenderPrometheusText();
+  for (const char* name : names) {
+    EXPECT_NE(text.find("tipsyd_net_ingest_source_" + std::string(name) +
+                        "_applied_total"),
+              std::string::npos)
+        << name;
+  }
+  EXPECT_NE(text.find("tipsyd_net_ingest_sources 3"), std::string::npos);
+
+  daemon.Stop();
+  for (auto& proxy : proxies) proxy->Stop();
+
+  // The journal is contiguous (recovery would fail otherwise), its
+  // hours strictly increase (the global gate), and its record count is
+  // exactly the per-source applied sum.
+  auto reopened = fixture.OpenReplica(fixture.MakeReplicaConfig(dir, "d"));
+  ASSERT_TRUE(reopened.ok());
+  const auto& records = reopened->journal().recovered().records;
+  EXPECT_EQ(records.size(), static_cast<std::size_t>(applied_sum));
+  util::HourIndex last_hour = -1;
+  for (const auto& record : records) {
+    EXPECT_GT(record.hour, last_hour) << "hour replayed twice";
+    last_hour = record.hour;
+  }
+}
+
+// ------------------------------------------------------- predict pool
+
+// Feeds `replica` enough hours (through the daemon's wire, so the gate
+// state matches) to give it a FRESH model.
+void FeedFresh(net::Daemon& daemon, obs::Registry& registry,
+               const NetFixture& fixture, const char* prefix) {
+  net::CollectorClient collector(
+      fixture.FastClientConfig(daemon.ingest_port()), &registry, prefix);
+  for (util::HourIndex h = 0; h < 26; ++h) {
+    ASSERT_TRUE(collector.SendHour(h, fixture.HourRows(h)).ok());
+  }
+}
+
+net::PredictRequest PoolRequest(const NetFixture& fixture) {
+  net::PredictRequest request;
+  for (const auto& row : fixture.HourRows(30)) {
+    request.flows.push_back(
+        {core::FlowFeatures{row.src_asn, row.src_prefix24, row.src_metro,
+                            row.dest_region, row.dest_service},
+         static_cast<double>(row.bytes)});
+  }
+  return request;
+}
+
+TEST(PredictPool, SpreadsReadsAcrossHealthyEndpointsLeastOutstanding) {
+  NetFixture fixture;
+  TempDir dir("pool_spread");
+  auto replica_a = fixture.OpenReplica(fixture.MakeReplicaConfig(dir, "a"));
+  auto replica_b = fixture.OpenReplica(fixture.MakeReplicaConfig(dir, "b"));
+  ASSERT_TRUE(replica_a.ok());
+  ASSERT_TRUE(replica_b.ok());
+
+  obs::Registry registry;
+  net::Daemon daemon_a(&*replica_a, &registry,
+                       fixture.FastDaemonConfig());
+  auto cfg_b = fixture.FastDaemonConfig();
+  cfg_b.metric_prefix = "tipsyd_b";
+  net::Daemon daemon_b(&*replica_b, &registry, cfg_b);
+  ASSERT_TRUE(daemon_a.Start().ok());
+  ASSERT_TRUE(daemon_b.Start().ok());
+  FeedFresh(daemon_a, registry, fixture, "feed_a");
+  FeedFresh(daemon_b, registry, fixture, "feed_b");
+
+  net::PredictPoolConfig pool_cfg;
+  pool_cfg.endpoints = {
+      fixture.FastClientConfig(daemon_a.predict_port()),
+      fixture.FastClientConfig(daemon_b.predict_port()),
+  };
+  net::PredictPool pool(pool_cfg);
+
+  const auto request = PoolRequest(fixture);
+  for (int i = 0; i < 20; ++i) {
+    auto response = pool.Predict(request);
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_EQ(response->health, core::ModelHealth::kFresh);
+  }
+  EXPECT_EQ(pool.served(), 20u);
+  EXPECT_EQ(pool.failovers(), 0u);
+  // Rotation spreads the reads: both replicas took a meaningful share.
+  const auto stats = pool.endpoint_stats();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_GE(stats[0].served, 5u);
+  EXPECT_GE(stats[1].served, 5u);
+  EXPECT_EQ(stats[0].served + stats[1].served, 20u);
+  // Both answered identically — the pool's whole premise.
+  EXPECT_EQ(ServiceBytes(replica_a->service()),
+            ServiceBytes(replica_b->service()));
+
+  daemon_a.Stop();
+  daemon_b.Stop();
+}
+
+TEST(PredictPool, EjectsFailedEndpointThenProbeReinstatesIt) {
+  NetFixture fixture;
+  TempDir dir("pool_eject");
+  auto replica_a = fixture.OpenReplica(fixture.MakeReplicaConfig(dir, "a"));
+  auto replica_b = fixture.OpenReplica(fixture.MakeReplicaConfig(dir, "b"));
+  ASSERT_TRUE(replica_a.ok());
+  ASSERT_TRUE(replica_b.ok());
+
+  obs::Registry registry;
+  net::Daemon daemon_a(&*replica_a, &registry,
+                       fixture.FastDaemonConfig());
+  auto cfg_b = fixture.FastDaemonConfig();
+  cfg_b.metric_prefix = "tipsyd_b";
+  net::Daemon daemon_b(&*replica_b, &registry, cfg_b);
+  ASSERT_TRUE(daemon_a.Start().ok());
+  ASSERT_TRUE(daemon_b.Start().ok());
+  FeedFresh(daemon_a, registry, fixture, "feed_a");
+  FeedFresh(daemon_b, registry, fixture, "feed_b");
+
+  // Endpoint A dials through a fault proxy so it can "die" and come
+  // back on the same port.
+  scenario::SocketFaultProxyConfig proxy_cfg;
+  proxy_cfg.upstream_port = daemon_a.predict_port();
+  scenario::SocketFaultProxy proxy(proxy_cfg);
+  ASSERT_TRUE(proxy.Start().ok());
+
+  net::PredictPoolConfig pool_cfg;
+  pool_cfg.endpoints = {
+      fixture.FastClientConfig(proxy.port()),
+      fixture.FastClientConfig(daemon_b.predict_port()),
+  };
+  pool_cfg.eject_ms = 50;
+  pool_cfg.probe_interval_ms = 50;
+  net::PredictPool pool(pool_cfg);
+
+  const auto request = PoolRequest(fixture);
+  // Warm both endpoints.
+  ASSERT_TRUE(pool.Predict(request).ok());
+  ASSERT_TRUE(pool.Predict(request).ok());
+
+  // Kill A: every read keeps succeeding through B, and A is ejected.
+  proxy.set_mode(scenario::ProxyMode::kRefuse);
+  proxy.DropConnections();
+  for (int i = 0; i < 10; ++i) {
+    auto response = pool.Predict(request);
+    ASSERT_TRUE(response.ok())
+        << "read " << i << " failed during endpoint loss: "
+        << response.status().ToString();
+  }
+  EXPECT_GE(pool.ejections(), 1u);
+  EXPECT_GE(pool.failovers(), 1u);
+  const auto down_stats = pool.endpoint_stats();
+  EXPECT_TRUE(down_stats[0].ejected);
+  EXPECT_GE(down_stats[0].failures, 1u);
+
+  // Heal A: the next probe (due after probe_interval_ms) reinstates it.
+  proxy.set_mode(scenario::ProxyMode::kPass);
+  const std::uint64_t served_before =
+      pool.endpoint_stats()[0].served;
+  ASSERT_TRUE(WaitUntil(
+      [&] {
+        auto response = pool.Predict(request);
+        return response.ok() &&
+               pool.endpoint_stats()[0].served > served_before;
+      },
+      5000))
+      << "endpoint A was never probed back into service";
+
+  daemon_a.Stop();
+  daemon_b.Stop();
+  proxy.Stop();
+}
+
+// The staleness budget: once an endpoint's health stamp says it has no
+// serviceable model (NONE here; EXPIRED ages the same way), routine
+// reads route around it — it only sees probe traffic.
+TEST(PredictPool, StalenessBudgetRoutesRoutineReadsAroundModellessReplica) {
+  NetFixture fixture;
+  TempDir dir("pool_budget");
+  auto replica_a = fixture.OpenReplica(fixture.MakeReplicaConfig(dir, "a"));
+  auto replica_b = fixture.OpenReplica(fixture.MakeReplicaConfig(dir, "b"));
+  ASSERT_TRUE(replica_a.ok());
+  ASSERT_TRUE(replica_b.ok());
+
+  obs::Registry registry;
+  // A never gets fed: it answers honestly with health NONE.
+  net::Daemon daemon_a(&*replica_a, &registry,
+                       fixture.FastDaemonConfig());
+  auto cfg_b = fixture.FastDaemonConfig();
+  cfg_b.metric_prefix = "tipsyd_b";
+  net::Daemon daemon_b(&*replica_b, &registry, cfg_b);
+  ASSERT_TRUE(daemon_a.Start().ok());
+  ASSERT_TRUE(daemon_b.Start().ok());
+  FeedFresh(daemon_b, registry, fixture, "feed_b");
+
+  net::PredictPoolConfig pool_cfg;
+  pool_cfg.endpoints = {
+      fixture.FastClientConfig(daemon_a.predict_port()),
+      fixture.FastClientConfig(daemon_b.predict_port()),
+  };
+  // No probes inside this test's window: once A's health is observed,
+  // it must see zero routine reads.
+  pool_cfg.probe_interval_ms = 60'000;
+  net::PredictPool pool(pool_cfg);
+
+  const auto request = PoolRequest(fixture);
+  // Warmup: rotation touches both endpoints, observing their stamps.
+  ASSERT_TRUE(pool.Predict(request).ok());
+  ASSERT_TRUE(pool.Predict(request).ok());
+  const std::uint64_t a_served_after_warmup =
+      pool.endpoint_stats()[0].served;
+
+  for (int i = 0; i < 20; ++i) {
+    auto response = pool.Predict(request);
+    ASSERT_TRUE(response.ok());
+    // Every routine read lands on the FRESH replica.
+    EXPECT_EQ(response->health, core::ModelHealth::kFresh);
+  }
+  EXPECT_EQ(pool.endpoint_stats()[0].served, a_served_after_warmup)
+      << "a modeless replica kept taking routine reads";
+  EXPECT_EQ(pool.endpoint_stats()[1].served, 20u + 2u - a_served_after_warmup);
+
+  daemon_a.Stop();
+  daemon_b.Stop();
 }
 
 // ------------------------------------------------- atomic-file audit

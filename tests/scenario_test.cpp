@@ -435,5 +435,70 @@ TEST(ChaosSchedule, StructuralGuaranteesHoldAcrossSeeds) {
   }
 }
 
+TEST(ChaosSchedule, QuorumModeIsDeterministicAndDrillsEverySeed) {
+  for (const std::uint64_t seed : {1u, 2u, 3u, 7u, 99u, 12345u}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    ChaosScheduleConfig config;
+    config.seed = seed;
+    config.quorum = true;
+    const auto schedule = BuildChaosSchedule(config);
+    EXPECT_TRUE(SchedulesEqual(schedule, BuildChaosSchedule(config)));
+
+    // Warmup feed first, converging heal+feed last — same frame as the
+    // ship-fault schedules.
+    EXPECT_EQ(schedule.front().action, ChaosAction::kFeedHours);
+    EXPECT_EQ(schedule[schedule.size() - 2].action, ChaosAction::kHealAll);
+    EXPECT_EQ(schedule.back().action, ChaosAction::kFeedHours);
+
+    // The quorum drill runs on EVERY seed, in order: the primary's
+    // heartbeats go dark, a ranked failover must follow, then a standby's
+    // heartbeats go dark too and the majority gate must hold the plane
+    // dark.
+    std::size_t primary_dark = 0, failover = 0, standby_dark = 0, dark = 0;
+    for (std::size_t i = 0; i < schedule.size(); ++i) {
+      const auto& event = schedule[i];
+      switch (event.action) {
+        case ChaosAction::kPartitionHeartbeat:
+          // Member indices: 0 the primary, 1..standbys the standbys.
+          EXPECT_GE(event.index, 0) << "event " << i;
+          EXPECT_LE(event.index, config.standbys) << "event " << i;
+          if (event.index == 0) primary_dark = i;
+          if (event.index > 0 && i > failover && failover > 0) {
+            standby_dark = i;
+          }
+          break;
+        case ChaosAction::kAwaitFailover: failover = i; break;
+        case ChaosAction::kAwaitDark: dark = i; break;
+        case ChaosAction::kPromoteStandby:
+        case ChaosAction::kPartitionStandby:
+        case ChaosAction::kSlowDripStandby:
+        case ChaosAction::kDripIngest:
+          ADD_FAILURE() << "ship-path fault " << ChaosActionName(event.action)
+                        << " in a quorum schedule (event " << i << ")";
+          break;
+        default: break;
+      }
+    }
+    EXPECT_GT(failover, primary_dark);
+    EXPECT_GT(standby_dark, failover);
+    EXPECT_GT(dark, standby_dark);
+
+    // Heartbeat partitions outside the drill heal within 3 events, the
+    // same no-rot guarantee the ship-path faults carry.
+    for (std::size_t i = 0; i + 1 < primary_dark; ++i) {
+      if (schedule[i].action != ChaosAction::kPartitionHeartbeat) continue;
+      bool healed = false;
+      for (std::size_t j = i + 1; j < schedule.size() && j <= i + 3; ++j) {
+        if (schedule[j].action == ChaosAction::kHealAll) {
+          healed = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(healed) << "heartbeat partition at event " << i
+                          << " not healed within 3 events";
+    }
+  }
+}
+
 }  // namespace
 }  // namespace tipsy::scenario

@@ -11,8 +11,23 @@
 // (ha::ReplicaStateDigest) must equal the control's, bit for bit.
 //
 //   ./chaos_harness --tipsyd PATH [--seeds 1,2,3] [--rounds N]
-//                   [--standbys N] [--workdir DIR]
+//                   [--standbys N] [--workdir DIR] [--chaos-quorum]
 //                   [--merge-into BENCH_robustness.json]
+//
+// --chaos-quorum randomizes the supervisor/quorum plane instead of the
+// ship paths: every tipsyd reports over a real heartbeat socket (its
+// --heartbeat-to flag) through a per-member SocketFaultProxy into an
+// in-process ha::Supervisor (require_quorum, all members remote), while
+// a net::PredictPool keeps issuing batched reads across the whole
+// fleet. The schedule churns the standby set and black-holes heartbeat
+// paths, then runs a fixed drill: primary heartbeats dark -> the
+// supervisor must rank-promote the best standby (AWAIT_FAILOVER);
+// a standby's heartbeats dark too -> a lone-survivor view is a
+// minority, so the quorum gate must serve NONE instead of electing a
+// head (AWAIT_DARK). Gates per seed: the drill transitions happen,
+// pooled reads never exhaust the fleet, the primary's final applied_seq
+// equals the control's (zero duplicate applies), and every survivor's
+// digest converges bit-identically — same seed, same digest, any run.
 //
 // Exit 0 iff every seed converged. --merge-into splices a "chaos" object
 // into the named bench JSON (tools/check_bench_json.py gates its shape).
@@ -38,6 +53,7 @@
 #include <vector>
 
 #include "ha/replica.h"
+#include "ha/supervisor.h"
 #include "net/client.h"
 #include "net/socket.h"
 #include "obs/metrics.h"
@@ -197,6 +213,7 @@ struct HarnessOptions {
   int standbys = 2;
   std::string workdir;
   std::string merge_into;
+  bool quorum = false;
 };
 
 struct SeedResult {
@@ -208,6 +225,14 @@ struct SeedResult {
   int partitions = 0;
   int promotions = 0;
   int snapshot_catchups = 0;
+  // --- Quorum-plane telemetry (--chaos-quorum only).
+  int hb_partitions = 0;
+  std::uint64_t failovers = 0;       // supervisor routed off the primary
+  std::uint64_t failbacks = 0;       // ... and back
+  std::uint64_t quorum_blocked = 0;  // promotions the majority gate held
+  std::uint64_t pool_served = 0;
+  std::uint64_t pool_exhausted = 0;  // reads that beat every endpoint: 0
+  std::uint64_t served_during_failover = 0;
   bool converged = false;
   std::string digest;
   std::string failure;
@@ -253,6 +278,11 @@ class ChaosRun {
   [[nodiscard]] std::uint16_t ShipProxyPort(int i) const {
     return static_cast<std::uint16_t>(base_port_ + 41 + i);
   }
+  // Heartbeat proxy for MEMBER m (0 = primary, 1.. = standbys). The 48
+  // ports per seed fit 44 + m only up to 3 standbys; main() enforces it.
+  [[nodiscard]] std::uint16_t HeartbeatProxyPort(int member) const {
+    return static_cast<std::uint16_t>(base_port_ + 44 + member);
+  }
 
   [[nodiscard]] std::string File(const std::string& name) const {
     return (dir_ / name).string();
@@ -287,23 +317,39 @@ class ChaosRun {
   // (files, role) at launch time.
   [[nodiscard]] std::vector<std::string> PrimaryArgs(
       const std::string& files) const {
-    return {"--predict-port", std::to_string(PrimaryPort(0)),
-            "--ingest-port",  std::to_string(PrimaryPort(1)),
-            "--ship-port",    std::to_string(PrimaryPort(2)),
-            "--metrics-port", std::to_string(PrimaryPort(3)),
-            "--journal",      File(files + ".journal"),
-            "--snapshot",     File(files + ".snapshot")};
+    std::vector<std::string> args = {
+        "--predict-port", std::to_string(PrimaryPort(0)),
+        "--ingest-port",  std::to_string(PrimaryPort(1)),
+        "--ship-port",    std::to_string(PrimaryPort(2)),
+        "--metrics-port", std::to_string(PrimaryPort(3)),
+        "--journal",      File(files + ".journal"),
+        "--snapshot",     File(files + ".snapshot")};
+    AppendHeartbeatArgs(args, /*member=*/0);
+    return args;
   }
   [[nodiscard]] std::vector<std::string> StandbyArgs(
       const std::string& files, int slot) const {
-    return {"--predict-port", std::to_string(StandbyPort(slot, 0)),
-            "--ingest-port",  std::to_string(StandbyPort(slot, 1)),
-            "--ship-port",    std::to_string(StandbyPort(slot, 2)),
-            "--metrics-port", std::to_string(StandbyPort(slot, 3)),
-            "--journal",      File(files + ".journal"),
-            "--snapshot",     File(files + ".snapshot"),
-            "--ship-from",
-            "127.0.0.1:" + std::to_string(ShipProxyPort(slot))};
+    std::vector<std::string> args = {
+        "--predict-port", std::to_string(StandbyPort(slot, 0)),
+        "--ingest-port",  std::to_string(StandbyPort(slot, 1)),
+        "--ship-port",    std::to_string(StandbyPort(slot, 2)),
+        "--metrics-port", std::to_string(StandbyPort(slot, 3)),
+        "--journal",      File(files + ".journal"),
+        "--snapshot",     File(files + ".snapshot"),
+        "--ship-from",
+        "127.0.0.1:" + std::to_string(ShipProxyPort(slot))};
+    AppendHeartbeatArgs(args, /*member=*/1 + slot);
+    return args;
+  }
+  // Quorum mode: every member reports liveness through its own fault
+  // proxy, so a "partition" is a real black-holed TCP path.
+  void AppendHeartbeatArgs(std::vector<std::string>& args, int member) const {
+    if (!options_.quorum) return;
+    args.push_back("--heartbeat-to");
+    args.push_back("127.0.0.1:" +
+                   std::to_string(HeartbeatProxyPort(member)));
+    args.push_back("--member-index");
+    args.push_back(std::to_string(member));
   }
 
   bool LaunchProc(Proc& proc) {
@@ -321,6 +367,16 @@ class ChaosRun {
   bool Feed(int hours, SeedResult& result);
   bool Promote(int slot, SeedResult& result);
   void HealAll();
+  // --- Quorum-plane plumbing (--chaos-quorum only).
+  bool StartQuorumPlane(SeedResult& result);
+  // One supervisor observation (clock = newest fed hour) plus a pooled
+  // read burst, run after every schedule event and inside the awaits, so
+  // reads demonstrably continue while the routing plane churns.
+  void QuorumObserve(SeedResult& result);
+  void PoolBurst(SeedResult& result);
+  bool AwaitFailover(SeedResult& result, int timeout_ms = 60000);
+  bool AwaitDark(SeedResult& result, int timeout_ms = 60000);
+  bool AwaitFailback(SeedResult& result, int timeout_ms = 60000);
   // Counters die with the process: fold a standby's snapshot catch-up
   // count into the result before stopping or killing that generation.
   void HarvestStandbyCounters(int slot, SeedResult& result) {
@@ -348,6 +404,17 @@ class ChaosRun {
   std::unique_ptr<scenario::SocketFaultProxy> ingest_proxy_;
   std::unique_ptr<ha::Replica> control_;
   util::HourIndex next_hour_ = 0;
+
+  // --- Quorum plane (--chaos-quorum only; null otherwise).
+  std::unique_ptr<ha::Supervisor> supervisor_;
+  std::unique_ptr<net::HeartbeatListener> hb_listener_;
+  // One per member: [0] primary, [1..] standbys.
+  std::vector<std::unique_ptr<scenario::SocketFaultProxy>> hb_proxies_;
+  std::unique_ptr<net::PredictPool> pool_;
+  net::PredictRequest pool_request_;
+  // True while the primary's heartbeat path is dark: reads served here
+  // are the "through failover" count the JSON reports.
+  bool failover_window_ = false;
 };
 
 void ChaosRun::HealAll() {
@@ -355,6 +422,115 @@ void ChaosRun::HealAll() {
   for (auto& proxy : ship_proxies_) {
     proxy->set_mode(scenario::ProxyMode::kPass);
   }
+  for (auto& proxy : hb_proxies_) {
+    // A black-holed heartbeat connection would otherwise stay wedged on
+    // the stale socket: cut it so the sender reconnects through the now
+    // healthy path immediately.
+    proxy->set_mode(scenario::ProxyMode::kPass);
+    proxy->DropConnections();
+  }
+  failover_window_ = false;
+}
+
+bool ChaosRun::StartQuorumPlane(SeedResult& result) {
+  ha::SupervisorConfig sup_cfg;
+  sup_cfg.require_quorum = true;
+  sup_cfg.heartbeat_timeout_hours = 2;
+  sup_cfg.seed = seed_;
+  supervisor_ = std::make_unique<ha::Supervisor>(nullptr, nullptr, sup_cfg);
+  supervisor_->MarkMemberRemote(0);
+  supervisor_->MarkMemberRemote(1);
+  for (int i = 1; i < options_.standbys; ++i) {
+    // configured_rank = standby index: the deterministic tiebreak when
+    // two standbys report identical journal progress.
+    supervisor_->AddStandby(nullptr, i);
+  }
+  hb_listener_ = std::make_unique<net::HeartbeatListener>(
+      [this](const net::HeartbeatReport& report) {
+        supervisor_->ObserveMemberHeartbeat(report.member_index, report.hour,
+                                            report.applied_seq,
+                                            report.health);
+      });
+  if (!hb_listener_->Start(0).ok()) {
+    result.failure = "heartbeat listener failed to start";
+    return false;
+  }
+  for (int member = 0; member <= options_.standbys; ++member) {
+    scenario::SocketFaultProxyConfig cfg;
+    cfg.upstream_port = hb_listener_->port();
+    cfg.listen_port = HeartbeatProxyPort(member);
+    hb_proxies_.push_back(
+        std::make_unique<scenario::SocketFaultProxy>(cfg));
+    if (!hb_proxies_.back()->Start().ok()) {
+      result.failure = "heartbeat proxy failed to start";
+      return false;
+    }
+  }
+  // One representative batch read, reused for every pooled burst.
+  for (const auto& row : HourRows(0)) {
+    pool_request_.flows.push_back(
+        {core::FlowFeatures{row.src_asn, row.src_prefix24, row.src_metro,
+                            row.dest_region, row.dest_service},
+         static_cast<double>(row.bytes)});
+  }
+  return true;
+}
+
+void ChaosRun::QuorumObserve(SeedResult& result) {
+  if (supervisor_ == nullptr) return;
+  if (next_hour_ > 0) supervisor_->Tick(next_hour_ - 1);
+  PoolBurst(result);
+}
+
+void ChaosRun::PoolBurst(SeedResult& result) {
+  if (pool_ == nullptr) return;
+  for (int i = 0; i < 4; ++i) {
+    if (pool_->Predict(pool_request_).ok()) {
+      ++result.pool_served;
+      if (failover_window_) ++result.served_during_failover;
+    } else {
+      ++result.pool_exhausted;
+    }
+  }
+}
+
+bool ChaosRun::AwaitFailover(SeedResult& result, int timeout_ms) {
+  const std::uint64_t deadline = NowMs() + timeout_ms;
+  while (NowMs() < deadline) {
+    QuorumObserve(result);
+    if (supervisor_->serving_member() >= 1) return true;
+    SleepMs(50);
+  }
+  result.failure = "supervisor never rank-promoted a standby";
+  return false;
+}
+
+bool ChaosRun::AwaitDark(SeedResult& result, int timeout_ms) {
+  const std::uint64_t deadline = NowMs() + timeout_ms;
+  const std::uint64_t blocked_before = supervisor_->quorum_blocked();
+  while (NowMs() < deadline) {
+    QuorumObserve(result);
+    // Dark for the right reason: a standby was rankable but the quorum
+    // gate refused it (a minority view must not elect a head).
+    if (supervisor_->serving_member() < 0 &&
+        supervisor_->quorum_blocked() > blocked_before) {
+      return true;
+    }
+    SleepMs(50);
+  }
+  result.failure = "quorum gate never held the routing plane dark";
+  return false;
+}
+
+bool ChaosRun::AwaitFailback(SeedResult& result, int timeout_ms) {
+  const std::uint64_t deadline = NowMs() + timeout_ms;
+  while (NowMs() < deadline) {
+    QuorumObserve(result);
+    if (supervisor_->serving_member() == 0) return true;
+    SleepMs(50);
+  }
+  result.failure = "primary never reclaimed routing after heal";
+  return false;
 }
 
 bool ChaosRun::Feed(int hours, SeedResult& result) {
@@ -470,6 +646,8 @@ SeedResult ChaosRun::Run() {
   }
   control_ = std::make_unique<ha::Replica>(*std::move(control));
 
+  if (options_.quorum && !StartQuorumPlane(result)) return result;
+
   primary_.name = "primary";
   primary_.args = PrimaryArgs(primary_files_);
   primary_.log_base = File("primary.log");
@@ -502,6 +680,7 @@ SeedResult ChaosRun::Run() {
   schedule_cfg.seed = seed_;
   schedule_cfg.rounds = options_.rounds;
   schedule_cfg.standbys = options_.standbys;
+  schedule_cfg.quorum = options_.quorum;
   const auto schedule = scenario::BuildChaosSchedule(schedule_cfg);
   result.events = static_cast<int>(schedule.size());
 
@@ -519,6 +698,22 @@ SeedResult ChaosRun::Run() {
       standby.log_base = File(standby.name + ".log");
       standbys_.push_back(std::move(standby));
       if (!LaunchProc(standbys_.back())) return false;
+    }
+    if (options_.quorum) {
+      // The read fleet is complete: pooled reads run from here on.
+      net::PredictPoolConfig pool_cfg;
+      auto endpoint = [](std::uint16_t port) {
+        net::ClientConfig cfg;
+        cfg.port = port;
+        cfg.io_deadline_ms = 2000;
+        cfg.backoff.max_ms = 200;
+        return cfg;
+      };
+      pool_cfg.endpoints.push_back(endpoint(PrimaryPort(0)));
+      for (int i = 0; i < options_.standbys; ++i) {
+        pool_cfg.endpoints.push_back(endpoint(StandbyPort(i, 0)));
+      }
+      pool_ = std::make_unique<net::PredictPool>(pool_cfg);
     }
     return true;
   };
@@ -592,7 +787,21 @@ SeedResult ChaosRun::Run() {
       case scenario::ChaosAction::kPromoteStandby:
         ok = Promote(event.index, result);
         break;
+      case scenario::ChaosAction::kPartitionHeartbeat:
+        // event.index is a member index (0 = primary). The process stays
+        // up and keeps serving — only the supervisor goes blind to it.
+        hb_proxies_[event.index]->set_mode(scenario::ProxyMode::kPartition);
+        ++result.hb_partitions;
+        if (event.index == 0) failover_window_ = true;
+        break;
+      case scenario::ChaosAction::kAwaitFailover:
+        ok = AwaitFailover(result);
+        break;
+      case scenario::ChaosAction::kAwaitDark:
+        ok = AwaitDark(result);
+        break;
     }
+    if (ok) QuorumObserve(result);
   }
 
   // Convergence verdict: heal, flush, wait for every standby to reach
@@ -614,6 +823,9 @@ SeedResult ChaosRun::Run() {
       }
     }
   }
+  // Quorum epilogue: with every heartbeat path healed the primary must
+  // reclaim routing (failback) while the fleet is still up.
+  if (ok && options_.quorum) ok = AwaitFailback(result);
   collector_.Disconnect();
   for (int i = 0; i < static_cast<int>(standbys_.size()); ++i) {
     HarvestStandbyCounters(i, result);
@@ -640,10 +852,38 @@ SeedResult ChaosRun::Run() {
       }
     }
   }
+
+  if (options_.quorum) {
+    // Zero-duplicate gate: the control applied every hour exactly once,
+    // so any duplicate apply on the primary would push its seq past the
+    // control's (the digest would diverge too — this names the cause).
+    const std::string primary_seq = StoppedField(primary_, "applied_seq");
+    const std::string control_seq = std::to_string(control_->applied_seq());
+    if (ok && primary_seq != control_seq) {
+      ok = false;
+      result.failure = "duplicate applies: primary applied_seq " +
+                       primary_seq + " != control " + control_seq;
+    }
+    // Read-continuity gate: no pooled burst may ever exhaust the fleet —
+    // the primary's process was up throughout, however dark the
+    // supervisor's view got.
+    if (ok && result.pool_exhausted > 0) {
+      ok = false;
+      result.failure = std::to_string(result.pool_exhausted) +
+                       " pooled reads exhausted every endpoint";
+    }
+    const auto stats = supervisor_->stats();
+    result.failovers = stats.failovers;
+    result.failbacks = stats.failbacks;
+    result.quorum_blocked = supervisor_->quorum_blocked();
+  }
   result.converged = ok;
 
   ingest_proxy_->Stop();
   for (auto& proxy : ship_proxies_) proxy->Stop();
+  if (pool_ != nullptr) pool_->Disconnect();
+  for (auto& proxy : hb_proxies_) proxy->Stop();
+  if (hb_listener_ != nullptr) hb_listener_->Stop();
   return result;
 }
 
@@ -655,6 +895,7 @@ std::string ChaosJson(const HarnessOptions& options,
   for (const auto& r : results) all = all && r.converged;
   std::ostringstream json;
   json << "{\n    \"harness\": \"tools/chaos_harness\",\n"
+       << "    \"mode\": \"" << (options.quorum ? "quorum" : "ha") << "\",\n"
        << "    \"rounds\": " << options.rounds << ",\n"
        << "    \"standbys\": " << options.standbys << ",\n"
        << "    \"seeds\": [\n";
@@ -665,8 +906,17 @@ std::string ChaosJson(const HarnessOptions& options,
          << ", \"restarts\": " << r.restarts
          << ", \"partitions\": " << r.partitions
          << ", \"promotions\": " << r.promotions
-         << ", \"snapshot_catchups\": " << r.snapshot_catchups
-         << ", \"converged\": " << (r.converged ? "true" : "false")
+         << ", \"snapshot_catchups\": " << r.snapshot_catchups;
+    if (options.quorum) {
+      json << ", \"hb_partitions\": " << r.hb_partitions
+           << ", \"failovers\": " << r.failovers
+           << ", \"failbacks\": " << r.failbacks
+           << ", \"quorum_blocked\": " << r.quorum_blocked
+           << ", \"pool_served\": " << r.pool_served
+           << ", \"pool_exhausted\": " << r.pool_exhausted
+           << ", \"served_during_failover\": " << r.served_during_failover;
+    }
+    json << ", \"converged\": " << (r.converged ? "true" : "false")
          << ", \"digest\": \"" << r.digest << "\"}"
          << (i + 1 < results.size() ? "," : "") << "\n";
   }
@@ -708,6 +958,8 @@ int main(int argc, char** argv) {
       options.workdir = next();
     } else if (flag == "--merge-into") {
       options.merge_into = next();
+    } else if (flag == "--chaos-quorum") {
+      options.quorum = true;
     } else {
       std::cerr << "chaos_harness: unknown flag " << flag << "\n";
       return 2;
@@ -715,6 +967,13 @@ int main(int argc, char** argv) {
   }
   if (options.tipsyd.empty()) {
     std::cerr << "chaos_harness: --tipsyd PATH is required\n";
+    return 2;
+  }
+  if (options.quorum && (options.standbys < 2 || options.standbys > 3)) {
+    // < 2: the drill's failover could never be quorum-approved (one dead
+    // primary already makes any view a minority). > 3: the per-seed port
+    // plan has no room for more heartbeat proxies.
+    std::cerr << "chaos_harness: --chaos-quorum wants 2 or 3 standbys\n";
     return 2;
   }
   if (options.workdir.empty()) {
@@ -738,8 +997,17 @@ int main(int argc, char** argv) {
               << " kills=" << result.kills << " restarts=" << result.restarts
               << " partitions=" << result.partitions
               << " promotions=" << result.promotions
-              << " snapshot_catchups=" << result.snapshot_catchups
-              << (result.failure.empty() ? "" : " (" + result.failure + ")")
+              << " snapshot_catchups=" << result.snapshot_catchups;
+    if (options.quorum) {
+      std::cout << " hb_partitions=" << result.hb_partitions
+                << " failovers=" << result.failovers
+                << " failbacks=" << result.failbacks
+                << " quorum_blocked=" << result.quorum_blocked
+                << " pool_served=" << result.pool_served
+                << " served_during_failover="
+                << result.served_during_failover;
+    }
+    std::cout << (result.failure.empty() ? "" : " (" + result.failure + ")")
               << "\n";
     results.push_back(std::move(result));
   }

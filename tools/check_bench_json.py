@@ -41,7 +41,7 @@ SCHEMAS = {
     ),
     "BENCH_ha.json": (
         {"bench", "hardware_concurrency", "warmup_days", "live_days",
-         "window_days", "crash_cases", "failover", "net"},
+         "window_days", "crash_cases", "failover", "net", "pool"},
         "crash_cases",
         {"name", "crash_at_hour", "restore_source", "replayed_records",
          "skipped_records", "recovery_ms", "bit_identical"},
@@ -176,6 +176,42 @@ def check_ha_net(data: dict) -> list[str]:
     if not isinstance(ok, int) or ok <= 0:
         problems.append(
             f"net.requests_ok {ok!r}: no predict request survived the run")
+    problems.extend(check_ha_pool(data))
+    return problems
+
+
+def check_ha_pool(data: dict) -> list[str]:
+    """The pooled-read lane: a 1-primary/2-standby fleet must serve at
+    least 95% of pooled predict requests through the partition-driven
+    promotion, keep serving *inside* the partition window, and never
+    duplicate a journal apply. A lane that silently skipped or a pool
+    that blackholed reads during the failover would otherwise still
+    produce a schema-valid artifact.
+    """
+    pool = data.get("pool")
+    if not isinstance(pool, dict):
+        return ["'pool' is not an object"]
+    problems = []
+    if pool.get("ran") is not True:
+        problems.append("pool.ran is not true (the pooled lane never ran)")
+    total = pool.get("requests_total")
+    if not isinstance(total, int) or total <= 0:
+        problems.append(
+            f"pool.requests_total {total!r}: no pooled request was issued")
+    fraction = pool.get("served_fraction")
+    if not isinstance(fraction, (int, float)) or fraction < 0.95:
+        problems.append(
+            f"pool.served_fraction {fraction!r} is below the 0.95 gate: "
+            "the fleet failed to serve reads through the promotion")
+    during = pool.get("served_during_failover")
+    if not isinstance(during, int) or during <= 0:
+        problems.append(
+            f"pool.served_during_failover {during!r}: no read was served "
+            "inside the partition window")
+    if pool.get("zero_duplicates") is not True:
+        problems.append(
+            "pool.zero_duplicates is not true: a replica re-applied or "
+            "missed a journal record during the pooled lane")
     return problems
 
 

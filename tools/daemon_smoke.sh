@@ -5,10 +5,22 @@
 # stage — READY handshake, ingest+predict round trip, metrics scrape,
 # graceful shutdown — does not complete.
 #
-# Usage: tools/daemon_smoke.sh [build_dir]   (default: ./build)
+# With --auth the whole exchange runs on the authenticated v2 wire
+# (a throwaway TIPSY_AUTH_KEY is exported to daemon and client), and a
+# negative pass then re-runs the client WITHOUT the key: the daemon must
+# refuse it (typed kAuthFailed, counted in tipsyd_net_auth_failures_total),
+# stay alive, and still shut down cleanly — refusal is never a crash.
+#
+# Usage: tools/daemon_smoke.sh [build_dir] [--auth]   (default: ./build)
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
+AUTH_MODE=0
+if [[ "${2:-}" == "--auth" ]]; then
+  AUTH_MODE=1
+  TIPSY_AUTH_KEY="smoke-secret-$$-$RANDOM"
+  export TIPSY_AUTH_KEY
+fi
 TIPSYD="$BUILD_DIR/src/net/tipsyd"
 CLIENT="$BUILD_DIR/examples/online_service"
 WORK_DIR="$(mktemp -d -t tipsyd_smoke.XXXXXX)"
@@ -89,8 +101,8 @@ grep -q 'serving health FRESH' <<< "$CLIENT_OUT" || {
   exit 1
 }
 
-echo "daemon_smoke: scraping /metrics on port $METRICS_PORT"
-SCRAPE="$(python3 - "$METRICS_PORT" <<'PY'
+scrape_metrics() {
+  python3 - "$METRICS_PORT" <<'PY'
 import socket, sys
 with socket.create_connection(("127.0.0.1", int(sys.argv[1])), 5) as s:
     s.sendall(b"GET /metrics HTTP/1.1\r\nHost: smoke\r\n\r\n")
@@ -106,7 +118,10 @@ with socket.create_connection(("127.0.0.1", int(sys.argv[1])), 5) as s:
         data += chunk
 sys.stdout.write(data.decode(errors="replace"))
 PY
-)"
+}
+
+echo "daemon_smoke: scraping /metrics on port $METRICS_PORT"
+SCRAPE="$(scrape_metrics)"
 for metric in tipsyd_net_frames_applied_total tipsyd_net_predict_requests_total; do
   grep -q "^$metric " <<< "$SCRAPE" || {
     echo "daemon_smoke: /metrics is missing $metric" >&2
@@ -115,6 +130,38 @@ for metric in tipsyd_net_frames_applied_total tipsyd_net_predict_requests_total;
   }
 done
 echo "daemon_smoke: /metrics serves $(grep -c '^tipsyd_' <<< "$SCRAPE") tipsyd_* series"
+
+if (( AUTH_MODE )); then
+  # Negative pass: the same client binary, key withheld. The keyed
+  # daemon refuses its v1 hello before any ack, so the client never
+  # makes progress — `timeout` bounds its reconnect loop, and a zero
+  # exit (it somehow got served) is the failure.
+  echo "daemon_smoke: negative auth run (client without TIPSY_AUTH_KEY)"
+  NEG_STATUS=0
+  NEG_OUT="$(cd "$WORK_DIR" && env -u TIPSY_AUTH_KEY timeout 15 \
+    "$CLIENT_ABS" --connect 127.0.0.1 "$PREDICT_PORT" "$INGEST_PORT" \
+    2>&1)" || NEG_STATUS=$?
+  if [[ "$NEG_STATUS" -eq 0 ]]; then
+    echo "daemon_smoke: unauthenticated client was served by a keyed" \
+         "daemon" >&2
+    printf '%s\n' "$NEG_OUT" | sed 's/^/  client: /' >&2
+    exit 1
+  fi
+  kill -0 "$DAEMON_PID" 2>/dev/null || {
+    echo "daemon_smoke: daemon died handling an unauthenticated peer" >&2
+    cat "$LOG" >&2
+    exit 1
+  }
+  AUTH_FAILS="$(scrape_metrics |
+    sed -n 's/^tipsyd_net_auth_failures_total \([0-9]*\).*/\1/p')"
+  if [[ -z "$AUTH_FAILS" || "$AUTH_FAILS" -eq 0 ]]; then
+    echo "daemon_smoke: tipsyd_net_auth_failures_total did not count the" \
+         "refusal (got '${AUTH_FAILS:-missing}')" >&2
+    exit 1
+  fi
+  echo "daemon_smoke: keyed daemon refused the keyless client" \
+       "($AUTH_FAILS typed refusals) and kept serving"
+fi
 
 echo "daemon_smoke: SIGTERM and clean shutdown"
 kill -TERM "$DAEMON_PID"
