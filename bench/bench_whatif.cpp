@@ -1,0 +1,238 @@
+// What-if sweep bench: throughput and determinism of cms::WhatIfSimulator,
+// the planning-side batch evaluator (docs/MODELING.md, "What-if
+// simulation").
+//
+// Not a paper table. The simulator batch-sweeps candidate prefix
+// withdrawals through the same PredictShift path the CMS trusts; its
+// contract is that the ranked report list is bit-identical at any
+// TIPSY_THREADS setting (one pool chunk per candidate, results written by
+// index, each evaluation a pure function of model + rows + loads). This
+// bench measures sweep latency across a thread sweep and asserts that
+// contract: every multi-threaded run's reports must compare exactly equal
+// (fields, spill lists, doubles to the bit) to the single-threaded
+// reference. `bit_identical` is gated by CI even for --small artifacts -
+// determinism does not depend on workload scale.
+//
+// Writes results/bench_whatif.csv and BENCH_whatif.json in the working
+// directory. Always exits 0: CI validates the committed artifact.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "cms/whatif.h"
+#include "core/tipsy_service.h"
+#include "obs/metrics.h"
+#include "scenario/scenario.h"
+#include "util/parallel.h"
+#include "util/table.h"
+
+using namespace tipsy;
+
+namespace {
+
+std::string Fixed(double v, int digits = 1) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", digits, v);
+  return buffer;
+}
+
+struct ThreadPoint {
+  std::size_t threads = 0;
+  double ms = 0.0;  // min-of-rounds full-sweep latency
+  double candidates_per_s = 0.0;
+  bool bit_identical = false;
+};
+
+// Exact structural equality - doubles compared to the bit, spill lists in
+// order. Any divergence across thread counts is a determinism bug.
+bool SameReports(const std::vector<cms::WhatIfReport>& a,
+                 const std::vector<cms::WhatIfReport>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto& x = a[i];
+    const auto& y = b[i];
+    if (x.candidate_index != y.candidate_index || x.link != y.link ||
+        x.matched_bytes != y.matched_bytes ||
+        x.moved_bytes != y.moved_bytes ||
+        x.unpredicted_bytes != y.unpredicted_bytes || x.safe != y.safe ||
+        x.spills.size() != y.spills.size()) {
+      return false;
+    }
+    for (std::size_t s = 0; s < x.spills.size(); ++s) {
+      if (x.spills[s].link != y.spills[s].link ||
+          x.spills[s].bytes != y.spills[s].bytes ||
+          x.spills[s].projected_utilization !=
+              y.spills[s].projected_utilization ||
+          x.spills[s].over_headroom != y.spills[s].over_headroom) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto options = bench::BenchOptions::Parse(argc, argv);
+  const int rounds = options.small ? 3 : 7;
+  const std::size_t candidate_target = options.small ? 32 : 128;
+
+  bench::PrintHeader("bench_whatif",
+                     "what-if withdrawal sweep throughput + thread-count "
+                     "determinism; no paper table - planning-side lane");
+  const unsigned cores = bench::HardwareConcurrency();
+  std::cout << "hardware_concurrency " << cores << "\n\n";
+
+  auto cfg = scenario::TinyScenarioConfig();
+  cfg.traffic.flow_target = options.small ? 300 : 900;
+  if (options.seed != 0) {
+    cfg.seed = cfg.topology.seed = options.seed;
+    cfg.traffic.seed = options.seed + 1;
+    cfg.outages.seed = options.seed + 2;
+  }
+  scenario::Scenario world(cfg);
+  core::TipsyService service(&world.wan(), &world.metros(),
+                             core::TipsyConfig{});
+  // Train a week, keep the final day's rows as the sweep hour's traffic.
+  std::vector<pipeline::AggRow> sweep_rows;
+  world.SimulateHours(
+      {0, 7 * util::kHoursPerDay},
+      [&](util::HourIndex hour, std::span<const pipeline::AggRow> rows) {
+        service.Train(rows);
+        if (hour >= 6 * util::kHoursPerDay && sweep_rows.size() < 8192) {
+          sweep_rows.insert(sweep_rows.end(), rows.begin(), rows.end());
+        }
+      });
+  service.FinalizeTraining();
+
+  // Current loads: what the sweep traffic actually put on each link.
+  std::vector<double> link_loads(world.wan().link_count(), 0.0);
+  for (const auto& row : sweep_rows) {
+    link_loads[row.link.value()] += static_cast<double>(row.bytes);
+  }
+
+  // Candidates, deterministically: per loaded link one full drain plus
+  // one withdrawal per observed destination prefix, links in id order,
+  // until the target count.
+  std::map<util::LinkId, std::vector<util::PrefixId>> link_prefixes;
+  for (const auto& row : sweep_rows) {
+    auto& prefixes = link_prefixes[row.link];
+    if (std::find(prefixes.begin(), prefixes.end(), row.dest_prefix) ==
+        prefixes.end()) {
+      prefixes.push_back(row.dest_prefix);
+    }
+  }
+  std::vector<cms::WhatIfCandidate> candidates;
+  for (const auto& [link, prefixes] : link_prefixes) {
+    if (candidates.size() >= candidate_target) break;
+    candidates.push_back({link, {}});  // drain the link
+    for (const auto prefix : prefixes) {
+      if (candidates.size() >= candidate_target) break;
+      candidates.push_back({link, {prefix}});
+    }
+  }
+  std::cout << "sweep hour: " << sweep_rows.size() << " rows, "
+            << link_prefixes.size() << " loaded links, "
+            << candidates.size() << " candidates\n\n";
+
+  const cms::WhatIfSimulator simulator(&world.wan(), &service,
+                                       cms::WhatIfOptions{});
+
+  // Single-threaded reference first; every other thread count must
+  // reproduce it bit-for-bit.
+  std::vector<cms::WhatIfReport> reference;
+  {
+    util::ScopedPool pool(1);
+    reference = simulator.Sweep(sweep_rows, link_loads, candidates);
+  }
+
+  std::vector<std::size_t> thread_counts{1, 2};
+  if (cores > 2) thread_counts.push_back(cores);
+  thread_counts.erase(
+      std::unique(thread_counts.begin(), thread_counts.end()),
+      thread_counts.end());
+
+  std::vector<ThreadPoint> points;
+  bool all_identical = true;
+  for (const std::size_t threads : thread_counts) {
+    util::ScopedPool pool(threads);
+    ThreadPoint point;
+    point.threads = threads;
+    point.ms = 1e18;
+    std::vector<cms::WhatIfReport> reports;
+    for (int round = 0; round < rounds; ++round) {
+      const std::uint64_t t0 = obs::NowNanos();
+      reports = simulator.Sweep(sweep_rows, link_loads, candidates);
+      const std::uint64_t t1 = obs::NowNanos();
+      point.ms = std::min(point.ms,
+                          static_cast<double>(t1 - t0) / 1e6);
+    }
+    point.bit_identical = SameReports(reports, reference);
+    all_identical = all_identical && point.bit_identical;
+    point.candidates_per_s =
+        point.ms > 0.0
+            ? static_cast<double>(candidates.size()) / (point.ms / 1e3)
+            : 0.0;
+    points.push_back(point);
+  }
+
+  util::TextTable table(
+      {"Threads", "Sweep ms", "Candidates/s", "Bit-identical"});
+  for (const auto& p : points) {
+    table.AddRow({std::to_string(p.threads), Fixed(p.ms, 2),
+                  Fixed(p.candidates_per_s, 0),
+                  p.bit_identical ? "yes" : "NO"});
+  }
+  table.Print(std::cout);
+  std::cout << "\nranked head: ";
+  for (std::size_t i = 0; i < std::min<std::size_t>(3, reference.size());
+       ++i) {
+    std::cout << (i > 0 ? ", " : "") << "link "
+              << reference[i].link.value() << " moves "
+              << Fixed(reference[i].moved_bytes / 1e12, 2) << " TB"
+              << (reference[i].safe ? "" : " (UNSAFE)");
+  }
+  std::cout << "\ndeterminism: "
+            << (all_identical ? "bit-identical at every thread count"
+                              : "DIVERGED - determinism bug")
+            << "\n";
+
+  std::vector<std::vector<std::string>> csv{
+      {"threads", "ms", "candidates_per_s", "bit_identical"}};
+  for (const auto& p : points) {
+    csv.push_back({std::to_string(p.threads), Fixed(p.ms, 3),
+                   Fixed(p.candidates_per_s, 1),
+                   p.bit_identical ? "1" : "0"});
+  }
+  bench::WriteCsv("bench_whatif", csv);
+
+  std::ofstream json("BENCH_whatif.json");
+  if (json) {
+    json << "{\n  \"bench\": \"whatif\",\n";
+    json << "  \"small\": " << (options.small ? "true" : "false") << ",\n";
+    json << "  \"hardware_concurrency\": " << cores << ",\n";
+    json << "  \"flows\": " << sweep_rows.size() << ",\n";
+    json << "  \"candidates\": " << candidates.size() << ",\n";
+    json << "  \"bit_identical\": " << (all_identical ? "true" : "false")
+         << ",\n";
+    json << "  \"points\": [\n";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const auto& p = points[i];
+      json << "    {\"threads\": " << p.threads
+           << ", \"ms\": " << Fixed(p.ms, 3)
+           << ", \"candidates_per_s\": " << Fixed(p.candidates_per_s, 1)
+           << ", \"bit_identical\": "
+           << (p.bit_identical ? "true" : "false") << "}"
+           << (i + 1 < points.size() ? "," : "") << "\n";
+    }
+    json << "  ]\n}\n";
+    std::cout << "\nwrote BENCH_whatif.json\n";
+  }
+  return 0;
+}

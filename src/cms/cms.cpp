@@ -81,6 +81,13 @@ void CongestionMitigationSystem::HandleCongestion(
     tipsy_guided = false;
     health_fallbacks_.Increment();
   }
+  // Drift gate: a model that no longer matches the live stream must not
+  // steer withdrawals either, even while it is FRESH by age.
+  if (tipsy_guided && config_.drift_provider &&
+      config_.drift_provider() == core::DriftState::kDrifting) {
+    tipsy_guided = false;
+    drift_fallbacks_.Increment();
+  }
 
   // Bytes and flows per destination prefix on the congested link.
   struct PrefixLoad {
@@ -233,6 +240,10 @@ obs::MetricGroup CongestionMitigationSystem::RegisterMetrics(
       prefix + "_health_fallbacks_total",
       "Congestion events handled in legacy mode (EXPIRED serving model)",
       &health_fallbacks_));
+  group.push_back(registry.RegisterCounter(
+      prefix + "_drift_fallbacks_total",
+      "Congestion events handled in legacy mode (DRIFTING serving model)",
+      &drift_fallbacks_));
   group.push_back(registry.RegisterCounter(
       prefix + "_unsafe_withdrawals_skipped_total",
       "Candidate withdrawals refused by the safety-headroom check",

@@ -53,6 +53,12 @@ struct CmsConfig {
   // back to legacy behaviour - §2's conservative stance: never let a
   // model past its validity horizon (Appendix B.2) steer a withdrawal.
   std::function<core::ModelHealth()> health_provider;
+  // Drift gate (wired to DailyRetrainer::drift_state). Orthogonal to the
+  // health gate: a model can be FRESH by age yet DRIFTING on the live
+  // stream (anycast catchment flip, peering change). When set and
+  // reporting DRIFTING at decision time, the prediction-gated path is
+  // refused for that event, same conservative stance as the health gate.
+  std::function<core::DriftState()> drift_provider;
   std::uint64_t seed = 0xc35;
 };
 
@@ -99,6 +105,11 @@ class CongestionMitigationSystem {
   [[nodiscard]] std::size_t health_fallbacks() const {
     return static_cast<std::size_t>(health_fallbacks_.value());
   }
+  // Congestion events handled in legacy mode because the drift gate
+  // reported a DRIFTING serving model.
+  [[nodiscard]] std::size_t drift_fallbacks() const {
+    return static_cast<std::size_t>(drift_fallbacks_.value());
+  }
 
   // Registers the mitigation counters and derived gauges (events,
   // withdrawals, active withdrawals) under `prefix` (e.g. "tipsy_cms").
@@ -126,6 +137,7 @@ class CongestionMitigationSystem {
   std::vector<WithdrawalAction> actions_;
   obs::Counter unsafe_skipped_;
   obs::Counter health_fallbacks_;
+  obs::Counter drift_fallbacks_;
 
   struct ActiveWithdrawal {
     PrefixId prefix;

@@ -1,0 +1,102 @@
+#include "cms/whatif.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/parallel.h"
+
+namespace tipsy::cms {
+
+WhatIfSimulator::WhatIfSimulator(const wan::Wan* wan,
+                                 const core::TipsyService* tipsy,
+                                 WhatIfOptions options)
+    : wan_(wan), tipsy_(tipsy), options_(options) {
+  assert(wan_ != nullptr);
+  assert(tipsy_ != nullptr);
+}
+
+WhatIfReport WhatIfSimulator::Evaluate(
+    std::size_t index, const WhatIfCandidate& candidate,
+    std::span<const pipeline::AggRow> rows,
+    std::span<const double> link_loads) const {
+  WhatIfReport report;
+  report.candidate_index = index;
+  report.link = candidate.link;
+
+  // Sorted prefix set for membership tests; empty = drain the link.
+  std::vector<std::uint32_t> prefixes;
+  prefixes.reserve(candidate.prefixes.size());
+  for (const PrefixId prefix : candidate.prefixes) {
+    prefixes.push_back(prefix.value());
+  }
+  std::sort(prefixes.begin(), prefixes.end());
+  prefixes.erase(std::unique(prefixes.begin(), prefixes.end()),
+                 prefixes.end());
+
+  // The flows the withdrawal would displace, in row order (the order
+  // PredictShift accumulates in, hence part of the determinism contract).
+  std::vector<core::TipsyService::ShiftQueryFlow> flows;
+  for (const auto& row : rows) {
+    if (row.link != candidate.link) continue;
+    if (!prefixes.empty() &&
+        !std::binary_search(prefixes.begin(), prefixes.end(),
+                            row.dest_prefix.value())) {
+      continue;
+    }
+    report.matched_bytes += static_cast<double>(row.bytes);
+    flows.push_back(core::TipsyService::ShiftQueryFlow{
+        core::FlowFeatures{row.src_asn, row.src_prefix24, row.src_metro,
+                           row.dest_region, row.dest_service},
+        static_cast<double>(row.bytes)});
+  }
+
+  core::ExclusionMask excluded(wan_->link_count(), false);
+  excluded[candidate.link.value()] = true;
+  // The uninstrumented prediction lane: a planning sweep must not skew
+  // the serving path's latency histogram and query counters.
+  const auto prediction =
+      tipsy_->PredictShiftNoMetrics(flows, excluded, options_.prediction_k);
+  report.unpredicted_bytes = prediction.unpredicted_bytes;
+
+  report.spills.reserve(prediction.shifted.size());
+  for (const auto& [dest, bytes] : prediction.shifted) {
+    WhatIfSpill spill;
+    spill.link = dest;
+    spill.bytes = bytes;
+    report.moved_bytes += bytes;
+    const double cap = wan_->link(dest).CapacityBytesPerHour();
+    if (cap > 0.0) {
+      spill.projected_utilization =
+          (link_loads[dest.value()] + bytes) / cap;
+      spill.over_headroom =
+          spill.projected_utilization > options_.safety_headroom;
+    }
+    if (spill.over_headroom) report.safe = false;
+    report.spills.push_back(spill);
+  }
+  return report;
+}
+
+std::vector<WhatIfReport> WhatIfSimulator::Sweep(
+    std::span<const pipeline::AggRow> rows,
+    std::span<const double> link_loads,
+    std::span<const WhatIfCandidate> candidates) const {
+  assert(link_loads.size() == wan_->link_count());
+  std::vector<WhatIfReport> reports(candidates.size());
+  if (candidates.empty()) return reports;
+  // One chunk per candidate, each writing its own slot: no shared state,
+  // so the sweep is bit-identical at any thread count.
+  util::CurrentPool().Run(candidates.size(), [&](std::size_t i) {
+    reports[i] = Evaluate(i, candidates[i], rows, link_loads);
+  });
+  std::sort(reports.begin(), reports.end(),
+            [](const WhatIfReport& a, const WhatIfReport& b) {
+              if (a.moved_bytes != b.moved_bytes) {
+                return a.moved_bytes > b.moved_bytes;
+              }
+              return a.candidate_index < b.candidate_index;
+            });
+  return reports;
+}
+
+}  // namespace tipsy::cms

@@ -1,0 +1,90 @@
+// What-if simulator for planned prefix withdrawals (beyond the paper's
+// reactive §4.4 loop).
+//
+// The CMS reacts to congestion that already happened; operators also
+// plan: "if we withdrew these prefixes from this link - for maintenance,
+// a peering renegotiation, a drain - where would the traffic land, and
+// would anything overload?" The simulator batch-sweeps candidate
+// withdrawals through the same PredictShift path the CMS trusts, over
+// the process thread pool, and returns per-candidate spill-over reports
+// ranked by predicted moved volume.
+//
+// Determinism: candidates are evaluated independently (one pool chunk
+// per candidate, results written by index) and each evaluation is a
+// pure function of the model, rows, and loads, so the ranked report list
+// is bit-identical at any TIPSY_THREADS setting.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/tipsy_service.h"
+#include "pipeline/aggregate.h"
+#include "wan/wan.h"
+
+namespace tipsy::cms {
+
+using util::LinkId;
+using util::PrefixId;
+
+struct WhatIfOptions {
+  // Top-k spread per flow, same default as the CMS prediction path.
+  std::size_t prediction_k = 3;
+  // Spills pushing a destination link's projected utilization above this
+  // mark the candidate unsafe (mirrors CmsConfig::safety_headroom).
+  double safety_headroom = 0.80;
+};
+
+// One hypothetical action: withdraw these destination prefixes from this
+// ingress link. An empty prefix list means "drain the link": every
+// advertised prefix currently ingressing there is withdrawn.
+struct WhatIfCandidate {
+  LinkId link;
+  std::vector<PrefixId> prefixes;
+};
+
+// Predicted extra load on one destination link.
+struct WhatIfSpill {
+  LinkId link;
+  double bytes = 0.0;                  // predicted bytes landing here
+  double projected_utilization = 0.0;  // (current load + bytes) / capacity
+  bool over_headroom = false;
+};
+
+struct WhatIfReport {
+  std::size_t candidate_index = 0;  // position in the input span
+  LinkId link;
+  double matched_bytes = 0.0;      // bytes of flows the candidate touches
+  double moved_bytes = 0.0;        // bytes PredictShift relocated
+  double unpredicted_bytes = 0.0;  // bytes with no predicted destination
+  std::vector<WhatIfSpill> spills;  // sorted by link id ascending
+  bool safe = true;                 // no spill over the safety headroom
+};
+
+class WhatIfSimulator {
+ public:
+  // `tipsy` must be finalized; both pointers must outlive the simulator.
+  WhatIfSimulator(const wan::Wan* wan, const core::TipsyService* tipsy,
+                  WhatIfOptions options);
+
+  // Evaluates every candidate against one hour of traffic: `rows` is the
+  // hour's aggregate flows, `link_loads` the current bytes per link
+  // (size == wan.link_count()). Returns one report per candidate, ranked
+  // by moved_bytes descending (ties: candidate_index ascending).
+  [[nodiscard]] std::vector<WhatIfReport> Sweep(
+      std::span<const pipeline::AggRow> rows,
+      std::span<const double> link_loads,
+      std::span<const WhatIfCandidate> candidates) const;
+
+ private:
+  [[nodiscard]] WhatIfReport Evaluate(
+      std::size_t index, const WhatIfCandidate& candidate,
+      std::span<const pipeline::AggRow> rows,
+      std::span<const double> link_loads) const;
+
+  const wan::Wan* wan_;
+  const core::TipsyService* tipsy_;
+  WhatIfOptions options_;
+};
+
+}  // namespace tipsy::cms

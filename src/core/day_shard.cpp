@@ -103,6 +103,34 @@ util::Status TupleCountTable::Subtract(const TupleCountTable& other) {
   return util::Status::Ok();
 }
 
+void TupleCountTable::Decay(int generations) {
+  if (generations <= 0 || counts_.empty()) return;
+  // Counts are integer-valued doubles below 2^53, so the uint64 cast and
+  // shift are exact; 53+ generations drain any representable count.
+  const unsigned shift =
+      generations >= 53 ? 53u : static_cast<unsigned>(generations);
+  for (auto it = counts_.begin(); it != counts_.end();) {
+    TupleCounts& entry = it->second;
+    double total = 0.0;
+    for (auto lb = entry.ranked.begin(); lb != entry.ranked.end();) {
+      const auto decayed = static_cast<std::uint64_t>(lb->bytes) >> shift;
+      if (decayed == 0) {
+        lb = entry.ranked.erase(lb);
+      } else {
+        lb->bytes = static_cast<double>(decayed);
+        total += lb->bytes;
+        ++lb;
+      }
+    }
+    if (entry.ranked.empty()) {
+      it = counts_.erase(it);
+    } else {
+      entry.total_bytes = total;
+      ++it;
+    }
+  }
+}
+
 std::vector<TupleCountTable::ExportEntry> TupleCountTable::Export() const {
   std::vector<ExportEntry> out;
   out.reserve(counts_.size());
@@ -180,6 +208,12 @@ util::Status ShardTables::Subtract(const ShardTables& other) {
   if (auto status = a.Subtract(other.a); !status.ok()) return status;
   if (auto status = ap.Subtract(other.ap); !status.ok()) return status;
   return al.Subtract(other.al);
+}
+
+void ShardTables::Decay(int generations) {
+  a.Decay(generations);
+  ap.Decay(generations);
+  al.Decay(generations);
 }
 
 void ShardTables::Clear() {

@@ -14,6 +14,16 @@
 // the same rows builds; subtracting a day leaves exactly the table the
 // remaining days would build (Subtract erases exact-zero links and
 // tuples so the aggregate never accumulates tombstones).
+//
+// Decay (RetrainPolicy::decay_half_life_days) extends the contract to
+// exponential down-weighting without giving up exactness: one decay
+// generation halves every count by an integer floor (x -> floor(x / 2)),
+// computed in uint64 arithmetic, so decayed counts remain integer-valued
+// doubles that Export/FromExport and the snapshot codec round-trip
+// bit-exactly. Floor-halving composes (Decay(Decay(x, a), b) ==
+// Decay(x, a + b)), which is what makes the retrainer's incrementally
+// maintained decayed aggregate identical to a from-scratch canonical
+// fold over the same day shards.
 #pragma once
 
 #include <span>
@@ -69,6 +79,15 @@ class TupleCountTable {
   // or byte mass this table does not - the caller tried to subtract a day
   // that was never merged. The table is unchanged on failure.
   [[nodiscard]] util::Status Subtract(const TupleCountTable& other);
+
+  // Applies `generations` exponential-decay steps: every per-link count
+  // becomes floor(count / 2^generations) (exact uint64 arithmetic; counts
+  // are integer-valued doubles below 2^53). Links decayed to zero are
+  // erased, tuples left without links are erased, and each tuple's
+  // total_bytes is recomputed as the sum of its surviving link counts so
+  // the table's internal invariant (total == sum of links) holds.
+  // Generations >= 53 clear the table. No-op for generations <= 0.
+  void Decay(int generations);
 
   [[nodiscard]] FeatureSet feature_set() const { return feature_set_; }
   [[nodiscard]] bool weight_by_bytes() const { return weight_by_bytes_; }
@@ -127,10 +146,35 @@ struct ShardTables {
   void AddRows(std::span<const pipeline::AggRow> rows);
   void Merge(const ShardTables& other);
   [[nodiscard]] util::Status Subtract(const ShardTables& other);
+  // Floor-halves all three tables by `generations` decay steps (see
+  // TupleCountTable::Decay).
+  void Decay(int generations);
   [[nodiscard]] bool empty() const {
     return a.empty() && ap.empty() && al.empty();
   }
   void Clear();
+};
+
+// One ingest hour's partial counts - the element of the retrainer's
+// hour-resolution ring. Rows accumulate here first and the slot is folded
+// (merged) into the owning day's shard once the ingest clock moves past
+// the hour; because hours fold in ascending order and Merge appends
+// unseen links in the incoming table's first-occurrence order, the folded
+// day shard is bit-identical to adding the day's rows directly.
+struct HourSlot {
+  util::HourIndex hour = 0;
+  std::uint64_t row_count = 0;
+  ShardTables tables;
+
+  void AddRows(std::span<const pipeline::AggRow> rows) {
+    tables.AddRows(rows);
+    row_count += rows.size();
+  }
+  [[nodiscard]] bool empty() const { return row_count == 0; }
+  void Clear() {
+    tables.Clear();
+    row_count = 0;
+  }
 };
 
 // One training day's partial counts, the ring element the retrainer
@@ -143,6 +187,13 @@ struct DayShard {
   void AddRows(std::span<const pipeline::AggRow> rows) {
     tables.AddRows(rows);
     row_count += rows.size();
+  }
+  // Folds one completed hour slot into the day (hour-resolution ring).
+  // Bit-identical to having added the slot's rows directly, provided
+  // hours fold in ascending order.
+  void FoldHour(const HourSlot& slot) {
+    tables.Merge(slot.tables);
+    row_count += slot.row_count;
   }
   // Builds the shard for a whole day of rows at once (restore path and
   // tests); identical to incremental AddRows over the same rows.

@@ -1,0 +1,201 @@
+#include "core/drift.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tipsy::core {
+
+namespace {
+
+constexpr util::HourIndex kNoHour =
+    std::numeric_limits<util::HourIndex>::min();
+
+// EWMA step for a given half-life in hours: after `half_life` updates a
+// constant offset has decayed to half.
+double HalfLifeAlpha(int half_life_hours) {
+  const double h = half_life_hours < 1 ? 1.0 : half_life_hours;
+  return 1.0 - std::exp2(-1.0 / h);
+}
+
+// Adds `bytes` to `link` in a vector kept sorted by link id.
+void AddLinkBytes(std::vector<std::pair<std::uint32_t, double>>& sorted,
+                  std::uint32_t link, double bytes) {
+  auto it = std::lower_bound(
+      sorted.begin(), sorted.end(), link,
+      [](const auto& entry, std::uint32_t l) { return entry.first < l; });
+  if (it != sorted.end() && it->first == link) {
+    it->second += bytes;
+  } else {
+    sorted.insert(it, {link, bytes});
+  }
+}
+
+}  // namespace
+
+DriftDetector::DriftDetector(DriftOptions options)
+    : options_(options), alpha_fast_(HalfLifeAlpha(options.window_hours)),
+      alpha_slow_(HalfLifeAlpha(options.baseline_hours)) {}
+
+void DriftDetector::ObserveRows(util::HourIndex hour,
+                                std::span<const pipeline::AggRow> rows,
+                                const TipsyService* service) {
+  if (rows.empty()) return;
+  if (state_.open_rows == 0) state_.open_hour = hour;
+  state_.open_rows += rows.size();
+  const bool scoreable = service != nullptr && service->trained();
+  std::size_t budget =
+      state_.open_scored < options_.sample_flows
+          ? options_.sample_flows - static_cast<std::size_t>(state_.open_scored)
+          : 0;
+  for (const auto& row : rows) {
+    AddLinkBytes(state_.open_link_bytes, row.link.value(),
+                 static_cast<double>(row.bytes));
+    if (budget == 0 || !scoreable) continue;
+    --budget;
+    const FlowFeatures flow{row.src_asn, row.src_prefix24, row.src_metro,
+                            row.dest_region, row.dest_service};
+    Prediction top;
+    const std::size_t n =
+        service->Best().PredictInto(flow, 1, nullptr, {&top, 1});
+    ++state_.open_scored;
+    if (n > 0 && top.link == row.link) ++state_.open_correct;
+  }
+}
+
+void DriftDetector::ClearOpenHour() {
+  state_.open_hour = kNoHour;
+  state_.open_rows = 0;
+  state_.open_scored = 0;
+  state_.open_correct = 0;
+  state_.open_link_bytes.clear();
+}
+
+bool DriftDetector::CompleteHour() {
+  if (state_.open_hour == kNoHour) return false;
+  // An hour too thin to judge - an outage, a trickle - is skipped
+  // entirely: no arming, no streak reset, no cooldown progress.
+  if (state_.open_rows < options_.min_hour_flows ||
+      state_.open_scored == 0) {
+    ClearOpenHour();
+    return false;
+  }
+  const double hour_accuracy =
+      static_cast<double>(state_.open_correct) /
+      static_cast<double>(state_.open_scored);
+  double hour_total = 0.0;
+  for (const auto& [link, bytes] : state_.open_link_bytes) {
+    hour_total += bytes;
+  }
+  // Total-variation distance between the hour's share vector and the
+  // baseline, walked over the sorted union so the sum order (and hence
+  // the float result) is deterministic.
+  double distance = 0.0;
+  if (!state_.baseline_share.empty() && hour_total > 0.0) {
+    std::size_t i = 0;
+    std::size_t j = 0;
+    const auto& base = state_.baseline_share;
+    const auto& hour = state_.open_link_bytes;
+    while (i < base.size() || j < hour.size()) {
+      const bool take_base =
+          j >= hour.size() ||
+          (i < base.size() && base[i].first <= hour[j].first);
+      const bool take_hour =
+          i >= base.size() ||
+          (j < hour.size() && hour[j].first <= base[i].first);
+      const double b = take_base ? base[i].second : 0.0;
+      const double h = take_hour ? hour[j].second / hour_total : 0.0;
+      distance += std::abs(h - b);
+      if (take_base) ++i;
+      if (take_hour) ++j;
+    }
+    distance *= 0.5;
+  }
+  state_.distribution_distance = distance;
+
+  bool armed = false;
+  if (state_.baseline_accuracy < 0.0) {
+    // First scored hour seeds both EWMAs and the baseline share.
+    state_.recent_accuracy = hour_accuracy;
+    state_.baseline_accuracy = hour_accuracy;
+    state_.baseline_share.clear();
+    state_.baseline_share.reserve(state_.open_link_bytes.size());
+    if (hour_total > 0.0) {
+      for (const auto& [link, bytes] : state_.open_link_bytes) {
+        state_.baseline_share.emplace_back(link, bytes / hour_total);
+      }
+    }
+  } else {
+    state_.recent_accuracy +=
+        alpha_fast_ * (hour_accuracy - state_.recent_accuracy);
+    // Arm against the pre-update baseline, so a shifted hour is judged
+    // before it starts pulling the baseline toward itself.
+    armed = state_.hours_scored >=
+                static_cast<std::uint64_t>(options_.warmup_hours) &&
+            ((state_.baseline_accuracy - state_.recent_accuracy) >
+                 options_.accuracy_drop ||
+             distance > options_.distribution_threshold);
+    state_.baseline_accuracy +=
+        alpha_slow_ * (hour_accuracy - state_.baseline_accuracy);
+    if (hour_total > 0.0) {
+      // Baseline share EWMA over the sorted union of links; shares that
+      // decay below noise are dropped so the vector stays bounded by the
+      // set of recently active links.
+      std::vector<std::pair<std::uint32_t, double>> next;
+      next.reserve(std::max(state_.baseline_share.size(),
+                            state_.open_link_bytes.size()));
+      std::size_t i = 0;
+      std::size_t j = 0;
+      const auto& base = state_.baseline_share;
+      const auto& hour = state_.open_link_bytes;
+      while (i < base.size() || j < hour.size()) {
+        const bool take_base =
+            j >= hour.size() ||
+            (i < base.size() && base[i].first <= hour[j].first);
+        const bool take_hour =
+            i >= base.size() ||
+            (j < hour.size() && hour[j].first <= base[i].first);
+        const std::uint32_t link =
+            take_base ? base[i].first : hour[j].first;
+        const double b = take_base ? base[i].second : 0.0;
+        const double h = take_hour ? hour[j].second / hour_total : 0.0;
+        const double blended = b + alpha_slow_ * (h - b);
+        if (blended > 1e-12) next.emplace_back(link, blended);
+        if (take_base) ++i;
+        if (take_hour) ++j;
+      }
+      state_.baseline_share = std::move(next);
+    }
+  }
+  ++state_.hours_scored;
+  ClearOpenHour();
+
+  if (state_.cooldown_remaining > 0) {
+    --state_.cooldown_remaining;
+    state_.consecutive_armed = 0;
+    state_.state = static_cast<std::uint8_t>(
+        state_.cooldown_remaining > 0 ? DriftState::kDrifting
+                                      : DriftState::kStable);
+    return false;
+  }
+  if (armed) {
+    ++state_.consecutive_armed;
+  } else {
+    state_.consecutive_armed = 0;
+  }
+  if (state_.consecutive_armed >= options_.consecutive_hours) {
+    state_.state = static_cast<std::uint8_t>(DriftState::kDrifting);
+    return true;
+  }
+  state_.state = static_cast<std::uint8_t>(
+      state_.consecutive_armed > 0 ? DriftState::kWarning
+                                   : DriftState::kStable);
+  return false;
+}
+
+void DriftDetector::OnEarlyRetrain() {
+  state_.consecutive_armed = 0;
+  state_.cooldown_remaining = std::max(1, options_.cooldown_hours);
+  state_.state = static_cast<std::uint8_t>(DriftState::kDrifting);
+}
+
+}  // namespace tipsy::core

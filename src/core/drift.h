@@ -1,0 +1,149 @@
+// Online drift detection for the serving model (beyond the paper).
+//
+// The paper retrains daily and trusts the model for a 7-day horizon
+// (Appendix B.2); health is purely a function of model age. But a model
+// can go wrong long before it goes old: an anycast catchment flip or a
+// peering change moves traffic onto links the trained tables never saw,
+// and top-1 accuracy on the live stream collapses while the model is
+// still FRESH. The drift detector watches two signals on the ingest
+// stream, hour by hour:
+//
+//  * rolling top-1 accuracy - a deterministic sample of each hour's rows
+//    is scored against the currently served model (Best(), k=1); a fast
+//    EWMA of hourly accuracy is compared against a slow EWMA baseline;
+//  * tuple-distribution shift - each hour's per-link byte-share vector is
+//    compared against a slow EWMA baseline share by total-variation
+//    distance.
+//
+// Either signal sustained over `consecutive_hours` scored hours arms a
+// drift trigger; the retrainer answers with an early retrain (optionally
+// over a shrunken window) and starts a cooldown. Hours without data are
+// skipped entirely - a collector outage must age the model (ModelHealth),
+// not fake a distribution shift - so drift can never fire on missing
+// data. All arithmetic is deterministic and the full detector state is
+// exportable, so warm-started replicas evolve bit-identically.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/tipsy_service.h"
+#include "pipeline/aggregate.h"
+#include "util/sim_time.h"
+
+namespace tipsy::core {
+
+// Orthogonal to ModelHealth (which tracks age): how well the served model
+// matches the live stream. Surfaced to the CMS the same way health is.
+enum class DriftState : std::uint8_t {
+  kStable = 0,   // signals within thresholds (or not enough data yet)
+  kWarning,      // armed streak in progress, below the trigger length
+  kDrifting,     // trigger fired; stays set through the cooldown
+};
+
+[[nodiscard]] constexpr const char* DriftStateName(DriftState state) {
+  switch (state) {
+    case DriftState::kStable: return "STABLE";
+    case DriftState::kWarning: return "WARNING";
+    case DriftState::kDrifting: return "DRIFTING";
+  }
+  return "UNKNOWN";
+}
+
+// Knob values mirrored from RetrainPolicy (core/online.h) - the detector
+// lives below the retrainer in the dependency graph, so it takes a plain
+// options struct instead of the policy.
+struct DriftOptions {
+  int window_hours = 6;          // fast EWMA half-life (hours)
+  int baseline_hours = 48;       // slow EWMA half-life (hours)
+  double accuracy_drop = 0.15;   // baseline - recent accuracy to arm
+  double distribution_threshold = 0.25;  // TV distance to arm
+  int consecutive_hours = 3;     // armed hours in a row to trigger
+  int cooldown_hours = 6;        // scored hours DRIFTING persists after
+  int warmup_hours = 24;         // scored hours before arming is allowed
+  std::size_t min_hour_flows = 8;   // hours with fewer rows are skipped
+  std::size_t sample_flows = 512;   // accuracy sample cap per hour
+};
+
+// Complete detector state, exportable for snapshots. EWMA doubles are
+// persisted as IEEE bits (ha/snapshot) so restore is bit-exact; the
+// open-hour accumulators ride along so mid-hour snapshots continue
+// identically. Link vectors are sorted by link id ascending.
+struct DriftDetectorState {
+  std::uint8_t state = 0;  // DriftState
+  int consecutive_armed = 0;
+  int cooldown_remaining = 0;
+  std::uint64_t hours_scored = 0;
+  double recent_accuracy = -1.0;    // < 0 = unseeded
+  double baseline_accuracy = -1.0;  // < 0 = unseeded
+  double distribution_distance = 0.0;
+  std::vector<std::pair<std::uint32_t, double>> baseline_share;
+  util::HourIndex open_hour = std::numeric_limits<util::HourIndex>::min();
+  std::uint64_t open_rows = 0;
+  std::uint64_t open_scored = 0;
+  std::uint64_t open_correct = 0;
+  std::vector<std::pair<std::uint32_t, double>> open_link_bytes;
+};
+
+class DriftDetector {
+ public:
+  explicit DriftDetector(DriftOptions options);
+
+  // Accumulates one ingest batch into the open hour: per-link byte mass
+  // from every row, plus top-1 scoring of up to `sample_flows` rows per
+  // hour against `service` (nullptr or untrained = rows counted, nothing
+  // scored). Deterministic: the sample is the first N rows in arrival
+  // order, and the model is whatever is served at ingest time.
+  void ObserveRows(util::HourIndex hour,
+                   std::span<const pipeline::AggRow> rows,
+                   const TipsyService* service);
+
+  // Finalizes the open hour once the ingest clock has moved past it.
+  // Returns true when this hour completed an armed streak and the drift
+  // trigger fired - the caller (DailyRetrainer) answers with an early
+  // retrain and then calls OnEarlyRetrain(). Hours with no rows, fewer
+  // than `min_hour_flows` rows, or nothing scored are skipped entirely
+  // (no arming, no streak reset, no cooldown progress): missing data is
+  // an outage, not drift.
+  [[nodiscard]] bool CompleteHour();
+
+  // The retrainer answered a trigger: reset the streak and hold
+  // kDrifting for `cooldown_hours` scored hours (re-triggers are
+  // suppressed while the fresh model's signal recovers).
+  void OnEarlyRetrain();
+
+  [[nodiscard]] DriftState state() const {
+    return static_cast<DriftState>(state_.state);
+  }
+  [[nodiscard]] double recent_accuracy() const {
+    return state_.recent_accuracy;
+  }
+  [[nodiscard]] double baseline_accuracy() const {
+    return state_.baseline_accuracy;
+  }
+  // TV distance of the last scored hour's share vector vs the baseline.
+  [[nodiscard]] double distribution_distance() const {
+    return state_.distribution_distance;
+  }
+  [[nodiscard]] std::uint64_t hours_scored() const {
+    return state_.hours_scored;
+  }
+
+  [[nodiscard]] const DriftDetectorState& ExportState() const {
+    return state_;
+  }
+  void RestoreState(const DriftDetectorState& state) { state_ = state; }
+
+ private:
+  void ClearOpenHour();
+
+  DriftOptions options_;
+  double alpha_fast_;
+  double alpha_slow_;
+  DriftDetectorState state_;
+};
+
+}  // namespace tipsy::core

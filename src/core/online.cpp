@@ -1,6 +1,8 @@
 #include "core/online.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <sstream>
 
 #include "core/serialize.h"
@@ -9,6 +11,14 @@ namespace tipsy::core {
 
 namespace {
 constexpr util::HourIndex kNoDay = std::numeric_limits<util::HourIndex>::min();
+
+// Decay steps are clamped to 53 (enough to drain any integer-valued
+// count) before narrowing, so pathological generation gaps cannot
+// overflow the int parameter.
+int ClampDecaySteps(std::int64_t steps) {
+  if (steps <= 0) return 0;
+  return steps > 53 ? 53 : static_cast<int>(steps);
+}
 }  // namespace
 
 DailyRetrainer::DailyRetrainer(const wan::Wan* wan,
@@ -20,6 +30,35 @@ DailyRetrainer::DailyRetrainer(const wan::Wan* wan,
   assert(window_days_ >= 1);
   assert(policy_.stale_after_days >= 0);
   assert(policy_.expire_after_days >= policy_.stale_after_days);
+  if (policy_.drift_detection) {
+    drift_.emplace(DriftOptions{
+        policy_.drift_window_hours, policy_.drift_baseline_hours,
+        policy_.drift_accuracy_drop, policy_.drift_distribution_threshold,
+        policy_.drift_consecutive_hours, policy_.drift_cooldown_hours,
+        policy_.drift_warmup_hours, policy_.drift_min_hour_flows,
+        policy_.drift_sample_flows});
+  }
+}
+
+std::int64_t DailyRetrainer::DecayGeneration(util::HourIndex day) const {
+  const auto half_life_hours = std::max<std::int64_t>(
+      1, std::llround(policy_.decay_half_life_days * 24.0));
+  const std::int64_t hours = static_cast<std::int64_t>(day) * 24;
+  std::int64_t generation = hours / half_life_hours;
+  if (hours % half_life_hours != 0 && hours < 0) --generation;
+  return generation;
+}
+
+void DailyRetrainer::FoldOpenHour() {
+  if (!open_hour_active_) return;
+  const util::HourIndex day = util::DayIndex(open_hour_.hour);
+  // Hours are monotone, so a non-empty slot always belongs to the newest
+  // buffered day.
+  if (!days_.empty() && days_.back().day == day) {
+    days_.back().shard.FoldHour(open_hour_);
+  }
+  open_hour_.Clear();
+  open_hour_active_ = false;
 }
 
 util::HourIndex DailyRetrainer::NewestBufferedDay() const {
@@ -71,10 +110,26 @@ void DailyRetrainer::AdvanceTo(util::HourIndex hour) {
   }
   if (hour < last_observed_hour_) return;  // the clock never runs backwards
   const util::HourIndex day = util::DayIndex(hour);
+  const bool hour_advanced = hour > last_observed_hour_;
+  if (hour_advanced) {
+    // The previous hour completed: fold its slot into the day shard and
+    // let the drift detector judge it, before any retrain below reads
+    // the shards. Heartbeat-only hours complete with no rows, which the
+    // detector skips entirely (an outage must not fire drift).
+    FoldOpenHour();
+    if (drift_.has_value() && drift_->CompleteHour()) {
+      drift_events_.Increment();
+      drift_retrain_pending_ = true;
+    }
+  }
   if (day > last_day_) {
     OnDayBoundary(day);
-  } else if (hour > last_observed_hour_ && pending_retries_ > 0) {
-    AttemptScheduledRetrain();
+  } else if (hour_advanced) {
+    if (drift_retrain_pending_) {
+      (void)TryRetrainInternal(true);
+    } else if (pending_retries_ > 0) {
+      AttemptScheduledRetrain();
+    }
   }
   last_observed_hour_ = hour;
 }
@@ -96,18 +151,48 @@ void DailyRetrainer::Ingest(util::HourIndex hour,
     buffer.last_hour = hour;
   }
   buffer.rows.insert(buffer.rows.end(), rows.begin(), rows.end());
-  if (incremental_enabled()) buffer.shard.AddRows(rows);
+  if (incremental_enabled()) {
+    // Hour-resolution ring: rows accumulate into the open hour slot and
+    // fold into the day shard when the clock moves past the hour -
+    // bit-identical to adding them to the day shard directly, because
+    // hours fold in ascending order (first-occurrence link order is
+    // preserved) and all counts are integer-exact.
+    if (!open_hour_active_) {
+      open_hour_.hour = hour;
+      open_hour_active_ = true;
+    }
+    open_hour_.AddRows(rows);
+  }
+  if (drift_.has_value()) drift_->ObserveRows(hour, rows, current_.get());
 }
 
 util::Status DailyRetrainer::TryRetrain() {
+  return TryRetrainInternal(drift_retrain_pending_);
+}
+
+util::Status DailyRetrainer::TryRetrainInternal(bool drift_shrink) {
+  // A retrain reads the day shards, so the open hour slot folds first
+  // (idempotent; AdvanceTo already folded on an hour advance).
+  FoldOpenHour();
+  if (drift_retrain_pending_) {
+    // This attempt answers the drift trigger whether or not it succeeds;
+    // the detector enters its cooldown either way, so a flaky signal
+    // cannot hammer the trainer.
+    drift_retrain_pending_ = false;
+    drift_early_retrains_.Increment();
+    if (drift_.has_value()) drift_->OnEarlyRetrain();
+  }
   // Trim the window relative to the newest buffered data so long-gone
   // days cannot linger in the model through an outage. On the incremental
   // path an expired day that was folded into the window aggregate is
   // subtracted back out - exact, because every count is integer-valued.
+  // In decay mode the aggregate forgets by halving instead, so expired
+  // day buffers simply fall off the ring (their decayed residue stays in
+  // the aggregate by design).
   const util::HourIndex newest = NewestBufferedDay();
   if (newest != kNoDay) {
     while (!days_.empty() && days_.front().day + window_days_ <= newest) {
-      if (days_.front().folded) {
+      if (days_.front().folded && !decay_enabled()) {
         if (!window_counts_.Subtract(days_.front().shard.tables).ok()) {
           // The aggregate disagrees with the shard (cannot happen unless
           // state was tampered with); drop it and re-merge below.
@@ -122,18 +207,52 @@ util::Status DailyRetrainer::TryRetrain() {
   std::size_t total_rows = 0;
   for (const auto& day : days_) total_rows += day.rows.size();
 
+  const util::HourIndex now_day = util::DayIndex(last_observed_hour_);
   util::Status status;
   if (total_rows == 0) {
     status = util::Status::NoData("training window holds no rows");
-  } else if (current_ != nullptr && newest == trained_through_day_) {
-    // Nothing new arrived since the last successful retrain; rebuilding
-    // would reproduce the served model byte for byte.
+  } else if (!drift_shrink && current_ != nullptr &&
+             newest == trained_through_day_ &&
+             (!decay_enabled() ||
+              DecayGeneration(now_day) == decay_generation_)) {
+    // Nothing new arrived since the last successful retrain (and, in
+    // decay mode, no half-life boundary has passed); rebuilding would
+    // reproduce the served model byte for byte.
     status = util::Status::NoData(
         "no new data since the model trained through day " +
         std::to_string(trained_through_day_));
-  } else if (retrain_fault_ &&
-             retrain_fault_(util::DayIndex(last_observed_hour_))) {
+  } else if (retrain_fault_ && retrain_fault_(now_day)) {
     status = util::Status::Unavailable("injected training fault");
+  } else if (drift_shrink && !decay_enabled()) {
+    // Drift trigger under a hard window: rebuild over only the newest
+    // shrink-window days so the model forgets the pre-shift regime now
+    // instead of waiting for it to age out. One-shot: the window
+    // aggregate keeps its canonical fold state untouched, so the next
+    // scheduled retrain returns to the full rolling window.
+    TIPSY_OBS_SPAN(tracer_, "retrain_drift_shrink", &retrain_duration_);
+    const int shrink =
+        std::max(1, std::min(policy_.drift_shrink_window_days, window_days_));
+    const util::HourIndex cutoff = newest - shrink;
+    if (incremental_enabled()) {
+      ShardTables shrunk;
+      for (const auto& day : days_) {
+        if (day.day > cutoff) shrunk.Merge(day.shard.tables);
+      }
+      current_ = TipsyService::FromWindowCounts(wan_, metros_, config_,
+                                                shrunk, nullptr);
+    } else {
+      auto fresh = std::make_unique<TipsyService>(wan_, metros_, config_);
+      for (const auto& day : days_) {
+        if (day.day > cutoff) fresh->Train(day.rows);
+      }
+      fresh->FinalizeTraining();
+      current_ = std::move(fresh);
+    }
+    if (epoch_ != nullptr) epoch_->Publish(current_);
+    trained_through_day_ = newest;
+    retrain_count_.Increment();
+    consecutive_failures_ = 0;
+    return util::Status::Ok();
   } else if (incremental_enabled()) {
     TIPSY_OBS_SPAN(tracer_, "retrain_incremental", &retrain_duration_);
     // Fold every day the ingest clock has moved past into the window
@@ -141,16 +260,32 @@ util::Status DailyRetrainer::TryRetrain() {
     // shard is overlaid onto the aggregate during the model build
     // without being folded. Days are in ascending order, hence at most
     // the newest can be unfrozen.
-    const util::HourIndex now_day = util::DayIndex(last_observed_hour_);
     const DayBuffer* overlay = nullptr;
     for (auto& day : days_) {
       if (day.folded) continue;
       if (day.day < now_day) {
+        if (decay_enabled()) {
+          // Canonical fold: bring the aggregate to the incoming day's
+          // decay generation before merging, so every count has been
+          // halved exactly once per half-life boundary since it arrived.
+          const std::int64_t generation = DecayGeneration(day.day);
+          window_counts_.Decay(
+              ClampDecaySteps(generation - decay_generation_));
+          decay_generation_ = generation;
+          decay_folded_through_day_ = day.day;
+        }
         window_counts_.Merge(day.shard.tables);
         day.folded = true;
       } else {
         overlay = &day;
       }
+    }
+    if (decay_enabled()) {
+      // The served model sees the aggregate at today's generation; the
+      // overlay (today's rows) is at that generation by construction.
+      const std::int64_t generation = DecayGeneration(now_day);
+      window_counts_.Decay(ClampDecaySteps(generation - decay_generation_));
+      decay_generation_ = generation;
     }
     current_ = TipsyService::FromWindowCounts(
         wan_, metros_, config_, window_counts_,
@@ -204,10 +339,23 @@ RetrainerState DailyRetrainer::ExportState() const {
     exported.last_hour = day.last_hour;
     exported.rows = day.rows;
     if (incremental_enabled()) {
-      exported.shard_row_count = day.shard.row_count;
-      exported.shard_a = day.shard.tables.a.Export();
-      exported.shard_ap = day.shard.tables.ap.Export();
-      exported.shard_al = day.shard.tables.al.Export();
+      if (open_hour_active_ && util::DayIndex(open_hour_.hour) == day.day) {
+        // The open hour's rows are in `rows` but not yet folded into the
+        // day shard; export the folded view (on a copy - ExportState is
+        // const and non-destructive) so the restore-side trust condition
+        // shard_row_count == rows.size() holds.
+        ShardTables folded = day.shard.tables;
+        folded.Merge(open_hour_.tables);
+        exported.shard_row_count = day.shard.row_count + open_hour_.row_count;
+        exported.shard_a = folded.a.Export();
+        exported.shard_ap = folded.ap.Export();
+        exported.shard_al = folded.al.Export();
+      } else {
+        exported.shard_row_count = day.shard.row_count;
+        exported.shard_a = day.shard.tables.a.Export();
+        exported.shard_ap = day.shard.tables.ap.Export();
+        exported.shard_al = day.shard.tables.al.Export();
+      }
     }
     state.days.push_back(std::move(exported));
   }
@@ -221,6 +369,19 @@ RetrainerState DailyRetrainer::ExportState() const {
   state.missing_days = missing_days_.value();
   state.partial_days = partial_days_.value();
   state.pending_retries = pending_retries_;
+  if (decay_enabled()) {
+    state.decay_generation = decay_generation_;
+    state.decay_folded_through_day = decay_folded_through_day_;
+    state.decay_a = window_counts_.a.Export();
+    state.decay_ap = window_counts_.ap.Export();
+    state.decay_al = window_counts_.al.Export();
+  }
+  if (drift_.has_value()) {
+    state.has_drift = true;
+    state.drift = drift_->ExportState();
+  }
+  state.drift_events = drift_events_.value();
+  state.drift_early_retrains = drift_early_retrains_.value();
   if (current_ != nullptr) {
     std::ostringstream bundle;
     SaveService(*current_, bundle);
@@ -246,6 +407,11 @@ util::Status DailyRetrainer::RestoreState(const RetrainerState& state) {
   }
   days_.clear();
   window_counts_.Clear();
+  open_hour_.Clear();
+  open_hour_active_ = false;
+  decay_generation_ = 0;
+  decay_folded_through_day_ = kNoDay;
+  drift_retrain_pending_ = false;
   for (const auto& day : state.days) {
     DayBuffer buffer;
     buffer.day = day.day;
@@ -274,6 +440,30 @@ util::Status DailyRetrainer::RestoreState(const RetrainerState& state) {
     }
     days_.push_back(std::move(buffer));
   }
+  if (decay_enabled() && state.decay_folded_through_day != kNoDay) {
+    // The decayed window aggregate cannot be rebuilt from the buffered
+    // days alone (older generations have fallen off the ring), so it
+    // restores verbatim along with its generation bookkeeping.
+    window_counts_.a =
+        TupleCountTable::FromExport(FeatureSet::kA, true, state.decay_a);
+    window_counts_.ap =
+        TupleCountTable::FromExport(FeatureSet::kAP, true, state.decay_ap);
+    window_counts_.al =
+        TupleCountTable::FromExport(FeatureSet::kAL, true, state.decay_al);
+    decay_generation_ = state.decay_generation;
+    decay_folded_through_day_ = state.decay_folded_through_day;
+    for (auto& buffer : days_) {
+      buffer.folded = buffer.day <= decay_folded_through_day_;
+    }
+  }
+  if (drift_.has_value()) {
+    // Restore the detector bit-exactly, or reset it when the exporter
+    // ran without drift detection (EWMAs re-seed from the live stream).
+    drift_->RestoreState(state.has_drift ? state.drift
+                                         : DriftDetectorState{});
+  }
+  drift_events_.Reset(state.drift_events);
+  drift_early_retrains_.Reset(state.drift_early_retrains);
   last_observed_hour_ = state.last_observed_hour;
   last_day_ = state.last_day;
   trained_through_day_ = state.trained_through_day;
@@ -308,6 +498,15 @@ ServiceHealth DailyRetrainer::health_snapshot() const {
   snapshot.dropped_hours = static_cast<std::size_t>(dropped_hours_.value());
   snapshot.missing_days = static_cast<std::size_t>(missing_days_.value());
   snapshot.partial_days = static_cast<std::size_t>(partial_days_.value());
+  snapshot.drift_state = drift_state();
+  if (drift_.has_value()) {
+    snapshot.drift_recent_accuracy = drift_->recent_accuracy();
+    snapshot.drift_baseline_accuracy = drift_->baseline_accuracy();
+    snapshot.drift_distribution_distance = drift_->distribution_distance();
+  }
+  snapshot.drift_events = static_cast<std::size_t>(drift_events_.value());
+  snapshot.drift_early_retrains =
+      static_cast<std::size_t>(drift_early_retrains_.value());
   return snapshot;
 }
 
@@ -357,6 +556,36 @@ obs::MetricGroup DailyRetrainer::RegisterMetrics(
       prefix + "_model_health",
       "Served model health: 0=NONE 1=FRESH 2=STALE 3=EXPIRED",
       [this] { return static_cast<double>(health()); }));
+  group.push_back(registry.RegisterCounter(
+      prefix + "_drift_events_total",
+      "Drift triggers fired (sustained accuracy drop or tuple-distribution "
+      "shift)",
+      &drift_events_));
+  group.push_back(registry.RegisterCounter(
+      prefix + "_drift_early_retrains_total",
+      "Early retrains answering a drift trigger", &drift_early_retrains_));
+  group.push_back(registry.RegisterGauge(
+      prefix + "_drift_state",
+      "Drift detector state: 0=STABLE 1=WARNING 2=DRIFTING",
+      [this] { return static_cast<double>(drift_state()); }));
+  group.push_back(registry.RegisterGauge(
+      prefix + "_drift_recent_accuracy",
+      "Fast-EWMA top-1 accuracy of the served model on the live stream "
+      "(-1 until seeded)",
+      [this] { return drift_.has_value() ? drift_->recent_accuracy() : -1.0; }));
+  group.push_back(registry.RegisterGauge(
+      prefix + "_drift_baseline_accuracy",
+      "Slow-EWMA baseline top-1 accuracy (-1 until seeded)",
+      [this] {
+        return drift_.has_value() ? drift_->baseline_accuracy() : -1.0;
+      }));
+  group.push_back(registry.RegisterGauge(
+      prefix + "_drift_distribution_distance",
+      "Total-variation distance of the last scored hour's per-link byte "
+      "share against the baseline share",
+      [this] {
+        return drift_.has_value() ? drift_->distribution_distance() : 0.0;
+      }));
   return group;
 }
 

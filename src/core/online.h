@@ -34,9 +34,11 @@
 #include <functional>
 #include <limits>
 #include <memory>
+#include <optional>
 #include <span>
 
 #include "core/day_shard.h"
+#include "core/drift.h"
 #include "core/tipsy_service.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -82,6 +84,39 @@ struct RetrainPolicy {
   // disabled when Naive Bayes training is requested, which always
   // retrains from the buffered rows.
   bool incremental_retrain = true;
+  // Exponentially-decayed counts as an alternative to the hard window:
+  // when > 0, retrains weight history by integer floor-halving
+  // (TupleCountTable::Decay) on a day-granular staircase - every
+  // `decay_half_life_days` of ingest-clock progress halves all older
+  // counts (half-lives under one day apply multiple halvings per day
+  // boundary). Counts stay integer-valued, so snapshots and restores
+  // remain bit-exact, and the incrementally maintained aggregate equals a
+  // from-scratch canonical fold (days ascending, decay-then-merge) over
+  // the same day shards. Requires the incremental path (ignored when
+  // incremental_retrain is off or Naive Bayes training is requested);
+  // window_days then only bounds how many raw day buffers are retained.
+  double decay_half_life_days = 0.0;
+  // Online drift detection (core/drift.h): score each ingested hour's
+  // rows against the served model and compare per-link byte shares
+  // against a rolling baseline; a sustained accuracy drop or
+  // distribution shift triggers an early retrain (optionally over a
+  // shrunken window) and surfaces as ServiceHealth::drift_state for the
+  // CMS gate. Off by default: scoring costs one top-1 prediction per
+  // sampled row at ingest time.
+  bool drift_detection = false;
+  int drift_window_hours = 6;          // fast accuracy EWMA half-life
+  int drift_baseline_hours = 48;       // slow baseline EWMA half-life
+  double drift_accuracy_drop = 0.15;   // baseline - recent gap to arm
+  double drift_distribution_threshold = 0.25;  // TV distance to arm
+  int drift_consecutive_hours = 3;     // armed hours in a row to trigger
+  int drift_cooldown_hours = 6;        // DRIFTING hold after a trigger
+  int drift_warmup_hours = 24;         // scored hours before arming
+  std::size_t drift_min_hour_flows = 8;   // skip thinner hours entirely
+  std::size_t drift_sample_flows = 512;   // accuracy sample cap per hour
+  // Early retrains triggered by drift rebuild from only the newest this
+  // many days (0 = full window) on the hard-window path; the decay path
+  // always rebuilds with its normal weighting.
+  int drift_shrink_window_days = 7;
 };
 
 // Snapshot of the serving plane's condition; cheap to copy.
@@ -101,6 +136,14 @@ struct ServiceHealth {
   std::size_t dropped_hours = 0;        // out-of-order deliveries dropped
   std::size_t missing_days = 0;         // day gaps in the ingest stream
   std::size_t partial_days = 0;         // completed days with missing hours
+  // Drift dimension (core/drift.h); kStable with zero counters when
+  // drift detection is off.
+  DriftState drift_state = DriftState::kStable;
+  double drift_recent_accuracy = -1.0;    // < 0 before the first score
+  double drift_baseline_accuracy = -1.0;  // < 0 before the first score
+  double drift_distribution_distance = 0.0;
+  std::size_t drift_events = 0;         // triggers fired
+  std::size_t drift_early_retrains = 0; // early retrains answered
 
   friend bool operator==(const ServiceHealth&,
                          const ServiceHealth&) = default;
@@ -141,6 +184,21 @@ struct RetrainerState {
   std::uint64_t missing_days = 0;
   std::uint64_t partial_days = 0;
   int pending_retries = 0;
+  // Decay mode (RetrainPolicy::decay_half_life_days): the decayed window
+  // aggregate itself, since it cannot be rebuilt from the retained day
+  // buffers (trimmed days' residue still contributes). Empty with
+  // decay_folded_through_day at min() outside decay mode.
+  std::int64_t decay_generation = 0;
+  util::HourIndex decay_folded_through_day =
+      std::numeric_limits<util::HourIndex>::min();
+  std::vector<TupleCountTable::ExportEntry> decay_a;
+  std::vector<TupleCountTable::ExportEntry> decay_ap;
+  std::vector<TupleCountTable::ExportEntry> decay_al;
+  // Drift detector state + counters (meaningful when has_drift).
+  bool has_drift = false;
+  DriftDetectorState drift;
+  std::uint64_t drift_events = 0;
+  std::uint64_t drift_early_retrains = 0;
   // core::SaveService bytes of the last-good model; empty when nothing
   // has been trained yet.
   std::string model_bundle;
@@ -301,12 +359,37 @@ class DailyRetrainer {
     return retrain_duration_;
   }
 
+  // The WAN the models are trained against (link capacities for the
+  // what-if plane; borrowed, set at construction).
+  [[nodiscard]] const wan::Wan* wan() const { return wan_; }
+
+  // --- Drift (RetrainPolicy::drift_detection).
+  [[nodiscard]] bool drift_enabled() const {
+    return policy_.drift_detection;
+  }
+  // kStable when drift detection is off - safe to wire into the CMS
+  // drift gate unconditionally.
+  [[nodiscard]] DriftState drift_state() const {
+    return drift_.has_value() ? drift_->state() : DriftState::kStable;
+  }
+  [[nodiscard]] std::size_t drift_events() const {
+    return static_cast<std::size_t>(drift_events_.value());
+  }
+  [[nodiscard]] std::size_t drift_early_retrains() const {
+    return static_cast<std::size_t>(drift_early_retrains_.value());
+  }
+
   // --- Incremental retraining diagnostics (not part of ServiceHealth:
   // the two retrain paths are bit-identical in everything they serve, and
   // these counters are the only place they may differ).
   // Whether retrains maintain the per-day shard ring + window aggregate.
   [[nodiscard]] bool incremental_enabled() const {
     return policy_.incremental_retrain && !config_.train_naive_bayes;
+  }
+  // Whether the window aggregate is exponentially decayed instead of
+  // hard-trimmed (requires the incremental path).
+  [[nodiscard]] bool decay_enabled() const {
+    return policy_.decay_half_life_days > 0.0 && incremental_enabled();
   }
   [[nodiscard]] std::size_t incremental_retrains() const {
     return static_cast<std::size_t>(incremental_retrains_.value());
@@ -335,6 +418,16 @@ class DailyRetrainer {
   // Day-boundary bookkeeping + retrain attempt with retry scheduling.
   void OnDayBoundary(util::HourIndex new_day);
   void AttemptScheduledRetrain();
+  // Merges the open hour slot into its day's shard (hour-resolution
+  // ring); called whenever the ingest clock moves past the hour and
+  // before any retrain reads the shards.
+  void FoldOpenHour();
+  // Decay generation of a day under the policy's half-life staircase.
+  [[nodiscard]] std::int64_t DecayGeneration(util::HourIndex day) const;
+  // The retrain engine; `drift_shrink` marks a drift-triggered early
+  // retrain (bypasses the no-new-data guard; hard-window path rebuilds
+  // from the newest drift_shrink_window_days only).
+  [[nodiscard]] util::Status TryRetrainInternal(bool drift_shrink);
 
   const wan::Wan* wan_;
   const geo::MetroCatalogue* metros_;
@@ -365,11 +458,28 @@ class DailyRetrainer {
   obs::Tracer* tracer_ = nullptr;
   int pending_retries_ = 0;  // bounded retry budget after a failed boundary
   std::function<bool(util::HourIndex)> retrain_fault_;
-  // Incremental path: aggregate of every folded day's shard. Invariant:
-  // window_counts_ == merge of days_[i].shard for all i with folded set.
+  // Incremental path: aggregate of every folded day's shard. Invariant
+  // (hard window): window_counts_ == merge of days_[i].shard for all i
+  // with folded set. In decay mode the aggregate instead equals the
+  // canonical fold (days ascending: decay to the day's generation, then
+  // merge) of every day ever folded, held at decay_generation_.
   ShardTables window_counts_;
   obs::Counter incremental_retrains_;
   obs::Counter incremental_rebuilds_;
+  // Hour-resolution ring: the hour currently accumulating. Folded into
+  // the owning day's shard when the clock moves past it.
+  HourSlot open_hour_;
+  bool open_hour_active_ = false;
+  // Decay mode: generation window_counts_ is decayed to, and the newest
+  // day folded into it (folded days form a prefix of the ring).
+  std::int64_t decay_generation_ = 0;
+  util::HourIndex decay_folded_through_day_ =
+      std::numeric_limits<util::HourIndex>::min();
+  // Drift detection (engaged when policy_.drift_detection).
+  std::optional<DriftDetector> drift_;
+  bool drift_retrain_pending_ = false;
+  obs::Counter drift_events_;
+  obs::Counter drift_early_retrains_;
 };
 
 }  // namespace tipsy::core

@@ -23,6 +23,63 @@ constexpr std::uint64_t kMinEncodedRowBytes = 9;
 constexpr std::uint64_t kMinEncodedTupleBytes = 18;
 // Every encoded link spends at least one byte each on its id and bytes.
 constexpr std::uint64_t kMinEncodedLinkBytes = 2;
+// Every encoded (link, double) share entry spends at least one byte on
+// the link id plus 8 raw bytes on the IEEE-754 payload.
+constexpr std::uint64_t kMinEncodedShareBytes = 9;
+
+// Drift EWMAs are genuinely fractional, so they persist as raw IEEE-754
+// bits (like the model bundle's doubles) rather than varints - restore
+// must be bit-exact for warm-started replicas to evolve identically.
+void PutDoubleBits(std::ostream& out, double value) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  out.write(reinterpret_cast<const char*>(&bits), sizeof(bits));
+}
+
+[[nodiscard]] double TakeDoubleBits(std::string_view payload,
+                                    std::size_t& pos, bool& ok) {
+  std::uint64_t bits = 0;
+  if (payload.size() - pos < sizeof(bits)) {
+    ok = false;
+    return 0.0;
+  }
+  std::memcpy(&bits, payload.data() + pos, sizeof(bits));
+  pos += sizeof(bits);
+  double value = 0.0;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+// A sorted (link id, double) vector - baseline shares and the open
+// hour's per-link byte masses from core::DriftDetectorState.
+void EncodeShareVector(
+    std::ostream& out,
+    const std::vector<std::pair<std::uint32_t, double>>& shares) {
+  pipeline::PutVarint(out, shares.size());
+  for (const auto& [link, value] : shares) {
+    pipeline::PutVarint(out, link);
+    PutDoubleBits(out, value);
+  }
+}
+
+[[nodiscard]] bool DecodeShareVector(
+    std::string_view payload, std::size_t& pos,
+    std::vector<std::pair<std::uint32_t, double>>& shares) {
+  bool ok = true;
+  const std::uint64_t count = pipeline::TakeVarint(payload, pos, ok);
+  if (!ok || count > (payload.size() - pos) / kMinEncodedShareBytes) {
+    return false;
+  }
+  shares.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto link =
+        static_cast<std::uint32_t>(pipeline::TakeVarint(payload, pos, ok));
+    const double value = TakeDoubleBits(payload, pos, ok);
+    if (!ok) return false;
+    shares.emplace_back(link, value);
+  }
+  return true;
+}
 
 // One feature set's exported day-shard counts. Totals and per-link byte
 // masses are integer-valued by the day-shard exactness contract
@@ -118,6 +175,34 @@ std::string EncodeSnapshot(const SnapshotState& state, int format_version) {
       EncodeCountTable(payload, day.shard_ap);
       EncodeCountTable(payload, day.shard_al);
     }
+  }
+  if (format_version >= 3) {
+    // Decayed window aggregate: counts stay integer-valued through the
+    // floor-halving decay, so the varint table codec applies verbatim.
+    pipeline::PutZigzag(payload, r.decay_generation);
+    pipeline::PutZigzag(payload, r.decay_folded_through_day);
+    EncodeCountTable(payload, r.decay_a);
+    EncodeCountTable(payload, r.decay_ap);
+    EncodeCountTable(payload, r.decay_al);
+    pipeline::PutVarint(payload, r.has_drift ? 1 : 0);
+    if (r.has_drift) {
+      const auto& d = r.drift;
+      pipeline::PutVarint(payload, d.state);
+      pipeline::PutZigzag(payload, d.consecutive_armed);
+      pipeline::PutZigzag(payload, d.cooldown_remaining);
+      pipeline::PutVarint(payload, d.hours_scored);
+      PutDoubleBits(payload, d.recent_accuracy);
+      PutDoubleBits(payload, d.baseline_accuracy);
+      PutDoubleBits(payload, d.distribution_distance);
+      EncodeShareVector(payload, d.baseline_share);
+      pipeline::PutZigzag(payload, d.open_hour);
+      pipeline::PutVarint(payload, d.open_rows);
+      pipeline::PutVarint(payload, d.open_scored);
+      pipeline::PutVarint(payload, d.open_correct);
+      EncodeShareVector(payload, d.open_link_bytes);
+    }
+    pipeline::PutVarint(payload, r.drift_events);
+    pipeline::PutVarint(payload, r.drift_early_retrains);
   }
   pipeline::PutVarint(payload, r.model_bundle.size());
   payload.write(r.model_bundle.data(),
@@ -230,6 +315,46 @@ util::StatusOr<SnapshotState> DecodeSnapshot(std::string_view bytes) {
       }
     }
     r.days.push_back(std::move(day));
+  }
+  if (format_version >= 3) {
+    r.decay_generation = pipeline::TakeZigzag(payload, p, ok);
+    r.decay_folded_through_day = pipeline::TakeZigzag(payload, p, ok);
+    if (!ok || !DecodeCountTable(payload, p, r.decay_a) ||
+        !DecodeCountTable(payload, p, r.decay_ap) ||
+        !DecodeCountTable(payload, p, r.decay_al)) {
+      return util::Status::Corrupt(
+          "snapshot decayed window aggregate is malformed");
+    }
+    r.has_drift = pipeline::TakeVarint(payload, p, ok) != 0;
+    if (r.has_drift) {
+      auto& d = r.drift;
+      d.state = static_cast<std::uint8_t>(pipeline::TakeVarint(payload, p, ok));
+      d.consecutive_armed =
+          static_cast<int>(pipeline::TakeZigzag(payload, p, ok));
+      d.cooldown_remaining =
+          static_cast<int>(pipeline::TakeZigzag(payload, p, ok));
+      d.hours_scored = pipeline::TakeVarint(payload, p, ok);
+      d.recent_accuracy = TakeDoubleBits(payload, p, ok);
+      d.baseline_accuracy = TakeDoubleBits(payload, p, ok);
+      d.distribution_distance = TakeDoubleBits(payload, p, ok);
+      if (!ok || !DecodeShareVector(payload, p, d.baseline_share)) {
+        return util::Status::Corrupt(
+            "snapshot drift detector state is malformed");
+      }
+      d.open_hour = pipeline::TakeZigzag(payload, p, ok);
+      d.open_rows = pipeline::TakeVarint(payload, p, ok);
+      d.open_scored = pipeline::TakeVarint(payload, p, ok);
+      d.open_correct = pipeline::TakeVarint(payload, p, ok);
+      if (!ok || !DecodeShareVector(payload, p, d.open_link_bytes)) {
+        return util::Status::Corrupt(
+            "snapshot drift open-hour state is malformed");
+      }
+    }
+    r.drift_events = pipeline::TakeVarint(payload, p, ok);
+    r.drift_early_retrains = pipeline::TakeVarint(payload, p, ok);
+    if (!ok) {
+      return util::Status::Corrupt("snapshot drift counters are malformed");
+    }
   }
   const std::uint64_t bundle_size = pipeline::TakeVarint(payload, p, ok);
   if (!ok || bundle_size != payload.size() - p) {

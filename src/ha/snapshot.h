@@ -7,12 +7,17 @@
 // records with seq >= applied_seq (replay is idempotent under the seq
 // gate, so an overlap is skipped-and-counted, never double-ingested).
 //
-// On-disk layout:  "TIPSYSS2" | varint payload_size | crc32c | payload
-// Format v2 (current) adds each buffered day's mergeable count shard
+// On-disk layout:  "TIPSYSS3" | varint payload_size | crc32c | payload
+// Format v3 (current) adds the decayed-count window aggregate (which
+// cannot be rebuilt from the buffered days alone - older generations have
+// fallen off the ring) and the drift detector state (EWMA doubles as raw
+// IEEE-754 bits, so restore is bit-exact) after the day list.
+// Format v2 added each buffered day's mergeable count shard
 // (core/day_shard.h) after its rows, so a warm-started replica resumes
-// the *incremental* retraining path without re-aggregating the window;
-// v1 snapshots ("TIPSYSS1", rows only) remain readable - restore then
-// rebuilds the shards from the rows, bit-identically.
+// the *incremental* retraining path without re-aggregating the window.
+// v1 ("TIPSYSS1", rows only) and v2 ("TIPSYSS2") snapshots remain
+// readable - restore rebuilds the shards from the rows bit-identically,
+// and decay/drift state simply re-seeds from the live stream.
 // The CRC-32C covers the whole payload; every embedded length is
 // validated against the bytes actually present before any allocation
 // (same hostile-length discipline as pipeline/storage). Snapshots are
@@ -28,7 +33,7 @@
 
 namespace tipsy::ha {
 
-inline constexpr int kSnapshotFormatVersion = 2;  // magic "TIPSYSS2"
+inline constexpr int kSnapshotFormatVersion = 3;  // magic "TIPSYSS3"
 
 struct SnapshotState {
   core::RetrainerState retrainer;
@@ -38,8 +43,8 @@ struct SnapshotState {
 };
 
 // `format_version` exists for interop with old readers and the
-// backward-compat tests; new snapshots should use the default (v1 simply
-// omits the day shards).
+// backward-compat tests; new snapshots should use the default (v1 omits
+// the day shards, v1/v2 omit the decay and drift state).
 [[nodiscard]] std::string EncodeSnapshot(
     const SnapshotState& state,
     int format_version = kSnapshotFormatVersion);

@@ -520,12 +520,11 @@ PredictClient::~PredictClient() = default;
 
 void PredictClient::Disconnect() { socket_.Close(); }
 
-util::StatusOr<PredictResponse> PredictClient::Predict(
-    const PredictRequest& request, const std::atomic<bool>* stop) {
+util::StatusOr<Message> PredictClient::RoundTrip(
+    MessageType request_type, const std::string& payload,
+    MessageType response_type, const std::atomic<bool>* stop) {
   requests_.Increment();
-  const std::string wire =
-      EncodeMessage(MessageType::kPredictRequest,
-                    EncodePredictRequest(request), config_.auth);
+  const std::string wire = EncodeMessage(request_type, payload, config_.auth);
   util::Status last = util::Status::Unavailable("no attempt made");
   for (int attempt = 0; attempt < max_attempts_; ++attempt) {
     if (stop != nullptr && stop->load(std::memory_order_acquire)) break;
@@ -549,14 +548,14 @@ util::StatusOr<PredictResponse> PredictClient::Predict(
       }
       backoff_.Reset();
     }
-    auto roundtrip = [&]() -> util::StatusOr<PredictResponse> {
+    auto roundtrip = [&]() -> util::StatusOr<Message> {
       if (auto status = socket_.SendAll(wire); !status.ok()) return status;
       auto reply = ReadMessage(socket_, kMaxMessageBytes, config_.auth);
       if (!reply.ok()) return reply.status();
-      if (reply->type != MessageType::kPredictResponse) {
-        return util::Status::Corrupt("expected predict response");
+      if (reply->type != response_type) {
+        return util::Status::Corrupt("unexpected response type");
       }
-      return DecodePredictResponse(reply->payload);
+      return reply;
     }();
     if (roundtrip.ok()) return roundtrip;
     last = roundtrip.status();
@@ -565,9 +564,27 @@ util::StatusOr<PredictResponse> PredictClient::Predict(
   }
   failures_.Increment();
   if (last.ok() || last.code() == util::StatusCode::kCorrupt) return last;
-  return util::Status::Unavailable("predict failed after " +
+  return util::Status::Unavailable("request failed after " +
                                    std::to_string(max_attempts_) +
                                    " attempts: " + last.ToString());
+}
+
+util::StatusOr<PredictResponse> PredictClient::Predict(
+    const PredictRequest& request, const std::atomic<bool>* stop) {
+  auto reply =
+      RoundTrip(MessageType::kPredictRequest, EncodePredictRequest(request),
+                MessageType::kPredictResponse, stop);
+  if (!reply.ok()) return reply.status();
+  return DecodePredictResponse(reply->payload);
+}
+
+util::StatusOr<WhatIfResponse> PredictClient::WhatIf(
+    const WhatIfRequest& request, const std::atomic<bool>* stop) {
+  auto reply =
+      RoundTrip(MessageType::kWhatIfRequest, EncodeWhatIfRequest(request),
+                MessageType::kWhatIfResponse, stop);
+  if (!reply.ok()) return reply.status();
+  return DecodeWhatIfResponse(reply->payload);
 }
 
 // --- PredictPool.

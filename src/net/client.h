@@ -290,6 +290,12 @@ class PredictClient {
       const PredictRequest& request,
       const std::atomic<bool>* stop = nullptr);
 
+  // What-if sweep on the same connection and retry skeleton. A pure
+  // read like Predict, so lost-response retries are safe.
+  [[nodiscard]] util::StatusOr<WhatIfResponse> WhatIf(
+      const WhatIfRequest& request,
+      const std::atomic<bool>* stop = nullptr);
+
   void Disconnect();
 
   [[nodiscard]] std::uint64_t reconnects() const {
@@ -299,6 +305,12 @@ class PredictClient {
   [[nodiscard]] std::uint64_t failures() const { return failures_.value(); }
 
  private:
+  // Sends one encoded request envelope and decodes the matching reply
+  // type, retrying on a fresh connection up to max_attempts_ times.
+  [[nodiscard]] util::StatusOr<Message> RoundTrip(
+      MessageType request_type, const std::string& payload,
+      MessageType response_type, const std::atomic<bool>* stop);
+
   ClientConfig config_;
   int max_attempts_;
   Socket socket_;

@@ -52,6 +52,10 @@ Daemon::Daemon(ha::Replica* replica, obs::Registry* registry,
       p + "_net_predict_requests_total", "Batch PredictShift RPCs answered",
       &predict_requests_));
   metric_handles_.push_back(registry_->RegisterCounter(
+      p + "_net_whatif_requests_total",
+      "What-if sweep RPCs answered on the prediction port",
+      &whatif_requests_));
+  metric_handles_.push_back(registry_->RegisterCounter(
       p + "_net_ship_streams_total", "Journal shipping streams opened",
       &ship_streams_));
   metric_handles_.push_back(registry_->RegisterCounter(
@@ -292,6 +296,16 @@ void Daemon::HandlePredict(Socket socket) {
       }
       return;  // clean close, torn close, damage, or OS error
     }
+    if (message->type == MessageType::kWhatIfRequest) {
+      auto request = DecodeWhatIfRequest(message->payload);
+      if (!request.ok()) {
+        frames_corrupt_.Increment();
+        return;
+      }
+      whatif_requests_.Increment();
+      if (!AnswerWhatIf(*request, socket)) return;
+      continue;
+    }
     if (message->type != MessageType::kPredictRequest) {
       frames_corrupt_.Increment();
       return;
@@ -331,6 +345,34 @@ void Daemon::HandlePredict(Socket socket) {
                       EncodePredictResponse(response), config_.auth);
     if (!socket.SendAll(reply).ok()) return;
   }
+}
+
+bool Daemon::AnswerWhatIf(const WhatIfRequest& request, Socket& socket) {
+  WhatIfResponse response;
+  // Answered from the published epoch, like PredictShift: no model yet
+  // means an empty report list, and the stamped health says why.
+  const auto service = epoch_.Acquire();
+  const wan::Wan* wan = replica_->retrainer().wan();
+  if (service != nullptr &&
+      request.link_loads.size() == wan->link_count()) {
+    cms::WhatIfOptions options;
+    if (request.prediction_k > 0) options.prediction_k = request.prediction_k;
+    if (request.safety_headroom > 0.0) {
+      options.safety_headroom = request.safety_headroom;
+    }
+    const cms::WhatIfSimulator simulator(wan, service.get(), options);
+    response.reports =
+        simulator.Sweep(request.rows, request.link_loads, request.candidates);
+  }
+  {
+    std::lock_guard<std::mutex> lock(replica_mu_);
+    response.health = replica_->health();
+    response.drift_state = replica_->retrainer().drift_state();
+  }
+  const std::string reply =
+      EncodeMessage(MessageType::kWhatIfResponse,
+                    EncodeWhatIfResponse(response), config_.auth);
+  return socket.SendAll(reply).ok();
 }
 
 void Daemon::HandleIngest(Socket socket) {

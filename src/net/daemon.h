@@ -144,6 +144,10 @@ class Daemon {
   [[nodiscard]] std::uint64_t predict_requests() const {
     return predict_requests_.value();
   }
+  // What-if sweep RPCs answered on the prediction port.
+  [[nodiscard]] std::uint64_t whatif_requests() const {
+    return whatif_requests_.value();
+  }
   [[nodiscard]] std::uint64_t ship_streams() const {
     return ship_streams_.value();
   }
@@ -202,6 +206,10 @@ class Daemon {
 
   void AcceptLoop(Listener* listener, void (Daemon::*handler)(Socket));
   void HandlePredict(Socket socket);
+  // Answers one what-if sweep on a prediction connection; false when the
+  // reply could not be sent (the caller drops the connection).
+  [[nodiscard]] bool AnswerWhatIf(const WhatIfRequest& request,
+                                  Socket& socket);
   void HandleIngest(Socket socket);
   void HandleShip(Socket socket);
   void HandleMetrics(Socket socket);
@@ -250,6 +258,7 @@ class Daemon {
   obs::Counter frames_corrupt_;
   obs::Counter frames_dropped_;
   obs::Counter predict_requests_;
+  obs::Counter whatif_requests_;
   obs::Counter ship_streams_;
   obs::Counter ship_frames_sent_;
   obs::Counter snapshot_transfers_;

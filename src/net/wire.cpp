@@ -5,6 +5,7 @@
 #include <limits>
 #include <sstream>
 
+#include "pipeline/storage.h"
 #include "util/checksum.h"
 
 namespace tipsy::net {
@@ -110,7 +111,7 @@ std::uint64_t EnvelopeMac(const AuthKey& key, std::uint8_t wire_type,
 
 bool KnownMessageType(std::uint8_t raw) {
   return raw >= static_cast<std::uint8_t>(MessageType::kIngestHello) &&
-         raw <= static_cast<std::uint8_t>(MessageType::kSnapshotChunk);
+         raw <= static_cast<std::uint8_t>(MessageType::kWhatIfResponse);
 }
 
 util::StatusOr<Message> DecodeEnvelope(std::string_view header,
@@ -573,6 +574,161 @@ util::StatusOr<PredictResponse> DecodePredictResponse(
     return util::Status::Corrupt("predict response is malformed");
   }
   response.health = static_cast<core::ModelHealth>(health);
+  return response;
+}
+
+// --- What-if sweep RPC payloads.
+
+std::string EncodeWhatIfRequest(const WhatIfRequest& request) {
+  std::ostringstream out;
+  pipeline::PutVarint(out, request.rows.size());
+  pipeline::EncodeRowsVerbatim(out, request.rows);
+  pipeline::PutVarint(out, request.link_loads.size());
+  for (const double load : request.link_loads) PutDouble(out, load);
+  pipeline::PutVarint(out, request.candidates.size());
+  for (const auto& candidate : request.candidates) {
+    pipeline::PutVarint(out, candidate.link.value());
+    pipeline::PutVarint(out, candidate.prefixes.size());
+    for (const auto prefix : candidate.prefixes) {
+      pipeline::PutVarint(out, prefix.value());
+    }
+  }
+  pipeline::PutVarint(out, request.prediction_k);
+  PutDouble(out, request.safety_headroom);
+  return out.str();
+}
+
+util::StatusOr<WhatIfRequest> DecodeWhatIfRequest(std::string_view payload) {
+  std::size_t pos = 0;
+  bool ok = true;
+  WhatIfRequest request;
+  const std::uint64_t row_count = pipeline::TakeVarint(payload, pos, ok);
+  // Every verbatim-encoded row spends at least one byte per field.
+  if (!ok || row_count > payload.size() / 9) {
+    return util::Status::Corrupt("what-if request row count implausible");
+  }
+  if (!pipeline::DecodeRowsVerbatim(payload, pos, row_count, request.rows)) {
+    return util::Status::Corrupt("what-if request rows end early");
+  }
+  const std::uint64_t load_count = pipeline::TakeVarint(payload, pos, ok);
+  if (!ok || load_count > (payload.size() - pos) / 8) {
+    return util::Status::Corrupt("what-if request load count implausible");
+  }
+  request.link_loads.reserve(static_cast<std::size_t>(load_count));
+  for (std::uint64_t i = 0; i < load_count && ok; ++i) {
+    request.link_loads.push_back(TakeDouble(payload, pos, ok));
+  }
+  const std::uint64_t candidate_count =
+      pipeline::TakeVarint(payload, pos, ok);
+  if (!ok || candidate_count > payload.size() - pos) {
+    return util::Status::Corrupt(
+        "what-if request candidate count implausible");
+  }
+  request.candidates.reserve(static_cast<std::size_t>(candidate_count));
+  for (std::uint64_t i = 0; i < candidate_count && ok; ++i) {
+    cms::WhatIfCandidate candidate;
+    candidate.link = util::LinkId(
+        static_cast<std::uint32_t>(pipeline::TakeVarint(payload, pos, ok)));
+    const std::uint64_t prefix_count = pipeline::TakeVarint(payload, pos, ok);
+    if (!ok || prefix_count > payload.size() - pos) {
+      return util::Status::Corrupt(
+          "what-if request prefix count implausible");
+    }
+    candidate.prefixes.reserve(static_cast<std::size_t>(prefix_count));
+    for (std::uint64_t j = 0; j < prefix_count && ok; ++j) {
+      candidate.prefixes.push_back(util::PrefixId(
+          static_cast<std::uint32_t>(pipeline::TakeVarint(payload, pos, ok))));
+    }
+    if (ok) request.candidates.push_back(std::move(candidate));
+  }
+  request.prediction_k =
+      static_cast<std::uint32_t>(pipeline::TakeVarint(payload, pos, ok));
+  request.safety_headroom = TakeDouble(payload, pos, ok);
+  if (!ok || pos != payload.size()) {
+    return util::Status::Corrupt("what-if request is malformed");
+  }
+  return request;
+}
+
+std::string EncodeWhatIfResponse(const WhatIfResponse& response) {
+  std::ostringstream out;
+  pipeline::PutVarint(out, response.reports.size());
+  for (const auto& report : response.reports) {
+    pipeline::PutVarint(out, report.candidate_index);
+    pipeline::PutVarint(out, report.link.value());
+    PutDouble(out, report.matched_bytes);
+    PutDouble(out, report.moved_bytes);
+    PutDouble(out, report.unpredicted_bytes);
+    pipeline::PutVarint(out, report.spills.size());
+    std::uint32_t prev = 0;
+    for (const auto& spill : report.spills) {
+      // Spills are sorted by link id, so deltas are non-negative.
+      pipeline::PutVarint(out, spill.link.value() - prev);
+      prev = spill.link.value();
+      PutDouble(out, spill.bytes);
+      PutDouble(out, spill.projected_utilization);
+      pipeline::PutVarint(out, spill.over_headroom ? 1 : 0);
+    }
+    pipeline::PutVarint(out, report.safe ? 1 : 0);
+  }
+  pipeline::PutVarint(out, static_cast<std::uint64_t>(response.health));
+  pipeline::PutVarint(out,
+                      static_cast<std::uint64_t>(response.drift_state));
+  return out.str();
+}
+
+util::StatusOr<WhatIfResponse> DecodeWhatIfResponse(
+    std::string_view payload) {
+  std::size_t pos = 0;
+  bool ok = true;
+  WhatIfResponse response;
+  const std::uint64_t report_count = pipeline::TakeVarint(payload, pos, ok);
+  // Every report costs >= 28 bytes: two varints, three fixed64 doubles,
+  // a spill count, and the safe flag.
+  if (!ok || report_count > payload.size() / 28) {
+    return util::Status::Corrupt(
+        "what-if response report count implausible");
+  }
+  response.reports.reserve(static_cast<std::size_t>(report_count));
+  for (std::uint64_t i = 0; i < report_count && ok; ++i) {
+    cms::WhatIfReport report;
+    report.candidate_index =
+        static_cast<std::size_t>(pipeline::TakeVarint(payload, pos, ok));
+    report.link = util::LinkId(
+        static_cast<std::uint32_t>(pipeline::TakeVarint(payload, pos, ok)));
+    report.matched_bytes = TakeDouble(payload, pos, ok);
+    report.moved_bytes = TakeDouble(payload, pos, ok);
+    report.unpredicted_bytes = TakeDouble(payload, pos, ok);
+    const std::uint64_t spill_count = pipeline::TakeVarint(payload, pos, ok);
+    // Every spill costs >= 18 bytes: a link delta, two doubles, a flag.
+    if (!ok || spill_count > (payload.size() - pos) / 18) {
+      return util::Status::Corrupt(
+          "what-if response spill count implausible");
+    }
+    report.spills.reserve(static_cast<std::size_t>(spill_count));
+    std::uint32_t prev = 0;
+    for (std::uint64_t j = 0; j < spill_count && ok; ++j) {
+      cms::WhatIfSpill spill;
+      prev +=
+          static_cast<std::uint32_t>(pipeline::TakeVarint(payload, pos, ok));
+      spill.link = util::LinkId(prev);
+      spill.bytes = TakeDouble(payload, pos, ok);
+      spill.projected_utilization = TakeDouble(payload, pos, ok);
+      spill.over_headroom = pipeline::TakeVarint(payload, pos, ok) != 0;
+      if (ok) report.spills.push_back(spill);
+    }
+    report.safe = pipeline::TakeVarint(payload, pos, ok) != 0;
+    if (ok) response.reports.push_back(std::move(report));
+  }
+  const std::uint64_t health = pipeline::TakeVarint(payload, pos, ok);
+  const std::uint64_t drift = pipeline::TakeVarint(payload, pos, ok);
+  if (!ok || pos != payload.size() ||
+      health > static_cast<std::uint64_t>(core::ModelHealth::kExpired) ||
+      drift > static_cast<std::uint64_t>(core::DriftState::kDrifting)) {
+    return util::Status::Corrupt("what-if response is malformed");
+  }
+  response.health = static_cast<core::ModelHealth>(health);
+  response.drift_state = static_cast<core::DriftState>(drift);
   return response;
 }
 

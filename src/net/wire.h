@@ -37,11 +37,13 @@
 #include <string_view>
 #include <vector>
 
+#include "cms/whatif.h"
 #include "core/online.h"
 #include "core/tipsy_service.h"
 #include "ha/journal.h"
 #include "net/auth.h"
 #include "net/socket.h"
+#include "pipeline/aggregate.h"
 #include "util/status.h"
 
 namespace tipsy::net {
@@ -54,7 +56,7 @@ namespace tipsy::net {
 inline constexpr int kWireProtocolVersion = 3;
 
 // Envelope v2 marker: set on the wire type byte when the frame carries a
-// MAC. The flag lives outside the MessageType value space (1..8), so a
+// MAC. The flag lives outside the MessageType value space (1..10), so a
 // v1 peer reading a v2 frame fails typed (unknown type / checksum), never
 // silently misparses.
 inline constexpr std::uint8_t kAuthTypeFlag = 0x80;
@@ -74,10 +76,15 @@ enum class MessageType : std::uint8_t {
   kHeartbeat = 6,     // replica -> supervisor liveness + progress report
   // Ship-side catch-up: when the requested from_seq predates the
   // compacted journal base, the primary sends one kSnapshotOffer followed
-  // by kSnapshotChunk envelopes carrying the TIPSYSS2 snapshot bytes,
-  // then the journal suffix stream from the snapshot's applied_seq.
+  // by kSnapshotChunk envelopes carrying the TIPSYSS snapshot bytes
+  // (currently v3), then the journal suffix stream from the snapshot's
+  // applied_seq.
   kSnapshotOffer = 7,
   kSnapshotChunk = 8,
+  // Batch what-if sweep over the prediction port: candidate prefix
+  // withdrawals in, ranked spill-over reports out (cms/whatif.h).
+  kWhatIfRequest = 9,
+  kWhatIfResponse = 10,
 };
 
 struct Message {
@@ -162,7 +169,8 @@ struct ShipRequest {
   std::uint64_t from_seq = 0;
 };
 // Ship-side catch-up transfer header. The snapshot bytes that follow (in
-// kSnapshotChunk envelopes) are the primary's TIPSYSS2 file verbatim;
+// kSnapshotChunk envelopes) are the primary's TIPSYSS file verbatim
+// (currently v3; the receiver decodes any supported version);
 // total_crc32c covers the whole blob so a reassembled transfer is gated
 // twice (per-envelope CRC, then whole-file CRC) before DecodeSnapshot
 // adds the format's own checksum as the third gate.
@@ -229,6 +237,39 @@ struct PredictResponse {
 [[nodiscard]] std::string EncodePredictResponse(
     const PredictResponse& response);
 [[nodiscard]] util::StatusOr<PredictResponse> DecodePredictResponse(
+    std::string_view payload);
+
+// --- What-if sweep RPC payloads.
+
+// Stateless by design: the caller ships the traffic snapshot (one hour of
+// aggregate rows), the current per-link loads, and the candidate list;
+// the daemon answers from its served model. Nothing about the sweep is
+// session state, so any replica can answer and retries are trivially
+// idempotent.
+struct WhatIfRequest {
+  std::vector<pipeline::AggRow> rows;
+  // Current bytes on each link, indexed by link id (must match the
+  // daemon's WAN link count).
+  std::vector<double> link_loads;
+  std::vector<cms::WhatIfCandidate> candidates;
+  std::uint32_t prediction_k = 3;
+  double safety_headroom = 0.80;
+};
+struct WhatIfResponse {
+  // Ranked by moved_bytes descending (cms::WhatIfSimulator::Sweep).
+  std::vector<cms::WhatIfReport> reports;
+  // Serving-model health and drift state at answer time, so the caller
+  // can weigh how much to trust the sweep without a second RPC.
+  core::ModelHealth health = core::ModelHealth::kNone;
+  core::DriftState drift_state = core::DriftState::kStable;
+};
+
+[[nodiscard]] std::string EncodeWhatIfRequest(const WhatIfRequest& request);
+[[nodiscard]] util::StatusOr<WhatIfRequest> DecodeWhatIfRequest(
+    std::string_view payload);
+[[nodiscard]] std::string EncodeWhatIfResponse(
+    const WhatIfResponse& response);
+[[nodiscard]] util::StatusOr<WhatIfResponse> DecodeWhatIfResponse(
     std::string_view payload);
 
 // --- Incremental TIPSYHJ1 stream decoder.

@@ -10,12 +10,15 @@
 // report exactly the same ServiceHealth.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <map>
 #include <sstream>
 #include <vector>
 
 #include "core/day_shard.h"
 #include "core/online.h"
 #include "core/serialize.h"
+#include "core/tipsy_service.h"
 #include "ha/snapshot.h"
 #include "topo/generator.h"
 #include "util/status.h"
@@ -73,6 +76,12 @@ struct IncrementalFixture {
     core::RetrainPolicy policy;
     policy.incremental_retrain = incremental;
     return core::DailyRetrainer(&wan, &topology.metros, window_days, config,
+                                policy);
+  }
+
+  [[nodiscard]] core::DailyRetrainer MakeRetrainer(
+      int window_days, core::RetrainPolicy policy) const {
+    return core::DailyRetrainer(&wan, &topology.metros, window_days, {},
                                 policy);
   }
 
@@ -411,6 +420,320 @@ TEST(IncrementalSnapshot, HostileShardLengthsAreRejectedWithoutAllocating) {
     ASSERT_FALSE(truncated.ok());
     EXPECT_EQ(truncated.status().code(), util::StatusCode::kTruncated);
   }
+}
+
+// ------------------------------------------- decayed window aggregate
+
+core::RetrainPolicy DecayPolicy(double half_life_days) {
+  core::RetrainPolicy policy;
+  policy.incremental_retrain = true;
+  policy.decay_half_life_days = half_life_days;
+  return policy;
+}
+
+// The canonical fold the decayed aggregate is DEFINED to equal
+// (core/online.h): days ascending, bring the aggregate to the incoming
+// day's decay generation before merging, final decay to now_day's
+// generation, with now_day's own rows overlaid unfolded. Floor-halving
+// is not distributive over merge, so this fold order IS the reference -
+// the retrainer must reproduce it from incremental state at every
+// boundary. All days ever ingested participate: decay mode never
+// subtracts, expired day buffers only fall off the ring.
+std::string DecayReference(
+    const IncrementalFixture& fixture,
+    const std::map<util::HourIndex, std::vector<pipeline::AggRow>>& days,
+    util::HourIndex now_day, double half_life_days) {
+  const auto half_life_hours =
+      std::max<std::int64_t>(1, std::llround(half_life_days * 24.0));
+  const auto generation = [&](util::HourIndex day) {
+    return static_cast<std::int64_t>(day) * 24 / half_life_hours;
+  };
+  core::ShardTables window;
+  std::int64_t folded_generation = 0;
+  core::ShardTables overlay_tables;
+  const core::ShardTables* overlay = nullptr;
+  for (const auto& [day, rows] : days) {
+    if (day < now_day) {
+      window.Decay(static_cast<int>(generation(day) - folded_generation));
+      folded_generation = generation(day);
+      window.Merge(core::DayShard::Build(day, rows).tables);
+    } else if (day == now_day) {
+      overlay_tables = core::DayShard::Build(day, rows).tables;
+      overlay = &overlay_tables;
+    }
+  }
+  window.Decay(
+      static_cast<int>(generation(now_day) - folded_generation));
+  const auto service = core::TipsyService::FromWindowCounts(
+      &fixture.wan, &fixture.topology.metros, core::TipsyConfig{}, window,
+      overlay);
+  return ServiceBytes(service.get());
+}
+
+// Streams `hours` of in-order ingest through a decayed retrainer,
+// checking every published model against the canonical fold. Publishes
+// are detected by retrain_count(): the cadence is day-granular
+// (a mid-day explicit retrain consumes the day, so the next boundary is
+// a deliberate no-op), so the checks key off actual publishes rather
+// than assuming one per boundary. A publish inside Ingest(h) ran before
+// hour h's rows were buffered, with the ingest clock still on the
+// previous hour; an explicit TryRetrain after Ingest(h) sees hour h.
+void RunDecayLockstep(const IncrementalFixture& fixture, int window_days,
+                      double half_life_days, util::HourIndex hours) {
+  auto retrainer =
+      fixture.MakeRetrainer(window_days, DecayPolicy(half_life_days));
+  ASSERT_TRUE(retrainer.decay_enabled());
+  std::map<util::HourIndex, std::vector<pipeline::AggRow>> all_days;
+  std::uint64_t published = 0;
+  std::size_t publishes_checked = 0;
+  for (util::HourIndex h = 0; h < hours; ++h) {
+    const auto rows = fixture.HourRows(h);
+    retrainer.Ingest(h, rows);
+    if (retrainer.retrain_count() != published) {
+      published = retrainer.retrain_count();
+      ++publishes_checked;
+      ASSERT_EQ(ServiceBytes(retrainer.current()),
+                DecayReference(fixture, all_days, util::DayIndex(h - 1),
+                               half_life_days))
+          << "diverged from the canonical fold at hour " << h;
+    }
+    auto& day_rows = all_days[util::DayIndex(h)];
+    day_rows.insert(day_rows.end(), rows.begin(), rows.end());
+    if (util::DayIndex(h) % 3 == 1 && h % util::kHoursPerDay == 11) {
+      // Mid-day explicit retrain: today's partial rows (hour h included,
+      // the open slot folds at retrain entry) ride as overlay. NoData is
+      // legitimate when an hourly retry already consumed today's data
+      // and no half-life boundary has passed since.
+      const std::string before = ServiceBytes(retrainer.current());
+      const auto status = retrainer.TryRetrain();
+      if (status.ok()) {
+        published = retrainer.retrain_count();
+        ++publishes_checked;
+        ASSERT_EQ(ServiceBytes(retrainer.current()),
+                  DecayReference(fixture, all_days, util::DayIndex(h),
+                                 half_life_days))
+            << "mid-day overlay diverged at hour " << h;
+      } else {
+        ASSERT_EQ(status.code(), util::StatusCode::kNoData)
+            << "hour " << h << ": " << status.ToString();
+        ASSERT_EQ(ServiceBytes(retrainer.current()), before);
+      }
+    }
+  }
+  EXPECT_GT(publishes_checked, 4u);
+  EXPECT_EQ(retrainer.incremental_rebuilds(), 0u);
+}
+
+TEST(DecayedRetrain, MatchesCanonicalFoldAtEveryBoundary) {
+  IncrementalFixture fixture;
+  // 10 days, half-life 2 days, 3-day ring: several halving boundaries
+  // and several ring turnovers (whose decayed residue must persist).
+  RunDecayLockstep(fixture, /*window_days=*/3, /*half_life_days=*/2.0,
+                   /*hours=*/240);
+}
+
+TEST(DecayedRetrain, SubDayHalfLifeHalvesMultiplePerBoundary) {
+  IncrementalFixture fixture;
+  // Half-life 6 hours: every day boundary advances four generations, so
+  // each fold step applies multiple exact halvings at once.
+  RunDecayLockstep(fixture, /*window_days=*/3, /*half_life_days=*/0.25,
+                   /*hours=*/120);
+}
+
+TEST(DecayedRetrain, HalvingBoundaryAloneRefreshesTheModel) {
+  IncrementalFixture fixture;
+  auto retrainer =
+      fixture.MakeRetrainer(/*window_days=*/3, DecayPolicy(1.0));
+  for (util::HourIndex h = 0; h < 49; ++h) {
+    retrainer.Ingest(h, fixture.HourRows(h));
+  }
+  // Catch up through the newest (partial) day, then verify idempotence:
+  // same data, same decay generation, nothing to rebuild.
+  ASSERT_TRUE(retrainer.TryRetrain().ok());
+  const std::string before = ServiceBytes(retrainer.current());
+  ASSERT_EQ(retrainer.TryRetrain().code(), util::StatusCode::kNoData);
+  EXPECT_EQ(ServiceBytes(retrainer.current()), before);
+  // Two days of heartbeat-only clock progress cross two half-life
+  // boundaries: with no new data at all, a retrain must still publish -
+  // the aggregate halves, which IS a model change.
+  retrainer.AdvanceTo(97);
+  ASSERT_TRUE(retrainer.TryRetrain().ok());
+  EXPECT_NE(ServiceBytes(retrainer.current()), before);
+}
+
+// ---------------------------------------------------- drift detection
+
+core::RetrainPolicy DriftPolicy(bool incremental) {
+  core::RetrainPolicy policy;
+  policy.incremental_retrain = incremental;
+  policy.drift_detection = true;
+  policy.drift_warmup_hours = 4;
+  policy.drift_window_hours = 2;
+  policy.drift_baseline_hours = 24;
+  policy.drift_accuracy_drop = 0.2;
+  policy.drift_distribution_threshold = 0.3;
+  policy.drift_consecutive_hours = 2;
+  policy.drift_cooldown_hours = 4;
+  policy.drift_min_hour_flows = 1;
+  return policy;
+}
+
+// A stationary regime: the same tuples on the same links with the same
+// byte mix every hour, so a model trained on it scores top-1 accuracy 1
+// and the hourly link shares never move.
+std::vector<pipeline::AggRow> StableRows(util::HourIndex hour) {
+  std::vector<pipeline::AggRow> rows;
+  for (std::uint32_t f = 0; f < 5; ++f) {
+    rows.push_back(MakeRow(f, f % 4, hour, 1000 + 100 * f));
+  }
+  return rows;
+}
+
+// The regime after a shift: the same tuples ingress entirely different
+// links with a rebalanced byte mix, so both drift signals (top-1
+// accuracy collapse, link-share TV distance) fire.
+std::vector<pipeline::AggRow> ShiftedRows(const IncrementalFixture& fixture,
+                                          util::HourIndex hour) {
+  const auto links = static_cast<std::uint32_t>(fixture.wan.link_count());
+  std::vector<pipeline::AggRow> rows;
+  for (std::uint32_t f = 0; f < 5; ++f) {
+    rows.push_back(MakeRow(f, (f % 4 + 4) % links, hour, 5000 - 700 * f));
+  }
+  return rows;
+}
+
+TEST(DriftDetection, CollectorOutageNeverFires) {
+  IncrementalFixture fixture;
+  auto retrainer = fixture.MakeRetrainer(/*window_days=*/3,
+                                         DriftPolicy(/*incremental=*/true));
+  ASSERT_TRUE(retrainer.drift_enabled());
+  // Three stationary days: the baseline forms, nothing arms.
+  for (util::HourIndex h = 0; h < 72; ++h) {
+    retrainer.Ingest(h, StableRows(h));
+  }
+  ASSERT_EQ(retrainer.drift_state(), core::DriftState::kStable);
+  ASSERT_EQ(retrainer.drift_events(), 0u);
+  // The first heartbeat completes (and scores) the final fed hour;
+  // every silent hour after that must leave the scored count alone.
+  retrainer.AdvanceTo(72);
+  const std::uint64_t scored_before =
+      retrainer.ExportState().drift.hours_scored;
+  ASSERT_GT(scored_before, 0u);
+
+  // Three days of total collector darkness: heartbeats advance the
+  // clock (the model ages toward STALE honestly) but empty hours are
+  // skipped entirely - an outage is not evidence the traffic shifted,
+  // and a detector scoring silence as 0% accuracy would page on every
+  // feed interruption.
+  for (util::HourIndex h = 73; h < 144; ++h) {
+    retrainer.AdvanceTo(h);
+  }
+  EXPECT_EQ(retrainer.drift_state(), core::DriftState::kStable);
+  EXPECT_EQ(retrainer.drift_events(), 0u);
+  EXPECT_EQ(retrainer.ExportState().drift.hours_scored, scored_before);
+
+  // The feed returns with the same regime: still no drift.
+  for (util::HourIndex h = 144; h < 168; ++h) {
+    retrainer.Ingest(h, StableRows(h));
+  }
+  EXPECT_EQ(retrainer.drift_state(), core::DriftState::kStable);
+  EXPECT_EQ(retrainer.drift_events(), 0u);
+}
+
+TEST(DriftDetection, RegimeShiftTriggersEarlyRetrainAndLockstepHolds) {
+  IncrementalFixture fixture;
+  // The incremental and full-rebuild retrainers run the same drift
+  // policy through the same shift; serving and health (including the
+  // drift dimension) must stay bit-identical through the trigger, the
+  // shrink-window early retrain, and the cooldown.
+  auto incremental = fixture.MakeRetrainer(/*window_days=*/6,
+                                           DriftPolicy(true));
+  auto full = fixture.MakeRetrainer(/*window_days=*/6, DriftPolicy(false));
+  const auto step = [&](util::HourIndex hour,
+                        const std::vector<pipeline::AggRow>& rows) {
+    incremental.Ingest(hour, rows);
+    full.Ingest(hour, rows);
+    ASSERT_EQ(ServiceBytes(incremental.current()),
+              ServiceBytes(full.current()))
+        << "diverged at hour " << hour;
+    ASSERT_EQ(incremental.health_snapshot(), full.health_snapshot())
+        << "health diverged at hour " << hour;
+  };
+  for (util::HourIndex h = 0; h < 72; ++h) step(h, StableRows(h));
+  ASSERT_EQ(incremental.drift_state(), core::DriftState::kStable);
+  ASSERT_EQ(incremental.drift_events(), 0u);
+
+  // Mid-day regime shift: every flow relocates. Accuracy collapses and
+  // the link shares move, so the armed streak completes within hours.
+  for (util::HourIndex h = 72; h < 96; ++h) {
+    step(h, ShiftedRows(fixture, h));
+  }
+  EXPECT_GE(incremental.drift_events(), 1u);
+  EXPECT_GE(incremental.drift_early_retrains(), 1u);
+  EXPECT_EQ(incremental.drift_events(), full.drift_events());
+  EXPECT_EQ(incremental.drift_early_retrains(),
+            full.drift_early_retrains());
+  // The health surface carries the dimension the CMS gate consumes.
+  const auto health = incremental.health_snapshot();
+  EXPECT_GE(health.drift_events, 1u);
+}
+
+// ------------------------------------- decay + drift snapshot round trip
+
+TEST(DecayedSnapshot, V3RoundTripsDecayAndDriftExactly) {
+  IncrementalFixture fixture;
+  auto policy = DriftPolicy(/*incremental=*/true);
+  policy.decay_half_life_days = 1.5;
+  auto retrainer = fixture.MakeRetrainer(/*window_days=*/3, policy);
+  ha::SnapshotState state;
+  // 100 hours: mid-day handoff with a seeded drift detector and a
+  // decayed aggregate mid-generation.
+  state.retrainer = TrainedState(fixture, retrainer, 100);
+  ASSERT_TRUE(state.retrainer.has_drift);
+  ASSERT_GT(state.retrainer.drift.hours_scored, 0u);
+
+  const std::string bytes = ha::EncodeSnapshot(state);
+  auto decoded = ha::DecodeSnapshot(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  // The decayed aggregate and the detector's EWMAs survive exactly -
+  // doubles travel as raw IEEE-754 bits, counts as exact integers - so
+  // re-encoding the decoded state reproduces the snapshot byte for byte.
+  EXPECT_EQ(decoded->retrainer.decay_generation,
+            state.retrainer.decay_generation);
+  EXPECT_EQ(decoded->retrainer.drift.hours_scored,
+            state.retrainer.drift.hours_scored);
+  EXPECT_EQ(ha::EncodeSnapshot(*decoded), bytes);
+}
+
+TEST(DecayedSnapshot, WarmStartContinuesBitIdentically) {
+  IncrementalFixture fixture;
+  auto policy = DriftPolicy(/*incremental=*/true);
+  policy.decay_half_life_days = 1.5;
+  auto original = fixture.MakeRetrainer(/*window_days=*/3, policy);
+  ha::SnapshotState state;
+  state.retrainer = TrainedState(fixture, original, 100);
+
+  auto decoded = ha::DecodeSnapshot(ha::EncodeSnapshot(state));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  auto restored = fixture.MakeRetrainer(/*window_days=*/3, policy);
+  ASSERT_TRUE(restored.RestoreState(decoded->retrainer).ok());
+  ASSERT_EQ(ServiceBytes(restored.current()),
+            ServiceBytes(original.current()));
+  // Two more days, crossing half-life generations and day boundaries:
+  // the replica restored from the v3 snapshot evolves bit-identically,
+  // decayed counts, drift EWMAs and all.
+  for (util::HourIndex h = 100; h < 148; ++h) {
+    const auto rows = fixture.HourRows(h);
+    original.Ingest(h, rows);
+    restored.Ingest(h, rows);
+    ASSERT_EQ(ServiceBytes(restored.current()),
+              ServiceBytes(original.current()))
+        << "diverged at hour " << h;
+    ASSERT_EQ(restored.health_snapshot(), original.health_snapshot())
+        << "health diverged at hour " << h;
+  }
+  EXPECT_GT(restored.incremental_retrains(), 0u);
+  EXPECT_EQ(restored.incremental_rebuilds(), 0u);
 }
 
 }  // namespace

@@ -23,6 +23,7 @@
 #include <thread>
 #include <vector>
 
+#include "cms/whatif.h"
 #include "core/online.h"
 #include "core/serialize.h"
 #include "ha/journal.h"
@@ -320,6 +321,89 @@ TEST(WireCodec, PredictPayloadsRoundTripBitExactly) {
   EXPECT_EQ(response2->health, core::ModelHealth::kExpired);
 }
 
+TEST(WireCodec, WhatIfPayloadsRoundTripBitExactly) {
+  NetFixture fixture;
+  net::WhatIfRequest request;
+  request.rows = fixture.HourRows(7);
+  request.link_loads = {0.0, 1.5e12, 3.25, 0.0, 7e9, 0.125, 0.0, 42.0};
+  request.candidates.push_back({util::LinkId{2}, {}});  // drain
+  request.candidates.push_back(
+      {util::LinkId{5}, {util::PrefixId{1}, util::PrefixId{9}}});
+  request.prediction_k = 5;
+  request.safety_headroom = 0.9;
+  auto request2 =
+      net::DecodeWhatIfRequest(net::EncodeWhatIfRequest(request));
+  ASSERT_TRUE(request2.ok()) << request2.status().ToString();
+  ASSERT_EQ(request2->rows.size(), request.rows.size());
+  for (std::size_t i = 0; i < request.rows.size(); ++i) {
+    EXPECT_EQ(request2->rows[i].link, request.rows[i].link);
+    EXPECT_EQ(request2->rows[i].dest_prefix, request.rows[i].dest_prefix);
+    EXPECT_EQ(request2->rows[i].bytes, request.rows[i].bytes);
+  }
+  EXPECT_EQ(request2->link_loads, request.link_loads);
+  ASSERT_EQ(request2->candidates.size(), 2u);
+  EXPECT_EQ(request2->candidates[0].link, util::LinkId{2});
+  EXPECT_TRUE(request2->candidates[0].prefixes.empty());
+  ASSERT_EQ(request2->candidates[1].prefixes.size(), 2u);
+  EXPECT_EQ(request2->candidates[1].prefixes[1], util::PrefixId{9});
+  EXPECT_EQ(request2->prediction_k, 5u);
+  EXPECT_EQ(request2->safety_headroom, 0.9);
+
+  net::WhatIfResponse response;
+  cms::WhatIfReport report;
+  report.candidate_index = 1;
+  report.link = util::LinkId{5};
+  report.matched_bytes = 1000.25;
+  report.moved_bytes = 900.5;
+  report.unpredicted_bytes = 99.75;
+  report.safe = false;
+  report.spills.push_back({util::LinkId{3}, 900.5, 1.0625, true});
+  response.reports.push_back(report);
+  response.health = core::ModelHealth::kStale;
+  response.drift_state = core::DriftState::kDrifting;
+  auto response2 =
+      net::DecodeWhatIfResponse(net::EncodeWhatIfResponse(response));
+  ASSERT_TRUE(response2.ok()) << response2.status().ToString();
+  ASSERT_EQ(response2->reports.size(), 1u);
+  const auto& decoded = response2->reports[0];
+  EXPECT_EQ(decoded.candidate_index, 1u);
+  EXPECT_EQ(decoded.link, util::LinkId{5});
+  EXPECT_EQ(decoded.matched_bytes, 1000.25);
+  EXPECT_EQ(decoded.moved_bytes, 900.5);
+  EXPECT_EQ(decoded.unpredicted_bytes, 99.75);
+  EXPECT_FALSE(decoded.safe);
+  ASSERT_EQ(decoded.spills.size(), 1u);
+  EXPECT_EQ(decoded.spills[0].link, util::LinkId{3});
+  EXPECT_EQ(decoded.spills[0].bytes, 900.5);
+  EXPECT_EQ(decoded.spills[0].projected_utilization, 1.0625);
+  EXPECT_TRUE(decoded.spills[0].over_headroom);
+  EXPECT_EQ(response2->health, core::ModelHealth::kStale);
+  EXPECT_EQ(response2->drift_state, core::DriftState::kDrifting);
+
+  // Every truncation of either payload fails typed - never a crash,
+  // never a silently shorter parse.
+  const std::string request_bytes = net::EncodeWhatIfRequest(request);
+  for (std::size_t keep = 0; keep < request_bytes.size(); ++keep) {
+    auto damaged = net::DecodeWhatIfRequest(request_bytes.substr(0, keep));
+    ASSERT_FALSE(damaged.ok()) << "request cut at " << keep;
+    const auto code = damaged.status().code();
+    EXPECT_TRUE(code == util::StatusCode::kTruncated ||
+                code == util::StatusCode::kCorrupt)
+        << "request cut at " << keep << ": " << damaged.status().ToString();
+  }
+  const std::string response_bytes = net::EncodeWhatIfResponse(response);
+  for (std::size_t keep = 0; keep < response_bytes.size(); ++keep) {
+    auto damaged =
+        net::DecodeWhatIfResponse(response_bytes.substr(0, keep));
+    ASSERT_FALSE(damaged.ok()) << "response cut at " << keep;
+    const auto code = damaged.status().code();
+    EXPECT_TRUE(code == util::StatusCode::kTruncated ||
+                code == util::StatusCode::kCorrupt)
+        << "response cut at " << keep << ": "
+        << damaged.status().ToString();
+  }
+}
+
 // Every single-byte flip of a valid envelope must decode to a typed
 // error (or a strictly shorter valid parse) — never a crash, never an
 // uncaught mutation: the CRC covers the type byte and the payload, and
@@ -574,6 +658,90 @@ TEST(Daemon, PredictIngestMetricsEndToEnd) {
 
   daemon.Stop();
   EXPECT_FALSE(daemon.running());
+}
+
+// The what-if RPC answers from the same published epoch as Predict: the
+// ranked report list over the wire must equal a local
+// cms::WhatIfSimulator sweep against the bit-identical control model.
+TEST(Daemon, WhatIfSweepOverTheWireMatchesLocalSimulator) {
+  NetFixture fixture;
+  TempDir dir("daemon_whatif");
+  auto replica = fixture.OpenReplica(fixture.MakeReplicaConfig(dir, "d"));
+  ASSERT_TRUE(replica.ok()) << replica.status().ToString();
+
+  obs::Registry registry;
+  net::Daemon daemon(&*replica, &registry, fixture.FastDaemonConfig());
+  ASSERT_TRUE(daemon.Start().ok());
+
+  core::DailyRetrainer control(&fixture.wan, &fixture.topology.metros,
+                               /*window_days=*/3);
+  net::CollectorClient collector(
+      fixture.FastClientConfig(daemon.ingest_port()), &registry,
+      "collector");
+  for (util::HourIndex h = 0; h < 26; ++h) {
+    const auto rows = fixture.HourRows(h);
+    ASSERT_TRUE(collector.SendHour(h, rows).ok()) << "hour " << h;
+    control.Ingest(h, rows);
+  }
+  ASSERT_EQ(ServiceBytes(replica->service()),
+            ServiceBytes(control.current()));
+
+  net::WhatIfRequest request;
+  request.rows = fixture.HourRows(30);
+  request.link_loads.assign(fixture.wan.link_count(), 0.0);
+  for (const auto& row : request.rows) {
+    request.link_loads[row.link.value()] +=
+        static_cast<double>(row.bytes);
+  }
+  for (std::uint32_t link = 0;
+       link < static_cast<std::uint32_t>(fixture.wan.link_count());
+       ++link) {
+    request.candidates.push_back({util::LinkId{link}, {}});
+  }
+  request.candidates.push_back({util::LinkId{0}, {util::PrefixId{1}}});
+
+  net::PredictClient client(
+      fixture.FastClientConfig(daemon.predict_port()));
+  auto response = client.WhatIf(request);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->health, core::ModelHealth::kFresh);
+  EXPECT_EQ(response->drift_state, core::DriftState::kStable);
+  EXPECT_EQ(daemon.whatif_requests(), 1u);
+
+  const cms::WhatIfSimulator simulator(&fixture.wan, control.current(),
+                                       cms::WhatIfOptions{});
+  const auto local = simulator.Sweep(request.rows, request.link_loads,
+                                     request.candidates);
+  ASSERT_EQ(response->reports.size(), local.size());
+  for (std::size_t i = 0; i < local.size(); ++i) {
+    EXPECT_EQ(response->reports[i].candidate_index,
+              local[i].candidate_index);
+    EXPECT_EQ(response->reports[i].link, local[i].link);
+    EXPECT_EQ(response->reports[i].matched_bytes, local[i].matched_bytes);
+    EXPECT_EQ(response->reports[i].moved_bytes, local[i].moved_bytes);
+    EXPECT_EQ(response->reports[i].unpredicted_bytes,
+              local[i].unpredicted_bytes);
+    EXPECT_EQ(response->reports[i].safe, local[i].safe);
+    ASSERT_EQ(response->reports[i].spills.size(), local[i].spills.size());
+    for (std::size_t s = 0; s < local[i].spills.size(); ++s) {
+      EXPECT_EQ(response->reports[i].spills[s].link,
+                local[i].spills[s].link);
+      EXPECT_EQ(response->reports[i].spills[s].bytes,
+                local[i].spills[s].bytes);
+      EXPECT_EQ(response->reports[i].spills[s].projected_utilization,
+                local[i].spills[s].projected_utilization);
+      EXPECT_EQ(response->reports[i].spills[s].over_headroom,
+                local[i].spills[s].over_headroom);
+    }
+  }
+
+  // The counter renders under the daemon prefix like every other one.
+  const std::string scrape = ScrapeMetrics(daemon.metrics_port());
+  EXPECT_NE(scrape.find("tipsyd_net_whatif_requests_total 1"),
+            std::string::npos)
+      << scrape;
+
+  daemon.Stop();
 }
 
 // Obs counter parity (ObsCounterParity pattern): every accessor must

@@ -1,0 +1,254 @@
+// cms::WhatIfSimulator - the planning-side withdrawal sweep.
+//
+// The contracts under test: candidate semantics (empty prefix list =
+// drain the link, otherwise only the listed prefixes move), spill
+// accounting against current loads and capacities, ranking (moved bytes
+// descending, candidate index breaking ties), and the determinism
+// contract the RPC and bench lean on - the ranked report list is
+// bit-identical at any thread-pool size.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cms/whatif.h"
+#include "core/tipsy_service.h"
+#include "topo/generator.h"
+#include "util/parallel.h"
+
+namespace tipsy {
+namespace {
+
+pipeline::AggRow MakeRow(std::uint32_t f, std::uint32_t link,
+                         std::uint32_t prefix, std::uint64_t bytes) {
+  pipeline::AggRow row;
+  row.hour = 0;
+  row.link = util::LinkId{link};
+  row.src_asn = util::AsId{100 + f};
+  row.src_prefix24 = util::Ipv4Prefix(util::Ipv4Addr(f << 8), 24);
+  row.src_metro = util::MetroId{f % 2};
+  row.dest_region = util::RegionId{f % 3};
+  row.dest_service =
+      f % 2 == 0 ? wan::ServiceType::kWeb : wan::ServiceType::kStorage;
+  row.dest_prefix = util::PrefixId{prefix};
+  row.bytes = bytes;
+  return row;
+}
+
+struct WhatIfFixture {
+  WhatIfFixture()
+      : topology(topo::GenerateTinyTopology()),
+        wan(topology.peering_links,
+            topology.graph.node(topology.wan).presence, 8, 1),
+        service(&wan, &topology.metros, core::TipsyConfig{}) {
+    // A week of traffic: each flow f prefers link f%4 but also appears
+    // on (f+1)%4, so every flow has a credible second-choice link for
+    // PredictShift to move it to when its primary is withdrawn.
+    const auto links = static_cast<std::uint32_t>(wan.link_count());
+    for (util::HourIndex h = 0; h < 7 * util::kHoursPerDay; ++h) {
+      std::vector<pipeline::AggRow> rows;
+      for (std::uint32_t f = 0; f < 6; ++f) {
+        rows.push_back(
+            MakeRow(f, f % 4 % links, 1 + f % 3, 900 + 100 * f));
+        rows.push_back(
+            MakeRow(f, (f + 1) % 4 % links, 1 + f % 3, 90 + 10 * f));
+      }
+      for (auto& row : rows) row.hour = h;
+      service.Train(rows);
+    }
+    service.FinalizeTraining();
+    // The sweep hour: the same mix, plus known loads per link.
+    for (std::uint32_t f = 0; f < 6; ++f) {
+      sweep_rows.push_back(
+          MakeRow(f, f % 4 % links, 1 + f % 3, 900 + 100 * f));
+    }
+    link_loads.assign(wan.link_count(), 0.0);
+    for (const auto& row : sweep_rows) {
+      link_loads[row.link.value()] += static_cast<double>(row.bytes);
+    }
+  }
+
+  topo::GeneratedTopology topology;
+  wan::Wan wan;
+  core::TipsyService service;
+  std::vector<pipeline::AggRow> sweep_rows;
+  std::vector<double> link_loads;
+};
+
+TEST(WhatIf, DrainCandidateMatchesEveryRowOnTheLink) {
+  WhatIfFixture fixture;
+  const cms::WhatIfSimulator simulator(&fixture.wan, &fixture.service,
+                                       cms::WhatIfOptions{});
+  const std::vector<cms::WhatIfCandidate> candidates{
+      {util::LinkId{0}, {}}};  // drain: every prefix on link 0
+  const auto reports = simulator.Sweep(fixture.sweep_rows,
+                                       fixture.link_loads, candidates);
+  ASSERT_EQ(reports.size(), 1u);
+  const auto& report = reports[0];
+  EXPECT_EQ(report.link, util::LinkId{0});
+  double expected_matched = 0.0;
+  for (const auto& row : fixture.sweep_rows) {
+    if (row.link == util::LinkId{0}) {
+      expected_matched += static_cast<double>(row.bytes);
+    }
+  }
+  ASSERT_GT(expected_matched, 0.0);
+  EXPECT_EQ(report.matched_bytes, expected_matched);
+  // Everything accounted: moved to other links or unpredicted.
+  EXPECT_GT(report.moved_bytes, 0.0);
+  // The withdrawn link can never appear among its own spills, and the
+  // spill list arrives sorted by destination link.
+  for (std::size_t i = 0; i < report.spills.size(); ++i) {
+    EXPECT_NE(report.spills[i].link, util::LinkId{0});
+    if (i > 0) {
+      EXPECT_LT(report.spills[i - 1].link.value(),
+                report.spills[i].link.value());
+    }
+  }
+}
+
+TEST(WhatIf, PrefixListRestrictsTheWithdrawal) {
+  WhatIfFixture fixture;
+  const cms::WhatIfSimulator simulator(&fixture.wan, &fixture.service,
+                                       cms::WhatIfOptions{});
+  // Only prefix 1 leaves link 0; flows for other prefixes stay put.
+  const std::vector<cms::WhatIfCandidate> candidates{
+      {util::LinkId{0}, {util::PrefixId{1}}}};
+  const auto reports = simulator.Sweep(fixture.sweep_rows,
+                                       fixture.link_loads, candidates);
+  ASSERT_EQ(reports.size(), 1u);
+  double expected_matched = 0.0;
+  for (const auto& row : fixture.sweep_rows) {
+    if (row.link == util::LinkId{0} &&
+        row.dest_prefix == util::PrefixId{1}) {
+      expected_matched += static_cast<double>(row.bytes);
+    }
+  }
+  EXPECT_EQ(reports[0].matched_bytes, expected_matched);
+
+  // A prefix nothing on the link serves matches no flow at all.
+  const std::vector<cms::WhatIfCandidate> misses{
+      {util::LinkId{0}, {util::PrefixId{99}}}};
+  const auto empty = simulator.Sweep(fixture.sweep_rows,
+                                     fixture.link_loads, misses);
+  ASSERT_EQ(empty.size(), 1u);
+  EXPECT_EQ(empty[0].matched_bytes, 0.0);
+  EXPECT_EQ(empty[0].moved_bytes, 0.0);
+  EXPECT_TRUE(empty[0].spills.empty());
+  EXPECT_TRUE(empty[0].safe);
+}
+
+TEST(WhatIf, SpillAccountingUsesLoadsAndCapacity) {
+  WhatIfFixture fixture;
+  cms::WhatIfOptions options;
+  options.safety_headroom = 0.80;
+  const cms::WhatIfSimulator simulator(&fixture.wan, &fixture.service,
+                                       options);
+  const std::vector<cms::WhatIfCandidate> candidates{
+      {util::LinkId{0}, {}}};
+  const auto reports = simulator.Sweep(fixture.sweep_rows,
+                                       fixture.link_loads, candidates);
+  ASSERT_EQ(reports.size(), 1u);
+  double moved = 0.0;
+  bool any_over = false;
+  for (const auto& spill : reports[0].spills) {
+    moved += spill.bytes;
+    const double cap =
+        fixture.wan.link(spill.link).CapacityBytesPerHour();
+    ASSERT_GT(cap, 0.0);
+    EXPECT_EQ(spill.projected_utilization,
+              (fixture.link_loads[spill.link.value()] + spill.bytes) / cap);
+    EXPECT_EQ(spill.over_headroom,
+              spill.projected_utilization > options.safety_headroom);
+    any_over = any_over || spill.over_headroom;
+  }
+  EXPECT_EQ(reports[0].moved_bytes, moved);
+  EXPECT_EQ(reports[0].safe, !any_over);
+}
+
+TEST(WhatIf, RanksByMovedBytesWithIndexBreakingTies) {
+  WhatIfFixture fixture;
+  const cms::WhatIfSimulator simulator(&fixture.wan, &fixture.service,
+                                       cms::WhatIfOptions{});
+  // Drains of every loaded link, plus a duplicate of candidate 0 (a
+  // guaranteed moved_bytes tie) and a no-op candidate that ranks last.
+  std::vector<cms::WhatIfCandidate> candidates;
+  for (std::uint32_t link = 0; link < 4; ++link) {
+    candidates.push_back({util::LinkId{link}, {}});
+  }
+  candidates.push_back({util::LinkId{0}, {}});
+  candidates.push_back({util::LinkId{7}, {}});  // carries no sweep rows
+  const auto reports = simulator.Sweep(fixture.sweep_rows,
+                                       fixture.link_loads, candidates);
+  ASSERT_EQ(reports.size(), candidates.size());
+  for (std::size_t i = 1; i < reports.size(); ++i) {
+    if (reports[i - 1].moved_bytes == reports[i].moved_bytes) {
+      EXPECT_LT(reports[i - 1].candidate_index,
+                reports[i].candidate_index);
+    } else {
+      EXPECT_GT(reports[i - 1].moved_bytes, reports[i].moved_bytes);
+    }
+  }
+  // The duplicate pair (indexes 0 and 4) tie exactly and arrive in
+  // index order; the empty candidate is last with nothing moved.
+  EXPECT_EQ(reports.back().candidate_index, 5u);
+  EXPECT_EQ(reports.back().moved_bytes, 0.0);
+}
+
+TEST(WhatIf, SweepIsBitIdenticalAtAnyThreadCount) {
+  WhatIfFixture fixture;
+  const cms::WhatIfSimulator simulator(&fixture.wan, &fixture.service,
+                                       cms::WhatIfOptions{});
+  // Enough candidates that every pool size genuinely splits the work.
+  std::vector<cms::WhatIfCandidate> candidates;
+  for (std::uint32_t link = 0; link < 8; ++link) {
+    candidates.push_back({util::LinkId{link}, {}});
+    for (std::uint32_t prefix = 1; prefix <= 3; ++prefix) {
+      candidates.push_back({util::LinkId{link}, {util::PrefixId{prefix}}});
+    }
+  }
+  std::vector<cms::WhatIfReport> reference;
+  {
+    util::ScopedPool pool(1);
+    reference = simulator.Sweep(fixture.sweep_rows, fixture.link_loads,
+                                candidates);
+  }
+  ASSERT_EQ(reference.size(), candidates.size());
+  for (const std::size_t threads : {2u, 3u, 8u}) {
+    util::ScopedPool pool(threads);
+    const auto reports = simulator.Sweep(fixture.sweep_rows,
+                                         fixture.link_loads, candidates);
+    ASSERT_EQ(reports.size(), reference.size()) << threads << " threads";
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+      EXPECT_EQ(reports[i].candidate_index, reference[i].candidate_index);
+      EXPECT_EQ(reports[i].link, reference[i].link);
+      // Exact double equality on purpose: same chunking-independent
+      // arithmetic, so the bits must match, not just the values.
+      EXPECT_EQ(reports[i].matched_bytes, reference[i].matched_bytes);
+      EXPECT_EQ(reports[i].moved_bytes, reference[i].moved_bytes);
+      EXPECT_EQ(reports[i].unpredicted_bytes,
+                reference[i].unpredicted_bytes);
+      EXPECT_EQ(reports[i].safe, reference[i].safe);
+      ASSERT_EQ(reports[i].spills.size(), reference[i].spills.size());
+      for (std::size_t s = 0; s < reports[i].spills.size(); ++s) {
+        EXPECT_EQ(reports[i].spills[s].link, reference[i].spills[s].link);
+        EXPECT_EQ(reports[i].spills[s].bytes,
+                  reference[i].spills[s].bytes);
+        EXPECT_EQ(reports[i].spills[s].projected_utilization,
+                  reference[i].spills[s].projected_utilization);
+        EXPECT_EQ(reports[i].spills[s].over_headroom,
+                  reference[i].spills[s].over_headroom);
+      }
+    }
+  }
+}
+
+TEST(WhatIf, EmptyCandidateListYieldsEmptyReportList) {
+  WhatIfFixture fixture;
+  const cms::WhatIfSimulator simulator(&fixture.wan, &fixture.service,
+                                       cms::WhatIfOptions{});
+  EXPECT_TRUE(
+      simulator.Sweep(fixture.sweep_rows, fixture.link_loads, {}).empty());
+}
+
+}  // namespace
+}  // namespace tipsy

@@ -66,6 +66,12 @@ SCHEMAS = {
         "points",
         {"backend", "batch", "queries", "ns_per_query", "ns_per_flow"},
     ),
+    "BENCH_whatif.json": (
+        {"bench", "small", "hardware_concurrency", "flows", "candidates",
+         "bit_identical", "points"},
+        "points",
+        {"threads", "ms", "candidates_per_s", "bit_identical"},
+    ),
 }
 
 
@@ -263,6 +269,23 @@ def check_robustness_chaos(data: dict) -> list[str]:
     return problems
 
 
+def check_whatif_determinism(data: dict) -> list[str]:
+    """The what-if sweep's ranked reports must be bit-identical at every
+    thread count. Unlike the timing targets this binds for --small
+    artifacts too: determinism is a correctness contract, not a
+    measurement, so workload scale cannot excuse a divergence."""
+    problems = []
+    if data.get("bit_identical") is not True:
+        problems.append("bit_identical is not true: the sweep diverged "
+                        "across thread counts")
+    for index, entry in enumerate(data.get("points", [])):
+        if isinstance(entry, dict) and entry.get("bit_identical") is not True:
+            problems.append(
+                f"points[{index}] (threads={entry.get('threads')}): reports "
+                "differ from the single-threaded reference")
+    return problems
+
+
 # file name -> extra semantic checks run after the schema passes.
 TARGET_CHECKS = {
     "BENCH_ha.json": check_ha_net,
@@ -270,6 +293,7 @@ TARGET_CHECKS = {
     "BENCH_obs.json": check_obs_targets,
     "BENCH_serving.json": check_serving_targets,
     "BENCH_parallel.json": check_parallel_speedups,
+    "BENCH_whatif.json": check_whatif_determinism,
 }
 
 

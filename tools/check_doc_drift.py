@@ -1,0 +1,178 @@
+#!/usr/bin/env python3
+"""Check that the docs' load-bearing names still exist in the code.
+
+The docs promise specific metric names, environment variables, CLI flags
+and config knobs. A rename in src/ that skips the docs turns the runbook
+into fiction; this gate makes that a CI failure instead of an operator
+surprise. Three sweeps:
+
+1. Metric names: every `_suffix` in the first column of a metric table
+   in docs/OPERATIONS.md (header `| Metric | Type | Meaning | Alert |`)
+   must appear as a string literal in src/. Placeholder segments like
+   `<model>` or `<id>` match anything.
+2. Environment / cache variables: every backticked `TIPSY_*` token in
+   docs/*.md must appear in src/, tools/, bench/ or a CMakeLists.txt.
+3. CLI flags: every backticked `--flag` token in docs/*.md must appear
+   in src/ or tools/.
+4. Knobs: every first-column backticked snake_case identifier in the
+   tables of docs/MODELING.md must appear in src/ (they document struct
+   fields verbatim).
+
+Usage: check_doc_drift.py [repo_root]
+       check_doc_drift.py --self-test [repo_root]
+
+--self-test proves the checker can fail: it runs the normal sweep, then
+re-runs with a fabricated doc reference and exits non-zero unless that
+reference is reported missing.
+"""
+
+import pathlib
+import re
+import sys
+
+METRIC_TABLE_HEADER = re.compile(r"^\|\s*Metric\s*\|")
+TABLE_ROW = re.compile(r"^\|\s*`([^`]+)`\s*\|")
+ENV_TOKEN = re.compile(r"`(TIPSY_[A-Z0-9_]+)`")
+FLAG_TOKEN = re.compile(r"`(--[a-z][a-z0-9-]+)")
+KNOB_TOKEN = re.compile(r"^[a-z][a-z0-9_]*$")
+
+# Doc tokens that intentionally have no literal counterpart in the code.
+# Keep this list short and justified: every entry is a hole in the gate.
+ALLOWED_MISSING = {
+    "--help",  # conventional; parsers print usage on anything unknown
+}
+
+
+def read(path):
+    return path.read_text(encoding="utf-8")
+
+
+def search_space(root, subdirs, suffixes):
+    """Concatenate the contents of every matching source file."""
+    chunks = []
+    for sub in subdirs:
+        base = root / sub
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.is_file() and (path.suffix in suffixes
+                                   or path.name == "CMakeLists.txt"):
+                chunks.append(read(path))
+    return "\n".join(chunks)
+
+
+def metric_rows(operations_md):
+    """Yield (line_number, metric_cell) from metric tables."""
+    in_table = False
+    for number, line in enumerate(operations_md.splitlines(), 1):
+        if METRIC_TABLE_HEADER.match(line):
+            in_table = True
+            continue
+        if in_table:
+            if not line.startswith("|"):
+                in_table = False
+                continue
+            match = TABLE_ROW.match(line)
+            if match:
+                yield number, match.group(1)
+
+
+def metric_pieces(cell):
+    """Split a doc metric cell into the literal pieces the code must hold.
+
+    Templated names like `_ensemble_<model>_stage<N>_hits_total` are
+    built in C++ by concatenating string literals around computed parts,
+    so the placeholder segments never appear contiguously in any one
+    literal. Requiring each literal piece as a substring checks exactly
+    what the code can promise.
+    """
+    return [part for part in re.split(r"<[^>]+>", cell) if part]
+
+
+def check_tree(root, fabricated=None):
+    """Return a list of problem strings for the tree under root."""
+    problems = []
+    docs = sorted((root / "docs").glob("*.md"))
+    if not docs:
+        return ["docs/: no markdown files found"]
+
+    code = search_space(root, ["src"], {".h", ".cpp"})
+    code_tools_bench = code + search_space(root, ["tools", "bench"],
+                                           {".h", ".cpp", ".py", ".sh"})
+    cmake = search_space(root, ["src", "tools", "bench", "tests"], set())
+    top_cmake = root / "CMakeLists.txt"
+    if top_cmake.is_file():
+        cmake += read(top_cmake)
+
+    operations = root / "docs" / "OPERATIONS.md"
+    operations_text = read(operations) if operations.is_file() else ""
+    if fabricated:
+        operations_text += (
+            "\n| Metric | Type | Meaning | Alert |\n|---|---|---|---|\n"
+            f"| `{fabricated}` | counter | fabricated | — |\n")
+
+    for number, cell in metric_rows(operations_text):
+        missing = [p for p in metric_pieces(cell) if p not in code]
+        if missing:
+            problems.append(
+                f"docs/OPERATIONS.md:{number}: metric `{cell}` not found "
+                f"in src/ (missing piece {missing[0]!r})")
+
+    for doc in docs:
+        text = read(doc)
+        for token in sorted(set(ENV_TOKEN.findall(text))):
+            if token in ALLOWED_MISSING:
+                continue
+            if token not in code_tools_bench and token not in cmake:
+                problems.append(
+                    f"{doc.relative_to(root)}: `{token}` not found in "
+                    "src/, tools/, bench/ or CMake files")
+        for token in sorted(set(FLAG_TOKEN.findall(text))):
+            if token in ALLOWED_MISSING:
+                continue
+            if token not in code_tools_bench:
+                problems.append(
+                    f"{doc.relative_to(root)}: flag `{token}` not found "
+                    "in src/ or tools/")
+
+    modeling = root / "docs" / "MODELING.md"
+    if modeling.is_file():
+        for number, cell in ((n, c) for n, c in enumerate(
+                read(modeling).splitlines(), 1)
+                for c in TABLE_ROW.findall(c)):
+            if KNOB_TOKEN.match(cell) and cell not in code:
+                problems.append(
+                    f"docs/MODELING.md:{number}: knob `{cell}` not found "
+                    "in src/")
+    else:
+        problems.append("docs/MODELING.md missing")
+
+    return problems
+
+
+def main(argv):
+    args = [a for a in argv[1:] if a != "--self-test"]
+    self_test = "--self-test" in argv[1:]
+    root = pathlib.Path(args[0]) if args else pathlib.Path(".")
+
+    problems = check_tree(root)
+    for problem in problems:
+        print(f"DOC DRIFT: {problem}")
+    if problems:
+        return 1
+    print("doc drift check: all documented names found in the code")
+
+    if self_test:
+        fabricated = "_this_metric_never_existed_total"
+        negative = check_tree(root, fabricated=fabricated)
+        if not any(fabricated in p for p in negative):
+            print("SELF-TEST FAILED: fabricated metric "
+                  f"`{fabricated}` was not reported missing")
+            return 1
+        print("doc drift self-test: fabricated reference correctly "
+              "reported missing")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

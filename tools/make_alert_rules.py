@@ -1,0 +1,185 @@
+#!/usr/bin/env python3
+"""Generate Prometheus alert rules from docs/OPERATIONS.md.
+
+The runbook's metric tables carry an Alert column; this script turns
+those rows into results/alert_rules.yml so the alerting config is
+*derived from* the documentation instead of drifting beside it. The
+generator is deterministic (same input -> byte-identical output) and CI
+re-runs it with --check to fail on a stale committed file.
+
+Expression synthesis is deliberately conservative. Three recognized
+shapes:
+
+* an explicit comparator in the Alert text (`> 7`, `>= 2`, `= 3`, with
+  unicode >=/<= accepted) becomes `metric <op> value` - one rule per
+  comparator, so "ge 2 warn, = 3 page" yields a warning and a page;
+* counter prose about growth ("any increase", "sustained growth")
+  becomes `increase(metric[1h]) > 0`;
+* stall prose ("no increase", "rate drop to 0", "frozen", "flat")
+  becomes `rate(metric[1h]) == 0`.
+
+Everything else still matters but cannot be mechanized honestly (ratios
+between metrics, "growth outside restarts"); those rows are listed in a
+trailing comment block for a human to encode. Rows whose Alert column is
+"-" (em dash) are informational and skipped. Metric names containing
+placeholders (`<id>`) are per-instance families and skipped. Severity:
+"page" in the text -> critical, "warn" -> warning, else ticket.
+
+Usage: make_alert_rules.py [repo_root] [--check]
+  Writes <repo_root>/results/alert_rules.yml. With --check, compares
+  against the committed file instead and exits non-zero on drift.
+"""
+
+import pathlib
+import re
+import sys
+
+SECTION = re.compile(r"^### (?P<title>.+?) — .*?prefix[^`]*`(?P<prefix>[a-z][a-z0-9_]*)`")
+METRIC_TABLE_HEADER = re.compile(r"^\|\s*Metric\s*\|")
+TABLE_ROW = re.compile(r"^\|\s*`(?P<metric>[^`]+)`\s*\|\s*(?P<type>[a-z]+)\s*\|\s*(?P<meaning>[^|]*)\|\s*(?P<alert>[^|]*)\|")
+COMPARATOR = re.compile(r"(?P<op>≥|≤|>=|<=|>|<|=)\s*(?P<value>\d+(?:\.\d+)?)")
+OP_MAP = {"≥": ">=", "≤": "<=", ">=": ">=", "<=": "<=", ">": ">",
+          "<": "<", "=": "=="}
+GROWTH = re.compile(r"any (sustained )?(increase|growth)|sustained growth")
+STALL = re.compile(r"no increase|rate drop to 0|frozen|flat across")
+
+
+def parse_rows(operations_md):
+    """Yield (prefix, metric, type, meaning, alert) for every table row."""
+    prefix = None
+    in_table = False
+    for line in operations_md.splitlines():
+        section = SECTION.match(line)
+        if section:
+            prefix = section.group("prefix")
+            in_table = False
+            continue
+        if METRIC_TABLE_HEADER.match(line):
+            in_table = prefix is not None
+            continue
+        if in_table:
+            if not line.startswith("|"):
+                in_table = False
+                continue
+            row = TABLE_ROW.match(line)
+            if row:
+                yield (prefix, row.group("metric"),
+                       row.group("type").strip(),
+                       row.group("meaning").strip(),
+                       row.group("alert").strip())
+
+
+def camel(metric):
+    return "".join(part.capitalize()
+                   for part in re.split(r"[^0-9a-zA-Z]+", metric) if part)
+
+
+def severity(alert_text):
+    lowered = alert_text.lower()
+    if "page" in lowered:
+        return "critical"
+    if "warn" in lowered:
+        return "warning"
+    return "ticket"
+
+
+def synthesize(metric, metric_type, alert_text):
+    """Return a list of (expr, severity) rules, or None if unmechanizable."""
+    comparators = COMPARATOR.findall(alert_text)
+    if comparators:
+        rules = []
+        # Split on the comparators so each gets the severity of its own
+        # clause ("ge 2 warn, = 3 page"), not the whole cell's.
+        clauses = COMPARATOR.split(alert_text)
+        # split() yields [pre, op, value, between, op, value, post...]
+        for i, (op, value) in enumerate(comparators):
+            clause_text = clauses[3 * i + 3] if 3 * i + 3 < len(clauses) else ""
+            rules.append((f"{metric} {OP_MAP[op]} {value}",
+                          severity(clause_text or alert_text)))
+        return rules
+    lowered = alert_text.lower()
+    if metric_type == "counter" and GROWTH.search(lowered):
+        return [(f"increase({metric}[1h]) > 0", severity(alert_text))]
+    if STALL.search(lowered):
+        return [(f"rate({metric}[1h]) == 0", severity(alert_text))]
+    return None
+
+
+def yaml_quote(text):
+    return '"' + text.replace("\\", "\\\\").replace('"', '\\"') + '"'
+
+
+def generate(operations_md):
+    groups = {}  # prefix -> list of rule dicts
+    manual = []  # (metric, alert text) rows needing a hand-written expr
+    for prefix, metric, metric_type, meaning, alert in parse_rows(
+            operations_md):
+        if alert in ("—", "-", ""):
+            continue
+        if "<" in metric:  # per-instance metric family
+            manual.append((prefix + metric, alert))
+            continue
+        full = prefix + metric
+        rules = synthesize(full, metric_type, alert)
+        if rules is None:
+            manual.append((full, alert))
+            continue
+        for index, (expr, sev) in enumerate(rules):
+            name = camel(full) + (str(index + 1) if len(rules) > 1 else "")
+            groups.setdefault(prefix, []).append(
+                (name, expr, sev, meaning, alert))
+
+    lines = [
+        "# Generated by tools/make_alert_rules.py from docs/OPERATIONS.md.",
+        "# Do not edit by hand: CI regenerates this file and fails on",
+        "# drift. Change the Alert column in the runbook instead.",
+        "groups:",
+    ]
+    for prefix in sorted(groups):
+        lines.append(f"  - name: {prefix}")
+        lines.append("    rules:")
+        for name, expr, sev, meaning, alert in groups[prefix]:
+            lines.append(f"      - alert: {name}")
+            lines.append(f"        expr: {expr}")
+            lines.append("        for: 5m")
+            lines.append("        labels:")
+            lines.append(f"          severity: {sev}")
+            lines.append("        annotations:")
+            lines.append(f"          summary: {yaml_quote(meaning)}")
+            lines.append(f"          runbook: {yaml_quote(alert)}")
+    if manual:
+        lines.append("")
+        lines.append("# Documented alerts that need a hand-written"
+                     " expression (ratios,")
+        lines.append("# cross-metric conditions, per-instance families):")
+        for metric, alert in manual:
+            lines.append(f"#   {metric}: {alert}")
+    return "\n".join(lines) + "\n"
+
+
+def main(argv):
+    check = "--check" in argv[1:]
+    args = [a for a in argv[1:] if a != "--check"]
+    root = pathlib.Path(args[0]) if args else pathlib.Path(".")
+    operations = root / "docs" / "OPERATIONS.md"
+    output = root / "results" / "alert_rules.yml"
+
+    text = generate(operations.read_text(encoding="utf-8"))
+    if check:
+        committed = output.read_text(
+            encoding="utf-8") if output.is_file() else ""
+        if committed != text:
+            print(f"ALERT RULES DRIFT: {output} is stale - rerun "
+                  "tools/make_alert_rules.py")
+            return 1
+        print(f"alert rules check: {output} matches docs/OPERATIONS.md")
+        return 0
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(text, encoding="utf-8")
+    rule_count = text.count("- alert:")
+    print(f"wrote {output} ({rule_count} rules)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
